@@ -1,0 +1,109 @@
+// Ablation (extension): first-firing phase offsets.
+//
+// The paper's model leaves each node's firing *phase* unspecified; the
+// analysis only uses the interval x_i. This harness quantifies the phase's
+// effect on latency: aligning node i's first firing to just after node
+// i-1's firing end lets an item traverse the pipeline in one cadence pass
+// when intervals line up, instead of waiting up to a full interval per
+// stage. With incommensurate intervals (the usual optimizer output) phases
+// drift and the effect averages out — which the harness also shows, and is
+// why the paper safely ignores phase.
+#include "bench_common.hpp"
+
+#include "arrivals/arrival_process.hpp"
+#include "dist/rng.hpp"
+#include "sim/enforced_sim.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace ripple;
+  util::CliParser cli;
+  bench::add_common_options(cli);
+  cli.add_int("inputs", 20000, "inputs per run");
+  bench::parse_or_exit(cli, argc, argv,
+                       "bench_ablation_phase — first-firing phase alignment");
+
+  bench::print_banner("Ablation: phase alignment of node firings");
+  const ItemCount inputs = cli.get_flag("full")
+                               ? 50000
+                               : static_cast<ItemCount>(cli.get_int("inputs"));
+  const std::uint64_t base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  util::TextTable table({"pipeline", "phases", "mean latency", "max latency",
+                         "misses", "active frac"});
+  std::ofstream csv_out = bench::open_csv(cli);
+  util::CsvWriter csv(csv_out);
+  if (csv_out.is_open()) {
+    csv.header({"pipeline", "phases", "mean_latency", "max_latency",
+                "inputs_missed", "active_fraction"});
+  }
+
+  auto run_pair = [&](const std::string& label, const sdf::PipelineSpec& pipeline,
+                      const std::vector<Cycles>& intervals, double tau0,
+                      double deadline, double& aligned_mean,
+                      double& unaligned_mean) {
+    for (const bool aligned : {false, true}) {
+      arrivals::FixedRateArrivals arrival_process(tau0);
+      sim::EnforcedSimConfig config;
+      config.input_count = inputs;
+      config.deadline = deadline;
+      config.seed = dist::derive_seed({base_seed, 0x0FA5E, aligned});
+      if (aligned) config.initial_offsets = sim::aligned_phase_offsets(pipeline);
+      const auto metrics = sim::simulate_enforced_waits(
+          pipeline, intervals, arrival_process, config);
+      (aligned ? aligned_mean : unaligned_mean) = metrics.output_latency.mean();
+      table.add_row({label, aligned ? "aligned" : "in-phase (t=0)",
+                     bench::fmt(metrics.output_latency.mean(), 0),
+                     bench::fmt(metrics.output_latency.max(), 0),
+                     std::to_string(metrics.inputs_missed),
+                     bench::fmt(metrics.active_fraction(), 4)});
+      if (csv_out.is_open()) {
+        csv.row({label, aligned ? "aligned" : "zero",
+                 bench::fmt(metrics.output_latency.mean(), 2),
+                 bench::fmt(metrics.output_latency.max(), 2),
+                 std::to_string(metrics.inputs_missed),
+                 bench::fmt(metrics.active_fraction(), 5)});
+      }
+    }
+  };
+
+  // Case 1: synchronous cadence (all x_i equal) — phases persist forever and
+  // alignment shows its full effect.
+  auto sync_spec = sdf::PipelineBuilder("synchronous")
+                       .simd_width(16)
+                       .add_node("a", 50.0, dist::make_deterministic(1))
+                       .add_node("b", 60.0, dist::make_deterministic(1))
+                       .add_node("c", 70.0, dist::make_deterministic(1))
+                       .add_node("d", 80.0, dist::make_deterministic(1))
+                       .build();
+  const auto sync_pipeline = std::move(sync_spec).take();
+  double sync_aligned = 0.0;
+  double sync_unaligned = 0.0;
+  run_pair("synchronous (x_i = 500)", sync_pipeline,
+           {500.0, 500.0, 500.0, 500.0}, 40.0, 1e5, sync_aligned,
+           sync_unaligned);
+
+  // Case 2: the BLAST schedule — incommensurate intervals, phases drift.
+  const auto blast = blast::canonical_blast_pipeline();
+  const core::EnforcedWaitsStrategy strategy(blast,
+                                             bench::paper_enforced_config());
+  auto solved = strategy.solve(20.0, 1.85e5);
+  double blast_aligned = 0.0;
+  double blast_unaligned = 0.0;
+  if (solved.ok()) {
+    run_pair("BLAST (optimized x)", blast, solved.value().firing_intervals,
+             20.0, 1.85e5, blast_aligned, blast_unaligned);
+  }
+  table.print(std::cout);
+
+  const bool sync_improves = sync_aligned < 0.7 * sync_unaligned;
+  const double blast_shift =
+      std::abs(blast_aligned - blast_unaligned) / blast_unaligned;
+  std::cout << "\naligned phases cut latency on a synchronous cadence: "
+            << (sync_improves ? "yes" : "NO")
+            << "\nphase effect on the optimized BLAST schedule: "
+            << bench::fmt(100.0 * blast_shift, 1)
+            << "% (drifting phases average out; the paper can ignore phase)"
+            << std::endl;
+  return (sync_improves && blast_shift < 0.2) ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// Reproduces paper Section 6.2: empirical calibration of the worst-case
+// parameters.
+//
+//   * Enforced waits: starting from the optimistic b_i = ceil(g_i), the
+//     raise-and-retest loop should land on multipliers comparable to the
+//     paper's b = {1, 3, 9, 6}, and the calibrated configuration should be
+//     miss-free in >= 95% of seeded trials across the probe set.
+//   * Monolithic: b = 1, S = 1 should pass immediately (the paper observed
+//     no misses at all).
+#include "bench_common.hpp"
+
+#include "calib/calibrate.hpp"
+#include "util/csv.hpp"
+#include "util/thread_pool.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace ripple;
+  util::CliParser cli;
+  bench::add_common_options(cli);
+  cli.add_int("trials", 40, "seeded trials per probe (paper: 100)");
+  cli.add_int("inputs", 20000, "inputs per trial (paper: 50000)");
+  bench::parse_or_exit(cli, argc, argv,
+                       "bench_calibration — Section 6.2 parameter calibration");
+
+  bench::print_banner("Section 6.2: worst-case parameter calibration");
+
+  util::ThreadPool pool;
+  calib::CalibrationOptions options;
+  options.trials = cli.get_flag("full") ? 100 : cli.get_int("trials");
+  options.inputs_per_trial =
+      cli.get_flag("full") ? 50000 : static_cast<ItemCount>(cli.get_int("inputs"));
+  options.target_miss_free = 0.95;
+  options.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  options.pool = &pool;
+
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const auto probes = calib::default_probes();
+  std::cout << "probes: " << probes.size() << " (corners/edges/center of the "
+            << "paper ranges)\ntrials per probe: " << options.trials
+            << ", inputs per trial: " << options.inputs_per_trial << "\n\n";
+
+  // ---- enforced waits ------------------------------------------------------
+  util::Stopwatch watch;
+  const auto enforced = calib::calibrate_enforced_waits(
+      pipeline, core::EnforcedWaitsConfig::optimistic(pipeline), probes, options);
+  std::cout << "Enforced waits (start b_i = ceil(g_i) = {1,2,1,1}):\n";
+  for (const auto& line : enforced.log) std::cout << "  " << line << "\n";
+  std::cout << "  rounds: " << enforced.rounds
+            << ", success: " << (enforced.success ? "yes" : "NO")
+            << ", worst miss-free fraction: "
+            << bench::fmt(enforced.worst_miss_free, 4) << "\n";
+  std::cout << "  calibrated b = {";
+  for (std::size_t i = 0; i < enforced.config.b.size(); ++i) {
+    std::cout << (i ? ", " : "") << bench::fmt(enforced.config.b[i], 0);
+  }
+  std::cout << "}   (paper: {1, 3, 9, 6})\n\n";
+
+  util::TextTable probe_table({"tau0", "D", "feasible", "miss-free frac",
+                               "mean miss frac", "mean active frac"});
+  for (const auto& outcome : enforced.final_outcomes) {
+    probe_table.add_row(
+        {bench::fmt(outcome.probe.tau0, 1), bench::fmt(outcome.probe.deadline, 0),
+         outcome.feasible ? "yes" : "no",
+         outcome.feasible ? bench::fmt(outcome.miss_free_fraction, 3) : "-",
+         outcome.feasible ? bench::fmt(outcome.mean_miss_fraction, 5) : "-",
+         outcome.feasible ? bench::fmt(outcome.mean_active_fraction, 4) : "-"});
+  }
+  probe_table.print(std::cout);
+
+  // ---- validate the paper's published b on the same probes ----------------
+  std::cout << "\nValidating the paper's published b = {1, 3, 9, 6}:\n";
+  const auto paper_check = calib::calibrate_enforced_waits(
+      pipeline, bench::paper_enforced_config(), probes, options);
+  std::cout << "  accepted in round " << paper_check.rounds
+            << " (success: " << (paper_check.success ? "yes" : "NO")
+            << "), worst miss-free fraction "
+            << bench::fmt(paper_check.worst_miss_free, 4) << "\n";
+
+  // ---- monolithic ----------------------------------------------------------
+  std::cout << "\nMonolithic (start b = 1, S = 1):\n";
+  const auto monolithic = calib::calibrate_monolithic(pipeline, {}, probes, options);
+  for (const auto& line : monolithic.log) std::cout << "  " << line << "\n";
+  std::cout << "  rounds: " << monolithic.rounds
+            << ", success: " << (monolithic.success ? "yes" : "NO")
+            << ", final (b, S) = (" << bench::fmt(monolithic.config.b, 2) << ", "
+            << bench::fmt(monolithic.config.S, 2) << ")   (paper: (1, 1))\n";
+
+  std::cout << "\nelapsed: " << bench::fmt(watch.elapsed_seconds(), 1) << " s\n";
+
+  if (auto csv_out = bench::open_csv(cli); csv_out.is_open()) {
+    util::CsvWriter csv(csv_out);
+    csv.header({"strategy", "tau0", "deadline", "feasible", "miss_free_fraction",
+                "mean_miss_fraction", "mean_active_fraction"});
+    for (const auto& outcome : enforced.final_outcomes) {
+      csv.row({"enforced", bench::fmt(outcome.probe.tau0, 3),
+               bench::fmt(outcome.probe.deadline, 0),
+               outcome.feasible ? "1" : "0",
+               bench::fmt(outcome.miss_free_fraction, 5),
+               bench::fmt(outcome.mean_miss_fraction, 6),
+               bench::fmt(outcome.mean_active_fraction, 5)});
+    }
+    for (const auto& outcome : monolithic.final_outcomes) {
+      csv.row({"monolithic", bench::fmt(outcome.probe.tau0, 3),
+               bench::fmt(outcome.probe.deadline, 0),
+               outcome.feasible ? "1" : "0",
+               bench::fmt(outcome.miss_free_fraction, 5),
+               bench::fmt(outcome.mean_miss_fraction, 6),
+               bench::fmt(outcome.mean_active_fraction, 5)});
+    }
+  }
+
+  // Acceptance: the raise-and-retest loop converges from the optimistic
+  // start; the paper's published b = {1,3,9,6} is accepted as-is; and the
+  // monolithic strategy needs at most a small worst-case allowance. (The
+  // paper reports zero monolithic misses with b = 1, S = 1; our optimizer
+  // pushes M exactly to the deadline boundary, so probes near the stability
+  // limit can show rare misses until S is nudged — see EXPERIMENTS.md.)
+  const bool ok = enforced.success && paper_check.success &&
+                  paper_check.rounds == 1 && monolithic.success &&
+                  monolithic.rounds <= 3 && monolithic.config.b <= 2.0 &&
+                  monolithic.config.S <= 1.5;
+  std::cout << "\nSection 6.2 claims reproduced (see EXPERIMENTS.md for the "
+               "monolithic S caveat): "
+            << (ok ? "yes" : "NO") << std::endl;
+  return ok ? 0 : 1;
+}

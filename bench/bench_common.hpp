@@ -1,0 +1,88 @@
+// Shared scaffolding for the experiment harnesses in bench/.
+//
+// Every binary reproduces one table or figure of the paper. Binaries accept
+// --full to run at the paper's exact scale (100 trials x 50,000 inputs,
+// fine-grained grids); defaults are scaled down so the whole suite completes
+// in a few minutes on one core. Outputs are printed as aligned tables and,
+// where a figure is being regenerated, also written as CSV.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "blast/canonical.hpp"
+#include "core/enforced_waits.hpp"
+#include "core/monolithic.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+namespace ripple::bench {
+
+/// Standard options shared by the harnesses.
+inline void add_common_options(util::CliParser& cli) {
+  cli.add_flag("full", false,
+               "run at the paper's full scale (slower, finer grids)");
+  cli.add_string("csv", "", "also write results to this CSV file");
+  cli.add_string("json", "", "also write results to this JSON file");
+  cli.add_int("seed", 2021, "base RNG seed (2021 = the paper's year)");
+}
+
+/// Parse argv; print usage and exit(0) on --help; exit(2) on bad flags.
+inline void parse_or_exit(util::CliParser& cli, int argc, const char** argv,
+                          const std::string& description) {
+  auto parsed = cli.parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().message << "\n\n"
+              << cli.usage(description) << std::endl;
+    std::exit(2);
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage(description) << std::endl;
+    std::exit(0);
+  }
+}
+
+inline void print_banner(const std::string& title) {
+  std::cout << "=== " << title << " ===\n"
+            << "pipeline: NCBI BLAST (paper Table 1), v = 128\n\n";
+}
+
+/// Open a named output sink if requested (returns an unopened stream
+/// otherwise).
+inline std::ofstream open_sink(const util::CliParser& cli,
+                               const std::string& option) {
+  std::ofstream out;
+  const std::string& path = cli.get_string(option);
+  if (!path.empty()) {
+    out.open(path);
+    if (!out) {
+      std::cerr << "cannot open " << option << " output: " << path << std::endl;
+      std::exit(2);
+    }
+  }
+  return out;
+}
+
+/// Open the --csv sink if requested (returns an unopened stream otherwise).
+inline std::ofstream open_csv(const util::CliParser& cli) {
+  return open_sink(cli, "csv");
+}
+
+/// Open the --json sink if requested.
+inline std::ofstream open_json(const util::CliParser& cli) {
+  return open_sink(cli, "json");
+}
+
+inline core::EnforcedWaitsConfig paper_enforced_config() {
+  return core::EnforcedWaitsConfig{blast::paper_calibrated_b()};
+}
+
+inline std::string fmt(double value, int precision = 4) {
+  return util::format_double(value, precision);
+}
+
+}  // namespace ripple::bench

@@ -1,0 +1,186 @@
+// Google-benchmark micro suite: engine performance of the substrates the
+// experiments are built on (event queue, solvers, simulators, distributions).
+// These are performance regressions guards, not paper figures.
+#include <benchmark/benchmark.h>
+
+#include "arrivals/arrival_process.hpp"
+#include "blast/canonical.hpp"
+#include "core/enforced_waits.hpp"
+#include "core/monolithic.hpp"
+#include "dist/gain.hpp"
+#include "dist/rng.hpp"
+#include "sim/enforced_sim.hpp"
+#include "sim/event_queue.hpp"
+#include "core/waterfill.hpp"
+#include "queueing/bulk_queue.hpp"
+#include "sched/quantum_sim.hpp"
+#include "sim/greedy_sim.hpp"
+#include "sim/monolithic_sim.hpp"
+
+namespace {
+
+using namespace ripple;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  dist::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    sim::EventQueue<int> queue;
+    for (std::size_t i = 0; i < depth; ++i) {
+      queue.push(rng.uniform01() * 1e6, 0, static_cast<int>(i));
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_XoshiroUniform(benchmark::State& state) {
+  dist::Xoshiro256 rng(2);
+  double acc = 0.0;
+  for (auto _ : state) acc += rng.uniform01();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XoshiroUniform);
+
+void BM_CensoredPoissonSample(benchmark::State& state) {
+  const dist::CensoredPoissonGain gain(1.92, 16);
+  dist::Xoshiro256 rng(3);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += gain.sample(rng);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CensoredPoissonSample);
+
+void BM_EnforcedWaitsSolve(benchmark::State& state) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  for (auto _ : state) {
+    auto solved = strategy.solve(20.0, 1.85e5);
+    benchmark::DoNotOptimize(solved.ok());
+  }
+}
+BENCHMARK(BM_EnforcedWaitsSolve);
+
+void BM_MonolithicSolve(benchmark::State& state) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const core::MonolithicStrategy strategy(pipeline, {});
+  const double tau0 = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto solved = strategy.solve(tau0, 3.5e5);
+    benchmark::DoNotOptimize(solved.ok());
+  }
+}
+BENCHMARK(BM_MonolithicSolve)->Arg(10)->Arg(100);
+
+void BM_EnforcedSimulation(benchmark::State& state) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  const auto solved = strategy.solve(20.0, 1.85e5);
+  const ItemCount inputs = static_cast<ItemCount>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    arrivals::FixedRateArrivals arrival_process(20.0);
+    sim::EnforcedSimConfig config;
+    config.input_count = inputs;
+    config.deadline = 1.85e5;
+    config.seed = ++seed;
+    const auto metrics = sim::simulate_enforced_waits(
+        pipeline, solved.value().firing_intervals, arrival_process, config);
+    benchmark::DoNotOptimize(metrics.sink_outputs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inputs));
+}
+BENCHMARK(BM_EnforcedSimulation)->Arg(10000)->Arg(50000);
+
+void BM_MonolithicSimulation(benchmark::State& state) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const ItemCount inputs = static_cast<ItemCount>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    arrivals::FixedRateArrivals arrival_process(20.0);
+    sim::MonolithicSimConfig config;
+    config.block_size = 2000;
+    config.input_count = inputs;
+    config.deadline = 1.85e5;
+    config.seed = ++seed;
+    const auto metrics =
+        sim::simulate_monolithic(pipeline, arrival_process, config);
+    benchmark::DoNotOptimize(metrics.sink_outputs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inputs));
+}
+BENCHMARK(BM_MonolithicSimulation)->Arg(10000)->Arg(50000);
+
+
+void BM_GreedySimulation(benchmark::State& state) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const ItemCount inputs = static_cast<ItemCount>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    arrivals::FixedRateArrivals arrival_process(20.0);
+    sim::GreedySimConfig config;
+    config.input_count = inputs;
+    config.seed = ++seed;
+    const auto metrics =
+        sim::simulate_greedy_throughput(pipeline, arrival_process, config);
+    benchmark::DoNotOptimize(metrics.sink_outputs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inputs));
+}
+BENCHMARK(BM_GreedySimulation)->Arg(20000);
+
+void BM_QuantumSimulation(benchmark::State& state) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  const auto solved = strategy.solve(20.0, 1.85e5);
+  const Cycles quantum = static_cast<Cycles>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    arrivals::FixedRateArrivals arrival_process(20.0);
+    sched::QuantumSimConfig config;
+    config.quantum = quantum;
+    config.input_count = 10000;
+    config.seed = ++seed;
+    const auto metrics = sched::simulate_quantum_scheduled(
+        pipeline, solved.value().firing_intervals, arrival_process, config);
+    benchmark::DoNotOptimize(metrics.base.sink_outputs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_QuantumSimulation)->Arg(10)->Arg(200);
+
+void BM_BulkQueueAnalysis(benchmark::State& state) {
+  queueing::BulkQueueConfig config;
+  config.batch_size = 128;
+  config.arrivals_per_interval =
+      queueing::poisson_pmf(static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    auto analysis = queueing::analyze_bulk_queue(config);
+    benchmark::DoNotOptimize(analysis.ok());
+  }
+}
+BENCHMARK(BM_BulkQueueAnalysis)->Arg(64)->Arg(115);
+
+void BM_WaterfillSolve(benchmark::State& state) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const auto b = blast::paper_calibrated_b();
+  for (auto _ : state) {
+    auto solved = core::waterfill_solve(pipeline, b, 100.0, 3.5e5);
+    benchmark::DoNotOptimize(solved.ok());
+  }
+}
+BENCHMARK(BM_WaterfillSolve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Reproduces the paper's Section 6.2 validation claim: "the active fractions
+// measured in the simulator closely matched those predicted by the optimizer
+// for each approach and set of parameters tested."
+//
+// For a sample of (tau0, D) cells, both strategies are optimized and then
+// simulated; the relative error between predicted and measured active
+// fraction is reported. For the monolithic strategy, streams are sized to
+// cover many blocks (finite-horizon warm-up otherwise biases the measured
+// fraction low).
+#include "bench_common.hpp"
+
+#include "arrivals/arrival_process.hpp"
+#include "dist/rng.hpp"
+#include "sim/enforced_sim.hpp"
+#include "sim/monolithic_sim.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace ripple;
+  util::CliParser cli;
+  bench::add_common_options(cli);
+  cli.add_int("inputs", 50000, "inputs per enforced-waits run");
+  bench::parse_or_exit(cli, argc, argv,
+                       "bench_predict_vs_sim — optimizer vs simulator agreement");
+
+  bench::print_banner("Section 6.2 validation: predicted vs measured active fraction");
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const core::EnforcedWaitsStrategy enforced(pipeline,
+                                             bench::paper_enforced_config());
+  const core::MonolithicStrategy monolithic(pipeline, {});
+  const std::uint64_t base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const ItemCount enforced_inputs =
+      static_cast<ItemCount>(cli.get_int("inputs")) * (cli.get_flag("full") ? 2 : 1);
+
+  struct Sample {
+    double tau0;
+    double deadline;
+  };
+  const std::vector<Sample> samples = {
+      {3.0, 1e5},   {5.0, 6e4},    {10.0, 5e4},   {10.0, 1.85e5},
+      {20.0, 1e5},  {50.0, 5e4},   {50.0, 3.5e5}, {100.0, 2.4e4},
+      {100.0, 1.85e5}, {100.0, 3.5e5}};
+
+  util::TextTable table({"strategy", "tau0", "D", "predicted", "measured",
+                         "rel err", "misses"});
+  std::ofstream csv_out = bench::open_csv(cli);
+  util::CsvWriter csv(csv_out);
+  if (csv_out.is_open()) {
+    csv.header({"strategy", "tau0", "deadline", "predicted", "measured",
+                "relative_error", "inputs_missed"});
+  }
+
+  double worst_enforced = 0.0;
+  double worst_monolithic = 0.0;
+  util::Stopwatch watch;
+
+  for (const auto& sample : samples) {
+    if (auto solved = enforced.solve(sample.tau0, sample.deadline); solved.ok()) {
+      arrivals::FixedRateArrivals arrival_process(sample.tau0);
+      sim::EnforcedSimConfig config;
+      config.input_count = enforced_inputs;
+      config.deadline = sample.deadline;
+      config.seed = dist::derive_seed(
+          {base_seed, 1, static_cast<std::uint64_t>(sample.tau0 * 100),
+           static_cast<std::uint64_t>(sample.deadline)});
+      const auto metrics = sim::simulate_enforced_waits(
+          pipeline, solved.value().firing_intervals, arrival_process, config);
+      const double predicted = solved.value().predicted_active_fraction;
+      const double measured = metrics.active_fraction();
+      const double rel = std::abs(measured - predicted) / predicted;
+      worst_enforced = std::max(worst_enforced, rel);
+      table.add_row({"enforced", bench::fmt(sample.tau0, 1),
+                     bench::fmt(sample.deadline, 0), bench::fmt(predicted, 4),
+                     bench::fmt(measured, 4), bench::fmt(rel, 4),
+                     std::to_string(metrics.inputs_missed)});
+      if (csv_out.is_open()) {
+        csv.row({"enforced", bench::fmt(sample.tau0, 3),
+                 bench::fmt(sample.deadline, 0), bench::fmt(predicted, 6),
+                 bench::fmt(measured, 6), bench::fmt(rel, 6),
+                 std::to_string(metrics.inputs_missed)});
+      }
+    }
+    if (auto solved = monolithic.solve(sample.tau0, sample.deadline); solved.ok()) {
+      arrivals::FixedRateArrivals arrival_process(sample.tau0);
+      sim::MonolithicSimConfig config;
+      config.block_size = solved.value().block_size;
+      // Cover >= 100 blocks so warm-up and drain are negligible.
+      config.input_count = std::max<ItemCount>(
+          enforced_inputs,
+          static_cast<ItemCount>(solved.value().block_size) * 100);
+      config.deadline = sample.deadline;
+      config.seed = dist::derive_seed(
+          {base_seed, 2, static_cast<std::uint64_t>(sample.tau0 * 100),
+           static_cast<std::uint64_t>(sample.deadline)});
+      const auto metrics =
+          sim::simulate_monolithic(pipeline, arrival_process, config);
+      const double predicted = solved.value().predicted_active_fraction;
+      const double measured = metrics.active_fraction();
+      const double rel = std::abs(measured - predicted) / predicted;
+      worst_monolithic = std::max(worst_monolithic, rel);
+      table.add_row({"monolithic", bench::fmt(sample.tau0, 1),
+                     bench::fmt(sample.deadline, 0), bench::fmt(predicted, 4),
+                     bench::fmt(measured, 4), bench::fmt(rel, 4),
+                     std::to_string(metrics.inputs_missed)});
+      if (csv_out.is_open()) {
+        csv.row({"monolithic", bench::fmt(sample.tau0, 3),
+                 bench::fmt(sample.deadline, 0), bench::fmt(predicted, 6),
+                 bench::fmt(measured, 6), bench::fmt(rel, 6),
+                 std::to_string(metrics.inputs_missed)});
+      }
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nworst relative error — enforced: "
+            << bench::fmt(worst_enforced, 4)
+            << ", monolithic: " << bench::fmt(worst_monolithic, 4)
+            << "  (elapsed " << bench::fmt(watch.elapsed_seconds(), 1) << " s)\n";
+  const bool ok = worst_enforced < 0.05 && worst_monolithic < 0.10;
+  std::cout << "optimizer and simulator closely match: " << (ok ? "yes" : "NO")
+            << std::endl;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+// Reproduces paper Table 1: properties of the NCBI BLAST streaming pipeline.
+//
+// Two views are printed:
+//   1. The canonical constants the paper measured on a GTX 2080 under
+//      MERCATOR (used verbatim by every other experiment).
+//   2. The same table *measured* from this repo's mini-BLAST substrate
+//      running real seed-match / expansion / extension computation over
+//      synthetic DNA (per-item abstract-op costs in place of GPU cycles).
+//      Absolute numbers differ from the paper's GPU measurements; the
+//      structure — a moderate filter, a u-capped expander, a strong filter,
+//      and an expensive final stage — must match.
+#include "bench_common.hpp"
+
+#include "blast/measure.hpp"
+#include "blast/sequence.hpp"
+#include "blast/stages.hpp"
+#include "dist/rng.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace ripple;
+  util::CliParser cli;
+  bench::add_common_options(cli);
+  cli.add_int("windows", 200000, "subject windows to stream when measuring");
+  bench::parse_or_exit(cli, argc, argv,
+                       "bench_table1 — reproduce paper Table 1");
+
+  bench::print_banner("Table 1: properties of the NCBI BLAST pipeline");
+
+  // ---- canonical table ----------------------------------------------------
+  const auto pipeline = blast::canonical_blast_pipeline();
+  util::TextTable canonical({"Node", "t_i (cycles)", "g_i", "gain model"});
+  for (NodeIndex i = 0; i < pipeline.size(); ++i) {
+    const bool sink = (i + 1 == pipeline.size());
+    canonical.add_row({std::to_string(i),
+                       bench::fmt(pipeline.service_time(i), 0),
+                       sink ? "N/A" : bench::fmt(pipeline.mean_gain(i), 4),
+                       sink ? "N/A" : pipeline.node(i).gain->name()});
+  }
+  std::cout << "Canonical (paper values, v = 128, u = 16):\n";
+  canonical.print(std::cout);
+
+  // ---- measured from the mini-BLAST substrate -----------------------------
+  const std::uint64_t windows =
+      cli.get_flag("full") ? 4 * static_cast<std::uint64_t>(cli.get_int("windows"))
+                           : static_cast<std::uint64_t>(cli.get_int("windows"));
+  dist::Xoshiro256 rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  blast::SequencePairConfig pair_config;  // 1 MiB subject, 64 KiB query
+  const auto pair = blast::make_sequence_pair(pair_config, rng);
+  blast::BlastStages::Config stage_config;
+  const blast::BlastStages stages(pair, stage_config);
+  blast::MeasureConfig measure_config;
+  measure_config.window_count = windows;
+  util::Stopwatch watch;
+  const auto measurement = blast::measure_pipeline(stages, measure_config);
+
+  util::TextTable measured(
+      {"Node", "stage", "inputs", "outputs", "g_i (measured)", "mean ops/input"});
+  static const char* kNames[4] = {"seed_filter", "seed_expand",
+                                  "ungapped_extend", "gapped_extend"};
+  for (std::size_t i = 0; i < blast::kStageCount; ++i) {
+    const auto& stage = measurement.stages[i];
+    measured.add_row({std::to_string(i), kNames[i],
+                      util::with_commas(stage.inputs),
+                      util::with_commas(stage.outputs),
+                      i + 1 == blast::kStageCount ? "N/A"
+                                                  : bench::fmt(stage.mean_gain(), 4),
+                      bench::fmt(stage.mean_ops(), 1)});
+  }
+  std::cout << "\nMeasured from the mini-BLAST substrate ("
+            << util::with_commas(windows) << " windows of a "
+            << pair_config.subject_length << "-base subject vs a "
+            << pair_config.query_length << "-base query, "
+            << bench::fmt(watch.elapsed_seconds(), 2) << " s):\n";
+  measured.print(std::cout);
+  std::cout << "\nalignments reported: "
+            << util::with_commas(measurement.alignments_reported) << "\n";
+
+  if (auto csv_out = bench::open_csv(cli); csv_out.is_open()) {
+    util::CsvWriter csv(csv_out);
+    csv.header({"node", "stage", "t_canonical", "g_canonical", "g_measured",
+                "ops_measured"});
+    for (std::size_t i = 0; i < blast::kStageCount; ++i) {
+      const bool sink = (i + 1 == blast::kStageCount);
+      csv.row({std::to_string(i), kNames[i],
+               bench::fmt(pipeline.service_time(i), 0),
+               sink ? "" : bench::fmt(pipeline.mean_gain(i), 6),
+               sink ? "" : bench::fmt(measurement.stages[i].mean_gain(), 6),
+               bench::fmt(measurement.stages[i].mean_ops(), 3)});
+    }
+  }
+
+  // Structural checks (exit nonzero if the substrate loses Table 1's shape).
+  const auto& s = measurement.stages;
+  const bool structure_ok =
+      s[0].mean_gain() > 0.0 && s[0].mean_gain() < 1.0 &&  // filter
+      s[1].mean_gain() >= 1.0 &&                            // expander
+      s[2].mean_gain() < s[0].mean_gain() &&                // strong filter
+      s[3].mean_ops() > s[0].mean_ops();                    // costly sink
+  std::cout << "structure matches Table 1: " << (structure_ok ? "yes" : "NO")
+            << std::endl;
+  return structure_ok ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// Gamma-ray-burst detection (paper Sections 1 and 7): an orbiting telescope
+// processes a photon stream and must alert ground instruments within a
+// bounded delay of a burst's photons arriving.
+//
+// Pipeline (modeled after the APT trigger chain the paper cites):
+//   stage 0 "hit_filter"  — reject detector noise (keeps ~30% of hits)
+//   stage 1 "cluster"     — group hits into track candidates, 0..8 per hit
+//   stage 2 "track_fit"   — fit candidates, keep plausible photons (~20%)
+//   stage 3 "burst_test"  — sliding significance test (sink)
+//
+// The twist relative to the paper's evaluation: photon arrivals are *bursty*
+// (quiet sky, then a burst). The enforced-waits schedule is chosen for the
+// long-run mean rate; the example shows it still bounds latency through
+// moderate bursts, and quantifies what happens in a hard burst.
+#include <iostream>
+
+#include "arrivals/arrival_process.hpp"
+#include "core/enforced_waits.hpp"
+#include "dist/rng.hpp"
+#include "sdf/pipeline.hpp"
+#include "sim/enforced_sim.hpp"
+#include "sim/trial_runner.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ripple;
+  auto fmt = [](double v, int p = 4) { return util::format_double(v, p); };
+
+  auto built = sdf::PipelineBuilder("apt-burst-trigger")
+                   .simd_width(64)
+                   .add_node("hit_filter", 150.0, dist::make_bernoulli(0.3))
+                   .add_node("cluster", 420.0, dist::make_censored_poisson(2.2, 8))
+                   .add_node("track_fit", 640.0, dist::make_bernoulli(0.2))
+                   .add_node("burst_test", 900.0, dist::make_deterministic(1))
+                   .build();
+  const sdf::PipelineSpec pipeline = std::move(built).take();
+
+  // Long-run mean photon gap and the alert deadline.
+  const Cycles mean_gap = 40.0;
+  const Cycles deadline = 6e4;
+
+  const core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{{1.0, 3.0, 6.0, 4.0}});
+  auto solved = strategy.solve(mean_gap, deadline);
+  if (!solved.ok()) {
+    std::cerr << "infeasible: " << solved.error().message << "\n";
+    return 1;
+  }
+  std::cout << "schedule for mean gap " << fmt(mean_gap, 0) << " cycles, alert "
+            << "deadline " << fmt(deadline, 0) << " cycles\n"
+            << "predicted active fraction: "
+            << fmt(solved.value().predicted_active_fraction) << "\n\n";
+
+  // Three sky models at the same long-run mean rate.
+  arrivals::BurstyArrivals::Config moderate;
+  moderate.tau_quiet = 45.0;
+  moderate.tau_burst = 25.0;
+  moderate.mean_quiet_dwell = 3e4;
+  moderate.mean_burst_dwell = 6e3;
+  arrivals::BurstyArrivals::Config grb;  // a hard gamma-ray burst
+  grb.tau_quiet = 60.0;
+  grb.tau_burst = 4.0;
+  grb.mean_quiet_dwell = 1.2e5;
+  grb.mean_burst_dwell = 8e3;
+
+  struct Sky {
+    std::string label;
+    arrivals::ArrivalFactory factory;
+  };
+  const Sky skies[] = {
+      {"steady sky (fixed rate)", arrivals::fixed_rate_factory(mean_gap)},
+      {"moderate variability", arrivals::bursty_factory(moderate)},
+      {"hard burst (GRB)", arrivals::bursty_factory(grb)},
+  };
+
+  util::TextTable table({"sky model", "mean gap", "miss-free trials",
+                         "mean miss frac", "active frac", "max latency"});
+  for (std::size_t s = 0; s < 3; ++s) {
+    const Sky& sky = skies[s];
+    auto trial_fn = [&, s](std::uint64_t trial) {
+      auto arrival_process = sky.factory();
+      sim::EnforcedSimConfig config;
+      config.input_count = 20000;
+      config.deadline = deadline;
+      config.seed = dist::derive_seed({0x6BB, s, trial});
+      return sim::simulate_enforced_waits(
+          pipeline, solved.value().firing_intervals, *arrival_process, config);
+    };
+    const auto summary = sim::run_trials(trial_fn, 15);
+    table.add_row({sky.label, fmt(sky.factory()->mean_interarrival(), 1),
+                   fmt(summary.miss_free_fraction(), 3),
+                   fmt(summary.miss_fraction.mean(), 5),
+                   fmt(summary.active_fraction.mean(), 4),
+                   fmt(summary.latency_max.max(), 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nMisses grow with sky burstiness: the schedule's b_i were "
+               "calibrated for the fixed-rate model, so a hard GRB overruns "
+               "the transient-queue allowance — exactly why the paper's "
+               "future work calls for arrival models beyond fixed rate. "
+               "Re-calibrating the b_i against the bursty model (see "
+               "examples/calibrate_pipeline.cpp) restores the bound at the "
+               "cost of a larger deadline budget.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Schedule advisor: given an operating point, explain what limits the
+// schedule and what a designer would gain from relaxing it — then export the
+// machine-readable schedule for downstream tooling.
+//
+// Demonstrates the sensitivity API (core/robustness.hpp): the deadline
+// multiplier lambda = -dT*/dD prices deadline slack in active-fraction per
+// cycle, and the per-constraint slacks identify the bottleneck (arrival
+// rate, a chain coupling, or the deadline itself).
+#include <iostream>
+#include <sstream>
+
+#include "blast/canonical.hpp"
+#include "core/report.hpp"
+#include "core/robustness.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ripple;
+  auto fmt = [](double v, int p = 4) { return util::format_double(v, p); };
+
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+
+  util::TextTable table({"tau0", "D", "active frac", "bottleneck",
+                         "dAF per +1k cycles of D", "advice"});
+  struct Point {
+    double tau0, deadline;
+  };
+  for (const Point& point : {Point{3.0, 3.5e5}, Point{20.0, 6e4},
+                             Point{100.0, 1e5}, Point{100.0, 3.5e5}}) {
+    auto analysis =
+        core::analyze_sensitivity(strategy, point.tau0, point.deadline);
+    if (!analysis.ok()) {
+      table.add_row({fmt(point.tau0, 1), fmt(point.deadline, 0), "--",
+                     "infeasible", "--", analysis.error().message.substr(0, 40)});
+      continue;
+    }
+    const auto& s = analysis.value();
+    auto solved = strategy.solve(point.tau0, point.deadline);
+    std::string advice;
+    const bool deadline_valuable = s.deadline_multiplier * 1000.0 > 1e-3;
+    if (s.bottleneck == "rate" && !deadline_valuable) {
+      advice = "rate-capped and deadline saturated: buy SIMD width or shed load";
+    } else if (s.bottleneck == "rate") {
+      advice = "node 0 is rate-capped but later stages still convert D into idleness";
+    } else if (s.bottleneck == "chain") {
+      advice = "an expanding stage gates its neighbor; rebalance stage costs";
+    } else if (deadline_valuable) {
+      advice = "deadline slack is valuable here; negotiate a looser D";
+    } else {
+      advice = "deep in diminishing returns; schedule is near its floor";
+    }
+    table.add_row({fmt(point.tau0, 1), fmt(point.deadline, 0),
+                   fmt(solved.value().predicted_active_fraction),
+                   s.bottleneck, fmt(s.deadline_multiplier * 1000.0, 5),
+                   advice});
+  }
+  table.print(std::cout);
+
+  // Machine-readable export of one schedule (the JSON schema is documented
+  // in core/report.hpp).
+  auto solved = strategy.solve(20.0, 1.85e5);
+  std::ostringstream json;
+  core::write_enforced_schedule_json(
+      json, pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()},
+      solved.value(), 20.0, 1.85e5);
+  std::cout << "\nexported schedule JSON (tau0 = 20, D = 185000):\n"
+            << json.str();
+  return 0;
+}

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Render Figure 3 / Figure 4 style heatmaps from a sweep surface CSV.
+
+Dependency-free (stdlib only): reads the CSV written by the bench harnesses
+(`bench_fig*  --csv FILE` or `ripple_cli sweep --csv FILE`) and emits SVG
+heatmaps of the enforced-waits surface, the monolithic surface, and their
+difference (the paper's Figures 3 and 4).
+
+Usage:
+    bench_fig4_difference --csv surface.csv
+    python3 scripts/plot_surfaces.py surface.csv --out-dir figures/
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_surface(path):
+    """Return (tau0s, deadlines, cells) with cells[(tau0, D)] = row dict."""
+    cells = {}
+    tau0s, deadlines = [], []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            tau0 = float(row["tau0"])
+            deadline = float(row["deadline"])
+            if tau0 not in tau0s:
+                tau0s.append(tau0)
+            if deadline not in deadlines:
+                deadlines.append(deadline)
+            cells[(tau0, deadline)] = {
+                "enforced": float(row["enforced_active_fraction"]),
+                "enforced_ok": row["enforced_feasible"] == "1",
+                "monolithic": float(row["monolithic_active_fraction"]),
+                "monolithic_ok": row["monolithic_feasible"] == "1",
+                "difference": float(row["difference"]),
+            }
+    return sorted(tau0s), sorted(deadlines), cells
+
+
+def lerp(a, b, t):
+    return a + (b - a) * t
+
+
+def sequential_color(t):
+    """0 -> near-white, 1 -> deep blue (active fraction)."""
+    t = max(0.0, min(1.0, t))
+    r = int(lerp(247, 8, t))
+    g = int(lerp(251, 48, t))
+    b = int(lerp(255, 107, t))
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def diverging_color(t):
+    """-1 -> red (monolithic wins), 0 -> white, +1 -> green (enforced wins)."""
+    t = max(-1.0, min(1.0, t))
+    if t >= 0:
+        r = int(lerp(255, 0, t))
+        g = int(lerp(255, 128, t))
+        b = int(lerp(255, 64, t))
+    else:
+        r = int(lerp(255, 178, -t))
+        g = int(lerp(255, 24, -t))
+        b = int(lerp(255, 43, -t))
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def render_heatmap(tau0s, deadlines, value_of, color_of, title, path,
+                   cell_w=42, cell_h=22, margin=90):
+    width = margin + cell_w * len(deadlines) + 20
+    height = margin + cell_h * len(tau0s) + 60
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<text x="{margin}" y="20" font-size="14">{title}</text>',
+        f'<text x="{margin}" y="38" fill="#555">rows: tau0 (cycles); '
+        f"columns: deadline D (cycles)</text>",
+    ]
+    for col, deadline in enumerate(deadlines):
+        x = margin + col * cell_w
+        parts.append(
+            f'<text x="{x + 2}" y="{margin - 8}" fill="#333" '
+            f'transform="rotate(-35 {x + 2} {margin - 8})">{deadline:g}</text>'
+        )
+    for row, tau0 in enumerate(tau0s):
+        y = margin + row * cell_h
+        parts.append(
+            f'<text x="{margin - 8}" y="{y + cell_h * 0.7}" fill="#333" '
+            f'text-anchor="end">{tau0:g}</text>'
+        )
+        for col, deadline in enumerate(deadlines):
+            x = margin + col * cell_w
+            value = value_of(tau0, deadline)
+            if value is None:
+                parts.append(
+                    f'<rect x="{x}" y="{y}" width="{cell_w - 1}" '
+                    f'height="{cell_h - 1}" fill="#ddd"/>'
+                )
+                parts.append(
+                    f'<text x="{x + 4}" y="{y + cell_h * 0.7}" '
+                    f'fill="#888">--</text>'
+                )
+            else:
+                parts.append(
+                    f'<rect x="{x}" y="{y}" width="{cell_w - 1}" '
+                    f'height="{cell_h - 1}" fill="{color_of(value)}"/>'
+                )
+                luminous = abs(value) < 0.45
+                fill = "#222" if luminous else "#fff"
+                parts.append(
+                    f'<text x="{x + 3}" y="{y + cell_h * 0.7}" '
+                    f'fill="{fill}">{value:.2f}</text>'
+                )
+    parts.append("</svg>")
+    with open(path, "w") as handle:
+        handle.write("\n".join(parts) + "\n")
+    print(f"wrote {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv", help="surface CSV from a bench or ripple_cli sweep")
+    parser.add_argument("--out-dir", default=".", help="output directory")
+    args = parser.parse_args()
+
+    tau0s, deadlines, cells = read_surface(args.csv)
+    if not cells:
+        print("no cells in input", file=sys.stderr)
+        return 2
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    def enforced(tau0, deadline):
+        cell = cells[(tau0, deadline)]
+        return cell["enforced"] if cell["enforced_ok"] else None
+
+    def monolithic(tau0, deadline):
+        cell = cells[(tau0, deadline)]
+        return cell["monolithic"] if cell["monolithic_ok"] else None
+
+    def difference(tau0, deadline):
+        cell = cells[(tau0, deadline)]
+        if not cell["enforced_ok"] and not cell["monolithic_ok"]:
+            return None
+        return cell["difference"]
+
+    render_heatmap(
+        tau0s, deadlines, enforced, sequential_color,
+        "Figure 3 (left): enforced-waits active fraction",
+        os.path.join(args.out_dir, "fig3_enforced.svg"))
+    render_heatmap(
+        tau0s, deadlines, monolithic, sequential_color,
+        "Figure 3 (right): monolithic active fraction",
+        os.path.join(args.out_dir, "fig3_monolithic.svg"))
+    render_heatmap(
+        tau0s, deadlines, difference, diverging_color,
+        "Figure 4: monolithic minus enforced-waits (green = enforced wins)",
+        os.path.join(args.out_dir, "fig4_difference.svg"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure plus the ablations, at the paper's full
+# scale, collecting console output, CSV series and rendered SVG figures into
+# results/. Run from the repository root after building.
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-results}"
+SCALE_FLAG="${SCALE_FLAG:---full}"
+
+mkdir -p "$OUT_DIR"
+
+run() {
+  local name="$1"; shift
+  echo "== $name $*"
+  "$BUILD_DIR/bench/$name" "$@" | tee "$OUT_DIR/$name.txt"
+}
+
+run bench_table1 "$SCALE_FLAG" --csv "$OUT_DIR/table1.csv"
+run bench_fig3_enforced "$SCALE_FLAG" --csv "$OUT_DIR/fig3_enforced.csv"
+run bench_fig3_monolithic "$SCALE_FLAG" --csv "$OUT_DIR/fig3_monolithic.csv"
+run bench_fig4_difference "$SCALE_FLAG" --csv "$OUT_DIR/fig4_surface.csv" \
+    --json "$OUT_DIR/fig4_surface.json"
+run bench_calibration "$SCALE_FLAG" --csv "$OUT_DIR/calibration.csv"
+run bench_predict_vs_sim "$SCALE_FLAG" --csv "$OUT_DIR/predict_vs_sim.csv"
+run bench_feasibility_frontier --csv "$OUT_DIR/feasibility.csv"
+run bench_gain_sensitivity "$SCALE_FLAG" --csv "$OUT_DIR/gain_sensitivity.csv"
+run bench_ablation_arrivals "$SCALE_FLAG" --csv "$OUT_DIR/ablation_arrivals.csv"
+run bench_ablation_vacation "$SCALE_FLAG" --csv "$OUT_DIR/ablation_vacation.csv"
+run bench_ablation_quantum "$SCALE_FLAG" --csv "$OUT_DIR/ablation_quantum.csv"
+run bench_ablation_phase "$SCALE_FLAG" --csv "$OUT_DIR/ablation_phase.csv"
+run bench_queueing_prediction "$SCALE_FLAG" --csv "$OUT_DIR/queueing_prediction.csv"
+run bench_baseline_throughput "$SCALE_FLAG" --csv "$OUT_DIR/baseline_throughput.csv"
+"$BUILD_DIR/bench/bench_micro" | tee "$OUT_DIR/bench_micro.txt"
+
+python3 scripts/plot_surfaces.py "$OUT_DIR/fig4_surface.csv" \
+    --out-dir "$OUT_DIR/figures"
+
+echo
+echo "all experiments done; outputs in $OUT_DIR/"

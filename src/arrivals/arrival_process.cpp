@@ -1,0 +1,124 @@
+#include "arrivals/arrival_process.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/string_utils.hpp"
+
+namespace ripple::arrivals {
+
+namespace {
+/// Exponential variate with the given mean, from a uniform draw. Guards the
+/// log against u == 0.
+Cycles exponential(dist::Xoshiro256& rng, Cycles mean) {
+  const double u = std::max(rng.uniform01(), 1e-300);
+  return -mean * std::log(u);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- FixedRate
+
+FixedRateArrivals::FixedRateArrivals(Cycles tau0) : tau0_(tau0) {
+  RIPPLE_REQUIRE(tau0 > 0.0, "tau0 must be positive");
+}
+Cycles FixedRateArrivals::next_interarrival(dist::Xoshiro256&) { return tau0_; }
+Cycles FixedRateArrivals::mean_interarrival() const { return tau0_; }
+std::string FixedRateArrivals::name() const {
+  return "fixed(tau0=" + util::format_double(tau0_, 6) + ")";
+}
+
+// ------------------------------------------------------------------ Poisson
+
+PoissonArrivals::PoissonArrivals(Cycles tau0) : tau0_(tau0) {
+  RIPPLE_REQUIRE(tau0 > 0.0, "tau0 must be positive");
+}
+Cycles PoissonArrivals::next_interarrival(dist::Xoshiro256& rng) {
+  return exponential(rng, tau0_);
+}
+Cycles PoissonArrivals::mean_interarrival() const { return tau0_; }
+std::string PoissonArrivals::name() const {
+  return "poisson(tau0=" + util::format_double(tau0_, 6) + ")";
+}
+
+// ------------------------------------------------------------------- Bursty
+
+BurstyArrivals::BurstyArrivals(const Config& config) : config_(config) {
+  RIPPLE_REQUIRE(config.tau_quiet > 0.0 && config.tau_burst > 0.0,
+                 "state rates must be positive");
+  RIPPLE_REQUIRE(config.mean_quiet_dwell > 0.0 && config.mean_burst_dwell > 0.0,
+                 "dwell times must be positive");
+}
+
+Cycles BurstyArrivals::next_interarrival(dist::Xoshiro256& rng) {
+  if (!state_initialized_) {
+    in_burst_ = false;
+    state_remaining_ = exponential(rng, config_.mean_quiet_dwell);
+    state_initialized_ = true;
+  }
+  Cycles gap = 0.0;
+  while (true) {
+    const Cycles tau = in_burst_ ? config_.tau_burst : config_.tau_quiet;
+    const Cycles candidate = exponential(rng, tau);
+    if (candidate <= state_remaining_) {
+      state_remaining_ -= candidate;
+      gap += candidate;
+      return gap;
+    }
+    // The state switches before the candidate arrival happens: advance time
+    // to the switch point and resample in the new state (memorylessness of
+    // the exponential makes this exact).
+    gap += state_remaining_;
+    in_burst_ = !in_burst_;
+    state_remaining_ = exponential(
+        rng, in_burst_ ? config_.mean_burst_dwell : config_.mean_quiet_dwell);
+  }
+}
+
+Cycles BurstyArrivals::mean_interarrival() const {
+  // Long-run arrival rate: time-weighted mix of the two state rates.
+  const double quiet_weight =
+      config_.mean_quiet_dwell / (config_.mean_quiet_dwell + config_.mean_burst_dwell);
+  const double rate = quiet_weight / config_.tau_quiet +
+                      (1.0 - quiet_weight) / config_.tau_burst;
+  return 1.0 / rate;
+}
+
+std::string BurstyArrivals::name() const {
+  return "bursty(quiet=" + util::format_double(config_.tau_quiet, 4) +
+         ", burst=" + util::format_double(config_.tau_burst, 4) + ")";
+}
+
+// -------------------------------------------------------------------- Trace
+
+TraceArrivals::TraceArrivals(std::vector<Cycles> gaps) : gaps_(std::move(gaps)) {
+  RIPPLE_REQUIRE(!gaps_.empty(), "trace must contain at least one gap");
+  for (Cycles g : gaps_) RIPPLE_REQUIRE(g >= 0.0, "gaps must be non-negative");
+  mean_ = std::accumulate(gaps_.begin(), gaps_.end(), 0.0) /
+          static_cast<double>(gaps_.size());
+  RIPPLE_REQUIRE(mean_ > 0.0, "trace mean gap must be positive");
+}
+
+Cycles TraceArrivals::next_interarrival(dist::Xoshiro256&) {
+  const Cycles gap = gaps_[next_];
+  next_ = (next_ + 1) % gaps_.size();
+  return gap;
+}
+Cycles TraceArrivals::mean_interarrival() const { return mean_; }
+std::string TraceArrivals::name() const {
+  return "trace(n=" + std::to_string(gaps_.size()) + ")";
+}
+
+// ----------------------------------------------------------------- factories
+
+ArrivalFactory fixed_rate_factory(Cycles tau0) {
+  return [tau0] { return std::make_unique<FixedRateArrivals>(tau0); };
+}
+ArrivalFactory poisson_factory(Cycles tau0) {
+  return [tau0] { return std::make_unique<PoissonArrivals>(tau0); };
+}
+ArrivalFactory bursty_factory(const BurstyArrivals::Config& config) {
+  return [config] { return std::make_unique<BurstyArrivals>(config); };
+}
+
+}  // namespace ripple::arrivals

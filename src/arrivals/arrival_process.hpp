@@ -1,0 +1,109 @@
+// Input arrival processes.
+//
+// The paper assumes items arrive at a fixed rate rho0 (one per tau0 cycles);
+// its future-work section names Poisson arrivals as the natural
+// generalization. We provide both plus a two-state bursty (MMPP-style)
+// process for the gamma-ray-burst example and a trace-driven process for
+// replaying recorded streams.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/rng.hpp"
+#include "util/types.hpp"
+
+namespace ripple::arrivals {
+
+/// Generator of inter-arrival gaps. Stateful: construct one per trial.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Time from the previous arrival to the next one (> 0 unless a trace says
+  /// otherwise).
+  virtual Cycles next_interarrival(dist::Xoshiro256& rng) = 0;
+
+  /// Long-run mean inter-arrival time tau0 (1/rho0).
+  virtual Cycles mean_interarrival() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using ArrivalPtr = std::unique_ptr<ArrivalProcess>;
+
+/// Exactly one item per tau0 cycles (the paper's model).
+class FixedRateArrivals final : public ArrivalProcess {
+ public:
+  explicit FixedRateArrivals(Cycles tau0);
+  Cycles next_interarrival(dist::Xoshiro256& rng) override;
+  Cycles mean_interarrival() const override;
+  std::string name() const override;
+
+ private:
+  Cycles tau0_;
+};
+
+/// Poisson arrivals with mean gap tau0 (exponential inter-arrival).
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(Cycles tau0);
+  Cycles next_interarrival(dist::Xoshiro256& rng) override;
+  Cycles mean_interarrival() const override;
+  std::string name() const override;
+
+ private:
+  Cycles tau0_;
+};
+
+/// Two-state Markov-modulated Poisson process: a "quiet" state with mean gap
+/// tau_quiet and a "burst" state with mean gap tau_burst; state dwell times
+/// are exponential with the given means. Models sensor streams with episodic
+/// activity (e.g. gamma-ray bursts).
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  struct Config {
+    Cycles tau_quiet = 100.0;
+    Cycles tau_burst = 5.0;
+    Cycles mean_quiet_dwell = 1e5;
+    Cycles mean_burst_dwell = 1e4;
+  };
+  explicit BurstyArrivals(const Config& config);
+
+  Cycles next_interarrival(dist::Xoshiro256& rng) override;
+  Cycles mean_interarrival() const override;
+  std::string name() const override;
+
+  bool in_burst() const noexcept { return in_burst_; }
+
+ private:
+  Config config_;
+  bool in_burst_ = false;
+  Cycles state_remaining_ = 0.0;
+  bool state_initialized_ = false;
+};
+
+/// Replays a fixed gap sequence, then repeats it.
+class TraceArrivals final : public ArrivalProcess {
+ public:
+  explicit TraceArrivals(std::vector<Cycles> gaps);
+  Cycles next_interarrival(dist::Xoshiro256& rng) override;
+  Cycles mean_interarrival() const override;
+  std::string name() const override;
+
+ private:
+  std::vector<Cycles> gaps_;
+  std::size_t next_ = 0;
+  Cycles mean_ = 0.0;
+};
+
+/// Factory callback type: trial runners construct a fresh process per trial.
+using ArrivalFactory = std::function<ArrivalPtr()>;
+
+ArrivalFactory fixed_rate_factory(Cycles tau0);
+ArrivalFactory poisson_factory(Cycles tau0);
+ArrivalFactory bursty_factory(const BurstyArrivals::Config& config);
+
+}  // namespace ripple::arrivals

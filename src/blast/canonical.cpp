@@ -1,0 +1,28 @@
+#include "blast/canonical.hpp"
+
+#include "dist/gain.hpp"
+#include "util/assert.hpp"
+
+namespace ripple::blast {
+
+sdf::PipelineSpec canonical_blast_pipeline() {
+  auto spec =
+      sdf::PipelineBuilder("blast(table1)")
+          .simd_width(Table1::kSimdWidth)
+          .add_node("seed_filter", Table1::kServiceTimes[0],
+                    dist::make_bernoulli(Table1::kGains[0]))
+          .add_node("seed_expand", Table1::kServiceTimes[1],
+                    dist::make_censored_poisson(Table1::kGains[1],
+                                                Table1::kMaxExpansion))
+          .add_node("ungapped_extend", Table1::kServiceTimes[2],
+                    dist::make_bernoulli(Table1::kGains[2]))
+          .add_node("gapped_extend", Table1::kServiceTimes[3],
+                    dist::make_deterministic(1))
+          .build();
+  RIPPLE_REQUIRE(spec.ok(), "canonical pipeline must validate");
+  return std::move(spec).take();
+}
+
+std::vector<double> paper_calibrated_b() { return {1.0, 3.0, 9.0, 6.0}; }
+
+}  // namespace ripple::blast

@@ -1,0 +1,27 @@
+// The canonical BLAST pipeline of the paper's Table 1.
+#pragma once
+
+#include "sdf/pipeline.hpp"
+
+namespace ripple::blast {
+
+/// Table 1 constants (measured by the paper on an NVidia GTX 2080 under the
+/// MERCATOR framework, human genome vs. 64-kilobase microbial query).
+struct Table1 {
+  static constexpr std::uint32_t kSimdWidth = 128;  ///< v
+  static constexpr std::uint32_t kMaxExpansion = 16;  ///< u (stage 1 cap)
+  static constexpr double kServiceTimes[4] = {287.0, 955.0, 402.0, 2753.0};
+  static constexpr double kGains[3] = {0.379, 1.920, 0.0332};  ///< g_0..g_2
+};
+
+/// The paper's stochastic model of the pipeline (Section 6.1): stages 0 and 2
+/// produce one output with probability g_i (Bernoulli), stage 1 is Poisson
+/// with mean g_1 censored at u = 16, and the sink's gain is N/A
+/// (deterministic 1 here, unused by scheduling).
+sdf::PipelineSpec canonical_blast_pipeline();
+
+/// The paper's calibrated worst-case multipliers b = {1, 3, 9, 6}
+/// (Section 6.2).
+std::vector<double> paper_calibrated_b();
+
+}  // namespace ripple::blast

@@ -1,0 +1,73 @@
+#include "blast/index.hpp"
+
+#include "util/assert.hpp"
+
+namespace ripple::blast {
+
+KmerCode encode_kmer(const Sequence& sequence, std::size_t offset,
+                     std::size_t k) {
+  RIPPLE_REQUIRE(k >= 1 && k <= kMaxK, "k out of range");
+  RIPPLE_REQUIRE(offset + k <= sequence.size(), "k-mer exceeds sequence");
+  KmerCode code = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    code = (code << 2) | sequence[offset + i];
+  }
+  return code;
+}
+
+KmerIndex::KmerIndex(const Sequence& query, std::size_t k)
+    : k_(k), query_length_(query.size()) {
+  RIPPLE_REQUIRE(k >= 1 && k <= 12, "index k must be in [1, 12]");
+  RIPPLE_REQUIRE(query.size() >= k, "query shorter than k");
+
+  const std::size_t buckets = std::size_t{1} << (2 * k);
+  const std::size_t kmer_count = query.size() - k + 1;
+
+  // Counting sort into CSR: count occurrences per code, prefix-sum, fill.
+  std::vector<std::uint32_t> counts(buckets, 0);
+  // Rolling code: shift in one base at a time.
+  const KmerCode mask = static_cast<KmerCode>(buckets - 1);
+  KmerCode code = encode_kmer(query, 0, k);
+  ++counts[code];
+  for (std::size_t pos = 1; pos < kmer_count; ++pos) {
+    code = ((code << 2) | query[pos + k - 1]) & mask;
+    ++counts[code];
+  }
+
+  offsets_.resize(buckets + 1, 0);
+  for (std::size_t c = 0; c < buckets; ++c) {
+    offsets_[c + 1] = offsets_[c] + counts[c];
+  }
+  positions_.resize(kmer_count);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  code = encode_kmer(query, 0, k);
+  positions_[cursor[code]++] = 0;
+  for (std::size_t pos = 1; pos < kmer_count; ++pos) {
+    code = ((code << 2) | query[pos + k - 1]) & mask;
+    positions_[cursor[code]++] = static_cast<std::uint32_t>(pos);
+  }
+}
+
+const std::uint32_t* KmerIndex::positions(KmerCode code,
+                                          std::size_t& count) const {
+  RIPPLE_REQUIRE(static_cast<std::size_t>(code) + 1 < offsets_.size(),
+                 "k-mer code out of range");
+  count = offsets_[code + 1] - offsets_[code];
+  return positions_.data() + offsets_[code];
+}
+
+bool KmerIndex::contains(KmerCode code) const {
+  std::size_t count = 0;
+  (void)positions(code, count);
+  return count > 0;
+}
+
+std::size_t KmerIndex::distinct_kmers() const {
+  std::size_t distinct = 0;
+  for (std::size_t c = 0; c + 1 < offsets_.size(); ++c) {
+    if (offsets_[c + 1] > offsets_[c]) ++distinct;
+  }
+  return distinct;
+}
+
+}  // namespace ripple::blast

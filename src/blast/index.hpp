@@ -1,0 +1,51 @@
+// K-mer index of the query sequence: the lookup structure behind BLAST's
+// seed-matching stage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blast/sequence.hpp"
+
+namespace ripple::blast {
+
+/// Packed 2-bit k-mer code; k is limited to 16 so codes fit in 32 bits.
+using KmerCode = std::uint32_t;
+
+inline constexpr std::size_t kMaxK = 16;
+
+/// Code of the k-mer starting at `offset` (caller guarantees it fits).
+KmerCode encode_kmer(const Sequence& sequence, std::size_t offset, std::size_t k);
+
+/// Direct-addressed k-mer index: for each possible k-mer code, the sorted
+/// list of query positions where it occurs. Memory is 4^k buckets, so k <= 12
+/// is practical; BLAST-style seeding uses k in [8, 12] for DNA.
+class KmerIndex {
+ public:
+  KmerIndex(const Sequence& query, std::size_t k);
+
+  std::size_t k() const noexcept { return k_; }
+  std::size_t query_length() const noexcept { return query_length_; }
+
+  /// Positions in the query where this code occurs (may be empty).
+  /// The returned span stays valid for the index's lifetime.
+  const std::uint32_t* positions(KmerCode code, std::size_t& count) const;
+
+  bool contains(KmerCode code) const;
+
+  /// Total number of indexed k-mer occurrences.
+  std::size_t total_occurrences() const noexcept { return positions_.size(); }
+
+  /// Number of distinct k-mer codes present.
+  std::size_t distinct_kmers() const;
+
+ private:
+  std::size_t k_;
+  std::size_t query_length_;
+  // CSR layout: positions_ holds all occurrence positions grouped by code;
+  // offsets_[code]..offsets_[code+1] delimit a code's run.
+  std::vector<std::uint32_t> positions_;
+  std::vector<std::uint32_t> offsets_;
+};
+
+}  // namespace ripple::blast

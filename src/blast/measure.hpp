@@ -1,0 +1,60 @@
+// Empirical measurement of per-stage gains and service costs by streaming
+// subject windows through the mini-BLAST stages — the analogue of the
+// paper's Table 1 measurement pass (theirs ran on a GTX 2080 under
+// MERCATOR; ours runs the same logical pipeline in software and counts
+// abstract operations).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "blast/stages.hpp"
+#include "sdf/pipeline.hpp"
+#include "util/result.hpp"
+
+namespace ripple::blast {
+
+inline constexpr std::size_t kStageCount = 4;
+
+struct StageMeasurement {
+  std::uint64_t inputs = 0;
+  std::uint64_t outputs = 0;
+  std::uint64_t total_ops = 0;
+  /// Histogram of outputs-per-input (index = output count).
+  std::vector<std::uint64_t> gain_histogram;
+
+  double mean_gain() const {
+    return inputs == 0 ? 0.0
+                       : static_cast<double>(outputs) / static_cast<double>(inputs);
+  }
+  double mean_ops() const {
+    return inputs == 0 ? 0.0
+                       : static_cast<double>(total_ops) / static_cast<double>(inputs);
+  }
+};
+
+struct PipelineMeasurement {
+  std::array<StageMeasurement, kStageCount> stages;
+  std::uint64_t windows_streamed = 0;
+  std::uint64_t alignments_reported = 0;
+
+  /// Convert to a schedulable PipelineSpec: gains become EmpiricalGain over
+  /// the measured histograms; service times are mean ops per input scaled by
+  /// `cycles_per_op` (one SIMD vector firing is charged the per-item serial
+  /// work, the lanes covering the vector width in parallel).
+  util::Result<sdf::PipelineSpec> to_pipeline_spec(std::uint32_t simd_width,
+                                                   double cycles_per_op = 1.0) const;
+};
+
+struct MeasureConfig {
+  std::uint64_t window_count = 200000;  ///< subject windows to stream
+  std::uint64_t stride = 1;             ///< step between windows
+  std::uint64_t start_offset = 0;
+};
+
+/// Stream windows through all four stages, collecting measurements.
+PipelineMeasurement measure_pipeline(const BlastStages& stages,
+                                     const MeasureConfig& config);
+
+}  // namespace ripple::blast

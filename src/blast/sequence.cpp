@@ -1,0 +1,64 @@
+#include "blast/sequence.hpp"
+
+#include "util/assert.hpp"
+
+namespace ripple::blast {
+
+Sequence random_sequence(std::size_t length, dist::Xoshiro256& rng) {
+  Sequence sequence(length);
+  for (Base& base : sequence) {
+    base = static_cast<Base>(rng.uniform_below(kAlphabetSize));
+  }
+  return sequence;
+}
+
+void plant_homology(const Sequence& source, std::size_t source_offset,
+                    Sequence& target, std::size_t target_offset,
+                    std::size_t segment_length, double mutation_rate,
+                    dist::Xoshiro256& rng) {
+  RIPPLE_REQUIRE(source_offset + segment_length <= source.size(),
+                 "homology exceeds source length");
+  RIPPLE_REQUIRE(target_offset + segment_length <= target.size(),
+                 "homology exceeds target length");
+  RIPPLE_REQUIRE(mutation_rate >= 0.0 && mutation_rate <= 1.0,
+                 "mutation rate must be a probability");
+  for (std::size_t i = 0; i < segment_length; ++i) {
+    Base base = source[source_offset + i];
+    if (rng.uniform01() < mutation_rate) {
+      // Substitute with one of the three other bases.
+      base = static_cast<Base>((base + 1 + rng.uniform_below(3)) % kAlphabetSize);
+    }
+    target[target_offset + i] = base;
+  }
+}
+
+SequencePair make_sequence_pair(const SequencePairConfig& config,
+                                dist::Xoshiro256& rng) {
+  RIPPLE_REQUIRE(config.homology_length <= config.query_length &&
+                     config.homology_length <= config.subject_length,
+                 "homology longer than a sequence");
+  SequencePair pair;
+  pair.subject = random_sequence(config.subject_length, rng);
+  pair.query = random_sequence(config.query_length, rng);
+  for (std::size_t h = 0; h < config.homology_count; ++h) {
+    const std::size_t subject_offset = static_cast<std::size_t>(
+        rng.uniform_below(config.subject_length - config.homology_length + 1));
+    const std::size_t query_offset = static_cast<std::size_t>(
+        rng.uniform_below(config.query_length - config.homology_length + 1));
+    plant_homology(pair.subject, subject_offset, pair.query, query_offset,
+                   config.homology_length, config.mutation_rate, rng);
+  }
+  return pair;
+}
+
+std::string to_string(const Sequence& sequence) {
+  static constexpr char kLetters[] = {'A', 'C', 'G', 'T'};
+  std::string text;
+  text.reserve(sequence.size());
+  for (Base base : sequence) {
+    text.push_back(base < kAlphabetSize ? kLetters[base] : '?');
+  }
+  return text;
+}
+
+}  // namespace ripple::blast

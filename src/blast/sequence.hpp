@@ -1,0 +1,56 @@
+// Synthetic DNA sequences for the mini-BLAST substrate.
+//
+// The paper measured its pipeline on the human genome vs. a 64-kilobase
+// microbial query — data we substitute with random DNA carrying planted
+// homologous segments, which reproduces the statistical structure the
+// pipeline stages respond to (background k-mer hit rate plus bursts of
+// related sequence).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/rng.hpp"
+
+namespace ripple::blast {
+
+/// Bases are coded 0..3 (A, C, G, T).
+using Base = std::uint8_t;
+using Sequence = std::vector<Base>;
+
+inline constexpr std::uint32_t kAlphabetSize = 4;
+
+/// Uniform random DNA of the given length.
+Sequence random_sequence(std::size_t length, dist::Xoshiro256& rng);
+
+/// Copy `segment_length` bases from `source` starting at `source_offset`
+/// into `target` at `target_offset`, mutating each base independently with
+/// probability `mutation_rate`. Models a homologous (evolutionarily related)
+/// region between subject and query.
+void plant_homology(const Sequence& source, std::size_t source_offset,
+                    Sequence& target, std::size_t target_offset,
+                    std::size_t segment_length, double mutation_rate,
+                    dist::Xoshiro256& rng);
+
+/// Convenience: a subject/query pair with several planted homologies.
+struct SequencePair {
+  Sequence subject;
+  Sequence query;
+};
+
+struct SequencePairConfig {
+  std::size_t subject_length = 1 << 20;  ///< stand-in for a genome chunk
+  std::size_t query_length = 64 * 1024;  ///< the paper's 64-kilobase query
+  std::size_t homology_count = 24;
+  std::size_t homology_length = 512;
+  double mutation_rate = 0.08;
+};
+
+SequencePair make_sequence_pair(const SequencePairConfig& config,
+                                dist::Xoshiro256& rng);
+
+/// Text rendering ("ACGT...") for debugging and tests.
+std::string to_string(const Sequence& sequence);
+
+}  // namespace ripple::blast

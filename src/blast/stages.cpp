@@ -1,0 +1,155 @@
+#include "blast/stages.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ripple::blast {
+
+BlastStages::BlastStages(const SequencePair& pair, const Config& config)
+    : pair_(pair), config_(config), index_(pair.query, config.k) {
+  RIPPLE_REQUIRE(config.max_hits_per_seed >= 1, "u must be at least 1");
+  RIPPLE_REQUIRE(config.match_score > 0, "match score must be positive");
+  RIPPLE_REQUIRE(config.mismatch_penalty < 0, "mismatch must be a penalty");
+  RIPPLE_REQUIRE(config.gap_penalty < 0, "gap must be a penalty");
+  RIPPLE_REQUIRE(pair.subject.size() >= config.k, "subject shorter than k");
+}
+
+std::size_t BlastStages::input_count() const noexcept {
+  return pair_.subject.size() - config_.k + 1;
+}
+
+bool BlastStages::seed_match(std::uint32_t subject_pos, StageCost& cost) const {
+  RIPPLE_REQUIRE(subject_pos < input_count(), "subject position out of range");
+  // Encode (k ops) plus one index probe.
+  const KmerCode code = encode_kmer(pair_.subject, subject_pos, config_.k);
+  cost.ops += config_.k + 1;
+  return index_.contains(code);
+}
+
+std::vector<HitItem> BlastStages::expand_seed(std::uint32_t subject_pos,
+                                              StageCost& cost) const {
+  RIPPLE_REQUIRE(subject_pos < input_count(), "subject position out of range");
+  const KmerCode code = encode_kmer(pair_.subject, subject_pos, config_.k);
+  cost.ops += config_.k + 1;
+  std::size_t count = 0;
+  const std::uint32_t* query_positions = index_.positions(code, count);
+  const std::size_t emitted =
+      std::min<std::size_t>(count, config_.max_hits_per_seed);
+  std::vector<HitItem> hits;
+  hits.reserve(emitted);
+  for (std::size_t i = 0; i < emitted; ++i) {
+    hits.push_back(HitItem{subject_pos, query_positions[i]});
+    ++cost.ops;
+  }
+  return hits;
+}
+
+int BlastStages::extend_direction(std::int64_t subject_start,
+                                  std::int64_t query_start, int direction,
+                                  StageCost& cost) const {
+  // Greedy ungapped walk: accumulate match/mismatch score until it falls
+  // more than xdrop below the best seen (or a sequence end).
+  int score = 0;
+  int best = 0;
+  std::int64_t s = subject_start;
+  std::int64_t q = query_start;
+  while (s >= 0 && q >= 0 &&
+         s < static_cast<std::int64_t>(pair_.subject.size()) &&
+         q < static_cast<std::int64_t>(pair_.query.size())) {
+    ++cost.ops;
+    score += (pair_.subject[static_cast<std::size_t>(s)] ==
+              pair_.query[static_cast<std::size_t>(q)])
+                 ? config_.match_score
+                 : config_.mismatch_penalty;
+    best = std::max(best, score);
+    if (best - score > config_.xdrop) break;
+    s += direction;
+    q += direction;
+  }
+  return best;
+}
+
+std::optional<ExtendedHit> BlastStages::ungapped_extend(const HitItem& hit,
+                                                        StageCost& cost) const {
+  const std::int64_t sp = hit.subject_pos;
+  const std::int64_t qp = hit.query_pos;
+  const int seed_score =
+      static_cast<int>(config_.k) * config_.match_score;  // exact k-mer match
+  const int right = extend_direction(sp + static_cast<std::int64_t>(config_.k),
+                                     qp + static_cast<std::int64_t>(config_.k),
+                                     +1, cost);
+  const int left = extend_direction(sp - 1, qp - 1, -1, cost);
+  const int total = seed_score + right + left;
+  if (total < config_.ungapped_threshold) return std::nullopt;
+  return ExtendedHit{hit.subject_pos, hit.query_pos, total};
+}
+
+Alignment BlastStages::gapped_extend(const ExtendedHit& hit,
+                                     StageCost& cost) const {
+  // Banded global-ish DP over a window centered on the hit: rows index the
+  // subject window, columns the query window, and only cells within
+  // band_radius of the diagonal are evaluated.
+  const std::int64_t w = static_cast<std::int64_t>(config_.gapped_window);
+  const std::int64_t band = static_cast<std::int64_t>(config_.band_radius);
+
+  const std::int64_t s_begin =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(hit.subject_pos) - w);
+  const std::int64_t s_end = std::min<std::int64_t>(
+      static_cast<std::int64_t>(pair_.subject.size()),
+      static_cast<std::int64_t>(hit.subject_pos) + w);
+  const std::int64_t q_begin =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(hit.query_pos) - w);
+  const std::int64_t q_end = std::min<std::int64_t>(
+      static_cast<std::int64_t>(pair_.query.size()),
+      static_cast<std::int64_t>(hit.query_pos) + w);
+
+  const std::int64_t rows = s_end - s_begin;
+  const std::int64_t cols = q_end - q_begin;
+  // Offset between the windows so the seed sits on the band's center
+  // diagonal.
+  const std::int64_t diag_shift =
+      (static_cast<std::int64_t>(hit.query_pos) - q_begin) -
+      (static_cast<std::int64_t>(hit.subject_pos) - s_begin);
+
+  constexpr int kMinScore = -(1 << 28);
+  // Two rolling rows of width cols+1 (DP over full width, band enforced by
+  // sentinel values outside it).
+  std::vector<int> previous(static_cast<std::size_t>(cols + 1), kMinScore);
+  std::vector<int> current(static_cast<std::size_t>(cols + 1), kMinScore);
+  previous[0] = 0;
+  int best = 0;
+  for (std::int64_t j = 1; j <= cols; ++j) {
+    if (j - diag_shift > band) break;
+    previous[static_cast<std::size_t>(j)] =
+        static_cast<int>(j) * config_.gap_penalty;
+  }
+
+  for (std::int64_t i = 1; i <= rows; ++i) {
+    std::fill(current.begin(), current.end(), kMinScore);
+    const std::int64_t center = i + diag_shift;
+    const std::int64_t j_lo = std::max<std::int64_t>(center - band, 0);
+    const std::int64_t j_hi = std::min<std::int64_t>(center + band, cols);
+    if (j_lo > cols || j_hi < 0) break;
+    if (j_lo == 0) current[0] = static_cast<int>(i) * config_.gap_penalty;
+    for (std::int64_t j = std::max<std::int64_t>(j_lo, 1); j <= j_hi; ++j) {
+      ++cost.ops;
+      const bool match =
+          pair_.subject[static_cast<std::size_t>(s_begin + i - 1)] ==
+          pair_.query[static_cast<std::size_t>(q_begin + j - 1)];
+      const int diagonal =
+          previous[static_cast<std::size_t>(j - 1)] +
+          (match ? config_.match_score : config_.mismatch_penalty);
+      const int up = previous[static_cast<std::size_t>(j)] + config_.gap_penalty;
+      const int leftv = current[static_cast<std::size_t>(j - 1)] + config_.gap_penalty;
+      const int cell = std::max({diagonal, up, leftv});
+      current[static_cast<std::size_t>(j)] = cell;
+      best = std::max(best, cell);
+    }
+    std::swap(previous, current);
+  }
+
+  return Alignment{hit.subject_pos, hit.query_pos, std::max(best, hit.ungapped_score)};
+}
+
+}  // namespace ripple::blast

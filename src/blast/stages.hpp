@@ -1,0 +1,94 @@
+// The four computational stages of the (mini-)BLAST pipeline, matching the
+// structure of the paper's Section 6.1 test application:
+//
+//   stage 0  seed filter      — does the subject window's k-mer occur in the
+//                               query index? (gain <= 1)
+//   stage 1  seed expansion   — enumerate up to u = 16 query positions for a
+//                               matching k-mer (the expanding stage)
+//   stage 2  ungapped extend  — X-drop extension; keep hits scoring above a
+//                               threshold (strong filter, gain << 1)
+//   stage 3  gapped extend    — banded gapped alignment of survivors (sink)
+//
+// Every stage also counts the abstract operations it performs so per-stage
+// service costs can be *measured* from real computation rather than assumed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "blast/index.hpp"
+#include "blast/sequence.hpp"
+
+namespace ripple::blast {
+
+/// Abstract work counter (base comparisons, DP cells, index probes).
+struct StageCost {
+  std::uint64_t ops = 0;
+};
+
+struct HitItem {
+  std::uint32_t subject_pos = 0;
+  std::uint32_t query_pos = 0;
+};
+
+struct ExtendedHit {
+  std::uint32_t subject_pos = 0;
+  std::uint32_t query_pos = 0;
+  int ungapped_score = 0;
+};
+
+struct Alignment {
+  std::uint32_t subject_pos = 0;
+  std::uint32_t query_pos = 0;
+  int score = 0;
+};
+
+class BlastStages {
+ public:
+  struct Config {
+    std::size_t k = 8;                    ///< seed length
+    std::uint32_t max_hits_per_seed = 16; ///< the paper's u
+    int match_score = 1;
+    int mismatch_penalty = -2;
+    int xdrop = 10;                       ///< ungapped X-drop threshold
+    int ungapped_threshold = 18;          ///< min score to pass stage 2
+    int gap_penalty = -3;
+    std::size_t band_radius = 6;          ///< gapped DP band half-width
+    std::size_t gapped_window = 64;       ///< gapped extension reach each way
+  };
+
+  /// Keeps a reference to `pair`; the caller owns the sequences.
+  BlastStages(const SequencePair& pair, const Config& config);
+
+  const Config& config() const noexcept { return config_; }
+  const KmerIndex& index() const noexcept { return index_; }
+
+  /// Number of valid subject windows (inputs to stage 0).
+  std::size_t input_count() const noexcept;
+
+  /// Stage 0: true if the subject k-mer at `subject_pos` occurs in the query.
+  bool seed_match(std::uint32_t subject_pos, StageCost& cost) const;
+
+  /// Stage 1: matching query positions, truncated to u.
+  std::vector<HitItem> expand_seed(std::uint32_t subject_pos,
+                                   StageCost& cost) const;
+
+  /// Stage 2: X-drop ungapped extension; engaged iff the score passes the
+  /// threshold.
+  std::optional<ExtendedHit> ungapped_extend(const HitItem& hit,
+                                             StageCost& cost) const;
+
+  /// Stage 3: banded gapped alignment around the extended hit.
+  Alignment gapped_extend(const ExtendedHit& hit, StageCost& cost) const;
+
+ private:
+  int extend_direction(std::int64_t subject_start, std::int64_t query_start,
+                       int direction, StageCost& cost) const;
+
+  const SequencePair& pair_;
+  Config config_;
+  KmerIndex index_;
+};
+
+}  // namespace ripple::blast

@@ -1,0 +1,173 @@
+#include "cascade/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ripple::cascade {
+
+bool CascadeStage::evaluate(const IntegralImage& integral, std::size_t wx,
+                            std::size_t wy, std::uint64_t& ops) const {
+  std::uint32_t votes = 0;
+  for (const Stump& stump : stumps) {
+    votes += stump.vote(stump.feature.evaluate(integral, wx, wy, ops));
+  }
+  return votes >= vote_threshold;
+}
+
+const CascadeStage& Detector::stage(std::size_t s) const {
+  RIPPLE_REQUIRE(s < stages_.size(), "stage index out of range");
+  return stages_[s];
+}
+
+bool Detector::stage_pass(std::size_t s, const IntegralImage& integral,
+                          std::size_t wx, std::size_t wy,
+                          std::uint64_t& ops) const {
+  return stage(s).evaluate(integral, wx, wy, ops);
+}
+
+std::optional<std::size_t> Detector::first_rejecting_stage(
+    const IntegralImage& integral, std::size_t wx, std::size_t wy,
+    std::uint64_t& ops) const {
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (!stages_[s].evaluate(integral, wx, wy, ops)) return s;
+  }
+  return std::nullopt;
+}
+
+util::Result<Detector> Detector::train(const Scene& scene,
+                                       const DetectorConfig& config,
+                                       dist::Xoshiro256& rng) {
+  using R = util::Result<Detector>;
+  if (config.stage_sizes.empty() ||
+      config.stage_sizes.size() != config.stage_pass_rates.size()) {
+    return R::failure("bad_config",
+                      "stage_sizes and stage_pass_rates must match and be "
+                      "non-empty");
+  }
+  for (double rate : config.stage_pass_rates) {
+    if (rate <= 0.0 || rate >= 1.0) {
+      return R::failure("bad_config", "pass rates must be in (0, 1)");
+    }
+  }
+  if (scene.image.width() < config.window ||
+      scene.image.height() < config.window) {
+    return R::failure("bad_config", "scene smaller than the window");
+  }
+
+  const IntegralImage integral(scene.image);
+  const std::size_t max_x = scene.image.width() - config.window;
+  const std::size_t max_y = scene.image.height() - config.window;
+
+  // Calibration sample of background window origins.
+  std::vector<std::pair<std::size_t, std::size_t>> sample;
+  sample.reserve(config.calibration_windows);
+  for (std::size_t i = 0; i < config.calibration_windows; ++i) {
+    sample.emplace_back(rng.uniform_below(max_x + 1),
+                        rng.uniform_below(max_y + 1));
+  }
+
+  Detector detector;
+  detector.window_ = config.window;
+
+  std::uint64_t scratch_ops = 0;
+  for (std::size_t s = 0; s < config.stage_sizes.size(); ++s) {
+    CascadeStage stage;
+    stage.stumps.reserve(config.stage_sizes[s]);
+    for (std::size_t f = 0; f < config.stage_sizes[s]; ++f) {
+      Stump stump;
+      stump.feature = random_feature(config.window, rng);
+      // Stump threshold: the median background response, so each stump votes
+      // on roughly half the background.
+      std::vector<std::int64_t> responses;
+      responses.reserve(sample.size());
+      for (const auto& [wx, wy] : sample) {
+        responses.push_back(
+            stump.feature.evaluate(integral, wx, wy, scratch_ops));
+      }
+      std::nth_element(responses.begin(),
+                       responses.begin() + responses.size() / 2,
+                       responses.end());
+      stump.threshold = responses[responses.size() / 2];
+      // Orient the stump toward the planted objects: pick the polarity under
+      // which more object windows vote (the median threshold keeps the
+      // background rate near 1/2 either way).
+      std::size_t object_votes_high = 0;
+      for (const auto& [ox, oy] : scene.object_origins) {
+        object_votes_high +=
+            stump.feature.evaluate(integral, ox, oy, scratch_ops) >
+            stump.threshold;
+      }
+      stump.invert = 2 * object_votes_high < scene.object_origins.size();
+      stage.stumps.push_back(std::move(stump));
+    }
+
+    // Stage vote threshold: smallest count whose background pass rate is at
+    // or below the target.
+    std::vector<std::uint32_t> votes(sample.size(), 0);
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      for (const Stump& stump : stage.stumps) {
+        votes[i] += stump.vote(stump.feature.evaluate(
+            integral, sample[i].first, sample[i].second, scratch_ops));
+      }
+    }
+    const double target = config.stage_pass_rates[s];
+    std::uint32_t chosen = 0;
+    bool found = false;
+    for (std::uint32_t candidate = 0; candidate <= stage.stumps.size() + 1;
+         ++candidate) {
+      std::size_t passing = 0;
+      for (std::uint32_t v : votes) passing += (v >= candidate);
+      const double rate =
+          static_cast<double>(passing) / static_cast<double>(sample.size());
+      if (rate <= target) {
+        chosen = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return R::failure("degenerate",
+                        "stage " + std::to_string(s) +
+                            " cannot reach its target pass rate");
+    }
+    stage.vote_threshold = chosen;
+
+    // Survivors of this stage form the calibration sample for the next, so
+    // later stages are calibrated on the conditional distribution they will
+    // actually see.
+    std::vector<std::pair<std::size_t, std::size_t>> survivors;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      if (votes[i] >= stage.vote_threshold) survivors.push_back(sample[i]);
+    }
+    // Top up with fresh windows if the sample is running thin, so threshold
+    // estimates stay usable deep in the cascade (bounded effort: deep-stage
+    // survivors are rare by design).
+    std::size_t attempts = 0;
+    while (survivors.size() < 256 && s + 1 < config.stage_sizes.size() &&
+           attempts < 200000) {
+      ++attempts;
+      const std::size_t wx = rng.uniform_below(max_x + 1);
+      const std::size_t wy = rng.uniform_below(max_y + 1);
+      std::uint64_t ops = 0;
+      bool pass = true;
+      for (std::size_t ps = 0; ps <= s && pass; ++ps) {
+        pass = (ps < detector.stages_.size() ? detector.stages_[ps] : stage)
+                   .evaluate(integral, wx, wy, ops);
+      }
+      if (pass) survivors.emplace_back(wx, wy);
+    }
+    sample = std::move(survivors);
+    if (sample.empty() && s + 1 < config.stage_sizes.size()) {
+      return R::failure("degenerate",
+                        "no calibration windows survive stage " +
+                            std::to_string(s));
+    }
+
+    detector.stages_.push_back(std::move(stage));
+  }
+  return detector;
+}
+
+}  // namespace ripple::cascade

@@ -1,0 +1,87 @@
+// The detection cascade: stages of boosted decision stumps with thresholds
+// calibrated on synthetic scenes (the Viola-Jones structure the paper cites
+// as a motivating irregular application).
+//
+// Stage s evaluates its features on a window, sums stump votes, and passes
+// the window to stage s+1 iff the vote total clears the stage threshold.
+// Early stages are cheap and permissive; later stages are expensive and
+// strict — exactly the irregular filter-cascade shape whose scheduling the
+// paper studies. Thresholds are chosen from empirical score quantiles so
+// each stage has a configured background pass rate while keeping planted
+// objects (which score far higher) flowing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cascade/features.hpp"
+#include "cascade/image.hpp"
+#include "util/result.hpp"
+
+namespace ripple::cascade {
+
+struct Stump {
+  HaarFeature feature;
+  std::int64_t threshold = 0;  ///< split point (background median)
+  /// Vote orientation: false -> vote when response > threshold, true ->
+  /// vote when response <= threshold. Chosen during training so planted
+  /// objects vote more often than background (whose rate the median pins
+  /// near 1/2 either way).
+  bool invert = false;
+
+  bool vote(std::int64_t response) const {
+    return (response > threshold) != invert;
+  }
+};
+
+struct CascadeStage {
+  std::vector<Stump> stumps;
+  std::uint32_t vote_threshold = 0;  ///< pass iff votes >= this
+
+  /// Evaluate a window; counts rectangle-sum operations into `ops`.
+  bool evaluate(const IntegralImage& integral, std::size_t wx, std::size_t wy,
+                std::uint64_t& ops) const;
+};
+
+struct DetectorConfig {
+  std::size_t window = 24;  ///< detection window side
+  /// Features per stage, cheap to expensive (Viola-Jones used 2..200).
+  std::vector<std::size_t> stage_sizes = {2, 6, 16, 40};
+  /// Target background pass rate per non-terminal stage.
+  std::vector<double> stage_pass_rates = {0.4, 0.25, 0.12, 0.05};
+  /// Calibration sample: background windows drawn from the scene.
+  std::size_t calibration_windows = 4000;
+};
+
+class Detector {
+ public:
+  /// Build a cascade calibrated against `scene`. Fails with "bad_config"
+  /// when sizes/rates disagree, or "degenerate" if calibration cannot reach
+  /// a target pass rate (e.g. all-equal scores).
+  static util::Result<Detector> train(const Scene& scene,
+                                      const DetectorConfig& config,
+                                      dist::Xoshiro256& rng);
+
+  std::size_t stage_count() const noexcept { return stages_.size(); }
+  std::size_t window() const noexcept { return window_; }
+  const CascadeStage& stage(std::size_t s) const;
+
+  /// Run one window through stage `s` only (the pipeline-node view).
+  bool stage_pass(std::size_t s, const IntegralImage& integral, std::size_t wx,
+                  std::size_t wy, std::uint64_t& ops) const;
+
+  /// Run a window through the whole cascade; returns the index of the first
+  /// rejecting stage, or nullopt if all stages pass (a detection).
+  std::optional<std::size_t> first_rejecting_stage(const IntegralImage& integral,
+                                                   std::size_t wx,
+                                                   std::size_t wy,
+                                                   std::uint64_t& ops) const;
+
+ private:
+  Detector() = default;
+  std::size_t window_ = 0;
+  std::vector<CascadeStage> stages_;
+};
+
+}  // namespace ripple::cascade

@@ -1,0 +1,85 @@
+#include "cascade/features.hpp"
+
+#include "util/assert.hpp"
+
+namespace ripple::cascade {
+
+std::uint32_t HaarFeature::rect_count() const {
+  switch (kind) {
+    case Kind::kTwoRectHorizontal:
+    case Kind::kTwoRectVertical:
+      return 2;
+    case Kind::kThreeRectHorizontal:
+      return 3;
+    case Kind::kFourRectChecker:
+      return 4;
+  }
+  return 0;
+}
+
+std::int64_t HaarFeature::evaluate(const IntegralImage& integral,
+                                   std::size_t wx, std::size_t wy,
+                                   std::uint64_t& ops) const {
+  const std::size_t x0 = wx + x;
+  const std::size_t y0 = wy + y;
+  const std::size_t x1 = x0 + width;
+  const std::size_t y1 = y0 + height;
+  ops += rect_count();
+  switch (kind) {
+    case Kind::kTwoRectHorizontal: {
+      const std::size_t xm = x0 + width / 2;
+      return integral.rect_sum(x0, y0, xm, y1) -
+             integral.rect_sum(xm, y0, x1, y1);
+    }
+    case Kind::kTwoRectVertical: {
+      const std::size_t ym = y0 + height / 2;
+      return integral.rect_sum(x0, y0, x1, ym) -
+             integral.rect_sum(x0, ym, x1, y1);
+    }
+    case Kind::kThreeRectHorizontal: {
+      const std::size_t third = width / 3;
+      const std::size_t xa = x0 + third;
+      const std::size_t xb = x0 + 2 * third;
+      return integral.rect_sum(x0, y0, xa, y1) -
+             integral.rect_sum(xa, y0, xb, y1) +
+             integral.rect_sum(xb, y0, x1, y1);
+    }
+    case Kind::kFourRectChecker: {
+      const std::size_t xm = x0 + width / 2;
+      const std::size_t ym = y0 + height / 2;
+      return integral.rect_sum(x0, y0, xm, ym) +
+             integral.rect_sum(xm, ym, x1, y1) -
+             integral.rect_sum(xm, y0, x1, ym) -
+             integral.rect_sum(x0, ym, xm, y1);
+    }
+  }
+  return 0;
+}
+
+HaarFeature random_feature(std::size_t window, dist::Xoshiro256& rng) {
+  RIPPLE_REQUIRE(window >= 8, "window too small for Haar features");
+  HaarFeature feature;
+  feature.kind = static_cast<HaarFeature::Kind>(rng.uniform_below(4));
+
+  const bool three_rect = feature.kind == HaarFeature::Kind::kThreeRectHorizontal;
+  const std::size_t granularity = three_rect ? 6 : 2;  // divisible extents
+  const std::size_t max_units = window / granularity;
+  // Extent of at least 2 units for meaningful contrast.
+  const std::size_t units_w =
+      2 + rng.uniform_below(std::max<std::size_t>(max_units - 1, 1));
+  const std::size_t units_h =
+      2 + rng.uniform_below(std::max<std::size_t>(window / 2 - 1, 1));
+  std::size_t w = std::min(units_w * granularity, window);
+  if (three_rect) w = std::max<std::size_t>(6, (w / 3) * 3);  // keep thirds exact
+  else w = std::max<std::size_t>(2, (w / 2) * 2);
+  feature.width = static_cast<std::uint16_t>(w);
+  feature.height = static_cast<std::uint16_t>(
+      std::max<std::size_t>(2, std::min(units_h * 2, window)));
+  feature.x = static_cast<std::uint16_t>(
+      rng.uniform_below(window - feature.width + 1));
+  feature.y = static_cast<std::uint16_t>(
+      rng.uniform_below(window - feature.height + 1));
+  return feature;
+}
+
+}  // namespace ripple::cascade

@@ -1,0 +1,42 @@
+// Haar-like rectangle features over integral images (Viola-Jones).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cascade/image.hpp"
+#include "dist/rng.hpp"
+
+namespace ripple::cascade {
+
+/// Classic two- and three-rectangle Haar features, defined relative to a
+/// detection window's origin.
+struct HaarFeature {
+  enum class Kind : std::uint8_t {
+    kTwoRectHorizontal,  ///< left rect minus right rect
+    kTwoRectVertical,    ///< top rect minus bottom rect
+    kThreeRectHorizontal,///< outer thirds minus center third
+    kFourRectChecker,    ///< diagonal quadrants minus anti-diagonal
+  };
+
+  Kind kind = Kind::kTwoRectHorizontal;
+  std::uint16_t x = 0;      ///< offset inside the window
+  std::uint16_t y = 0;
+  std::uint16_t width = 2;  ///< full feature extent
+  std::uint16_t height = 2;
+
+  /// Signed response at window origin (wx, wy). Also counts the abstract
+  /// operations performed (rectangle sums) into `ops`.
+  std::int64_t evaluate(const IntegralImage& integral, std::size_t wx,
+                        std::size_t wy, std::uint64_t& ops) const;
+
+  /// Number of rectangle sums this feature costs.
+  std::uint32_t rect_count() const;
+};
+
+/// A random feature fitting in a window of the given size. Extents are kept
+/// even (and divisible by 3 for three-rect kinds) so sub-rectangles tile
+/// exactly.
+HaarFeature random_feature(std::size_t window, dist::Xoshiro256& rng);
+
+}  // namespace ripple::cascade

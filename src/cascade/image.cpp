@@ -1,0 +1,90 @@
+#include "cascade/image.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ripple::cascade {
+
+Image::Image(std::size_t width, std::size_t height, Pixel fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {
+  RIPPLE_REQUIRE(width > 0 && height > 0, "image must be non-empty");
+}
+
+Pixel Image::at(std::size_t x, std::size_t y) const {
+  RIPPLE_REQUIRE(x < width_ && y < height_, "pixel out of range");
+  return pixels_[y * width_ + x];
+}
+
+void Image::set(std::size_t x, std::size_t y, Pixel value) {
+  RIPPLE_REQUIRE(x < width_ && y < height_, "pixel out of range");
+  pixels_[y * width_ + x] = value;
+}
+
+Image noise_image(std::size_t width, std::size_t height,
+                  dist::Xoshiro256& rng) {
+  Image image(width, height);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      image.set(x, y, static_cast<Pixel>(rng.uniform_below(256)));
+    }
+  }
+  return image;
+}
+
+void plant_object(Image& image, std::size_t x, std::size_t y, std::size_t size,
+                  std::uint32_t jitter, dist::Xoshiro256& rng) {
+  RIPPLE_REQUIRE(x + size <= image.width() && y + size <= image.height(),
+                 "object exceeds image bounds");
+  RIPPLE_REQUIRE(size >= 2, "object must be at least 2x2");
+  const std::size_t half = size / 2;
+  for (std::size_t dy = 0; dy < size; ++dy) {
+    for (std::size_t dx = 0; dx < size; ++dx) {
+      const bool bright = (dx < half) == (dy < half);  // checker quadrants
+      const int base = bright ? 208 : 48;
+      const int noise =
+          jitter == 0 ? 0
+                      : static_cast<int>(rng.uniform_below(2 * jitter + 1)) -
+                            static_cast<int>(jitter);
+      image.set(x + dx, y + dy,
+                static_cast<Pixel>(std::clamp(base + noise, 0, 255)));
+    }
+  }
+}
+
+IntegralImage::IntegralImage(const Image& image)
+    : width_(image.width()), height_(image.height()),
+      table_((image.width() + 1) * (image.height() + 1), 0) {
+  for (std::size_t y = 0; y < height_; ++y) {
+    std::int64_t row_sum = 0;
+    for (std::size_t x = 0; x < width_; ++x) {
+      row_sum += image.at(x, y);
+      table_[(y + 1) * (width_ + 1) + (x + 1)] =
+          cell(x + 1, y) + row_sum;
+    }
+  }
+}
+
+std::int64_t IntegralImage::rect_sum(std::size_t x0, std::size_t y0,
+                                     std::size_t x1, std::size_t y1) const {
+  RIPPLE_REQUIRE(x0 <= x1 && y0 <= y1, "rectangle must be ordered");
+  RIPPLE_REQUIRE(x1 <= width_ && y1 <= height_, "rectangle out of range");
+  return cell(x1, y1) - cell(x0, y1) - cell(x1, y0) + cell(x0, y0);
+}
+
+Scene make_scene(const SceneConfig& config, dist::Xoshiro256& rng) {
+  Scene scene;
+  scene.image = noise_image(config.width, config.height, rng);
+  scene.object_size = config.object_size;
+  for (std::size_t i = 0; i < config.object_count; ++i) {
+    const std::size_t x = static_cast<std::size_t>(
+        rng.uniform_below(config.width - config.object_size + 1));
+    const std::size_t y = static_cast<std::size_t>(
+        rng.uniform_below(config.height - config.object_size + 1));
+    plant_object(scene.image, x, y, config.object_size, config.jitter, rng);
+    scene.object_origins.emplace_back(x, y);
+  }
+  return scene;
+}
+
+}  // namespace ripple::cascade

@@ -1,0 +1,84 @@
+// Synthetic grayscale imagery for the detection-cascade substrate.
+//
+// The paper cites Viola-Jones-style decision cascades (its ref [26]) as a
+// motivating irregular streaming application: a stream of image windows
+// flows through classifier stages of increasing cost, each rejecting most of
+// its input. We synthesize the imagery — noise backgrounds with planted
+// bright/dark block patterns ("objects") — so the cascade stages have a real
+// signal to separate, mirroring how blast/ synthesizes DNA.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/rng.hpp"
+
+namespace ripple::cascade {
+
+using Pixel = std::uint8_t;
+
+class Image {
+ public:
+  Image(std::size_t width, std::size_t height, Pixel fill = 0);
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t height() const noexcept { return height_; }
+
+  Pixel at(std::size_t x, std::size_t y) const;
+  void set(std::size_t x, std::size_t y, Pixel value);
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<Pixel> pixels_;
+};
+
+/// Uniform noise background.
+Image noise_image(std::size_t width, std::size_t height, dist::Xoshiro256& rng);
+
+/// Plant a 2x2-block object pattern (bright top-left/bottom-right, dark
+/// otherwise — a structure Haar features respond to) of the given size at
+/// (x, y), with additive noise of amplitude `jitter`.
+void plant_object(Image& image, std::size_t x, std::size_t y, std::size_t size,
+                  std::uint32_t jitter, dist::Xoshiro256& rng);
+
+/// Summed-area table: O(1) rectangle sums for Haar feature evaluation.
+class IntegralImage {
+ public:
+  explicit IntegralImage(const Image& image);
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t height() const noexcept { return height_; }
+
+  /// Sum of pixels in [x0, x1) x [y0, y1).
+  std::int64_t rect_sum(std::size_t x0, std::size_t y0, std::size_t x1,
+                        std::size_t y1) const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::int64_t> table_;  // (width+1) x (height+1)
+
+  std::int64_t cell(std::size_t x, std::size_t y) const {
+    return table_[y * (width_ + 1) + x];
+  }
+};
+
+/// A scene with known object positions, for calibrating stage thresholds.
+struct Scene {
+  Image image{1, 1};
+  std::vector<std::pair<std::size_t, std::size_t>> object_origins;
+  std::size_t object_size = 0;
+};
+
+struct SceneConfig {
+  std::size_t width = 1024;
+  std::size_t height = 1024;
+  std::size_t object_count = 24;
+  std::size_t object_size = 24;
+  std::uint32_t jitter = 24;
+};
+
+Scene make_scene(const SceneConfig& config, dist::Xoshiro256& rng);
+
+}  // namespace ripple::cascade

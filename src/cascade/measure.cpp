@@ -1,0 +1,69 @@
+#include "cascade/measure.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ripple::cascade {
+
+CascadeMeasurement measure_cascade(const Detector& detector, const Scene& scene,
+                                   const CascadeMeasureConfig& config) {
+  RIPPLE_REQUIRE(config.window_count > 0, "need at least one window");
+  RIPPLE_REQUIRE(config.stride >= 1, "stride must be positive");
+  RIPPLE_REQUIRE(scene.image.width() >= detector.window() &&
+                     scene.image.height() >= detector.window(),
+                 "scene smaller than the detection window");
+
+  CascadeMeasurement measurement;
+  measurement.stages.resize(detector.stage_count());
+
+  const IntegralImage integral(scene.image);
+  const std::size_t max_x = scene.image.width() - detector.window();
+  const std::size_t max_y = scene.image.height() - detector.window();
+  const std::size_t columns = max_x + 1;
+  const std::size_t rows = max_y + 1;
+
+  std::size_t raster = 0;
+  for (std::uint64_t w = 0; w < config.window_count; ++w, raster += config.stride) {
+    const std::size_t wx = raster % columns;
+    const std::size_t wy = (raster / columns) % rows;
+    ++measurement.windows_streamed;
+
+    bool alive = true;
+    for (std::size_t s = 0; s < detector.stage_count() && alive; ++s) {
+      StageStats& stage = measurement.stages[s];
+      ++stage.inputs;
+      std::uint64_t ops = 0;
+      alive = detector.stage_pass(s, integral, wx, wy, ops);
+      stage.total_ops += ops;
+      stage.passed += alive;
+    }
+    measurement.detections += alive;
+  }
+  return measurement;
+}
+
+util::Result<sdf::PipelineSpec> CascadeMeasurement::to_pipeline_spec(
+    std::uint32_t simd_width, double cycles_per_op) const {
+  using R = util::Result<sdf::PipelineSpec>;
+  RIPPLE_REQUIRE(cycles_per_op > 0.0, "cycle scale must be positive");
+  if (stages.empty()) {
+    return R::failure("no_data", "no stages measured");
+  }
+  sdf::PipelineBuilder builder("cascade(measured)");
+  builder.simd_width(simd_width);
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    if (stages[s].inputs == 0) {
+      return R::failure("no_data", "stage " + std::to_string(s) +
+                                       " received no inputs");
+    }
+    const bool sink = (s + 1 == stages.size());
+    dist::GainPtr gain = sink ? dist::make_deterministic(1)
+                              : dist::make_bernoulli(stages[s].pass_rate());
+    const double service = std::max(1.0, stages[s].mean_ops() * cycles_per_op);
+    builder.add_node("stage_" + std::to_string(s), service, std::move(gain));
+  }
+  return builder.build();
+}
+
+}  // namespace ripple::cascade

@@ -1,0 +1,53 @@
+// Measure the detection cascade as a streaming pipeline: per-stage pass
+// rates (gains) and operation costs over a stream of image windows, and
+// conversion into a schedulable sdf::PipelineSpec — the cascade analogue of
+// blast/measure.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cascade/detector.hpp"
+#include "sdf/pipeline.hpp"
+#include "util/result.hpp"
+
+namespace ripple::cascade {
+
+struct StageStats {
+  std::uint64_t inputs = 0;
+  std::uint64_t passed = 0;
+  std::uint64_t total_ops = 0;
+
+  double pass_rate() const {
+    return inputs == 0 ? 0.0
+                       : static_cast<double>(passed) / static_cast<double>(inputs);
+  }
+  double mean_ops() const {
+    return inputs == 0
+               ? 0.0
+               : static_cast<double>(total_ops) / static_cast<double>(inputs);
+  }
+};
+
+struct CascadeMeasurement {
+  std::vector<StageStats> stages;
+  std::uint64_t windows_streamed = 0;
+  std::uint64_t detections = 0;
+
+  /// Build a pipeline spec: gains are Bernoulli(pass rate) per stage (the
+  /// cascade is a pure filter chain), service times are mean ops scaled by
+  /// `cycles_per_op`. The final stage keeps its measured cost but reports
+  /// deterministically (sink).
+  util::Result<sdf::PipelineSpec> to_pipeline_spec(std::uint32_t simd_width,
+                                                   double cycles_per_op = 1.0) const;
+};
+
+struct CascadeMeasureConfig {
+  std::uint64_t window_count = 100000;
+  std::uint64_t stride = 1;  ///< raster step between window origins
+};
+
+CascadeMeasurement measure_cascade(const Detector& detector, const Scene& scene,
+                                   const CascadeMeasureConfig& config);
+
+}  // namespace ripple::cascade

@@ -1,0 +1,209 @@
+#include "core/enforced_waits.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/waterfill.hpp"
+#include "opt/barrier.hpp"
+#include "sdf/analysis.hpp"
+#include "util/assert.hpp"
+#include "util/string_utils.hpp"
+
+namespace ripple::core {
+
+EnforcedWaitsConfig EnforcedWaitsConfig::optimistic(
+    const sdf::PipelineSpec& pipeline) {
+  EnforcedWaitsConfig config;
+  config.b.reserve(pipeline.size());
+  for (NodeIndex i = 0; i < pipeline.size(); ++i) {
+    config.b.push_back(std::max(1.0, std::ceil(pipeline.mean_gain(i))));
+  }
+  return config;
+}
+
+EnforcedWaitsStrategy::EnforcedWaitsStrategy(sdf::PipelineSpec pipeline,
+                                             EnforcedWaitsConfig config)
+    : pipeline_(std::move(pipeline)), config_(std::move(config)) {
+  RIPPLE_REQUIRE(config_.b.size() == pipeline_.size(),
+                 "one b multiplier per node required");
+  for (double b : config_.b) {
+    RIPPLE_REQUIRE(b >= 1.0, "b multipliers must be at least 1");
+  }
+}
+
+bool EnforcedWaitsStrategy::is_feasible(Cycles tau0, Cycles deadline) const {
+  const std::vector<Cycles> lower = sdf::minimal_firing_intervals(pipeline_);
+  if (lower[0] > static_cast<double>(pipeline_.simd_width()) * tau0) return false;
+  return sdf::minimal_deadline_budget(pipeline_, config_.b) <= deadline;
+}
+
+Cycles EnforcedWaitsStrategy::min_feasible_deadline(Cycles tau0) const {
+  const std::vector<Cycles> lower = sdf::minimal_firing_intervals(pipeline_);
+  if (lower[0] > static_cast<double>(pipeline_.simd_width()) * tau0) {
+    return kUnboundedCycles;
+  }
+  return sdf::minimal_deadline_budget(pipeline_, config_.b);
+}
+
+double EnforcedWaitsStrategy::active_fraction(
+    const std::vector<Cycles>& firing_intervals) const {
+  RIPPLE_REQUIRE(firing_intervals.size() == pipeline_.size(),
+                 "one interval per node required");
+  double sum = 0.0;
+  for (NodeIndex i = 0; i < pipeline_.size(); ++i) {
+    sum += pipeline_.service_time(i) / firing_intervals[i];
+  }
+  return sum / static_cast<double>(pipeline_.size());
+}
+
+opt::ConvexProblem EnforcedWaitsStrategy::build_problem(Cycles tau0,
+                                                        Cycles deadline) const {
+  const std::size_t n = pipeline_.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<Cycles> service(n);
+  for (NodeIndex i = 0; i < n; ++i) service[i] = pipeline_.service_time(i);
+
+  opt::ConvexProblem problem;
+  problem.objective = [service, inv_n](const linalg::Vector& x) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) sum += service[i] / x[i];
+    return sum * inv_n;
+  };
+  problem.gradient = [service, inv_n](const linalg::Vector& x) {
+    linalg::Vector g(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      g[i] = -inv_n * service[i] / (x[i] * x[i]);
+    }
+    return g;
+  };
+  problem.hessian = [service, inv_n](const linalg::Vector& x) {
+    linalg::Matrix h(x.size(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      h(i, i) = 2.0 * inv_n * service[i] / (x[i] * x[i] * x[i]);
+    }
+    return h;
+  };
+
+  // Bounds: x_i >= t_i always; x_0 additionally capped by the arrival-rate
+  // constraint x_0 <= v * tau0.
+  problem.lower_bounds = linalg::Vector(service.begin(), service.end());
+  problem.upper_bounds = linalg::Vector(n, opt::kInf);
+  problem.upper_bounds[0] = static_cast<double>(pipeline_.simd_width()) * tau0;
+
+  // Chain constraints: g_{i-1} * x_i - x_{i-1} <= 0.
+  for (std::size_t i = 1; i < n; ++i) {
+    const double g = pipeline_.mean_gain(i - 1);
+    if (g <= 0.0) continue;  // zero-gain edge carries no items: no constraint
+    opt::LinearInequality chain;
+    chain.coefficients = linalg::zeros(n);
+    chain.coefficients[i] = g;
+    chain.coefficients[i - 1] = -1.0;
+    chain.rhs = 0.0;
+    chain.label = "chain[" + std::to_string(i) + "]";
+    problem.constraints.push_back(std::move(chain));
+  }
+
+  // Deadline budget: sum_i b_i x_i <= D.
+  opt::LinearInequality budget;
+  budget.coefficients = linalg::Vector(config_.b.begin(), config_.b.end());
+  budget.rhs = deadline;
+  budget.label = "deadline";
+  problem.constraints.push_back(std::move(budget));
+
+  return problem;
+}
+
+linalg::Vector EnforcedWaitsStrategy::interior_start(Cycles tau0,
+                                                     Cycles deadline) const {
+  const std::size_t n = pipeline_.size();
+  const double rate_cap = static_cast<double>(pipeline_.simd_width()) * tau0;
+
+  // Backward construction: x_i = max(t_i, g_i * x_{i+1}) * (1 + eps) makes
+  // every bound and chain constraint strictly slack; shrink eps until the
+  // rate cap and deadline budget are also strictly satisfied.
+  for (double eps = 1e-2; eps >= 1e-13; eps *= 0.25) {
+    linalg::Vector x(n);
+    x[n - 1] = pipeline_.service_time(n - 1) * (1.0 + eps);
+    for (std::size_t ii = n - 1; ii-- > 0;) {
+      const double g = pipeline_.mean_gain(ii);
+      x[ii] = std::max(pipeline_.service_time(ii), g * x[ii + 1]) * (1.0 + eps);
+    }
+    double budget = 0.0;
+    for (std::size_t i = 0; i < n; ++i) budget += config_.b[i] * x[i];
+    if (x[0] < rate_cap && budget < deadline) return x;
+  }
+  return {};
+}
+
+EnforcedWaitsSchedule EnforcedWaitsStrategy::make_schedule(
+    std::vector<Cycles> intervals, const opt::ConvexProblem& problem) const {
+  EnforcedWaitsSchedule schedule;
+  schedule.firing_intervals = std::move(intervals);
+  schedule.waits.resize(pipeline_.size());
+  for (NodeIndex i = 0; i < pipeline_.size(); ++i) {
+    schedule.waits[i] =
+        std::max(0.0, schedule.firing_intervals[i] - pipeline_.service_time(i));
+    schedule.deadline_budget_used +=
+        config_.b[i] * schedule.firing_intervals[i];
+  }
+  schedule.predicted_active_fraction = active_fraction(schedule.firing_intervals);
+  schedule.kkt = opt::check_kkt(
+      problem,
+      linalg::Vector(schedule.firing_intervals.begin(),
+                     schedule.firing_intervals.end()),
+      /*active_tolerance=*/1e-6 * (1.0 + schedule.firing_intervals[0]));
+  return schedule;
+}
+
+util::Result<EnforcedWaitsSchedule> EnforcedWaitsStrategy::solve(
+    Cycles tau0, Cycles deadline) const {
+  using R = util::Result<EnforcedWaitsSchedule>;
+  RIPPLE_REQUIRE(tau0 > 0.0, "tau0 must be positive");
+  RIPPLE_REQUIRE(deadline > 0.0, "deadline must be positive");
+
+  const std::vector<Cycles> lower = sdf::minimal_firing_intervals(pipeline_);
+  const double rate_cap = static_cast<double>(pipeline_.simd_width()) * tau0;
+  if (lower[0] > rate_cap) {
+    return R::failure(
+        "infeasible",
+        "arrival-rate constraint violated: minimal x_0 = " +
+            util::format_double(lower[0], 3) + " exceeds v*tau0 = " +
+            util::format_double(rate_cap, 3));
+  }
+  const Cycles min_budget = sdf::minimal_deadline_budget(pipeline_, config_.b);
+  if (min_budget > deadline) {
+    return R::failure("infeasible",
+                      "deadline too tight: minimal budget sum b_i x_i = " +
+                          util::format_double(min_budget, 3) + " exceeds D = " +
+                          util::format_double(deadline, 3));
+  }
+
+  const opt::ConvexProblem problem = build_problem(tau0, deadline);
+
+  // Degenerate feasible region: when the minimal point L already exhausts
+  // (numerically) the whole deadline budget, L is the unique feasible point
+  // (every feasible x dominates L componentwise).
+  const linalg::Vector start = interior_start(tau0, deadline);
+  if (start.empty()) {
+    return make_schedule(lower, problem);
+  }
+
+  // Fast path: the chain-free water-filling closed form. When its optimum
+  // already satisfies the chain constraints it is exact for the full
+  // problem (the chain constraints were inactive), and the KKT check in
+  // make_schedule certifies it.
+  if (auto filled = waterfill_solve(pipeline_, config_.b, tau0, deadline);
+      filled.ok() && filled.value().chain_feasible) {
+    return make_schedule(filled.value().firing_intervals, problem);
+  }
+
+  auto solved = opt::barrier_minimize(problem, start);
+  if (!solved.ok()) {
+    return R::failure(solved.error().code,
+                      "barrier solve failed: " + solved.error().message);
+  }
+  const linalg::Vector& x = solved.value().x;
+  return make_schedule(std::vector<Cycles>(x.begin(), x.end()), problem);
+}
+
+}  // namespace ripple::core

@@ -1,0 +1,144 @@
+#include "core/monolithic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/integer.hpp"
+#include "util/assert.hpp"
+#include "util/string_utils.hpp"
+
+namespace ripple::core {
+
+namespace {
+/// Hard cap on scan range; generous relative to the paper's parameter space
+/// (M <= D * rho0 <= 3.5e5 there).
+constexpr std::int64_t kMaxBlockCap = 50'000'000;
+}  // namespace
+
+MonolithicStrategy::MonolithicStrategy(sdf::PipelineSpec pipeline,
+                                       MonolithicConfig config)
+    : pipeline_(std::move(pipeline)), config_(config),
+      total_gains_(pipeline_.total_gains()) {
+  RIPPLE_REQUIRE(config_.b >= 1.0, "block multiplier b must be at least 1");
+  RIPPLE_REQUIRE(config_.S >= 1.0, "worst-case scale S must be at least 1");
+}
+
+Cycles MonolithicStrategy::mean_block_service(std::int64_t block_size) const {
+  RIPPLE_REQUIRE(block_size > 0, "block size must be positive");
+  const double v = static_cast<double>(pipeline_.simd_width());
+  Cycles total = 0.0;
+  for (NodeIndex i = 0; i < pipeline_.size(); ++i) {
+    const double expected_items =
+        static_cast<double>(block_size) * total_gains_[i];
+    const double firings = std::ceil(expected_items / v);
+    total += firings * pipeline_.service_time(i);
+  }
+  return total;
+}
+
+bool MonolithicStrategy::is_block_feasible(std::int64_t block_size, Cycles tau0,
+                                           Cycles deadline) const {
+  const Cycles tbar = mean_block_service(block_size);
+  const double m = static_cast<double>(block_size);
+  if (tbar > m * tau0) return false;                        // stability
+  const Cycles worst = config_.S * tbar;
+  return config_.b * m * tau0 + worst <= deadline;          // deadline
+}
+
+double MonolithicStrategy::active_fraction(std::int64_t block_size,
+                                           Cycles tau0) const {
+  return mean_block_service(block_size) /
+         (static_cast<double>(block_size) * tau0);
+}
+
+std::int64_t MonolithicStrategy::max_block_size(Cycles tau0,
+                                                Cycles deadline) const {
+  const double cap = deadline / (config_.b * tau0);
+  if (cap < 1.0) return 0;
+  return std::min<std::int64_t>(static_cast<std::int64_t>(cap), kMaxBlockCap);
+}
+
+bool MonolithicStrategy::is_feasible(Cycles tau0, Cycles deadline) const {
+  const std::int64_t hi = max_block_size(tau0, deadline);
+  for (std::int64_t m = 1; m <= hi; ++m) {
+    if (is_block_feasible(m, tau0, deadline)) return true;
+  }
+  return false;
+}
+
+MonolithicSchedule MonolithicStrategy::make_schedule(
+    std::int64_t block_size, Cycles tau0, std::uint64_t evaluations) const {
+  MonolithicSchedule schedule;
+  schedule.block_size = block_size;
+  schedule.mean_block_service = mean_block_service(block_size);
+  schedule.worst_block_service = config_.S * schedule.mean_block_service;
+  schedule.predicted_active_fraction = active_fraction(block_size, tau0);
+  schedule.worst_case_latency =
+      config_.b * static_cast<double>(block_size) * tau0 +
+      schedule.worst_block_service;
+  schedule.candidates_scanned = evaluations;
+  return schedule;
+}
+
+util::Result<MonolithicSchedule> MonolithicStrategy::solve(
+    Cycles tau0, Cycles deadline) const {
+  using R = util::Result<MonolithicSchedule>;
+  RIPPLE_REQUIRE(tau0 > 0.0, "tau0 must be positive");
+  RIPPLE_REQUIRE(deadline > 0.0, "deadline must be positive");
+
+  const std::int64_t hi = max_block_size(tau0, deadline);
+  if (hi < 1) {
+    return R::failure("infeasible",
+                      "deadline admits no block: b*tau0 = " +
+                          util::format_double(config_.b * tau0, 3) +
+                          " exceeds D = " + util::format_double(deadline, 3));
+  }
+  const auto scan = opt::minimize_integer_scan(
+      1, hi, [&](std::int64_t m) -> std::optional<double> {
+        if (!is_block_feasible(m, tau0, deadline)) return std::nullopt;
+        return active_fraction(m, tau0);
+      });
+  if (!scan.feasible) {
+    return R::failure("infeasible",
+                      "no block size in [1, " + std::to_string(hi) +
+                          "] satisfies stability + deadline");
+  }
+  return make_schedule(scan.argmin, tau0, scan.evaluations);
+}
+
+util::Result<MonolithicSchedule> MonolithicStrategy::solve_branch_and_bound(
+    Cycles tau0, Cycles deadline) const {
+  using R = util::Result<MonolithicSchedule>;
+  const std::int64_t hi = max_block_size(tau0, deadline);
+  if (hi < 1) {
+    return R::failure("infeasible", "deadline admits no block");
+  }
+
+  const double v = static_cast<double>(pipeline_.simd_width());
+  // Relaxation: ceil(z) >= max(z, 1 when z > 0), so the objective at M is at
+  // least f_relax(M) = sum_i max(G_i t_i / v, t_i/M [G_i>0]) / tau0, which is
+  // non-increasing in M; its minimum over [lo, hi] is at hi.
+  auto relaxed = [&](std::int64_t m) {
+    double total = 0.0;
+    for (NodeIndex i = 0; i < pipeline_.size(); ++i) {
+      if (total_gains_[i] <= 0.0) continue;
+      total += std::max(total_gains_[i] * pipeline_.service_time(i) / v,
+                        pipeline_.service_time(i) / static_cast<double>(m));
+    }
+    return total / tau0;
+  };
+
+  const auto found = opt::branch_and_bound_minimize(
+      1, hi,
+      [&](std::int64_t m) -> std::optional<double> {
+        if (!is_block_feasible(m, tau0, deadline)) return std::nullopt;
+        return active_fraction(m, tau0);
+      },
+      [&](std::int64_t, std::int64_t interval_hi) { return relaxed(interval_hi); });
+  if (!found.feasible) {
+    return R::failure("infeasible", "branch-and-bound found no feasible block");
+  }
+  return make_schedule(found.argmin, tau0, found.evaluations);
+}
+
+}  // namespace ripple::core

@@ -1,0 +1,84 @@
+// The monolithic batch-processing baseline (paper Section 5, Figure 2).
+//
+// The pipeline is scheduled as a unit: accumulate a block of M inputs
+// (taking M/rho0 cycles), then run the whole throughput-oriented pipeline on
+// the block. With average total gain G_i into node i, a block of M inputs
+// costs mean service
+//
+//     Tbar(M) = sum_i ceil(M * G_i / v) * t_i
+//
+// and the active fraction is rho0 * Tbar(M) / M. Block size M is chosen to
+// minimize that subject to
+//
+//     Tbar(M)              <= M / rho0        (stability)
+//     b * M/rho0 + S*Tbar(M) <= D             (deadline, worst-case scaled)
+//
+// where b counts whole blocks that may queue ahead of an item and S scales
+// mean to worst-case block service time.
+#pragma once
+
+#include <cstdint>
+
+#include "sdf/pipeline.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace ripple::core {
+
+struct MonolithicConfig {
+  double b = 1.0;  ///< queue-depth multiplier (blocks ahead of a new item)
+  double S = 1.0;  ///< worst-case/mean service scale: That(M) = S * Tbar(M)
+};
+
+struct MonolithicSchedule {
+  std::int64_t block_size = 0;            ///< M
+  double predicted_active_fraction = 1.0; ///< rho0 * Tbar(M) / M
+  Cycles mean_block_service = 0.0;        ///< Tbar(M)
+  Cycles worst_block_service = 0.0;       ///< S * Tbar(M)
+  Cycles worst_case_latency = 0.0;        ///< b*M*tau0 + S*Tbar(M)
+  std::uint64_t candidates_scanned = 0;
+};
+
+class EnforcedWaitsStrategy;  // for cross-references in docs only
+
+class MonolithicStrategy {
+ public:
+  MonolithicStrategy(sdf::PipelineSpec pipeline, MonolithicConfig config);
+
+  const sdf::PipelineSpec& pipeline() const noexcept { return pipeline_; }
+  const MonolithicConfig& config() const noexcept { return config_; }
+
+  /// Tbar(M): mean service time for a block of M inputs.
+  Cycles mean_block_service(std::int64_t block_size) const;
+
+  /// Both Figure 2 constraints at a specific M.
+  bool is_block_feasible(std::int64_t block_size, Cycles tau0,
+                         Cycles deadline) const;
+
+  /// Objective rho0 * Tbar(M)/M at a specific M.
+  double active_fraction(std::int64_t block_size, Cycles tau0) const;
+
+  /// Any feasible M at all?
+  bool is_feasible(Cycles tau0, Cycles deadline) const;
+
+  /// Largest M the deadline alone admits: b*M*tau0 <= D.
+  std::int64_t max_block_size(Cycles tau0, Cycles deadline) const;
+
+  /// Exact optimizer: exhaustive scan over [1, max_block_size].
+  util::Result<MonolithicSchedule> solve(Cycles tau0, Cycles deadline) const;
+
+  /// Same optimum via interval branch-and-bound (the BONMIN-style driver);
+  /// exists to cross-validate the scan and exercise the MINLP substrate.
+  util::Result<MonolithicSchedule> solve_branch_and_bound(Cycles tau0,
+                                                          Cycles deadline) const;
+
+ private:
+  MonolithicSchedule make_schedule(std::int64_t block_size, Cycles tau0,
+                                   std::uint64_t evaluations) const;
+
+  sdf::PipelineSpec pipeline_;
+  MonolithicConfig config_;
+  std::vector<double> total_gains_;  // G_i
+};
+
+}  // namespace ripple::core

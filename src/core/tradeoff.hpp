@@ -1,0 +1,63 @@
+// Deadline / utilization trade-off curves.
+//
+// For a fixed arrival rate, sweeping the deadline from the feasibility floor
+// upward traces the Pareto frontier between responsiveness (small D) and
+// processor yield (small active fraction): T*(D) is convex and decreasing
+// (Figure 1's optimum as a function of its right-hand side), flattening to
+// the rate/chain-limited floor. The knee of that curve — where the marginal
+// value of deadline collapses — is where a designer stops paying for
+// deadline slack; this module computes the curve and locates the knee.
+#pragma once
+
+#include <vector>
+
+#include "core/enforced_waits.hpp"
+#include "core/monolithic.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace ripple::core {
+
+struct TradeoffPoint {
+  Cycles deadline = 0.0;
+  double enforced_active_fraction = 1.0;   ///< 1.0 when infeasible
+  bool enforced_feasible = false;
+  double monolithic_active_fraction = 1.0;
+  bool monolithic_feasible = false;
+};
+
+struct TradeoffCurve {
+  Cycles tau0 = 0.0;
+  std::vector<TradeoffPoint> points;  ///< ascending in deadline
+
+  /// Floor the enforced-waits fraction approaches as D -> inf (rate/chain
+  /// limited; see sdf::unconstrained_active_fraction).
+  double enforced_floor = 0.0;
+
+  /// Knee of the enforced-waits curve: the point maximizing distance from
+  /// the chord between the first and last feasible points (the standard
+  /// Kneedle-style criterion on a convex decreasing curve). Index into
+  /// `points`; -1 when fewer than three feasible points exist.
+  std::ptrdiff_t knee_index = -1;
+
+  const TradeoffPoint* knee() const {
+    return knee_index < 0 ? nullptr : &points[static_cast<std::size_t>(knee_index)];
+  }
+};
+
+struct TradeoffConfig {
+  std::size_t samples = 48;      ///< deadline grid resolution
+  Cycles max_deadline = 0.0;     ///< 0 = auto: extend until within
+                                 ///< `floor_tolerance` of the floor
+  double floor_tolerance = 0.02; ///< auto-stop when AF - floor < this
+};
+
+/// Trace the curve at fixed tau0. Failure code "infeasible" when not even
+/// the largest deadline admits an enforced-waits schedule (rate-bound tau0).
+util::Result<TradeoffCurve> trace_tradeoff(const sdf::PipelineSpec& pipeline,
+                                           const EnforcedWaitsConfig& enforced_config,
+                                           const MonolithicConfig& monolithic_config,
+                                           Cycles tau0,
+                                           const TradeoffConfig& config = {});
+
+}  // namespace ripple::core

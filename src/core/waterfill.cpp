@@ -1,0 +1,88 @@
+#include "core/waterfill.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ripple::core {
+
+util::Result<WaterfillSolution> waterfill_solve(const sdf::PipelineSpec& pipeline,
+                                                const std::vector<double>& b,
+                                                Cycles tau0, Cycles deadline) {
+  using R = util::Result<WaterfillSolution>;
+  const std::size_t n = pipeline.size();
+  RIPPLE_REQUIRE(b.size() == n, "one b multiplier per node");
+  RIPPLE_REQUIRE(tau0 > 0.0 && deadline > 0.0, "parameters must be positive");
+
+  std::vector<Cycles> lower(n);
+  std::vector<Cycles> upper(n, kUnboundedCycles);
+  for (NodeIndex i = 0; i < n; ++i) lower[i] = pipeline.service_time(i);
+  upper[0] = static_cast<double>(pipeline.simd_width()) * tau0;
+
+  // Relaxed feasibility: x = l must fit the rate cap and the budget.
+  if (lower[0] > upper[0]) {
+    return R::failure("infeasible", "service time exceeds the rate cap");
+  }
+  double budget_at_lower = 0.0;
+  for (NodeIndex i = 0; i < n; ++i) budget_at_lower += b[i] * lower[i];
+  if (budget_at_lower > deadline) {
+    return R::failure("infeasible", "deadline below the minimal budget");
+  }
+
+  auto x_of_lambda = [&](double lambda, std::vector<Cycles>& x) {
+    double budget = 0.0;
+    for (NodeIndex i = 0; i < n; ++i) {
+      const double unclamped =
+          std::sqrt(pipeline.service_time(i) / (lambda * b[i]));
+      x[i] = std::clamp(unclamped, lower[i], upper[i]);
+      budget += b[i] * x[i];
+    }
+    return budget;
+  };
+
+  // Bracket lambda: budget usage is strictly decreasing in lambda between
+  // the clamps. Find lo with usage > D and hi with usage <= D.
+  std::vector<Cycles> x(n);
+  double lambda_lo = 1e-30;
+  double lambda_hi = 1.0;
+  while (x_of_lambda(lambda_hi, x) > deadline) lambda_hi *= 16.0;
+  double lambda = lambda_hi;
+  if (x_of_lambda(lambda_lo, x) <= deadline) {
+    // Degenerate: even lambda -> 0 keeps usage <= D (every x at its upper
+    // clamp; only possible when all bounds are finite, i.e. n == 1). The
+    // budget constraint is slack and x is already set to the clamps.
+    lambda = 0.0;
+  } else {
+    for (int iter = 0; iter < 500; ++iter) {
+      const double mid = std::sqrt(lambda_lo * lambda_hi);  // geometric mean
+      if (x_of_lambda(mid, x) > deadline) lambda_lo = mid;
+      else lambda_hi = mid;
+      if (lambda_hi / lambda_lo < 1.0 + 1e-15) break;
+    }
+    lambda = lambda_hi;
+    (void)x_of_lambda(lambda, x);
+  }
+
+  WaterfillSolution solution;
+  solution.firing_intervals = x;
+  solution.lambda = lambda;
+
+  double objective = 0.0;
+  for (NodeIndex i = 0; i < n; ++i) {
+    objective += pipeline.service_time(i) / x[i];
+  }
+  solution.active_fraction = objective / static_cast<double>(n);
+
+  solution.chain_feasible = true;
+  for (NodeIndex i = 1; i < n; ++i) {
+    const double g = pipeline.mean_gain(i - 1);
+    if (g > 0.0 && x[i] * g > x[i - 1] * (1.0 + 1e-12)) {
+      solution.chain_feasible = false;
+      break;
+    }
+  }
+  return solution;
+}
+
+}  // namespace ripple::core

@@ -1,0 +1,40 @@
+// Exact water-filling solution of the enforced-waits problem when the chain
+// constraints are inactive.
+//
+// Dropping the chain couplings from Figure 1 leaves a separable convex
+// program:
+//
+//     min sum_i t_i / x_i   s.t.   sum_i b_i x_i <= D,  l_i <= x_i <= u_i
+//
+// with l_i = t_i, u_0 = v * tau0, u_{i>0} = inf. Its KKT conditions give the
+// closed form  x_i(lambda) = clamp(sqrt(t_i / (lambda b_i)), l_i, u_i)  with
+// the single multiplier lambda chosen so the budget binds; the budget usage
+// is strictly decreasing in lambda, so bisection recovers lambda to machine
+// precision. When the resulting point also satisfies the chain constraints
+// — the common case away from the feasibility frontier — it is the exact
+// optimum of the full problem; otherwise the caller falls back to the
+// barrier solver (EnforcedWaitsStrategy does this automatically).
+#pragma once
+
+#include <vector>
+
+#include "sdf/pipeline.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace ripple::core {
+
+struct WaterfillSolution {
+  std::vector<Cycles> firing_intervals;  ///< x_i
+  double lambda = 0.0;                   ///< budget multiplier
+  double active_fraction = 1.0;
+  bool chain_feasible = false;  ///< true -> exact optimum of the full problem
+};
+
+/// Solve the relaxed (chain-free) problem exactly. Failure codes:
+///   "infeasible" — even x = l violates rate or deadline
+util::Result<WaterfillSolution> waterfill_solve(const sdf::PipelineSpec& pipeline,
+                                                const std::vector<double>& b,
+                                                Cycles tau0, Cycles deadline);
+
+}  // namespace ripple::core

@@ -1,0 +1,67 @@
+#include "device/occupancy.hpp"
+
+#include "util/assert.hpp"
+
+namespace ripple::device {
+
+OccupancyTracker::OccupancyTracker(const SimdDevice& device,
+                                   std::size_t node_count)
+    : vector_width_(device.vector_width()), per_node_(node_count) {
+  RIPPLE_REQUIRE(node_count > 0, "tracker needs at least one node");
+}
+
+void OccupancyTracker::record_firing(std::size_t node, std::uint32_t consumed) {
+  RIPPLE_REQUIRE(node < per_node_.size(), "node index out of range");
+  RIPPLE_REQUIRE(consumed <= vector_width_,
+                 "consumed items exceed the vector width");
+  Counters& c = per_node_[node];
+  ++c.firings;
+  if (consumed == 0) ++c.empty_firings;
+  c.items += consumed;
+}
+
+std::uint64_t OccupancyTracker::firings(std::size_t node) const {
+  RIPPLE_REQUIRE(node < per_node_.size(), "node index out of range");
+  return per_node_[node].firings;
+}
+
+std::uint64_t OccupancyTracker::empty_firings(std::size_t node) const {
+  RIPPLE_REQUIRE(node < per_node_.size(), "node index out of range");
+  return per_node_[node].empty_firings;
+}
+
+std::uint64_t OccupancyTracker::items_consumed(std::size_t node) const {
+  RIPPLE_REQUIRE(node < per_node_.size(), "node index out of range");
+  return per_node_[node].items;
+}
+
+double OccupancyTracker::mean_occupancy(std::size_t node) const {
+  RIPPLE_REQUIRE(node < per_node_.size(), "node index out of range");
+  const Counters& c = per_node_[node];
+  if (c.firings == 0) return 0.0;
+  return static_cast<double>(c.items) /
+         (static_cast<double>(c.firings) * static_cast<double>(vector_width_));
+}
+
+double OccupancyTracker::mean_nonempty_occupancy(std::size_t node) const {
+  RIPPLE_REQUIRE(node < per_node_.size(), "node index out of range");
+  const Counters& c = per_node_[node];
+  const std::uint64_t nonempty = c.firings - c.empty_firings;
+  if (nonempty == 0) return 0.0;
+  return static_cast<double>(c.items) /
+         (static_cast<double>(nonempty) * static_cast<double>(vector_width_));
+}
+
+double OccupancyTracker::overall_occupancy() const {
+  std::uint64_t firings = 0;
+  std::uint64_t items = 0;
+  for (const Counters& c : per_node_) {
+    firings += c.firings;
+    items += c.items;
+  }
+  if (firings == 0) return 0.0;
+  return static_cast<double>(items) /
+         (static_cast<double>(firings) * static_cast<double>(vector_width_));
+}
+
+}  // namespace ripple::device

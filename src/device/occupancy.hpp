@@ -1,0 +1,47 @@
+// Lane-occupancy accounting: how full the SIMD vectors of each node's firings
+// are. The paper's whole premise is that low occupancy wastes active time;
+// this tracker quantifies it per node so experiments can report it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/simd_device.hpp"
+
+namespace ripple::device {
+
+/// Per-node firing/occupancy counters.
+class OccupancyTracker {
+ public:
+  OccupancyTracker(const SimdDevice& device, std::size_t node_count);
+
+  /// Record one firing of `node` that consumed `consumed` items.
+  void record_firing(std::size_t node, std::uint32_t consumed);
+
+  std::uint64_t firings(std::size_t node) const;
+  std::uint64_t empty_firings(std::size_t node) const;
+  std::uint64_t items_consumed(std::size_t node) const;
+
+  /// Mean lanes-filled fraction across all firings of `node` (0 if none).
+  double mean_occupancy(std::size_t node) const;
+
+  /// Mean occupancy over non-empty firings only (0 if none).
+  double mean_nonempty_occupancy(std::size_t node) const;
+
+  /// Aggregate mean occupancy across all nodes, weighted by firing count.
+  double overall_occupancy() const;
+
+  std::size_t node_count() const noexcept { return per_node_.size(); }
+
+ private:
+  struct Counters {
+    std::uint64_t firings = 0;
+    std::uint64_t empty_firings = 0;
+    std::uint64_t items = 0;
+  };
+
+  std::uint32_t vector_width_;
+  std::vector<Counters> per_node_;
+};
+
+}  // namespace ripple::device

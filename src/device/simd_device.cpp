@@ -1,0 +1,37 @@
+#include "device/simd_device.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ripple::device {
+
+SimdDevice::SimdDevice(std::uint32_t vector_width, std::size_t node_count)
+    : vector_width_(vector_width), node_count_(node_count) {
+  RIPPLE_REQUIRE(vector_width > 0, "vector width must be positive");
+  RIPPLE_REQUIRE(node_count > 0, "device must host at least one node");
+}
+
+SimdDevice SimdDevice::for_pipeline(const sdf::PipelineSpec& pipeline) {
+  return SimdDevice(pipeline.simd_width(), pipeline.size());
+}
+
+double SimdDevice::node_share() const noexcept {
+  return 1.0 / static_cast<double>(node_count_);
+}
+
+Cycles SimdDevice::exclusive_firing_duration(Cycles service_time) const noexcept {
+  return service_time * node_share();
+}
+
+std::uint32_t SimdDevice::items_consumed(std::uint64_t queue_length) const noexcept {
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(queue_length, vector_width_));
+}
+
+double SimdDevice::occupancy(std::uint32_t consumed) const noexcept {
+  const std::uint32_t clamped = std::min(consumed, vector_width_);
+  return static_cast<double>(clamped) / static_cast<double>(vector_width_);
+}
+
+}  // namespace ripple::device

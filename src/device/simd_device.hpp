@@ -1,0 +1,56 @@
+// Virtual SIMD device model (paper Section 2.2).
+//
+// The paper's implementation model: one single-threaded SIMD-capable
+// processor; each of the N pipeline nodes owns a fixed 1/N fraction of
+// processor time, scheduled preemptively at fine granularity so a node that
+// wants to fire sees negligible dispatch delay. A firing consumes a vector of
+// up to v items and takes the node's fixed service time t_i whether the
+// vector is full or not (t_i is measured under the node's 1/N share).
+//
+// This module owns those rules so the simulator and the analytic strategies
+// agree on them by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "sdf/pipeline.hpp"
+#include "util/types.hpp"
+
+namespace ripple::device {
+
+/// Static device description plus the firing-time rules.
+class SimdDevice {
+ public:
+  /// `node_count` is N, the number of pipeline nodes sharing the processor.
+  SimdDevice(std::uint32_t vector_width, std::size_t node_count);
+
+  /// Build a device matching a pipeline (width v, N nodes).
+  static SimdDevice for_pipeline(const sdf::PipelineSpec& pipeline);
+
+  std::uint32_t vector_width() const noexcept { return vector_width_; }
+  std::size_t node_count() const noexcept { return node_count_; }
+
+  /// Fraction of the processor each node owns (1/N).
+  double node_share() const noexcept;
+
+  /// Wall-clock duration of one firing with service time t (measured under
+  /// the node's share): exactly t, by the paper's definition of t_i.
+  Cycles firing_duration(Cycles service_time) const noexcept { return service_time; }
+
+  /// Duration the same firing would take if the node briefly owned the whole
+  /// processor (used by what-if analyses of the monolithic implementation,
+  /// which runs one stage at a time): t * share.
+  Cycles exclusive_firing_duration(Cycles service_time) const noexcept;
+
+  /// Items consumed by one firing given the queue length at firing start.
+  std::uint32_t items_consumed(std::uint64_t queue_length) const noexcept;
+
+  /// SIMD lane occupancy of a firing that consumed `consumed` items, in [0,1].
+  double occupancy(std::uint32_t consumed) const noexcept;
+
+ private:
+  std::uint32_t vector_width_;
+  std::size_t node_count_;
+};
+
+}  // namespace ripple::device

@@ -1,0 +1,215 @@
+#include "dist/gain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/string_utils.hpp"
+
+namespace ripple::dist {
+
+namespace {
+
+/// Build the censored CDF/moments from unnormalized point masses over
+/// 0..cap-1 plus everything-above mass folded into cap.
+struct FiniteMoments {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+FiniteMoments moments_from_cdf(const std::vector<double>& cdf) {
+  FiniteMoments m;
+  double prev = 0.0;
+  double second = 0.0;
+  for (std::size_t k = 0; k < cdf.size(); ++k) {
+    const double pk = cdf[k] - prev;
+    prev = cdf[k];
+    m.mean += static_cast<double>(k) * pk;
+    second += static_cast<double>(k) * static_cast<double>(k) * pk;
+  }
+  m.variance = second - m.mean * m.mean;
+  return m;
+}
+
+OutputCount sample_cdf(const std::vector<double>& cdf, Xoshiro256& rng) {
+  const double u = rng.uniform01();
+  // CDFs here have at most ~dozens of entries; linear scan beats binary
+  // search at this size and is branch-predictable.
+  for (std::size_t k = 0; k + 1 < cdf.size(); ++k) {
+    if (u < cdf[k]) return static_cast<OutputCount>(k);
+  }
+  return static_cast<OutputCount>(cdf.size() - 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Deterministic
+
+DeterministicGain::DeterministicGain(OutputCount k) : k_(k) {}
+OutputCount DeterministicGain::sample(Xoshiro256&) const { return k_; }
+double DeterministicGain::mean() const { return k_; }
+double DeterministicGain::variance() const { return 0.0; }
+OutputCount DeterministicGain::max_outputs() const { return k_; }
+std::string DeterministicGain::name() const {
+  return "deterministic(" + std::to_string(k_) + ")";
+}
+
+// -------------------------------------------------------------------- Bernoulli
+
+BernoulliGain::BernoulliGain(double p) : p_(p) {
+  RIPPLE_REQUIRE(p >= 0.0 && p <= 1.0, "Bernoulli parameter must be in [0,1]");
+}
+OutputCount BernoulliGain::sample(Xoshiro256& rng) const {
+  return rng.uniform01() < p_ ? 1u : 0u;
+}
+double BernoulliGain::mean() const { return p_; }
+double BernoulliGain::variance() const { return p_ * (1.0 - p_); }
+OutputCount BernoulliGain::max_outputs() const { return p_ > 0.0 ? 1u : 0u; }
+std::string BernoulliGain::name() const {
+  return "bernoulli(" + util::format_double(p_, 6) + ")";
+}
+
+// -------------------------------------------------------------- CensoredPoisson
+
+CensoredPoissonGain::CensoredPoissonGain(double lambda, OutputCount cap)
+    : lambda_(lambda), cap_(cap) {
+  RIPPLE_REQUIRE(lambda >= 0.0, "Poisson rate must be non-negative");
+  RIPPLE_REQUIRE(cap >= 1, "censoring cap must be at least 1");
+  cdf_.resize(cap_ + 1);
+  // p_k = e^-lambda lambda^k / k! for k < cap; everything above folds into cap.
+  double pk = std::exp(-lambda_);
+  double cumulative = 0.0;
+  for (OutputCount k = 0; k < cap_; ++k) {
+    cumulative += pk;
+    cdf_[k] = std::min(cumulative, 1.0);
+    pk *= lambda_ / static_cast<double>(k + 1);
+  }
+  cdf_[cap_] = 1.0;
+  const FiniteMoments m = moments_from_cdf(cdf_);
+  mean_ = m.mean;
+  variance_ = m.variance;
+}
+
+OutputCount CensoredPoissonGain::sample(Xoshiro256& rng) const {
+  return sample_cdf(cdf_, rng);
+}
+double CensoredPoissonGain::mean() const { return mean_; }
+double CensoredPoissonGain::variance() const { return variance_; }
+OutputCount CensoredPoissonGain::max_outputs() const { return cap_; }
+std::string CensoredPoissonGain::name() const {
+  return "censored_poisson(" + util::format_double(lambda_, 6) + ", " +
+         std::to_string(cap_) + ")";
+}
+
+// --------------------------------------------------------- TruncatedGeometric
+
+TruncatedGeometricGain::TruncatedGeometricGain(double p, OutputCount cap)
+    : p_(p), cap_(cap) {
+  RIPPLE_REQUIRE(p >= 0.0 && p < 1.0, "geometric ratio must be in [0,1)");
+  RIPPLE_REQUIRE(cap >= 1, "truncation cap must be at least 1");
+  // Unnormalized masses p^k for k in [0, cap], then normalize.
+  std::vector<double> mass(cap_ + 1);
+  double w = 1.0;
+  double total = 0.0;
+  for (OutputCount k = 0; k <= cap_; ++k) {
+    mass[k] = w;
+    total += w;
+    w *= p_;
+  }
+  cdf_.resize(cap_ + 1);
+  double cumulative = 0.0;
+  for (OutputCount k = 0; k <= cap_; ++k) {
+    cumulative += mass[k] / total;
+    cdf_[k] = std::min(cumulative, 1.0);
+  }
+  cdf_[cap_] = 1.0;
+  const FiniteMoments m = moments_from_cdf(cdf_);
+  mean_ = m.mean;
+  variance_ = m.variance;
+}
+
+std::shared_ptr<const TruncatedGeometricGain> TruncatedGeometricGain::with_mean(
+    double target_mean, OutputCount cap) {
+  RIPPLE_REQUIRE(target_mean >= 0.0, "target mean must be non-negative");
+  RIPPLE_REQUIRE(target_mean < static_cast<double>(cap),
+                 "target mean must be below the cap");
+  // The truncated mean is continuous and increasing in p; bisect.
+  double lo = 0.0;
+  double hi = 1.0 - 1e-12;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    TruncatedGeometricGain probe(mid, cap);
+    if (probe.mean() < target_mean) lo = mid;
+    else hi = mid;
+  }
+  return std::make_shared<const TruncatedGeometricGain>(0.5 * (lo + hi), cap);
+}
+
+OutputCount TruncatedGeometricGain::sample(Xoshiro256& rng) const {
+  return sample_cdf(cdf_, rng);
+}
+double TruncatedGeometricGain::mean() const { return mean_; }
+double TruncatedGeometricGain::variance() const { return variance_; }
+OutputCount TruncatedGeometricGain::max_outputs() const { return cap_; }
+std::string TruncatedGeometricGain::name() const {
+  return "truncated_geometric(" + util::format_double(p_, 6) + ", " +
+         std::to_string(cap_) + ")";
+}
+
+// -------------------------------------------------------------------- Empirical
+
+EmpiricalGain::EmpiricalGain(std::vector<double> weights) {
+  RIPPLE_REQUIRE(!weights.empty(), "empirical gain needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    RIPPLE_REQUIRE(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  RIPPLE_REQUIRE(total > 0.0, "weights must not all be zero");
+  cdf_.resize(weights.size());
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    cumulative += weights[k] / total;
+    cdf_[k] = std::min(cumulative, 1.0);
+  }
+  cdf_.back() = 1.0;
+  const FiniteMoments m = moments_from_cdf(cdf_);
+  mean_ = m.mean;
+  variance_ = m.variance;
+}
+
+OutputCount EmpiricalGain::sample(Xoshiro256& rng) const {
+  return sample_cdf(cdf_, rng);
+}
+double EmpiricalGain::mean() const { return mean_; }
+double EmpiricalGain::variance() const { return variance_; }
+std::vector<double> EmpiricalGain::weights() const {
+  std::vector<double> masses(cdf_.size());
+  double previous = 0.0;
+  for (std::size_t k = 0; k < cdf_.size(); ++k) {
+    masses[k] = cdf_[k] - previous;
+    previous = cdf_[k];
+  }
+  return masses;
+}
+
+OutputCount EmpiricalGain::max_outputs() const {
+  return static_cast<OutputCount>(cdf_.size() - 1);
+}
+std::string EmpiricalGain::name() const {
+  return "empirical(k_max=" + std::to_string(cdf_.size() - 1) + ")";
+}
+
+// -------------------------------------------------------------------- factories
+
+GainPtr make_deterministic(OutputCount k) {
+  return std::make_shared<const DeterministicGain>(k);
+}
+GainPtr make_bernoulli(double p) {
+  return std::make_shared<const BernoulliGain>(p);
+}
+GainPtr make_censored_poisson(double lambda, OutputCount cap) {
+  return std::make_shared<const CensoredPoissonGain>(lambda, cap);
+}
+
+}  // namespace ripple::dist

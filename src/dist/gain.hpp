@@ -1,0 +1,154 @@
+// Gain distributions: the per-input output-count models of paper Section 6.1.
+//
+// A node's *gain* is the (stochastic) number of output items it produces per
+// input item. The paper models filter-like stages as Bernoulli(g) and the
+// expanding BLAST stage as Poisson(g) censored at the stage's hard output
+// limit u = 16.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/rng.hpp"
+
+namespace ripple::dist {
+
+/// Number of outputs one input produces at a node.
+using OutputCount = std::uint32_t;
+
+/// Abstract per-input gain model. Implementations must be immutable after
+/// construction so one instance can be shared across simulation threads
+/// (each thread carries its own RNG).
+class GainDistribution {
+ public:
+  virtual ~GainDistribution() = default;
+
+  /// Draw the number of outputs for one input item.
+  virtual OutputCount sample(Xoshiro256& rng) const = 0;
+
+  /// Exact expected outputs per input (the paper's g_i).
+  virtual double mean() const = 0;
+
+  /// Exact variance of outputs per input.
+  virtual double variance() const = 0;
+
+  /// Hard upper bound on outputs per input (the paper's u for stage 1).
+  virtual OutputCount max_outputs() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using GainPtr = std::shared_ptr<const GainDistribution>;
+
+/// Always exactly k outputs (k = 1 models a regular node).
+class DeterministicGain final : public GainDistribution {
+ public:
+  explicit DeterministicGain(OutputCount k);
+  OutputCount sample(Xoshiro256& rng) const override;
+  double mean() const override;
+  double variance() const override;
+  OutputCount max_outputs() const override;
+  std::string name() const override;
+
+  OutputCount count() const noexcept { return k_; }
+
+ private:
+  OutputCount k_;
+};
+
+/// One output with probability p, else zero (paper's filter stages).
+class BernoulliGain final : public GainDistribution {
+ public:
+  explicit BernoulliGain(double p);
+  OutputCount sample(Xoshiro256& rng) const override;
+  double mean() const override;
+  double variance() const override;
+  OutputCount max_outputs() const override;
+  std::string name() const override;
+
+  double probability() const noexcept { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Poisson(lambda) censored at cap: values above cap are reported as cap
+/// (paper's expanding stage, lambda = 1.92, cap = u = 16).
+///
+/// mean()/variance() are the *censored* moments, computed exactly at
+/// construction, so analytic predictions line up with what the simulator
+/// actually samples.
+class CensoredPoissonGain final : public GainDistribution {
+ public:
+  CensoredPoissonGain(double lambda, OutputCount cap);
+  OutputCount sample(Xoshiro256& rng) const override;
+  double mean() const override;
+  double variance() const override;
+  OutputCount max_outputs() const override;
+  std::string name() const override;
+
+  double lambda() const noexcept { return lambda_; }
+
+ private:
+  double lambda_;
+  OutputCount cap_;
+  std::vector<double> cdf_;  // cdf_[k] = P(outputs <= k), k in [0, cap]
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+/// Geometric-tail gain: P(k) proportional to (1-p) p^k for k in [0, cap].
+/// Heavier-tailed than Poisson at the same mean; used in robustness ablations.
+class TruncatedGeometricGain final : public GainDistribution {
+ public:
+  /// Constructs the truncated geometric with the given success parameter.
+  TruncatedGeometricGain(double p, OutputCount cap);
+
+  /// Factory choosing p so the truncated mean equals `target_mean`.
+  static std::shared_ptr<const TruncatedGeometricGain> with_mean(double target_mean,
+                                                                 OutputCount cap);
+
+  OutputCount sample(Xoshiro256& rng) const override;
+  double mean() const override;
+  double variance() const override;
+  OutputCount max_outputs() const override;
+  std::string name() const override;
+
+  double ratio() const noexcept { return p_; }
+
+ private:
+  double p_;
+  OutputCount cap_;
+  std::vector<double> cdf_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+/// Arbitrary finite distribution over output counts 0..(weights.size()-1),
+/// e.g. a measured histogram from the mini-BLAST substrate.
+class EmpiricalGain final : public GainDistribution {
+ public:
+  explicit EmpiricalGain(std::vector<double> weights);
+  OutputCount sample(Xoshiro256& rng) const override;
+  double mean() const override;
+  double variance() const override;
+  OutputCount max_outputs() const override;
+  std::string name() const override;
+
+  /// Reconstructed point masses (differences of the internal CDF).
+  std::vector<double> weights() const;
+
+ private:
+  std::vector<double> cdf_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+/// Convenience factories.
+GainPtr make_deterministic(OutputCount k);
+GainPtr make_bernoulli(double p);
+GainPtr make_censored_poisson(double lambda, OutputCount cap);
+
+}  // namespace ripple::dist

@@ -1,0 +1,30 @@
+#include "dist/rng.hpp"
+
+namespace ripple::dist {
+
+std::uint64_t Xoshiro256::uniform_below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's nearly-divisionless method with rejection of the biased region.
+  // (128-bit arithmetic is a GCC/Clang extension; hence __extension__.)
+  __extension__ using Uint128 = unsigned __int128;
+  while (true) {
+    const std::uint64_t x = (*this)();
+    const Uint128 m = static_cast<Uint128>(x) * static_cast<Uint128>(bound);
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound || low >= (0 - bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::uint64_t derive_seed(std::initializer_list<std::uint64_t> coordinates) noexcept {
+  std::uint64_t acc = 0x9412f32c5b1cca13ULL;  // arbitrary non-zero base
+  for (std::uint64_t coordinate : coordinates) {
+    SplitMix64 sm(acc ^ (coordinate + 0x632be59bd9b4e019ULL));
+    acc = sm.next();
+  }
+  // One extra scramble so a single-coordinate seed of 0 is still well mixed.
+  return SplitMix64(acc).next();
+}
+
+}  // namespace ripple::dist

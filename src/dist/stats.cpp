@@ -1,0 +1,119 @@
+#include "dist/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ripple::dist {
+
+void RunningStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination.
+  const double delta = other.mean_ - mean_;
+  const double total = static_cast<double>(count_ + other.count_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  RIPPLE_REQUIRE(hi > lo, "histogram range must be non-empty");
+  RIPPLE_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  std::size_t index;
+  if (x < lo_) {
+    index = 0;
+  } else if (x >= hi_) {
+    index = counts_.size() - 1;
+  } else {
+    index = static_cast<std::size_t>((x - lo_) / width_);
+    index = std::min(index, counts_.size() - 1);
+  }
+  ++counts_[index];
+  ++total_;
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  RIPPLE_REQUIRE(i < counts_.size(), "bin index out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_upper(std::size_t i) const {
+  return bin_lower(i) + width_;
+}
+
+double Histogram::quantile(double q) const {
+  RIPPLE_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double inside = counts_[i] == 0
+                                ? 0.0
+                                : (target - cumulative) / static_cast<double>(counts_[i]);
+      return bin_lower(i) + inside * width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+double quantile(std::vector<double> samples, double q) {
+  RIPPLE_REQUIRE(!samples.empty(), "quantile of empty sample set");
+  RIPPLE_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const std::size_t below = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(below);
+  if (below + 1 >= samples.size()) return samples.back();
+  return samples[below] * (1.0 - frac) + samples[below + 1] * frac;
+}
+
+ProportionInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                   double z) {
+  ProportionInterval interval;
+  if (trials == 0) return interval;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  interval.point = p;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  interval.lower = std::max(0.0, center - half);
+  interval.upper = std::min(1.0, center + half);
+  return interval;
+}
+
+}  // namespace ripple::dist

@@ -1,0 +1,71 @@
+// Streaming and batch statistics used by the simulator's metrics and by the
+// calibration loop's miss-rate confidence intervals.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ripple::dist {
+
+/// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples go to clamp bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_lower(std::size_t i) const;
+  double bin_upper(std::size_t i) const;
+
+  /// Value below which fraction q of samples fall (linear within bin).
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact quantile of a sample set (interpolated, type-7 like NumPy default).
+/// Sorts a copy; fine for per-trial latency vectors.
+double quantile(std::vector<double> samples, double q);
+
+/// Wilson score interval for a binomial proportion at normal quantile z
+/// (z = 1.96 for 95%).
+struct ProportionInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+  double point = 0.0;
+};
+ProportionInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                   double z = 1.96);
+
+}  // namespace ripple::dist

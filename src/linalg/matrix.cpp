@@ -1,0 +1,50 @@
+#include "linalg/matrix.hpp"
+
+namespace ripple::linalg {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  RIPPLE_REQUIRE(x.size() == cols_, "matrix-vector size mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += data_[r * cols_ + c] * x[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  RIPPLE_REQUIRE(cols_ == other.rows_, "matrix-matrix size mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[r * cols_ + k];
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+void Matrix::add_diagonal(double s) {
+  RIPPLE_REQUIRE(square(), "add_diagonal needs a square matrix");
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) += s;
+}
+
+}  // namespace ripple::linalg

@@ -1,0 +1,80 @@
+#include "opt/integer.hpp"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ripple::opt {
+
+IntegerResult minimize_integer_scan(std::int64_t lo, std::int64_t hi,
+                                    const IntegerObjective& objective) {
+  IntegerResult result;
+  result.value = std::numeric_limits<double>::infinity();
+  for (std::int64_t m = lo; m <= hi; ++m) {
+    ++result.evaluations;
+    const std::optional<double> value = objective(m);
+    if (value.has_value() && *value < result.value) {
+      result.feasible = true;
+      result.argmin = m;
+      result.value = *value;
+    }
+  }
+  return result;
+}
+
+IntegerResult branch_and_bound_minimize(std::int64_t lo, std::int64_t hi,
+                                        const IntegerObjective& objective,
+                                        const IntervalBound& bound,
+                                        const BranchAndBoundOptions& options) {
+  IntegerResult result;
+  result.value = std::numeric_limits<double>::infinity();
+  if (lo > hi) return result;
+
+  struct Node {
+    double bound;
+    std::int64_t lo;
+    std::int64_t hi;
+    bool operator>(const Node& other) const { return bound > other.bound; }
+  };
+  std::priority_queue<Node, std::vector<Node>, std::greater<Node>> frontier;
+  frontier.push({bound(lo, hi), lo, hi});
+
+  std::uint64_t nodes = 0;
+  while (!frontier.empty() && nodes < options.max_nodes) {
+    const Node node = frontier.top();
+    frontier.pop();
+    ++nodes;
+
+    // Prune: even the relaxation cannot beat the incumbent.
+    if (result.feasible && node.bound >= result.value) continue;
+
+    const std::int64_t width = node.hi - node.lo + 1;
+    if (width <= options.leaf_width) {
+      for (std::int64_t m = node.lo; m <= node.hi; ++m) {
+        ++result.evaluations;
+        const std::optional<double> value = objective(m);
+        if (value.has_value() && *value < result.value) {
+          result.feasible = true;
+          result.argmin = m;
+          result.value = *value;
+        }
+      }
+      continue;
+    }
+
+    const std::int64_t mid = node.lo + width / 2;
+    const double left_bound = bound(node.lo, mid - 1);
+    const double right_bound = bound(mid, node.hi);
+    if (!result.feasible || left_bound < result.value) {
+      frontier.push({left_bound, node.lo, mid - 1});
+    }
+    if (!result.feasible || right_bound < result.value) {
+      frontier.push({right_bound, mid, node.hi});
+    }
+  }
+  return result;
+}
+
+}  // namespace ripple::opt

@@ -1,0 +1,48 @@
+// Integer minimization for the monolithic MINLP (one bounded integer
+// variable, paper Figure 2).
+//
+// Two interchangeable drivers:
+//   * minimize_integer_scan — exhaustive over [lo, hi]; exact, and fast
+//     enough for the block sizes arising here (hi <= D * rho0 ~ 1e6).
+//   * BranchAndBound1D — interval branch-and-bound with a caller-supplied
+//     relaxation bound; the BONMIN-style algorithmic substrate, validated
+//     against the scan in tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+namespace ripple::opt {
+
+/// Objective evaluation at an integer point: nullopt means infeasible there.
+using IntegerObjective = std::function<std::optional<double>(std::int64_t)>;
+
+/// Lower bound on the objective over all integers in [lo, hi] (inclusive),
+/// ignoring feasibility (a valid relaxation bound).
+using IntervalBound = std::function<double(std::int64_t lo, std::int64_t hi)>;
+
+struct IntegerResult {
+  bool feasible = false;
+  std::int64_t argmin = 0;
+  double value = 0.0;
+  std::uint64_t evaluations = 0;
+};
+
+/// Exhaustive scan of [lo, hi].
+IntegerResult minimize_integer_scan(std::int64_t lo, std::int64_t hi,
+                                    const IntegerObjective& objective);
+
+struct BranchAndBoundOptions {
+  /// Intervals at or below this width are enumerated exhaustively.
+  std::int64_t leaf_width = 64;
+  std::uint64_t max_nodes = 1u << 20;
+};
+
+/// Best-first interval branch-and-bound over [lo, hi].
+IntegerResult branch_and_bound_minimize(std::int64_t lo, std::int64_t hi,
+                                        const IntegerObjective& objective,
+                                        const IntervalBound& bound,
+                                        const BranchAndBoundOptions& options = {});
+
+}  // namespace ripple::opt

@@ -1,0 +1,84 @@
+#include "opt/kkt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/solve.hpp"
+#include "util/assert.hpp"
+
+namespace ripple::opt {
+
+KktReport check_kkt(const ConvexProblem& problem, const linalg::Vector& x,
+                    double active_tolerance) {
+  RIPPLE_REQUIRE(x.size() == problem.dimension(), "point dimension mismatch");
+  KktReport report;
+  report.primal_infeasibility = problem.infeasibility(x);
+
+  // Gather active constraint normals (outward: a with a.x <= rhs active, and
+  // +-e_i for bounds).
+  std::vector<linalg::Vector> normals;
+  const std::size_t n = x.size();
+  for (const LinearInequality& c : problem.constraints) {
+    if (c.slack(x) <= active_tolerance) {
+      normals.push_back(c.coefficients);
+      report.active_labels.push_back(c.label.empty() ? "ineq" : c.label);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (problem.lower_bounds[i] > -kInf &&
+        x[i] - problem.lower_bounds[i] <= active_tolerance) {
+      linalg::Vector e = linalg::zeros(n);
+      e[i] = -1.0;  // lower bound is -x_i <= -l_i
+      normals.push_back(std::move(e));
+      report.active_labels.push_back("lower[" + std::to_string(i) + "]");
+    }
+    if (problem.upper_bounds[i] < kInf &&
+        problem.upper_bounds[i] - x[i] <= active_tolerance) {
+      linalg::Vector e = linalg::zeros(n);
+      e[i] = 1.0;
+      normals.push_back(std::move(e));
+      report.active_labels.push_back("upper[" + std::to_string(i) + "]");
+    }
+  }
+
+  const linalg::Vector g = problem.gradient(x);
+
+  if (normals.empty()) {
+    report.stationarity_residual = linalg::norm_inf(g);
+    report.min_multiplier = 0.0;
+    return report;
+  }
+
+  // Least-squares multipliers: minimize ||g + A^T lambda||_2 over lambda,
+  // i.e. solve (A A^T) lambda = -A g. Regularize lightly in case active
+  // normals are linearly dependent.
+  const std::size_t k = normals.size();
+  linalg::Matrix gram(k, k);
+  linalg::Vector rhs(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      gram(i, j) = linalg::dot(normals[i], normals[j]);
+    }
+    rhs[i] = -linalg::dot(normals[i], g);
+  }
+  gram.add_diagonal(1e-12);
+  auto lambda = linalg::solve_lu(gram, rhs);
+  if (!lambda.ok()) {
+    // Degenerate active set; report raw gradient norm as the residual.
+    report.stationarity_residual = linalg::norm_inf(g);
+    report.min_multiplier = 0.0;
+    return report;
+  }
+
+  linalg::Vector residual = g;
+  double min_multiplier = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    linalg::axpy(residual, lambda.value()[i], normals[i]);
+    min_multiplier = std::min(min_multiplier, lambda.value()[i]);
+  }
+  report.stationarity_residual = linalg::norm_inf(residual);
+  report.min_multiplier = min_multiplier;
+  return report;
+}
+
+}  // namespace ripple::opt

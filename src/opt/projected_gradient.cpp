@@ -1,0 +1,60 @@
+#include "opt/projected_gradient.hpp"
+
+#include "opt/projection.hpp"
+#include "util/assert.hpp"
+
+namespace ripple::opt {
+
+util::Result<ProjectedGradientSolution> projected_gradient_minimize(
+    const ConvexProblem& problem, const linalg::Vector& start,
+    const ProjectedGradientOptions& options) {
+  using R = util::Result<ProjectedGradientSolution>;
+
+  auto projected_start = project_to_feasible(problem, start);
+  if (!projected_start.ok()) {
+    return R::failure("no_feasible_point", projected_start.error().message);
+  }
+
+  ProjectedGradientSolution solution;
+  solution.x = std::move(projected_start).take();
+  double value = problem.objective(solution.x);
+  double step = options.initial_step;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++solution.iterations;
+    const linalg::Vector g = problem.gradient(solution.x);
+
+    // Try a gradient step, project, accept on decrease; otherwise shrink.
+    bool accepted = false;
+    for (int attempt = 0; attempt < 60; ++attempt) {
+      linalg::Vector trial = solution.x;
+      linalg::axpy(trial, -step, g);
+      auto projected = project_to_feasible(problem, trial);
+      if (projected.ok()) {
+        const linalg::Vector& candidate = projected.value();
+        const double candidate_value = problem.objective(candidate);
+        if (candidate_value < value) {
+          const double moved =
+              linalg::norm_inf(linalg::subtract(candidate, solution.x));
+          solution.x = candidate;
+          value = candidate_value;
+          step *= options.step_grow;
+          accepted = true;
+          if (moved < options.tolerance) {
+            solution.objective = value;
+            return solution;
+          }
+          break;
+        }
+      }
+      step *= options.step_shrink;
+      if (step < 1e-16) break;
+    }
+    if (!accepted) break;  // no descent possible at any step length: done
+  }
+
+  solution.objective = value;
+  return solution;
+}
+
+}  // namespace ripple::opt

@@ -1,0 +1,32 @@
+// Projected-gradient descent for ConvexProblem.
+//
+// Slower but structurally independent of the barrier solver; tests use it to
+// cross-validate optima, mirroring how one would sanity-check BONMIN output.
+#pragma once
+
+#include "opt/problem.hpp"
+#include "util/result.hpp"
+
+namespace ripple::opt {
+
+struct ProjectedGradientOptions {
+  int max_iterations = 5000;
+  double initial_step = 1.0;
+  double step_shrink = 0.5;
+  double step_grow = 1.25;
+  double tolerance = 1e-10;  ///< stop when an accepted move is smaller than this
+};
+
+struct ProjectedGradientSolution {
+  linalg::Vector x;
+  double objective = 0.0;
+  int iterations = 0;
+};
+
+/// Minimize from `start` (need not be feasible; it is projected first).
+/// Fails with "no_feasible_point" when projection cannot find the set.
+util::Result<ProjectedGradientSolution> projected_gradient_minimize(
+    const ConvexProblem& problem, const linalg::Vector& start,
+    const ProjectedGradientOptions& options = {});
+
+}  // namespace ripple::opt

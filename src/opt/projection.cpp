@@ -1,0 +1,59 @@
+#include "opt/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ripple::opt {
+
+util::Result<linalg::Vector> project_to_feasible(const ConvexProblem& problem,
+                                                 const linalg::Vector& point,
+                                                 const ProjectionOptions& options) {
+  using R = util::Result<linalg::Vector>;
+  RIPPLE_REQUIRE(point.size() == problem.dimension(), "point dimension mismatch");
+
+  // Dykstra's algorithm: cycle through the convex sets (each half-space, then
+  // the box), projecting with per-set correction vectors. Converges to the
+  // projection onto the intersection when it is non-empty.
+  const std::size_t set_count = problem.constraints.size() + 1;  // + box
+  std::vector<linalg::Vector> corrections(set_count,
+                                          linalg::zeros(point.size()));
+  linalg::Vector x = point;
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    const linalg::Vector before = x;
+
+    for (std::size_t s = 0; s < set_count; ++s) {
+      linalg::Vector y = linalg::add(x, corrections[s]);
+      linalg::Vector projected = y;
+      if (s < problem.constraints.size()) {
+        const LinearInequality& c = problem.constraints[s];
+        const double violation = linalg::dot(c.coefficients, y) - c.rhs;
+        if (violation > 0.0) {
+          const double norm2 = linalg::dot(c.coefficients, c.coefficients);
+          if (norm2 > 0.0) {
+            linalg::axpy(projected, -violation / norm2, c.coefficients);
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < projected.size(); ++i) {
+          projected[i] = std::clamp(projected[i], problem.lower_bounds[i],
+                                    problem.upper_bounds[i]);
+        }
+      }
+      corrections[s] = linalg::subtract(y, projected);
+      x = std::move(projected);
+    }
+
+    const double moved = linalg::norm_inf(linalg::subtract(x, before));
+    if (moved < options.tolerance && problem.is_feasible(x, 1e-9)) {
+      return x;
+    }
+  }
+  if (problem.is_feasible(x, 1e-7)) return x;
+  return R::failure("no_convergence",
+                    "Dykstra projection did not converge (empty feasible set?)");
+}
+
+}  // namespace ripple::opt

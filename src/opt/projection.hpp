@@ -1,0 +1,23 @@
+// Euclidean projection onto the feasible polytope of a ConvexProblem
+// (intersection of half-spaces and a box) via Dykstra's alternating
+// projections. Used by the projected-gradient cross-check solver.
+#pragma once
+
+#include "opt/problem.hpp"
+#include "util/result.hpp"
+
+namespace ripple::opt {
+
+struct ProjectionOptions {
+  int max_sweeps = 2000;
+  double tolerance = 1e-12;  ///< stop when a full sweep moves x less than this
+};
+
+/// Project `point` onto the problem's feasible set. Fails with
+/// "no_convergence" if Dykstra does not settle within the sweep budget
+/// (e.g. the feasible set is empty).
+util::Result<linalg::Vector> project_to_feasible(const ConvexProblem& problem,
+                                                 const linalg::Vector& point,
+                                                 const ProjectionOptions& options = {});
+
+}  // namespace ripple::opt

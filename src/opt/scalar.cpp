@@ -1,0 +1,126 @@
+#include "opt/scalar.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ripple::opt {
+
+ScalarResult golden_section_minimize(const ScalarFn& f, double lo, double hi,
+                                     double x_tolerance, int max_evaluations) {
+  RIPPLE_REQUIRE(hi >= lo, "interval must be ordered");
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  ScalarResult result;
+
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  result.evaluations = 2;
+
+  while (b - a > x_tolerance && result.evaluations < max_evaluations) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+    ++result.evaluations;
+  }
+  if (f1 <= f2) {
+    result.x = x1;
+    result.value = f1;
+  } else {
+    result.x = x2;
+    result.value = f2;
+  }
+  result.converged = (b - a) <= x_tolerance;
+  return result;
+}
+
+ScalarResult brent_minimize(const ScalarFn& f, double lo, double hi,
+                            double x_tolerance, int max_iterations) {
+  RIPPLE_REQUIRE(hi >= lo, "interval must be ordered");
+  constexpr double kGolden = 0.3819660112501051;  // 2 - phi
+  ScalarResult result;
+
+  double a = lo;
+  double b = hi;
+  double x = a + kGolden * (b - a);
+  double w = x;
+  double v = x;
+  double fx = f(x);
+  double fw = fx;
+  double fv = fx;
+  result.evaluations = 1;
+  double d = 0.0;
+  double e = 0.0;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    const double m = 0.5 * (a + b);
+    const double tol = x_tolerance * std::fabs(x) + 1e-15;
+    const double tol2 = 2.0 * tol;
+    if (std::fabs(x - m) <= tol2 - 0.5 * (b - a)) {
+      result.converged = true;
+      break;
+    }
+    bool use_golden = true;
+    if (std::fabs(e) > tol) {
+      // Fit a parabola through (v,fv), (w,fw), (x,fx).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double e_old = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) {
+          d = (x < m) ? tol : -tol;
+        }
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x < m) ? b - x : a - x;
+      d = kGolden * e;
+    }
+    const double u = (std::fabs(d) >= tol) ? x + d : x + ((d > 0.0) ? tol : -tol);
+    const double fu = f(u);
+    ++result.evaluations;
+    if (fu <= fx) {
+      if (u < x) b = x;
+      else a = x;
+      v = w; fv = fw;
+      w = x; fw = fx;
+      x = u; fx = fu;
+    } else {
+      if (u < x) a = u;
+      else b = u;
+      if (fu <= fw || w == x) {
+        v = w; fv = fw;
+        w = u; fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u; fv = fu;
+      }
+    }
+  }
+  result.x = x;
+  result.value = fx;
+  return result;
+}
+
+}  // namespace ripple::opt

@@ -1,0 +1,28 @@
+// One-dimensional minimization: golden-section and Brent's method.
+#pragma once
+
+#include <functional>
+
+namespace ripple::opt {
+
+struct ScalarResult {
+  double x = 0.0;        ///< argmin estimate
+  double value = 0.0;    ///< f(x)
+  int evaluations = 0;   ///< objective calls used
+  bool converged = false;
+};
+
+using ScalarFn = std::function<double(double)>;
+
+/// Golden-section search on [lo, hi]; tolerance is on the x interval width.
+/// Requires f unimodal on the interval for a global guarantee.
+ScalarResult golden_section_minimize(const ScalarFn& f, double lo, double hi,
+                                     double x_tolerance = 1e-10,
+                                     int max_evaluations = 10000);
+
+/// Brent's method (golden section + successive parabolic interpolation).
+ScalarResult brent_minimize(const ScalarFn& f, double lo, double hi,
+                            double x_tolerance = 1e-10,
+                            int max_iterations = 200);
+
+}  // namespace ripple::opt

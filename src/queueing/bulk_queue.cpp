@@ -1,0 +1,168 @@
+#include "queueing/bulk_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ripple::queueing {
+
+double BulkQueueAnalysis::firings_to_drain_quantile(
+    double p, std::uint32_t batch_size) const {
+  const std::uint32_t q = queue_quantile(p);
+  return std::ceil(static_cast<double>(q + 1) / static_cast<double>(batch_size));
+}
+
+util::Result<BulkQueueAnalysis> analyze_bulk_queue(const BulkQueueConfig& config) {
+  using R = util::Result<BulkQueueAnalysis>;
+  RIPPLE_REQUIRE(config.batch_size >= 1, "batch size must be positive");
+  RIPPLE_REQUIRE(!config.arrivals_per_interval.empty(),
+                 "arrival pmf must be non-empty");
+
+  const Pmf arrivals = truncate_tail(config.arrivals_per_interval, 1e-15);
+  const double mean_arrivals = pmf_mean(arrivals);
+  const double arrival_variance = pmf_variance(arrivals);
+  const double v = static_cast<double>(config.batch_size);
+
+  // Deterministic arrivals: the queue is a fixed cycle, stable whenever the
+  // per-interval count fits one batch (even at exactly full load). Solve in
+  // closed form.
+  if (arrival_variance < 1e-12) {
+    const auto count = static_cast<std::uint32_t>(std::lround(mean_arrivals));
+    if (static_cast<double>(count) > v) {
+      return R::failure("unstable", "deterministic arrivals exceed the batch");
+    }
+    BulkQueueAnalysis analysis;
+    analysis.stationary = delta_pmf(count);  // queue just before each firing
+    analysis.utilization = mean_arrivals / v;
+    analysis.mean_queue = mean_arrivals;
+    analysis.iterations = 0;
+    return analysis;
+  }
+
+  if (mean_arrivals >= v) {
+    return R::failure("unstable",
+                      "mean arrivals per interval (" +
+                          std::to_string(mean_arrivals) +
+                          ") meet or exceed the batch size");
+  }
+  if (mean_arrivals / v > config.utilization_threshold) {
+    return R::failure("critical",
+                      "utilization " + std::to_string(mean_arrivals / v) +
+                          " above threshold; stationary queue diverges");
+  }
+
+  // Tail decay ratio: for q large the stationary distribution decays like
+  // r^q with r = 1/z*, z* the real root > 1 of z^v = A(z) (Bailey's
+  // generating-function analysis). We use it to (a) size the state space and
+  // (b) warm-start the power iteration, which otherwise mixes very slowly at
+  // high load.
+  const double tail_ratio = [&] {
+    auto characteristic = [&](double z) {
+      // log A(z) - v log z, negative between 1 and the root.
+      double az = 0.0;
+      double zk = 1.0;
+      for (double p : arrivals) {
+        az += p * zk;
+        zk *= z;
+      }
+      return std::log(az) - v * std::log(z);
+    };
+    double lo = 1.0;
+    double hi = 1.0 + 1.0 / std::max(1.0, pmf_mean(arrivals));
+    // Grow hi until the characteristic turns positive (it must: the arrival
+    // support reaches past... if it never does, arrivals are bounded by v
+    // and the tail is effectively zero).
+    bool found = false;
+    for (int grow = 0; grow < 60; ++grow) {
+      if (characteristic(hi) > 0.0) {
+        found = true;
+        break;
+      }
+      hi = 1.0 + 2.0 * (hi - 1.0);
+      if (hi > 1e6) break;
+    }
+    if (!found) return 0.0;  // sub-batch arrivals: no geometric tail needed
+    for (int iter = 0; iter < 200; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      (characteristic(mid) > 0.0 ? hi : lo) = mid;
+    }
+    return 1.0 / hi;
+  }();
+
+  // Pick a state-space bound: generous relative to the arrival support and
+  // the tail length at which r^q falls below numerical noise.
+  std::size_t tail_reach = 0;
+  if (tail_ratio > 0.0 && tail_ratio < 1.0) {
+    tail_reach = static_cast<std::size_t>(std::log(1e-14) / std::log(tail_ratio));
+  }
+  std::size_t states = std::max<std::size_t>(
+      {4 * (arrivals.size() + config.batch_size), 256, tail_reach + arrivals.size()});
+
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (states > config.max_states) {
+      return R::failure("truncated", "state space exceeds max_states");
+    }
+    // Power iteration on pi' = pi P, warm-started from the geometric tail.
+    Pmf pi(states, 0.0);
+    if (tail_ratio > 0.0 && tail_ratio < 1.0) {
+      double mass = 0.0;
+      for (std::size_t q = 0; q < states; ++q) {
+        pi[q] = std::pow(tail_ratio, static_cast<double>(q));
+        mass += pi[q];
+      }
+      for (double& p : pi) p /= mass;
+    } else {
+      pi[0] = 1.0;
+    }
+    Pmf next(states, 0.0);
+    std::size_t iterations = 0;
+    double change = 1.0;
+    while (iterations < config.max_iterations &&
+           change > config.convergence_tolerance) {
+      std::fill(next.begin(), next.end(), 0.0);
+      for (std::size_t q = 0; q < states; ++q) {
+        const double mass = pi[q];
+        if (mass == 0.0) continue;
+        const std::size_t base =
+            q > config.batch_size ? q - config.batch_size : 0;
+        for (std::size_t a = 0; a < arrivals.size(); ++a) {
+          const double p = arrivals[a];
+          if (p == 0.0) continue;
+          const std::size_t target = std::min(base + a, states - 1);
+          next[target] += mass * p;
+        }
+      }
+      change = 0.0;
+      for (std::size_t q = 0; q < states; ++q) {
+        change += std::fabs(next[q] - pi[q]);
+      }
+      pi.swap(next);
+      ++iterations;
+    }
+    if (change > config.convergence_tolerance) {
+      return R::failure("no_convergence", "power iteration did not settle");
+    }
+    // Check truncation: if the top 1% of states carry visible mass, retry
+    // with a bigger space.
+    double edge_mass = 0.0;
+    for (std::size_t q = states - std::max<std::size_t>(states / 100, 1);
+         q < states; ++q) {
+      edge_mass += pi[q];
+    }
+    if (edge_mass > 1e-9) {
+      states *= 4;
+      continue;
+    }
+
+    BulkQueueAnalysis analysis;
+    analysis.stationary = truncate_tail(std::move(pi), 1e-15);
+    analysis.utilization = mean_arrivals / v;
+    analysis.mean_queue = pmf_mean(analysis.stationary);
+    analysis.iterations = iterations;
+    return analysis;
+  }
+  return R::failure("truncated", "state space kept hitting the edge");
+}
+
+}  // namespace ripple::queueing

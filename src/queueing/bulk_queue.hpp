@@ -1,0 +1,60 @@
+// Bulk-service queue with deterministic service intervals: the queueing
+// model behind an enforced-waits pipeline node.
+//
+// A node fires every x cycles and serves up to v queued items per firing
+// (the paper's SIMD bulk service, refs Bailey '54 and Briere & Chaudhry '89).
+// Observing the queue just before each firing gives the embedded Markov
+// chain
+//
+//     q_{k+1} = max(q_k - v, 0) + A_k,
+//
+// where A_k is the number of arrivals during one service interval (iid, pmf
+// supplied by the caller). This module computes the chain's stationary
+// distribution numerically on a truncated state space, from which queue
+// quantiles — and hence the paper's worst-case multipliers b_i — follow.
+#pragma once
+
+#include <cstdint>
+
+#include "queueing/pmf.hpp"
+#include "util/result.hpp"
+
+namespace ripple::queueing {
+
+struct BulkQueueConfig {
+  std::uint32_t batch_size = 1;  ///< v: items served per firing
+  Pmf arrivals_per_interval;     ///< pmf of A
+
+  std::size_t max_states = 1 << 18;     ///< truncation bound on queue length
+  double convergence_tolerance = 1e-12; ///< L1 change per iteration to stop
+  std::size_t max_iterations = 200000;
+
+  /// Loads above this are rejected as "critical": the embedded chain mixes
+  /// arbitrarily slowly and its stationary queue diverges as E[A]/v -> 1, so
+  /// any b predicted there would be meaningless. (Zero-variance arrivals are
+  /// exempt — a deterministic queue is stable up to and including full load.)
+  double utilization_threshold = 0.999;
+};
+
+struct BulkQueueAnalysis {
+  Pmf stationary;          ///< queue length just before a firing
+  double utilization = 0;  ///< E[A] / v
+  double mean_queue = 0;
+  std::size_t iterations = 0;
+
+  /// Smallest q with P(queue <= q) >= p.
+  std::uint32_t queue_quantile(double p) const { return pmf_quantile(stationary, p); }
+
+  /// Firings needed before an item that arrives when the queue holds its
+  /// (1-epsilon)-quantile gets served: ceil((q + 1) / v). This is the
+  /// analytic analogue of the paper's b multiplier.
+  double firings_to_drain_quantile(double p, std::uint32_t batch_size) const;
+};
+
+/// Solve for the stationary distribution. Failure codes:
+///   "unstable"       — E[A] >= v (queue grows without bound)
+///   "no_convergence" — iteration budget exhausted
+///   "truncated"      — needed more states than max_states allows
+util::Result<BulkQueueAnalysis> analyze_bulk_queue(const BulkQueueConfig& config);
+
+}  // namespace ripple::queueing

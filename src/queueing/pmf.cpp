@@ -1,0 +1,177 @@
+#include "queueing/pmf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dist/rng.hpp"
+#include "util/assert.hpp"
+
+namespace ripple::queueing {
+
+Pmf delta_pmf(std::uint32_t k) {
+  Pmf pmf(k + 1, 0.0);
+  pmf[k] = 1.0;
+  return pmf;
+}
+
+Pmf poisson_pmf(double lambda, double tail_epsilon) {
+  RIPPLE_REQUIRE(lambda >= 0.0, "Poisson rate must be non-negative");
+  if (lambda == 0.0) return delta_pmf(0);
+  Pmf pmf;
+  double pk = std::exp(-lambda);
+  double cumulative = 0.0;
+  // Walk out at least past the mean; stop when the remaining tail is tiny.
+  const std::size_t hard_cap =
+      static_cast<std::size_t>(lambda + 12.0 * std::sqrt(lambda) + 64.0);
+  for (std::size_t k = 0; k <= hard_cap; ++k) {
+    pmf.push_back(pk);
+    cumulative += pk;
+    if (static_cast<double>(k) > lambda && 1.0 - cumulative < tail_epsilon) break;
+    pk *= lambda / static_cast<double>(k + 1);
+  }
+  pmf.back() += std::max(0.0, 1.0 - cumulative);
+  return pmf;
+}
+
+Pmf gain_pmf(const dist::GainDistribution& gain) {
+  // Exact extraction for the finite families: evaluate P(X = k) by
+  // differencing the CDF implied by repeated sampling is wasteful; instead
+  // use the distribution's own structure where possible.
+  //
+  // All GainDistribution implementations in this repo have finite
+  // max_outputs(), so Monte Carlo is unnecessary: we reconstruct the pmf by
+  // sampling-free means for the known families and fall back to a large
+  // deterministic sample for anything exotic.
+  const std::uint32_t cap = gain.max_outputs();
+  Pmf pmf(cap + 1, 0.0);
+  if (const auto* deterministic =
+          dynamic_cast<const dist::DeterministicGain*>(&gain)) {
+    (void)deterministic;
+    pmf[cap] = 1.0;
+    return pmf;
+  }
+  if (gain.variance() == 0.0) {
+    // Degenerate: all mass at the mean.
+    const auto k = static_cast<std::uint32_t>(std::lround(gain.mean()));
+    RIPPLE_REQUIRE(k <= cap, "degenerate gain above its own cap");
+    pmf.assign(cap + 1, 0.0);
+    pmf[k] = 1.0;
+    return pmf;
+  }
+  if (cap == 1) {
+    // Bernoulli-like.
+    pmf[1] = gain.mean();
+    pmf[0] = 1.0 - pmf[1];
+    return pmf;
+  }
+  if (const auto* poisson =
+          dynamic_cast<const dist::CensoredPoissonGain*>(&gain)) {
+    Pmf raw = poisson_pmf(poisson->lambda());
+    pmf.assign(cap + 1, 0.0);
+    for (std::size_t k = 0; k < raw.size(); ++k) {
+      pmf[std::min<std::size_t>(k, cap)] += raw[k];
+    }
+    return pmf;
+  }
+  // Fallback: large deterministic-seed sample (exotic families only).
+  dist::Xoshiro256 rng(0x9E3779B97F4A7C15ULL);
+  constexpr int kSamples = 2'000'000;
+  std::vector<std::uint64_t> counts(cap + 1, 0);
+  for (int s = 0; s < kSamples; ++s) {
+    ++counts[std::min<std::uint32_t>(gain.sample(rng), cap)];
+  }
+  for (std::uint32_t k = 0; k <= cap; ++k) {
+    pmf[k] = static_cast<double>(counts[k]) / kSamples;
+  }
+  return pmf;
+}
+
+Pmf convolve(const Pmf& a, const Pmf& b) {
+  RIPPLE_REQUIRE(!a.empty() && !b.empty(), "convolve needs non-empty pmfs");
+  Pmf out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+Pmf convolve_power(const Pmf& base, std::uint32_t n) {
+  Pmf result = delta_pmf(0);
+  Pmf power = base;
+  std::uint32_t remaining = n;
+  while (remaining > 0) {
+    if (remaining & 1u) result = truncate_tail(convolve(result, power), 1e-14);
+    remaining >>= 1;
+    if (remaining > 0) power = truncate_tail(convolve(power, power), 1e-14);
+  }
+  return result;
+}
+
+Pmf mix(const Pmf& a, const Pmf& b, double weight_a) {
+  RIPPLE_REQUIRE(weight_a >= 0.0 && weight_a <= 1.0, "weight must be in [0,1]");
+  Pmf out(std::max(a.size(), b.size()), 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] += weight_a * a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] += (1.0 - weight_a) * b[i];
+  return out;
+}
+
+Pmf fractional_count_pmf(double n) {
+  RIPPLE_REQUIRE(n >= 0.0, "count must be non-negative");
+  const double floor_n = std::floor(n);
+  const double frac = n - floor_n;
+  const auto lo = static_cast<std::uint32_t>(floor_n);
+  if (frac < 1e-12) return delta_pmf(lo);
+  return mix(delta_pmf(lo + 1), delta_pmf(lo), frac);
+}
+
+double pmf_mean(const Pmf& pmf) {
+  double mean = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    mean += static_cast<double>(k) * pmf[k];
+  }
+  return mean;
+}
+
+double pmf_variance(const Pmf& pmf) {
+  const double mean = pmf_mean(pmf);
+  double second = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    second += static_cast<double>(k) * static_cast<double>(k) * pmf[k];
+  }
+  return second - mean * mean;
+}
+
+std::uint32_t pmf_quantile(const Pmf& pmf, double p) {
+  RIPPLE_REQUIRE(p >= 0.0 && p <= 1.0, "quantile level must be in [0,1]");
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    cumulative += pmf[k];
+    if (cumulative >= p - 1e-15) return static_cast<std::uint32_t>(k);
+  }
+  return static_cast<std::uint32_t>(pmf.size() - 1);
+}
+
+Pmf truncate_tail(Pmf pmf, double epsilon) {
+  // Find the last index where the remaining tail is still significant.
+  double tail = 0.0;
+  std::size_t cut = pmf.size();
+  for (std::size_t k = pmf.size(); k-- > 0;) {
+    tail += pmf[k];
+    if (tail > epsilon) {
+      cut = k + 1;
+      break;
+    }
+  }
+  if (cut < pmf.size()) {
+    double removed = 0.0;
+    for (std::size_t k = cut; k < pmf.size(); ++k) removed += pmf[k];
+    pmf.resize(cut);
+    pmf.back() += removed;
+  }
+  return pmf;
+}
+
+}  // namespace ripple::queueing

@@ -1,0 +1,52 @@
+// Probability mass functions over small non-negative integer supports.
+//
+// The queueing analysis (bulk_queue.hpp) works with per-service-interval
+// arrival-count distributions; this module provides the pmf algebra to build
+// them: Poisson counts, pmfs extracted from gain distributions, convolution
+// (sums of independent counts), compounding, and moments/quantiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/gain.hpp"
+
+namespace ripple::queueing {
+
+/// pmf[k] = P(X = k); entries sum to 1 within numerical tolerance.
+using Pmf = std::vector<double>;
+
+/// Point mass at k.
+Pmf delta_pmf(std::uint32_t k);
+
+/// Poisson(lambda), truncated where the tail mass drops below `tail_epsilon`
+/// (remaining mass is folded into the last bin so the pmf still sums to 1).
+Pmf poisson_pmf(double lambda, double tail_epsilon = 1e-12);
+
+/// pmf of a GainDistribution (exact for the finite-support families).
+Pmf gain_pmf(const dist::GainDistribution& gain);
+
+/// Distribution of X + Y for independent X, Y.
+Pmf convolve(const Pmf& a, const Pmf& b);
+
+/// Distribution of the sum of `n` independent copies (fast by doubling).
+Pmf convolve_power(const Pmf& base, std::uint32_t n);
+
+/// Mixture p * a + (1-p) * b (supports of different lengths allowed).
+Pmf mix(const Pmf& a, const Pmf& b, double weight_a);
+
+/// A fractional count n = floor(n) w.p. (1 - frac), floor(n)+1 w.p. frac —
+/// used for "x / x_up firings per interval" with non-integer ratios.
+Pmf fractional_count_pmf(double n);
+
+double pmf_mean(const Pmf& pmf);
+double pmf_variance(const Pmf& pmf);
+
+/// Smallest k with P(X <= k) >= p.
+std::uint32_t pmf_quantile(const Pmf& pmf, double p);
+
+/// Drop a negligible tail (mass < epsilon) to keep supports small; the
+/// removed mass is folded into the new last bin.
+Pmf truncate_tail(Pmf pmf, double epsilon = 1e-12);
+
+}  // namespace ripple::queueing

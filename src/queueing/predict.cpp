@@ -1,0 +1,144 @@
+#include "queueing/predict.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ripple::queueing {
+
+std::string to_string(ArrivalModel model) {
+  switch (model) {
+    case ArrivalModel::kPoisson: return "poisson";
+    case ArrivalModel::kBatch: return "batch";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Cap a count distribution at `cap` (mass above folds onto cap) — a node
+/// consumes at most v items per firing.
+Pmf cap_pmf(const Pmf& pmf, std::uint32_t cap) {
+  if (pmf.size() <= cap + 1) return pmf;
+  Pmf out(cap + 1, 0.0);
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    out[std::min<std::size_t>(k, cap)] += pmf[k];
+  }
+  return out;
+}
+
+/// Distribution of sum_{j=1..K} X_j with K ~ count_pmf and X_j iid item_pmf
+/// (a compound distribution), built incrementally so each K-fold convolution
+/// is computed once.
+Pmf compound_pmf(const Pmf& count_pmf, const Pmf& item_pmf) {
+  Pmf total{0.0};
+  Pmf running = delta_pmf(0);  // item_pmf^{(0)}
+  for (std::size_t k = 0; k < count_pmf.size(); ++k) {
+    const double weight = count_pmf[k];
+    if (weight > 0.0) {
+      if (total.size() < running.size()) total.resize(running.size(), 0.0);
+      for (std::size_t j = 0; j < running.size(); ++j) {
+        total[j] += weight * running[j];
+      }
+    }
+    if (k + 1 < count_pmf.size()) {
+      running = truncate_tail(convolve(running, item_pmf), 1e-14);
+    }
+  }
+  return truncate_tail(std::move(total), 1e-15);
+}
+
+/// Per-interval arrival pmfs for every node under the chosen approximation.
+///
+/// kBatch cascades exactly: A_0 is the periodic source; node i-1 consumes
+/// min(A_{i-1}, v) per firing (valid when its queue drains most firings,
+/// i.e. away from saturation), each consumed item spawns gain_{i-1} outputs,
+/// and node i sees x_i / x_{i-1} such firing batches per interval. This
+/// propagates the full compounded variance downstream, which the
+/// Jackson-style Poisson model deliberately discards.
+std::vector<Pmf> arrival_pmfs(const sdf::PipelineSpec& pipeline,
+                              const std::vector<Cycles>& x, Cycles tau0,
+                              ArrivalModel model) {
+  const std::size_t n = pipeline.size();
+  const std::uint32_t v = pipeline.simd_width();
+  std::vector<Pmf> pmfs(n);
+  pmfs[0] = fractional_count_pmf(x[0] / tau0);
+
+  for (NodeIndex i = 1; i < n; ++i) {
+    const double rate_in = pipeline.total_gain_into(i) / tau0;
+    if (rate_in <= 0.0) {
+      pmfs[i] = delta_pmf(0);
+      continue;
+    }
+    switch (model) {
+      case ArrivalModel::kPoisson:
+        pmfs[i] = poisson_pmf(rate_in * x[i]);
+        break;
+      case ArrivalModel::kBatch: {
+        const Pmf consumed = cap_pmf(pmfs[i - 1], v);
+        const Pmf per_item = gain_pmf(*pipeline.node(i - 1).gain);
+        const Pmf batch = compound_pmf(consumed, per_item);
+
+        const double firings = x[i] / x[i - 1];
+        const auto whole_firings = static_cast<std::uint32_t>(firings);
+        const double firing_frac = firings - whole_firings;
+        Pmf total = convolve_power(batch, whole_firings);
+        if (firing_frac > 1e-12) {
+          total = mix(truncate_tail(convolve(total, batch), 1e-14), total,
+                      firing_frac);
+        }
+        pmfs[i] = std::move(total);
+        break;
+      }
+    }
+  }
+  return pmfs;
+}
+
+}  // namespace
+
+util::Result<BPrediction> predict_b(const sdf::PipelineSpec& pipeline,
+                                    const std::vector<Cycles>& firing_intervals,
+                                    Cycles tau0, double epsilon,
+                                    ArrivalModel model) {
+  using R = util::Result<BPrediction>;
+  const std::size_t n = pipeline.size();
+  RIPPLE_REQUIRE(firing_intervals.size() == n, "one firing interval per node");
+  RIPPLE_REQUIRE(tau0 > 0.0, "tau0 must be positive");
+  RIPPLE_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+
+  BPrediction prediction;
+  prediction.model = model;
+  prediction.epsilon = epsilon;
+  prediction.b.resize(n);
+  prediction.queue_quantiles.resize(n);
+  prediction.utilization.resize(n);
+
+  const std::vector<Pmf> per_node_arrivals =
+      arrival_pmfs(pipeline, firing_intervals, tau0, model);
+  for (NodeIndex i = 0; i < n; ++i) {
+    const Pmf& arrivals = per_node_arrivals[i];
+
+    BulkQueueConfig config;
+    config.batch_size = pipeline.simd_width();
+    config.arrivals_per_interval = arrivals;
+    auto analysis = analyze_bulk_queue(config);
+    if (!analysis.ok()) {
+      return R::failure(analysis.error().code,
+                        "node " + std::to_string(i) + ": " +
+                            analysis.error().message);
+    }
+    const BulkQueueAnalysis& queue = analysis.value();
+    prediction.utilization[i] = queue.utilization;
+    prediction.queue_quantiles[i] = queue.queue_quantile(1.0 - epsilon);
+    prediction.b[i] = std::max(
+        1.0, queue.firings_to_drain_quantile(1.0 - epsilon,
+                                             pipeline.simd_width()));
+    prediction.predicted_worst_latency +=
+        prediction.b[i] * firing_intervals[i];
+  }
+  return prediction;
+}
+
+}  // namespace ripple::queueing

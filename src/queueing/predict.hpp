@@ -1,0 +1,57 @@
+// Analytic prediction of the paper's worst-case queue multipliers b_i.
+//
+// The paper chooses the b_i empirically (Section 6.2) and names the analytic
+// route as future work: "estimating the likely maximum time before an item
+// exits the pipeline is an application of queueing theory ... the SIMD
+// processing characteristic of nodes corresponds to a queue with bulk or
+// batch service" (Section 3), with Poisson/Jacksonian approximations as the
+// tractable option (Section 7). This module implements that route: each node
+// is modeled as a bulk-service queue (bulk_queue.hpp) whose per-interval
+// arrival distribution comes from one of three approximations, and
+// b_i = max(1, ceil((q_i(1 - eps) + 1) / v)) where q_i(p) is the stationary
+// queue quantile.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "queueing/bulk_queue.hpp"
+#include "sdf/pipeline.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace ripple::queueing {
+
+enum class ArrivalModel {
+  /// Node 0 sees the paper's deterministic arrivals; downstream nodes see
+  /// independent Poisson streams at the mean rate (Jackson-style, the
+  /// paper's suggested approximation). Ignores batch correlation, so it
+  /// tends to under-predict the b_i.
+  kPoisson,
+  /// Downstream nodes see arrivals in upstream-firing-sized batches: per
+  /// upstream firing a batch of (mean consumed) gain draws lands at once.
+  /// Captures the bulk structure the Poisson model loses.
+  kBatch,
+};
+
+std::string to_string(ArrivalModel model);
+
+struct BPrediction {
+  ArrivalModel model;
+  double epsilon = 0.0;               ///< tail level used for the quantiles
+  std::vector<double> b;              ///< predicted multipliers, >= 1
+  std::vector<std::uint32_t> queue_quantiles;  ///< q_i(1 - eps), items
+  std::vector<double> utilization;    ///< per-node E[A]/v
+  Cycles predicted_worst_latency = 0; ///< sum_i b_i x_i
+};
+
+/// Predict the b_i for a pipeline running enforced waits with firing
+/// intervals `x` (x_i = t_i + w_i) under inter-arrival time tau0.
+/// Failure codes: "unstable" (some node cannot keep up on average),
+/// "no_convergence" / "truncated" from the chain solver.
+util::Result<BPrediction> predict_b(const sdf::PipelineSpec& pipeline,
+                                    const std::vector<Cycles>& firing_intervals,
+                                    Cycles tau0, double epsilon = 1e-4,
+                                    ArrivalModel model = ArrivalModel::kBatch);
+
+}  // namespace ripple::queueing

@@ -1,0 +1,70 @@
+// Virtual-time execution of REAL stage computations under enforced waits.
+//
+// sim/enforced_sim.hpp validates schedules against *sampled* gain models;
+// this executor goes one step further and carries actual data items through
+// user-provided stage functions (the MERCATOR-style host-runtime view):
+// gains, queue growth and deadline misses emerge from the computation itself
+// rather than from a fitted distribution. Time is still virtual — node i's
+// firings occupy its configured x_i = t_i + w_i cycles — so runs are exactly
+// reproducible and independent of host speed, but every output at the sink
+// is a genuine computed result.
+//
+// Use it to check that a schedule optimized against *measured* gain models
+// still holds up on the real data path (see tests/test_runtime.cpp, which
+// drives the mini-BLAST stages through it).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sdf/pipeline.hpp"
+#include "sim/metrics.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace ripple::runtime {
+
+/// A data item flowing between stages. Each stage knows the concrete type it
+/// expects (std::any_cast inside the stage function).
+using Item = std::any;
+
+/// One pipeline stage: consume `input`, append zero or more outputs.
+/// For the final (sink) stage, appended outputs are the pipeline's results.
+using StageFn = std::function<void(Item&& input, std::vector<Item>& outputs)>;
+
+struct ExecutorConfig {
+  std::vector<Cycles> firing_intervals;  ///< x_i per node
+  Cycles input_gap = 1.0;                ///< virtual cycles between inputs
+  Cycles deadline = 0.0;                 ///< 0 = no miss accounting
+  bool charge_empty_firings = true;
+  /// Keep up to this many sink results in ExecutionMetrics::results.
+  std::size_t max_collected_results = 1024;
+  std::uint64_t max_events = 500'000'000;
+};
+
+struct ExecutionMetrics {
+  sim::TrialMetrics base;      ///< same counters as the stochastic simulator
+  std::vector<Item> results;   ///< first max_collected_results sink outputs
+};
+
+class PipelineExecutor {
+ public:
+  /// One StageFn per pipeline node; the spec supplies per-node service times
+  /// and the SIMD width. Throws std::logic_error on arity mismatch.
+  PipelineExecutor(sdf::PipelineSpec spec, std::vector<StageFn> stages);
+
+  const sdf::PipelineSpec& pipeline() const noexcept { return pipeline_; }
+
+  /// Run the given inputs through the pipeline in virtual time.
+  /// Failure codes: "bad_config" (malformed intervals), "event_budget".
+  util::Result<ExecutionMetrics> run(std::vector<Item> inputs,
+                                     const ExecutorConfig& config) const;
+
+ private:
+  sdf::PipelineSpec pipeline_;
+  std::vector<StageFn> stages_;
+};
+
+}  // namespace ripple::runtime

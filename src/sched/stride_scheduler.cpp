@@ -1,0 +1,82 @@
+#include "sched/stride_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ripple::sched {
+
+namespace {
+// Large stride numerator: strides stay integral and precise for any sane
+// ticket count.
+constexpr std::uint64_t kStrideOne = 1ULL << 20;
+}  // namespace
+
+StrideScheduler::StrideScheduler(std::vector<std::uint64_t> tickets) {
+  RIPPLE_REQUIRE(!tickets.empty(), "scheduler needs at least one task");
+  strides_.reserve(tickets.size());
+  for (std::uint64_t t : tickets) {
+    RIPPLE_REQUIRE(t > 0, "every task needs at least one ticket");
+    strides_.push_back(kStrideOne / t);
+  }
+  passes_.assign(tickets.size(), 0);
+  quanta_.assign(tickets.size(), 0);
+  runnable_.assign(tickets.size(), false);
+}
+
+StrideScheduler StrideScheduler::equal_shares(std::size_t task_count) {
+  return StrideScheduler(std::vector<std::uint64_t>(task_count, 1));
+}
+
+void StrideScheduler::adjust_pass_on_wake(TaskId task) {
+  std::uint64_t min_pass = std::numeric_limits<std::uint64_t>::max();
+  bool any = false;
+  for (std::size_t i = 0; i < runnable_.size(); ++i) {
+    if (runnable_[i] && i != task) {
+      min_pass = std::min(min_pass, passes_[i]);
+      any = true;
+    }
+  }
+  if (any) passes_[task] = std::max(passes_[task], min_pass);
+}
+
+void StrideScheduler::set_runnable(TaskId task, bool runnable) {
+  RIPPLE_REQUIRE(task < runnable_.size(), "task id out of range");
+  if (runnable_[task] == runnable) return;
+  if (runnable) adjust_pass_on_wake(task);
+  runnable_[task] = runnable;
+  runnable_count_ += runnable ? 1 : std::size_t(-1);
+}
+
+bool StrideScheduler::is_runnable(TaskId task) const {
+  RIPPLE_REQUIRE(task < runnable_.size(), "task id out of range");
+  return runnable_[task];
+}
+
+TaskId StrideScheduler::pick_and_charge() {
+  RIPPLE_REQUIRE(runnable_count_ > 0, "no runnable task to pick");
+  TaskId best = 0;
+  std::uint64_t best_pass = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < runnable_.size(); ++i) {
+    if (runnable_[i] && passes_[i] < best_pass) {
+      best_pass = passes_[i];
+      best = i;
+    }
+  }
+  passes_[best] += strides_[best];
+  ++quanta_[best];
+  return best;
+}
+
+std::uint64_t StrideScheduler::pass(TaskId task) const {
+  RIPPLE_REQUIRE(task < passes_.size(), "task id out of range");
+  return passes_[task];
+}
+
+std::uint64_t StrideScheduler::quanta_received(TaskId task) const {
+  RIPPLE_REQUIRE(task < quanta_.size(), "task id out of range");
+  return quanta_[task];
+}
+
+}  // namespace ripple::sched

@@ -1,0 +1,64 @@
+// Stride scheduler: deterministic proportional-share CPU scheduling.
+//
+// The paper's implementation model (Section 2.2) assumes each of the N
+// pipeline nodes owns a 1/N processor share dispensed by "preemptive
+// scheduling at a fine granularity" with negligible dispatch delay. Its
+// future work (Section 7) asks what happens under "cooperative or otherwise
+// more coarse-grained division of processor time". This module provides the
+// mechanism: stride scheduling (Waldspurger & Weihl, OSDI '94) doles out
+// fixed-length quanta to runnable tasks in proportion to their tickets; as
+// the quantum shrinks it converges to the fluid 1/N model, and as it grows
+// it exposes dispatch latency. quantum_sim.hpp builds the pipeline runtime
+// on top.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ripple::sched {
+
+using TaskId = std::size_t;
+
+/// Pick-next-task policy over runnable task ids. Deterministic: ties on pass
+/// value break toward the lower task id.
+class StrideScheduler {
+ public:
+  /// All tasks get `tickets[i]` tickets; more tickets = more quanta.
+  explicit StrideScheduler(std::vector<std::uint64_t> tickets);
+
+  /// Equal-share convenience (the paper's 1/N model).
+  static StrideScheduler equal_shares(std::size_t task_count);
+
+  std::size_t task_count() const noexcept { return strides_.size(); }
+
+  void set_runnable(TaskId task, bool runnable);
+  bool is_runnable(TaskId task) const;
+  std::size_t runnable_count() const noexcept { return runnable_count_; }
+
+  /// Choose the runnable task with the minimum pass value, charge it one
+  /// quantum (advance its pass by its stride), and return it. Requires at
+  /// least one runnable task.
+  TaskId pick_and_charge();
+
+  /// Current pass value of a task (monotone in quanta received).
+  std::uint64_t pass(TaskId task) const;
+
+  /// Quanta charged to a task so far.
+  std::uint64_t quanta_received(TaskId task) const;
+
+ private:
+  // When a task wakes after sleeping, its pass is brought forward to the
+  // minimum runnable pass so it cannot monopolize the processor with credit
+  // accumulated while asleep (standard stride-scheduler "pass adjustment").
+  void adjust_pass_on_wake(TaskId task);
+
+  std::vector<std::uint64_t> strides_;
+  std::vector<std::uint64_t> passes_;
+  std::vector<std::uint64_t> quanta_;
+  std::vector<bool> runnable_;
+  std::size_t runnable_count_ = 0;
+};
+
+}  // namespace ripple::sched

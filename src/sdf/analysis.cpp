@@ -1,0 +1,65 @@
+#include "sdf/analysis.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ripple::sdf {
+
+std::vector<Cycles> minimal_firing_intervals(const PipelineSpec& pipeline) {
+  const std::size_t n = pipeline.size();
+  std::vector<Cycles> lower(n);
+  lower[n - 1] = pipeline.service_time(n - 1);
+  for (std::size_t ii = n - 1; ii-- > 0;) {
+    const double g = pipeline.mean_gain(ii);
+    lower[ii] = std::max(pipeline.service_time(ii), g * lower[ii + 1]);
+  }
+  return lower;
+}
+
+Cycles minimal_deadline_budget(const PipelineSpec& pipeline,
+                               const std::vector<double>& b) {
+  RIPPLE_REQUIRE(b.size() == pipeline.size(),
+                 "one b multiplier per pipeline node required");
+  const std::vector<Cycles> lower = minimal_firing_intervals(pipeline);
+  Cycles budget = 0.0;
+  for (std::size_t i = 0; i < lower.size(); ++i) budget += b[i] * lower[i];
+  return budget;
+}
+
+Cycles min_interarrival_enforced(const PipelineSpec& pipeline) {
+  const std::vector<Cycles> lower = minimal_firing_intervals(pipeline);
+  return lower[0] / static_cast<double>(pipeline.simd_width());
+}
+
+Cycles min_interarrival_monolithic(const PipelineSpec& pipeline) {
+  return pipeline.mean_service_per_input();
+}
+
+std::vector<Cycles> maximal_firing_intervals(const PipelineSpec& pipeline,
+                                             Cycles tau0) {
+  RIPPLE_REQUIRE(tau0 > 0.0, "inter-arrival time must be positive");
+  const std::size_t n = pipeline.size();
+  std::vector<Cycles> upper(n);
+  upper[0] = static_cast<double>(pipeline.simd_width()) * tau0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double g = pipeline.mean_gain(i - 1);
+    // A gain of zero means node i sees (on average) no input; its firing
+    // interval is unconstrained by the chain.
+    upper[i] = g > 0.0 ? upper[i - 1] / g : kUnboundedCycles;
+  }
+  return upper;
+}
+
+double unconstrained_active_fraction(const PipelineSpec& pipeline, Cycles tau0) {
+  const std::vector<Cycles> upper = maximal_firing_intervals(pipeline, tau0);
+  const std::size_t n = pipeline.size();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (upper[i] < pipeline.service_time(i)) return 1.0;  // infeasible
+    sum += pipeline.service_time(i) / upper[i];
+  }
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace ripple::sdf

@@ -1,0 +1,46 @@
+// Analytic pipeline properties shared by both scheduling strategies.
+#pragma once
+
+#include <vector>
+
+#include "sdf/pipeline.hpp"
+#include "util/types.hpp"
+
+namespace ripple::sdf {
+
+/// The per-node firing-interval lower bounds L_i: the smallest values of
+/// x_i = t_i + w_i simultaneously satisfying x_i >= t_i and the chain
+/// constraints x_{i-1} >= g_{i-1} * x_i. Computed by backward recursion:
+///   L_{N-1} = t_{N-1};   L_i = max(t_i, g_i * L_{i+1}).
+/// Any feasible enforced-waits schedule has x_i >= L_i componentwise, and
+/// x = L is itself chain-feasible, so L is the exact minimizer of any
+/// monotone functional of x over the chain + box constraints.
+std::vector<Cycles> minimal_firing_intervals(const PipelineSpec& pipeline);
+
+/// Smallest achievable deadline budget sum_i b_i * x_i over feasible x
+/// (ignoring the arrival-rate constraint, which is an upper bound on x_0 and
+/// so never conflicts with minimizing x).
+Cycles minimal_deadline_budget(const PipelineSpec& pipeline,
+                               const std::vector<double>& b);
+
+/// Largest arrival rate rho0 the pipeline can sustain under enforced waits:
+/// node 0 consumes at most v items per L_0 cycles, so rho_max = v / L_0.
+/// Returns the corresponding *minimum* inter-arrival time tau0_min = L_0 / v.
+Cycles min_interarrival_enforced(const PipelineSpec& pipeline);
+
+/// Minimum inter-arrival time the monolithic strategy can sustain:
+/// stability requires Tbar(M) <= M * tau0, and Tbar(M)/M decreases toward
+/// mean_service_per_input() as M grows, so tau0_min = sum_i G_i t_i / v.
+Cycles min_interarrival_monolithic(const PipelineSpec& pipeline);
+
+/// The idealized lower bound on active fraction for enforced waits at
+/// inter-arrival tau0 and unlimited deadline: every node runs at its
+/// chain-maximal firing interval U_i (U_0 = v*tau0, U_i = U_{i-1}/g_{i-1}).
+/// Returns the active fraction (1/N) sum t_i / U_i, or 1.0 if infeasible.
+double unconstrained_active_fraction(const PipelineSpec& pipeline, Cycles tau0);
+
+/// Chain-maximal firing intervals U_i for a given tau0 (see above).
+std::vector<Cycles> maximal_firing_intervals(const PipelineSpec& pipeline,
+                                             Cycles tau0);
+
+}  // namespace ripple::sdf

@@ -1,0 +1,28 @@
+// NodeSpec: one stage of a streaming dataflow pipeline (paper Section 2.1).
+#pragma once
+
+#include <string>
+
+#include "dist/gain.hpp"
+#include "util/types.hpp"
+
+namespace ripple::sdf {
+
+/// Static description of pipeline node n_i.
+///
+/// `service_time` is the paper's t_i: the fixed time to process one SIMD
+/// vector of up to v inputs, measured while the node uses only its assigned
+/// 1/N share of the processor. `gain` is the stochastic per-input output
+/// model whose mean is the paper's g_i. The final (sink) node's gain is
+/// irrelevant to scheduling (Table 1 lists it as N/A); by convention give it
+/// DeterministicGain(1) so simulation can still count emitted results.
+struct NodeSpec {
+  std::string name;
+  Cycles service_time = 0.0;
+  dist::GainPtr gain;
+
+  /// Mean outputs per input (g_i).
+  double mean_gain() const { return gain ? gain->mean() : 0.0; }
+};
+
+}  // namespace ripple::sdf

@@ -1,0 +1,84 @@
+#include "sdf/pipeline.hpp"
+
+#include "util/assert.hpp"
+
+namespace ripple::sdf {
+
+const NodeSpec& PipelineSpec::node(NodeIndex i) const {
+  RIPPLE_REQUIRE(i < nodes_.size(), "node index out of range");
+  return nodes_[i];
+}
+
+Cycles PipelineSpec::service_time(NodeIndex i) const {
+  return node(i).service_time;
+}
+
+double PipelineSpec::mean_gain(NodeIndex i) const { return node(i).mean_gain(); }
+
+double PipelineSpec::total_gain_into(NodeIndex i) const {
+  RIPPLE_REQUIRE(i < total_gains_.size(), "node index out of range");
+  return total_gains_[i];
+}
+
+std::vector<double> PipelineSpec::total_gains() const { return total_gains_; }
+
+Cycles PipelineSpec::mean_service_per_input() const {
+  Cycles total = 0.0;
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    total += total_gains_[i] * nodes_[i].service_time /
+             static_cast<double>(simd_width_);
+  }
+  return total;
+}
+
+PipelineBuilder::PipelineBuilder(std::string name) {
+  spec_.name_ = std::move(name);
+  spec_.simd_width_ = 128;  // the paper's default v
+}
+
+PipelineBuilder& PipelineBuilder::simd_width(std::uint32_t v) {
+  spec_.simd_width_ = v;
+  return *this;
+}
+
+PipelineBuilder& PipelineBuilder::add_node(std::string name, Cycles service_time,
+                                           dist::GainPtr gain) {
+  NodeSpec node;
+  node.name = std::move(name);
+  node.service_time = service_time;
+  node.gain = std::move(gain);
+  spec_.nodes_.push_back(std::move(node));
+  return *this;
+}
+
+util::Result<PipelineSpec> PipelineBuilder::build() const {
+  using R = util::Result<PipelineSpec>;
+  if (spec_.nodes_.empty()) {
+    return R::failure("empty", "pipeline has no nodes");
+  }
+  if (spec_.simd_width_ == 0) {
+    return R::failure("bad_width", "SIMD width must be positive");
+  }
+  for (std::size_t i = 0; i < spec_.nodes_.size(); ++i) {
+    const NodeSpec& node = spec_.nodes_[i];
+    if (!(node.service_time > 0.0)) {
+      return R::failure("bad_service",
+                        "node '" + node.name + "' has non-positive service time");
+    }
+    const bool terminal = (i + 1 == spec_.nodes_.size());
+    if (!terminal && !node.gain) {
+      return R::failure("missing_gain",
+                        "non-terminal node '" + node.name + "' has no gain model");
+    }
+  }
+  PipelineSpec built = spec_;
+  built.total_gains_.resize(built.nodes_.size());
+  double g = 1.0;
+  for (std::size_t i = 0; i < built.nodes_.size(); ++i) {
+    built.total_gains_[i] = g;
+    if (built.nodes_[i].gain) g *= built.nodes_[i].gain->mean();
+  }
+  return built;
+}
+
+}  // namespace ripple::sdf

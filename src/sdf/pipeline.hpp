@@ -1,0 +1,79 @@
+// PipelineSpec: a linear chain of SIMD-serviced nodes (paper Section 2.1-2.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sdf/node.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace ripple::sdf {
+
+/// Immutable-after-build description of an application pipeline.
+///
+/// Use PipelineBuilder to construct; building validates the invariants
+/// the schedulers rely on (positive service times, gains on every
+/// non-terminal node, positive SIMD width).
+class PipelineSpec {
+ public:
+  const std::string& name() const noexcept { return name_; }
+
+  /// Number of nodes N.
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// SIMD vector width v: max items one firing consumes.
+  std::uint32_t simd_width() const noexcept { return simd_width_; }
+
+  const NodeSpec& node(NodeIndex i) const;
+  const std::vector<NodeSpec>& nodes() const noexcept { return nodes_; }
+
+  /// Service time t_i.
+  Cycles service_time(NodeIndex i) const;
+
+  /// Mean per-input gain g_i of node i.
+  double mean_gain(NodeIndex i) const;
+
+  /// Total gain G_i INTO node i: prod_{j<i} g_j (G_0 = 1).
+  /// This is the paper's expected items arriving at node i per pipeline input.
+  double total_gain_into(NodeIndex i) const;
+
+  /// All total gains, size N.
+  std::vector<double> total_gains() const;
+
+  /// Sum over nodes of G_i * t_i / v: the average active time each pipeline
+  /// input ultimately costs (the large-M limit of Tbar(M)/M).
+  Cycles mean_service_per_input() const;
+
+ private:
+  friend class PipelineBuilder;
+  PipelineSpec() = default;
+
+  std::string name_;
+  std::uint32_t simd_width_ = 0;
+  std::vector<NodeSpec> nodes_;
+  std::vector<double> total_gains_;  // precomputed G_i
+};
+
+/// Fluent builder with validation at build().
+class PipelineBuilder {
+ public:
+  explicit PipelineBuilder(std::string name);
+
+  PipelineBuilder& simd_width(std::uint32_t v);
+  PipelineBuilder& add_node(std::string name, Cycles service_time,
+                            dist::GainPtr gain);
+
+  /// Validates and produces the spec. Failure codes:
+  ///   "empty"        — no nodes
+  ///   "bad_width"    — simd width not positive
+  ///   "bad_service"  — non-positive service time
+  ///   "missing_gain" — a non-terminal node lacks a gain model
+  util::Result<PipelineSpec> build() const;
+
+ private:
+  PipelineSpec spec_;
+};
+
+}  // namespace ripple::sdf

@@ -1,0 +1,194 @@
+#include "sdf/pipeline_io.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace ripple::sdf {
+
+namespace {
+
+util::Result<dist::GainPtr> gain_from_json(const util::JsonValue& value) {
+  using R = util::Result<dist::GainPtr>;
+  if (value.is_null()) return dist::GainPtr{};  // terminal node
+  if (!value.is_object()) {
+    return R::failure("bad_schema", "gain must be an object or null");
+  }
+  const std::string type = value.string_or("type", "");
+  if (type == "deterministic") {
+    const double k = value.number_or("k", -1.0);
+    if (k < 0.0 || k != std::floor(k)) {
+      return R::failure("bad_schema", "deterministic gain needs integer k >= 0");
+    }
+    return dist::make_deterministic(static_cast<dist::OutputCount>(k));
+  }
+  if (type == "bernoulli") {
+    const double p = value.number_or("p", -1.0);
+    if (p < 0.0 || p > 1.0) {
+      return R::failure("bad_schema", "bernoulli gain needs p in [0,1]");
+    }
+    return dist::make_bernoulli(p);
+  }
+  if (type == "censored_poisson") {
+    const double lambda = value.number_or("lambda", -1.0);
+    const double cap = value.number_or("cap", -1.0);
+    if (lambda < 0.0 || cap < 1.0 || cap != std::floor(cap)) {
+      return R::failure("bad_schema",
+                        "censored_poisson needs lambda >= 0 and integer cap >= 1");
+    }
+    return dist::make_censored_poisson(lambda,
+                                       static_cast<dist::OutputCount>(cap));
+  }
+  if (type == "truncated_geometric") {
+    const double p = value.number_or("p", -1.0);
+    const double cap = value.number_or("cap", -1.0);
+    if (p < 0.0 || p >= 1.0 || cap < 1.0 || cap != std::floor(cap)) {
+      return R::failure("bad_schema",
+                        "truncated_geometric needs p in [0,1) and integer cap >= 1");
+    }
+    return dist::GainPtr(std::make_shared<const dist::TruncatedGeometricGain>(
+        p, static_cast<dist::OutputCount>(cap)));
+  }
+  if (type == "empirical") {
+    const util::JsonValue* weights_value = value.find("weights");
+    if (weights_value == nullptr || !weights_value->is_array()) {
+      return R::failure("bad_schema", "empirical gain needs a weights array");
+    }
+    std::vector<double> weights;
+    for (const util::JsonValue& w : weights_value->as_array()) {
+      if (!w.is_number()) {
+        return R::failure("bad_schema", "empirical weights must be numbers");
+      }
+      weights.push_back(w.as_number());
+    }
+    if (weights.empty()) {
+      return R::failure("bad_schema", "empirical weights must be non-empty");
+    }
+    return dist::GainPtr(
+        std::make_shared<const dist::EmpiricalGain>(std::move(weights)));
+  }
+  return R::failure("bad_schema", "unknown gain type '" + type + "'");
+}
+
+void gain_to_json(util::JsonWriter& json, const dist::GainDistribution* gain) {
+  if (gain == nullptr) {
+    json.null();
+    return;
+  }
+  json.begin_object();
+  if (const auto* deterministic =
+          dynamic_cast<const dist::DeterministicGain*>(gain)) {
+    json.member("type", "deterministic");
+    json.member("k", static_cast<std::uint64_t>(deterministic->count()));
+  } else if (const auto* bernoulli =
+                 dynamic_cast<const dist::BernoulliGain*>(gain)) {
+    json.member("type", "bernoulli");
+    json.member("p", bernoulli->probability());
+  } else if (const auto* poisson =
+                 dynamic_cast<const dist::CensoredPoissonGain*>(gain)) {
+    json.member("type", "censored_poisson");
+    json.member("lambda", poisson->lambda());
+    json.member("cap", static_cast<std::uint64_t>(poisson->max_outputs()));
+  } else if (const auto* geometric =
+                 dynamic_cast<const dist::TruncatedGeometricGain*>(gain)) {
+    json.member("type", "truncated_geometric");
+    json.member("p", geometric->ratio());
+    json.member("cap", static_cast<std::uint64_t>(geometric->max_outputs()));
+  } else if (const auto* empirical =
+                 dynamic_cast<const dist::EmpiricalGain*>(gain)) {
+    json.member("type", "empirical");
+    json.key("weights").begin_array();
+    for (double w : empirical->weights()) json.value(w);
+    json.end_array();
+  } else {
+    // Unknown family: preserve at least the moments as an empirical stand-in
+    // would; emit the descriptive name for diagnostics.
+    json.member("type", "unknown");
+    json.member("name", gain->name());
+    json.member("mean", gain->mean());
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+util::Result<PipelineSpec> pipeline_from_json_value(const util::JsonValue& value) {
+  using R = util::Result<PipelineSpec>;
+  if (!value.is_object()) {
+    return R::failure("bad_schema", "pipeline document must be an object");
+  }
+  const util::JsonValue* nodes = value.find("nodes");
+  if (nodes == nullptr || !nodes->is_array()) {
+    return R::failure("bad_schema", "pipeline needs a nodes array");
+  }
+  PipelineBuilder builder(value.string_or("name", "pipeline"));
+  const double width = value.number_or("simd_width", 128.0);
+  if (width < 1.0 || width != std::floor(width)) {
+    return R::failure("bad_schema", "simd_width must be a positive integer");
+  }
+  builder.simd_width(static_cast<std::uint32_t>(width));
+
+  std::size_t index = 0;
+  for (const util::JsonValue& node : nodes->as_array()) {
+    if (!node.is_object()) {
+      return R::failure("bad_schema", "node entries must be objects");
+    }
+    const double service = node.number_or("service_time", -1.0);
+    if (!(service > 0.0)) {
+      return R::failure("bad_schema", "node " + std::to_string(index) +
+                                          " needs service_time > 0");
+    }
+    const util::JsonValue* gain_value = node.find("gain");
+    dist::GainPtr gain;
+    if (gain_value != nullptr) {
+      auto parsed = gain_from_json(*gain_value);
+      if (!parsed.ok()) {
+        return R::failure(parsed.error().code,
+                          "node " + std::to_string(index) + ": " +
+                              parsed.error().message);
+      }
+      gain = parsed.value();
+    }
+    builder.add_node(node.string_or("name", "node" + std::to_string(index)),
+                     service, std::move(gain));
+    ++index;
+  }
+  return builder.build();
+}
+
+util::Result<PipelineSpec> pipeline_from_json(const std::string& text) {
+  auto document = util::parse_json(text);
+  if (!document.ok()) {
+    return util::Result<PipelineSpec>::failure(document.error().code,
+                                               document.error().message);
+  }
+  return pipeline_from_json_value(document.value());
+}
+
+void write_pipeline_spec_json(std::ostream& out, const PipelineSpec& pipeline) {
+  util::JsonWriter json(out);
+  json.begin_object();
+  json.member("name", pipeline.name());
+  json.member("simd_width", static_cast<std::uint64_t>(pipeline.simd_width()));
+  json.key("nodes").begin_array();
+  for (NodeIndex i = 0; i < pipeline.size(); ++i) {
+    json.begin_object();
+    json.member("name", pipeline.node(i).name);
+    json.member("service_time", pipeline.service_time(i));
+    json.key("gain");
+    gain_to_json(json, pipeline.node(i).gain.get());
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+}
+
+std::string pipeline_to_json(const PipelineSpec& pipeline) {
+  std::ostringstream out;
+  write_pipeline_spec_json(out, pipeline);
+  return out.str();
+}
+
+}  // namespace ripple::sdf

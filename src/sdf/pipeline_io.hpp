@@ -1,0 +1,46 @@
+// Pipeline specification serialization: JSON round trip.
+//
+// Downstream tooling (the ripple_cli tool, plotting scripts) describes
+// pipelines in a small JSON schema:
+//
+//   {
+//     "name": "blast(table1)",
+//     "simd_width": 128,
+//     "nodes": [
+//       {"name": "seed_filter", "service_time": 287,
+//        "gain": {"type": "bernoulli", "p": 0.379}},
+//       {"name": "seed_expand", "service_time": 955,
+//        "gain": {"type": "censored_poisson", "lambda": 1.92, "cap": 16}},
+//       {"name": "ungapped_extend", "service_time": 402,
+//        "gain": {"type": "bernoulli", "p": 0.0332}},
+//       {"name": "gapped_extend", "service_time": 2753,
+//        "gain": {"type": "deterministic", "k": 1}}
+//     ]
+//   }
+//
+// Gain types: deterministic{k}, bernoulli{p}, censored_poisson{lambda, cap},
+// truncated_geometric{p, cap}, empirical{weights: [...]}. The terminal
+// node's gain may be null.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sdf/pipeline.hpp"
+#include "util/jsonv.hpp"
+#include "util/result.hpp"
+
+namespace ripple::sdf {
+
+/// Parse a pipeline from a JSON document (see schema above).
+/// Error codes: "parse_error" (malformed JSON), "bad_schema" (missing or
+/// mistyped fields, unknown gain type), plus the PipelineBuilder's
+/// validation codes.
+util::Result<PipelineSpec> pipeline_from_json(const std::string& text);
+util::Result<PipelineSpec> pipeline_from_json_value(const util::JsonValue& value);
+
+/// Serialize a pipeline into the same schema (single line + newline).
+void write_pipeline_spec_json(std::ostream& out, const PipelineSpec& pipeline);
+std::string pipeline_to_json(const PipelineSpec& pipeline);
+
+}  // namespace ripple::sdf

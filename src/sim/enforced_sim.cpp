@@ -1,0 +1,208 @@
+#include "sim/enforced_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "dist/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "util/assert.hpp"
+
+namespace ripple::sim {
+
+namespace {
+
+/// Root-input identifier carried by every item so exits can be attributed.
+using RootId = std::uint32_t;
+
+/// Same-timestamp ordering: deliveries become visible before new arrivals,
+/// and both before the firing that may consume them.
+enum EventPriority : int {
+  kPriorityFireEnd = 0,
+  kPriorityArrival = 1,
+  kPriorityFireStart = 2,
+};
+
+struct EventPayload {
+  enum class Kind : std::uint8_t { kFireEnd, kArrival, kFireStart };
+  Kind kind;
+  NodeIndex node = 0;  // unused for arrivals
+};
+
+}  // namespace
+
+std::vector<Cycles> aligned_phase_offsets(const sdf::PipelineSpec& pipeline) {
+  std::vector<Cycles> offsets(pipeline.size());
+  Cycles accumulated = 0.0;
+  for (NodeIndex i = 0; i < pipeline.size(); ++i) {
+    offsets[i] = accumulated;
+    // +epsilon so node i+1's firing strictly follows node i's delivery even
+    // under floating-point ties.
+    accumulated += pipeline.service_time(i) + 1e-6;
+  }
+  return offsets;
+}
+
+TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
+                                     const std::vector<Cycles>& firing_intervals,
+                                     arrivals::ArrivalProcess& arrival_process,
+                                     const EnforcedSimConfig& config) {
+  const std::size_t n = pipeline.size();
+  RIPPLE_REQUIRE(firing_intervals.size() == n, "one firing interval per node");
+  for (NodeIndex i = 0; i < n; ++i) {
+    RIPPLE_REQUIRE(firing_intervals[i] >= pipeline.service_time(i) - 1e-9,
+                   "firing interval below service time at node " +
+                       std::to_string(i));
+  }
+  RIPPLE_REQUIRE(config.input_count > 0, "need at least one input");
+
+  dist::Xoshiro256 rng(config.seed);
+  const std::uint32_t v = pipeline.simd_width();
+
+  TrialMetrics metrics;
+  metrics.nodes.resize(n);
+  metrics.vector_width = v;
+  metrics.sharing_actors = n;  // each node is active or waiting all run long
+  metrics.arm_latency_histogram(config.deadline);
+
+  std::vector<std::deque<RootId>> queues(n);
+  // Outputs of the in-progress firing of node i, delivered at its FireEnd.
+  std::vector<std::vector<RootId>> in_flight(n);
+
+  std::vector<Cycles> root_arrival;
+  root_arrival.reserve(config.input_count);
+  std::vector<bool> root_missed(config.input_count, false);
+
+  // Items currently inside the pipeline (queued or in flight); the trial ends
+  // when the stream is exhausted and this count reaches zero.
+  std::uint64_t live_items = 0;
+  bool arrivals_done = false;
+
+  EventQueue<EventPayload> events;
+
+  // First arrival after one inter-arrival gap; every node starts its cadence
+  // with a firing at its phase offset (t = 0 by default).
+  RIPPLE_REQUIRE(config.initial_offsets.empty() ||
+                     config.initial_offsets.size() == n,
+                 "one phase offset per node (or none)");
+  events.push(arrival_process.next_interarrival(rng), kPriorityArrival,
+              {EventPayload::Kind::kArrival, 0});
+  for (NodeIndex i = 0; i < n; ++i) {
+    const Cycles offset =
+        config.initial_offsets.empty() ? 0.0 : config.initial_offsets[i];
+    RIPPLE_REQUIRE(offset >= 0.0, "phase offsets must be non-negative");
+    events.push(offset, kPriorityFireStart, {EventPayload::Kind::kFireStart, i});
+  }
+
+  std::uint64_t processed_events = 0;
+  while (!events.empty() && processed_events < config.max_events) {
+    const auto event = events.pop();
+    ++processed_events;
+    const Cycles now = event.time;
+
+    switch (event.payload.kind) {
+      case EventPayload::Kind::kArrival: {
+        const RootId root = static_cast<RootId>(root_arrival.size());
+        root_arrival.push_back(now);
+        ++metrics.inputs_arrived;
+        queues[0].push_back(root);
+        ++live_items;
+        metrics.nodes[0].max_queue_length =
+            std::max<std::uint64_t>(metrics.nodes[0].max_queue_length,
+                                    queues[0].size());
+        if (root_arrival.size() < config.input_count) {
+          events.push(now + arrival_process.next_interarrival(rng),
+                      kPriorityArrival, {EventPayload::Kind::kArrival, 0});
+        } else {
+          arrivals_done = true;
+        }
+        break;
+      }
+
+      case EventPayload::Kind::kFireStart: {
+        const NodeIndex i = event.payload.node;
+        NodeMetrics& node = metrics.nodes[i];
+        auto& queue = queues[i];
+        const std::uint32_t consumed =
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(queue.size(), v));
+
+        if (consumed > 0 || config.charge_empty_firings) {
+          ++node.firings;
+          if (consumed == 0) ++node.empty_firings;
+          node.active_time += pipeline.service_time(i);
+        }
+
+        if (consumed > 0) {
+          node.items_consumed += consumed;
+          auto& bundle = in_flight[i];
+          const bool is_sink = (i + 1 == n);
+          for (std::uint32_t k = 0; k < consumed; ++k) {
+            const RootId root = queue.front();
+            queue.pop_front();
+            if (is_sink) {
+              bundle.push_back(root);  // exits at fire end
+            } else {
+              const dist::OutputCount outputs =
+                  pipeline.node(i).gain->sample(rng);
+              node.items_produced += outputs;
+              for (dist::OutputCount o = 0; o < outputs; ++o) {
+                bundle.push_back(root);
+              }
+              // The consumed item is replaced by its outputs.
+              live_items += outputs;
+            }
+          }
+          if (!is_sink) live_items -= consumed;
+          events.push(now + pipeline.service_time(i), kPriorityFireEnd,
+                      {EventPayload::Kind::kFireEnd, i});
+        }
+
+        // Next firing on the fixed cadence — but once the stream has drained,
+        // let idle nodes stop so the event loop terminates.
+        if (!(arrivals_done && live_items == 0)) {
+          events.push(now + firing_intervals[i], kPriorityFireStart,
+                      {EventPayload::Kind::kFireStart, i});
+        }
+        break;
+      }
+
+      case EventPayload::Kind::kFireEnd: {
+        const NodeIndex i = event.payload.node;
+        auto& bundle = in_flight[i];
+        const bool is_sink = (i + 1 == n);
+        if (is_sink) {
+          for (const RootId root : bundle) {
+            ++metrics.sink_outputs;
+            const Cycles latency = now - root_arrival[root];
+            metrics.record_latency(latency);
+            if (config.deadline > 0.0 && latency > config.deadline * (1.0 + 1e-12)) {
+              if (!root_missed[root]) {
+                root_missed[root] = true;
+                ++metrics.inputs_missed;
+              }
+            }
+            metrics.makespan = std::max(metrics.makespan, now);
+          }
+          live_items -= bundle.size();
+        } else {
+          auto& next_queue = queues[i + 1];
+          for (const RootId root : bundle) next_queue.push_back(root);
+          metrics.nodes[i + 1].max_queue_length =
+              std::max<std::uint64_t>(metrics.nodes[i + 1].max_queue_length,
+                                      next_queue.size());
+        }
+        bundle.clear();
+        break;
+      }
+    }
+  }
+
+  RIPPLE_REQUIRE(processed_events < config.max_events,
+                 "event budget exhausted (unstable schedule?)");
+  metrics.inputs_on_time = metrics.inputs_arrived - metrics.inputs_missed;
+  if (metrics.makespan <= 0.0 && !root_arrival.empty()) {
+    metrics.makespan = root_arrival.back();
+  }
+  return metrics;
+}
+
+}  // namespace ripple::sim

@@ -1,0 +1,55 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, priority, sequence). The priority field gives
+// simulations explicit control over same-timestamp ordering (e.g. "outputs
+// become visible before the next firing consumes"), and the sequence number
+// makes ordering fully deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ripple::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    Cycles time;
+    int priority;       ///< lower fires first at equal time
+    std::uint64_t seq;  ///< insertion order, breaks remaining ties
+    Payload payload;
+  };
+
+  void push(Cycles time, int priority, Payload payload) {
+    heap_.push(Event{time, priority, next_seq_++, std::move(payload)});
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event event = heap_.top();
+    heap_.pop();
+    return event;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ripple::sim

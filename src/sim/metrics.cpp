@@ -1,0 +1,25 @@
+#include "sim/metrics.hpp"
+
+namespace ripple::sim {
+
+double TrialMetrics::active_fraction() const {
+  if (makespan <= 0.0 || nodes.empty()) return 0.0;
+  Cycles active = 0.0;
+  for (const NodeMetrics& node : nodes) active += node.active_time;
+  const std::size_t actors = sharing_actors == 0 ? nodes.size() : sharing_actors;
+  return active / (static_cast<double>(actors) * makespan);
+}
+
+double TrialMetrics::overall_occupancy() const {
+  std::uint64_t firings = 0;
+  std::uint64_t items = 0;
+  for (const NodeMetrics& node : nodes) {
+    firings += node.firings;
+    items += node.items_consumed;
+  }
+  if (firings == 0 || vector_width == 0) return 0.0;
+  return static_cast<double>(items) /
+         (static_cast<double>(firings) * static_cast<double>(vector_width));
+}
+
+}  // namespace ripple::sim

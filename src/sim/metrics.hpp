@@ -1,0 +1,98 @@
+// Measurements collected by one simulation trial.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dist/stats.hpp"
+#include "util/types.hpp"
+
+namespace ripple::sim {
+
+/// Per-node counters.
+struct NodeMetrics {
+  std::uint64_t firings = 0;
+  std::uint64_t empty_firings = 0;
+  std::uint64_t items_consumed = 0;
+  std::uint64_t items_produced = 0;
+  Cycles active_time = 0.0;
+  std::uint64_t max_queue_length = 0;
+
+  double mean_occupancy(std::uint32_t vector_width) const {
+    if (firings == 0) return 0.0;
+    return static_cast<double>(items_consumed) /
+           (static_cast<double>(firings) * static_cast<double>(vector_width));
+  }
+};
+
+/// Results of one trial.
+struct TrialMetrics {
+  std::vector<NodeMetrics> nodes;
+
+  std::uint64_t inputs_arrived = 0;
+  /// Root inputs whose every sink output left by the deadline (vacuously
+  /// satisfied when an input is filtered out entirely).
+  std::uint64_t inputs_on_time = 0;
+  /// Root inputs with at least one late sink output (the paper's "inputs
+  /// incurring a miss").
+  std::uint64_t inputs_missed = 0;
+
+  std::uint64_t sink_outputs = 0;
+  dist::RunningStats output_latency;  ///< per sink output: exit - root arrival
+
+  /// Latency histogram over [0, 4D) (present when a deadline was configured),
+  /// for percentile reporting beyond min/mean/max.
+  std::optional<dist::Histogram> latency_histogram;
+
+  /// Record one output latency into both the running stats and (when armed)
+  /// the histogram.
+  void record_latency(Cycles latency) {
+    output_latency.add(latency);
+    if (latency_histogram.has_value()) latency_histogram->add(latency);
+  }
+
+  /// Arm the histogram for a given deadline (no-op when deadline <= 0).
+  void arm_latency_histogram(Cycles deadline) {
+    if (deadline > 0.0) {
+      latency_histogram.emplace(0.0, 4.0 * deadline, 256);
+    }
+  }
+
+  /// Latency percentile (e.g. 0.99); falls back to max() without a histogram.
+  Cycles latency_quantile(double q) const {
+    if (latency_histogram.has_value() && latency_histogram->total() > 0) {
+      return latency_histogram->quantile(q);
+    }
+    return output_latency.max();
+  }
+
+  Cycles makespan = 0.0;  ///< time at which the last output left
+  std::uint32_t vector_width = 0;
+
+  /// Number of concurrent actors sharing the processor for active-fraction
+  /// accounting: N for enforced waits (each node is active or waiting for
+  /// the whole run), 1 for the monolithic strategy (the pipeline runs as a
+  /// unit and owns the whole allocation). 0 defaults to nodes.size().
+  std::size_t sharing_actors = 0;
+
+  /// Fraction of inputs that missed the deadline.
+  double miss_fraction() const {
+    return inputs_arrived == 0
+               ? 0.0
+               : static_cast<double>(inputs_missed) /
+                     static_cast<double>(inputs_arrived);
+  }
+
+  bool miss_free() const { return inputs_missed == 0; }
+
+  /// Measured active fraction: total node-active time over the total
+  /// active-plus-waiting time (each of N nodes is active or waiting for the
+  /// whole makespan, so the denominator is N * makespan).
+  double active_fraction() const;
+
+  /// Items-weighted mean SIMD occupancy across all nodes' firings.
+  double overall_occupancy() const;
+};
+
+}  // namespace ripple::sim

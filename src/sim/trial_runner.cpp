@@ -1,0 +1,49 @@
+#include "sim/trial_runner.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ripple::sim {
+
+TrialSummary run_trials(const TrialFn& trial_fn, std::uint64_t trial_count,
+                        util::ThreadPool* pool) {
+  RIPPLE_REQUIRE(static_cast<bool>(trial_fn), "trial function required");
+
+  std::vector<TrialMetrics> results(trial_count);
+  auto body = [&](std::size_t index) {
+    results[index] = trial_fn(index);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(trial_count, body);
+  } else {
+    for (std::uint64_t i = 0; i < trial_count; ++i) body(i);
+  }
+
+  // Aggregation is serial and deterministic (trial order, not thread order).
+  TrialSummary summary;
+  summary.trials = trial_count;
+  for (const TrialMetrics& trial : results) {
+    if (trial.miss_free()) ++summary.miss_free_trials;
+    summary.active_fraction.add(trial.active_fraction());
+    summary.miss_fraction.add(trial.miss_fraction());
+    if (trial.output_latency.count() > 0) {
+      summary.latency_mean.add(trial.output_latency.mean());
+      summary.latency_max.add(trial.output_latency.max());
+      if (trial.latency_histogram.has_value()) {
+        summary.latency_p99.add(trial.latency_quantile(0.99));
+      }
+    }
+    summary.occupancy.add(trial.overall_occupancy());
+    if (summary.max_queue_lengths.size() < trial.nodes.size()) {
+      summary.max_queue_lengths.resize(trial.nodes.size(), 0);
+    }
+    for (std::size_t i = 0; i < trial.nodes.size(); ++i) {
+      summary.max_queue_lengths[i] =
+          std::max(summary.max_queue_lengths[i], trial.nodes[i].max_queue_length);
+    }
+  }
+  return summary;
+}
+
+}  // namespace ripple::sim

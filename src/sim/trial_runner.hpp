@@ -1,0 +1,52 @@
+// Multi-trial experiment driver: run R independent seeded trials (optionally
+// across a thread pool) and aggregate the statistics the paper reports —
+// the fraction of miss-free trials, mean miss fraction, and mean measured
+// active fraction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dist/stats.hpp"
+#include "sim/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ripple::sim {
+
+/// Builds and runs one trial given its index; must be thread-safe across
+/// distinct indices (derive the trial seed from the index).
+using TrialFn = std::function<TrialMetrics(std::uint64_t trial_index)>;
+
+struct TrialSummary {
+  std::uint64_t trials = 0;
+  std::uint64_t miss_free_trials = 0;
+
+  dist::RunningStats active_fraction;  ///< across trials
+  dist::RunningStats miss_fraction;    ///< across trials
+  dist::RunningStats latency_mean;     ///< per-trial mean output latency
+  dist::RunningStats latency_max;      ///< per-trial max output latency
+  dist::RunningStats latency_p99;      ///< per-trial 99th-percentile latency
+                                       ///< (histogram-based; needs a deadline)
+  dist::RunningStats occupancy;        ///< per-trial overall SIMD occupancy
+
+  /// Per-node maximum queue length observed across every trial, in items.
+  std::vector<std::uint64_t> max_queue_lengths;
+
+  double miss_free_fraction() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(miss_free_trials) /
+                             static_cast<double>(trials);
+  }
+
+  /// Wilson 95% interval on the miss-free trial proportion.
+  dist::ProportionInterval miss_free_interval() const {
+    return dist::wilson_interval(miss_free_trials, trials);
+  }
+};
+
+/// Run `trial_count` trials. `pool` may be null for serial execution.
+TrialSummary run_trials(const TrialFn& trial_fn, std::uint64_t trial_count,
+                        util::ThreadPool* pool = nullptr);
+
+}  // namespace ripple::sim

@@ -1,0 +1,29 @@
+// Precondition checking for programmer errors.
+//
+// RIPPLE_REQUIRE is always on (construction/validation paths only — never in
+// per-event simulator hot loops). Violations indicate a bug in the caller and
+// throw std::logic_error so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ripple::util {
+
+[[noreturn]] inline void requirement_failed(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ripple::util
+
+#define RIPPLE_REQUIRE(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::ripple::util::requirement_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)

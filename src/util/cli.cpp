@@ -1,0 +1,170 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/string_utils.hpp"
+
+namespace ripple::util {
+
+void CliParser::add_flag(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kFlag;
+  opt.help = help;
+  opt.flag_value = default_value;
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_int(const std::string& name, long long default_value,
+                        const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kInt;
+  opt.help = help;
+  opt.int_value = default_value;
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kDouble;
+  opt.help = help;
+  opt.double_value = default_value;
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_string(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+  Option opt;
+  opt.kind = Kind::kString;
+  opt.help = help;
+  opt.string_value = default_value;
+  options_[name] = std::move(opt);
+}
+
+Result<bool> CliParser::assign(const std::string& name, const std::string& value) {
+  auto it = options_.find(name);
+  if (it == options_.end()) {
+    return Result<bool>::failure("unknown_option", "unknown option --" + name);
+  }
+  Option& opt = it->second;
+  switch (opt.kind) {
+    case Kind::kFlag: {
+      if (value == "true" || value == "1" || value.empty()) {
+        opt.flag_value = true;
+      } else if (value == "false" || value == "0") {
+        opt.flag_value = false;
+      } else {
+        return Result<bool>::failure("bad_value",
+                                     "--" + name + " expects true/false, got '" + value + "'");
+      }
+      return true;
+    }
+    case Kind::kInt: {
+      long long parsed = 0;
+      if (!parse_int64(value, parsed)) {
+        return Result<bool>::failure("bad_value",
+                                     "--" + name + " expects an integer, got '" + value + "'");
+      }
+      opt.int_value = parsed;
+      return true;
+    }
+    case Kind::kDouble: {
+      double parsed = 0.0;
+      if (!parse_double(value, parsed)) {
+        return Result<bool>::failure("bad_value",
+                                     "--" + name + " expects a number, got '" + value + "'");
+      }
+      opt.double_value = parsed;
+      return true;
+    }
+    case Kind::kString:
+      opt.string_value = value;
+      return true;
+  }
+  return Result<bool>::failure("internal", "unreachable option kind");
+}
+
+Result<bool> CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      auto res = assign(body.substr(0, eq), body.substr(eq + 1));
+      if (!res.ok()) return res;
+      continue;
+    }
+    // --no-flag form for booleans.
+    if (starts_with(body, "no-")) {
+      const std::string name = body.substr(3);
+      auto it = options_.find(name);
+      if (it != options_.end() && it->second.kind == Kind::kFlag) {
+        it->second.flag_value = false;
+        continue;
+      }
+    }
+    // Bare boolean flag, or option taking the next argv entry as value.
+    auto it = options_.find(body);
+    if (it == options_.end()) {
+      return Result<bool>::failure("unknown_option", "unknown option --" + body);
+    }
+    if (it->second.kind == Kind::kFlag) {
+      it->second.flag_value = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Result<bool>::failure("missing_value", "--" + body + " requires a value");
+    }
+    auto res = assign(body, argv[++i]);
+    if (!res.ok()) return res;
+  }
+  return true;
+}
+
+std::string CliParser::usage(const std::string& program_description) const {
+  std::ostringstream os;
+  os << program_description << "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    switch (opt.kind) {
+      case Kind::kFlag: os << " (flag, default " << (opt.flag_value ? "true" : "false") << ")"; break;
+      case Kind::kInt: os << "=<int> (default " << opt.int_value << ")"; break;
+      case Kind::kDouble: os << "=<num> (default " << format_double(opt.double_value) << ")"; break;
+      case Kind::kString: os << "=<str> (default '" << opt.string_value << "')"; break;
+    }
+    os << "\n      " << opt.help << "\n";
+  }
+  return os.str();
+}
+
+const CliParser::Option& CliParser::require(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  RIPPLE_REQUIRE(it != options_.end(), "option not declared: " + name);
+  RIPPLE_REQUIRE(it->second.kind == kind, "option kind mismatch: " + name);
+  return it->second;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return require(name, Kind::kFlag).flag_value;
+}
+long long CliParser::get_int(const std::string& name) const {
+  return require(name, Kind::kInt).int_value;
+}
+double CliParser::get_double(const std::string& name) const {
+  return require(name, Kind::kDouble).double_value;
+}
+const std::string& CliParser::get_string(const std::string& name) const {
+  return require(name, Kind::kString).string_value;
+}
+
+}  // namespace ripple::util

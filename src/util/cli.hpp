@@ -1,0 +1,60 @@
+// Tiny command-line option parser for the bench harnesses and examples.
+//
+// Supports --name=value, --name value, and boolean --flag / --no-flag forms.
+// Unknown options are an error so typos in sweep parameters can't silently
+// run the wrong experiment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace ripple::util {
+
+class CliParser {
+ public:
+  /// Declare options before parse(). `help` is shown by usage().
+  void add_flag(const std::string& name, bool default_value, const std::string& help);
+  void add_int(const std::string& name, long long default_value, const std::string& help);
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parse argv; on failure returns an Error describing the bad argument.
+  /// "--help" sets help_requested() without failing.
+  Result<bool> parse(int argc, const char* const* argv);
+
+  bool help_requested() const noexcept { return help_requested_; }
+  std::string usage(const std::string& program_description) const;
+
+  bool get_flag(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// Positional arguments left over after option parsing.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Kind kind;
+    std::string help;
+    bool flag_value = false;
+    long long int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  Result<bool> assign(const std::string& name, const std::string& value);
+  const Option& require(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace ripple::util

@@ -1,0 +1,32 @@
+// CSV emission for experiment outputs (figures are regenerated from these).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ripple::util {
+
+/// Streams rows of a CSV file. Fields containing commas/quotes/newlines are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void header(const std::vector<std::string>& names);
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: numeric row.
+  void row_numeric(const std::vector<double>& values, int precision = 6);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  static std::string escape(const std::string& field);
+  void emit(const std::vector<std::string>& fields);
+
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ripple::util

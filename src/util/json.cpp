@@ -1,0 +1,144 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace ripple::util {
+
+void JsonWriter::write_string(std::string_view text) {
+  out_ << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ << buffer;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+void JsonWriter::pre_value() {
+  RIPPLE_REQUIRE(!done_, "JSON document already complete");
+  if (stack_.empty()) return;  // top-level single value
+  if (stack_.back() == Frame::kObject) {
+    RIPPLE_REQUIRE(expecting_value_, "object members need a key first");
+    expecting_value_ = false;
+    return;
+  }
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  RIPPLE_REQUIRE(!stack_.empty() && stack_.back() == Frame::kObject,
+                 "end_object without matching begin_object");
+  RIPPLE_REQUIRE(!expecting_value_, "dangling key before end_object");
+  out_ << '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  RIPPLE_REQUIRE(!stack_.empty() && stack_.back() == Frame::kArray,
+                 "end_array without matching begin_array");
+  out_ << ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  RIPPLE_REQUIRE(!stack_.empty() && stack_.back() == Frame::kObject,
+                 "keys only belong inside objects");
+  RIPPLE_REQUIRE(!expecting_value_, "two keys in a row");
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+  write_string(name);
+  out_ << ':';
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  pre_value();
+  write_string(text);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  pre_value();
+  if (std::isfinite(number)) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+    out_ << buffer;
+  } else {
+    out_ << "null";  // JSON has no inf/nan
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  pre_value();
+  out_ << number;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  pre_value();
+  out_ << number;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  pre_value();
+  out_ << (flag ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  out_ << "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+bool JsonWriter::complete() const { return done_ && stack_.empty(); }
+
+}  // namespace ripple::util

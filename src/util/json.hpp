@@ -1,0 +1,64 @@
+// Minimal streaming JSON writer for experiment artifacts.
+//
+// Schedules and sweep surfaces are exported as JSON so plotting/automation
+// tooling can consume them without parsing console tables. The writer is
+// strictly streaming (no DOM), enforces well-formedness with a state stack,
+// and escapes strings per RFC 8259.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ripple::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  /// Containers. Every begin_* must be matched by the corresponding end_*;
+  /// violations throw std::logic_error (programmer error).
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be directly followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  /// Scalar values.
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Convenience: key + scalar in one call.
+  template <typename T>
+  JsonWriter& member(std::string_view name, T&& scalar) {
+    key(name);
+    return value(std::forward<T>(scalar));
+  }
+
+  /// True once all containers are closed and at least one value was written.
+  bool complete() const;
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void pre_value();   // comma/context handling before any value/container
+  void write_string(std::string_view text);
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool expecting_value_ = false; // a key was just written
+  bool done_ = false;
+};
+
+}  // namespace ripple::util

@@ -1,0 +1,273 @@
+#include "util/jsonv.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace ripple::util {
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw std::logic_error("JSON value is not a bool");
+  return std::get<bool>(data_);
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) throw std::logic_error("JSON value is not a number");
+  return std::get<double>(data_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw std::logic_error("JSON value is not a string");
+  return std::get<std::string>(data_);
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (!is_array()) throw std::logic_error("JSON value is not an array");
+  return std::get<JsonArray>(data_);
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (!is_object()) throw std::logic_error("JSON value is not an object");
+  return std::get<JsonObject>(data_);
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const JsonObject& object = std::get<JsonObject>(data_);
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* member = find(key);
+  return (member != nullptr && member->is_number()) ? member->as_number()
+                                                    : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 std::string fallback) const {
+  const JsonValue* member = find(key);
+  return (member != nullptr && member->is_string()) ? member->as_string()
+                                                    : std::move(fallback);
+}
+
+namespace {
+
+// GCC 12 emits a -Wmaybe-uninitialized false positive when it inlines the
+// std::variant destructor of a moved-from JsonValue inside the recursive
+// parser (the "value" NRVO slot in parse_object); the code paths are fully
+// initialized before any read. Suppress for this translation unit's parser.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    skip_whitespace();
+    auto value = parse_value();
+    if (!value.ok()) return value;
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  Result<JsonValue> fail(const std::string& what) {
+    return Result<JsonValue>::failure(
+        "parse_error", what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parse_value() {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto text = parse_string();
+        if (!text.ok()) {
+          return Result<JsonValue>::failure(text.error().code,
+                                            text.error().message);
+        }
+        return JsonValue(std::move(text).take());
+      }
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        return fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        return fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        return fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) {
+      return Result<std::string>::failure(
+          "parse_error", "expected string at offset " + std::to_string(pos_));
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Result<std::string>::failure("parse_error",
+                                                  "truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return Result<std::string>::failure("parse_error",
+                                                    "bad \\u escape digit");
+            }
+            // Encode as UTF-8 (BMP only; surrogate pairs are passed through
+            // as two 3-byte sequences, adequate for our ASCII-heavy data).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Result<std::string>::failure("parse_error",
+                                                "unknown escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Result<std::string>::failure("parse_error", "unterminated string");
+  }
+
+  Result<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    return JsonValue(value);
+  }
+
+  Result<JsonValue> parse_array() {
+    consume('[');
+    JsonArray array;
+    skip_whitespace();
+    if (consume(']')) return JsonValue(std::move(array));
+    while (true) {
+      skip_whitespace();
+      auto element = parse_value();
+      if (!element.ok()) return element;
+      array.push_back(std::move(element).take());
+      skip_whitespace();
+      if (consume(']')) return JsonValue(std::move(array));
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> parse_object() {
+    consume('{');
+    JsonObject object;
+    skip_whitespace();
+    if (consume('}')) return JsonValue(std::move(object));
+    while (true) {
+      skip_whitespace();
+      auto key = parse_string();
+      if (!key.ok()) {
+        return Result<JsonValue>::failure(key.error().code, key.error().message);
+      }
+      std::string key_text = std::move(key).take();
+      skip_whitespace();
+      if (!consume(':')) return fail("expected ':' after object key");
+      skip_whitespace();
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      object.emplace(std::move(key_text), std::move(value).take());
+      skip_whitespace();
+      if (consume('}')) return JsonValue(std::move(object));
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace
+
+Result<JsonValue> parse_json(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace ripple::util

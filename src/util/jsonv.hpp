@@ -1,0 +1,66 @@
+// JSON value tree + recursive-descent parser (RFC 8259 subset).
+//
+// Counterpart to the streaming writer in json.hpp: pipeline specs and tool
+// configurations are read back through this. The parser handles objects,
+// arrays, strings (with escapes), numbers, booleans and null; it rejects
+// trailing garbage and reports errors with byte offsets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace ripple::util {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  JsonValue() : data_(nullptr) {}
+  JsonValue(std::nullptr_t) : data_(nullptr) {}          // NOLINT
+  JsonValue(bool b) : data_(b) {}                        // NOLINT
+  JsonValue(double d) : data_(d) {}                      // NOLINT
+  JsonValue(std::string s) : data_(std::move(s)) {}      // NOLINT
+  JsonValue(const char* s) : data_(std::string(s)) {}    // NOLINT
+  JsonValue(JsonArray a) : data_(std::move(a)) {}        // NOLINT
+  JsonValue(JsonObject o) : data_(std::move(o)) {}       // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(data_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(data_); }
+
+  /// Typed accessors; throw std::logic_error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Convenience typed getters with defaults (no throw on absence).
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key, std::string fallback) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>
+      data_;
+};
+
+/// Parse a complete JSON document. Error code "parse_error" carries the
+/// offset and a short description.
+Result<JsonValue> parse_json(std::string_view text);
+
+}  // namespace ripple::util

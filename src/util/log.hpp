@@ -1,0 +1,49 @@
+// Minimal leveled, thread-safe logger writing to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ripple::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarn so
+/// library code stays quiet unless a tool opts in.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+/// Unknown strings map to kWarn.
+LogLevel parse_log_level(const std::string& name) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: LOG(kInfo) << "cells: " << n;
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { detail::emit(level_, stream_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ripple::util
+
+#define RIPPLE_LOG(level)                                              \
+  if (static_cast<int>(level) < static_cast<int>(::ripple::util::log_level())) \
+    ;                                                                  \
+  else                                                                 \
+    ::ripple::util::LogStatement(level)

@@ -1,0 +1,65 @@
+// Result<T>: a lightweight expected-style return type.
+//
+// Solvers and simulators report recoverable failures (infeasible problem,
+// invalid configuration) through Result rather than exceptions, keeping
+// exceptions for programmer errors only (see assert.hpp).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ripple::util {
+
+/// Error payload: a machine-readable code plus a human-readable message.
+struct Error {
+  std::string code;     ///< e.g. "infeasible", "no_convergence"
+  std::string message;  ///< free-form detail
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result failure(std::string code, std::string message) {
+    return Result(Error{std::move(code), std::move(message)});
+  }
+
+  bool ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Access the value; throws if this holds an error (programmer error).
+  const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error_->message);
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error_->message);
+    return *value_;
+  }
+  T&& take() && {
+    if (!ok()) throw std::logic_error("Result::take() on error: " + error_->message);
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const& noexcept {
+    return ok() ? *value_ : fallback;
+  }
+
+  /// Access the error; throws if this holds a value.
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error() on success");
+    return *error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+}  // namespace ripple::util

@@ -1,0 +1,23 @@
+// Wall-clock stopwatch for harness progress reporting.
+#pragma once
+
+#include <chrono>
+
+namespace ripple::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ripple::util

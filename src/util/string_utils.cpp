@@ -1,0 +1,81 @@
+#include "util/string_utils.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ripple::util {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  std::string text(buffer);
+  if (text.find('.') != std::string::npos) {
+    std::size_t last = text.find_last_not_of('0');
+    if (text[last] == '.') --last;
+    text.erase(last + 1);
+  }
+  if (text == "-0") text = "0";
+  return text;
+}
+
+std::string with_commas(unsigned long long value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+bool parse_double(std::string_view text, double& out) noexcept {
+  // std::from_chars for double is available in libstdc++ 11+.
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) return false;
+  const char* begin = trimmed.data();
+  const char* end = begin + trimmed.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_int64(std::string_view text, long long& out) noexcept {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) return false;
+  const char* begin = trimmed.data();
+  const char* end = begin + trimmed.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace ripple::util

@@ -1,0 +1,30 @@
+// Small string helpers used by the CLI parser and table/CSV writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ripple::util {
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Format a double compactly: fixed with `precision` digits, trailing zeros
+/// trimmed ("1.25", "3", "0.0004").
+std::string format_double(double value, int precision = 6);
+
+/// Render a count with thousands separators ("1,234,567").
+std::string with_commas(unsigned long long value);
+
+/// Parse helpers returning false on malformed input (no exceptions).
+bool parse_double(std::string_view text, double& out) noexcept;
+bool parse_int64(std::string_view text, long long& out) noexcept;
+
+}  // namespace ripple::util

@@ -1,0 +1,44 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ripple::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RIPPLE_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  RIPPLE_REQUIRE(cells.size() == headers_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 < cells.size()) {
+        out << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace ripple::util

@@ -1,0 +1,28 @@
+// Aligned console tables, used by the bench harnesses to print the paper's
+// tables and figure series in human-readable form.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ripple::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Right-pads each column to its widest cell and writes with a separator
+  /// rule under the header.
+  void print(std::ostream& out) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ripple::util

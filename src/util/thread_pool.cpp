@@ -1,0 +1,78 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace ripple::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ && drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // Dynamic scheduling: workers pull the next index from a shared counter, so
+  // uneven cell costs (infeasible cells return instantly) balance naturally.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto body = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count || failed.load()) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  const std::size_t lanes = std::min(count, thread_count());
+  std::vector<std::future<void>> futures;
+  futures.reserve(lanes);
+  // Keep one lane on the calling thread so a single-threaded pool still makes
+  // progress even if the pool is busy elsewhere.
+  for (std::size_t i = 1; i < lanes; ++i) futures.push_back(submit(body));
+  body();
+  for (auto& f : futures) f.get();
+
+  if (failed.load() && first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ripple::util

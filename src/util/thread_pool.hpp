@@ -1,0 +1,58 @@
+// Fixed-size thread pool used to fan out independent (tau0, D) sweep cells
+// and simulation trials. All work items must be independent; results are
+// deterministic because every trial derives its RNG seed from its own
+// coordinates, never from scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ripple::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it completes.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::logic_error("submit() on stopped ThreadPool");
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Run fn(i) for i in [0, count) across the pool and wait for completion.
+  /// Exceptions from tasks propagate out of parallel_for (first one wins).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace ripple::util

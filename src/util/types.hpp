@@ -1,0 +1,28 @@
+// Fundamental types shared across all RIPPLE modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace ripple {
+
+/// Simulated time, in device cycles. The paper's service times t_i are integer
+/// cycle counts, but optimal wait times w_i are real-valued, so all scheduling
+/// math runs over the reals.
+using Cycles = double;
+
+/// Index of a pipeline node (0 = head).
+using NodeIndex = std::size_t;
+
+/// Count of data items.
+using ItemCount = std::uint64_t;
+
+/// A value representing "no limit" for cycle quantities.
+inline constexpr Cycles kUnboundedCycles = std::numeric_limits<Cycles>::infinity();
+
+/// Relative tolerance used when comparing cycle quantities produced by
+/// different code paths (optimizer vs. simulator).
+inline constexpr double kCycleTolerance = 1e-9;
+
+}  // namespace ripple

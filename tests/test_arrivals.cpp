@@ -1,0 +1,117 @@
+#include "arrivals/arrival_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/stats.hpp"
+
+namespace ripple::arrivals {
+namespace {
+
+TEST(FixedRate, ConstantGaps) {
+  FixedRateArrivals process(7.5);
+  dist::Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(process.next_interarrival(rng), 7.5);
+  }
+  EXPECT_DOUBLE_EQ(process.mean_interarrival(), 7.5);
+}
+
+TEST(FixedRate, RejectsNonPositiveTau) {
+  EXPECT_THROW(FixedRateArrivals(0.0), std::logic_error);
+  EXPECT_THROW(FixedRateArrivals(-1.0), std::logic_error);
+}
+
+TEST(Poisson, MeanGapMatchesTau) {
+  PoissonArrivals process(10.0);
+  dist::Xoshiro256 rng(2);
+  dist::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(process.next_interarrival(rng));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.15);
+  // Exponential: stddev equals the mean.
+  EXPECT_NEAR(stats.stddev(), 10.0, 0.2);
+}
+
+TEST(Poisson, GapsArePositive) {
+  PoissonArrivals process(1.0);
+  dist::Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(process.next_interarrival(rng), 0.0);
+  }
+}
+
+TEST(Bursty, LongRunRateMatchesMixture) {
+  BurstyArrivals::Config config;
+  config.tau_quiet = 50.0;
+  config.tau_burst = 5.0;
+  config.mean_quiet_dwell = 10000.0;
+  config.mean_burst_dwell = 2000.0;
+  BurstyArrivals process(config);
+  dist::Xoshiro256 rng(4);
+  double total_time = 0.0;
+  constexpr int kArrivals = 200000;
+  for (int i = 0; i < kArrivals; ++i) {
+    total_time += process.next_interarrival(rng);
+  }
+  const double measured_mean = total_time / kArrivals;
+  EXPECT_NEAR(measured_mean, process.mean_interarrival(),
+              0.05 * process.mean_interarrival());
+}
+
+TEST(Bursty, MixedRateIsBetweenStateRates) {
+  BurstyArrivals::Config config;
+  BurstyArrivals process(config);
+  EXPECT_GT(process.mean_interarrival(), config.tau_burst);
+  EXPECT_LT(process.mean_interarrival(), config.tau_quiet);
+}
+
+TEST(Bursty, RejectsBadConfig) {
+  BurstyArrivals::Config config;
+  config.tau_burst = 0.0;
+  EXPECT_THROW((void)BurstyArrivals{config}, std::logic_error);
+  BurstyArrivals::Config config2;
+  config2.mean_quiet_dwell = -1.0;
+  EXPECT_THROW((void)BurstyArrivals{config2}, std::logic_error);
+}
+
+TEST(Trace, ReplaysAndWraps) {
+  TraceArrivals process({1.0, 2.0, 3.0});
+  dist::Xoshiro256 rng(5);
+  EXPECT_DOUBLE_EQ(process.next_interarrival(rng), 1.0);
+  EXPECT_DOUBLE_EQ(process.next_interarrival(rng), 2.0);
+  EXPECT_DOUBLE_EQ(process.next_interarrival(rng), 3.0);
+  EXPECT_DOUBLE_EQ(process.next_interarrival(rng), 1.0);  // wrapped
+  EXPECT_DOUBLE_EQ(process.mean_interarrival(), 2.0);
+}
+
+TEST(Trace, RejectsDegenerateTraces) {
+  EXPECT_THROW(TraceArrivals({}), std::logic_error);
+  EXPECT_THROW(TraceArrivals({0.0, 0.0}), std::logic_error);   // zero mean
+  EXPECT_THROW(TraceArrivals({1.0, -1.0}), std::logic_error);  // negative gap
+}
+
+TEST(Factories, ProduceFreshProcesses) {
+  auto factory = fixed_rate_factory(3.0);
+  auto p1 = factory();
+  auto p2 = factory();
+  EXPECT_NE(p1.get(), p2.get());
+  EXPECT_DOUBLE_EQ(p1->mean_interarrival(), 3.0);
+
+  auto poisson = poisson_factory(4.0)();
+  EXPECT_DOUBLE_EQ(poisson->mean_interarrival(), 4.0);
+
+  auto bursty = bursty_factory({})();
+  EXPECT_GT(bursty->mean_interarrival(), 0.0);
+}
+
+TEST(Names, Descriptive) {
+  dist::Xoshiro256 rng(6);
+  EXPECT_NE(FixedRateArrivals(2.0).name().find("fixed"), std::string::npos);
+  EXPECT_NE(PoissonArrivals(2.0).name().find("poisson"), std::string::npos);
+  EXPECT_NE(BurstyArrivals({}).name().find("bursty"), std::string::npos);
+  EXPECT_NE(TraceArrivals({1.0}).name().find("trace"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ripple::arrivals

@@ -1,0 +1,109 @@
+#include "blast/index.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ripple::blast {
+namespace {
+
+Sequence from_text(const std::string& text) {
+  Sequence seq;
+  for (char c : text) {
+    switch (c) {
+      case 'A': seq.push_back(0); break;
+      case 'C': seq.push_back(1); break;
+      case 'G': seq.push_back(2); break;
+      case 'T': seq.push_back(3); break;
+      default: ADD_FAILURE() << "bad base " << c;
+    }
+  }
+  return seq;
+}
+
+TEST(EncodeKmer, KnownCodes) {
+  const Sequence seq = from_text("ACGT");
+  EXPECT_EQ(encode_kmer(seq, 0, 1), 0u);               // A
+  EXPECT_EQ(encode_kmer(seq, 1, 1), 1u);               // C
+  EXPECT_EQ(encode_kmer(seq, 0, 2), 0b0001u);          // AC
+  EXPECT_EQ(encode_kmer(seq, 0, 4), 0b00011011u);      // ACGT
+}
+
+TEST(EncodeKmer, BoundsChecked) {
+  const Sequence seq = from_text("ACGT");
+  EXPECT_THROW((void)encode_kmer(seq, 2, 4), std::logic_error);
+  EXPECT_THROW((void)encode_kmer(seq, 0, 0), std::logic_error);
+}
+
+TEST(KmerIndex, FindsAllOccurrences) {
+  // "ACACAC": AC occurs at 0, 2, 4; CA at 1, 3.
+  const Sequence query = from_text("ACACAC");
+  const KmerIndex index(query, 2);
+  std::size_t count = 0;
+  const auto* positions = index.positions(encode_kmer(query, 0, 2), count);
+  ASSERT_EQ(count, 3u);
+  EXPECT_EQ(positions[0], 0u);
+  EXPECT_EQ(positions[1], 2u);
+  EXPECT_EQ(positions[2], 4u);
+
+  const Sequence ca = from_text("CA");
+  (void)index.positions(encode_kmer(ca, 0, 2), count);
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(KmerIndex, AbsentKmerEmpty) {
+  const Sequence query = from_text("AAAA");
+  const KmerIndex index(query, 2);
+  const Sequence gg = from_text("GG");
+  EXPECT_FALSE(index.contains(encode_kmer(gg, 0, 2)));
+  std::size_t count = 99;
+  (void)index.positions(encode_kmer(gg, 0, 2), count);
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(KmerIndex, TotalOccurrencesIsAllWindows) {
+  dist::Xoshiro256 rng(1);
+  const Sequence query = random_sequence(1000, rng);
+  const KmerIndex index(query, 8);
+  EXPECT_EQ(index.total_occurrences(), 1000u - 8u + 1u);
+}
+
+TEST(KmerIndex, DistinctCountBounded) {
+  dist::Xoshiro256 rng(2);
+  const Sequence query = random_sequence(5000, rng);
+  const KmerIndex index(query, 6);
+  EXPECT_LE(index.distinct_kmers(), 4096u);  // 4^6
+  EXPECT_GT(index.distinct_kmers(), 2000u);  // birthday-style coverage
+}
+
+TEST(KmerIndex, RejectsOutOfRangeK) {
+  dist::Xoshiro256 rng(3);
+  const Sequence query = random_sequence(100, rng);
+  EXPECT_THROW(KmerIndex(query, 0), std::logic_error);
+  EXPECT_THROW(KmerIndex(query, 13), std::logic_error);
+}
+
+TEST(KmerIndex, RejectsShortQuery) {
+  const Sequence query = from_text("AC");
+  EXPECT_THROW(KmerIndex(query, 4), std::logic_error);
+}
+
+TEST(KmerIndex, RollingEncodeMatchesDirect) {
+  // The constructor uses a rolling code; verify every indexed position
+  // matches direct encoding.
+  dist::Xoshiro256 rng(4);
+  const Sequence query = random_sequence(2000, rng);
+  const std::size_t k = 5;
+  const KmerIndex index(query, k);
+  for (std::size_t pos = 0; pos + k <= query.size(); pos += 37) {
+    const KmerCode code = encode_kmer(query, pos, k);
+    std::size_t count = 0;
+    const auto* positions = index.positions(code, count);
+    bool found = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      found |= (positions[i] == pos);
+    }
+    EXPECT_TRUE(found) << "position " << pos;
+  }
+}
+
+}  // namespace
+}  // namespace ripple::blast

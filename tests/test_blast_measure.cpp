@@ -1,0 +1,154 @@
+#include "blast/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blast/canonical.hpp"
+
+namespace ripple::blast {
+namespace {
+
+struct Fixture {
+  SequencePair pair;
+  BlastStages::Config config;
+
+  explicit Fixture(std::uint64_t seed = 21) {
+    dist::Xoshiro256 rng(seed);
+    SequencePairConfig pair_config;
+    pair_config.subject_length = 1 << 16;
+    pair_config.query_length = 1 << 14;
+    pair_config.homology_count = 8;
+    pair_config.homology_length = 256;
+    pair_config.mutation_rate = 0.08;
+    pair = make_sequence_pair(pair_config, rng);
+    config.k = 8;
+  }
+};
+
+TEST(Measure, StageFlowConserved) {
+  Fixture f;
+  const BlastStages stages(f.pair, f.config);
+  MeasureConfig mc;
+  mc.window_count = 20000;
+  const PipelineMeasurement m = measure_pipeline(stages, mc);
+
+  EXPECT_EQ(m.windows_streamed, 20000u);
+  EXPECT_EQ(m.stages[0].inputs, 20000u);
+  // Stage outputs feed the next stage's inputs exactly.
+  EXPECT_EQ(m.stages[1].inputs, m.stages[0].outputs);
+  EXPECT_EQ(m.stages[2].inputs, m.stages[1].outputs);
+  EXPECT_EQ(m.stages[3].inputs, m.stages[2].outputs);
+  EXPECT_EQ(m.alignments_reported, m.stages[3].outputs);
+}
+
+TEST(Measure, GainHistogramsConsistent) {
+  Fixture f;
+  const BlastStages stages(f.pair, f.config);
+  MeasureConfig mc;
+  mc.window_count = 20000;
+  const PipelineMeasurement m = measure_pipeline(stages, mc);
+  for (int s = 0; s < 3; ++s) {
+    std::uint64_t histogram_inputs = 0;
+    std::uint64_t histogram_outputs = 0;
+    for (std::size_t k = 0; k < m.stages[s].gain_histogram.size(); ++k) {
+      histogram_inputs += m.stages[s].gain_histogram[k];
+      histogram_outputs += k * m.stages[s].gain_histogram[k];
+    }
+    EXPECT_EQ(histogram_inputs, m.stages[s].inputs) << "stage " << s;
+    EXPECT_EQ(histogram_outputs, m.stages[s].outputs) << "stage " << s;
+  }
+}
+
+TEST(Measure, GainShapesMatchBlastStructure) {
+  Fixture f;
+  const BlastStages stages(f.pair, f.config);
+  MeasureConfig mc;
+  mc.window_count = 40000;
+  const PipelineMeasurement m = measure_pipeline(stages, mc);
+
+  // Stage 0 is a filter: gain in (0, 1).
+  EXPECT_GT(m.stages[0].mean_gain(), 0.0);
+  EXPECT_LT(m.stages[0].mean_gain(), 1.0);
+  // Stage 1 expands: mean >= 1, capped at u.
+  EXPECT_GE(m.stages[1].mean_gain(), 1.0);
+  EXPECT_LE(m.stages[1].gain_histogram.size(), 17u);  // counts 0..16
+  // Stage 2 is a strong filter: small gain.
+  EXPECT_LT(m.stages[2].mean_gain(), 0.6);
+  // Gapped extension dominates per-item cost, as in Table 1.
+  EXPECT_GT(m.stages[3].mean_ops(), m.stages[0].mean_ops());
+}
+
+TEST(Measure, StrideSkipsWindows) {
+  Fixture f;
+  const BlastStages stages(f.pair, f.config);
+  MeasureConfig mc;
+  mc.window_count = 1000;
+  mc.stride = 64;
+  const PipelineMeasurement m = measure_pipeline(stages, mc);
+  EXPECT_EQ(m.stages[0].inputs, 1000u);
+}
+
+TEST(Measure, ToPipelineSpecBuildsValidPipeline) {
+  Fixture f;
+  const BlastStages stages(f.pair, f.config);
+  MeasureConfig mc;
+  mc.window_count = 40000;
+  const PipelineMeasurement m = measure_pipeline(stages, mc);
+  auto spec = m.to_pipeline_spec(128);
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  const auto& pipeline = spec.value();
+  EXPECT_EQ(pipeline.size(), 4u);
+  EXPECT_EQ(pipeline.simd_width(), 128u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(pipeline.mean_gain(i), m.stages[i].mean_gain(), 1e-9);
+    EXPECT_GT(pipeline.service_time(i), 0.0);
+  }
+}
+
+TEST(Measure, ToPipelineSpecScalesServiceTimes) {
+  Fixture f;
+  const BlastStages stages(f.pair, f.config);
+  MeasureConfig mc;
+  mc.window_count = 10000;
+  const PipelineMeasurement m = measure_pipeline(stages, mc);
+  auto unit = m.to_pipeline_spec(128, 1.0);
+  auto doubled = m.to_pipeline_spec(128, 2.0);
+  ASSERT_TRUE(unit.ok());
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_NEAR(doubled.value().service_time(3), 2.0 * unit.value().service_time(3),
+              1e-6);
+}
+
+TEST(Measure, EmptyDownstreamFailsGracefully) {
+  // Deterministically starve every stage past the seed filter: the subject
+  // is all-A while the query contains no A, so no subject k-mer can occur in
+  // the query. to_pipeline_spec must fail with a clear error rather than
+  // produce a bogus spec.
+  dist::Xoshiro256 rng(31);
+  SequencePair pair;
+  pair.subject = Sequence(5000, 0);  // AAAA...
+  pair.query.resize(512);
+  for (Base& base : pair.query) {
+    base = static_cast<Base>(1 + rng.uniform_below(3));  // C/G/T only
+  }
+  BlastStages::Config config;
+  config.k = 8;
+  const BlastStages stages(pair, config);
+  MeasureConfig mc;
+  mc.window_count = 200;
+  const PipelineMeasurement m = measure_pipeline(stages, mc);
+  ASSERT_EQ(m.stages[1].inputs, 0u);
+  auto spec = m.to_pipeline_spec(128);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.error().code, "no_data");
+}
+
+TEST(Measure, RequiresWindows) {
+  Fixture f;
+  const BlastStages stages(f.pair, f.config);
+  MeasureConfig mc;
+  mc.window_count = 0;
+  EXPECT_THROW((void)measure_pipeline(stages, mc), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ripple::blast

@@ -1,0 +1,102 @@
+#include "blast/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace ripple::blast {
+namespace {
+
+TEST(RandomSequence, LengthAndAlphabet) {
+  dist::Xoshiro256 rng(1);
+  const Sequence seq = random_sequence(10000, rng);
+  EXPECT_EQ(seq.size(), 10000u);
+  for (Base base : seq) EXPECT_LT(base, kAlphabetSize);
+}
+
+TEST(RandomSequence, RoughlyUniformComposition) {
+  dist::Xoshiro256 rng(2);
+  const Sequence seq = random_sequence(100000, rng);
+  std::array<int, 4> counts{};
+  for (Base base : seq) ++counts[base];
+  for (int c : counts) EXPECT_NEAR(c, 25000, 1200);
+}
+
+TEST(RandomSequence, DeterministicForSeed) {
+  dist::Xoshiro256 a(3);
+  dist::Xoshiro256 b(3);
+  EXPECT_EQ(random_sequence(1000, a), random_sequence(1000, b));
+}
+
+TEST(PlantHomology, ZeroMutationCopiesExactly) {
+  dist::Xoshiro256 rng(4);
+  const Sequence source = random_sequence(100, rng);
+  Sequence target = random_sequence(100, rng);
+  plant_homology(source, 10, target, 20, 50, 0.0, rng);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(target[20 + i], source[10 + i]);
+  }
+}
+
+TEST(PlantHomology, FullMutationChangesEveryBase) {
+  dist::Xoshiro256 rng(5);
+  const Sequence source = random_sequence(100, rng);
+  Sequence target(100, 0);
+  plant_homology(source, 0, target, 0, 100, 1.0, rng);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_NE(target[i], source[i]) << i;
+    EXPECT_LT(target[i], kAlphabetSize);
+  }
+}
+
+TEST(PlantHomology, MutationRateApproximatelyRespected) {
+  dist::Xoshiro256 rng(6);
+  const Sequence source = random_sequence(20000, rng);
+  Sequence target(20000, 0);
+  plant_homology(source, 0, target, 0, 20000, 0.1, rng);
+  int differences = 0;
+  for (std::size_t i = 0; i < 20000; ++i) {
+    differences += (target[i] != source[i]);
+  }
+  EXPECT_NEAR(differences, 2000, 250);
+}
+
+TEST(PlantHomology, BoundsChecked) {
+  dist::Xoshiro256 rng(7);
+  const Sequence source = random_sequence(100, rng);
+  Sequence target = random_sequence(100, rng);
+  EXPECT_THROW(plant_homology(source, 60, target, 0, 50, 0.1, rng),
+               std::logic_error);
+  EXPECT_THROW(plant_homology(source, 0, target, 60, 50, 0.1, rng),
+               std::logic_error);
+  EXPECT_THROW(plant_homology(source, 0, target, 0, 50, 1.5, rng),
+               std::logic_error);
+}
+
+TEST(SequencePair, ConfiguredSizes) {
+  dist::Xoshiro256 rng(8);
+  SequencePairConfig config;
+  config.subject_length = 5000;
+  config.query_length = 2000;
+  config.homology_count = 3;
+  config.homology_length = 200;
+  const SequencePair pair = make_sequence_pair(config, rng);
+  EXPECT_EQ(pair.subject.size(), 5000u);
+  EXPECT_EQ(pair.query.size(), 2000u);
+}
+
+TEST(SequencePair, HomologyTooLongRejected) {
+  dist::Xoshiro256 rng(9);
+  SequencePairConfig config;
+  config.query_length = 100;
+  config.homology_length = 200;
+  EXPECT_THROW((void)make_sequence_pair(config, rng), std::logic_error);
+}
+
+TEST(ToString, RendersBases) {
+  EXPECT_EQ(to_string({0, 1, 2, 3}), "ACGT");
+  EXPECT_EQ(to_string({}), "");
+}
+
+}  // namespace
+}  // namespace ripple::blast

@@ -1,0 +1,192 @@
+#include "blast/stages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ripple::blast {
+namespace {
+
+/// Build a pair where the subject's head is copied verbatim into the query,
+/// guaranteeing strong hits, and the tail is independent noise.
+struct Fixture {
+  SequencePair pair;
+  BlastStages::Config config;
+
+  explicit Fixture(std::uint64_t seed = 1, double mutation = 0.0) {
+    dist::Xoshiro256 rng(seed);
+    pair.subject = random_sequence(4096, rng);
+    pair.query = random_sequence(2048, rng);
+    plant_homology(pair.subject, 0, pair.query, 100, 512, mutation, rng);
+    config.k = 8;
+  }
+};
+
+TEST(BlastStages, InputCountIsWindows) {
+  Fixture f;
+  const BlastStages stages(f.pair, f.config);
+  EXPECT_EQ(stages.input_count(), 4096u - 8u + 1u);
+}
+
+TEST(BlastStages, SeedMatchFindsPlantedHomology) {
+  Fixture f;
+  const BlastStages stages(f.pair, f.config);
+  StageCost cost;
+  // Subject positions 0..504 were copied into the query: exact k-mer hits.
+  EXPECT_TRUE(stages.seed_match(0, cost));
+  EXPECT_TRUE(stages.seed_match(100, cost));
+  EXPECT_GT(cost.ops, 0u);
+}
+
+TEST(BlastStages, SeedMatchBackgroundRateLow) {
+  // Without homologies, an 8-mer against a 2 kb query hits rarely
+  // (expected rate ~ 2048/65536 ~ 3%).
+  dist::Xoshiro256 rng(9);
+  SequencePair pair;
+  pair.subject = random_sequence(20000, rng);
+  pair.query = random_sequence(2048, rng);
+  BlastStages::Config config;
+  config.k = 8;
+  const BlastStages stages(pair, config);
+  int hits = 0;
+  StageCost cost;
+  for (std::uint32_t pos = 0; pos < 10000; ++pos) {
+    hits += stages.seed_match(pos, cost);
+  }
+  EXPECT_LT(hits, 800);
+  EXPECT_GT(hits, 50);
+}
+
+TEST(BlastStages, ExpandSeedRespectsCap) {
+  // A query of all-As makes every A-run k-mer hit everywhere: expansion must
+  // clip at u.
+  SequencePair pair;
+  pair.subject = Sequence(100, 0);  // all A
+  pair.query = Sequence(500, 0);    // all A
+  BlastStages::Config config;
+  config.k = 4;
+  config.max_hits_per_seed = 16;
+  const BlastStages stages(pair, config);
+  StageCost cost;
+  const auto hits = stages.expand_seed(0, cost);
+  EXPECT_EQ(hits.size(), 16u);
+  for (const HitItem& hit : hits) EXPECT_EQ(hit.subject_pos, 0u);
+}
+
+TEST(BlastStages, ExpandSeedEmptyOnMiss) {
+  Fixture f;
+  const BlastStages stages(f.pair, f.config);
+  StageCost cost;
+  // Find a window with no seed match, then expansion must be empty.
+  for (std::uint32_t pos = 600; pos < 4000; ++pos) {
+    StageCost probe_cost;
+    if (!stages.seed_match(pos, probe_cost)) {
+      EXPECT_TRUE(stages.expand_seed(pos, cost).empty());
+      return;
+    }
+  }
+  FAIL() << "no missing window found (degenerate fixture)";
+}
+
+TEST(BlastStages, UngappedExtensionPassesOnExactHomology) {
+  Fixture f(2, /*mutation=*/0.0);
+  const BlastStages stages(f.pair, f.config);
+  StageCost cost;
+  // Subject 200 corresponds to query 300 inside the 512-base exact copy.
+  const HitItem hit{200, 300};
+  const auto extended = stages.ungapped_extend(hit, cost);
+  ASSERT_TRUE(extended.has_value());
+  // Long exact extension: score far above the default threshold.
+  EXPECT_GT(extended->ungapped_score, 100);
+  EXPECT_GT(cost.ops, 50u);  // really walked the sequence
+}
+
+TEST(BlastStages, UngappedExtensionRejectsChanceSeed) {
+  // A k-mer match between unrelated sequences should rarely extend: build a
+  // fully synthetic chance hit by copying only k bases.
+  dist::Xoshiro256 rng(11);
+  SequencePair pair;
+  pair.subject = random_sequence(1000, rng);
+  pair.query = random_sequence(1000, rng);
+  BlastStages::Config config;
+  config.k = 8;
+  for (std::size_t i = 0; i < config.k; ++i) pair.query[500 + i] = pair.subject[300 + i];
+  const BlastStages stages(pair, config);
+  StageCost cost;
+  const auto extended = stages.ungapped_extend(HitItem{300, 500}, cost);
+  EXPECT_FALSE(extended.has_value());
+}
+
+TEST(BlastStages, UngappedExtensionToleratesMutations) {
+  Fixture f(3, /*mutation=*/0.05);
+  const BlastStages stages(f.pair, f.config);
+  // Locate a surviving seed inside the homologous block.
+  StageCost cost;
+  int passes = 0;
+  int attempts = 0;
+  for (std::uint32_t pos = 0; pos + 8 < 500; ++pos) {
+    if (!stages.seed_match(pos, cost)) continue;
+    const auto hits = stages.expand_seed(pos, cost);
+    for (const auto& hit : hits) {
+      ++attempts;
+      passes += stages.ungapped_extend(hit, cost).has_value();
+    }
+  }
+  ASSERT_GT(attempts, 0);
+  EXPECT_GT(passes, attempts / 4);  // most true-homology hits survive
+}
+
+TEST(BlastStages, GappedExtensionScoresHomologyAboveNoise) {
+  Fixture f(4, /*mutation=*/0.05);
+  const BlastStages stages(f.pair, f.config);
+  StageCost cost;
+  const Alignment aligned =
+      stages.gapped_extend(ExtendedHit{200, 300, 20}, cost);
+  EXPECT_GT(aligned.score, 40);
+  EXPECT_GT(cost.ops, 100u);  // DP cells actually evaluated
+
+  // Noise region: alignment score stays near the seed score.
+  const Alignment noise =
+      stages.gapped_extend(ExtendedHit{3000, 1500, 20}, cost);
+  EXPECT_LT(noise.score, aligned.score);
+}
+
+TEST(BlastStages, GappedExtensionNearSequenceEdges) {
+  Fixture f(5);
+  const BlastStages stages(f.pair, f.config);
+  StageCost cost;
+  // Must not crash or read out of bounds at the extreme corners.
+  (void)stages.gapped_extend(ExtendedHit{0, 0, 10}, cost);
+  (void)stages.gapped_extend(
+      ExtendedHit{static_cast<std::uint32_t>(f.pair.subject.size() - 1),
+                  static_cast<std::uint32_t>(f.pair.query.size() - 1), 10},
+      cost);
+  SUCCEED();
+}
+
+TEST(BlastStages, CostAccumulatesAcrossCalls) {
+  Fixture f(6);
+  const BlastStages stages(f.pair, f.config);
+  StageCost cost;
+  (void)stages.seed_match(0, cost);
+  const std::uint64_t after_one = cost.ops;
+  (void)stages.seed_match(1, cost);
+  EXPECT_GT(cost.ops, after_one);
+}
+
+TEST(BlastStages, ConfigValidation) {
+  Fixture f(7);
+  BlastStages::Config bad = f.config;
+  bad.match_score = 0;
+  EXPECT_THROW(BlastStages(f.pair, bad), std::logic_error);
+  bad = f.config;
+  bad.mismatch_penalty = 1;
+  EXPECT_THROW(BlastStages(f.pair, bad), std::logic_error);
+  bad = f.config;
+  bad.gap_penalty = 0;
+  EXPECT_THROW(BlastStages(f.pair, bad), std::logic_error);
+  bad = f.config;
+  bad.max_hits_per_seed = 0;
+  EXPECT_THROW(BlastStages(f.pair, bad), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ripple::blast

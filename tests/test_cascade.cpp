@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "cascade/detector.hpp"
+#include "cascade/features.hpp"
+#include "cascade/image.hpp"
+#include "cascade/measure.hpp"
+#include "core/enforced_waits.hpp"
+
+namespace ripple::cascade {
+namespace {
+
+// -------------------------------------------------------------------- Image
+
+TEST(CascadeImage, ConstructionAndAccess) {
+  Image image(4, 3, 7);
+  EXPECT_EQ(image.width(), 4u);
+  EXPECT_EQ(image.height(), 3u);
+  EXPECT_EQ(image.at(3, 2), 7);
+  image.set(1, 1, 200);
+  EXPECT_EQ(image.at(1, 1), 200);
+  EXPECT_THROW((void)image.at(4, 0), std::logic_error);
+  EXPECT_THROW(Image(0, 5), std::logic_error);
+}
+
+TEST(CascadeImage, NoiseCoversRange) {
+  dist::Xoshiro256 rng(1);
+  const Image image = noise_image(200, 200, rng);
+  int low = 0;
+  int high = 0;
+  for (std::size_t y = 0; y < 200; ++y) {
+    for (std::size_t x = 0; x < 200; ++x) {
+      low += image.at(x, y) < 64;
+      high += image.at(x, y) >= 192;
+    }
+  }
+  EXPECT_NEAR(low, 10000, 1000);
+  EXPECT_NEAR(high, 10000, 1000);
+}
+
+TEST(CascadeImage, PlantObjectCheckerStructure) {
+  dist::Xoshiro256 rng(2);
+  Image image(64, 64, 128);
+  plant_object(image, 10, 10, 16, 0, rng);  // no jitter
+  EXPECT_EQ(image.at(10, 10), 208);   // bright top-left
+  EXPECT_EQ(image.at(25, 25), 208);   // bright bottom-right
+  EXPECT_EQ(image.at(25, 10), 48);    // dark top-right
+  EXPECT_EQ(image.at(10, 25), 48);    // dark bottom-left
+  EXPECT_THROW(plant_object(image, 60, 60, 16, 0, rng), std::logic_error);
+}
+
+TEST(CascadeImage, IntegralRectSums) {
+  Image image(4, 4, 1);  // all ones
+  image.set(2, 2, 5);
+  const IntegralImage integral(image);
+  EXPECT_EQ(integral.rect_sum(0, 0, 4, 4), 16 - 1 + 5);
+  EXPECT_EQ(integral.rect_sum(0, 0, 1, 1), 1);
+  EXPECT_EQ(integral.rect_sum(2, 2, 3, 3), 5);
+  EXPECT_EQ(integral.rect_sum(1, 1, 1, 3), 0);  // empty width
+  EXPECT_THROW((void)integral.rect_sum(0, 0, 5, 1), std::logic_error);
+}
+
+TEST(CascadeImage, IntegralMatchesBruteForce) {
+  dist::Xoshiro256 rng(3);
+  const Image image = noise_image(37, 29, rng);
+  const IntegralImage integral(image);
+  for (int check = 0; check < 50; ++check) {
+    const std::size_t x0 = rng.uniform_below(37);
+    const std::size_t y0 = rng.uniform_below(29);
+    const std::size_t x1 = x0 + rng.uniform_below(37 - x0 + 1);
+    const std::size_t y1 = y0 + rng.uniform_below(29 - y0 + 1);
+    std::int64_t expected = 0;
+    for (std::size_t y = y0; y < y1; ++y) {
+      for (std::size_t x = x0; x < x1; ++x) expected += image.at(x, y);
+    }
+    EXPECT_EQ(integral.rect_sum(x0, y0, x1, y1), expected);
+  }
+}
+
+// ----------------------------------------------------------------- Features
+
+TEST(CascadeFeatures, CheckerFeatureFiresOnPlantedObject) {
+  dist::Xoshiro256 rng(4);
+  Image image(96, 96, 128);
+  plant_object(image, 40, 40, 24, 0, rng);
+  const IntegralImage integral(image);
+
+  HaarFeature checker;
+  checker.kind = HaarFeature::Kind::kFourRectChecker;
+  checker.x = 0;
+  checker.y = 0;
+  checker.width = 24;
+  checker.height = 24;
+  std::uint64_t ops = 0;
+  // On the object: strongly positive (bright diagonal quadrants).
+  EXPECT_GT(checker.evaluate(integral, 40, 40, ops), 20000);
+  // On flat background far from the object: exactly zero.
+  EXPECT_EQ(checker.evaluate(integral, 0, 0, ops), 0);
+  EXPECT_EQ(ops, 8u);  // two evaluations x 4 rectangles
+}
+
+TEST(CascadeFeatures, TwoRectOnGradient) {
+  // Left half bright, right half dark: horizontal two-rect is positive.
+  Image image(16, 16, 0);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) image.set(x, y, 100);
+  }
+  const IntegralImage integral(image);
+  HaarFeature feature;
+  feature.kind = HaarFeature::Kind::kTwoRectHorizontal;
+  feature.width = 16;
+  feature.height = 16;
+  std::uint64_t ops = 0;
+  EXPECT_EQ(feature.evaluate(integral, 0, 0, ops), 100 * 8 * 16);
+  feature.kind = HaarFeature::Kind::kTwoRectVertical;
+  EXPECT_EQ(feature.evaluate(integral, 0, 0, ops), 0);  // symmetric halves
+}
+
+TEST(CascadeFeatures, RandomFeaturesFitWindow) {
+  dist::Xoshiro256 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const HaarFeature feature = random_feature(24, rng);
+    EXPECT_LE(feature.x + feature.width, 24u);
+    EXPECT_LE(feature.y + feature.height, 24u);
+    EXPECT_GE(feature.width, 2u);
+    EXPECT_GE(feature.height, 2u);
+    if (feature.kind == HaarFeature::Kind::kThreeRectHorizontal) {
+      EXPECT_EQ(feature.width % 3, 0u);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Detector
+
+struct Trained {
+  Scene scene;
+  Detector detector;
+};
+
+Trained train_fixture(std::uint64_t seed = 6) {
+  dist::Xoshiro256 rng(seed);
+  SceneConfig scene_config;
+  scene_config.width = 512;
+  scene_config.height = 512;
+  scene_config.object_count = 12;
+  Scene scene = make_scene(scene_config, rng);
+  DetectorConfig config;
+  auto detector = Detector::train(scene, config, rng);
+  EXPECT_TRUE(detector.ok());
+  return Trained{std::move(scene), std::move(detector).take()};
+}
+
+TEST(Detector, TrainValidatesConfig) {
+  dist::Xoshiro256 rng(7);
+  const Scene scene = make_scene({}, rng);
+  DetectorConfig mismatched;
+  mismatched.stage_pass_rates = {0.5};
+  EXPECT_FALSE(Detector::train(scene, mismatched, rng).ok());
+  DetectorConfig bad_rate;
+  bad_rate.stage_pass_rates = {0.4, 0.25, 0.12, 1.5};
+  EXPECT_FALSE(Detector::train(scene, bad_rate, rng).ok());
+}
+
+TEST(Detector, StagesGrowInCost) {
+  const Trained fixture = train_fixture();
+  for (std::size_t s = 1; s < fixture.detector.stage_count(); ++s) {
+    EXPECT_GT(fixture.detector.stage(s).stumps.size(),
+              fixture.detector.stage(s - 1).stumps.size());
+  }
+}
+
+TEST(Detector, BackgroundPassRatesNearTargets) {
+  const Trained fixture = train_fixture();
+  const IntegralImage integral(fixture.scene.image);
+  dist::Xoshiro256 rng(8);
+  // Fresh background windows (mostly background: objects cover ~1%).
+  int passed = 0;
+  constexpr int kProbes = 5000;
+  std::uint64_t ops = 0;
+  for (int i = 0; i < kProbes; ++i) {
+    const std::size_t wx = rng.uniform_below(512 - 24 + 1);
+    const std::size_t wy = rng.uniform_below(512 - 24 + 1);
+    passed += fixture.detector.stage_pass(0, integral, wx, wy, ops);
+  }
+  const double rate = static_cast<double>(passed) / kProbes;
+  // Calibrated to <= 0.4; discrete vote thresholds can undershoot.
+  EXPECT_LE(rate, 0.45);
+  EXPECT_GT(rate, 0.02);
+}
+
+TEST(Detector, ObjectsScoreBetterThanBackground) {
+  const Trained fixture = train_fixture();
+  const IntegralImage integral(fixture.scene.image);
+  std::uint64_t ops = 0;
+  int objects_passing_stage0 = 0;
+  for (const auto& [x, y] : fixture.scene.object_origins) {
+    objects_passing_stage0 +=
+        fixture.detector.stage_pass(0, integral, x, y, ops);
+  }
+  // Stage 0 passes <= 40% of background; planted objects should do better.
+  EXPECT_GT(objects_passing_stage0,
+            static_cast<int>(fixture.scene.object_origins.size() / 2));
+}
+
+TEST(Detector, FirstRejectingStageConsistent) {
+  const Trained fixture = train_fixture();
+  const IntegralImage integral(fixture.scene.image);
+  dist::Xoshiro256 rng(9);
+  std::uint64_t ops = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t wx = rng.uniform_below(512 - 24 + 1);
+    const std::size_t wy = rng.uniform_below(512 - 24 + 1);
+    const auto rejecting =
+        fixture.detector.first_rejecting_stage(integral, wx, wy, ops);
+    if (rejecting.has_value()) {
+      std::uint64_t check_ops = 0;
+      EXPECT_FALSE(fixture.detector.stage_pass(*rejecting, integral, wx, wy,
+                                               check_ops));
+      for (std::size_t s = 0; s < *rejecting; ++s) {
+        EXPECT_TRUE(fixture.detector.stage_pass(s, integral, wx, wy, check_ops));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Measure
+
+TEST(CascadeMeasure, FlowConservedAndCostsGrow) {
+  const Trained fixture = train_fixture(10);
+  CascadeMeasureConfig config;
+  config.window_count = 50000;
+  const auto measurement = measure_cascade(fixture.detector, fixture.scene, config);
+  ASSERT_EQ(measurement.stages.size(), 4u);
+  EXPECT_EQ(measurement.stages[0].inputs, 50000u);
+  for (std::size_t s = 1; s < 4; ++s) {
+    EXPECT_EQ(measurement.stages[s].inputs, measurement.stages[s - 1].passed);
+    EXPECT_GT(measurement.stages[s].mean_ops(),
+              measurement.stages[s - 1].mean_ops());
+  }
+  EXPECT_EQ(measurement.detections, measurement.stages[3].passed);
+}
+
+TEST(CascadeMeasure, PipelineSpecIsSchedulable) {
+  const Trained fixture = train_fixture(11);
+  CascadeMeasureConfig config;
+  config.window_count = 80000;
+  const auto measurement = measure_cascade(fixture.detector, fixture.scene, config);
+  auto spec = measurement.to_pipeline_spec(64);
+  ASSERT_TRUE(spec.ok()) << spec.error().message;
+  const auto& pipeline = spec.value();
+  ASSERT_EQ(pipeline.size(), 4u);
+  for (std::size_t s = 0; s + 1 < 4; ++s) {
+    EXPECT_LT(pipeline.mean_gain(s), 1.0);  // pure filter cascade
+  }
+
+  // Schedule it: generous deadline relative to the (tiny) op-costs.
+  const double tau0 = pipeline.mean_service_per_input() * 5.0;
+  const double deadline = 500.0 * pipeline.service_time(3);
+  core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig::optimistic(pipeline));
+  auto solved = strategy.solve(tau0, deadline);
+  ASSERT_TRUE(solved.ok()) << solved.error().message;
+  EXPECT_LT(solved.value().predicted_active_fraction, 1.0);
+}
+
+TEST(CascadeMeasure, NoDataFailure) {
+  CascadeMeasurement empty;
+  EXPECT_FALSE(empty.to_pipeline_spec(64).ok());
+}
+
+}  // namespace
+}  // namespace ripple::cascade

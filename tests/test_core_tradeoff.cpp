@@ -1,0 +1,112 @@
+#include "core/tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blast/canonical.hpp"
+#include "sdf/analysis.hpp"
+
+namespace ripple::core {
+namespace {
+
+sdf::PipelineSpec blast_pipeline() { return blast::canonical_blast_pipeline(); }
+
+EnforcedWaitsConfig paper_config() {
+  return EnforcedWaitsConfig{blast::paper_calibrated_b()};
+}
+
+TEST(Tradeoff, RateBoundTau0Fails) {
+  auto curve = trace_tradeoff(blast_pipeline(), paper_config(), {}, 1.0);
+  ASSERT_FALSE(curve.ok());
+  EXPECT_EQ(curve.error().code, "infeasible");
+}
+
+TEST(Tradeoff, CurveStartsAtTheFeasibilityFloor) {
+  const auto pipeline = blast_pipeline();
+  auto curve = trace_tradeoff(pipeline, paper_config(), {}, 50.0);
+  ASSERT_TRUE(curve.ok());
+  const auto& points = curve.value().points;
+  ASSERT_GE(points.size(), 2u);
+  const Cycles floor =
+      sdf::minimal_deadline_budget(pipeline, blast::paper_calibrated_b());
+  EXPECT_NEAR(points.front().deadline, floor, 1e-6 * floor);
+  EXPECT_TRUE(points.front().enforced_feasible);
+}
+
+TEST(Tradeoff, EnforcedFractionDecreasesAlongTheCurve) {
+  auto curve = trace_tradeoff(blast_pipeline(), paper_config(), {}, 50.0);
+  ASSERT_TRUE(curve.ok());
+  double previous = 2.0;
+  for (const auto& point : curve.value().points) {
+    if (!point.enforced_feasible) continue;
+    EXPECT_LE(point.enforced_active_fraction, previous + 1e-9);
+    previous = point.enforced_active_fraction;
+  }
+}
+
+TEST(Tradeoff, ApproachesTheRateLimitedFloor) {
+  const auto pipeline = blast_pipeline();
+  TradeoffConfig config;
+  config.floor_tolerance = 0.01;
+  auto curve = trace_tradeoff(pipeline, paper_config(), {}, 50.0, config);
+  ASSERT_TRUE(curve.ok());
+  const auto& c = curve.value();
+  EXPECT_NEAR(c.enforced_floor,
+              sdf::unconstrained_active_fraction(pipeline, 50.0), 1e-12);
+  // The last feasible point should be near the floor (auto-extended sweep).
+  double last = 1.0;
+  for (const auto& point : c.points) {
+    if (point.enforced_feasible) last = point.enforced_active_fraction;
+  }
+  EXPECT_LT(last - c.enforced_floor, 0.02);
+  EXPECT_GE(last, c.enforced_floor - 1e-9);  // never below the floor
+}
+
+TEST(Tradeoff, KneeSitsBetweenTheEndpoints) {
+  auto curve = trace_tradeoff(blast_pipeline(), paper_config(), {}, 50.0);
+  ASSERT_TRUE(curve.ok());
+  const auto& c = curve.value();
+  ASSERT_NE(c.knee(), nullptr);
+  EXPECT_GT(c.knee()->deadline, c.points.front().deadline);
+  EXPECT_LT(c.knee()->deadline, c.points.back().deadline);
+  // The knee's fraction is strictly between floor and start.
+  EXPECT_LT(c.knee()->enforced_active_fraction,
+            c.points.front().enforced_active_fraction);
+  EXPECT_GT(c.knee()->enforced_active_fraction, c.enforced_floor);
+}
+
+TEST(Tradeoff, MonolithicFlatOnceFeasible) {
+  // At tau0 = 50, monolithic AF varies far less with D than enforced waits'
+  // (paper Figure 3 right).
+  auto curve = trace_tradeoff(blast_pipeline(), paper_config(), {}, 50.0);
+  ASSERT_TRUE(curve.ok());
+  double mono_min = 1.0;
+  double mono_max = 0.0;
+  double enforced_min = 1.0;
+  double enforced_max = 0.0;
+  for (const auto& point : curve.value().points) {
+    if (point.monolithic_feasible) {
+      mono_min = std::min(mono_min, point.monolithic_active_fraction);
+      mono_max = std::max(mono_max, point.monolithic_active_fraction);
+    }
+    if (point.enforced_feasible) {
+      enforced_min = std::min(enforced_min, point.enforced_active_fraction);
+      enforced_max = std::max(enforced_max, point.enforced_active_fraction);
+    }
+  }
+  EXPECT_LT(mono_max - mono_min, enforced_max - enforced_min);
+}
+
+TEST(Tradeoff, ExplicitMaxDeadlineRespected) {
+  TradeoffConfig config;
+  config.samples = 10;
+  config.max_deadline = 1e5;
+  auto curve = trace_tradeoff(blast_pipeline(), paper_config(), {}, 50.0, config);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve.value().points.size(), 10u);
+  EXPECT_NEAR(curve.value().points.back().deadline, 1e5, 1.0);
+}
+
+}  // namespace
+}  // namespace ripple::core

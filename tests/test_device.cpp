@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "blast/canonical.hpp"
+#include "device/occupancy.hpp"
+#include "device/simd_device.hpp"
+
+namespace ripple::device {
+namespace {
+
+TEST(SimdDevice, RejectsDegenerateConfigurations) {
+  EXPECT_THROW(SimdDevice(0, 4), std::logic_error);
+  EXPECT_THROW(SimdDevice(128, 0), std::logic_error);
+}
+
+TEST(SimdDevice, ForPipelineMatchesSpec) {
+  const auto blast = blast::canonical_blast_pipeline();
+  const SimdDevice device = SimdDevice::for_pipeline(blast);
+  EXPECT_EQ(device.vector_width(), 128u);
+  EXPECT_EQ(device.node_count(), 4u);
+}
+
+TEST(SimdDevice, NodeShareIsOneOverN) {
+  SimdDevice device(128, 4);
+  EXPECT_DOUBLE_EQ(device.node_share(), 0.25);
+}
+
+TEST(SimdDevice, FiringDurationIsServiceTime) {
+  // The paper defines t_i as already measured under the 1/N share.
+  SimdDevice device(128, 4);
+  EXPECT_DOUBLE_EQ(device.firing_duration(955.0), 955.0);
+}
+
+TEST(SimdDevice, ExclusiveFiringScalesByShare) {
+  SimdDevice device(128, 4);
+  EXPECT_DOUBLE_EQ(device.exclusive_firing_duration(955.0), 955.0 / 4.0);
+}
+
+TEST(SimdDevice, ItemsConsumedCapsAtWidth) {
+  SimdDevice device(128, 4);
+  EXPECT_EQ(device.items_consumed(0), 0u);
+  EXPECT_EQ(device.items_consumed(57), 57u);
+  EXPECT_EQ(device.items_consumed(128), 128u);
+  EXPECT_EQ(device.items_consumed(1000), 128u);
+}
+
+TEST(SimdDevice, OccupancyFractions) {
+  SimdDevice device(128, 4);
+  EXPECT_DOUBLE_EQ(device.occupancy(0), 0.0);
+  EXPECT_DOUBLE_EQ(device.occupancy(64), 0.5);
+  EXPECT_DOUBLE_EQ(device.occupancy(128), 1.0);
+}
+
+TEST(OccupancyTracker, CountsPerNode) {
+  SimdDevice device(4, 2);
+  OccupancyTracker tracker(device, 2);
+  tracker.record_firing(0, 4);
+  tracker.record_firing(0, 2);
+  tracker.record_firing(0, 0);
+  tracker.record_firing(1, 1);
+
+  EXPECT_EQ(tracker.firings(0), 3u);
+  EXPECT_EQ(tracker.empty_firings(0), 1u);
+  EXPECT_EQ(tracker.items_consumed(0), 6u);
+  EXPECT_DOUBLE_EQ(tracker.mean_occupancy(0), 6.0 / 12.0);
+  EXPECT_DOUBLE_EQ(tracker.mean_nonempty_occupancy(0), 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(tracker.mean_occupancy(1), 0.25);
+}
+
+TEST(OccupancyTracker, OverallWeightsByFirings) {
+  SimdDevice device(4, 2);
+  OccupancyTracker tracker(device, 2);
+  tracker.record_firing(0, 4);
+  tracker.record_firing(1, 0);
+  EXPECT_DOUBLE_EQ(tracker.overall_occupancy(), 4.0 / 8.0);
+}
+
+TEST(OccupancyTracker, NoFiringsIsZero) {
+  SimdDevice device(4, 1);
+  OccupancyTracker tracker(device, 1);
+  EXPECT_DOUBLE_EQ(tracker.mean_occupancy(0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.mean_nonempty_occupancy(0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.overall_occupancy(), 0.0);
+}
+
+TEST(OccupancyTracker, RejectsOverWidthConsumption) {
+  SimdDevice device(4, 1);
+  OccupancyTracker tracker(device, 1);
+  EXPECT_THROW(tracker.record_firing(0, 5), std::logic_error);
+}
+
+TEST(OccupancyTracker, RejectsBadNodeIndex) {
+  SimdDevice device(4, 2);
+  OccupancyTracker tracker(device, 2);
+  EXPECT_THROW(tracker.record_firing(2, 1), std::logic_error);
+  EXPECT_THROW((void)tracker.firings(2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ripple::device

@@ -1,0 +1,101 @@
+#include "dist/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ripple::dist {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, Deterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, ReseedResets) {
+  Xoshiro256 a(9);
+  const std::uint64_t first = a();
+  a.reseed(9);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformBelowRespectsBound) {
+  Xoshiro256 rng(11);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, UniformBelowOneAlwaysZero) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Xoshiro, UniformBelowCoversAllResidues) {
+  Xoshiro256 rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro, UniformBelowApproximatelyUniform) {
+  Xoshiro256 rng(19);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.uniform_below(kBound)];
+  for (std::uint64_t r = 0; r < kBound; ++r) {
+    EXPECT_NEAR(counts[r], kSamples / kBound, 500) << "residue " << r;
+  }
+}
+
+TEST(DeriveSeed, DifferentCoordinatesDiffer) {
+  EXPECT_NE(derive_seed({1, 2, 3}), derive_seed({1, 2, 4}));
+  EXPECT_NE(derive_seed({1, 2, 3}), derive_seed({3, 2, 1}));
+  EXPECT_NE(derive_seed({0}), derive_seed({0, 0}));
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed({5, 6}), derive_seed({5, 6}));
+}
+
+TEST(DeriveSeed, ZeroCoordinateWellMixed) {
+  // Seeds near zero must not produce near-zero outputs.
+  EXPECT_GT(derive_seed({0}), 1u << 20);
+}
+
+}  // namespace
+}  // namespace ripple::dist

@@ -1,0 +1,141 @@
+#include "dist/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/rng.hpp"
+
+namespace ripple::dist {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats stats;
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats left;
+  RunningStats right;
+  RunningStats all;
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 100.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.99);  // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 9
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(4), 18.0);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::logic_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::logic_error);
+}
+
+TEST(Quantile, ExactOnSortedSamples) {
+  std::vector<double> samples{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.25), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  std::vector<double> samples{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(samples, 0.75), 7.5);
+}
+
+TEST(Quantile, EmptyThrows) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::logic_error);
+}
+
+TEST(WilsonInterval, ZeroTrials) {
+  const auto interval = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(interval.lower, 0.0);
+  EXPECT_DOUBLE_EQ(interval.upper, 1.0);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  const auto interval = wilson_interval(95, 100);
+  EXPECT_DOUBLE_EQ(interval.point, 0.95);
+  EXPECT_LT(interval.lower, 0.95);
+  EXPECT_GT(interval.upper, 0.95);
+  EXPECT_GT(interval.lower, 0.85);  // known value ~0.887
+  EXPECT_LT(interval.upper, 1.0);
+}
+
+TEST(WilsonInterval, AllSuccessesUpperIsOne) {
+  const auto interval = wilson_interval(100, 100);
+  EXPECT_DOUBLE_EQ(interval.upper, 1.0);
+  EXPECT_GT(interval.lower, 0.95);
+}
+
+TEST(WilsonInterval, ShrinksWithMoreTrials) {
+  const auto small = wilson_interval(9, 10);
+  const auto large = wilson_interval(900, 1000);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+}  // namespace
+}  // namespace ripple::dist

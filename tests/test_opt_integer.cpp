@@ -1,0 +1,145 @@
+#include "opt/integer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ripple::opt {
+namespace {
+
+TEST(IntegerScan, FindsMinimumOfConvexSequence) {
+  auto result = minimize_integer_scan(-10, 10, [](std::int64_t m) {
+    return std::optional<double>(static_cast<double>((m - 3) * (m - 3)));
+  });
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.argmin, 3);
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+  EXPECT_EQ(result.evaluations, 21u);
+}
+
+TEST(IntegerScan, SkipsInfeasiblePoints) {
+  auto result = minimize_integer_scan(0, 10, [](std::int64_t m) -> std::optional<double> {
+    if (m % 2 == 0) return std::nullopt;  // only odd points feasible
+    return static_cast<double>(m);
+  });
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.argmin, 1);
+}
+
+TEST(IntegerScan, AllInfeasible) {
+  auto result = minimize_integer_scan(0, 5, [](std::int64_t) -> std::optional<double> {
+    return std::nullopt;
+  });
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(IntegerScan, EmptyRange) {
+  auto result = minimize_integer_scan(5, 4, [](std::int64_t) {
+    return std::optional<double>(0.0);
+  });
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.evaluations, 0u);
+}
+
+TEST(IntegerScan, TiesGoToLowestIndex) {
+  auto result = minimize_integer_scan(0, 10, [](std::int64_t) {
+    return std::optional<double>(1.0);
+  });
+  EXPECT_EQ(result.argmin, 0);
+}
+
+/// The monolithic-shaped objective: non-increasing relaxation lower bound.
+struct MonoShaped {
+  double operator()(std::int64_t m) const {
+    // Mimics Tbar(M)/M with a ceil-induced sawtooth.
+    const double tbar = std::ceil(static_cast<double>(m) / 128.0) * 287.0 +
+                        std::ceil(static_cast<double>(m) * 0.379 / 128.0) * 955.0;
+    return tbar / static_cast<double>(m);
+  }
+};
+
+TEST(BranchAndBound, MatchesScanOnMonolithicShape) {
+  MonoShaped f;
+  auto objective = [&](std::int64_t m) -> std::optional<double> {
+    if (m > 7000) return std::nullopt;  // deadline-style cutoff
+    return f(m);
+  };
+  // Valid lower bound: limit of f as M -> inf of the relaxation, evaluated at
+  // interval's upper end (f_relax non-increasing).
+  auto bound = [&](std::int64_t, std::int64_t hi) {
+    const double relax = (287.0 / 128.0) + (0.379 * 955.0 / 128.0);
+    const double floor_terms = (287.0 + 955.0) / static_cast<double>(hi);
+    return std::max(relax, floor_terms);
+  };
+  auto scan = minimize_integer_scan(1, 10000, objective);
+  auto bnb = branch_and_bound_minimize(1, 10000, objective, bound);
+  ASSERT_TRUE(scan.feasible);
+  ASSERT_TRUE(bnb.feasible);
+  EXPECT_DOUBLE_EQ(bnb.value, scan.value);
+}
+
+TEST(BranchAndBound, PrunesWithTightBound) {
+  // Strictly decreasing objective: optimum at hi; a perfect bound lets B&B
+  // evaluate far fewer points than the scan.
+  auto objective = [](std::int64_t m) -> std::optional<double> {
+    return 1000.0 / static_cast<double>(m);
+  };
+  auto bound = [](std::int64_t, std::int64_t hi) {
+    return 1000.0 / static_cast<double>(hi);
+  };
+  auto result = branch_and_bound_minimize(1, 1 << 20, objective, bound);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.argmin, 1 << 20);
+  EXPECT_LT(result.evaluations, 1u << 12);  // pruned hard
+}
+
+TEST(BranchAndBound, AllInfeasible) {
+  auto result = branch_and_bound_minimize(
+      1, 1000, [](std::int64_t) -> std::optional<double> { return std::nullopt; },
+      [](std::int64_t, std::int64_t) { return 0.0; });
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(BranchAndBound, EmptyRange) {
+  auto result = branch_and_bound_minimize(
+      10, 5, [](std::int64_t) -> std::optional<double> { return 0.0; },
+      [](std::int64_t, std::int64_t) { return 0.0; });
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(BranchAndBound, SmallRangeEnumerated) {
+  auto result = branch_and_bound_minimize(
+      3, 8,
+      [](std::int64_t m) -> std::optional<double> {
+        return static_cast<double>((m - 5) * (m - 5));
+      },
+      [](std::int64_t, std::int64_t) { return 0.0; });
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.argmin, 5);
+}
+
+class BnbVsScan : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BnbVsScan, AgreeOnSawtoothObjectives) {
+  const std::int64_t hi = GetParam();
+  auto objective = [](std::int64_t m) -> std::optional<double> {
+    if (m % 7 == 0) return std::nullopt;  // punch feasibility holes
+    return std::ceil(static_cast<double>(m) / 16.0) * 100.0 /
+           static_cast<double>(m);
+  };
+  auto bound = [](std::int64_t, std::int64_t interval_hi) {
+    return std::max(100.0 / 16.0, 100.0 / static_cast<double>(interval_hi));
+  };
+  auto scan = minimize_integer_scan(1, hi, objective);
+  auto bnb = branch_and_bound_minimize(1, hi, objective, bound);
+  EXPECT_EQ(scan.feasible, bnb.feasible);
+  if (scan.feasible) {
+    EXPECT_DOUBLE_EQ(scan.value, bnb.value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, BnbVsScan,
+                         ::testing::Values(1, 2, 15, 16, 17, 100, 1000, 12345));
+
+}  // namespace
+}  // namespace ripple::opt

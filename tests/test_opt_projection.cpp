@@ -1,0 +1,121 @@
+#include "opt/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/projected_gradient.hpp"
+
+namespace ripple::opt {
+namespace {
+
+ConvexProblem box_only(linalg::Vector lo, linalg::Vector hi) {
+  ConvexProblem p;
+  p.lower_bounds = std::move(lo);
+  p.upper_bounds = std::move(hi);
+  p.objective = [](const linalg::Vector&) { return 0.0; };
+  p.gradient = [](const linalg::Vector& x) { return linalg::zeros(x.size()); };
+  return p;
+}
+
+TEST(Projection, InsidePointUnchanged) {
+  const ConvexProblem p = box_only({0.0, 0.0}, {1.0, 1.0});
+  auto projected = project_to_feasible(p, {0.4, 0.6});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_NEAR(projected.value()[0], 0.4, 1e-10);
+  EXPECT_NEAR(projected.value()[1], 0.6, 1e-10);
+}
+
+TEST(Projection, ClampsToBox) {
+  const ConvexProblem p = box_only({0.0, 0.0}, {1.0, 1.0});
+  auto projected = project_to_feasible(p, {2.0, -3.0});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_NEAR(projected.value()[0], 1.0, 1e-10);
+  EXPECT_NEAR(projected.value()[1], 0.0, 1e-10);
+}
+
+TEST(Projection, HalfSpaceProjection) {
+  ConvexProblem p = box_only({-kInf, -kInf}, {kInf, kInf});
+  LinearInequality c;
+  c.coefficients = {1.0, 1.0};
+  c.rhs = 1.0;
+  p.constraints.push_back(c);
+  // Project (1, 1): nearest point on x+y <= 1 is (0.5, 0.5).
+  auto projected = project_to_feasible(p, {1.0, 1.0});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_NEAR(projected.value()[0], 0.5, 1e-8);
+  EXPECT_NEAR(projected.value()[1], 0.5, 1e-8);
+}
+
+TEST(Projection, IntersectionOfHalfSpaceAndBox) {
+  ConvexProblem p = box_only({0.0, 0.0}, {kInf, kInf});
+  LinearInequality c;
+  c.coefficients = {1.0, 1.0};
+  c.rhs = 1.0;
+  p.constraints.push_back(c);
+  // Project (2, -1): Dykstra converges to the true projection (1, 0).
+  auto projected = project_to_feasible(p, {2.0, -1.0});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_NEAR(projected.value()[0], 1.0, 1e-6);
+  EXPECT_NEAR(projected.value()[1], 0.0, 1e-6);
+}
+
+TEST(Projection, DetectsEmptyFeasibleSet) {
+  ConvexProblem p = box_only({0.0}, {1.0});
+  LinearInequality c;
+  c.coefficients = {1.0};
+  c.rhs = -1.0;  // x <= -1 conflicts with x >= 0
+  p.constraints.push_back(c);
+  ProjectionOptions options;
+  options.max_sweeps = 200;
+  auto projected = project_to_feasible(p, {0.5}, options);
+  EXPECT_FALSE(projected.ok());
+}
+
+TEST(ProjectedGradient, MatchesAnalyticQuadratic) {
+  // min (x-2)^2 over [0, 1]: optimum 1.
+  ConvexProblem p = box_only({0.0}, {1.0});
+  p.objective = [](const linalg::Vector& x) { return (x[0] - 2.0) * (x[0] - 2.0); };
+  p.gradient = [](const linalg::Vector& x) {
+    return linalg::Vector{2.0 * (x[0] - 2.0)};
+  };
+  auto solved = projected_gradient_minimize(p, {0.2});
+  ASSERT_TRUE(solved.ok());
+  EXPECT_NEAR(solved.value().x[0], 1.0, 1e-6);
+}
+
+TEST(ProjectedGradient, StartsFromInfeasiblePoint) {
+  ConvexProblem p = box_only({0.0, 0.0}, {2.0, 2.0});
+  p.objective = [](const linalg::Vector& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] - 1.0) * (x[1] - 1.0);
+  };
+  p.gradient = [](const linalg::Vector& x) {
+    return linalg::Vector{2.0 * (x[0] - 1.0), 2.0 * (x[1] - 1.0)};
+  };
+  auto solved = projected_gradient_minimize(p, {-10.0, 10.0});
+  ASSERT_TRUE(solved.ok());
+  EXPECT_NEAR(solved.value().x[0], 1.0, 1e-5);
+  EXPECT_NEAR(solved.value().x[1], 1.0, 1e-5);
+}
+
+TEST(ProblemHelpers, MinSlackAndFeasibility) {
+  ConvexProblem p = box_only({0.0, 0.0}, {1.0, 1.0});
+  LinearInequality c;
+  c.coefficients = {1.0, 1.0};
+  c.rhs = 1.5;
+  p.constraints.push_back(c);
+
+  EXPECT_TRUE(p.is_feasible({0.5, 0.5}));
+  EXPECT_NEAR(p.min_slack({0.5, 0.5}), 0.5, 1e-12);
+  EXPECT_FALSE(p.is_feasible({0.9, 0.9}));       // violates half-space
+  EXPECT_NEAR(p.infeasibility({0.9, 0.9}), 0.3, 1e-12);
+  EXPECT_FALSE(p.is_feasible({-0.1, 0.5}));      // violates lower bound
+}
+
+TEST(ProblemHelpers, DimensionMismatchThrows) {
+  const ConvexProblem p = box_only({0.0, 0.0}, {1.0, 1.0});
+  EXPECT_THROW((void)p.is_feasible({0.5}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ripple::opt

@@ -1,0 +1,99 @@
+#include "opt/scalar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ripple::opt {
+namespace {
+
+TEST(GoldenSection, QuadraticMinimum) {
+  auto result = golden_section_minimize([](double x) { return (x - 3.0) * (x - 3.0); },
+                                        0.0, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 3.0, 1e-7);
+  EXPECT_NEAR(result.value, 0.0, 1e-12);
+}
+
+TEST(GoldenSection, MinimumAtBoundary) {
+  auto result = golden_section_minimize([](double x) { return x; }, 2.0, 5.0);
+  EXPECT_NEAR(result.x, 2.0, 1e-7);
+}
+
+TEST(GoldenSection, DegenerateInterval) {
+  auto result = golden_section_minimize([](double x) { return x * x; }, 4.0, 4.0);
+  EXPECT_NEAR(result.x, 4.0, 1e-12);
+}
+
+TEST(GoldenSection, CountsEvaluations) {
+  int calls = 0;
+  auto result = golden_section_minimize(
+      [&](double x) {
+        ++calls;
+        return x * x;
+      },
+      -1.0, 1.0);
+  EXPECT_EQ(result.evaluations, calls);
+}
+
+TEST(Brent, QuadraticExact) {
+  auto result = brent_minimize([](double x) { return (x - 1.5) * (x - 1.5) + 2.0; },
+                               -10.0, 10.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 1.5, 1e-7);
+  EXPECT_NEAR(result.value, 2.0, 1e-12);
+}
+
+TEST(Brent, NonPolynomialUnimodal) {
+  // f(x) = x - log(x), minimum at x = 1.
+  auto result = brent_minimize([](double x) { return x - std::log(x); }, 0.1, 10.0);
+  EXPECT_NEAR(result.x, 1.0, 1e-6);
+}
+
+TEST(Brent, FasterThanGoldenOnSmooth) {
+  auto f = [](double x) { return std::cosh(x - 2.0); };
+  auto brent = brent_minimize(f, -5.0, 8.0, 1e-10);
+  auto golden = golden_section_minimize(f, -5.0, 8.0, 1e-10);
+  EXPECT_NEAR(brent.x, 2.0, 1e-6);
+  EXPECT_NEAR(golden.x, 2.0, 1e-6);
+  EXPECT_LT(brent.evaluations, golden.evaluations);
+}
+
+TEST(Brent, ActiveFractionShapedObjective) {
+  // The enforced-waits per-node term t/x restricted to a budget line is the
+  // 1-D slice our solvers see; minimum of t0/x + t1/(B - x) over x.
+  const double t0 = 287.0;
+  const double t1 = 2753.0;
+  const double budget = 10000.0;
+  auto result = brent_minimize(
+      [&](double x) { return t0 / x + t1 / (budget - x); }, 1.0, budget - 1.0);
+  // Analytic optimum: x = B * sqrt(t0) / (sqrt(t0) + sqrt(t1)).
+  const double expected =
+      budget * std::sqrt(t0) / (std::sqrt(t0) + std::sqrt(t1));
+  EXPECT_NEAR(result.x, expected, 1e-4);
+}
+
+TEST(ScalarBoth, IntervalOrderingEnforced) {
+  EXPECT_THROW(
+      (void)golden_section_minimize([](double x) { return x; }, 1.0, 0.0),
+      std::logic_error);
+  EXPECT_THROW((void)brent_minimize([](double x) { return x; }, 1.0, 0.0),
+               std::logic_error);
+}
+
+class UnimodalRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnimodalRecovery, BothMethodsFindShiftedMinimum) {
+  const double shift = GetParam();
+  auto f = [shift](double x) { return (x - shift) * (x - shift) * (1.0 + 0.1 * std::fabs(x - shift)); };
+  auto golden = golden_section_minimize(f, shift - 20.0, shift + 20.0);
+  auto brent = brent_minimize(f, shift - 20.0, shift + 20.0);
+  EXPECT_NEAR(golden.x, shift, 1e-6);
+  EXPECT_NEAR(brent.x, shift, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, UnimodalRecovery,
+                         ::testing::Values(-100.0, -1.0, 0.0, 0.5, 7.0, 1234.5));
+
+}  // namespace
+}  // namespace ripple::opt

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blast/canonical.hpp"
+#include "core/enforced_waits.hpp"
+#include "queueing/bulk_queue.hpp"
+#include "queueing/pmf.hpp"
+#include "queueing/predict.hpp"
+
+namespace ripple::queueing {
+namespace {
+
+double pmf_total(const Pmf& pmf) {
+  double total = 0.0;
+  for (double p : pmf) total += p;
+  return total;
+}
+
+// ------------------------------------------------------------------------ Pmf
+
+TEST(Pmf, DeltaIsPointMass) {
+  const Pmf pmf = delta_pmf(3);
+  EXPECT_EQ(pmf.size(), 4u);
+  EXPECT_DOUBLE_EQ(pmf[3], 1.0);
+  EXPECT_DOUBLE_EQ(pmf_mean(pmf), 3.0);
+  EXPECT_DOUBLE_EQ(pmf_variance(pmf), 0.0);
+}
+
+TEST(Pmf, PoissonMomentsMatch) {
+  for (double lambda : {0.5, 1.92, 10.0, 60.0}) {
+    const Pmf pmf = poisson_pmf(lambda);
+    EXPECT_NEAR(pmf_total(pmf), 1.0, 1e-12) << lambda;
+    EXPECT_NEAR(pmf_mean(pmf), lambda, 1e-6) << lambda;
+    EXPECT_NEAR(pmf_variance(pmf), lambda, 1e-4) << lambda;
+  }
+}
+
+TEST(Pmf, PoissonZeroIsDelta) {
+  EXPECT_EQ(poisson_pmf(0.0), delta_pmf(0));
+}
+
+TEST(Pmf, GainPmfBernoulli) {
+  const dist::BernoulliGain gain(0.379);
+  const Pmf pmf = gain_pmf(gain);
+  ASSERT_EQ(pmf.size(), 2u);
+  EXPECT_NEAR(pmf[1], 0.379, 1e-12);
+  EXPECT_NEAR(pmf[0], 0.621, 1e-12);
+}
+
+TEST(Pmf, GainPmfCensoredPoissonMatchesMoments) {
+  const dist::CensoredPoissonGain gain(1.92, 16);
+  const Pmf pmf = gain_pmf(gain);
+  EXPECT_EQ(pmf.size(), 17u);
+  EXPECT_NEAR(pmf_total(pmf), 1.0, 1e-12);
+  EXPECT_NEAR(pmf_mean(pmf), gain.mean(), 1e-9);
+  EXPECT_NEAR(pmf_variance(pmf), gain.variance(), 1e-6);
+}
+
+TEST(Pmf, GainPmfDeterministic) {
+  const dist::DeterministicGain gain(2);
+  EXPECT_EQ(gain_pmf(gain), delta_pmf(2));
+}
+
+TEST(Pmf, ConvolveMatchesHandComputation) {
+  // (0.5, 0.5) + (0.5, 0.5) = (0.25, 0.5, 0.25)
+  const Pmf coin{0.5, 0.5};
+  const Pmf two = convolve(coin, coin);
+  ASSERT_EQ(two.size(), 3u);
+  EXPECT_DOUBLE_EQ(two[0], 0.25);
+  EXPECT_DOUBLE_EQ(two[1], 0.5);
+  EXPECT_DOUBLE_EQ(two[2], 0.25);
+}
+
+TEST(Pmf, ConvolvePowerAdditiveMoments) {
+  const dist::CensoredPoissonGain gain(1.5, 12);
+  const Pmf one = gain_pmf(gain);
+  const Pmf fifty = convolve_power(one, 50);
+  EXPECT_NEAR(pmf_mean(fifty), 50.0 * pmf_mean(one), 1e-6);
+  EXPECT_NEAR(pmf_variance(fifty), 50.0 * pmf_variance(one), 1e-3);
+  EXPECT_NEAR(pmf_total(fifty), 1.0, 1e-9);
+}
+
+TEST(Pmf, ConvolvePowerZeroIsDelta) {
+  EXPECT_EQ(convolve_power({0.5, 0.5}, 0), delta_pmf(0));
+}
+
+TEST(Pmf, FractionalCountMean) {
+  const Pmf pmf = fractional_count_pmf(2.3);
+  EXPECT_NEAR(pmf_mean(pmf), 2.3, 1e-12);
+  EXPECT_NEAR(pmf[2], 0.7, 1e-12);
+  EXPECT_NEAR(pmf[3], 0.3, 1e-12);
+  EXPECT_EQ(fractional_count_pmf(4.0), delta_pmf(4));
+}
+
+TEST(Pmf, QuantileSteps) {
+  const Pmf pmf{0.25, 0.5, 0.25};
+  EXPECT_EQ(pmf_quantile(pmf, 0.2), 0u);
+  EXPECT_EQ(pmf_quantile(pmf, 0.5), 1u);
+  EXPECT_EQ(pmf_quantile(pmf, 0.8), 2u);
+  EXPECT_EQ(pmf_quantile(pmf, 1.0), 2u);
+}
+
+TEST(Pmf, TruncateTailPreservesMass) {
+  Pmf pmf{0.9, 0.0999999, 1e-8, 1e-15, 1e-16};
+  const Pmf trimmed = truncate_tail(pmf, 1e-10);
+  EXPECT_LT(trimmed.size(), pmf.size());
+  EXPECT_NEAR(pmf_total(trimmed), pmf_total(pmf), 1e-15);
+}
+
+// ------------------------------------------------------------------ BulkQueue
+
+TEST(BulkQueue, DeterministicFullLoadStable) {
+  BulkQueueConfig config;
+  config.batch_size = 4;
+  config.arrivals_per_interval = delta_pmf(4);  // exactly v per interval
+  auto analysis = analyze_bulk_queue(config);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_DOUBLE_EQ(analysis.value().utilization, 1.0);
+  EXPECT_EQ(analysis.value().queue_quantile(0.999), 4u);
+}
+
+TEST(BulkQueue, DeterministicOverloadRejected) {
+  BulkQueueConfig config;
+  config.batch_size = 4;
+  config.arrivals_per_interval = delta_pmf(5);
+  auto analysis = analyze_bulk_queue(config);
+  ASSERT_FALSE(analysis.ok());
+  EXPECT_EQ(analysis.error().code, "unstable");
+}
+
+TEST(BulkQueue, StochasticOverloadRejected) {
+  BulkQueueConfig config;
+  config.batch_size = 2;
+  config.arrivals_per_interval = poisson_pmf(2.5);
+  auto analysis = analyze_bulk_queue(config);
+  ASSERT_FALSE(analysis.ok());
+  EXPECT_EQ(analysis.error().code, "unstable");
+}
+
+TEST(BulkQueue, CriticalLoadRejected) {
+  BulkQueueConfig config;
+  config.batch_size = 100;
+  config.arrivals_per_interval = poisson_pmf(99.95);
+  auto analysis = analyze_bulk_queue(config);
+  ASSERT_FALSE(analysis.ok());
+  EXPECT_EQ(analysis.error().code, "critical");
+}
+
+TEST(BulkQueue, LowLoadQueueStaysSmall) {
+  BulkQueueConfig config;
+  config.batch_size = 128;
+  config.arrivals_per_interval = poisson_pmf(16.0);  // 12.5% load
+  auto analysis = analyze_bulk_queue(config);
+  ASSERT_TRUE(analysis.ok());
+  // At 12.5% load everything queued is consumed every firing: queue is just
+  // the fresh arrivals, so quantiles track the Poisson itself.
+  EXPECT_NEAR(analysis.value().mean_queue, 16.0, 0.1);
+  EXPECT_LE(analysis.value().queue_quantile(0.9999), 40u);
+}
+
+TEST(BulkQueue, MatchesMonteCarloQuantiles) {
+  // Cross-check the embedded-chain solution against direct simulation of
+  // the recursion q' = max(q - v, 0) + A.
+  BulkQueueConfig config;
+  config.batch_size = 8;
+  config.arrivals_per_interval = poisson_pmf(6.0);  // 75% load
+  auto analysis = analyze_bulk_queue(config);
+  ASSERT_TRUE(analysis.ok());
+
+  dist::Xoshiro256 rng(777);
+  const Pmf& a = config.arrivals_per_interval;
+  std::vector<double> cdf(a.size());
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    acc += a[k];
+    cdf[k] = acc;
+  }
+  auto sample_a = [&] {
+    const double u = rng.uniform01();
+    for (std::size_t k = 0; k < cdf.size(); ++k) {
+      if (u < cdf[k]) return k;
+    }
+    return cdf.size() - 1;
+  };
+  std::uint64_t q = 0;
+  std::vector<std::uint64_t> histogram(1024, 0);
+  constexpr int kSteps = 2'000'000;
+  for (int s = 0; s < kSteps; ++s) {
+    q = (q > 8 ? q - 8 : 0) + sample_a();
+    ++histogram[std::min<std::uint64_t>(q, histogram.size() - 1)];
+  }
+  // Compare P(queue <= k) at several k.
+  double chain_cum = 0.0;
+  double mc_cum = 0.0;
+  for (std::size_t k = 0; k < 40; ++k) {
+    chain_cum += k < analysis.value().stationary.size()
+                     ? analysis.value().stationary[k]
+                     : 0.0;
+    mc_cum += static_cast<double>(histogram[k]) / kSteps;
+    EXPECT_NEAR(chain_cum, mc_cum, 0.01) << "k=" << k;
+  }
+}
+
+TEST(BulkQueue, HigherVarianceLongerQueues) {
+  // At the same mean load, batchier arrivals produce longer queues.
+  BulkQueueConfig smooth;
+  smooth.batch_size = 16;
+  smooth.arrivals_per_interval = poisson_pmf(12.0);
+  BulkQueueConfig batchy;
+  batchy.batch_size = 16;
+  // Same mean (12), arrivals in clumps of 4: variance x4.
+  Pmf clump = delta_pmf(0);
+  clump = convolve_power(mix(delta_pmf(4), delta_pmf(0), 0.5), 6);
+  batchy.arrivals_per_interval = clump;
+  auto a = analyze_bulk_queue(smooth);
+  auto b = analyze_bulk_queue(batchy);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(pmf_mean(batchy.arrivals_per_interval), 12.0, 1e-9);
+  EXPECT_GT(b.value().queue_quantile(0.9999), a.value().queue_quantile(0.9999));
+}
+
+TEST(BulkQueue, FiringsToDrainQuantile) {
+  BulkQueueConfig config;
+  config.batch_size = 4;
+  config.arrivals_per_interval = delta_pmf(3);
+  auto analysis = analyze_bulk_queue(config);
+  ASSERT_TRUE(analysis.ok());
+  // Queue is always 3: an arriving item drains within ceil(4/4) = 1 firing.
+  EXPECT_DOUBLE_EQ(analysis.value().firings_to_drain_quantile(0.999, 4), 1.0);
+}
+
+// -------------------------------------------------------------------- Predict
+
+sdf::PipelineSpec blast_pipeline() { return blast::canonical_blast_pipeline(); }
+
+std::vector<Cycles> headroom_intervals(double tau0, double deadline) {
+  core::EnforcedWaitsStrategy strategy(
+      blast_pipeline(), core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  // Solve with ~10% headroom so no constraint sits exactly at criticality.
+  return strategy.solve(0.9 * tau0, 0.9 * deadline).value().firing_intervals;
+}
+
+TEST(Predict, ValidatesInputs) {
+  const auto pipeline = blast_pipeline();
+  EXPECT_THROW(
+      (void)predict_b(pipeline, {1.0}, 10.0, 1e-4, ArrivalModel::kPoisson),
+      std::logic_error);
+  const auto x = headroom_intervals(20.0, 5e4);
+  EXPECT_THROW((void)predict_b(pipeline, x, 20.0, 0.0), std::logic_error);
+}
+
+TEST(Predict, PoissonModelProducesSaneB) {
+  const auto pipeline = blast_pipeline();
+  const auto x = headroom_intervals(20.0, 5e4);
+  auto prediction = predict_b(pipeline, x, 20.0, 1e-4, ArrivalModel::kPoisson);
+  ASSERT_TRUE(prediction.ok()) << prediction.error().message;
+  ASSERT_EQ(prediction.value().b.size(), 4u);
+  for (double b : prediction.value().b) {
+    EXPECT_GE(b, 1.0);
+    EXPECT_LE(b, 16.0);
+  }
+  // Node 0 is deterministic at sub-critical load: b = 1 exactly.
+  EXPECT_DOUBLE_EQ(prediction.value().b[0], 1.0);
+}
+
+TEST(Predict, BatchModelAtLeastPoisson) {
+  // Batch arrivals have strictly more variance than the Poisson
+  // approximation at the same rate, so the predicted b dominate.
+  const auto pipeline = blast_pipeline();
+  const auto x = headroom_intervals(20.0, 5e4);
+  auto poisson = predict_b(pipeline, x, 20.0, 1e-4, ArrivalModel::kPoisson);
+  auto batch = predict_b(pipeline, x, 20.0, 1e-4, ArrivalModel::kBatch);
+  ASSERT_TRUE(poisson.ok());
+  ASSERT_TRUE(batch.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(batch.value().b[i], poisson.value().b[i]) << i;
+  }
+}
+
+TEST(Predict, SmallerEpsilonRaisesB) {
+  const auto pipeline = blast_pipeline();
+  const auto x = headroom_intervals(20.0, 1e5);
+  auto loose = predict_b(pipeline, x, 20.0, 1e-2, ArrivalModel::kBatch);
+  auto tight = predict_b(pipeline, x, 20.0, 1e-6, ArrivalModel::kBatch);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  double loose_sum = 0.0;
+  double tight_sum = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    loose_sum += loose.value().b[i];
+    tight_sum += tight.value().b[i];
+  }
+  EXPECT_GE(tight_sum, loose_sum);
+}
+
+TEST(Predict, PredictedLatencyIsBudget) {
+  const auto pipeline = blast_pipeline();
+  const auto x = headroom_intervals(20.0, 5e4);
+  auto prediction = predict_b(pipeline, x, 20.0, 1e-4, ArrivalModel::kPoisson);
+  ASSERT_TRUE(prediction.ok());
+  double budget = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) budget += prediction.value().b[i] * x[i];
+  EXPECT_NEAR(prediction.value().predicted_worst_latency, budget, 1e-9);
+}
+
+TEST(Predict, CriticalScheduleRefused) {
+  // Solving *without* headroom leaves node 0 exactly at the rate constraint:
+  // the stochastic models must refuse rather than fabricate a b.
+  const auto pipeline = blast_pipeline();
+  core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  const auto x = strategy.solve(20.0, 1.85e5).value().firing_intervals;
+  auto prediction = predict_b(pipeline, x, 20.0, 1e-4, ArrivalModel::kPoisson);
+  // Node 0 is deterministic (OK at full load), but node 1 sits on the chain
+  // constraint at utilization 1 under the Poisson model.
+  ASSERT_FALSE(prediction.ok());
+  EXPECT_TRUE(prediction.error().code == "critical" ||
+              prediction.error().code == "unstable")
+      << prediction.error().code;
+}
+
+TEST(Predict, ZeroGainUpstreamGivesIdleNode) {
+  auto spec = sdf::PipelineBuilder("dead-end")
+                  .simd_width(8)
+                  .add_node("a", 10.0, dist::make_bernoulli(0.0))
+                  .add_node("b", 10.0, dist::make_deterministic(1))
+                  .build();
+  const auto pipeline = std::move(spec).take();
+  auto prediction =
+      predict_b(pipeline, {80.0, 80.0}, 10.0, 1e-4, ArrivalModel::kBatch);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_DOUBLE_EQ(prediction.value().b[1], 1.0);
+  EXPECT_DOUBLE_EQ(prediction.value().utilization[1], 0.0);
+}
+
+}  // namespace
+}  // namespace ripple::queueing

@@ -1,0 +1,206 @@
+#include "runtime/pipeline_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blast/measure.hpp"
+#include "blast/sequence.hpp"
+#include "blast/stages.hpp"
+#include "core/enforced_waits.hpp"
+
+namespace ripple::runtime {
+namespace {
+
+/// A 2-stage integer pipeline: double the value, then keep multiples of 4.
+PipelineExecutor make_toy_executor() {
+  auto spec = sdf::PipelineBuilder("toy")
+                  .simd_width(4)
+                  .add_node("double", 10.0, dist::make_deterministic(1))
+                  .add_node("filter", 20.0, dist::make_deterministic(1))
+                  .build();
+  std::vector<StageFn> stages;
+  stages.push_back([](Item&& input, std::vector<Item>& outputs) {
+    outputs.emplace_back(std::any_cast<int>(input) * 2);
+  });
+  stages.push_back([](Item&& input, std::vector<Item>& outputs) {
+    const int value = std::any_cast<int>(input);
+    if (value % 4 == 0) outputs.emplace_back(value);
+  });
+  return PipelineExecutor(std::move(spec).take(), std::move(stages));
+}
+
+std::vector<Item> iota_items(int count) {
+  std::vector<Item> items;
+  items.reserve(count);
+  for (int i = 1; i <= count; ++i) items.emplace_back(i);
+  return items;
+}
+
+TEST(Executor, ArityMismatchThrows) {
+  auto spec = sdf::PipelineBuilder("one")
+                  .simd_width(4)
+                  .add_node("a", 1.0, dist::make_deterministic(1))
+                  .build();
+  EXPECT_THROW(PipelineExecutor(std::move(spec).take(), {}), std::logic_error);
+}
+
+TEST(Executor, ConfigValidation) {
+  const auto executor = make_toy_executor();
+  ExecutorConfig config;
+  config.firing_intervals = {40.0};  // wrong arity
+  EXPECT_FALSE(executor.run(iota_items(4), config).ok());
+  config.firing_intervals = {5.0, 40.0};  // below service time
+  EXPECT_FALSE(executor.run(iota_items(4), config).ok());
+  config.firing_intervals = {40.0, 40.0};
+  config.input_gap = 0.0;
+  EXPECT_FALSE(executor.run(iota_items(4), config).ok());
+  config.input_gap = 10.0;
+  EXPECT_FALSE(executor.run({}, config).ok());  // no inputs
+}
+
+TEST(Executor, RealComputationFlowsThrough) {
+  const auto executor = make_toy_executor();
+  ExecutorConfig config;
+  config.firing_intervals = {40.0, 40.0};
+  config.input_gap = 10.0;
+  auto result = executor.run(iota_items(100), config);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const auto& metrics = result.value();
+  EXPECT_EQ(metrics.base.inputs_arrived, 100u);
+  // double(i) = 2i; multiples of 4 <=> even i: exactly 50 survive.
+  EXPECT_EQ(metrics.base.sink_outputs, 50u);
+  ASSERT_EQ(metrics.results.size(), 50u);
+  EXPECT_EQ(std::any_cast<int>(metrics.results[0]), 4);
+  EXPECT_EQ(std::any_cast<int>(metrics.results[1]), 8);
+  EXPECT_EQ(std::any_cast<int>(metrics.results[49]), 200);
+  // Stage accounting: node 0 consumed all inputs, produced one each.
+  EXPECT_EQ(metrics.base.nodes[0].items_consumed, 100u);
+  EXPECT_EQ(metrics.base.nodes[0].items_produced, 100u);
+  EXPECT_EQ(metrics.base.nodes[1].items_consumed, 100u);
+  EXPECT_EQ(metrics.base.nodes[1].items_produced, 50u);
+}
+
+TEST(Executor, ResultCollectionCapped) {
+  const auto executor = make_toy_executor();
+  ExecutorConfig config;
+  config.firing_intervals = {40.0, 40.0};
+  config.input_gap = 10.0;
+  config.max_collected_results = 7;
+  auto result = executor.run(iota_items(100), config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().results.size(), 7u);
+  EXPECT_EQ(result.value().base.sink_outputs, 50u);  // counting unaffected
+}
+
+TEST(Executor, DeadlineMissAccounting) {
+  const auto executor = make_toy_executor();
+  ExecutorConfig config;
+  config.firing_intervals = {400.0, 400.0};  // long waits
+  config.input_gap = 10.0;
+  config.deadline = 100.0;  // impossible: one pass takes >= 800 cycles
+  auto result = executor.run(iota_items(50), config);
+  ASSERT_TRUE(result.ok());
+  // Every even input produces a late output.
+  EXPECT_EQ(result.value().base.inputs_missed, 25u);
+}
+
+TEST(Executor, LatencyBoundedByScheduleDesign) {
+  const auto executor = make_toy_executor();
+  ExecutorConfig config;
+  config.firing_intervals = {40.0, 60.0};
+  config.input_gap = 15.0;
+  auto result = executor.run(iota_items(500), config);
+  ASSERT_TRUE(result.ok());
+  // Worst case across the run: one full interval of queueing per node plus
+  // service, with stable queues (gap*4 > intervals' demand).
+  EXPECT_LE(result.value().base.output_latency.max(),
+            2.0 * (40.0 + 60.0) + 10.0 + 20.0);
+}
+
+TEST(Executor, MiniBlastRealDataPath) {
+  // Drive the actual mini-BLAST computation through the executor and check
+  // the item flow matches the measurement pass exactly (same windows, same
+  // deterministic stages).
+  dist::Xoshiro256 rng(404);
+  blast::SequencePairConfig pair_config;
+  pair_config.subject_length = 1 << 15;
+  pair_config.query_length = 1 << 13;
+  const auto pair = blast::make_sequence_pair(pair_config, rng);
+  blast::BlastStages::Config stage_config;
+  const blast::BlastStages stages(pair, stage_config);
+
+  constexpr std::uint64_t kWindows = 20000;
+  blast::MeasureConfig measure_config;
+  measure_config.window_count = kWindows;
+  const auto measurement = blast::measure_pipeline(stages, measure_config);
+  auto spec = measurement.to_pipeline_spec(128);
+  ASSERT_TRUE(spec.ok());
+
+  std::vector<StageFn> stage_fns;
+  stage_fns.push_back([&](Item&& input, std::vector<Item>& outputs) {
+    const auto pos = std::any_cast<std::uint32_t>(input);
+    blast::StageCost cost;
+    if (stages.seed_match(pos, cost)) outputs.emplace_back(pos);
+  });
+  stage_fns.push_back([&](Item&& input, std::vector<Item>& outputs) {
+    const auto pos = std::any_cast<std::uint32_t>(input);
+    blast::StageCost cost;
+    for (const blast::HitItem& hit : stages.expand_seed(pos, cost)) {
+      outputs.emplace_back(hit);
+    }
+  });
+  stage_fns.push_back([&](Item&& input, std::vector<Item>& outputs) {
+    const auto hit = std::any_cast<blast::HitItem>(input);
+    blast::StageCost cost;
+    if (auto extended = stages.ungapped_extend(hit, cost)) {
+      outputs.emplace_back(*extended);
+    }
+  });
+  stage_fns.push_back([&](Item&& input, std::vector<Item>& outputs) {
+    const auto extended = std::any_cast<blast::ExtendedHit>(input);
+    blast::StageCost cost;
+    outputs.emplace_back(stages.gapped_extend(extended, cost));
+  });
+
+  const PipelineExecutor executor(spec.value(), std::move(stage_fns));
+
+  std::vector<Item> inputs;
+  inputs.reserve(kWindows);
+  for (std::uint64_t w = 0; w < kWindows; ++w) {
+    inputs.emplace_back(
+        static_cast<std::uint32_t>(w % stages.input_count()));
+  }
+
+  // Generous schedule: stable queues so everything drains.
+  const auto& pipeline = spec.value();
+  core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{{2.0, 4.0, 9.0, 6.0}});
+  const double tau0 = pipeline.mean_service_per_input() * 4.0;
+  const double deadline = 600.0 * pipeline.service_time(3);
+  auto schedule = strategy.solve(tau0, deadline);
+  ASSERT_TRUE(schedule.ok()) << schedule.error().message;
+
+  ExecutorConfig config;
+  config.firing_intervals = schedule.value().firing_intervals;
+  config.input_gap = tau0;
+  config.deadline = deadline;
+  config.max_collected_results = 64;
+  auto result = executor.run(std::move(inputs), config);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  const auto& metrics = result.value();
+
+  // The real data path reproduces the measurement's flow exactly.
+  EXPECT_EQ(metrics.base.nodes[0].items_consumed, measurement.stages[0].inputs);
+  EXPECT_EQ(metrics.base.nodes[0].items_produced, measurement.stages[0].outputs);
+  EXPECT_EQ(metrics.base.nodes[1].items_produced, measurement.stages[1].outputs);
+  EXPECT_EQ(metrics.base.nodes[2].items_produced, measurement.stages[2].outputs);
+  EXPECT_EQ(metrics.base.sink_outputs, measurement.alignments_reported);
+
+  // Collected results are genuine alignments.
+  for (const Item& item : metrics.results) {
+    const auto alignment = std::any_cast<blast::Alignment>(item);
+    EXPECT_GE(alignment.score, stage_config.ungapped_threshold);
+  }
+}
+
+}  // namespace
+}  // namespace ripple::runtime

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blast/canonical.hpp"
+#include "dist/gain.hpp"
+#include "sdf/analysis.hpp"
+#include "sdf/pipeline.hpp"
+
+namespace ripple::sdf {
+namespace {
+
+PipelineSpec two_stage(double g0 = 0.5, Cycles t0 = 100.0, Cycles t1 = 50.0) {
+  auto spec = PipelineBuilder("two")
+                  .simd_width(8)
+                  .add_node("a", t0, dist::make_bernoulli(g0))
+                  .add_node("b", t1, dist::make_deterministic(1))
+                  .build();
+  return std::move(spec).take();
+}
+
+TEST(PipelineBuilder, RejectsEmptyPipeline) {
+  auto spec = PipelineBuilder("x").build();
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.error().code, "empty");
+}
+
+TEST(PipelineBuilder, RejectsZeroWidth) {
+  auto spec = PipelineBuilder("x")
+                  .simd_width(0)
+                  .add_node("a", 1.0, dist::make_deterministic(1))
+                  .build();
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.error().code, "bad_width");
+}
+
+TEST(PipelineBuilder, RejectsNonPositiveServiceTime) {
+  auto spec = PipelineBuilder("x")
+                  .add_node("a", 0.0, dist::make_deterministic(1))
+                  .build();
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.error().code, "bad_service");
+}
+
+TEST(PipelineBuilder, RejectsMissingGainOnNonTerminal) {
+  auto spec = PipelineBuilder("x")
+                  .add_node("a", 1.0, nullptr)
+                  .add_node("b", 1.0, nullptr)
+                  .build();
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.error().code, "missing_gain");
+}
+
+TEST(PipelineBuilder, TerminalNodeMayOmitGain) {
+  auto spec = PipelineBuilder("x")
+                  .add_node("a", 1.0, dist::make_deterministic(1))
+                  .add_node("sink", 1.0, nullptr)
+                  .build();
+  EXPECT_TRUE(spec.ok());
+}
+
+TEST(PipelineSpec, DefaultsToPaperWidth) {
+  auto spec = PipelineBuilder("x")
+                  .add_node("a", 1.0, dist::make_deterministic(1))
+                  .build();
+  EXPECT_EQ(spec.value().simd_width(), 128u);
+}
+
+TEST(PipelineSpec, TotalGainsCompound) {
+  const auto blast = blast::canonical_blast_pipeline();
+  EXPECT_DOUBLE_EQ(blast.total_gain_into(0), 1.0);
+  EXPECT_DOUBLE_EQ(blast.total_gain_into(1), 0.379);
+  EXPECT_NEAR(blast.total_gain_into(2), 0.379 * 1.92, 1e-9);
+  EXPECT_NEAR(blast.total_gain_into(3), 0.379 * 1.92 * 0.0332, 1e-9);
+}
+
+TEST(PipelineSpec, MeanServicePerInput) {
+  // Hand computation for the Table 1 pipeline.
+  const auto blast = blast::canonical_blast_pipeline();
+  const double expected = (287.0 * 1.0 + 955.0 * 0.379 + 402.0 * 0.379 * 1.92 +
+                           2753.0 * 0.379 * 1.92 * 0.0332) /
+                          128.0;
+  EXPECT_NEAR(blast.mean_service_per_input(), expected, 1e-6);
+}
+
+TEST(PipelineSpec, NodeIndexOutOfRangeThrows) {
+  const auto spec = two_stage();
+  EXPECT_THROW((void)spec.node(2), std::logic_error);
+  EXPECT_THROW((void)spec.service_time(5), std::logic_error);
+}
+
+TEST(MinimalFiringIntervals, ServiceBoundDominatesWithSmallGain) {
+  // g = 0.5: L_0 = max(100, 0.5 * 50) = 100.
+  const auto spec = two_stage(0.5, 100.0, 50.0);
+  const auto lower = minimal_firing_intervals(spec);
+  EXPECT_DOUBLE_EQ(lower[0], 100.0);
+  EXPECT_DOUBLE_EQ(lower[1], 50.0);
+}
+
+TEST(MinimalFiringIntervals, ChainBoundDominatesWithLargeGain) {
+  // g = 4: node 1 must fire 4x as often as node 0 can supply; L_0 = 4 * t_1.
+  auto spec = PipelineBuilder("expand")
+                  .simd_width(8)
+                  .add_node("a", 10.0, dist::make_censored_poisson(4.0, 100))
+                  .add_node("b", 50.0, dist::make_deterministic(1))
+                  .build();
+  const auto lower = minimal_firing_intervals(spec.value());
+  const double g = spec.value().mean_gain(0);
+  EXPECT_NEAR(lower[0], g * 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(lower[1], 50.0);
+}
+
+TEST(MinimalFiringIntervals, PaperPipelineValues) {
+  // Backward recursion on Table 1: L_3 = 2753, L_2 = max(402, .0332*2753),
+  // L_1 = max(955, 1.92*402), L_0 = max(287, .379*955).
+  const auto blast = blast::canonical_blast_pipeline();
+  const auto lower = minimal_firing_intervals(blast);
+  EXPECT_DOUBLE_EQ(lower[3], 2753.0);
+  EXPECT_DOUBLE_EQ(lower[2], 402.0);
+  EXPECT_NEAR(lower[1], 955.0, 1e-9);           // 1.92*402 = 771.8 < 955
+  EXPECT_NEAR(lower[0], 0.379 * 955.0, 1e-9);   // 362.0 > 287
+}
+
+TEST(MinimalDeadlineBudget, PaperPipelineWithCalibratedB) {
+  const auto blast = blast::canonical_blast_pipeline();
+  const auto budget = minimal_deadline_budget(blast, {1.0, 3.0, 9.0, 6.0});
+  // 362.0 + 3*955 + 9*402 + 6*2753 = 23363 (approximately).
+  EXPECT_NEAR(budget, 0.379 * 955.0 + 3 * 955.0 + 9 * 402.0 + 6 * 2753.0, 1e-6);
+  // The paper's observation: no feasible realization below D = 2e4 — indeed
+  // the minimal budget exceeds 2e4.
+  EXPECT_GT(budget, 2e4);
+}
+
+TEST(MinimalDeadlineBudget, WrongBSizeThrows) {
+  const auto spec = two_stage();
+  EXPECT_THROW((void)minimal_deadline_budget(spec, {1.0}), std::logic_error);
+}
+
+TEST(MinInterarrival, EnforcedMatchesHandComputation) {
+  const auto blast = blast::canonical_blast_pipeline();
+  EXPECT_NEAR(min_interarrival_enforced(blast), 0.379 * 955.0 / 128.0, 1e-9);
+}
+
+TEST(MinInterarrival, MonolithicIsMeanServicePerInput) {
+  const auto blast = blast::canonical_blast_pipeline();
+  EXPECT_DOUBLE_EQ(min_interarrival_monolithic(blast),
+                   blast.mean_service_per_input());
+  // ~7.87 cycles for Table 1: monolithic cannot sustain tau0 below that.
+  EXPECT_NEAR(min_interarrival_monolithic(blast), 7.87, 0.05);
+}
+
+TEST(MaximalFiringIntervals, ScaleWithTau0) {
+  const auto spec = two_stage(0.5);
+  const auto at10 = maximal_firing_intervals(spec, 10.0);
+  const auto at20 = maximal_firing_intervals(spec, 20.0);
+  EXPECT_DOUBLE_EQ(at10[0], 8 * 10.0);
+  EXPECT_DOUBLE_EQ(at20[0], 8 * 20.0);
+  EXPECT_DOUBLE_EQ(at10[1], at10[0] / 0.5);
+}
+
+TEST(MaximalFiringIntervals, ZeroGainUnbounded) {
+  auto spec = PipelineBuilder("dead-end")
+                  .simd_width(4)
+                  .add_node("a", 1.0, dist::make_bernoulli(0.0))
+                  .add_node("b", 1.0, dist::make_deterministic(1))
+                  .build();
+  const auto upper = maximal_firing_intervals(spec.value(), 1.0);
+  EXPECT_TRUE(std::isinf(upper[1]));
+}
+
+TEST(UnconstrainedActiveFraction, DecreasesWithTau0) {
+  const auto blast = blast::canonical_blast_pipeline();
+  const double af10 = unconstrained_active_fraction(blast, 10.0);
+  const double af100 = unconstrained_active_fraction(blast, 100.0);
+  EXPECT_LT(af100, af10);
+  EXPECT_GT(af10, 0.0);
+}
+
+TEST(UnconstrainedActiveFraction, InfeasibleRateGivesOne) {
+  const auto blast = blast::canonical_blast_pipeline();
+  // tau0 = 1: v * tau0 = 128 < t_0 = 287, so node 0 can't keep up.
+  EXPECT_DOUBLE_EQ(unconstrained_active_fraction(blast, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace ripple::sdf

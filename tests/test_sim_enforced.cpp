@@ -1,0 +1,347 @@
+#include "sim/enforced_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blast/canonical.hpp"
+#include "core/enforced_waits.hpp"
+#include "sdf/analysis.hpp"
+
+namespace ripple::sim {
+namespace {
+
+sdf::PipelineSpec blast_pipeline() { return blast::canonical_blast_pipeline(); }
+
+/// A small deterministic pipeline: 2 nodes, gain exactly 1, width 4.
+sdf::PipelineSpec deterministic_pipeline() {
+  auto spec = sdf::PipelineBuilder("det")
+                  .simd_width(4)
+                  .add_node("a", 10.0, dist::make_deterministic(1))
+                  .add_node("b", 20.0, dist::make_deterministic(1))
+                  .build();
+  return std::move(spec).take();
+}
+
+std::vector<Cycles> solved_intervals(const sdf::PipelineSpec& pipeline,
+                                     const std::vector<double>& b, double tau0,
+                                     double deadline) {
+  core::EnforcedWaitsStrategy strategy(pipeline, core::EnforcedWaitsConfig{b});
+  auto solved = strategy.solve(tau0, deadline);
+  return solved.value().firing_intervals;
+}
+
+TEST(EnforcedSim, ValidatesInputs) {
+  const auto pipeline = deterministic_pipeline();
+  arrivals::FixedRateArrivals arrival_process(10.0);
+  EnforcedSimConfig config;
+  // Wrong interval count.
+  EXPECT_THROW((void)simulate_enforced_waits(pipeline, {10.0}, arrival_process,
+                                             config),
+               std::logic_error);
+  // Interval below service time.
+  EXPECT_THROW((void)simulate_enforced_waits(pipeline, {5.0, 20.0},
+                                             arrival_process, config),
+               std::logic_error);
+}
+
+TEST(EnforcedSim, AllItemsTraverseDeterministicPipeline) {
+  const auto pipeline = deterministic_pipeline();
+  arrivals::FixedRateArrivals arrival_process(10.0);
+  EnforcedSimConfig config;
+  config.input_count = 1000;
+  const auto metrics =
+      simulate_enforced_waits(pipeline, {40.0, 40.0}, arrival_process, config);
+  EXPECT_EQ(metrics.inputs_arrived, 1000u);
+  EXPECT_EQ(metrics.sink_outputs, 1000u);  // gain 1 everywhere
+  EXPECT_EQ(metrics.nodes[0].items_consumed, 1000u);
+  EXPECT_EQ(metrics.nodes[1].items_consumed, 1000u);
+  EXPECT_EQ(metrics.inputs_missed + metrics.inputs_on_time, 1000u);
+}
+
+TEST(EnforcedSim, DeterministicForSeed) {
+  const auto pipeline = blast_pipeline();
+  const auto intervals =
+      solved_intervals(pipeline, blast::paper_calibrated_b(), 20.0, 1.5e5);
+  EnforcedSimConfig config;
+  config.input_count = 5000;
+  config.deadline = 1.5e5;
+  config.seed = 777;
+  arrivals::FixedRateArrivals a1(20.0);
+  arrivals::FixedRateArrivals a2(20.0);
+  const auto m1 = simulate_enforced_waits(pipeline, intervals, a1, config);
+  const auto m2 = simulate_enforced_waits(pipeline, intervals, a2, config);
+  EXPECT_EQ(m1.sink_outputs, m2.sink_outputs);
+  EXPECT_EQ(m1.inputs_missed, m2.inputs_missed);
+  EXPECT_DOUBLE_EQ(m1.makespan, m2.makespan);
+  EXPECT_DOUBLE_EQ(m1.output_latency.mean(), m2.output_latency.mean());
+}
+
+TEST(EnforcedSim, DifferentSeedsDiffer) {
+  const auto pipeline = blast_pipeline();
+  const auto intervals =
+      solved_intervals(pipeline, blast::paper_calibrated_b(), 20.0, 1.5e5);
+  EnforcedSimConfig c1;
+  c1.input_count = 5000;
+  c1.seed = 1;
+  EnforcedSimConfig c2 = c1;
+  c2.seed = 2;
+  arrivals::FixedRateArrivals a1(20.0);
+  arrivals::FixedRateArrivals a2(20.0);
+  const auto m1 = simulate_enforced_waits(pipeline, intervals, a1, c1);
+  const auto m2 = simulate_enforced_waits(pipeline, intervals, a2, c2);
+  EXPECT_NE(m1.sink_outputs, m2.sink_outputs);  // stochastic gains resampled
+}
+
+TEST(EnforcedSim, MeasuredActiveFractionMatchesPrediction) {
+  // With empty firings charged, each node is active exactly t_i out of every
+  // x_i cycles, so the measured fraction must track (1/N) sum t_i/x_i.
+  const auto pipeline = blast_pipeline();
+  core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  for (double tau0 : {10.0, 50.0}) {
+    auto solved = strategy.solve(tau0, 1.85e5);
+    ASSERT_TRUE(solved.ok());
+    arrivals::FixedRateArrivals arrival_process(tau0);
+    EnforcedSimConfig config;
+    config.input_count = 20000;
+    config.deadline = 1.85e5;
+    config.seed = 99;
+    const auto metrics = simulate_enforced_waits(
+        pipeline, solved.value().firing_intervals, arrival_process, config);
+    EXPECT_NEAR(metrics.active_fraction(),
+                solved.value().predicted_active_fraction,
+                0.05 * solved.value().predicted_active_fraction + 0.005)
+        << "tau0 " << tau0;
+  }
+}
+
+TEST(EnforcedSim, NoMissesWithCalibratedParameters) {
+  // The paper's headline calibration claim at a mid-grid point.
+  const auto pipeline = blast_pipeline();
+  const auto intervals =
+      solved_intervals(pipeline, blast::paper_calibrated_b(), 10.0, 1.85e5);
+  arrivals::FixedRateArrivals arrival_process(10.0);
+  EnforcedSimConfig config;
+  config.input_count = 50000;
+  config.deadline = 1.85e5;
+  config.seed = 4242;
+  const auto metrics =
+      simulate_enforced_waits(pipeline, intervals, arrival_process, config);
+  EXPECT_EQ(metrics.inputs_missed, 0u);
+}
+
+TEST(EnforcedSim, TightDeadlineProducesMisses) {
+  // Run the same schedule but judge it against an impossible deadline.
+  const auto pipeline = blast_pipeline();
+  const auto intervals =
+      solved_intervals(pipeline, blast::paper_calibrated_b(), 10.0, 1.85e5);
+  arrivals::FixedRateArrivals arrival_process(10.0);
+  EnforcedSimConfig config;
+  config.input_count = 5000;
+  config.deadline = 5000.0;  // below even one pass through the pipeline
+  config.seed = 7;
+  const auto metrics =
+      simulate_enforced_waits(pipeline, intervals, arrival_process, config);
+  EXPECT_GT(metrics.inputs_missed, 0u);
+  // Only ~2.4% of inputs (total gain into the sink) produce any output at
+  // all; essentially all of those must be late against this deadline.
+  const double producing_fraction = pipeline.total_gain_into(3);
+  EXPECT_GT(metrics.miss_fraction(), 0.6 * producing_fraction);
+}
+
+TEST(EnforcedSim, LatencyAtLeastServiceChain) {
+  // Any output must spend at least sum_i t_i in service.
+  const auto pipeline = blast_pipeline();
+  const auto intervals =
+      solved_intervals(pipeline, blast::paper_calibrated_b(), 20.0, 1e5);
+  arrivals::FixedRateArrivals arrival_process(20.0);
+  EnforcedSimConfig config;
+  config.input_count = 10000;
+  config.seed = 3;
+  const auto metrics =
+      simulate_enforced_waits(pipeline, intervals, arrival_process, config);
+  ASSERT_GT(metrics.output_latency.count(), 0u);
+  Cycles min_service = 0.0;
+  for (std::size_t i = 0; i < pipeline.size(); ++i) {
+    min_service += pipeline.service_time(i);
+  }
+  EXPECT_GE(metrics.output_latency.min(), min_service);
+}
+
+TEST(EnforcedSim, VacationAccountingLowersActiveTime) {
+  const auto pipeline = blast_pipeline();
+  // Deliberately slow arrivals so many firings are empty.
+  const auto intervals =
+      solved_intervals(pipeline, blast::paper_calibrated_b(), 100.0, 3.5e5);
+  EnforcedSimConfig charged;
+  charged.input_count = 5000;
+  charged.seed = 11;
+  EnforcedSimConfig vacation = charged;
+  vacation.charge_empty_firings = false;
+  arrivals::FixedRateArrivals a1(100.0);
+  arrivals::FixedRateArrivals a2(100.0);
+  const auto m_charged = simulate_enforced_waits(pipeline, intervals, a1, charged);
+  const auto m_vacation =
+      simulate_enforced_waits(pipeline, intervals, a2, vacation);
+  EXPECT_LT(m_vacation.active_fraction(), m_charged.active_fraction());
+  // Same data path: outputs identical.
+  EXPECT_EQ(m_vacation.sink_outputs, m_charged.sink_outputs);
+}
+
+TEST(EnforcedSim, LongerWaitsImproveOccupancy) {
+  const auto pipeline = blast_pipeline();
+  arrivals::FixedRateArrivals a1(10.0);
+  arrivals::FixedRateArrivals a2(10.0);
+  EnforcedSimConfig config;
+  config.input_count = 20000;
+  config.seed = 5;
+  // Minimal intervals vs. deadline-slack intervals.
+  const auto tight = sdf::minimal_firing_intervals(pipeline);
+  const auto slack =
+      solved_intervals(pipeline, blast::paper_calibrated_b(), 10.0, 3.5e5);
+  const auto m_tight = simulate_enforced_waits(pipeline, tight, a1, config);
+  const auto m_slack = simulate_enforced_waits(pipeline, slack, a2, config);
+  EXPECT_GT(m_slack.overall_occupancy(), m_tight.overall_occupancy());
+  EXPECT_LT(m_slack.active_fraction(), m_tight.active_fraction());
+}
+
+TEST(EnforcedSim, ConservationAcrossNodes) {
+  const auto pipeline = blast_pipeline();
+  const auto intervals =
+      solved_intervals(pipeline, blast::paper_calibrated_b(), 10.0, 1.85e5);
+  arrivals::FixedRateArrivals arrival_process(10.0);
+  EnforcedSimConfig config;
+  config.input_count = 20000;
+  config.seed = 13;
+  const auto metrics =
+      simulate_enforced_waits(pipeline, intervals, arrival_process, config);
+  // Everything arriving is consumed by node 0 (schedule is stable).
+  EXPECT_EQ(metrics.nodes[0].items_consumed, metrics.inputs_arrived);
+  // Node i+1 consumes exactly what node i produced (stream fully drains).
+  for (std::size_t i = 0; i + 1 < pipeline.size(); ++i) {
+    EXPECT_EQ(metrics.nodes[i + 1].items_consumed,
+              metrics.nodes[i].items_produced)
+        << "edge " << i;
+  }
+  // Sink consumption equals recorded sink outputs.
+  EXPECT_EQ(metrics.nodes.back().items_consumed, metrics.sink_outputs);
+}
+
+TEST(EnforcedSim, MeanGainsReflectDistributions) {
+  const auto pipeline = blast_pipeline();
+  const auto intervals =
+      solved_intervals(pipeline, blast::paper_calibrated_b(), 10.0, 1.85e5);
+  arrivals::FixedRateArrivals arrival_process(10.0);
+  EnforcedSimConfig config;
+  config.input_count = 50000;
+  config.seed = 17;
+  const auto metrics =
+      simulate_enforced_waits(pipeline, intervals, arrival_process, config);
+  for (std::size_t i = 0; i + 1 < pipeline.size(); ++i) {
+    const double measured =
+        static_cast<double>(metrics.nodes[i].items_produced) /
+        static_cast<double>(metrics.nodes[i].items_consumed);
+    EXPECT_NEAR(measured, pipeline.mean_gain(i), 0.05 * pipeline.mean_gain(i) + 0.01)
+        << "node " << i;
+  }
+}
+
+TEST(EnforcedSim, EmptyFiringsCountedSeparately) {
+  const auto pipeline = deterministic_pipeline();
+  arrivals::FixedRateArrivals arrival_process(1000.0);  // very sparse
+  EnforcedSimConfig config;
+  config.input_count = 10;
+  config.seed = 19;
+  const auto metrics =
+      simulate_enforced_waits(pipeline, {10.0, 20.0}, arrival_process, config);
+  EXPECT_GT(metrics.nodes[0].empty_firings, 0u);
+  EXPECT_LE(metrics.nodes[0].empty_firings, metrics.nodes[0].firings);
+}
+
+
+TEST(EnforcedSim, LatencyWithinDeadlineBudgetWhenCalibrated) {
+  // The design intent of the b multipliers: an item waits at most b_i
+  // firings at node i, so end-to-end latency stays within sum b_i x_i (the
+  // optimizer spends exactly the deadline budget on this bound). With the
+  // calibrated b's the simulated maximum must respect it.
+  const auto pipeline = blast_pipeline();
+  core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  for (double tau0 : {10.0, 50.0}) {
+    auto solved = strategy.solve(tau0, 1.85e5);
+    ASSERT_TRUE(solved.ok());
+    arrivals::FixedRateArrivals arrival_process(tau0);
+    EnforcedSimConfig config;
+    config.input_count = 30000;
+    config.deadline = 1.85e5;
+    config.seed = 2718;
+    const auto metrics = simulate_enforced_waits(
+        pipeline, solved.value().firing_intervals, arrival_process, config);
+    EXPECT_EQ(metrics.inputs_missed, 0u) << tau0;
+    EXPECT_LE(metrics.output_latency.max(),
+              solved.value().deadline_budget_used * (1.0 + 1e-9))
+        << tau0;
+  }
+}
+
+TEST(EnforcedSim, PhaseOffsetsValidated) {
+  const auto pipeline = deterministic_pipeline();
+  arrivals::FixedRateArrivals arrival_process(10.0);
+  EnforcedSimConfig config;
+  config.initial_offsets = {1.0};  // wrong length
+  EXPECT_THROW((void)simulate_enforced_waits(pipeline, {40.0, 40.0},
+                                             arrival_process, config),
+               std::logic_error);
+  EnforcedSimConfig negative;
+  negative.initial_offsets = {0.0, -1.0};
+  EXPECT_THROW((void)simulate_enforced_waits(pipeline, {40.0, 40.0},
+                                             arrival_process, negative),
+               std::logic_error);
+}
+
+TEST(EnforcedSim, AlignedOffsetsAreCumulativeServiceTimes) {
+  const auto pipeline = blast_pipeline();
+  const auto offsets = aligned_phase_offsets(pipeline);
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_DOUBLE_EQ(offsets[0], 0.0);
+  EXPECT_NEAR(offsets[1], 287.0, 1e-3);
+  EXPECT_NEAR(offsets[2], 287.0 + 955.0, 1e-3);
+  EXPECT_NEAR(offsets[3], 287.0 + 955.0 + 402.0, 1e-3);
+}
+
+TEST(EnforcedSim, AlignedPhasesCutLatencyOnSynchronousCadence) {
+  // With identical firing intervals the relative phases persist forever, so
+  // alignment shows its full effect: each stage consumes the previous
+  // stage's outputs on the very next firing rather than waiting most of an
+  // interval.
+  auto spec = sdf::PipelineBuilder("sync")
+                  .simd_width(8)
+                  .add_node("a", 50.0, dist::make_deterministic(1))
+                  .add_node("b", 60.0, dist::make_deterministic(1))
+                  .add_node("c", 70.0, dist::make_deterministic(1))
+                  .build();
+  const auto pipeline = std::move(spec).take();
+  const std::vector<Cycles> intervals = {400.0, 400.0, 400.0};
+
+  EnforcedSimConfig base;
+  base.input_count = 2000;
+  base.seed = 9;
+  EnforcedSimConfig aligned = base;
+  aligned.initial_offsets = aligned_phase_offsets(pipeline);
+
+  arrivals::FixedRateArrivals a1(100.0);
+  arrivals::FixedRateArrivals a2(100.0);
+  const auto unaligned = simulate_enforced_waits(pipeline, intervals, a1, base);
+  const auto phased = simulate_enforced_waits(pipeline, intervals, a2, aligned);
+
+  EXPECT_EQ(unaligned.sink_outputs, phased.sink_outputs);
+  // All nodes fire in phase at 0: an item consumed by node 0 at time T is
+  // delivered at T+50, then waits ~350 for node 1's next slot, etc. Aligned
+  // phases collapse that to the bare service chain.
+  EXPECT_LT(phased.output_latency.mean(),
+            0.6 * unaligned.output_latency.mean());
+}
+
+}  // namespace
+}  // namespace ripple::sim

@@ -1,0 +1,89 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ripple::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue<int> q;
+  q.push(3.0, 0, 3);
+  q.push(1.0, 0, 1);
+  q.push(2.0, 0, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+}
+
+TEST(EventQueue, PriorityBreaksTimeTies) {
+  EventQueue<std::string> q;
+  q.push(5.0, 2, "fire-start");
+  q.push(5.0, 0, "fire-end");
+  q.push(5.0, 1, "arrival");
+  EXPECT_EQ(q.pop().payload, "fire-end");
+  EXPECT_EQ(q.pop().payload, "arrival");
+  EXPECT_EQ(q.pop().payload, "fire-start");
+}
+
+TEST(EventQueue, SequenceBreaksRemainingTies) {
+  EventQueue<int> q;
+  q.push(1.0, 0, 10);
+  q.push(1.0, 0, 20);
+  q.push(1.0, 0, 30);
+  EXPECT_EQ(q.pop().payload, 10);  // FIFO among full ties
+  EXPECT_EQ(q.pop().payload, 20);
+  EXPECT_EQ(q.pop().payload, 30);
+}
+
+TEST(EventQueue, SizeAndEmpty) {
+  EventQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  q.push(1.0, 0, 1);
+  q.push(2.0, 0, 2);
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+  (void)q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TopDoesNotPop) {
+  EventQueue<int> q;
+  q.push(1.0, 0, 42);
+  EXPECT_EQ(q.top().payload, 42);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue<int> q;
+  q.push(10.0, 0, 1);
+  q.push(20.0, 0, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  q.push(15.0, 0, 3);
+  q.push(5.0, 0, 4);
+  EXPECT_EQ(q.pop().payload, 4);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_EQ(q.pop().payload, 2);
+}
+
+TEST(EventQueue, LargeVolumeStaysSorted) {
+  EventQueue<int> q;
+  // Deterministic pseudo-random times.
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.push(static_cast<double>(state >> 40), 0, i);
+  }
+  double last = -1.0;
+  while (!q.empty()) {
+    const auto event = q.pop();
+    EXPECT_GE(event.time, last);
+    last = event.time;
+  }
+}
+
+}  // namespace
+}  // namespace ripple::sim

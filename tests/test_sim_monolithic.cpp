@@ -1,0 +1,208 @@
+#include "sim/monolithic_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blast/canonical.hpp"
+#include "core/monolithic.hpp"
+
+namespace ripple::sim {
+namespace {
+
+sdf::PipelineSpec blast_pipeline() { return blast::canonical_blast_pipeline(); }
+
+sdf::PipelineSpec passthrough_pipeline() {
+  auto spec = sdf::PipelineBuilder("pass")
+                  .simd_width(4)
+                  .add_node("a", 10.0, dist::make_deterministic(1))
+                  .add_node("b", 20.0, dist::make_deterministic(1))
+                  .build();
+  return std::move(spec).take();
+}
+
+TEST(MonolithicSim, ValidatesConfig) {
+  const auto pipeline = passthrough_pipeline();
+  arrivals::FixedRateArrivals arrival_process(10.0);
+  MonolithicSimConfig config;
+  config.block_size = 0;
+  EXPECT_THROW((void)simulate_monolithic(pipeline, arrival_process, config),
+               std::logic_error);
+}
+
+TEST(MonolithicSim, DeterministicPipelineExactService) {
+  // M = 4 = v: each stage fires exactly once per block.
+  const auto pipeline = passthrough_pipeline();
+  arrivals::FixedRateArrivals arrival_process(100.0);
+  MonolithicSimConfig config;
+  config.block_size = 4;
+  config.input_count = 40;  // 10 blocks
+  const auto metrics = simulate_monolithic(pipeline, arrival_process, config);
+  EXPECT_EQ(metrics.sink_outputs, 40u);
+  EXPECT_EQ(metrics.nodes[0].firings, 10u);
+  EXPECT_EQ(metrics.nodes[1].firings, 10u);
+  EXPECT_DOUBLE_EQ(metrics.nodes[0].active_time, 100.0);
+  EXPECT_DOUBLE_EQ(metrics.nodes[1].active_time, 200.0);
+}
+
+TEST(MonolithicSim, BlockLatencyIncludesAccumulation) {
+  // One block of 4, gaps of 100: first item waits 3 gaps + service.
+  const auto pipeline = passthrough_pipeline();
+  arrivals::FixedRateArrivals arrival_process(100.0);
+  MonolithicSimConfig config;
+  config.block_size = 4;
+  config.input_count = 4;
+  const auto metrics = simulate_monolithic(pipeline, arrival_process, config);
+  ASSERT_EQ(metrics.output_latency.count(), 4u);
+  // Arrivals at 100..400; block ready 400; finish 400 + 30 = 430.
+  EXPECT_DOUBLE_EQ(metrics.output_latency.max(), 330.0);  // first item
+  EXPECT_DOUBLE_EQ(metrics.output_latency.min(), 30.0);   // last item
+}
+
+TEST(MonolithicSim, FlushProcessesPartialBlock) {
+  const auto pipeline = passthrough_pipeline();
+  arrivals::FixedRateArrivals arrival_process(10.0);
+  MonolithicSimConfig config;
+  config.block_size = 100;
+  config.input_count = 7;  // never fills a block
+  config.flush_final_partial_block = true;
+  const auto metrics = simulate_monolithic(pipeline, arrival_process, config);
+  EXPECT_EQ(metrics.sink_outputs, 7u);
+
+  MonolithicSimConfig no_flush = config;
+  no_flush.flush_final_partial_block = false;
+  arrivals::FixedRateArrivals a2(10.0);
+  const auto metrics2 = simulate_monolithic(pipeline, a2, no_flush);
+  EXPECT_EQ(metrics2.sink_outputs, 0u);
+  EXPECT_EQ(metrics2.inputs_on_time, 7u);  // unprocessed, counted on time
+}
+
+TEST(MonolithicSim, DeterministicForSeed) {
+  const auto pipeline = blast_pipeline();
+  MonolithicSimConfig config;
+  config.block_size = 500;
+  config.input_count = 10000;
+  config.seed = 55;
+  arrivals::FixedRateArrivals a1(20.0);
+  arrivals::FixedRateArrivals a2(20.0);
+  const auto m1 = simulate_monolithic(pipeline, a1, config);
+  const auto m2 = simulate_monolithic(pipeline, a2, config);
+  EXPECT_EQ(m1.sink_outputs, m2.sink_outputs);
+  EXPECT_DOUBLE_EQ(m1.makespan, m2.makespan);
+}
+
+TEST(MonolithicSim, ActiveFractionApproachesPredictionWithManyBlocks) {
+  const auto pipeline = blast_pipeline();
+  const core::MonolithicStrategy strategy(pipeline, {});
+  const double tau0 = 50.0;
+  auto solved = strategy.solve(tau0, 5e4);  // small blocks -> many of them
+  ASSERT_TRUE(solved.ok());
+  MonolithicSimConfig config;
+  config.block_size = solved.value().block_size;
+  config.input_count = 100000;  // >> block size
+  config.seed = 66;
+  arrivals::FixedRateArrivals arrival_process(tau0);
+  const auto metrics = simulate_monolithic(pipeline, arrival_process, config);
+  EXPECT_NEAR(metrics.active_fraction(),
+              solved.value().predicted_active_fraction,
+              0.1 * solved.value().predicted_active_fraction);
+}
+
+TEST(MonolithicSim, NoMissesWithPaperParameters) {
+  // The paper observed no misses for monolithic even with b = 1, S = 1.
+  const auto pipeline = blast_pipeline();
+  const core::MonolithicStrategy strategy(pipeline, {});
+  const double tau0 = 20.0;
+  const double deadline = 1.85e5;
+  auto solved = strategy.solve(tau0, deadline);
+  ASSERT_TRUE(solved.ok());
+  MonolithicSimConfig config;
+  config.block_size = solved.value().block_size;
+  config.input_count = 50000;
+  config.deadline = deadline;
+  config.seed = 77;
+  arrivals::FixedRateArrivals arrival_process(tau0);
+  const auto metrics = simulate_monolithic(pipeline, arrival_process, config);
+  EXPECT_EQ(metrics.inputs_missed, 0u);
+}
+
+TEST(MonolithicSim, OversizedBlocksMissDeadlines) {
+  // Force a block far beyond what the deadline allows.
+  const auto pipeline = blast_pipeline();
+  MonolithicSimConfig config;
+  config.block_size = 20000;
+  config.input_count = 40000;
+  config.deadline = 5e4;
+  config.seed = 88;
+  arrivals::FixedRateArrivals arrival_process(20.0);
+  const auto metrics = simulate_monolithic(pipeline, arrival_process, config);
+  EXPECT_GT(metrics.inputs_missed, 0u);
+}
+
+TEST(MonolithicSim, StochasticGainsPropagate) {
+  const auto pipeline = blast_pipeline();
+  MonolithicSimConfig config;
+  config.block_size = 1000;
+  config.input_count = 50000;
+  config.seed = 99;
+  arrivals::FixedRateArrivals arrival_process(20.0);
+  const auto metrics = simulate_monolithic(pipeline, arrival_process, config);
+  // Sink inputs per pipeline input ~ total gain into the sink.
+  const double measured = static_cast<double>(metrics.sink_outputs) /
+                          static_cast<double>(metrics.inputs_arrived);
+  EXPECT_NEAR(measured, pipeline.total_gain_into(3), 0.15 * pipeline.total_gain_into(3));
+}
+
+TEST(MonolithicSim, VacuouslyOnTimeInputsCounted) {
+  // A pipeline whose first stage filters everything: all inputs on time,
+  // nothing emitted.
+  auto spec = sdf::PipelineBuilder("drop-all")
+                  .simd_width(4)
+                  .add_node("filter", 10.0, dist::make_bernoulli(0.0))
+                  .add_node("sink", 10.0, dist::make_deterministic(1))
+                  .build();
+  const auto pipeline = std::move(spec).take();
+  MonolithicSimConfig config;
+  config.block_size = 4;
+  config.input_count = 100;
+  config.deadline = 1.0;  // impossibly tight — but nothing ever exits
+  arrivals::FixedRateArrivals arrival_process(10.0);
+  const auto metrics = simulate_monolithic(pipeline, arrival_process, config);
+  EXPECT_EQ(metrics.sink_outputs, 0u);
+  EXPECT_EQ(metrics.inputs_missed, 0u);
+  EXPECT_EQ(metrics.inputs_on_time, 100u);
+}
+
+TEST(MonolithicSim, SharingActorsIsOne) {
+  const auto pipeline = passthrough_pipeline();
+  arrivals::FixedRateArrivals arrival_process(1000.0);
+  MonolithicSimConfig config;
+  config.block_size = 4;
+  config.input_count = 8;
+  const auto metrics = simulate_monolithic(pipeline, arrival_process, config);
+  EXPECT_EQ(metrics.sharing_actors, 1u);
+  // Active fraction uses makespan directly (not N * makespan).
+  Cycles active = 0.0;
+  for (const auto& node : metrics.nodes) active += node.active_time;
+  EXPECT_NEAR(metrics.active_fraction(), active / metrics.makespan, 1e-12);
+}
+
+TEST(MonolithicSim, BacklogQueuesBlocksFcfs) {
+  // Deliberately unstable: service far exceeds accumulation; blocks queue and
+  // latency grows monotonically across blocks.
+  const auto pipeline = blast_pipeline();
+  MonolithicSimConfig config;
+  config.block_size = 128;
+  config.input_count = 1280;
+  config.deadline = 0.0;  // no miss accounting; just watch latency
+  config.seed = 123;
+  arrivals::FixedRateArrivals arrival_process(1.0);  // tau0 = 1: unstable
+  const auto metrics = simulate_monolithic(pipeline, arrival_process, config);
+  // All inputs processed despite backlog.
+  EXPECT_GT(metrics.sink_outputs, 0u);
+  // Makespan far exceeds the arrival span (1280 cycles) because of queueing.
+  EXPECT_GT(metrics.makespan, 10.0 * 1280.0);
+}
+
+}  // namespace
+}  // namespace ripple::sim

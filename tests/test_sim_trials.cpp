@@ -1,0 +1,145 @@
+#include "sim/trial_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arrivals/arrival_process.hpp"
+#include "blast/canonical.hpp"
+#include "core/enforced_waits.hpp"
+#include "dist/rng.hpp"
+#include "sim/enforced_sim.hpp"
+
+namespace ripple::sim {
+namespace {
+
+/// A tiny synthetic trial for exercising the aggregator without full sims.
+TrialMetrics synthetic_trial(std::uint64_t index) {
+  TrialMetrics metrics;
+  metrics.nodes.resize(2);
+  metrics.vector_width = 4;
+  metrics.inputs_arrived = 100;
+  metrics.inputs_missed = (index % 3 == 0) ? 2 : 0;  // every third trial misses
+  metrics.inputs_on_time = metrics.inputs_arrived - metrics.inputs_missed;
+  metrics.nodes[0].active_time = 50.0;
+  metrics.nodes[0].max_queue_length = 10 + index;
+  metrics.nodes[1].active_time = 30.0;
+  metrics.makespan = 100.0;
+  metrics.output_latency.add(static_cast<double>(10 + index));
+  metrics.sink_outputs = 1;
+  return metrics;
+}
+
+TEST(TrialRunner, RequiresTrialFunction) {
+  EXPECT_THROW((void)run_trials(TrialFn{}, 3), std::logic_error);
+}
+
+TEST(TrialRunner, AggregatesMissFreeFraction) {
+  const TrialSummary summary = run_trials(synthetic_trial, 9);
+  EXPECT_EQ(summary.trials, 9u);
+  // Indices 0,3,6 miss: 6 of 9 miss-free.
+  EXPECT_EQ(summary.miss_free_trials, 6u);
+  EXPECT_NEAR(summary.miss_free_fraction(), 6.0 / 9.0, 1e-12);
+}
+
+TEST(TrialRunner, AggregatesActiveFraction) {
+  const TrialSummary summary = run_trials(synthetic_trial, 4);
+  // Each synthetic trial: (50+30)/(2*100) = 0.4.
+  EXPECT_NEAR(summary.active_fraction.mean(), 0.4, 1e-12);
+  EXPECT_NEAR(summary.active_fraction.stddev(), 0.0, 1e-12);
+}
+
+TEST(TrialRunner, TracksMaxQueueAcrossTrials) {
+  const TrialSummary summary = run_trials(synthetic_trial, 5);
+  ASSERT_EQ(summary.max_queue_lengths.size(), 2u);
+  EXPECT_EQ(summary.max_queue_lengths[0], 14u);  // 10 + 4
+  EXPECT_EQ(summary.max_queue_lengths[1], 0u);
+}
+
+TEST(TrialRunner, LatencyStatsPerTrial) {
+  const TrialSummary summary = run_trials(synthetic_trial, 3);
+  // Latencies 10, 11, 12 across trials.
+  EXPECT_NEAR(summary.latency_mean.mean(), 11.0, 1e-12);
+  EXPECT_NEAR(summary.latency_max.max(), 12.0, 1e-12);
+}
+
+TEST(TrialRunner, WilsonIntervalExposed) {
+  const TrialSummary summary = run_trials(synthetic_trial, 9);
+  const auto interval = summary.miss_free_interval();
+  EXPECT_LT(interval.lower, summary.miss_free_fraction());
+  EXPECT_GT(interval.upper, summary.miss_free_fraction());
+}
+
+TEST(TrialRunner, ParallelMatchesSerial) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  auto solved = strategy.solve(20.0, 1.85e5);
+  ASSERT_TRUE(solved.ok());
+  const auto intervals = solved.value().firing_intervals;
+
+  auto trial_fn = [&](std::uint64_t trial) {
+    arrivals::FixedRateArrivals arrival_process(20.0);
+    EnforcedSimConfig config;
+    config.input_count = 2000;
+    config.deadline = 1.85e5;
+    config.seed = dist::derive_seed({12345, trial});
+    return simulate_enforced_waits(pipeline, intervals, arrival_process, config);
+  };
+
+  const TrialSummary serial = run_trials(trial_fn, 8);
+  util::ThreadPool pool(4);
+  const TrialSummary parallel = run_trials(trial_fn, 8, &pool);
+
+  EXPECT_EQ(serial.miss_free_trials, parallel.miss_free_trials);
+  EXPECT_DOUBLE_EQ(serial.active_fraction.mean(),
+                   parallel.active_fraction.mean());
+  EXPECT_DOUBLE_EQ(serial.latency_mean.mean(), parallel.latency_mean.mean());
+  EXPECT_EQ(serial.max_queue_lengths, parallel.max_queue_lengths);
+}
+
+TEST(TrialRunner, LatencyP99Aggregated) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  auto solved = strategy.solve(20.0, 1.85e5);
+  ASSERT_TRUE(solved.ok());
+  auto trial_fn = [&](std::uint64_t trial) {
+    arrivals::FixedRateArrivals arrival_process(20.0);
+    EnforcedSimConfig config;
+    config.input_count = 5000;
+    config.deadline = 1.85e5;  // arms the histogram
+    config.seed = dist::derive_seed({0x99, trial});
+    return simulate_enforced_waits(pipeline, solved.value().firing_intervals,
+                                   arrival_process, config);
+  };
+  const TrialSummary summary = run_trials(trial_fn, 5);
+  ASSERT_EQ(summary.latency_p99.count(), 5u);
+  // p99 sits between the mean and the max.
+  EXPECT_GE(summary.latency_p99.mean(), summary.latency_mean.mean());
+  EXPECT_LE(summary.latency_p99.mean(), summary.latency_max.max() * 1.02);
+}
+
+TEST(TrialRunner, NoHistogramWithoutDeadline) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  auto solved = strategy.solve(20.0, 1.85e5);
+  ASSERT_TRUE(solved.ok());
+  arrivals::FixedRateArrivals arrival_process(20.0);
+  EnforcedSimConfig config;
+  config.input_count = 2000;
+  config.deadline = 0.0;  // histogram unarmed
+  const auto metrics = simulate_enforced_waits(
+      pipeline, solved.value().firing_intervals, arrival_process, config);
+  EXPECT_FALSE(metrics.latency_histogram.has_value());
+  // Quantile falls back to the running max.
+  EXPECT_DOUBLE_EQ(metrics.latency_quantile(0.99), metrics.output_latency.max());
+}
+
+TEST(TrialRunner, ZeroTrials) {
+  const TrialSummary summary = run_trials(synthetic_trial, 0);
+  EXPECT_EQ(summary.trials, 0u);
+  EXPECT_DOUBLE_EQ(summary.miss_free_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace ripple::sim

@@ -1,0 +1,108 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ripple::util {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli;
+  cli.add_flag("verbose", false, "enable verbose output");
+  cli.add_int("trials", 100, "trial count");
+  cli.add_double("tau0", 10.0, "inter-arrival time");
+  cli.add_string("out", "results.csv", "output path");
+  return cli;
+}
+
+util::Result<bool> parse(CliParser& cli, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return cli.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, DefaultsApplyWithoutArguments) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {}).ok());
+  EXPECT_FALSE(cli.get_flag("verbose"));
+  EXPECT_EQ(cli.get_int("trials"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("tau0"), 10.0);
+  EXPECT_EQ(cli.get_string("out"), "results.csv");
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--trials=7", "--tau0=2.5", "--out=x.csv"}).ok());
+  EXPECT_EQ(cli.get_int("trials"), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("tau0"), 2.5);
+  EXPECT_EQ(cli.get_string("out"), "x.csv");
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--trials", "9"}).ok());
+  EXPECT_EQ(cli.get_int("trials"), 9);
+}
+
+TEST(Cli, BareAndNegatedFlags) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--verbose"}).ok());
+  EXPECT_TRUE(cli.get_flag("verbose"));
+
+  CliParser cli2 = make_parser();
+  ASSERT_TRUE(parse(cli2, {"--verbose", "--no-verbose"}).ok());
+  EXPECT_FALSE(cli2.get_flag("verbose"));
+}
+
+TEST(Cli, FlagWithExplicitValue) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--verbose=true"}).ok());
+  EXPECT_TRUE(cli.get_flag("verbose"));
+  CliParser cli2 = make_parser();
+  ASSERT_TRUE(parse(cli2, {"--verbose=false"}).ok());
+  EXPECT_FALSE(cli2.get_flag("verbose"));
+}
+
+TEST(Cli, UnknownOptionFails) {
+  CliParser cli = make_parser();
+  auto result = parse(cli, {"--bogus=1"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "unknown_option");
+}
+
+TEST(Cli, MissingValueFails) {
+  CliParser cli = make_parser();
+  auto result = parse(cli, {"--trials"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "missing_value");
+}
+
+TEST(Cli, BadNumberFails) {
+  CliParser cli = make_parser();
+  auto result = parse(cli, {"--trials=abc"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "bad_value");
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"alpha", "--trials=3", "beta"}).ok());
+  EXPECT_EQ(cli.positional(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(Cli, HelpRequested) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--help"}).ok());
+  EXPECT_TRUE(cli.help_requested());
+  const std::string usage = cli.usage("test program");
+  EXPECT_NE(usage.find("--trials"), std::string::npos);
+  EXPECT_NE(usage.find("test program"), std::string::npos);
+}
+
+TEST(Cli, UndeclaredLookupThrows) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {}).ok());
+  EXPECT_THROW((void)cli.get_int("nonexistent"), std::logic_error);
+  EXPECT_THROW((void)cli.get_flag("trials"), std::logic_error);  // kind mismatch
+}
+
+}  // namespace
+}  // namespace ripple::util

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace ripple::util {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.row({"1", "2"});
+  csv.row({"3", "4"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, QuotesFieldsWithCommas) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"x,y", "plain"});
+  EXPECT_EQ(out.str(), "\"x,y\",plain\n");
+}
+
+TEST(Csv, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"he said \"hi\""});
+  EXPECT_EQ(out.str(), "\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"line1\nline2"});
+  EXPECT_EQ(out.str(), "\"line1\nline2\"\n");
+}
+
+TEST(Csv, NumericRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row_numeric({1.5, 2.0, 0.25}, 4);
+  EXPECT_EQ(out.str(), "1.5,2,0.25\n");
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable table({"name", "x"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header present, separator rule present, both rows present.
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_NE(text.find("alpha  1"), std::string::npos);
+  EXPECT_NE(text.find("b      22"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), std::logic_error);
+}
+
+TEST(Table, RowCount) {
+  TextTable table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"x"});
+  table.add_row({"y"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace ripple::util

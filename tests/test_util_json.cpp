@@ -1,0 +1,128 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace ripple::util {
+namespace {
+
+std::string render(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  body(json);
+  return out.str();
+}
+
+TEST(Json, EmptyObjectAndArray) {
+  EXPECT_EQ(render([](JsonWriter& j) { j.begin_object().end_object(); }), "{}");
+  EXPECT_EQ(render([](JsonWriter& j) { j.begin_array().end_array(); }), "[]");
+}
+
+TEST(Json, ObjectMembers) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_object();
+    j.member("name", "ripple");
+    j.member("count", 3);
+    j.member("ratio", 0.5);
+    j.member("on", true);
+    j.key("missing").null();
+    j.end_object();
+  });
+  EXPECT_EQ(text,
+            "{\"name\":\"ripple\",\"count\":3,\"ratio\":0.5,\"on\":true,"
+            "\"missing\":null}");
+}
+
+TEST(Json, NestedContainers) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_object();
+    j.key("xs").begin_array().value(1).value(2).end_array();
+    j.key("inner").begin_object().member("a", 1).end_object();
+    j.end_object();
+  });
+  EXPECT_EQ(text, "{\"xs\":[1,2],\"inner\":{\"a\":1}}");
+}
+
+TEST(Json, ArrayCommas) {
+  const std::string text = render([](JsonWriter& j) {
+    j.begin_array();
+    j.value("a");
+    j.begin_array().end_array();
+    j.value(7);
+    j.end_array();
+  });
+  EXPECT_EQ(text, "[\"a\",[],7]");
+}
+
+TEST(Json, StringEscaping) {
+  const std::string text = render([](JsonWriter& j) {
+    j.value("quote\" backslash\\ newline\n tab\t ctrl\x01");
+  });
+  EXPECT_EQ(text, "\"quote\\\" backslash\\\\ newline\\n tab\\t ctrl\\u0001\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(render([](JsonWriter& j) {
+              j.begin_array();
+              j.value(std::numeric_limits<double>::infinity());
+              j.value(std::nan(""));
+              j.end_array();
+            }),
+            "[null,null]");
+}
+
+TEST(Json, DoubleRoundTripPrecision) {
+  const std::string text =
+      render([](JsonWriter& j) { j.value(0.1234567890123456789); });
+  EXPECT_EQ(std::stod(text), 0.1234567890123456789);
+}
+
+TEST(Json, CompleteTracksTopLevel) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  EXPECT_FALSE(json.complete());
+  json.begin_object();
+  EXPECT_FALSE(json.complete());
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(Json, MisuseThrows) {
+  {
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.begin_object();
+    EXPECT_THROW(json.value(1), std::logic_error);  // value without key
+  }
+  {
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), std::logic_error);  // key inside array
+  }
+  {
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.begin_object();
+    json.key("k");
+    EXPECT_THROW(json.end_object(), std::logic_error);  // dangling key
+  }
+  {
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.value(1);
+    EXPECT_THROW(json.value(2), std::logic_error);  // document already done
+  }
+}
+
+}  // namespace
+}  // namespace ripple::util

@@ -1,0 +1,130 @@
+#include "util/jsonv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ripple::util {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").value().is_null());
+  EXPECT_TRUE(parse_json("true").value().as_bool());
+  EXPECT_FALSE(parse_json("false").value().as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("42").value().as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.25e2").value().as_number(), -325.0);
+  EXPECT_EQ(parse_json("\"hello\"").value().as_string(), "hello");
+}
+
+TEST(JsonParse, Whitespace) {
+  auto doc = parse_json("  \n\t {  \"a\" : 1 }  ");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_DOUBLE_EQ(doc.value().number_or("a", 0.0), 1.0);
+}
+
+TEST(JsonParse, NestedStructure) {
+  auto doc = parse_json(R"({"xs":[1,2,3],"inner":{"flag":true,"s":"x"}})");
+  ASSERT_TRUE(doc.ok());
+  const JsonValue& root = doc.value();
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* xs = root.find("xs");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_TRUE(xs->is_array());
+  EXPECT_EQ(xs->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(xs->as_array()[2].as_number(), 3.0);
+  const JsonValue* inner = root.find("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_TRUE(inner->find("flag")->as_bool());
+  EXPECT_EQ(inner->string_or("s", ""), "x");
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse_json("{}").value().as_object().empty());
+  EXPECT_TRUE(parse_json("[]").value().as_array().empty());
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto doc = parse_json(R"("a\"b\\c\tA")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().as_string(), "a\"b\\c\tA");
+}
+
+TEST(JsonParse, UnicodeEscapeToUtf8) {
+  auto doc = parse_json(R"("é")");  // é
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_FALSE(parse_json("").ok());
+  EXPECT_FALSE(parse_json("{").ok());
+  EXPECT_FALSE(parse_json("[1,]").ok());
+  EXPECT_FALSE(parse_json("{\"a\" 1}").ok());
+  EXPECT_FALSE(parse_json("\"unterminated").ok());
+  EXPECT_FALSE(parse_json("tru").ok());
+  EXPECT_FALSE(parse_json("1 2").ok());       // trailing garbage
+  EXPECT_FALSE(parse_json("{\"a\":1} x").ok());
+  EXPECT_EQ(parse_json("{").error().code, "parse_error");
+}
+
+TEST(JsonParse, KindMismatchThrows) {
+  const JsonValue value = parse_json("42").value();
+  EXPECT_THROW((void)value.as_string(), std::logic_error);
+  EXPECT_THROW((void)value.as_array(), std::logic_error);
+  EXPECT_EQ(value.find("k"), nullptr);  // non-object find is safe
+}
+
+TEST(JsonParse, DefaultsOnMissingMembers) {
+  const JsonValue value = parse_json(R"({"present": 2.5})").value();
+  EXPECT_DOUBLE_EQ(value.number_or("present", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(value.number_or("absent", 7.0), 7.0);
+  EXPECT_EQ(value.string_or("absent", "fallback"), "fallback");
+}
+
+TEST(JsonParse, RoundTripWithWriter) {
+  // Parse the exact bytes the streaming writer produces.
+  const std::string text =
+      R"({"name":"x","nodes":[{"t":287,"g":0.379},{"t":955,"g":1.92}],"ok":true})";
+  auto doc = parse_json(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().string_or("name", ""), "x");
+  EXPECT_EQ(doc.value().find("nodes")->as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      doc.value().find("nodes")->as_array()[1].number_or("g", 0.0), 1.92);
+}
+
+TEST(JsonParse, FuzzNeverCrashes) {
+  // Mutate a valid document at random positions: the parser must either
+  // succeed or return a parse error — never crash or hang.
+  const std::string base =
+      R"({"name":"x","simd_width":128,"nodes":[{"service_time":287,)"
+      R"("gain":{"type":"bernoulli","p":0.379}},{"service_time":2753}],)"
+      R"("flags":[true,false,null],"score":-1.5e3})";
+  std::uint64_t state = 0x9E3779B97F4A7C15ULL;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  int ok_count = 0;
+  for (int i = 0; i < 3000; ++i) {
+    std::string mutated = base;
+    const int edits = 1 + static_cast<int>(next() % 4);
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = next() % mutated.size();
+      switch (next() % 3) {
+        case 0: mutated[pos] = static_cast<char>(next() % 128); break;
+        case 1: mutated.erase(pos, 1); break;
+        default: mutated.insert(pos, 1, static_cast<char>(next() % 128)); break;
+      }
+      if (mutated.empty()) mutated = "0";
+    }
+    auto doc = parse_json(mutated);
+    ok_count += doc.ok();
+    if (!doc.ok()) {
+      EXPECT_EQ(doc.error().code, "parse_error");
+    }
+  }
+  // Some mutations stay valid (e.g. edits inside string contents).
+  EXPECT_GT(ok_count, 0);
+}
+
+}  // namespace
+}  // namespace ripple::util

@@ -1,0 +1,80 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ripple::util {
+namespace {
+
+/// RAII guard restoring the global log level after each test.
+struct LevelGuard {
+  LogLevel saved = log_level();
+  ~LevelGuard() { set_log_level(saved); }
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The library must stay quiet unless a tool opts in.
+  LevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(Log, SetAndGetRoundTrip) {
+  LevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, ParseKnownNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST(Log, ParseUnknownFallsBackToWarn) {
+  EXPECT_EQ(parse_log_level(""), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::kWarn);
+}
+
+TEST(Log, SuppressedStatementsDoNotEvaluate) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "costly";
+  };
+  RIPPLE_LOG(LogLevel::kDebug) << expensive();
+  RIPPLE_LOG(LogLevel::kInfo) << expensive();
+  EXPECT_EQ(evaluations, 0);  // short-circuited below the threshold
+}
+
+TEST(Log, EnabledStatementsEvaluate) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kOff);  // emit() still runs; kOff only gates below
+  int evaluations = 0;
+  set_log_level(LogLevel::kDebug);
+  RIPPLE_LOG(LogLevel::kInfo) << [&] {
+    ++evaluations;
+    return 1;
+  }();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, OffSuppressesEverything) {
+  LevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  RIPPLE_LOG(LogLevel::kError) << [&] {
+    ++evaluations;
+    return 1;
+  }();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace ripple::util

@@ -1,0 +1,55 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ripple::util {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  auto r = Result<int>::failure("infeasible", "deadline too tight");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "infeasible");
+  EXPECT_EQ(r.error().message, "deadline too tight");
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  auto r = Result<int>::failure("x", "y");
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(Result, ErrorOnValueThrows) {
+  Result<int> r(1);
+  EXPECT_THROW((void)r.error(), std::logic_error);
+}
+
+TEST(Result, ValueOrFallsBack) {
+  auto bad = Result<int>::failure("x", "y");
+  EXPECT_EQ(bad.value_or(7), 7);
+  Result<int> good(3);
+  EXPECT_EQ(good.value_or(7), 3);
+}
+
+TEST(Result, TakeMovesOut) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> taken = std::move(r).take();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<std::string> r(std::string("ab"));
+  r.value() += "c";
+  EXPECT_EQ(r.value(), "abc");
+}
+
+}  // namespace
+}  // namespace ripple::util

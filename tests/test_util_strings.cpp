@@ -1,0 +1,95 @@
+#include "util/string_utils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ripple::util {
+namespace {
+
+TEST(Split, SingleField) {
+  EXPECT_EQ(split("abc", ','), std::vector<std::string>{"abc"});
+}
+
+TEST(Split, MultipleFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, PreservesEmptyFields) {
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(split("", ','), std::vector<std::string>{""});
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\thi\n"), "hi");
+}
+
+TEST(Trim, AllWhitespaceBecomesEmpty) { EXPECT_EQ(trim("   "), ""); }
+
+TEST(Trim, NoWhitespaceUnchanged) { EXPECT_EQ(trim("abc"), "abc"); }
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-flag", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(1.25), "1.25");
+  EXPECT_EQ(format_double(3.0), "3");
+  EXPECT_EQ(format_double(0.5, 3), "0.5");
+}
+
+TEST(FormatDouble, RespectsPrecision) {
+  EXPECT_EQ(format_double(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(format_double(2.0 / 3.0, 2), "0.67");
+}
+
+TEST(FormatDouble, NegativeZeroNormalized) {
+  EXPECT_EQ(format_double(-1e-9, 3), "0");
+}
+
+TEST(WithCommas, GroupsOfThree) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(123456), "123,456");
+}
+
+TEST(ParseDouble, Valid) {
+  double out = 0.0;
+  EXPECT_TRUE(parse_double("3.5", out));
+  EXPECT_DOUBLE_EQ(out, 3.5);
+  EXPECT_TRUE(parse_double(" -2e4 ", out));
+  EXPECT_DOUBLE_EQ(out, -2e4);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  double out = 0.0;
+  EXPECT_FALSE(parse_double("abc", out));
+  EXPECT_FALSE(parse_double("1.5x", out));
+  EXPECT_FALSE(parse_double("", out));
+}
+
+TEST(ParseInt64, Valid) {
+  long long out = 0;
+  EXPECT_TRUE(parse_int64("42", out));
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(parse_int64("-7", out));
+  EXPECT_EQ(out, -7);
+}
+
+TEST(ParseInt64, RejectsNonIntegers) {
+  long long out = 0;
+  EXPECT_FALSE(parse_int64("3.5", out));
+  EXPECT_FALSE(parse_int64("", out));
+  EXPECT_FALSE(parse_int64("12a", out));
+}
+
+}  // namespace
+}  // namespace ripple::util

@@ -1,0 +1,408 @@
+// ripple_cli — command-line front end to the RIPPLE scheduling library.
+//
+//   ripple_cli describe   <pipeline.json|blast>
+//   ripple_cli solve      <pipeline.json|blast> --tau0 T --deadline D [--b 1,3,9,6]
+//                         [--strategy enforced|monolithic] [--json FILE]
+//   ripple_cli sweep      <pipeline.json|blast> [--tau0-points N] [--d-points N]
+//                         [ranges] [--csv FILE] [--json FILE]
+//   ripple_cli simulate   <pipeline.json|blast> --tau0 T --deadline D
+//                         [--b ...] [--trials N] [--inputs N]
+//   ripple_cli predict-b  <pipeline.json|blast> --tau0 T --deadline D
+//                         [--model poisson|batch] [--headroom H]
+//   ripple_cli sensitivity <pipeline.json|blast> --tau0 T --deadline D [--b ...]
+//
+// The literal pipeline name "blast" loads the paper's canonical Table 1
+// pipeline; anything else is read as a JSON file in the schema documented in
+// src/sdf/pipeline_io.hpp (emit one with `describe --json FILE`).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "arrivals/arrival_process.hpp"
+#include "blast/canonical.hpp"
+#include "core/report.hpp"
+#include "core/robustness.hpp"
+#include "core/sweep.hpp"
+#include "core/tradeoff.hpp"
+#include "dist/rng.hpp"
+#include "queueing/predict.hpp"
+#include "sdf/analysis.hpp"
+#include "sdf/pipeline_io.hpp"
+#include "sim/enforced_sim.hpp"
+#include "sim/trial_runner.hpp"
+#include "util/cli.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace ripple;
+
+int usage(int code) {
+  std::cerr
+      << "usage: ripple_cli <command> <pipeline.json|blast> [options]\n"
+         "commands:\n"
+         "  describe     print the pipeline, its floors and asymptotics\n"
+         "  solve        optimize a schedule (--strategy enforced|monolithic)\n"
+         "  sweep        (tau0, D) active-fraction surfaces for both strategies\n"
+         "  simulate     run seeded trials of the enforced-waits schedule\n"
+         "  predict-b    queueing-theoretic worst-case multipliers\n"
+         "  sensitivity  deadline pricing and bottleneck analysis\n"
+         "  tradeoff     deadline vs active-fraction Pareto curve + knee\n"
+         "run `ripple_cli <command> --help` for command options\n";
+  return code;
+}
+
+util::Result<sdf::PipelineSpec> load_pipeline(const std::string& source) {
+  using R = util::Result<sdf::PipelineSpec>;
+  if (source == "blast") return blast::canonical_blast_pipeline();
+  std::ifstream in(source);
+  if (!in) return R::failure("io_error", "cannot open " + source);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return sdf::pipeline_from_json(text.str());
+}
+
+std::vector<double> parse_b(const std::string& text, std::size_t node_count) {
+  if (text.empty()) return {};
+  std::vector<double> b;
+  for (const std::string& field : util::split(text, ',')) {
+    double value = 0.0;
+    if (!util::parse_double(field, value)) return {};
+    b.push_back(value);
+  }
+  if (b.size() != node_count) return {};
+  return b;
+}
+
+core::EnforcedWaitsConfig enforced_config(const sdf::PipelineSpec& pipeline,
+                                          const std::string& b_text) {
+  const std::vector<double> b = parse_b(b_text, pipeline.size());
+  if (!b.empty()) return core::EnforcedWaitsConfig{b};
+  if (b_text.empty()) return core::EnforcedWaitsConfig::optimistic(pipeline);
+  throw std::logic_error("--b must list one multiplier (>= 1) per node");
+}
+
+std::string fmt(double v, int p = 4) { return util::format_double(v, p); }
+
+// ---------------------------------------------------------------- commands
+
+int cmd_describe(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
+  util::TextTable table({"node", "t_i", "mean gain", "G_i", "gain model"});
+  for (NodeIndex i = 0; i < pipeline.size(); ++i) {
+    const bool terminal = (i + 1 == pipeline.size());
+    table.add_row({pipeline.node(i).name, fmt(pipeline.service_time(i), 1),
+                   terminal ? "N/A" : fmt(pipeline.mean_gain(i)),
+                   fmt(pipeline.total_gain_into(i)),
+                   pipeline.node(i).gain ? pipeline.node(i).gain->name() : "N/A"});
+  }
+  std::cout << "pipeline '" << pipeline.name() << "', v = "
+            << pipeline.simd_width() << ", N = " << pipeline.size() << "\n";
+  table.print(std::cout);
+  std::cout << "\nmean service per input:        "
+            << fmt(pipeline.mean_service_per_input()) << " cycles\n"
+            << "enforced-waits rate floor:     tau0 >= "
+            << fmt(sdf::min_interarrival_enforced(pipeline)) << "\n"
+            << "monolithic stability floor:    tau0 >= "
+            << fmt(sdf::min_interarrival_monolithic(pipeline)) << "\n";
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    sdf::write_pipeline_spec_json(out, pipeline);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_solve(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
+  const double tau0 = cli.get_double("tau0");
+  const double deadline = cli.get_double("deadline");
+  const std::string strategy_name = cli.get_string("strategy");
+  const std::string json_path = cli.get_string("json");
+
+  if (strategy_name == "monolithic") {
+    const core::MonolithicStrategy strategy(
+        pipeline, {cli.get_double("block-b"), cli.get_double("S")});
+    auto solved = strategy.solve(tau0, deadline);
+    if (!solved.ok()) {
+      std::cerr << "infeasible: " << solved.error().message << "\n";
+      return 1;
+    }
+    std::cout << "block size M = " << solved.value().block_size
+              << "\npredicted active fraction = "
+              << fmt(solved.value().predicted_active_fraction)
+              << "\nmean block service = "
+              << fmt(solved.value().mean_block_service, 1)
+              << "\nworst-case latency bound = "
+              << fmt(solved.value().worst_case_latency, 1) << "\n";
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      core::write_monolithic_schedule_json(
+          out, pipeline, {cli.get_double("block-b"), cli.get_double("S")},
+          solved.value(), tau0, deadline);
+      std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+  }
+
+  const auto config = enforced_config(pipeline, cli.get_string("b"));
+  const core::EnforcedWaitsStrategy strategy(pipeline, config);
+  auto solved = strategy.solve(tau0, deadline);
+  if (!solved.ok()) {
+    std::cerr << "infeasible: " << solved.error().message << "\n";
+    return 1;
+  }
+  util::TextTable table({"node", "t_i", "wait w_i", "interval x_i"});
+  for (NodeIndex i = 0; i < pipeline.size(); ++i) {
+    table.add_row({pipeline.node(i).name, fmt(pipeline.service_time(i), 1),
+                   fmt(solved.value().waits[i], 2),
+                   fmt(solved.value().firing_intervals[i], 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\npredicted active fraction = "
+            << fmt(solved.value().predicted_active_fraction)
+            << "\ndeadline budget used = "
+            << fmt(solved.value().deadline_budget_used, 1) << " / "
+            << fmt(deadline, 1) << "\nKKT certified = "
+            << (solved.value().kkt.satisfied(1e-4) ? "yes" : "NO") << "\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    core::write_enforced_schedule_json(out, pipeline, config, solved.value(),
+                                       tau0, deadline);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
+  const auto grid = core::SweepGrid::linear(
+      cli.get_double("tau0-lo"), cli.get_double("tau0-hi"),
+      static_cast<std::size_t>(cli.get_int("tau0-points")),
+      cli.get_double("d-lo"), cli.get_double("d-hi"),
+      static_cast<std::size_t>(cli.get_int("d-points")));
+  util::ThreadPool pool;
+  const auto surface = core::run_sweep(
+      pipeline, enforced_config(pipeline, cli.get_string("b")),
+      {cli.get_double("block-b"), cli.get_double("S")}, grid, &pool);
+  const auto summary = core::summarize_dominance(surface);
+  std::cout << "cells: " << summary.cells_total
+            << ", enforced wins " << summary.enforced_wins
+            << " (max advantage " << fmt(summary.max_enforced_advantage, 3)
+            << "), monolithic wins " << summary.monolithic_wins
+            << " (max advantage " << fmt(summary.max_monolithic_advantage, 3)
+            << ")\n";
+  const std::string csv_path = cli.get_string("csv");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    surface.write_csv(out);
+    std::cout << "wrote " << csv_path << "\n";
+  }
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    core::write_surface_json(out, surface);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
+  const double tau0 = cli.get_double("tau0");
+  const double deadline = cli.get_double("deadline");
+  const auto config = enforced_config(pipeline, cli.get_string("b"));
+  const core::EnforcedWaitsStrategy strategy(pipeline, config);
+  auto solved = strategy.solve(tau0, deadline);
+  if (!solved.ok()) {
+    std::cerr << "infeasible: " << solved.error().message << "\n";
+    return 1;
+  }
+  const auto intervals = solved.value().firing_intervals;
+  const auto trials = static_cast<std::uint64_t>(cli.get_int("trials"));
+  const auto inputs = static_cast<ItemCount>(cli.get_int("inputs"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  util::ThreadPool pool;
+  const auto summary = sim::run_trials(
+      [&](std::uint64_t trial) {
+        arrivals::FixedRateArrivals arrival_process(tau0);
+        sim::EnforcedSimConfig sim_config;
+        sim_config.input_count = inputs;
+        sim_config.deadline = deadline;
+        sim_config.seed = dist::derive_seed({seed, trial});
+        return sim::simulate_enforced_waits(pipeline, intervals,
+                                            arrival_process, sim_config);
+      },
+      trials, &pool);
+  std::cout << "trials: " << summary.trials << " x "
+            << util::with_commas(inputs) << " inputs\n"
+            << "miss-free trials: " << summary.miss_free_trials << " ("
+            << fmt(summary.miss_free_fraction(), 3) << ", 95% CI ["
+            << fmt(summary.miss_free_interval().lower, 3) << ", "
+            << fmt(summary.miss_free_interval().upper, 3) << "])\n"
+            << "mean miss fraction: " << fmt(summary.miss_fraction.mean(), 6)
+            << "\nmeasured active fraction: "
+            << fmt(summary.active_fraction.mean()) << " (predicted "
+            << fmt(solved.value().predicted_active_fraction) << ")\n"
+            << "worst latency: " << fmt(summary.latency_max.max(), 1)
+            << " (deadline " << fmt(deadline, 1) << ")\n";
+  return summary.miss_free_fraction() >= 0.95 ? 0 : 1;
+}
+
+int cmd_predict_b(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
+  const double tau0 = cli.get_double("tau0");
+  const double deadline = cli.get_double("deadline");
+  const double headroom = cli.get_double("headroom");
+  const auto model = cli.get_string("model") == "poisson"
+                         ? queueing::ArrivalModel::kPoisson
+                         : queueing::ArrivalModel::kBatch;
+  const auto config = enforced_config(pipeline, cli.get_string("b"));
+  const core::EnforcedWaitsStrategy strategy(pipeline, config);
+  auto solved = strategy.solve(headroom * tau0, headroom * deadline);
+  if (!solved.ok()) {
+    std::cerr << "headroom solve infeasible: " << solved.error().message << "\n";
+    return 1;
+  }
+  auto prediction =
+      queueing::predict_b(pipeline, solved.value().firing_intervals, tau0,
+                          cli.get_double("epsilon"), model);
+  if (!prediction.ok()) {
+    std::cerr << "prediction failed (" << prediction.error().code
+              << "): " << prediction.error().message << "\n";
+    return 1;
+  }
+  util::TextTable table({"node", "utilization", "queue q(1-eps)", "b_i"});
+  for (NodeIndex i = 0; i < pipeline.size(); ++i) {
+    table.add_row({pipeline.node(i).name,
+                   fmt(prediction.value().utilization[i], 3),
+                   std::to_string(prediction.value().queue_quantiles[i]),
+                   fmt(prediction.value().b[i], 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nmodel: " << to_string(model) << ", epsilon = "
+            << fmt(cli.get_double("epsilon"), 6)
+            << "\npredicted worst-case latency budget: "
+            << fmt(prediction.value().predicted_worst_latency, 1)
+            << " (deadline " << fmt(deadline, 1) << ")\n";
+  return 0;
+}
+
+int cmd_sensitivity(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
+  const auto config = enforced_config(pipeline, cli.get_string("b"));
+  const core::EnforcedWaitsStrategy strategy(pipeline, config);
+  auto analysis = core::analyze_sensitivity(strategy, cli.get_double("tau0"),
+                                            cli.get_double("deadline"));
+  if (!analysis.ok()) {
+    std::cerr << "infeasible: " << analysis.error().message << "\n";
+    return 1;
+  }
+  util::TextTable table({"constraint", "slack", "active"});
+  for (const auto& slack : analysis.value().slacks) {
+    table.add_row({slack.label, fmt(slack.slack, 3), slack.active ? "yes" : ""});
+  }
+  table.print(std::cout);
+  std::cout << "\nbottleneck: " << analysis.value().bottleneck
+            << "\nmarginal value of deadline: "
+            << fmt(analysis.value().deadline_multiplier * 1000.0, 6)
+            << " active fraction per 1000 cycles ("
+            << (analysis.value().exact ? "exact" : "finite difference") << ")\n";
+  return 0;
+}
+
+int cmd_tradeoff(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
+  const double tau0 = cli.get_double("tau0");
+  core::TradeoffConfig config;
+  config.samples = static_cast<std::size_t>(cli.get_int("tau0-points")) * 4;
+  auto curve = core::trace_tradeoff(
+      pipeline, enforced_config(pipeline, cli.get_string("b")),
+      {cli.get_double("block-b"), cli.get_double("S")}, tau0, config);
+  if (!curve.ok()) {
+    std::cerr << "infeasible: " << curve.error().message << "\n";
+    return 1;
+  }
+  util::TextTable table({"deadline D", "enforced AF", "monolithic AF", ""});
+  for (std::size_t i = 0; i < curve.value().points.size(); ++i) {
+    const auto& point = curve.value().points[i];
+    table.add_row(
+        {fmt(point.deadline, 0),
+         point.enforced_feasible ? fmt(point.enforced_active_fraction) : "--",
+         point.monolithic_feasible ? fmt(point.monolithic_active_fraction)
+                                   : "--",
+         static_cast<std::ptrdiff_t>(i) == curve.value().knee_index ? "<- knee"
+                                                                    : ""});
+  }
+  table.print(std::cout);
+  std::cout << "\nrate/chain-limited floor: "
+            << fmt(curve.value().enforced_floor) << "\n";
+  if (const auto* knee = curve.value().knee()) {
+    std::cout << "knee: D = " << fmt(knee->deadline, 0)
+              << " (active fraction "
+              << fmt(knee->enforced_active_fraction)
+              << ") — past this, deadline slack buys little\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  if (argc < 2) return usage(2);
+  const std::string command = argv[1];
+
+  util::CliParser cli;
+  cli.add_double("tau0", 20.0, "inter-arrival time (cycles)");
+  cli.add_double("deadline", 185000.0, "end-to-end deadline D (cycles)");
+  cli.add_string("b", "", "enforced-waits multipliers, comma separated");
+  cli.add_double("block-b", 1.0, "monolithic queue multiplier b");
+  cli.add_double("S", 1.0, "monolithic worst-case scale S");
+  cli.add_string("strategy", "enforced", "solve: enforced|monolithic");
+  cli.add_string("csv", "", "write CSV output here");
+  cli.add_string("json", "", "write JSON output here");
+  cli.add_int("trials", 20, "simulate: seeded trials");
+  cli.add_int("inputs", 20000, "simulate: inputs per trial");
+  cli.add_int("seed", 2021, "base RNG seed");
+  cli.add_double("tau0-lo", 1.0, "sweep: tau0 range start");
+  cli.add_double("tau0-hi", 100.0, "sweep: tau0 range end");
+  cli.add_int("tau0-points", 12, "sweep: tau0 grid points");
+  cli.add_double("d-lo", 2e4, "sweep: deadline range start");
+  cli.add_double("d-hi", 3.5e5, "sweep: deadline range end");
+  cli.add_int("d-points", 8, "sweep: deadline grid points");
+  cli.add_string("model", "batch", "predict-b: poisson|batch");
+  cli.add_double("headroom", 0.9, "predict-b: solve at (h*tau0, h*D)");
+  cli.add_double("epsilon", 1e-4, "predict-b: queue-quantile tail level");
+
+  auto parsed = cli.parse(argc - 1, argv + 1);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().message << "\n";
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.usage("ripple_cli " + command) << std::endl;
+    return 0;
+  }
+  if (cli.positional().empty()) {
+    std::cerr << "missing pipeline source (a JSON file, or 'blast')\n";
+    return usage(2);
+  }
+  auto pipeline = load_pipeline(cli.positional()[0]);
+  if (!pipeline.ok()) {
+    std::cerr << "cannot load pipeline (" << pipeline.error().code
+              << "): " << pipeline.error().message << "\n";
+    return 2;
+  }
+
+  try {
+    if (command == "describe") return cmd_describe(pipeline.value(), cli);
+    if (command == "solve") return cmd_solve(pipeline.value(), cli);
+    if (command == "sweep") return cmd_sweep(pipeline.value(), cli);
+    if (command == "simulate") return cmd_simulate(pipeline.value(), cli);
+    if (command == "predict-b") return cmd_predict_b(pipeline.value(), cli);
+    if (command == "sensitivity") return cmd_sensitivity(pipeline.value(), cli);
+    if (command == "tradeoff") return cmd_tradeoff(pipeline.value(), cli);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+  std::cerr << "unknown command '" << command << "'\n";
+  return usage(2);
+}
