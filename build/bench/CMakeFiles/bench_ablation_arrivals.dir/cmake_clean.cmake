@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_arrivals.dir/bench_ablation_arrivals.cpp.o"
+  "CMakeFiles/bench_ablation_arrivals.dir/bench_ablation_arrivals.cpp.o.d"
+  "bench_ablation_arrivals"
+  "bench_ablation_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

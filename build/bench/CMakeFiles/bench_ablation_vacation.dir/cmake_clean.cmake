@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vacation.dir/bench_ablation_vacation.cpp.o"
+  "CMakeFiles/bench_ablation_vacation.dir/bench_ablation_vacation.cpp.o.d"
+  "bench_ablation_vacation"
+  "bench_ablation_vacation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vacation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_throughput.dir/bench_baseline_throughput.cpp.o"
+  "CMakeFiles/bench_baseline_throughput.dir/bench_baseline_throughput.cpp.o.d"
+  "bench_baseline_throughput"
+  "bench_baseline_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

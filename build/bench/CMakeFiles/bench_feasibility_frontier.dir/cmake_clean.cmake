@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feasibility_frontier.dir/bench_feasibility_frontier.cpp.o"
+  "CMakeFiles/bench_feasibility_frontier.dir/bench_feasibility_frontier.cpp.o.d"
+  "bench_feasibility_frontier"
+  "bench_feasibility_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feasibility_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_enforced.dir/bench_fig3_enforced.cpp.o"
+  "CMakeFiles/bench_fig3_enforced.dir/bench_fig3_enforced.cpp.o.d"
+  "bench_fig3_enforced"
+  "bench_fig3_enforced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_enforced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_monolithic.dir/bench_fig3_monolithic.cpp.o"
+  "CMakeFiles/bench_fig3_monolithic.dir/bench_fig3_monolithic.cpp.o.d"
+  "bench_fig3_monolithic"
+  "bench_fig3_monolithic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_monolithic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

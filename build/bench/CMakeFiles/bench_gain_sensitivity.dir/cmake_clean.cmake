@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gain_sensitivity.dir/bench_gain_sensitivity.cpp.o"
+  "CMakeFiles/bench_gain_sensitivity.dir/bench_gain_sensitivity.cpp.o.d"
+  "bench_gain_sensitivity"
+  "bench_gain_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gain_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

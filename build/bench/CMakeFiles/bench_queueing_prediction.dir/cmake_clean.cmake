@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queueing_prediction.dir/bench_queueing_prediction.cpp.o"
+  "CMakeFiles/bench_queueing_prediction.dir/bench_queueing_prediction.cpp.o.d"
+  "bench_queueing_prediction"
+  "bench_queueing_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queueing_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

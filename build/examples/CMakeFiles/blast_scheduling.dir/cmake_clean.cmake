@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_scheduling.dir/blast_scheduling.cpp.o"
+  "CMakeFiles/blast_scheduling.dir/blast_scheduling.cpp.o.d"
+  "blast_scheduling"
+  "blast_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_pipeline.dir/calibrate_pipeline.cpp.o"
+  "CMakeFiles/calibrate_pipeline.dir/calibrate_pipeline.cpp.o.d"
+  "calibrate_pipeline"
+  "calibrate_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

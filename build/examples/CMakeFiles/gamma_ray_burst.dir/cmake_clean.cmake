@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_ray_burst.dir/gamma_ray_burst.cpp.o"
+  "CMakeFiles/gamma_ray_burst.dir/gamma_ray_burst.cpp.o.d"
+  "gamma_ray_burst"
+  "gamma_ray_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_ray_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

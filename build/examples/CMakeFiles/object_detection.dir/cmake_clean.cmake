@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_detection.dir/object_detection.cpp.o"
+  "CMakeFiles/object_detection.dir/object_detection.cpp.o.d"
+  "object_detection"
+  "object_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_advisor.dir/schedule_advisor.cpp.o"
+  "CMakeFiles/schedule_advisor.dir/schedule_advisor.cpp.o.d"
+  "schedule_advisor"
+  "schedule_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("linalg")
+subdirs("dist")
+subdirs("sdf")
+subdirs("device")
+subdirs("opt")
+subdirs("arrivals")
+subdirs("core")
+subdirs("sim")
+subdirs("calib")
+subdirs("blast")
+subdirs("sched")
+subdirs("queueing")
+subdirs("cascade")
+subdirs("runtime")

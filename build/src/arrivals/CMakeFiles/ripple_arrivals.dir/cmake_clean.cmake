@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_arrivals.dir/arrival_process.cpp.o"
+  "CMakeFiles/ripple_arrivals.dir/arrival_process.cpp.o.d"
+  "libripple_arrivals.a"
+  "libripple_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

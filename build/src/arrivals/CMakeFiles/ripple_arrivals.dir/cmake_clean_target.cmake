@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libripple_arrivals.a"
+)

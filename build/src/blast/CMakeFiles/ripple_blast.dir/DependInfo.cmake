@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blast/canonical.cpp" "src/blast/CMakeFiles/ripple_blast.dir/canonical.cpp.o" "gcc" "src/blast/CMakeFiles/ripple_blast.dir/canonical.cpp.o.d"
+  "/root/repo/src/blast/index.cpp" "src/blast/CMakeFiles/ripple_blast.dir/index.cpp.o" "gcc" "src/blast/CMakeFiles/ripple_blast.dir/index.cpp.o.d"
+  "/root/repo/src/blast/measure.cpp" "src/blast/CMakeFiles/ripple_blast.dir/measure.cpp.o" "gcc" "src/blast/CMakeFiles/ripple_blast.dir/measure.cpp.o.d"
+  "/root/repo/src/blast/sequence.cpp" "src/blast/CMakeFiles/ripple_blast.dir/sequence.cpp.o" "gcc" "src/blast/CMakeFiles/ripple_blast.dir/sequence.cpp.o.d"
+  "/root/repo/src/blast/stages.cpp" "src/blast/CMakeFiles/ripple_blast.dir/stages.cpp.o" "gcc" "src/blast/CMakeFiles/ripple_blast.dir/stages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ripple_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ripple_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdf/CMakeFiles/ripple_sdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

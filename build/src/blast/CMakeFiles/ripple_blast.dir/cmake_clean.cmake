@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_blast.dir/canonical.cpp.o"
+  "CMakeFiles/ripple_blast.dir/canonical.cpp.o.d"
+  "CMakeFiles/ripple_blast.dir/index.cpp.o"
+  "CMakeFiles/ripple_blast.dir/index.cpp.o.d"
+  "CMakeFiles/ripple_blast.dir/measure.cpp.o"
+  "CMakeFiles/ripple_blast.dir/measure.cpp.o.d"
+  "CMakeFiles/ripple_blast.dir/sequence.cpp.o"
+  "CMakeFiles/ripple_blast.dir/sequence.cpp.o.d"
+  "CMakeFiles/ripple_blast.dir/stages.cpp.o"
+  "CMakeFiles/ripple_blast.dir/stages.cpp.o.d"
+  "libripple_blast.a"
+  "libripple_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

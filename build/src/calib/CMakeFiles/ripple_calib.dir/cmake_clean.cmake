@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_calib.dir/calibrate.cpp.o"
+  "CMakeFiles/ripple_calib.dir/calibrate.cpp.o.d"
+  "libripple_calib.a"
+  "libripple_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

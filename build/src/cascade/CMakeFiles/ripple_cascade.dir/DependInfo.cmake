@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cascade/detector.cpp" "src/cascade/CMakeFiles/ripple_cascade.dir/detector.cpp.o" "gcc" "src/cascade/CMakeFiles/ripple_cascade.dir/detector.cpp.o.d"
+  "/root/repo/src/cascade/features.cpp" "src/cascade/CMakeFiles/ripple_cascade.dir/features.cpp.o" "gcc" "src/cascade/CMakeFiles/ripple_cascade.dir/features.cpp.o.d"
+  "/root/repo/src/cascade/image.cpp" "src/cascade/CMakeFiles/ripple_cascade.dir/image.cpp.o" "gcc" "src/cascade/CMakeFiles/ripple_cascade.dir/image.cpp.o.d"
+  "/root/repo/src/cascade/measure.cpp" "src/cascade/CMakeFiles/ripple_cascade.dir/measure.cpp.o" "gcc" "src/cascade/CMakeFiles/ripple_cascade.dir/measure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ripple_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ripple_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdf/CMakeFiles/ripple_sdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

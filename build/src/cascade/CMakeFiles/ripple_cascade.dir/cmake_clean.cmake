@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_cascade.dir/detector.cpp.o"
+  "CMakeFiles/ripple_cascade.dir/detector.cpp.o.d"
+  "CMakeFiles/ripple_cascade.dir/features.cpp.o"
+  "CMakeFiles/ripple_cascade.dir/features.cpp.o.d"
+  "CMakeFiles/ripple_cascade.dir/image.cpp.o"
+  "CMakeFiles/ripple_cascade.dir/image.cpp.o.d"
+  "CMakeFiles/ripple_cascade.dir/measure.cpp.o"
+  "CMakeFiles/ripple_cascade.dir/measure.cpp.o.d"
+  "libripple_cascade.a"
+  "libripple_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

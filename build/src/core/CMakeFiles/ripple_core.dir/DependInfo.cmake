@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/enforced_waits.cpp" "src/core/CMakeFiles/ripple_core.dir/enforced_waits.cpp.o" "gcc" "src/core/CMakeFiles/ripple_core.dir/enforced_waits.cpp.o.d"
+  "/root/repo/src/core/monolithic.cpp" "src/core/CMakeFiles/ripple_core.dir/monolithic.cpp.o" "gcc" "src/core/CMakeFiles/ripple_core.dir/monolithic.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ripple_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ripple_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/robustness.cpp" "src/core/CMakeFiles/ripple_core.dir/robustness.cpp.o" "gcc" "src/core/CMakeFiles/ripple_core.dir/robustness.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/ripple_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/ripple_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/tradeoff.cpp" "src/core/CMakeFiles/ripple_core.dir/tradeoff.cpp.o" "gcc" "src/core/CMakeFiles/ripple_core.dir/tradeoff.cpp.o.d"
+  "/root/repo/src/core/waterfill.cpp" "src/core/CMakeFiles/ripple_core.dir/waterfill.cpp.o" "gcc" "src/core/CMakeFiles/ripple_core.dir/waterfill.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ripple_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ripple_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdf/CMakeFiles/ripple_sdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ripple_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ripple_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ripple_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

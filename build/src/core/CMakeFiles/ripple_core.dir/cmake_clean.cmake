@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_core.dir/enforced_waits.cpp.o"
+  "CMakeFiles/ripple_core.dir/enforced_waits.cpp.o.d"
+  "CMakeFiles/ripple_core.dir/monolithic.cpp.o"
+  "CMakeFiles/ripple_core.dir/monolithic.cpp.o.d"
+  "CMakeFiles/ripple_core.dir/report.cpp.o"
+  "CMakeFiles/ripple_core.dir/report.cpp.o.d"
+  "CMakeFiles/ripple_core.dir/robustness.cpp.o"
+  "CMakeFiles/ripple_core.dir/robustness.cpp.o.d"
+  "CMakeFiles/ripple_core.dir/sweep.cpp.o"
+  "CMakeFiles/ripple_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/ripple_core.dir/tradeoff.cpp.o"
+  "CMakeFiles/ripple_core.dir/tradeoff.cpp.o.d"
+  "CMakeFiles/ripple_core.dir/waterfill.cpp.o"
+  "CMakeFiles/ripple_core.dir/waterfill.cpp.o.d"
+  "libripple_core.a"
+  "libripple_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

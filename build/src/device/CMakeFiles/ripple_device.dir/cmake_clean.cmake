@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_device.dir/occupancy.cpp.o"
+  "CMakeFiles/ripple_device.dir/occupancy.cpp.o.d"
+  "CMakeFiles/ripple_device.dir/simd_device.cpp.o"
+  "CMakeFiles/ripple_device.dir/simd_device.cpp.o.d"
+  "libripple_device.a"
+  "libripple_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

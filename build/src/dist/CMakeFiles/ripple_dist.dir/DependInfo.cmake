@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/gain.cpp" "src/dist/CMakeFiles/ripple_dist.dir/gain.cpp.o" "gcc" "src/dist/CMakeFiles/ripple_dist.dir/gain.cpp.o.d"
+  "/root/repo/src/dist/rng.cpp" "src/dist/CMakeFiles/ripple_dist.dir/rng.cpp.o" "gcc" "src/dist/CMakeFiles/ripple_dist.dir/rng.cpp.o.d"
+  "/root/repo/src/dist/stats.cpp" "src/dist/CMakeFiles/ripple_dist.dir/stats.cpp.o" "gcc" "src/dist/CMakeFiles/ripple_dist.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ripple_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

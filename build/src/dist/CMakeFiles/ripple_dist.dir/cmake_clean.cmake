@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_dist.dir/gain.cpp.o"
+  "CMakeFiles/ripple_dist.dir/gain.cpp.o.d"
+  "CMakeFiles/ripple_dist.dir/rng.cpp.o"
+  "CMakeFiles/ripple_dist.dir/rng.cpp.o.d"
+  "CMakeFiles/ripple_dist.dir/stats.cpp.o"
+  "CMakeFiles/ripple_dist.dir/stats.cpp.o.d"
+  "libripple_dist.a"
+  "libripple_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/ripple_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/ripple_linalg.dir/solve.cpp.o"
+  "CMakeFiles/ripple_linalg.dir/solve.cpp.o.d"
+  "libripple_linalg.a"
+  "libripple_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

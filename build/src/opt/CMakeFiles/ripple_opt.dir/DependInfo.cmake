@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/barrier.cpp" "src/opt/CMakeFiles/ripple_opt.dir/barrier.cpp.o" "gcc" "src/opt/CMakeFiles/ripple_opt.dir/barrier.cpp.o.d"
+  "/root/repo/src/opt/integer.cpp" "src/opt/CMakeFiles/ripple_opt.dir/integer.cpp.o" "gcc" "src/opt/CMakeFiles/ripple_opt.dir/integer.cpp.o.d"
+  "/root/repo/src/opt/kkt.cpp" "src/opt/CMakeFiles/ripple_opt.dir/kkt.cpp.o" "gcc" "src/opt/CMakeFiles/ripple_opt.dir/kkt.cpp.o.d"
+  "/root/repo/src/opt/problem.cpp" "src/opt/CMakeFiles/ripple_opt.dir/problem.cpp.o" "gcc" "src/opt/CMakeFiles/ripple_opt.dir/problem.cpp.o.d"
+  "/root/repo/src/opt/projected_gradient.cpp" "src/opt/CMakeFiles/ripple_opt.dir/projected_gradient.cpp.o" "gcc" "src/opt/CMakeFiles/ripple_opt.dir/projected_gradient.cpp.o.d"
+  "/root/repo/src/opt/projection.cpp" "src/opt/CMakeFiles/ripple_opt.dir/projection.cpp.o" "gcc" "src/opt/CMakeFiles/ripple_opt.dir/projection.cpp.o.d"
+  "/root/repo/src/opt/scalar.cpp" "src/opt/CMakeFiles/ripple_opt.dir/scalar.cpp.o" "gcc" "src/opt/CMakeFiles/ripple_opt.dir/scalar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ripple_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ripple_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

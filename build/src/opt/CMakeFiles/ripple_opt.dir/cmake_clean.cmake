@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_opt.dir/barrier.cpp.o"
+  "CMakeFiles/ripple_opt.dir/barrier.cpp.o.d"
+  "CMakeFiles/ripple_opt.dir/integer.cpp.o"
+  "CMakeFiles/ripple_opt.dir/integer.cpp.o.d"
+  "CMakeFiles/ripple_opt.dir/kkt.cpp.o"
+  "CMakeFiles/ripple_opt.dir/kkt.cpp.o.d"
+  "CMakeFiles/ripple_opt.dir/problem.cpp.o"
+  "CMakeFiles/ripple_opt.dir/problem.cpp.o.d"
+  "CMakeFiles/ripple_opt.dir/projected_gradient.cpp.o"
+  "CMakeFiles/ripple_opt.dir/projected_gradient.cpp.o.d"
+  "CMakeFiles/ripple_opt.dir/projection.cpp.o"
+  "CMakeFiles/ripple_opt.dir/projection.cpp.o.d"
+  "CMakeFiles/ripple_opt.dir/scalar.cpp.o"
+  "CMakeFiles/ripple_opt.dir/scalar.cpp.o.d"
+  "libripple_opt.a"
+  "libripple_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/bulk_queue.cpp" "src/queueing/CMakeFiles/ripple_queueing.dir/bulk_queue.cpp.o" "gcc" "src/queueing/CMakeFiles/ripple_queueing.dir/bulk_queue.cpp.o.d"
+  "/root/repo/src/queueing/pmf.cpp" "src/queueing/CMakeFiles/ripple_queueing.dir/pmf.cpp.o" "gcc" "src/queueing/CMakeFiles/ripple_queueing.dir/pmf.cpp.o.d"
+  "/root/repo/src/queueing/predict.cpp" "src/queueing/CMakeFiles/ripple_queueing.dir/predict.cpp.o" "gcc" "src/queueing/CMakeFiles/ripple_queueing.dir/predict.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ripple_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ripple_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdf/CMakeFiles/ripple_sdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

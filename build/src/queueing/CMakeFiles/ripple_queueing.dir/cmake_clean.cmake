@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_queueing.dir/bulk_queue.cpp.o"
+  "CMakeFiles/ripple_queueing.dir/bulk_queue.cpp.o.d"
+  "CMakeFiles/ripple_queueing.dir/pmf.cpp.o"
+  "CMakeFiles/ripple_queueing.dir/pmf.cpp.o.d"
+  "CMakeFiles/ripple_queueing.dir/predict.cpp.o"
+  "CMakeFiles/ripple_queueing.dir/predict.cpp.o.d"
+  "libripple_queueing.a"
+  "libripple_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

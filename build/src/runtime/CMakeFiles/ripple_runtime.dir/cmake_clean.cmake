@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_runtime.dir/pipeline_executor.cpp.o"
+  "CMakeFiles/ripple_runtime.dir/pipeline_executor.cpp.o.d"
+  "libripple_runtime.a"
+  "libripple_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

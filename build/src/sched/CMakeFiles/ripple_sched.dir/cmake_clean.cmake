@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_sched.dir/quantum_sim.cpp.o"
+  "CMakeFiles/ripple_sched.dir/quantum_sim.cpp.o.d"
+  "CMakeFiles/ripple_sched.dir/stride_scheduler.cpp.o"
+  "CMakeFiles/ripple_sched.dir/stride_scheduler.cpp.o.d"
+  "libripple_sched.a"
+  "libripple_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

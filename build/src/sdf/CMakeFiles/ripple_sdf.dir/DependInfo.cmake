@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdf/analysis.cpp" "src/sdf/CMakeFiles/ripple_sdf.dir/analysis.cpp.o" "gcc" "src/sdf/CMakeFiles/ripple_sdf.dir/analysis.cpp.o.d"
+  "/root/repo/src/sdf/pipeline.cpp" "src/sdf/CMakeFiles/ripple_sdf.dir/pipeline.cpp.o" "gcc" "src/sdf/CMakeFiles/ripple_sdf.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sdf/pipeline_io.cpp" "src/sdf/CMakeFiles/ripple_sdf.dir/pipeline_io.cpp.o" "gcc" "src/sdf/CMakeFiles/ripple_sdf.dir/pipeline_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ripple_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ripple_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_sdf.dir/analysis.cpp.o"
+  "CMakeFiles/ripple_sdf.dir/analysis.cpp.o.d"
+  "CMakeFiles/ripple_sdf.dir/pipeline.cpp.o"
+  "CMakeFiles/ripple_sdf.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ripple_sdf.dir/pipeline_io.cpp.o"
+  "CMakeFiles/ripple_sdf.dir/pipeline_io.cpp.o.d"
+  "libripple_sdf.a"
+  "libripple_sdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_sdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/enforced_sim.cpp" "src/sim/CMakeFiles/ripple_sim.dir/enforced_sim.cpp.o" "gcc" "src/sim/CMakeFiles/ripple_sim.dir/enforced_sim.cpp.o.d"
+  "/root/repo/src/sim/greedy_sim.cpp" "src/sim/CMakeFiles/ripple_sim.dir/greedy_sim.cpp.o" "gcc" "src/sim/CMakeFiles/ripple_sim.dir/greedy_sim.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/ripple_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/ripple_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/monolithic_sim.cpp" "src/sim/CMakeFiles/ripple_sim.dir/monolithic_sim.cpp.o" "gcc" "src/sim/CMakeFiles/ripple_sim.dir/monolithic_sim.cpp.o.d"
+  "/root/repo/src/sim/trial_runner.cpp" "src/sim/CMakeFiles/ripple_sim.dir/trial_runner.cpp.o" "gcc" "src/sim/CMakeFiles/ripple_sim.dir/trial_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ripple_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ripple_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdf/CMakeFiles/ripple_sdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ripple_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrivals/CMakeFiles/ripple_arrivals.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ripple_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ripple_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ripple_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

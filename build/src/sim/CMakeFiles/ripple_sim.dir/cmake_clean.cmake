@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_sim.dir/enforced_sim.cpp.o"
+  "CMakeFiles/ripple_sim.dir/enforced_sim.cpp.o.d"
+  "CMakeFiles/ripple_sim.dir/greedy_sim.cpp.o"
+  "CMakeFiles/ripple_sim.dir/greedy_sim.cpp.o.d"
+  "CMakeFiles/ripple_sim.dir/metrics.cpp.o"
+  "CMakeFiles/ripple_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/ripple_sim.dir/monolithic_sim.cpp.o"
+  "CMakeFiles/ripple_sim.dir/monolithic_sim.cpp.o.d"
+  "CMakeFiles/ripple_sim.dir/trial_runner.cpp.o"
+  "CMakeFiles/ripple_sim.dir/trial_runner.cpp.o.d"
+  "libripple_sim.a"
+  "libripple_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

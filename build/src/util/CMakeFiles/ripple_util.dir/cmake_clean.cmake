@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripple_util.dir/cli.cpp.o"
+  "CMakeFiles/ripple_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ripple_util.dir/csv.cpp.o"
+  "CMakeFiles/ripple_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ripple_util.dir/json.cpp.o"
+  "CMakeFiles/ripple_util.dir/json.cpp.o.d"
+  "CMakeFiles/ripple_util.dir/jsonv.cpp.o"
+  "CMakeFiles/ripple_util.dir/jsonv.cpp.o.d"
+  "CMakeFiles/ripple_util.dir/log.cpp.o"
+  "CMakeFiles/ripple_util.dir/log.cpp.o.d"
+  "CMakeFiles/ripple_util.dir/string_utils.cpp.o"
+  "CMakeFiles/ripple_util.dir/string_utils.cpp.o.d"
+  "CMakeFiles/ripple_util.dir/table.cpp.o"
+  "CMakeFiles/ripple_util.dir/table.cpp.o.d"
+  "CMakeFiles/ripple_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ripple_util.dir/thread_pool.cpp.o.d"
+  "libripple_util.a"
+  "libripple_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripple_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blast_index.dir/test_blast_index.cpp.o"
+  "CMakeFiles/test_blast_index.dir/test_blast_index.cpp.o.d"
+  "test_blast_index"
+  "test_blast_index.pdb"
+  "test_blast_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blast_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blast_measure.dir/test_blast_measure.cpp.o"
+  "CMakeFiles/test_blast_measure.dir/test_blast_measure.cpp.o.d"
+  "test_blast_measure"
+  "test_blast_measure.pdb"
+  "test_blast_measure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blast_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blast_stages.dir/test_blast_stages.cpp.o"
+  "CMakeFiles/test_blast_stages.dir/test_blast_stages.cpp.o.d"
+  "test_blast_stages"
+  "test_blast_stages.pdb"
+  "test_blast_stages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blast_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_enforced.dir/test_core_enforced.cpp.o"
+  "CMakeFiles/test_core_enforced.dir/test_core_enforced.cpp.o.d"
+  "test_core_enforced"
+  "test_core_enforced.pdb"
+  "test_core_enforced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_enforced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

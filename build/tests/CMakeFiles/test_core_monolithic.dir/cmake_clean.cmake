@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_monolithic.dir/test_core_monolithic.cpp.o"
+  "CMakeFiles/test_core_monolithic.dir/test_core_monolithic.cpp.o.d"
+  "test_core_monolithic"
+  "test_core_monolithic.pdb"
+  "test_core_monolithic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_monolithic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_waterfill.dir/test_core_waterfill.cpp.o"
+  "CMakeFiles/test_core_waterfill.dir/test_core_waterfill.cpp.o.d"
+  "test_core_waterfill"
+  "test_core_waterfill.pdb"
+  "test_core_waterfill[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_waterfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

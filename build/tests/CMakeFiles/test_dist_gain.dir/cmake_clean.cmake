@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_gain.dir/test_dist_gain.cpp.o"
+  "CMakeFiles/test_dist_gain.dir/test_dist_gain.cpp.o.d"
+  "test_dist_gain"
+  "test_dist_gain.pdb"
+  "test_dist_gain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dist_rng.cpp" "tests/CMakeFiles/test_dist_rng.dir/test_dist_rng.cpp.o" "gcc" "tests/CMakeFiles/test_dist_rng.dir/test_dist_rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ripple_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ripple_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ripple_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdf/CMakeFiles/ripple_sdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/ripple_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ripple_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrivals/CMakeFiles/ripple_arrivals.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ripple_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ripple_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/ripple_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/blast/CMakeFiles/ripple_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ripple_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/ripple_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cascade/CMakeFiles/ripple_cascade.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ripple_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_rng.dir/test_dist_rng.cpp.o"
+  "CMakeFiles/test_dist_rng.dir/test_dist_rng.cpp.o.d"
+  "test_dist_rng"
+  "test_dist_rng.pdb"
+  "test_dist_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_barrier.dir/test_opt_barrier.cpp.o"
+  "CMakeFiles/test_opt_barrier.dir/test_opt_barrier.cpp.o.d"
+  "test_opt_barrier"
+  "test_opt_barrier.pdb"
+  "test_opt_barrier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_integer.dir/test_opt_integer.cpp.o"
+  "CMakeFiles/test_opt_integer.dir/test_opt_integer.cpp.o.d"
+  "test_opt_integer"
+  "test_opt_integer.pdb"
+  "test_opt_integer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_integer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_kkt.dir/test_opt_kkt.cpp.o"
+  "CMakeFiles/test_opt_kkt.dir/test_opt_kkt.cpp.o.d"
+  "test_opt_kkt"
+  "test_opt_kkt.pdb"
+  "test_opt_kkt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_kkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

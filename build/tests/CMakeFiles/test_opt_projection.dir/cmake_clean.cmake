@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_projection.dir/test_opt_projection.cpp.o"
+  "CMakeFiles/test_opt_projection.dir/test_opt_projection.cpp.o.d"
+  "test_opt_projection"
+  "test_opt_projection.pdb"
+  "test_opt_projection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_random.dir/test_opt_random.cpp.o"
+  "CMakeFiles/test_opt_random.dir/test_opt_random.cpp.o.d"
+  "test_opt_random"
+  "test_opt_random.pdb"
+  "test_opt_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdf_pipeline_io.dir/test_sdf_pipeline_io.cpp.o"
+  "CMakeFiles/test_sdf_pipeline_io.dir/test_sdf_pipeline_io.cpp.o.d"
+  "test_sdf_pipeline_io"
+  "test_sdf_pipeline_io.pdb"
+  "test_sdf_pipeline_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdf_pipeline_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

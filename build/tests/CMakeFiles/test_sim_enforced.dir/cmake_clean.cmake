@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_enforced.dir/test_sim_enforced.cpp.o"
+  "CMakeFiles/test_sim_enforced.dir/test_sim_enforced.cpp.o.d"
+  "test_sim_enforced"
+  "test_sim_enforced.pdb"
+  "test_sim_enforced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_enforced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

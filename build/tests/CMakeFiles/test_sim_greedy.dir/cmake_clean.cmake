@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_greedy.dir/test_sim_greedy.cpp.o"
+  "CMakeFiles/test_sim_greedy.dir/test_sim_greedy.cpp.o.d"
+  "test_sim_greedy"
+  "test_sim_greedy.pdb"
+  "test_sim_greedy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

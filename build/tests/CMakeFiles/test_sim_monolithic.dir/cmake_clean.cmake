@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_monolithic.dir/test_sim_monolithic.cpp.o"
+  "CMakeFiles/test_sim_monolithic.dir/test_sim_monolithic.cpp.o.d"
+  "test_sim_monolithic"
+  "test_sim_monolithic.pdb"
+  "test_sim_monolithic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_monolithic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

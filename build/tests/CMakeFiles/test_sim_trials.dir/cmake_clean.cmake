@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_trials.dir/test_sim_trials.cpp.o"
+  "CMakeFiles/test_sim_trials.dir/test_sim_trials.cpp.o.d"
+  "test_sim_trials"
+  "test_sim_trials.pdb"
+  "test_sim_trials[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_trials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

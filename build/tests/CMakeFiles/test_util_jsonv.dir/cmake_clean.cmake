@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_jsonv.dir/test_util_jsonv.cpp.o"
+  "CMakeFiles/test_util_jsonv.dir/test_util_jsonv.cpp.o.d"
+  "test_util_jsonv"
+  "test_util_jsonv.pdb"
+  "test_util_jsonv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_jsonv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_describe_builtin]=] "/root/repo/build/tools/ripple_cli" "describe" "blast")
+set_tests_properties([=[cli_describe_builtin]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_describe_json]=] "/root/repo/build/tools/ripple_cli" "describe" "/root/repo/tools/pipelines/blast_table1.json")
+set_tests_properties([=[cli_describe_json]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_solve_enforced]=] "/root/repo/build/tools/ripple_cli" "solve" "blast" "--tau0" "20" "--deadline" "185000" "--b" "1,3,9,6")
+set_tests_properties([=[cli_solve_enforced]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_solve_monolithic]=] "/root/repo/build/tools/ripple_cli" "solve" "blast" "--strategy" "monolithic" "--tau0" "50" "--deadline" "100000")
+set_tests_properties([=[cli_solve_monolithic]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_solve_infeasible]=] "/root/repo/build/tools/ripple_cli" "solve" "blast" "--tau0" "1" "--deadline" "185000")
+set_tests_properties([=[cli_solve_infeasible]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_simulate]=] "/root/repo/build/tools/ripple_cli" "simulate" "blast" "--tau0" "20" "--deadline" "185000" "--b" "1,3,9,6" "--trials" "5" "--inputs" "5000")
+set_tests_properties([=[cli_simulate]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_predict_b]=] "/root/repo/build/tools/ripple_cli" "predict-b" "blast" "--tau0" "20" "--deadline" "50000" "--b" "1,3,9,6")
+set_tests_properties([=[cli_predict_b]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_sensitivity]=] "/root/repo/build/tools/ripple_cli" "sensitivity" "blast" "--tau0" "100" "--deadline" "100000" "--b" "1,3,9,6")
+set_tests_properties([=[cli_sensitivity]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_sweep]=] "/root/repo/build/tools/ripple_cli" "sweep" "blast" "--tau0-points" "4" "--d-points" "3")
+set_tests_properties([=[cli_sweep]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_usage_error]=] "/root/repo/build/tools/ripple_cli")
+set_tests_properties([=[cli_usage_error]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_tradeoff]=] "/root/repo/build/tools/ripple_cli" "tradeoff" "blast" "--tau0" "50" "--b" "1,3,9,6" "--tau0-points" "6")
+set_tests_properties([=[cli_tradeoff]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;38;add_test;/root/repo/tools/CMakeLists.txt;0;")
