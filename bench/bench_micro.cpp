@@ -11,15 +11,23 @@
 #include "dist/rng.hpp"
 #include "sim/enforced_sim.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/event_sources.hpp"
 #include "core/waterfill.hpp"
 #include "queueing/bulk_queue.hpp"
 #include "sched/quantum_sim.hpp"
 #include "sim/greedy_sim.hpp"
 #include "sim/monolithic_sim.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace {
 
 using namespace ripple;
+
+/// Attach an events/sec rate counter fed by TrialMetrics::events_processed.
+void report_event_rate(benchmark::State& state, std::uint64_t total_events) {
+  state.counters["events_per_second"] = benchmark::Counter(
+      static_cast<double>(total_events), benchmark::Counter::kIsRate);
+}
 
 void BM_EventQueuePushPop(benchmark::State& state) {
   const std::size_t depth = static_cast<std::size_t>(state.range(0));
@@ -84,6 +92,7 @@ void BM_EnforcedSimulation(benchmark::State& state) {
   const auto solved = strategy.solve(20.0, 1.85e5);
   const ItemCount inputs = static_cast<ItemCount>(state.range(0));
   std::uint64_t seed = 0;
+  std::uint64_t total_events = 0;
   for (auto _ : state) {
     arrivals::FixedRateArrivals arrival_process(20.0);
     sim::EnforcedSimConfig config;
@@ -93,9 +102,11 @@ void BM_EnforcedSimulation(benchmark::State& state) {
     const auto metrics = sim::simulate_enforced_waits(
         pipeline, solved.value().firing_intervals, arrival_process, config);
     benchmark::DoNotOptimize(metrics.sink_outputs);
+    total_events += metrics.events_processed;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(inputs));
+  report_event_rate(state, total_events);
 }
 BENCHMARK(BM_EnforcedSimulation)->Arg(10000)->Arg(50000);
 
@@ -103,6 +114,7 @@ void BM_MonolithicSimulation(benchmark::State& state) {
   const auto pipeline = blast::canonical_blast_pipeline();
   const ItemCount inputs = static_cast<ItemCount>(state.range(0));
   std::uint64_t seed = 0;
+  std::uint64_t total_events = 0;
   for (auto _ : state) {
     arrivals::FixedRateArrivals arrival_process(20.0);
     sim::MonolithicSimConfig config;
@@ -113,9 +125,11 @@ void BM_MonolithicSimulation(benchmark::State& state) {
     const auto metrics =
         sim::simulate_monolithic(pipeline, arrival_process, config);
     benchmark::DoNotOptimize(metrics.sink_outputs);
+    total_events += metrics.events_processed;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(inputs));
+  report_event_rate(state, total_events);
 }
 BENCHMARK(BM_MonolithicSimulation)->Arg(10000)->Arg(50000);
 
@@ -124,6 +138,7 @@ void BM_GreedySimulation(benchmark::State& state) {
   const auto pipeline = blast::canonical_blast_pipeline();
   const ItemCount inputs = static_cast<ItemCount>(state.range(0));
   std::uint64_t seed = 0;
+  std::uint64_t total_events = 0;
   for (auto _ : state) {
     arrivals::FixedRateArrivals arrival_process(20.0);
     sim::GreedySimConfig config;
@@ -132,9 +147,11 @@ void BM_GreedySimulation(benchmark::State& state) {
     const auto metrics =
         sim::simulate_greedy_throughput(pipeline, arrival_process, config);
     benchmark::DoNotOptimize(metrics.sink_outputs);
+    total_events += metrics.events_processed;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(inputs));
+  report_event_rate(state, total_events);
 }
 BENCHMARK(BM_GreedySimulation)->Arg(20000);
 
@@ -145,6 +162,7 @@ void BM_QuantumSimulation(benchmark::State& state) {
   const auto solved = strategy.solve(20.0, 1.85e5);
   const Cycles quantum = static_cast<Cycles>(state.range(0));
   std::uint64_t seed = 0;
+  std::uint64_t total_events = 0;
   for (auto _ : state) {
     arrivals::FixedRateArrivals arrival_process(20.0);
     sched::QuantumSimConfig config;
@@ -154,8 +172,10 @@ void BM_QuantumSimulation(benchmark::State& state) {
     const auto metrics = sched::simulate_quantum_scheduled(
         pipeline, solved.value().firing_intervals, arrival_process, config);
     benchmark::DoNotOptimize(metrics.base.sink_outputs);
+    total_events += metrics.base.events_processed;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+  report_event_rate(state, total_events);
 }
 BENCHMARK(BM_QuantumSimulation)->Arg(10)->Arg(200);
 
@@ -170,6 +190,65 @@ void BM_BulkQueueAnalysis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BulkQueueAnalysis)->Arg(64)->Arg(115);
+
+void BM_IndexedSchedulerCycle(benchmark::State& state) {
+  // The enforced simulator's event machinery in isolation: pop the winning
+  // source and immediately re-arm it, over the canonical 2N+1 = 9 sources.
+  const std::size_t sources = static_cast<std::size_t>(state.range(0));
+  sim::IndexedScheduler sched(sources);
+  dist::Xoshiro256 rng(5);
+  for (std::size_t s = 0; s < sources; ++s) {
+    sched.schedule(s, rng.uniform01() * 100.0, static_cast<int>(s % 3));
+  }
+  for (auto _ : state) {
+    const auto next = sched.pop();
+    sched.schedule(next.source, next.time + 1.0 + rng.uniform01() * 10.0,
+                   static_cast<int>(next.source % 3));
+    benchmark::DoNotOptimize(next.time);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedSchedulerCycle)->Arg(9)->Arg(33);
+
+void BM_RingBufferPushPop(benchmark::State& state) {
+  const std::size_t burst = static_cast<std::size_t>(state.range(0));
+  util::RingBuffer<std::uint32_t> buffer;
+  buffer.reserve(burst);
+  std::uint32_t value = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < burst; ++i) buffer.push_back(value++);
+    while (!buffer.empty()) benchmark::DoNotOptimize(buffer.pop_front());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(burst));
+}
+BENCHMARK(BM_RingBufferPushPop)->Arg(128)->Arg(4096);
+
+void BM_CensoredPoissonSampleN(benchmark::State& state) {
+  // Batched counterpart of BM_CensoredPoissonSample: one virtual call per
+  // SIMD-width block instead of one per item.
+  const dist::CensoredPoissonGain gain(1.92, 16);
+  dist::Xoshiro256 rng(3);
+  dist::OutputCount draws[128];
+  for (auto _ : state) {
+    gain.sample_n(rng, draws, 128);
+    benchmark::DoNotOptimize(draws[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_CensoredPoissonSampleN);
+
+void BM_BernoulliSampleN(benchmark::State& state) {
+  const dist::BernoulliGain gain(0.379);
+  dist::Xoshiro256 rng(4);
+  dist::OutputCount draws[128];
+  for (auto _ : state) {
+    gain.sample_n(rng, draws, 128);
+    benchmark::DoNotOptimize(draws[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_BernoulliSampleN);
 
 void BM_WaterfillSolve(benchmark::State& state) {
   const auto pipeline = blast::canonical_blast_pipeline();

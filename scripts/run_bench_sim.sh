@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run the simulator throughput benchmarks and write BENCH_sim.json at the
+# repo root. This is the perf artifact for the simulation-engine hot path:
+# items/sec and events/sec for the enforced-waits, monolithic, greedy, and
+# quantum-scheduled simulators plus the supporting engine microbenchmarks
+# (indexed scheduler, ring buffer, batched gain sampling).
+#
+# Usage: scripts/run_bench_sim.sh [build-dir] [min-time]
+#   build-dir  defaults to ./build (configured if missing)
+#   min-time   defaults to 0.2 (seconds per benchmark, forwarded to
+#              --benchmark_min_time)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+MIN_TIME="${2:-0.2}"
+
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "${BUILD_DIR}" --target bench_micro -j"$(nproc)"
+
+FILTER='BM_EnforcedSimulation|BM_MonolithicSimulation|BM_GreedySimulation'
+FILTER+='|BM_QuantumSimulation|BM_IndexedSchedulerCycle|BM_RingBufferPushPop'
+FILTER+='|BM_CensoredPoissonSampleN|BM_BernoulliSampleN|BM_EventQueuePushPop'
+
+"${BUILD_DIR}/bench/bench_micro" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_repetitions=1 \
+  --benchmark_out="${REPO_ROOT}/BENCH_sim.json" \
+  --benchmark_out_format=json
+
+echo "Wrote ${REPO_ROOT}/BENCH_sim.json"

@@ -29,6 +29,11 @@ class ArrivalProcess {
   /// Long-run mean inter-arrival time tau0 (1/rho0).
   virtual Cycles mean_interarrival() const = 0;
 
+  /// The constant gap if the process is deterministic and never consumes RNG
+  /// (the paper's fixed-rate model), else 0.0. Hot loops use this to hoist
+  /// the per-arrival virtual dispatch; results are identical either way.
+  virtual Cycles fixed_interarrival() const { return 0.0; }
+
   virtual std::string name() const = 0;
 };
 
@@ -40,6 +45,7 @@ class FixedRateArrivals final : public ArrivalProcess {
   explicit FixedRateArrivals(Cycles tau0);
   Cycles next_interarrival(dist::Xoshiro256& rng) override;
   Cycles mean_interarrival() const override;
+  Cycles fixed_interarrival() const override { return tau0_; }
   std::string name() const override;
 
  private:

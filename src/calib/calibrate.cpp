@@ -61,7 +61,7 @@ EnforcedProbeEvaluation evaluate_enforced_probe(
                                         config);
   };
   const sim::TrialSummary summary =
-      sim::run_trials(trial_fn, options.trials, options.pool);
+      sim::run_trials(trial_fn, options.trials, options.pool, options.trial_grain);
 
   eval.outcome.miss_free_fraction = summary.miss_free_fraction();
   eval.outcome.mean_miss_fraction = summary.miss_fraction.mean();
@@ -200,7 +200,7 @@ MonolithicCalibrationResult calibrate_monolithic(
           return sim::simulate_monolithic(pipeline, arrival_process, config);
         };
         const sim::TrialSummary summary =
-            sim::run_trials(trial_fn, options.trials, options.pool);
+            sim::run_trials(trial_fn, options.trials, options.pool, options.trial_grain);
         outcome.miss_free_fraction = summary.miss_free_fraction();
         outcome.mean_miss_fraction = summary.miss_fraction.mean();
         outcome.mean_active_fraction = summary.active_fraction.mean();

@@ -39,6 +39,9 @@ struct CalibrationOptions {
   double max_multiplier = 64.0;         ///< give-up bound on any b_i
   std::uint64_t base_seed = 0;
   util::ThreadPool* pool = nullptr;
+  /// Consecutive trials a pool worker claims per atomic fetch (forwarded to
+  /// run_trials). Trials are seeded by index, so this never changes results.
+  std::size_t trial_grain = 4;
 };
 
 /// Result of one probe evaluation in the final round.

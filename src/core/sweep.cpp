@@ -70,7 +70,8 @@ void SweepSurface::write_csv(std::ostream& out) const {
 SweepSurface run_sweep(const sdf::PipelineSpec& pipeline,
                        const EnforcedWaitsConfig& enforced_config,
                        const MonolithicConfig& monolithic_config,
-                       const SweepGrid& grid, util::ThreadPool* pool) {
+                       const SweepGrid& grid, util::ThreadPool* pool,
+                       std::size_t grain) {
   const EnforcedWaitsStrategy enforced(pipeline, enforced_config);
   const MonolithicStrategy monolithic(pipeline, monolithic_config);
 
@@ -97,7 +98,7 @@ SweepSurface run_sweep(const sdf::PipelineSpec& pipeline,
   };
 
   if (pool != nullptr) {
-    pool->parallel_for(cells.size(), solve_cell);
+    pool->parallel_for(cells.size(), solve_cell, grain);
   } else {
     for (std::size_t i = 0; i < cells.size(); ++i) solve_cell(i);
   }

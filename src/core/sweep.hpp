@@ -92,11 +92,14 @@ struct DominanceSummary {
 };
 
 /// Optimize both strategies over every grid cell. `pool` may be null for
-/// serial execution.
+/// serial execution. `grain` is the number of consecutive cells a worker
+/// claims per atomic fetch (cell outputs are index-addressed, so the grain
+/// never changes results).
 SweepSurface run_sweep(const sdf::PipelineSpec& pipeline,
                        const EnforcedWaitsConfig& enforced_config,
                        const MonolithicConfig& monolithic_config,
-                       const SweepGrid& grid, util::ThreadPool* pool = nullptr);
+                       const SweepGrid& grid, util::ThreadPool* pool = nullptr,
+                       std::size_t grain = 1);
 
 DominanceSummary summarize_dominance(const SweepSurface& surface);
 

@@ -8,6 +8,25 @@
 
 namespace ripple::dist {
 
+namespace detail {
+
+void CdfTable::build(std::vector<double> cdf) {
+  RIPPLE_REQUIRE(!cdf.empty(), "CDF table needs at least one entry");
+  cdf_ = std::move(cdf);
+  guide_.assign(kGuideSize, 0);
+  // guide_[j] = first k any u >= j/kGuideSize can map to, i.e. the first k
+  // with cdf[k] > j/kGuideSize (entries at or below the bucket floor can
+  // never be selected by such a u).
+  std::size_t k = 0;
+  for (std::size_t j = 0; j < kGuideSize; ++j) {
+    const double floor_u = static_cast<double>(j) / static_cast<double>(kGuideSize);
+    while (k + 1 < cdf_.size() && cdf_[k] <= floor_u) ++k;
+    guide_[j] = static_cast<std::uint32_t>(k);
+  }
+}
+
+}  // namespace detail
+
 namespace {
 
 /// Build the censored CDF/moments from unnormalized point masses over
@@ -31,22 +50,33 @@ FiniteMoments moments_from_cdf(const std::vector<double>& cdf) {
   return m;
 }
 
-OutputCount sample_cdf(const std::vector<double>& cdf, Xoshiro256& rng) {
-  const double u = rng.uniform01();
-  // CDFs here have at most ~dozens of entries; linear scan beats binary
-  // search at this size and is branch-predictable.
-  for (std::size_t k = 0; k + 1 < cdf.size(); ++k) {
-    if (u < cdf[k]) return static_cast<OutputCount>(k);
-  }
-  return static_cast<OutputCount>(cdf.size() - 1);
+}  // namespace
+
+// ------------------------------------------------------------- base defaults
+
+void GainDistribution::sample_n(Xoshiro256& rng, OutputCount* out,
+                                std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = sample(rng);
 }
 
-}  // namespace
+std::uint64_t GainDistribution::sample_sum(Xoshiro256& rng,
+                                           std::uint64_t n) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < n; ++i) total += sample(rng);
+  return total;
+}
 
 // ---------------------------------------------------------------- Deterministic
 
 DeterministicGain::DeterministicGain(OutputCount k) : k_(k) {}
 OutputCount DeterministicGain::sample(Xoshiro256&) const { return k_; }
+void DeterministicGain::sample_n(Xoshiro256&, OutputCount* out,
+                                 std::size_t n) const {
+  std::fill(out, out + n, k_);  // sample() consumes no RNG state
+}
+std::uint64_t DeterministicGain::sample_sum(Xoshiro256&, std::uint64_t n) const {
+  return n * static_cast<std::uint64_t>(k_);
+}
 double DeterministicGain::mean() const { return k_; }
 double DeterministicGain::variance() const { return 0.0; }
 OutputCount DeterministicGain::max_outputs() const { return k_; }
@@ -62,6 +92,15 @@ BernoulliGain::BernoulliGain(double p) : p_(p) {
 OutputCount BernoulliGain::sample(Xoshiro256& rng) const {
   return rng.uniform01() < p_ ? 1u : 0u;
 }
+void BernoulliGain::sample_n(Xoshiro256& rng, OutputCount* out,
+                             std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = rng.uniform01() < p_ ? 1u : 0u;
+}
+std::uint64_t BernoulliGain::sample_sum(Xoshiro256& rng, std::uint64_t n) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < n; ++i) total += rng.uniform01() < p_ ? 1u : 0u;
+  return total;
+}
 double BernoulliGain::mean() const { return p_; }
 double BernoulliGain::variance() const { return p_ * (1.0 - p_); }
 OutputCount BernoulliGain::max_outputs() const { return p_ > 0.0 ? 1u : 0u; }
@@ -75,23 +114,34 @@ CensoredPoissonGain::CensoredPoissonGain(double lambda, OutputCount cap)
     : lambda_(lambda), cap_(cap) {
   RIPPLE_REQUIRE(lambda >= 0.0, "Poisson rate must be non-negative");
   RIPPLE_REQUIRE(cap >= 1, "censoring cap must be at least 1");
-  cdf_.resize(cap_ + 1);
+  std::vector<double> cdf(cap_ + 1);
   // p_k = e^-lambda lambda^k / k! for k < cap; everything above folds into cap.
   double pk = std::exp(-lambda_);
   double cumulative = 0.0;
   for (OutputCount k = 0; k < cap_; ++k) {
     cumulative += pk;
-    cdf_[k] = std::min(cumulative, 1.0);
+    cdf[k] = std::min(cumulative, 1.0);
     pk *= lambda_ / static_cast<double>(k + 1);
   }
-  cdf_[cap_] = 1.0;
-  const FiniteMoments m = moments_from_cdf(cdf_);
+  cdf[cap_] = 1.0;
+  const FiniteMoments m = moments_from_cdf(cdf);
   mean_ = m.mean;
   variance_ = m.variance;
+  table_.build(std::move(cdf));
 }
 
 OutputCount CensoredPoissonGain::sample(Xoshiro256& rng) const {
-  return sample_cdf(cdf_, rng);
+  return table_.sample(rng);
+}
+void CensoredPoissonGain::sample_n(Xoshiro256& rng, OutputCount* out,
+                                   std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = table_.sample(rng);
+}
+std::uint64_t CensoredPoissonGain::sample_sum(Xoshiro256& rng,
+                                              std::uint64_t n) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < n; ++i) total += table_.sample(rng);
+  return total;
 }
 double CensoredPoissonGain::mean() const { return mean_; }
 double CensoredPoissonGain::variance() const { return variance_; }
@@ -116,16 +166,17 @@ TruncatedGeometricGain::TruncatedGeometricGain(double p, OutputCount cap)
     total += w;
     w *= p_;
   }
-  cdf_.resize(cap_ + 1);
+  std::vector<double> cdf(cap_ + 1);
   double cumulative = 0.0;
   for (OutputCount k = 0; k <= cap_; ++k) {
     cumulative += mass[k] / total;
-    cdf_[k] = std::min(cumulative, 1.0);
+    cdf[k] = std::min(cumulative, 1.0);
   }
-  cdf_[cap_] = 1.0;
-  const FiniteMoments m = moments_from_cdf(cdf_);
+  cdf[cap_] = 1.0;
+  const FiniteMoments m = moments_from_cdf(cdf);
   mean_ = m.mean;
   variance_ = m.variance;
+  table_.build(std::move(cdf));
 }
 
 std::shared_ptr<const TruncatedGeometricGain> TruncatedGeometricGain::with_mean(
@@ -146,7 +197,17 @@ std::shared_ptr<const TruncatedGeometricGain> TruncatedGeometricGain::with_mean(
 }
 
 OutputCount TruncatedGeometricGain::sample(Xoshiro256& rng) const {
-  return sample_cdf(cdf_, rng);
+  return table_.sample(rng);
+}
+void TruncatedGeometricGain::sample_n(Xoshiro256& rng, OutputCount* out,
+                                      std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = table_.sample(rng);
+}
+std::uint64_t TruncatedGeometricGain::sample_sum(Xoshiro256& rng,
+                                                 std::uint64_t n) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < n; ++i) total += table_.sample(rng);
+  return total;
 }
 double TruncatedGeometricGain::mean() const { return mean_; }
 double TruncatedGeometricGain::variance() const { return variance_; }
@@ -166,38 +227,49 @@ EmpiricalGain::EmpiricalGain(std::vector<double> weights) {
     total += w;
   }
   RIPPLE_REQUIRE(total > 0.0, "weights must not all be zero");
-  cdf_.resize(weights.size());
+  std::vector<double> cdf(weights.size());
   double cumulative = 0.0;
   for (std::size_t k = 0; k < weights.size(); ++k) {
     cumulative += weights[k] / total;
-    cdf_[k] = std::min(cumulative, 1.0);
+    cdf[k] = std::min(cumulative, 1.0);
   }
-  cdf_.back() = 1.0;
-  const FiniteMoments m = moments_from_cdf(cdf_);
+  cdf.back() = 1.0;
+  const FiniteMoments m = moments_from_cdf(cdf);
   mean_ = m.mean;
   variance_ = m.variance;
+  table_.build(std::move(cdf));
 }
 
 OutputCount EmpiricalGain::sample(Xoshiro256& rng) const {
-  return sample_cdf(cdf_, rng);
+  return table_.sample(rng);
+}
+void EmpiricalGain::sample_n(Xoshiro256& rng, OutputCount* out,
+                             std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = table_.sample(rng);
+}
+std::uint64_t EmpiricalGain::sample_sum(Xoshiro256& rng, std::uint64_t n) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t i = 0; i < n; ++i) total += table_.sample(rng);
+  return total;
 }
 double EmpiricalGain::mean() const { return mean_; }
 double EmpiricalGain::variance() const { return variance_; }
 std::vector<double> EmpiricalGain::weights() const {
-  std::vector<double> masses(cdf_.size());
+  const std::vector<double>& cdf = table_.cdf();
+  std::vector<double> masses(cdf.size());
   double previous = 0.0;
-  for (std::size_t k = 0; k < cdf_.size(); ++k) {
-    masses[k] = cdf_[k] - previous;
-    previous = cdf_[k];
+  for (std::size_t k = 0; k < cdf.size(); ++k) {
+    masses[k] = cdf[k] - previous;
+    previous = cdf[k];
   }
   return masses;
 }
 
 OutputCount EmpiricalGain::max_outputs() const {
-  return static_cast<OutputCount>(cdf_.size() - 1);
+  return static_cast<OutputCount>(table_.cdf().size() - 1);
 }
 std::string EmpiricalGain::name() const {
-  return "empirical(k_max=" + std::to_string(cdf_.size() - 1) + ")";
+  return "empirical(k_max=" + std::to_string(table_.cdf().size() - 1) + ")";
 }
 
 // -------------------------------------------------------------------- factories

@@ -18,6 +18,40 @@ namespace ripple::dist {
 /// Number of outputs one input produces at a node.
 using OutputCount = std::uint32_t;
 
+namespace detail {
+
+/// Precomputed inversion table for a finite CDF over 0..K.
+///
+/// Sampling maps a uniform u to the first k with u < cdf[k]. The guide index
+/// quantizes [0,1) into buckets and records, per bucket, the first k any u in
+/// that bucket can map to, so a draw touches one or two CDF entries instead
+/// of scanning from zero. The u -> k mapping is bit-for-bit identical to the
+/// plain linear scan, so precomputation never changes sampled streams.
+class CdfTable {
+ public:
+  CdfTable() = default;
+  explicit CdfTable(std::vector<double> cdf) { build(std::move(cdf)); }
+
+  void build(std::vector<double> cdf);
+
+  OutputCount sample(Xoshiro256& rng) const noexcept {
+    const double u = rng.uniform01();
+    std::size_t k = guide_[static_cast<std::size_t>(u * kGuideSize)];
+    while (k + 1 < cdf_.size() && u >= cdf_[k]) ++k;
+    return static_cast<OutputCount>(k);
+  }
+
+  const std::vector<double>& cdf() const noexcept { return cdf_; }
+
+ private:
+  static constexpr std::size_t kGuideSize = 64;
+
+  std::vector<double> cdf_;
+  std::vector<std::uint32_t> guide_;  // bucket -> first reachable k
+};
+
+}  // namespace detail
+
 /// Abstract per-input gain model. Implementations must be immutable after
 /// construction so one instance can be shared across simulation threads
 /// (each thread carries its own RNG).
@@ -27,6 +61,15 @@ class GainDistribution {
 
   /// Draw the number of outputs for one input item.
   virtual OutputCount sample(Xoshiro256& rng) const = 0;
+
+  /// Draw `n` output counts into `out` (one virtual dispatch per firing
+  /// instead of one per item). Consumes exactly the same RNG stream, in the
+  /// same order, as n successive sample() calls.
+  virtual void sample_n(Xoshiro256& rng, OutputCount* out, std::size_t n) const;
+
+  /// Sum of `n` draws (batch processing where only the total matters). Same
+  /// RNG stream contract as sample_n.
+  virtual std::uint64_t sample_sum(Xoshiro256& rng, std::uint64_t n) const;
 
   /// Exact expected outputs per input (the paper's g_i).
   virtual double mean() const = 0;
@@ -47,6 +90,8 @@ class DeterministicGain final : public GainDistribution {
  public:
   explicit DeterministicGain(OutputCount k);
   OutputCount sample(Xoshiro256& rng) const override;
+  void sample_n(Xoshiro256& rng, OutputCount* out, std::size_t n) const override;
+  std::uint64_t sample_sum(Xoshiro256& rng, std::uint64_t n) const override;
   double mean() const override;
   double variance() const override;
   OutputCount max_outputs() const override;
@@ -63,6 +108,8 @@ class BernoulliGain final : public GainDistribution {
  public:
   explicit BernoulliGain(double p);
   OutputCount sample(Xoshiro256& rng) const override;
+  void sample_n(Xoshiro256& rng, OutputCount* out, std::size_t n) const override;
+  std::uint64_t sample_sum(Xoshiro256& rng, std::uint64_t n) const override;
   double mean() const override;
   double variance() const override;
   OutputCount max_outputs() const override;
@@ -84,6 +131,8 @@ class CensoredPoissonGain final : public GainDistribution {
  public:
   CensoredPoissonGain(double lambda, OutputCount cap);
   OutputCount sample(Xoshiro256& rng) const override;
+  void sample_n(Xoshiro256& rng, OutputCount* out, std::size_t n) const override;
+  std::uint64_t sample_sum(Xoshiro256& rng, std::uint64_t n) const override;
   double mean() const override;
   double variance() const override;
   OutputCount max_outputs() const override;
@@ -94,7 +143,7 @@ class CensoredPoissonGain final : public GainDistribution {
  private:
   double lambda_;
   OutputCount cap_;
-  std::vector<double> cdf_;  // cdf_[k] = P(outputs <= k), k in [0, cap]
+  detail::CdfTable table_;  // P(outputs <= k), k in [0, cap], with guide index
   double mean_ = 0.0;
   double variance_ = 0.0;
 };
@@ -111,6 +160,8 @@ class TruncatedGeometricGain final : public GainDistribution {
                                                                  OutputCount cap);
 
   OutputCount sample(Xoshiro256& rng) const override;
+  void sample_n(Xoshiro256& rng, OutputCount* out, std::size_t n) const override;
+  std::uint64_t sample_sum(Xoshiro256& rng, std::uint64_t n) const override;
   double mean() const override;
   double variance() const override;
   OutputCount max_outputs() const override;
@@ -121,7 +172,7 @@ class TruncatedGeometricGain final : public GainDistribution {
  private:
   double p_;
   OutputCount cap_;
-  std::vector<double> cdf_;
+  detail::CdfTable table_;
   double mean_ = 0.0;
   double variance_ = 0.0;
 };
@@ -132,6 +183,8 @@ class EmpiricalGain final : public GainDistribution {
  public:
   explicit EmpiricalGain(std::vector<double> weights);
   OutputCount sample(Xoshiro256& rng) const override;
+  void sample_n(Xoshiro256& rng, OutputCount* out, std::size_t n) const override;
+  std::uint64_t sample_sum(Xoshiro256& rng, std::uint64_t n) const override;
   double mean() const override;
   double variance() const override;
   OutputCount max_outputs() const override;
@@ -141,7 +194,7 @@ class EmpiricalGain final : public GainDistribution {
   std::vector<double> weights() const;
 
  private:
-  std::vector<double> cdf_;
+  detail::CdfTable table_;
   double mean_ = 0.0;
   double variance_ = 0.0;
 };

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 #include "dist/rng.hpp"
 #include "sched/stride_scheduler.hpp"
 #include "sim/event_queue.hpp"
 #include "util/assert.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace ripple::sched {
 
@@ -28,7 +28,7 @@ struct EventPayload {
 
 /// Per-node task state.
 struct NodeTask {
-  std::deque<RootId> queue;
+  util::RingBuffer<RootId> queue;
 
   // Firing in progress (READY or RUNNING between quanta).
   bool firing_active = false;
@@ -71,6 +71,7 @@ QuantumSimMetrics simulate_quantum_scheduled(
   metrics.service_span.resize(n);
 
   std::vector<NodeTask> tasks(n);
+  std::vector<dist::OutputCount> gain_draws(v);
   StrideScheduler scheduler = StrideScheduler::equal_shares(n);
 
   std::vector<Cycles> root_arrival;
@@ -148,21 +149,26 @@ QuantumSimMetrics simulate_quantum_scheduled(
     node.items_consumed += consumed;
 
     const bool is_sink = (i + 1 == n);
-    for (std::uint32_t k = 0; k < consumed; ++k) {
-      const RootId root = task.queue.front();
-      task.queue.pop_front();
-      if (is_sink) {
-        task.outputs.push_back(root);
-      } else {
-        const dist::OutputCount outputs = pipeline.node(i).gain->sample(rng);
-        node.items_produced += outputs;
+    if (is_sink) {
+      for (std::uint32_t k = 0; k < consumed; ++k) {
+        task.outputs.push_back(task.queue.pop_front());
+      }
+    } else if (consumed > 0) {
+      // One batched virtual call per firing; identical RNG draw order.
+      pipeline.node(i).gain->sample_n(rng, gain_draws.data(), consumed);
+      std::uint64_t produced = 0;
+      for (std::uint32_t k = 0; k < consumed; ++k) {
+        const RootId root = task.queue.pop_front();
+        const dist::OutputCount outputs = gain_draws[k];
+        produced += outputs;
         for (dist::OutputCount o = 0; o < outputs; ++o) {
           task.outputs.push_back(root);
         }
-        live_items += outputs;
       }
+      node.items_produced += produced;
+      live_items += produced;
+      live_items -= consumed;
     }
-    if (!is_sink && consumed > 0) live_items -= consumed;
   };
 
   // Scheduling decisions happen only at quantum boundaries t = k * Q (the
@@ -256,6 +262,7 @@ QuantumSimMetrics simulate_quantum_scheduled(
                  "quantum budget exhausted (unstable schedule?)");
 
   metrics.quanta_executed = quanta;
+  metrics.base.events_processed = quanta;
   metrics.base.inputs_on_time =
       metrics.base.inputs_arrived - metrics.base.inputs_missed;
   if (metrics.base.makespan <= 0.0 && !root_arrival.empty()) {

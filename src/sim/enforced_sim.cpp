@@ -1,11 +1,11 @@
 #include "sim/enforced_sim.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "dist/rng.hpp"
-#include "sim/event_queue.hpp"
+#include "sim/event_sources.hpp"
 #include "util/assert.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace ripple::sim {
 
@@ -22,12 +22,6 @@ enum EventPriority : int {
   kPriorityFireStart = 2,
 };
 
-struct EventPayload {
-  enum class Kind : std::uint8_t { kFireEnd, kArrival, kFireStart };
-  Kind kind;
-  NodeIndex node = 0;  // unused for arrivals
-};
-
 }  // namespace
 
 std::vector<Cycles> aligned_phase_offsets(const sdf::PipelineSpec& pipeline) {
@@ -42,6 +36,17 @@ std::vector<Cycles> aligned_phase_offsets(const sdf::PipelineSpec& pipeline) {
   return offsets;
 }
 
+// The event structure is fixed and tiny — N periodic fire-start streams, one
+// arrival stream, and at most one in-flight fire-end per node — so instead of
+// a general heap the loop runs an IndexedScheduler over 2N+1 sources:
+//   source 0         = the arrival stream           (priority kPriorityArrival)
+//   source 1 + i     = node i's fire-start cadence  (priority kPriorityFireStart)
+//   source 1 + N + i = node i's in-flight fire-end  (priority kPriorityFireEnd)
+// Every schedule() consumes one global sequence number exactly like the
+// reference EventQueue::push calls did (same call sites, same order), so the
+// event order — including all same-timestamp tie-breaks — is bit-for-bit
+// identical to the heap-based implementation (pinned by
+// tests/test_sim_golden.cpp).
 TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
                                      const std::vector<Cycles>& firing_intervals,
                                      arrivals::ArrivalProcess& arrival_process,
@@ -64,9 +69,26 @@ TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
   metrics.sharing_actors = n;  // each node is active or waiting all run long
   metrics.arm_latency_histogram(config.deadline);
 
-  std::vector<std::deque<RootId>> queues(n);
+  // Hot-loop caches: service times and raw gain pointers in flat arrays so
+  // the dispatch loop never walks the pipeline spec.
+  std::vector<Cycles> service_time(n);
+  std::vector<const dist::GainDistribution*> gain(n, nullptr);
+  for (NodeIndex i = 0; i < n; ++i) {
+    service_time[i] = pipeline.service_time(i);
+    if (i + 1 < n) gain[i] = pipeline.node(i).gain.get();
+  }
+
+  std::vector<util::RingBuffer<RootId>> queues(n);
+  for (auto& queue : queues) queue.reserve(4 * v);
   // Outputs of the in-progress firing of node i, delivered at its FireEnd.
+  // Reused across firings; reserved to the per-firing worst case up front.
   std::vector<std::vector<RootId>> in_flight(n);
+  for (NodeIndex i = 0; i < n; ++i) {
+    in_flight[i].reserve(static_cast<std::size_t>(v) *
+                         (gain[i] != nullptr ? gain[i]->max_outputs() : 1u));
+  }
+  // Per-firing gain draws: one batched virtual call instead of one per item.
+  std::vector<dist::OutputCount> gain_draws(v);
 
   std::vector<Cycles> root_arrival;
   root_arrival.reserve(config.input_count);
@@ -76,128 +98,158 @@ TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
   // when the stream is exhausted and this count reaches zero.
   std::uint64_t live_items = 0;
   bool arrivals_done = false;
+  // Fixed-rate streams never touch the RNG, so their gap can be hoisted out
+  // of the per-arrival virtual dispatch without changing any draw.
+  const Cycles fixed_gap = arrival_process.fixed_interarrival();
 
-  EventQueue<EventPayload> events;
+  const std::size_t kArrivalSource = 0;
+  const std::size_t kFireStartBase = 1;
+  const std::size_t kFireEndBase = 1 + n;
+  IndexedScheduler events(2 * n + 1);
 
   // First arrival after one inter-arrival gap; every node starts its cadence
   // with a firing at its phase offset (t = 0 by default).
   RIPPLE_REQUIRE(config.initial_offsets.empty() ||
                      config.initial_offsets.size() == n,
                  "one phase offset per node (or none)");
-  events.push(arrival_process.next_interarrival(rng), kPriorityArrival,
-              {EventPayload::Kind::kArrival, 0});
+  events.schedule(kArrivalSource, arrival_process.next_interarrival(rng),
+                  kPriorityArrival);
   for (NodeIndex i = 0; i < n; ++i) {
     const Cycles offset =
         config.initial_offsets.empty() ? 0.0 : config.initial_offsets[i];
     RIPPLE_REQUIRE(offset >= 0.0, "phase offsets must be non-negative");
-    events.push(offset, kPriorityFireStart, {EventPayload::Kind::kFireStart, i});
+    events.schedule(kFireStartBase + i, offset, kPriorityFireStart);
   }
 
   std::uint64_t processed_events = 0;
   while (!events.empty() && processed_events < config.max_events) {
-    const auto event = events.pop();
+    const IndexedScheduler::Next event = events.pop();
     ++processed_events;
     const Cycles now = event.time;
 
-    switch (event.payload.kind) {
-      case EventPayload::Kind::kArrival: {
-        const RootId root = static_cast<RootId>(root_arrival.size());
-        root_arrival.push_back(now);
-        ++metrics.inputs_arrived;
-        queues[0].push_back(root);
-        ++live_items;
-        metrics.nodes[0].max_queue_length =
-            std::max<std::uint64_t>(metrics.nodes[0].max_queue_length,
-                                    queues[0].size());
-        if (root_arrival.size() < config.input_count) {
-          events.push(now + arrival_process.next_interarrival(rng),
-                      kPriorityArrival, {EventPayload::Kind::kArrival, 0});
-        } else {
-          arrivals_done = true;
-        }
-        break;
-      }
-
-      case EventPayload::Kind::kFireStart: {
-        const NodeIndex i = event.payload.node;
-        NodeMetrics& node = metrics.nodes[i];
-        auto& queue = queues[i];
-        const std::uint32_t consumed =
-            static_cast<std::uint32_t>(std::min<std::uint64_t>(queue.size(), v));
-
-        if (consumed > 0 || config.charge_empty_firings) {
-          ++node.firings;
-          if (consumed == 0) ++node.empty_firings;
-          node.active_time += pipeline.service_time(i);
-        }
-
-        if (consumed > 0) {
-          node.items_consumed += consumed;
-          auto& bundle = in_flight[i];
-          const bool is_sink = (i + 1 == n);
-          for (std::uint32_t k = 0; k < consumed; ++k) {
-            const RootId root = queue.front();
-            queue.pop_front();
-            if (is_sink) {
-              bundle.push_back(root);  // exits at fire end
-            } else {
-              const dist::OutputCount outputs =
-                  pipeline.node(i).gain->sample(rng);
-              node.items_produced += outputs;
-              for (dist::OutputCount o = 0; o < outputs; ++o) {
-                bundle.push_back(root);
-              }
-              // The consumed item is replaced by its outputs.
-              live_items += outputs;
+    if (event.source >= kFireEndBase) {
+      // ------------------------------------------------------------ FireEnd
+      const NodeIndex i = static_cast<NodeIndex>(event.source - kFireEndBase);
+      auto& bundle = in_flight[i];
+      const bool is_sink = (i + 1 == n);
+      if (is_sink) {
+        for (const RootId root : bundle) {
+          ++metrics.sink_outputs;
+          const Cycles latency = now - root_arrival[root];
+          metrics.record_latency(latency);
+          if (config.deadline > 0.0 && latency > config.deadline * (1.0 + 1e-12)) {
+            if (!root_missed[root]) {
+              root_missed[root] = true;
+              ++metrics.inputs_missed;
             }
           }
-          if (!is_sink) live_items -= consumed;
-          events.push(now + pipeline.service_time(i), kPriorityFireEnd,
-                      {EventPayload::Kind::kFireEnd, i});
+          metrics.makespan = std::max(metrics.makespan, now);
         }
+        live_items -= bundle.size();
+      } else {
+        auto& next_queue = queues[i + 1];
+        for (const RootId root : bundle) next_queue.push_back(root);
+      }
+      bundle.clear();
+    } else if (event.source >= kFireStartBase) {
+      // ---------------------------------------------------------- FireStart
+      const NodeIndex i = static_cast<NodeIndex>(event.source - kFireStartBase);
+      NodeMetrics& node = metrics.nodes[i];
+      auto& queue = queues[i];
+      // Queue lengths only shrink at this node's own fire-starts, so the
+      // running maximum observed here (pre-consume) equals the maximum the
+      // reference implementation tracked push-by-push at arrivals/deliveries.
+      node.max_queue_length =
+          std::max<std::uint64_t>(node.max_queue_length, queue.size());
+      const std::uint32_t consumed =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(queue.size(), v));
 
-        // Next firing on the fixed cadence — but once the stream has drained,
-        // let idle nodes stop so the event loop terminates.
-        if (!(arrivals_done && live_items == 0)) {
-          events.push(now + firing_intervals[i], kPriorityFireStart,
-                      {EventPayload::Kind::kFireStart, i});
-        }
-        break;
+      if (consumed > 0 || config.charge_empty_firings) {
+        ++node.firings;
+        if (consumed == 0) ++node.empty_firings;
+        node.active_time += service_time[i];
       }
 
-      case EventPayload::Kind::kFireEnd: {
-        const NodeIndex i = event.payload.node;
+      if (consumed > 0) {
+        node.items_consumed += consumed;
         auto& bundle = in_flight[i];
         const bool is_sink = (i + 1 == n);
         if (is_sink) {
-          for (const RootId root : bundle) {
-            ++metrics.sink_outputs;
-            const Cycles latency = now - root_arrival[root];
-            metrics.record_latency(latency);
-            if (config.deadline > 0.0 && latency > config.deadline * (1.0 + 1e-12)) {
-              if (!root_missed[root]) {
-                root_missed[root] = true;
-                ++metrics.inputs_missed;
-              }
-            }
-            metrics.makespan = std::max(metrics.makespan, now);
+          for (std::uint32_t k = 0; k < consumed; ++k) {
+            bundle.push_back(queue[k]);  // exits at fire end
           }
-          live_items -= bundle.size();
         } else {
-          auto& next_queue = queues[i + 1];
-          for (const RootId root : bundle) next_queue.push_back(root);
-          metrics.nodes[i + 1].max_queue_length =
-              std::max<std::uint64_t>(metrics.nodes[i + 1].max_queue_length,
-                                      next_queue.size());
+          // Gain draws consume the RNG stream in the same per-item order as
+          // the reference implementation; batching only hoists the virtual
+          // dispatch out of the loop.
+          gain[i]->sample_n(rng, gain_draws.data(), consumed);
+          std::uint64_t produced = 0;
+          for (std::uint32_t k = 0; k < consumed; ++k) {
+            const RootId root = queue[k];
+            const dist::OutputCount outputs = gain_draws[k];
+            produced += outputs;
+            for (dist::OutputCount o = 0; o < outputs; ++o) {
+              bundle.push_back(root);
+            }
+          }
+          node.items_produced += produced;
+          // Consumed items are replaced by their outputs.
+          live_items += produced;
+          live_items -= consumed;
         }
-        bundle.clear();
-        break;
+        queue.discard_front(consumed);
+        events.schedule(kFireEndBase + i, now + service_time[i],
+                        kPriorityFireEnd);
+      }
+
+      // Next firing on the fixed cadence — but once the stream has drained,
+      // let idle nodes stop so the event loop terminates.
+      if (!(arrivals_done && live_items == 0)) {
+        events.schedule(kFireStartBase + i, now + firing_intervals[i],
+                        kPriorityFireStart);
+      }
+    } else {
+      // ------------------------------------------------------------ Arrival
+      //
+      // In a fast stream most events are arrivals landing between firings,
+      // and while arrivals process, every *other* source is frozen — so take
+      // the scheduler's horizon once and consume consecutive arrivals in a
+      // tight loop for as long as they provably pop first. Event order is
+      // unchanged (Horizon::beaten_by is exact on the (time, priority, seq)
+      // comparator), and the skipped sequence numbers cannot change any
+      // tie-break because the arrival stream is the only
+      // kPriorityArrival-priority source.
+      const IndexedScheduler::Horizon horizon = events.horizon();
+      Cycles arrival_time = now;
+      auto& queue0 = queues[0];
+      while (true) {
+        const RootId root = static_cast<RootId>(root_arrival.size());
+        root_arrival.push_back(arrival_time);
+        queue0.push_back(root);
+        ++live_items;
+        if (root_arrival.size() >= config.input_count) {
+          arrivals_done = true;
+          break;
+        }
+        const Cycles next_time =
+            arrival_time + (fixed_gap > 0.0
+                                ? fixed_gap
+                                : arrival_process.next_interarrival(rng));
+        if (processed_events >= config.max_events ||
+            !horizon.beaten_by(next_time, kPriorityArrival)) {
+          events.schedule(kArrivalSource, next_time, kPriorityArrival);
+          break;
+        }
+        arrival_time = next_time;
+        ++processed_events;
       }
     }
   }
 
   RIPPLE_REQUIRE(processed_events < config.max_events,
                  "event budget exhausted (unstable schedule?)");
+  metrics.events_processed = processed_events;
+  metrics.inputs_arrived = root_arrival.size();
   metrics.inputs_on_time = metrics.inputs_arrived - metrics.inputs_missed;
   if (metrics.makespan <= 0.0 && !root_arrival.empty()) {
     metrics.makespan = root_arrival.back();

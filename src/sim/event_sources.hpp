@@ -1,0 +1,158 @@
+// Indexed next-event scheduler for simulations with a fixed event structure.
+//
+// The enforced-waits simulator only ever has 2N+1 pending events: one
+// per-node fire-start cadence, one per-node in-flight fire-end, and one
+// arrival stream. A general binary heap pays push/pop sifting and event
+// copies for what is really "advance one slot and re-take the minimum". This
+// scheduler instead keeps one pending-event slot per *source* in flat arrays
+// and selects the next event with a branch-light argmin scan — O(S) with
+// S ~ 9 for the canonical pipeline, which beats O(log E) heap maintenance by
+// a wide margin at these sizes (and the scan is over contiguous doubles).
+//
+// Determinism contract: identical to EventQueue. Events are ordered by
+// (time, priority, seq) where seq is a global insertion counter bumped on
+// every schedule() call, so any simulation that previously kept at most one
+// pending event per logical source on an EventQueue produces a bit-for-bit
+// identical event order on this scheduler.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace ripple::sim {
+
+class IndexedScheduler {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  explicit IndexedScheduler(std::size_t sources)
+      : time_(sources, kIdle), priority_(sources, 0), seq_(sources, 0) {}
+
+  std::size_t source_count() const noexcept { return time_.size(); }
+
+  /// Arm (or re-arm) a source's single pending event. Consumes one global
+  /// sequence number, exactly like EventQueue::push.
+  void schedule(std::size_t source, Cycles time, int priority) {
+    RIPPLE_REQUIRE(source < time_.size(), "scheduler source out of range");
+    RIPPLE_REQUIRE(time < kIdle, "scheduled time must be finite");
+    if (time_[source] == kIdle) ++armed_;
+    time_[source] = time;
+    priority_[source] = priority;
+    seq_[source] = next_seq_++;
+  }
+
+  /// Disarm a source without firing it.
+  void cancel(std::size_t source) {
+    RIPPLE_REQUIRE(source < time_.size(), "scheduler source out of range");
+    if (time_[source] != kIdle) {
+      time_[source] = kIdle;
+      --armed_;
+    }
+  }
+
+  bool empty() const noexcept { return armed_ == 0; }
+
+  bool armed(std::size_t source) const noexcept { return time_[source] != kIdle; }
+
+  Cycles time_of(std::size_t source) const noexcept { return time_[source]; }
+
+  /// Source of the next event, or kNone when nothing is armed. Does not
+  /// disarm the source.
+  std::size_t peek() const noexcept {
+    // Time-first scan: the common case has a unique minimum time, so the
+    // inner loop is a single double-compare per source (idle slots carry +inf
+    // and lose automatically). Exact ties — tracked as a flag during the same
+    // pass — fall through to the full (priority, seq) refinement, which
+    // almost never runs.
+    const std::size_t count = time_.size();
+    std::size_t best = 0;
+    bool tied = false;
+    for (std::size_t s = 1; s < count; ++s) {
+      if (time_[s] < time_[best]) {
+        best = s;
+        tied = false;
+      } else if (time_[s] == time_[best]) {
+        tied = true;
+      }
+    }
+    if (time_[best] == kIdle) return kNone;
+    if (tied) {
+      for (std::size_t s = 0; s < count; ++s) {
+        if (s != best && time_[s] == time_[best] && earlier(s, best)) best = s;
+      }
+    }
+    return best;
+  }
+
+  /// The earliest armed (time, priority) pair, reduced to the test "would a
+  /// new event at (t, p) with a fresh, maximal sequence number pop first?".
+  /// Callers with a monotone private stream (e.g. the arrival process) can
+  /// take the horizon once and then consume stream events in a tight loop —
+  /// no schedule()/pop() round-trips — for as long as the horizon stands
+  /// (i.e. until they arm or fire any other source). Ordering is identical
+  /// to having gone through the scheduler.
+  struct Horizon {
+    Cycles time = std::numeric_limits<Cycles>::infinity();
+    int min_priority = 0;  ///< smallest priority among sources at `time`
+
+    /// Exact under the (time, priority, seq) comparator: a fresh event's seq
+    /// exceeds every armed seq, so it must win on time or priority alone.
+    bool beaten_by(Cycles t, int priority) const noexcept {
+      return t < time || (t == time && priority < min_priority);
+    }
+  };
+
+  Horizon horizon() const noexcept {
+    Horizon h;
+    for (std::size_t s = 0; s < time_.size(); ++s) {
+      if (time_[s] < h.time) {
+        h.time = time_[s];
+        h.min_priority = priority_[s];
+      } else if (time_[s] == h.time && time_[s] != kIdle) {
+        h.min_priority = std::min(h.min_priority, priority_[s]);
+      }
+    }
+    return h;
+  }
+
+  struct Next {
+    std::size_t source = kNone;
+    Cycles time = 0.0;
+  };
+
+  /// Take the next event: returns its source and firing time, disarming it.
+  Next pop() {
+    Next next;
+    next.source = peek();
+    if (next.source != kNone) {
+      next.time = time_[next.source];
+      time_[next.source] = kIdle;
+      --armed_;
+    }
+    return next;
+  }
+
+ private:
+  // Disarmed slots carry +inf so the argmin scan needs no validity branch
+  // beyond the compare itself.
+  static constexpr Cycles kIdle = std::numeric_limits<Cycles>::infinity();
+
+  bool earlier(std::size_t a, std::size_t b) const noexcept {
+    if (time_[a] != time_[b]) return time_[a] < time_[b];
+    if (priority_[a] != priority_[b]) return priority_[a] < priority_[b];
+    return seq_[a] < seq_[b];
+  }
+
+  std::vector<Cycles> time_;
+  std::vector<int> priority_;
+  std::vector<std::uint64_t> seq_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t armed_ = 0;
+};
+
+}  // namespace ripple::sim

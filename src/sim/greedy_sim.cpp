@@ -1,10 +1,10 @@
 #include "sim/greedy_sim.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "dist/rng.hpp"
 #include "util/assert.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace ripple::sim {
 
@@ -29,7 +29,18 @@ TrialMetrics simulate_greedy_throughput(const sdf::PipelineSpec& pipeline,
   metrics.sharing_actors = 1;  // one node at a time owns the whole processor
   metrics.arm_latency_histogram(config.deadline);
 
-  std::vector<std::deque<RootId>> queues(n);
+  // Flat caches for the firing loop (see enforced_sim.cpp).
+  std::vector<Cycles> service_time(n);
+  std::vector<const dist::GainDistribution*> gain(n, nullptr);
+  for (NodeIndex i = 0; i < n; ++i) {
+    service_time[i] = pipeline.service_time(i);
+    if (i + 1 < n) gain[i] = pipeline.node(i).gain.get();
+  }
+
+  std::vector<util::RingBuffer<RootId>> queues(n);
+  for (auto& queue : queues) queue.reserve(4 * v);
+  std::vector<dist::OutputCount> gain_draws(v);
+
   std::vector<Cycles> root_arrival;
   root_arrival.reserve(config.input_count);
   std::vector<bool> root_missed(config.input_count, false);
@@ -94,15 +105,14 @@ TrialMetrics simulate_greedy_throughput(const sdf::PipelineSpec& pipeline,
         static_cast<std::uint32_t>(std::min<std::uint64_t>(queue.size(), v));
     ++node.firings;
     node.items_consumed += consumed;
-    const Cycles duration = pipeline.service_time(best) * exclusive_scale;
+    const Cycles duration = service_time[best] * exclusive_scale;
     node.active_time += duration;
     now += duration;
 
     const bool is_sink = (best + 1 == n);
-    for (std::uint32_t k = 0; k < consumed; ++k) {
-      const RootId root = queue.front();
-      queue.pop_front();
-      if (is_sink) {
+    if (is_sink) {
+      for (std::uint32_t k = 0; k < consumed; ++k) {
+        const RootId root = queue.pop_front();
         ++metrics.sink_outputs;
         const Cycles latency = now - root_arrival[root];
         metrics.record_latency(latency);
@@ -112,22 +122,30 @@ TrialMetrics simulate_greedy_throughput(const sdf::PipelineSpec& pipeline,
           ++metrics.inputs_missed;
         }
         metrics.makespan = std::max(metrics.makespan, now);
-      } else {
-        const dist::OutputCount outputs = pipeline.node(best).gain->sample(rng);
-        node.items_produced += outputs;
+      }
+    } else {
+      // One batched virtual call per firing; RNG draw order matches the
+      // per-item reference exactly.
+      gain[best]->sample_n(rng, gain_draws.data(), consumed);
+      auto& next_queue = queues[best + 1];
+      std::uint64_t produced = 0;
+      for (std::uint32_t k = 0; k < consumed; ++k) {
+        const RootId root = queue.pop_front();
+        const dist::OutputCount outputs = gain_draws[k];
+        produced += outputs;
         for (dist::OutputCount o = 0; o < outputs; ++o) {
-          queues[best + 1].push_back(root);
+          next_queue.push_back(root);
         }
       }
-    }
-    if (!is_sink) {
+      node.items_produced += produced;
       metrics.nodes[best + 1].max_queue_length = std::max<std::uint64_t>(
-          metrics.nodes[best + 1].max_queue_length, queues[best + 1].size());
+          metrics.nodes[best + 1].max_queue_length, next_queue.size());
     }
   }
   RIPPLE_REQUIRE(firings < config.max_firings,
                  "firing budget exhausted (arrival rate beyond capacity?)");
 
+  metrics.events_processed = firings;
   metrics.inputs_on_time = metrics.inputs_arrived - metrics.inputs_missed;
   if (metrics.makespan <= 0.0 && !root_arrival.empty()) {
     metrics.makespan = root_arrival.back();

@@ -70,6 +70,11 @@ struct TrialMetrics {
   Cycles makespan = 0.0;  ///< time at which the last output left
   std::uint32_t vector_width = 0;
 
+  /// Scheduler events the trial dispatched (discrete-event sims) or firings
+  /// executed (tick-based sims); 0 when the simulator does not track it.
+  /// Drives the events/sec throughput counters in bench_micro.
+  std::uint64_t events_processed = 0;
+
   /// Number of concurrent actors sharing the processor for active-fraction
   /// accounting: N for enforced waits (each node is active or waiting for
   /// the whole run), 1 for the monolithic strategy (the pipeline runs as a

@@ -39,6 +39,7 @@ TrialMetrics simulate_monolithic(const sdf::PipelineSpec& pipeline,
   auto process_block = [&](Cycles block_ready) {
     const std::size_t m = block_arrivals.size();
     if (m == 0) return;
+    ++metrics.events_processed;  // one block walk = one scheduling event
 
     const Cycles start = std::max(block_ready, server_free);
     Cycles service = 0.0;
@@ -57,12 +58,12 @@ TrialMetrics simulate_monolithic(const sdf::PipelineSpec& pipeline,
       service += stage_service;
 
       if (i + 1 == n) break;  // sink: items exit, no further expansion
+      const dist::GainDistribution& gain = *pipeline.node(i).gain;
       std::uint64_t produced = 0;
       for (std::size_t j = 0; j < m; ++j) {
-        std::uint64_t outputs = 0;
-        for (std::uint64_t c = 0; c < descendant_counts[j]; ++c) {
-          outputs += pipeline.node(i).gain->sample(rng);
-        }
+        // Batched: one virtual call per surviving root instead of one per
+        // descendant; consumes the identical RNG stream.
+        const std::uint64_t outputs = gain.sample_sum(rng, descendant_counts[j]);
         descendant_counts[j] = outputs;
         produced += outputs;
       }

@@ -7,7 +7,7 @@
 namespace ripple::sim {
 
 TrialSummary run_trials(const TrialFn& trial_fn, std::uint64_t trial_count,
-                        util::ThreadPool* pool) {
+                        util::ThreadPool* pool, std::size_t grain) {
   RIPPLE_REQUIRE(static_cast<bool>(trial_fn), "trial function required");
 
   std::vector<TrialMetrics> results(trial_count);
@@ -15,7 +15,7 @@ TrialSummary run_trials(const TrialFn& trial_fn, std::uint64_t trial_count,
     results[index] = trial_fn(index);
   };
   if (pool != nullptr) {
-    pool->parallel_for(trial_count, body);
+    pool->parallel_for(trial_count, body, grain);
   } else {
     for (std::uint64_t i = 0; i < trial_count; ++i) body(i);
   }

@@ -46,7 +46,12 @@ struct TrialSummary {
 };
 
 /// Run `trial_count` trials. `pool` may be null for serial execution.
+///
+/// `grain` is forwarded to ThreadPool::parallel_for: each worker claims
+/// `grain` consecutive trial indices per atomic fetch. Results are identical
+/// for every grain (and to serial execution) because each trial derives its
+/// seed from its own index and aggregation happens serially in index order.
 TrialSummary run_trials(const TrialFn& trial_fn, std::uint64_t trial_count,
-                        util::ThreadPool* pool = nullptr);
+                        util::ThreadPool* pool = nullptr, std::size_t grain = 1);
 
 }  // namespace ripple::sim

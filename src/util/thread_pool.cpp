@@ -40,39 +40,73 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
   if (count == 0) return;
-  // Dynamic scheduling: workers pull the next index from a shared counter, so
-  // uneven cell costs (infeasible cells return instantly) balance naturally.
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  if (grain == 0) grain = 1;
 
-  auto body = [&] {
+  // Dynamic scheduling: workers claim the next *range* of `grain` indices
+  // from a shared counter, so uneven item costs (infeasible sweep cells
+  // return instantly) still balance while cheap items pay one atomic per
+  // chunk instead of one per index.
+  struct ForState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    // Completion latch for the helper lanes (no per-lane packaged_task /
+    // future heap traffic — the lanes share this one stack-allocated state).
+    std::atomic<std::size_t> lanes_left{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  } state;
+
+  auto body = [&state, &fn, count, grain] {
     while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= count || failed.load()) return;
+      const std::size_t begin = state.next.fetch_add(grain);
+      if (begin >= count || state.failed.load()) return;
+      const std::size_t end = std::min(begin + grain, count);
       try {
-        fn(i);
+        for (std::size_t i = begin; i < end; ++i) fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!failed.exchange(true)) first_error = std::current_exception();
+        std::lock_guard<std::mutex> lock(state.error_mutex);
+        if (!state.failed.exchange(true)) {
+          state.first_error = std::current_exception();
+        }
         return;
       }
     }
   };
 
-  const std::size_t lanes = std::min(count, thread_count());
-  std::vector<std::future<void>> futures;
-  futures.reserve(lanes);
+  const std::size_t chunks = (count + grain - 1) / grain;
+  const std::size_t lanes = std::min(chunks, thread_count());
+  state.lanes_left.store(lanes > 0 ? lanes - 1 : 0);
+
   // Keep one lane on the calling thread so a single-threaded pool still makes
   // progress even if the pool is busy elsewhere.
-  for (std::size_t i = 1; i < lanes; ++i) futures.push_back(submit(body));
-  body();
-  for (auto& f : futures) f.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::logic_error("parallel_for on stopped ThreadPool");
+    for (std::size_t i = 1; i < lanes; ++i) {
+      tasks_.emplace([&state, body] {
+        body();
+        if (state.lanes_left.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> done_lock(state.done_mutex);
+          state.done_cv.notify_one();
+        }
+      });
+    }
+  }
+  if (lanes > 1) cv_.notify_all();
 
-  if (failed.load() && first_error) std::rethrow_exception(first_error);
+  body();
+
+  std::unique_lock<std::mutex> done_lock(state.done_mutex);
+  state.done_cv.wait(done_lock, [&state] { return state.lanes_left.load() == 0; });
+
+  if (state.failed.load() && state.first_error) {
+    std::rethrow_exception(state.first_error);
+  }
 }
 
 }  // namespace ripple::util

@@ -43,7 +43,15 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, count) across the pool and wait for completion.
   /// Exceptions from tasks propagate out of parallel_for (first one wins).
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  ///
+  /// `grain` is the number of consecutive indices a worker claims per fetch
+  /// on the shared counter. Scheduling stays dynamic (uneven costs still
+  /// balance); larger grains amortize the atomic and cache-line traffic when
+  /// individual items are cheap. Results must not depend on execution order,
+  /// so the grain never affects outputs — only throughput. grain == 0 is
+  /// treated as 1.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
 
  private:
   void worker_loop();

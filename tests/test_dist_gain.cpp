@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "dist/rng.hpp"
 #include "dist/stats.hpp"
@@ -110,6 +113,63 @@ TEST(Factories, ProduceExpectedTypes) {
   EXPECT_DOUBLE_EQ(make_bernoulli(0.25)->mean(), 0.25);
   // Censoring at 8 trims a ~1e-6 sliver of the Poisson(1) tail.
   EXPECT_NEAR(make_censored_poisson(1.0, 8)->mean(), 1.0, 1e-5);
+}
+
+/// The batched APIs are drop-in replacements for n successive sample()
+/// calls: same values, and — critically for simulator determinism — exactly
+/// the same RNG stream consumption, so code mixing batched and scalar
+/// sampling stays reproducible.
+TEST(BatchSampling, SampleNMatchesScalarStream) {
+  const std::vector<std::pair<const char*, GainPtr>> cases = [] {
+    std::vector<std::pair<const char*, GainPtr>> list;
+    list.emplace_back("deterministic", make_deterministic(3));
+    list.emplace_back("bernoulli", make_bernoulli(0.379));
+    list.emplace_back("censored_poisson", make_censored_poisson(1.92, 16));
+    list.emplace_back("trunc_geometric",
+                      TruncatedGeometricGain::with_mean(2.3, 12));
+    list.emplace_back("empirical",
+                      std::make_shared<EmpiricalGain>(
+                          std::vector<double>{0.2, 0.5, 0.0, 0.3}));
+    return list;
+  }();
+  for (const auto& [label, gain] : cases) {
+    SCOPED_TRACE(label);
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                std::size_t{128}, std::size_t{1000}}) {
+      Xoshiro256 scalar_rng(42);
+      std::vector<OutputCount> expected(n);
+      for (std::size_t i = 0; i < n; ++i) expected[i] = gain->sample(scalar_rng);
+
+      Xoshiro256 batch_rng(42);
+      std::vector<OutputCount> got(n);
+      gain->sample_n(batch_rng, got.data(), n);
+      EXPECT_EQ(got, expected) << "n=" << n;
+      // Both generators must sit at the same stream position afterwards.
+      EXPECT_EQ(batch_rng(), scalar_rng()) << "n=" << n;
+    }
+  }
+}
+
+TEST(BatchSampling, SampleSumMatchesScalarStream) {
+  const std::vector<std::pair<const char*, GainPtr>> cases = [] {
+    std::vector<std::pair<const char*, GainPtr>> list;
+    list.emplace_back("deterministic", make_deterministic(2));
+    list.emplace_back("bernoulli", make_bernoulli(0.0332));
+    list.emplace_back("censored_poisson", make_censored_poisson(1.92, 16));
+    return list;
+  }();
+  for (const auto& [label, gain] : cases) {
+    SCOPED_TRACE(label);
+    for (const std::uint64_t n : {0ull, 1ull, 9ull, 500ull}) {
+      Xoshiro256 scalar_rng(7);
+      std::uint64_t expected = 0;
+      for (std::uint64_t i = 0; i < n; ++i) expected += gain->sample(scalar_rng);
+
+      Xoshiro256 batch_rng(7);
+      EXPECT_EQ(gain->sample_sum(batch_rng, n), expected) << "n=" << n;
+      EXPECT_EQ(batch_rng(), scalar_rng()) << "n=" << n;
+    }
+  }
 }
 
 TEST(Names, AreDescriptive) {

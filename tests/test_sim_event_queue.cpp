@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
+
+#include "sim/event_sources.hpp"
 
 namespace ripple::sim {
 namespace {
@@ -82,6 +85,153 @@ TEST(EventQueue, LargeVolumeStaysSorted) {
     const auto event = q.pop();
     EXPECT_GE(event.time, last);
     last = event.time;
+  }
+}
+
+TEST(EventQueue, StableOrderAcrossMixedTies) {
+  // All three tie dimensions at once: time first, then priority, then the
+  // insertion sequence.
+  EventQueue<int> q;
+  q.push(2.0, 1, 6);
+  q.push(1.0, 1, 2);
+  q.push(1.0, 0, 0);
+  q.push(1.0, 1, 3);
+  q.push(1.0, 2, 4);
+  q.push(1.0, 0, 1);
+  q.push(2.0, 0, 5);
+  for (int expected = 0; expected < 7; ++expected) {
+    EXPECT_EQ(q.pop().payload, expected);
+  }
+}
+
+TEST(IndexedScheduler, OrdersByTime) {
+  IndexedScheduler sched(3);
+  sched.schedule(0, 3.0, 0);
+  sched.schedule(1, 1.0, 0);
+  sched.schedule(2, 2.0, 0);
+  EXPECT_EQ(sched.pop().source, 1u);
+  EXPECT_EQ(sched.pop().source, 2u);
+  EXPECT_EQ(sched.pop().source, 0u);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(IndexedScheduler, PriorityBreaksTimeTies) {
+  IndexedScheduler sched(3);
+  sched.schedule(0, 5.0, 2);  // fire-start
+  sched.schedule(1, 5.0, 0);  // fire-end
+  sched.schedule(2, 5.0, 1);  // arrival
+  EXPECT_EQ(sched.pop().source, 1u);
+  EXPECT_EQ(sched.pop().source, 2u);
+  EXPECT_EQ(sched.pop().source, 0u);
+}
+
+TEST(IndexedScheduler, InsertionOrderBreaksRemainingTies) {
+  IndexedScheduler sched(3);
+  sched.schedule(2, 1.0, 0);
+  sched.schedule(0, 1.0, 0);
+  sched.schedule(1, 1.0, 0);
+  EXPECT_EQ(sched.pop().source, 2u);  // FIFO among full ties
+  EXPECT_EQ(sched.pop().source, 0u);
+  EXPECT_EQ(sched.pop().source, 1u);
+}
+
+TEST(IndexedScheduler, ReschedulingRefreshesSequence) {
+  IndexedScheduler sched(2);
+  sched.schedule(0, 1.0, 0);
+  sched.schedule(1, 1.0, 0);
+  // Re-arming source 0 at the same (time, priority) moves it behind source 1
+  // in FIFO order, exactly as pop-and-repush would on an EventQueue.
+  sched.schedule(0, 1.0, 0);
+  EXPECT_EQ(sched.pop().source, 1u);
+  EXPECT_EQ(sched.pop().source, 0u);
+}
+
+TEST(IndexedScheduler, CancelDisarms) {
+  IndexedScheduler sched(2);
+  sched.schedule(0, 1.0, 0);
+  sched.schedule(1, 2.0, 0);
+  sched.cancel(0);
+  sched.cancel(0);  // idempotent
+  EXPECT_FALSE(sched.armed(0));
+  EXPECT_EQ(sched.pop().source, 1u);
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.pop().source, IndexedScheduler::kNone);
+}
+
+TEST(IndexedScheduler, PopReturnsTimeAndDisarms) {
+  IndexedScheduler sched(2);
+  sched.schedule(1, 4.5, 1);
+  const auto next = sched.pop();
+  EXPECT_EQ(next.source, 1u);
+  EXPECT_EQ(next.time, 4.5);
+  EXPECT_FALSE(sched.armed(1));
+}
+
+TEST(IndexedScheduler, RejectsBadArguments) {
+  IndexedScheduler sched(2);
+  EXPECT_THROW(sched.schedule(2, 1.0, 0), std::logic_error);
+  EXPECT_THROW(
+      sched.schedule(0, std::numeric_limits<Cycles>::infinity(), 0),
+      std::logic_error);
+}
+
+TEST(IndexedScheduler, HorizonMatchesComparatorExactly) {
+  IndexedScheduler sched(3);
+  sched.schedule(0, 10.0, 2);
+  sched.schedule(1, 10.0, 0);
+  sched.schedule(2, 12.0, 1);
+  const auto horizon = sched.horizon();
+  EXPECT_EQ(horizon.time, 10.0);
+  EXPECT_EQ(horizon.min_priority, 0);
+  // Strictly earlier time wins regardless of priority.
+  EXPECT_TRUE(horizon.beaten_by(9.0, 5));
+  // Equal time: only a strictly smaller priority wins (a fresh event's seq is
+  // maximal, so a tie on both time and priority loses).
+  EXPECT_FALSE(horizon.beaten_by(10.0, 0));
+  EXPECT_FALSE(horizon.beaten_by(10.0, 1));
+  EXPECT_FALSE(horizon.beaten_by(10.5, 0));
+}
+
+TEST(IndexedScheduler, EmptyHorizonBeatenByEverything) {
+  IndexedScheduler sched(2);
+  EXPECT_TRUE(sched.horizon().beaten_by(1e18, 99));
+}
+
+/// Differential test: drive an IndexedScheduler and an EventQueue with the
+/// same single-pending-event-per-source workload and require the identical
+/// pop order, including all tie-breaks.
+TEST(IndexedScheduler, MatchesEventQueueOnRandomWorkload) {
+  constexpr std::size_t kSources = 9;
+  IndexedScheduler sched(kSources);
+  EventQueue<std::size_t> queue;
+
+  std::uint64_t state = 99;
+  auto next_u64 = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 16;
+  };
+
+  double now = 0.0;
+  // Arm every source once, then repeatedly pop the winner from both
+  // structures and re-arm that source at a later (often colliding) time.
+  for (std::size_t s = 0; s < kSources; ++s) {
+    const double t = static_cast<double>(next_u64() % 8);
+    const int priority = static_cast<int>(next_u64() % 3);
+    sched.schedule(s, t, priority);
+    queue.push(t, priority, s);
+  }
+  for (int step = 0; step < 20000; ++step) {
+    const auto expected = queue.pop();
+    const auto got = sched.pop();
+    ASSERT_EQ(got.source, expected.payload) << "step " << step;
+    ASSERT_EQ(got.time, expected.time) << "step " << step;
+    now = expected.time;
+    // Re-arm with a small integer increment so timestamp collisions (and
+    // therefore priority/seq tie-breaks) are frequent.
+    const double t = now + static_cast<double>(next_u64() % 4);
+    const int priority = static_cast<int>(next_u64() % 3);
+    sched.schedule(got.source, t, priority);
+    queue.push(t, priority, got.source);
   }
 }
 

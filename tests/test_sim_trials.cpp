@@ -96,6 +96,48 @@ TEST(TrialRunner, ParallelMatchesSerial) {
   EXPECT_EQ(serial.max_queue_lengths, parallel.max_queue_lengths);
 }
 
+/// Chunked claiming must be invisible in the results: trial seeds derive from
+/// the trial index and aggregation runs serially in index order, so every
+/// grain (and serial execution) produces an identical TrialSummary.
+TEST(TrialRunner, ChunkGrainNeverChangesResults) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  auto solved = strategy.solve(20.0, 1.85e5);
+  ASSERT_TRUE(solved.ok());
+  const auto intervals = solved.value().firing_intervals;
+
+  auto trial_fn = [&](std::uint64_t trial) {
+    arrivals::FixedRateArrivals arrival_process(20.0);
+    EnforcedSimConfig config;
+    config.input_count = 1000;
+    config.deadline = 1.85e5;
+    config.seed = dist::derive_seed({777, trial});
+    return simulate_enforced_waits(pipeline, intervals, arrival_process, config);
+  };
+
+  const TrialSummary serial = run_trials(trial_fn, 11);
+  util::ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{3}, std::size_t{16}}) {
+    SCOPED_TRACE("grain " + std::to_string(grain));
+    const TrialSummary chunked = run_trials(trial_fn, 11, &pool, grain);
+    EXPECT_EQ(serial.trials, chunked.trials);
+    EXPECT_EQ(serial.miss_free_trials, chunked.miss_free_trials);
+    EXPECT_EQ(serial.max_queue_lengths, chunked.max_queue_lengths);
+    // Aggregation order is fixed (trial index), so the running stats must be
+    // bitwise identical, not merely close.
+    EXPECT_EQ(serial.active_fraction.mean(), chunked.active_fraction.mean());
+    EXPECT_EQ(serial.active_fraction.variance(),
+              chunked.active_fraction.variance());
+    EXPECT_EQ(serial.miss_fraction.mean(), chunked.miss_fraction.mean());
+    EXPECT_EQ(serial.latency_mean.mean(), chunked.latency_mean.mean());
+    EXPECT_EQ(serial.latency_max.max(), chunked.latency_max.max());
+    EXPECT_EQ(serial.latency_p99.mean(), chunked.latency_p99.mean());
+    EXPECT_EQ(serial.occupancy.mean(), chunked.occupancy.mean());
+  }
+}
+
 TEST(TrialRunner, LatencyP99Aggregated) {
   const auto pipeline = blast::canonical_blast_pipeline();
   core::EnforcedWaitsStrategy strategy(

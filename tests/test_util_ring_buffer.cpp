@@ -1,0 +1,139 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+
+#include "dist/rng.hpp"
+
+namespace ripple::util {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.capacity(), 0u);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> buffer;
+  for (int i = 0; i < 100; ++i) buffer.push_back(i);
+  EXPECT_EQ(buffer.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(buffer.front(), i);
+    EXPECT_EQ(buffer.pop_front(), i);
+  }
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(RingBuffer, IndexingIsFrontRelative) {
+  RingBuffer<int> buffer;
+  // Advance head so the live window wraps the backing array.
+  for (int i = 0; i < 6; ++i) buffer.push_back(i);
+  for (int i = 0; i < 5; ++i) (void)buffer.pop_front();
+  for (int i = 6; i < 12; ++i) buffer.push_back(i);
+  ASSERT_EQ(buffer.size(), 7u);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_EQ(buffer[i], static_cast<int>(i) + 5);
+  }
+}
+
+TEST(RingBuffer, GrowthPreservesOrderAcrossWrap) {
+  RingBuffer<int> buffer;
+  // Interleave pushes and pops so head_ is mid-array when growth hits.
+  for (int i = 0; i < 5; ++i) buffer.push_back(i);
+  for (int i = 0; i < 3; ++i) (void)buffer.pop_front();
+  for (int i = 5; i < 40; ++i) buffer.push_back(i);  // forces several regrows
+  EXPECT_EQ(buffer.size(), 37u);
+  for (int i = 3; i < 40; ++i) {
+    EXPECT_EQ(buffer.pop_front(), i);
+  }
+}
+
+TEST(RingBuffer, ReserveRoundsUpAndKeepsContents) {
+  RingBuffer<int> buffer;
+  buffer.push_back(1);
+  buffer.push_back(2);
+  buffer.reserve(100);
+  EXPECT_GE(buffer.capacity(), 100u);
+  // Power-of-two capacity.
+  EXPECT_EQ(buffer.capacity() & (buffer.capacity() - 1), 0u);
+  EXPECT_EQ(buffer.pop_front(), 1);
+  EXPECT_EQ(buffer.pop_front(), 2);
+}
+
+TEST(RingBuffer, ClearRetainsCapacity) {
+  RingBuffer<int> buffer(64);
+  const std::size_t capacity = buffer.capacity();
+  for (int i = 0; i < 50; ++i) buffer.push_back(i);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.capacity(), capacity);
+  buffer.push_back(7);
+  EXPECT_EQ(buffer.front(), 7);
+}
+
+TEST(RingBuffer, DiscardFrontDropsExactlyN) {
+  RingBuffer<int> buffer;
+  for (int i = 0; i < 20; ++i) buffer.push_back(i);
+  buffer.discard_front(0);
+  EXPECT_EQ(buffer.size(), 20u);
+  buffer.discard_front(7);
+  EXPECT_EQ(buffer.size(), 13u);
+  EXPECT_EQ(buffer.front(), 7);
+  EXPECT_THROW(buffer.discard_front(14), std::logic_error);
+  buffer.discard_front(13);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(RingBuffer, EmptyAccessesThrow) {
+  RingBuffer<int> buffer;
+  EXPECT_THROW((void)buffer.front(), std::logic_error);
+  EXPECT_THROW((void)buffer.pop_front(), std::logic_error);
+}
+
+TEST(RingBuffer, HandlesMoveOnlyFriendlyTypes) {
+  RingBuffer<std::string> buffer;
+  for (int i = 0; i < 20; ++i) buffer.push_back("item-" + std::to_string(i));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(buffer.pop_front(), "item-" + std::to_string(i));
+  }
+}
+
+/// Randomized differential test against std::deque — the structure the
+/// simulators replaced with RingBuffer.
+TEST(RingBuffer, MatchesDequeUnderRandomWorkload) {
+  RingBuffer<std::uint32_t> buffer;
+  std::deque<std::uint32_t> reference;
+  dist::Xoshiro256 rng(2026);
+  std::uint32_t next_value = 0;
+  for (int step = 0; step < 100000; ++step) {
+    const double u = rng.uniform01();
+    if (u < 0.55 || reference.empty()) {
+      buffer.push_back(next_value);
+      reference.push_back(next_value);
+      ++next_value;
+    } else if (u < 0.9) {
+      ASSERT_EQ(buffer.pop_front(), reference.front());
+      reference.pop_front();
+    } else {
+      const std::size_t n =
+          static_cast<std::size_t>(rng.uniform01() *
+                                   static_cast<double>(reference.size() + 1));
+      buffer.discard_front(n);
+      reference.erase(reference.begin(),
+                      reference.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    ASSERT_EQ(buffer.size(), reference.size());
+    if (!reference.empty()) {
+      ASSERT_EQ(buffer.front(), reference.front());
+      const std::size_t mid = reference.size() / 2;
+      ASSERT_EQ(buffer[mid], reference[mid]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ripple::util

@@ -61,6 +61,37 @@ TEST(ThreadPool, ParallelForPropagatesFirstException) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForGrainCoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1003;  // deliberately not a grain multiple
+  for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{4}, std::size_t{64},
+                                  std::size_t{5000}}) {
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); },
+                      grain);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "grain " << grain << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForGrainPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(
+          256,
+          [&](std::size_t i) {
+            if (i == 200) throw std::runtime_error("unlucky");
+          },
+          16),
+      std::runtime_error);
+  // The pool must remain usable after a failed chunked run.
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); }, 4);
+  EXPECT_EQ(sum.load(), 45);
+}
+
 TEST(ThreadPool, ManySmallTasks) {
   ThreadPool pool(4);
   std::vector<std::future<int>> futures;
