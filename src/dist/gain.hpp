@@ -36,7 +36,12 @@ class CdfTable {
 
   OutputCount sample(Xoshiro256& rng) const noexcept {
     const double u = rng.uniform01();
-    std::size_t k = guide_[static_cast<std::size_t>(u * kGuideSize)];
+    // uniform01() contracts u < 1.0, but clamp the bucket anyway so an RNG
+    // swap that can return exactly 1.0 reads the last guide entry instead of
+    // one past the array.
+    std::size_t bucket = static_cast<std::size_t>(u * kGuideSize);
+    if (bucket >= kGuideSize) bucket = kGuideSize - 1;
+    std::size_t k = guide_[bucket];
     while (k + 1 < cdf_.size() && u >= cdf_[k]) ++k;
     return static_cast<OutputCount>(k);
   }

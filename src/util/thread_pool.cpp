@@ -2,9 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <exception>
 
 namespace ripple::util {
+
+namespace {
+// Which pool (if any) the current thread is a worker of. Used to catch
+// reentrant parallel_for, which would deadlock: the nested caller blocks on
+// its helper lanes while those lanes sit in tasks_ behind blocked workers.
+thread_local const ThreadPool* g_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -26,6 +34,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  g_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -42,6 +51,9 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t grain) {
+  assert(g_worker_pool != this &&
+         "parallel_for must not be called from a worker of the same pool "
+         "(nested use deadlocks; see thread_pool.hpp)");
   if (count == 0) return;
   if (grain == 0) grain = 1;
 
@@ -56,7 +68,11 @@ void ThreadPool::parallel_for(std::size_t count,
     std::mutex error_mutex;
     // Completion latch for the helper lanes (no per-lane packaged_task /
     // future heap traffic — the lanes share this one stack-allocated state).
-    std::atomic<std::size_t> lanes_left{0};
+    // lanes_left is guarded by done_mutex, NOT atomic: the decrement-to-zero
+    // and the notify must form one critical section, or the waiting caller
+    // could observe zero, return, and destroy this state while the notifier
+    // still holds references to done_mutex / done_cv.
+    std::size_t lanes_left = 0;
     std::mutex done_mutex;
     std::condition_variable done_cv;
   } state;
@@ -80,7 +96,9 @@ void ThreadPool::parallel_for(std::size_t count,
 
   const std::size_t chunks = (count + grain - 1) / grain;
   const std::size_t lanes = std::min(chunks, thread_count());
-  state.lanes_left.store(lanes > 0 ? lanes - 1 : 0);
+  // Written before the helper tasks are enqueued; the queue mutex handoff
+  // publishes it to the workers.
+  state.lanes_left = lanes > 0 ? lanes - 1 : 0;
 
   // Keep one lane on the calling thread so a single-threaded pool still makes
   // progress even if the pool is busy elsewhere.
@@ -90,10 +108,8 @@ void ThreadPool::parallel_for(std::size_t count,
     for (std::size_t i = 1; i < lanes; ++i) {
       tasks_.emplace([&state, body] {
         body();
-        if (state.lanes_left.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> done_lock(state.done_mutex);
-          state.done_cv.notify_one();
-        }
+        std::lock_guard<std::mutex> done_lock(state.done_mutex);
+        if (--state.lanes_left == 0) state.done_cv.notify_one();
       });
     }
   }
@@ -102,7 +118,8 @@ void ThreadPool::parallel_for(std::size_t count,
   body();
 
   std::unique_lock<std::mutex> done_lock(state.done_mutex);
-  state.done_cv.wait(done_lock, [&state] { return state.lanes_left.load() == 0; });
+  state.done_cv.wait(done_lock, [&state] { return state.lanes_left == 0; });
+  done_lock.unlock();
 
   if (state.failed.load() && state.first_error) {
     std::rethrow_exception(state.first_error);

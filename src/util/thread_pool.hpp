@@ -50,6 +50,10 @@ class ThreadPool {
   /// individual items are cheap. Results must not depend on execution order,
   /// so the grain never affects outputs — only throughput. grain == 0 is
   /// treated as 1.
+  ///
+  /// Must NOT be called from a worker thread of the same pool: the nested
+  /// call would block on its helper lanes while those lanes wait in the task
+  /// queue behind blocked workers (deadlock). Debug builds assert on this.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1);
 
