@@ -1,0 +1,144 @@
+// Warm-started sweep benchmark: times a cold (tau0, D) sweep against the
+// warm-started snake traversal and verifies, cell by cell and bit by bit,
+// that warm starting changed nothing but the time to compute the surface.
+//
+// Exit status is nonzero if any cell differs — this binary doubles as the
+// golden-surface check wired into CI (scripts/run_bench_sweep.sh).
+#include "bench_common.hpp"
+
+#include <cstring>
+#include <memory>
+
+#include "core/sweep.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+/// Bitwise cell comparison; doubles are compared via memcmp so that even a
+/// sign-of-zero or NaN-payload difference counts as a mismatch.
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::size_t count_mismatches(const ripple::core::SweepSurface& cold,
+                             const ripple::core::SweepSurface& warm) {
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < cold.cells().size(); ++i) {
+    const auto& c = cold.cells()[i];
+    const auto& w = warm.cells()[i];
+    const bool same = bits_equal(c.tau0, w.tau0) &&
+                      bits_equal(c.deadline, w.deadline) &&
+                      c.enforced_feasible == w.enforced_feasible &&
+                      bits_equal(c.enforced_active_fraction,
+                                 w.enforced_active_fraction) &&
+                      c.monolithic_feasible == w.monolithic_feasible &&
+                      bits_equal(c.monolithic_active_fraction,
+                                 w.monolithic_active_fraction) &&
+                      c.monolithic_block == w.monolithic_block;
+    if (!same) {
+      ++mismatches;
+      if (mismatches <= 8) {
+        std::cerr.precision(17);
+        std::cerr << "mismatch at cell " << i << " (tau0=" << c.tau0
+                  << ", D=" << c.deadline << "):\n"
+                  << "  enforced  cold " << c.enforced_feasible << "/"
+                  << c.enforced_active_fraction << "  warm "
+                  << w.enforced_feasible << "/" << w.enforced_active_fraction
+                  << "\n"
+                  << "  monolithic cold " << c.monolithic_feasible << "/"
+                  << c.monolithic_active_fraction << "/M=" << c.monolithic_block
+                  << "  warm " << w.monolithic_feasible << "/"
+                  << w.monolithic_active_fraction << "/M=" << w.monolithic_block
+                  << "\n";
+      }
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  using namespace ripple;
+  util::CliParser cli;
+  bench::add_common_options(cli);
+  cli.add_int("tau0-points", 64, "grid points on the tau0 axis");
+  cli.add_int("d-points", 64, "grid points on the deadline axis");
+  cli.add_int("threads", 0, "worker threads (0 = serial, the fair timing)");
+  cli.add_int("tile-rows", 4, "tau0 rows per warm-start tile");
+  bench::parse_or_exit(
+      cli, argc, argv,
+      "bench_sweep — warm-started sweep speedup + golden-surface check");
+
+  const auto tau0_points = static_cast<std::size_t>(cli.get_int("tau0-points"));
+  const auto d_points = static_cast<std::size_t>(cli.get_int("d-points"));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+  const auto grid = core::SweepGrid::paper_ranges(tau0_points, d_points);
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const auto enforced_config = bench::paper_enforced_config();
+
+  bench::print_banner("Warm-started (tau0, D) sweep");
+  std::cout << "grid: " << tau0_points << " x " << d_points << " = "
+            << grid.cell_count() << " cells, "
+            << (threads == 0 ? std::string("serial")
+                             : std::to_string(threads) + " threads")
+            << "\n\n";
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<util::ThreadPool>(threads);
+
+  core::SweepOptions cold_options;
+  cold_options.warm_start = false;
+  cold_options.pool = pool.get();
+
+  core::SweepOptions warm_options;
+  warm_options.warm_start = true;
+  warm_options.tile_rows = static_cast<std::size_t>(cli.get_int("tile-rows"));
+  warm_options.pool = pool.get();
+
+  util::Stopwatch watch;
+  const auto cold =
+      core::run_sweep(pipeline, enforced_config, {}, grid, cold_options);
+  const double cold_seconds = watch.elapsed_seconds();
+
+  watch.reset();
+  const auto warm =
+      core::run_sweep(pipeline, enforced_config, {}, grid, warm_options);
+  const double warm_seconds = watch.elapsed_seconds();
+
+  const std::size_t mismatches = count_mismatches(cold, warm);
+  const double speedup = warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+
+  util::TextTable table({"sweep", "seconds", "cells/s"});
+  table.add_row({"cold", bench::fmt(cold_seconds, 3),
+                 bench::fmt(grid.cell_count() / cold_seconds, 0)});
+  table.add_row({"warm", bench::fmt(warm_seconds, 3),
+                 bench::fmt(grid.cell_count() / warm_seconds, 0)});
+  table.print(std::cout);
+  std::cout << "\nspeedup (cold / warm):  " << bench::fmt(speedup, 2) << "x\n"
+            << "bitwise mismatches:     " << mismatches << " of "
+            << grid.cell_count() << " cells\n";
+
+  if (auto json_out = bench::open_json(cli); json_out.is_open()) {
+    json_out << "{\n"
+             << "  \"benchmark\": \"sweep_warm_start\",\n"
+             << "  \"tau0_points\": " << tau0_points << ",\n"
+             << "  \"d_points\": " << d_points << ",\n"
+             << "  \"cells\": " << grid.cell_count() << ",\n"
+             << "  \"threads\": " << threads << ",\n"
+             << "  \"tile_rows\": " << warm_options.tile_rows << ",\n"
+             << "  \"cold_seconds\": " << bench::fmt(cold_seconds, 6) << ",\n"
+             << "  \"warm_seconds\": " << bench::fmt(warm_seconds, 6) << ",\n"
+             << "  \"speedup\": " << bench::fmt(speedup, 3) << ",\n"
+             << "  \"bitwise_identical\": "
+             << (mismatches == 0 ? "true" : "false") << "\n"
+             << "}\n";
+  }
+
+  if (mismatches != 0) {
+    std::cerr << "FAIL: warm surface differs from cold surface" << std::endl;
+    return 1;
+  }
+  std::cout << "warm surface is bit-identical to cold surface" << std::endl;
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Run the warm-started sweep benchmark and write BENCH_sweep.json at the
+# repo root. This is the perf artifact for the warm-started (tau0, D) sweep
+# solver: cold vs warm wall time over the paper grid plus a cell-by-cell
+# bitwise identity check (the binary exits nonzero on any mismatch, so this
+# script doubles as the golden-surface gate in CI).
+#
+# Usage: scripts/run_bench_sweep.sh [build-dir] [tau0-points] [d-points]
+#   build-dir    defaults to ./build (configured if missing)
+#   tau0-points  defaults to 64
+#   d-points     defaults to 64
+#
+# Pass a small grid (e.g. 8 8) for a quick smoke run.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+TAU0_POINTS="${2:-64}"
+D_POINTS="${3:-64}"
+
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "${BUILD_DIR}" --target bench_sweep -j"$(nproc)"
+
+"${BUILD_DIR}/bench/bench_sweep" \
+  --tau0-points "${TAU0_POINTS}" \
+  --d-points "${D_POINTS}" \
+  --json "${REPO_ROOT}/BENCH_sweep.json"
+
+echo "Wrote ${REPO_ROOT}/BENCH_sweep.json"

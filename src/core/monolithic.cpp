@@ -21,6 +21,8 @@ MonolithicStrategy::MonolithicStrategy(sdf::PipelineSpec pipeline,
       total_gains_(pipeline_.total_gains()) {
   RIPPLE_REQUIRE(config_.b >= 1.0, "block multiplier b must be at least 1");
   RIPPLE_REQUIRE(config_.S >= 1.0, "worst-case scale S must be at least 1");
+  // ceil() in Tbar never rounds down, so Tbar(M) >= M * c exactly.
+  service_per_input_floor_ = pipeline_.mean_service_per_input();
 }
 
 Cycles MonolithicStrategy::mean_block_service(std::int64_t block_size) const {
@@ -53,12 +55,38 @@ double MonolithicStrategy::active_fraction(std::int64_t block_size,
 
 std::int64_t MonolithicStrategy::max_block_size(Cycles tau0,
                                                 Cycles deadline) const {
-  const double cap = deadline / (config_.b * tau0);
+  // Tbar(M) >= M * c, so the deadline b*M*tau0 + S*Tbar(M) <= D forces
+  // M <= D / (b*tau0 + S*c). Only deadline-infeasible blocks are cut, so
+  // every scan/branch-and-bound argmin is unchanged (regression-tested
+  // against the untightened cap over the paper grid).
+  const double cap =
+      deadline / (config_.b * tau0 + config_.S * service_per_input_floor_);
   if (cap < 1.0) return 0;
   return std::min<std::int64_t>(static_cast<std::int64_t>(cap), kMaxBlockCap);
 }
 
+double MonolithicStrategy::interval_bound(std::int64_t lo, std::int64_t hi,
+                                          Cycles tau0) const {
+  // Relaxation: ceil(z) >= max(z, 1 when z > 0), so the objective at M is at
+  // least f_relax(M) = sum_i max(G_i t_i / v, t_i/M [G_i>0]) / tau0, which is
+  // non-increasing in M; its minimum over [lo, hi] is at hi.
+  const double v = static_cast<double>(pipeline_.simd_width());
+  double relaxed = 0.0;
+  for (NodeIndex i = 0; i < pipeline_.size(); ++i) {
+    if (total_gains_[i] <= 0.0) continue;
+    relaxed += std::max(total_gains_[i] * pipeline_.service_time(i) / v,
+                        pipeline_.service_time(i) / static_cast<double>(hi));
+  }
+  relaxed /= tau0;
+  // Tbar non-decreasing: Tbar(M)/(M*tau0) >= Tbar(lo)/(hi*tau0) on [lo, hi].
+  const double monotone =
+      mean_block_service(lo) / (static_cast<double>(hi) * tau0);
+  return std::max(relaxed, monotone);
+}
+
 bool MonolithicStrategy::is_feasible(Cycles tau0, Cycles deadline) const {
+  // Tbar(M) >= M * c, so tau0 < c makes every block unstable.
+  if (tau0 < service_per_input_floor_) return false;
   const std::int64_t hi = max_block_size(tau0, deadline);
   for (std::int64_t m = 1; m <= hi; ++m) {
     if (is_block_feasible(m, tau0, deadline)) return true;
@@ -81,11 +109,21 @@ MonolithicSchedule MonolithicStrategy::make_schedule(
 }
 
 util::Result<MonolithicSchedule> MonolithicStrategy::solve(
-    Cycles tau0, Cycles deadline) const {
+    Cycles tau0, Cycles deadline, const WarmStart* warm) const {
   using R = util::Result<MonolithicSchedule>;
   RIPPLE_REQUIRE(tau0 > 0.0, "tau0 must be positive");
   RIPPLE_REQUIRE(deadline > 0.0, "deadline must be positive");
 
+  if (tau0 < service_per_input_floor_) {
+    // Tbar(M) >= M * c: below the asymptotic service floor no block is ever
+    // stable, so don't walk the scan at all (the old code burned the whole
+    // [1, hi] range here for every infeasible fast-arrival cell).
+    return R::failure("infeasible",
+                      "unstable at any block: tau0 = " +
+                          util::format_double(tau0, 3) +
+                          " is below the per-input service floor " +
+                          util::format_double(service_per_input_floor_, 3));
+  }
   const std::int64_t hi = max_block_size(tau0, deadline);
   if (hi < 1) {
     return R::failure("infeasible",
@@ -93,17 +131,53 @@ util::Result<MonolithicSchedule> MonolithicStrategy::solve(
                           util::format_double(config_.b * tau0, 3) +
                           " exceeds D = " + util::format_double(deadline, 3));
   }
-  const auto scan = opt::minimize_integer_scan(
-      1, hi, [&](std::int64_t m) -> std::optional<double> {
-        if (!is_block_feasible(m, tau0, deadline)) return std::nullopt;
-        return active_fraction(m, tau0);
-      });
-  if (!scan.feasible) {
+  const auto objective = [&](std::int64_t m) -> std::optional<double> {
+    if (!is_block_feasible(m, tau0, deadline)) return std::nullopt;
+    return active_fraction(m, tau0);
+  };
+
+  opt::IntegerResult found;
+  bool solved_warm = false;
+  if (warm != nullptr && warm->has_monolithic_hint()) {
+    // Ringed search: scan a window around the hinted block for an
+    // incumbent, then let branch-and-bound prove global (lexicographic)
+    // optimality over [1, hi]. The interval bound Tbar(a)/(b*tau0) is tight
+    // on narrow intervals, so a near-optimal incumbent prunes nearly the
+    // whole range. Falls back to the cold scan unless the proof completed,
+    // so the result always matches the scan bit for bit.
+    const std::int64_t ring = std::max<std::int64_t>(64, hi / 128);
+    const std::int64_t ring_lo = std::max<std::int64_t>(1, warm->block_size - ring);
+    const std::int64_t ring_hi = std::min(hi, warm->block_size + ring);
+    opt::IntegerResult ringed;
+    if (ring_lo <= ring_hi) {
+      ringed = opt::minimize_integer_scan(ring_lo, ring_hi, objective);
+    }
+    opt::BranchAndBoundOptions options;
+    if (ringed.feasible) {
+      options.incumbent_argmin = ringed.argmin;
+      options.incumbent_value = ringed.value;
+    }
+    opt::IntegerResult bnb = opt::branch_and_bound_minimize(
+        1, hi, objective,
+        [&](std::int64_t interval_lo, std::int64_t interval_hi) {
+          return interval_bound(interval_lo, interval_hi, tau0);
+        },
+        options);
+    if (bnb.complete) {
+      bnb.evaluations += ringed.evaluations;
+      found = bnb;
+      solved_warm = true;
+    }
+  }
+  if (!solved_warm) {
+    found = opt::minimize_integer_scan(1, hi, objective);
+  }
+  if (!found.feasible) {
     return R::failure("infeasible",
                       "no block size in [1, " + std::to_string(hi) +
                           "] satisfies stability + deadline");
   }
-  return make_schedule(scan.argmin, tau0, scan.evaluations);
+  return make_schedule(found.argmin, tau0, found.evaluations);
 }
 
 util::Result<MonolithicSchedule> MonolithicStrategy::solve_branch_and_bound(
@@ -114,27 +188,26 @@ util::Result<MonolithicSchedule> MonolithicStrategy::solve_branch_and_bound(
     return R::failure("infeasible", "deadline admits no block");
   }
 
-  const double v = static_cast<double>(pipeline_.simd_width());
-  // Relaxation: ceil(z) >= max(z, 1 when z > 0), so the objective at M is at
-  // least f_relax(M) = sum_i max(G_i t_i / v, t_i/M [G_i>0]) / tau0, which is
-  // non-increasing in M; its minimum over [lo, hi] is at hi.
-  auto relaxed = [&](std::int64_t m) {
-    double total = 0.0;
-    for (NodeIndex i = 0; i < pipeline_.size(); ++i) {
-      if (total_gains_[i] <= 0.0) continue;
-      total += std::max(total_gains_[i] * pipeline_.service_time(i) / v,
-                        pipeline_.service_time(i) / static_cast<double>(m));
-    }
-    return total / tau0;
-  };
-
   const auto found = opt::branch_and_bound_minimize(
       1, hi,
       [&](std::int64_t m) -> std::optional<double> {
         if (!is_block_feasible(m, tau0, deadline)) return std::nullopt;
         return active_fraction(m, tau0);
       },
-      [&](std::int64_t, std::int64_t interval_hi) { return relaxed(interval_hi); });
+      [&](std::int64_t interval_lo, std::int64_t interval_hi) {
+        return interval_bound(interval_lo, interval_hi, tau0);
+      });
+  if (!found.complete) {
+    // The node budget ran out with intervals still open: the incumbent (if
+    // any) is not certified optimal, so refuse to dress it up as a solution.
+    return R::failure(
+        "incomplete",
+        "branch-and-bound exhausted its node budget over [1, " +
+            std::to_string(hi) + "]; incumbent " +
+            (found.feasible ? "value " + util::format_double(found.value, 6)
+                            : "absent") +
+            " is not certified optimal");
+  }
   if (!found.feasible) {
     return R::failure("infeasible", "branch-and-bound found no feasible block");
   }

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "core/warm_start.hpp"
 #include "sdf/pipeline.hpp"
 #include "util/result.hpp"
 #include "util/types.hpp"
@@ -61,14 +62,32 @@ class MonolithicStrategy {
   /// Any feasible M at all?
   bool is_feasible(Cycles tau0, Cycles deadline) const;
 
-  /// Largest M the deadline alone admits: b*M*tau0 <= D.
+  /// Largest M the deadline can possibly admit. The deadline constraint is
+  /// b*M*tau0 + S*Tbar(M) <= D and Tbar(M) >= M * c with c the per-input
+  /// service floor sum_i G_i t_i / v (every ceil() rounded down), so
+  /// M <= D / (b*tau0 + S*c). This is far tighter than the old b*M*tau0
+  /// bound alone, which let the scans walk millions of blocks that could
+  /// never pass is_block_feasible; since every excluded M is infeasible,
+  /// no argmin ever changes.
   std::int64_t max_block_size(Cycles tau0, Cycles deadline) const;
 
   /// Exact optimizer: exhaustive scan over [1, max_block_size].
-  util::Result<MonolithicSchedule> solve(Cycles tau0, Cycles deadline) const;
+  ///
+  /// `warm` optionally carries a neighboring cell's block size (see
+  /// warm_start.hpp): a ringed scan around the hint primes a
+  /// branch-and-bound incumbent, and the relaxation bound then proves
+  /// global optimality with the scan's lexicographic (value, argmin)
+  /// tie-break — so the warm result is bit-identical to the cold scan, and
+  /// any incomplete proof falls back to the scan itself. Only
+  /// `candidates_scanned` may differ between warm and cold.
+  util::Result<MonolithicSchedule> solve(Cycles tau0, Cycles deadline,
+                                         const WarmStart* warm = nullptr) const;
 
   /// Same optimum via interval branch-and-bound (the BONMIN-style driver);
   /// exists to cross-validate the scan and exercise the MINLP substrate.
+  /// Failure code "incomplete" when the node budget was exhausted before
+  /// optimality was proven — the incumbent, if any, is reported in the
+  /// message but never returned as if it were optimal.
   util::Result<MonolithicSchedule> solve_branch_and_bound(Cycles tau0,
                                                           Cycles deadline) const;
 
@@ -76,9 +95,17 @@ class MonolithicStrategy {
   MonolithicSchedule make_schedule(std::int64_t block_size, Cycles tau0,
                                    std::uint64_t evaluations) const;
 
+  /// Lower bound on the active fraction over block sizes in [lo, hi].
+  /// Tbar is non-decreasing, so Tbar(M)/(M*tau0) >= Tbar(lo)/(hi*tau0) on the
+  /// interval; combined with the asymptotic relaxation sum_i G_i t_i / v this
+  /// is tight enough on narrow intervals for a near-optimal incumbent to
+  /// prune nearly everything.
+  double interval_bound(std::int64_t lo, std::int64_t hi, Cycles tau0) const;
+
   sdf::PipelineSpec pipeline_;
   MonolithicConfig config_;
   std::vector<double> total_gains_;  // G_i
+  double service_per_input_floor_ = 0.0;  // c = sum_i G_i t_i / v
 };
 
 }  // namespace ripple::core

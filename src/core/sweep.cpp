@@ -1,5 +1,6 @@
 #include "core/sweep.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 #include "util/assert.hpp"
@@ -70,39 +71,77 @@ void SweepSurface::write_csv(std::ostream& out) const {
 SweepSurface run_sweep(const sdf::PipelineSpec& pipeline,
                        const EnforcedWaitsConfig& enforced_config,
                        const MonolithicConfig& monolithic_config,
-                       const SweepGrid& grid, util::ThreadPool* pool,
-                       std::size_t grain) {
+                       const SweepGrid& grid, const SweepOptions& options) {
   const EnforcedWaitsStrategy enforced(pipeline, enforced_config);
   const MonolithicStrategy monolithic(pipeline, monolithic_config);
 
   const std::size_t d_count = grid.deadline_values.size();
+  const std::size_t t_count = grid.tau0_values.size();
   std::vector<SweepCell> cells(grid.cell_count());
 
-  auto solve_cell = [&](std::size_t index) {
-    const std::size_t ti = index / d_count;
-    const std::size_t di = index % d_count;
+  // Solve one cell, optionally warm-started, and refresh the carried hint
+  // with this cell's solution when feasible. A stale hint (left over from
+  // the last feasible cell before an infeasible stretch) is harmless: the
+  // solvers certify or reject it, they never trust it.
+  auto solve_cell = [&](std::size_t ti, std::size_t di, WarmStart* warm) {
     SweepCell cell;
     cell.tau0 = grid.tau0_values[ti];
     cell.deadline = grid.deadline_values[di];
 
-    if (auto solved = enforced.solve(cell.tau0, cell.deadline); solved.ok()) {
+    if (auto solved = enforced.solve(cell.tau0, cell.deadline, warm);
+        solved.ok()) {
       cell.enforced_feasible = true;
       cell.enforced_active_fraction = solved.value().predicted_active_fraction;
+      if (warm != nullptr) {
+        warm->firing_intervals = std::move(solved.value().firing_intervals);
+      }
     }
-    if (auto solved = monolithic.solve(cell.tau0, cell.deadline); solved.ok()) {
+    if (auto solved = monolithic.solve(cell.tau0, cell.deadline, warm);
+        solved.ok()) {
       cell.monolithic_feasible = true;
       cell.monolithic_active_fraction = solved.value().predicted_active_fraction;
       cell.monolithic_block = solved.value().block_size;
+      if (warm != nullptr) warm->block_size = solved.value().block_size;
     }
-    cells[index] = cell;
+    cells[ti * d_count + di] = cell;
   };
 
-  if (pool != nullptr) {
-    pool->parallel_for(cells.size(), solve_cell, grain);
+  // One work item per tile of consecutive tau0 rows, walked in snake order
+  // so consecutive solves are always grid neighbors. Tiles share nothing,
+  // which keeps parallel_for's grain-independence contract intact.
+  const std::size_t tile_rows = std::max<std::size_t>(1, options.tile_rows);
+  const std::size_t tile_count = (t_count + tile_rows - 1) / tile_rows;
+  auto solve_tile = [&](std::size_t tile) {
+    const std::size_t t_begin = tile * tile_rows;
+    const std::size_t t_end = std::min(t_begin + tile_rows, t_count);
+    WarmStart carry;
+    WarmStart* warm = options.warm_start ? &carry : nullptr;
+    for (std::size_t ti = t_begin; ti < t_end; ++ti) {
+      const bool reversed = (ti - t_begin) % 2 == 1;
+      for (std::size_t k = 0; k < d_count; ++k) {
+        const std::size_t di = reversed ? d_count - 1 - k : k;
+        solve_cell(ti, di, warm);
+      }
+    }
+  };
+
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(tile_count, solve_tile, options.grain);
   } else {
-    for (std::size_t i = 0; i < cells.size(); ++i) solve_cell(i);
+    for (std::size_t tile = 0; tile < tile_count; ++tile) solve_tile(tile);
   }
   return SweepSurface(grid, std::move(cells));
+}
+
+SweepSurface run_sweep(const sdf::PipelineSpec& pipeline,
+                       const EnforcedWaitsConfig& enforced_config,
+                       const MonolithicConfig& monolithic_config,
+                       const SweepGrid& grid, util::ThreadPool* pool,
+                       std::size_t grain) {
+  SweepOptions options;
+  options.pool = pool;
+  options.grain = grain;
+  return run_sweep(pipeline, enforced_config, monolithic_config, grid, options);
 }
 
 DominanceSummary summarize_dominance(const SweepSurface& surface) {

@@ -91,10 +91,34 @@ struct DominanceSummary {
   Cycles argmax_monolithic_deadline = 0.0;
 };
 
-/// Optimize both strategies over every grid cell. `pool` may be null for
-/// serial execution. `grain` is the number of consecutive cells a worker
-/// claims per atomic fetch (cell outputs are index-addressed, so the grain
-/// never changes results).
+/// Execution knobs for run_sweep.
+struct SweepOptions {
+  /// Thread WarmStart hints between neighboring cells. Each worker owns a
+  /// tile of consecutive tau0 rows and walks it in snake order (alternating
+  /// deadline direction per row), so every solve's hint comes from the
+  /// grid-adjacent cell just visited and tiles never share state across
+  /// threads. Hints are certificate-gated in the solvers, so the surface is
+  /// bit-identical to a cold sweep — warm starting only changes the time to
+  /// compute it (see the golden-surface test and BENCH_sweep.json).
+  bool warm_start = true;
+  /// tau0 rows per tile (the unit of parallel work). More rows per tile
+  /// means longer warm-start chains but fewer parallel work items.
+  std::size_t tile_rows = 4;
+  /// Null = serial.
+  util::ThreadPool* pool = nullptr;
+  /// Consecutive tiles a worker claims per atomic fetch (cell outputs are
+  /// index-addressed and hints never change results, so neither the grain
+  /// nor the thread count changes the surface).
+  std::size_t grain = 1;
+};
+
+/// Optimize both strategies over every grid cell.
+SweepSurface run_sweep(const sdf::PipelineSpec& pipeline,
+                       const EnforcedWaitsConfig& enforced_config,
+                       const MonolithicConfig& monolithic_config,
+                       const SweepGrid& grid, const SweepOptions& options);
+
+/// Back-compat wrapper: warm-started defaults with the given pool/grain.
 SweepSurface run_sweep(const sdf::PipelineSpec& pipeline,
                        const EnforcedWaitsConfig& enforced_config,
                        const MonolithicConfig& monolithic_config,

@@ -1,0 +1,39 @@
+// Warm-start hints threaded through the strategy solvers by run_sweep.
+//
+// A sweep cell's optimum is nearly identical to its grid neighbor's, so the
+// solvers accept an optional hint carrying the neighbor's solution:
+//
+//   * EnforcedWaitsStrategy::solve uses the hinted firing intervals to guess
+//     which chain constraints are active and solves that active set exactly
+//     with the chained water-filling closed form; a KKT certificate on the
+//     full problem gates acceptance, so a wrong guess just falls through to
+//     the cold path. Accepted or not, the result is bit-identical to the
+//     cold solve (both paths canonicalize through the same active-set
+//     machinery).
+//   * MonolithicStrategy::solve rings a scan around the hinted block size to
+//     prime a branch-and-bound incumbent, replacing the full linear scan;
+//     the relaxation bound then proves global (lexicographic) optimality,
+//     again bit-identical to the cold scan.
+//
+// Hints are advisory: a stale, infeasible, or absent hint never changes the
+// result, only the time to reach it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ripple::core {
+
+struct WarmStart {
+  /// Neighbor's enforced-waits firing intervals; empty = no enforced hint.
+  std::vector<Cycles> firing_intervals;
+  /// Neighbor's monolithic optimal block size; <= 0 = no monolithic hint.
+  std::int64_t block_size = 0;
+
+  bool has_enforced_hint() const noexcept { return !firing_intervals.empty(); }
+  bool has_monolithic_hint() const noexcept { return block_size > 0; }
+};
+
+}  // namespace ripple::core

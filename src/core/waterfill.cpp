@@ -7,73 +7,125 @@
 
 namespace ripple::core {
 
-util::Result<WaterfillSolution> waterfill_solve(const sdf::PipelineSpec& pipeline,
-                                                const std::vector<double>& b,
-                                                Cycles tau0, Cycles deadline) {
+namespace {
+
+/// One merged run of chain-linked nodes [first, last] with representative
+/// y = x_last; member j has x_j = ratio[j - first] * y.
+struct Block {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::vector<double> ratio;  ///< r_j, with r_last = 1
+  double t = 0.0;             ///< T_B = sum t_j / r_j
+  double b = 0.0;             ///< B_B = sum b_j r_j
+  double lower = 0.0;         ///< max_j t_j / r_j
+  double upper = 0.0;         ///< rate cap folded through r_first, or inf
+};
+
+}  // namespace
+
+util::Result<WaterfillSolution> waterfill_solve_chained(
+    const sdf::PipelineSpec& pipeline, const std::vector<double>& b,
+    Cycles tau0, Cycles deadline,
+    const std::vector<std::uint8_t>& chain_active) {
   using R = util::Result<WaterfillSolution>;
   const std::size_t n = pipeline.size();
   RIPPLE_REQUIRE(b.size() == n, "one b multiplier per node");
+  RIPPLE_REQUIRE(chain_active.size() == n, "one chain flag per node");
   RIPPLE_REQUIRE(tau0 > 0.0 && deadline > 0.0, "parameters must be positive");
 
-  std::vector<Cycles> lower(n);
-  std::vector<Cycles> upper(n, kUnboundedCycles);
-  for (NodeIndex i = 0; i < n; ++i) lower[i] = pipeline.service_time(i);
-  upper[0] = static_cast<double>(pipeline.simd_width()) * tau0;
+  const double rate_cap = static_cast<double>(pipeline.simd_width()) * tau0;
 
-  // Relaxed feasibility: x = l must fit the rate cap and the budget.
-  if (lower[0] > upper[0]) {
-    return R::failure("infeasible", "service time exceeds the rate cap");
+  // Merge nodes into blocks along the active chain edges. Edge i couples
+  // x_{i-1} = g_{i-1} x_i and only exists for positive gain.
+  std::vector<Block> blocks;
+  for (std::size_t i = 0; i < n;) {
+    std::size_t last = i;
+    while (last + 1 < n && chain_active[last + 1] != 0 &&
+           pipeline.mean_gain(last) > 0.0) {
+      ++last;
+    }
+    Block block;
+    block.first = i;
+    block.last = last;
+    block.ratio.assign(last - i + 1, 1.0);
+    for (std::size_t j = last; j-- > i;) {
+      block.ratio[j - i] = pipeline.mean_gain(j) * block.ratio[j - i + 1];
+    }
+    for (std::size_t j = i; j <= last; ++j) {
+      const double r = block.ratio[j - i];
+      block.t += pipeline.service_time(j) / r;
+      block.b += b[j] * r;
+      block.lower = std::max(block.lower, pipeline.service_time(j) / r);
+    }
+    block.upper = block.first == 0 ? rate_cap / block.ratio[0] : kUnboundedCycles;
+    blocks.push_back(std::move(block));
+    i = last + 1;
   }
+
+  // Relaxed feasibility: y = l must fit the rate cap and the budget.
   double budget_at_lower = 0.0;
-  for (NodeIndex i = 0; i < n; ++i) budget_at_lower += b[i] * lower[i];
+  for (const Block& block : blocks) {
+    if (block.lower > block.upper) {
+      return R::failure("infeasible", "service time exceeds the rate cap");
+    }
+    budget_at_lower += block.b * block.lower;
+  }
   if (budget_at_lower > deadline) {
     return R::failure("infeasible", "deadline below the minimal budget");
   }
 
-  auto x_of_lambda = [&](double lambda, std::vector<Cycles>& x) {
+  const std::size_t k = blocks.size();
+  auto y_of_lambda = [&](double lambda, std::vector<double>& y) {
     double budget = 0.0;
-    for (NodeIndex i = 0; i < n; ++i) {
-      const double unclamped =
-          std::sqrt(pipeline.service_time(i) / (lambda * b[i]));
-      x[i] = std::clamp(unclamped, lower[i], upper[i]);
-      budget += b[i] * x[i];
+    for (std::size_t j = 0; j < k; ++j) {
+      const double unclamped = std::sqrt(blocks[j].t / (lambda * blocks[j].b));
+      y[j] = std::clamp(unclamped, blocks[j].lower, blocks[j].upper);
+      budget += blocks[j].b * y[j];
     }
     return budget;
   };
 
   // Bracket lambda: budget usage is strictly decreasing in lambda between
   // the clamps. Find lo with usage > D and hi with usage <= D.
-  std::vector<Cycles> x(n);
+  std::vector<double> y(k);
   double lambda_lo = 1e-30;
   double lambda_hi = 1.0;
-  while (x_of_lambda(lambda_hi, x) > deadline) lambda_hi *= 16.0;
+  while (y_of_lambda(lambda_hi, y) > deadline) lambda_hi *= 16.0;
   double lambda = lambda_hi;
-  if (x_of_lambda(lambda_lo, x) <= deadline) {
-    // Degenerate: even lambda -> 0 keeps usage <= D (every x at its upper
-    // clamp; only possible when all bounds are finite, i.e. n == 1). The
-    // budget constraint is slack and x is already set to the clamps.
+  if (y_of_lambda(lambda_lo, y) <= deadline) {
+    // Degenerate: even lambda -> 0 keeps usage <= D (every y at its upper
+    // clamp; only possible when all bounds are finite, i.e. a single block
+    // containing node 0). The budget constraint is slack and y is already
+    // set to the clamps.
     lambda = 0.0;
   } else {
     for (int iter = 0; iter < 500; ++iter) {
       const double mid = std::sqrt(lambda_lo * lambda_hi);  // geometric mean
-      if (x_of_lambda(mid, x) > deadline) lambda_lo = mid;
+      if (y_of_lambda(mid, y) > deadline) lambda_lo = mid;
       else lambda_hi = mid;
       if (lambda_hi / lambda_lo < 1.0 + 1e-15) break;
     }
     lambda = lambda_hi;
-    (void)x_of_lambda(lambda, x);
+    (void)y_of_lambda(lambda, y);
   }
 
   WaterfillSolution solution;
-  solution.firing_intervals = x;
+  solution.firing_intervals.resize(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    const Block& block = blocks[j];
+    for (std::size_t i = block.first; i <= block.last; ++i) {
+      solution.firing_intervals[i] = block.ratio[i - block.first] * y[j];
+    }
+  }
   solution.lambda = lambda;
 
   double objective = 0.0;
   for (NodeIndex i = 0; i < n; ++i) {
-    objective += pipeline.service_time(i) / x[i];
+    objective += pipeline.service_time(i) / solution.firing_intervals[i];
   }
   solution.active_fraction = objective / static_cast<double>(n);
 
+  const std::vector<Cycles>& x = solution.firing_intervals;
   solution.chain_feasible = true;
   for (NodeIndex i = 1; i < n; ++i) {
     const double g = pipeline.mean_gain(i - 1);
@@ -83,6 +135,17 @@ util::Result<WaterfillSolution> waterfill_solve(const sdf::PipelineSpec& pipelin
     }
   }
   return solution;
+}
+
+util::Result<WaterfillSolution> waterfill_solve(const sdf::PipelineSpec& pipeline,
+                                                const std::vector<double>& b,
+                                                Cycles tau0, Cycles deadline) {
+  // All chain constraints inactive: every block is a singleton with ratio 1,
+  // so the chained solve reduces to the original closed form exactly
+  // (multiplying and dividing by r = 1.0 is bit-exact).
+  return waterfill_solve_chained(
+      pipeline, b, tau0, deadline,
+      std::vector<std::uint8_t>(pipeline.size(), 0));
 }
 
 }  // namespace ripple::core

@@ -1,5 +1,6 @@
 // Exact water-filling solution of the enforced-waits problem when the chain
-// constraints are inactive.
+// constraints are inactive — and, via waterfill_solve_chained, when a known
+// subset of them is active.
 //
 // Dropping the chain couplings from Figure 1 leaves a separable convex
 // program:
@@ -14,8 +15,19 @@
 // — the common case away from the feasibility frontier — it is the exact
 // optimum of the full problem; otherwise the caller falls back to the
 // barrier solver (EnforcedWaitsStrategy does this automatically).
+//
+// The chained variant generalizes the closed form to a prescribed active
+// chain set: nodes linked by an active equality x_{i-1} = g_{i-1} x_i merge
+// into a block with one representative variable y (the last node's
+// interval), aggregated objective weight T_B = sum t_j / r_j, budget weight
+// B_B = sum b_j r_j and bounds folded through the ratios r_j. The reduced
+// problem is separable again, so the same single-lambda bisection solves it
+// exactly. Combined with a KKT certificate on the full problem this turns a
+// guessed active set (e.g. a warm-start neighbor's) into an exact,
+// deterministic optimum — the basis of the sweep warm-start path.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sdf/pipeline.hpp"
@@ -29,6 +41,9 @@ struct WaterfillSolution {
   double lambda = 0.0;                   ///< budget multiplier
   double active_fraction = 1.0;
   bool chain_feasible = false;  ///< true -> exact optimum of the full problem
+  /// The chain set this point was solved against (empty for the plain
+  /// solver); callers iterating over active sets carry it here.
+  std::vector<std::uint8_t> chain_active;
 };
 
 /// Solve the relaxed (chain-free) problem exactly. Failure codes:
@@ -36,5 +51,17 @@ struct WaterfillSolution {
 util::Result<WaterfillSolution> waterfill_solve(const sdf::PipelineSpec& pipeline,
                                                 const std::vector<double>& b,
                                                 Cycles tau0, Cycles deadline);
+
+/// Solve with the chain constraints in `chain_active` held as equalities.
+/// `chain_active` has one entry per node; entry i (i >= 1) refers to the
+/// constraint g_{i-1} x_i <= x_{i-1} (entry 0 is ignored). Entries on
+/// zero-gain edges are ignored (the constraint does not exist there). The
+/// returned `chain_feasible` reports whether the *inactive* chain
+/// constraints also hold at the solution; only then is the point feasible
+/// for the full problem. Failure code "infeasible" as for waterfill_solve,
+/// including the case where the active equalities contradict the bounds.
+util::Result<WaterfillSolution> waterfill_solve_chained(
+    const sdf::PipelineSpec& pipeline, const std::vector<double>& b,
+    Cycles tau0, Cycles deadline, const std::vector<std::uint8_t>& chain_active);
 
 }  // namespace ripple::core

@@ -8,6 +8,18 @@
 
 namespace ripple::opt {
 
+namespace {
+
+/// Lexicographic (value, argmin) improvement: strictly smaller value, or the
+/// same value at a lower index. Matches the scan's first-strictly-less rule.
+inline bool improves(double value, std::int64_t m, const IntegerResult& best) {
+  if (!best.feasible) return true;
+  if (value < best.value) return true;
+  return value == best.value && m < best.argmin;
+}
+
+}  // namespace
+
 IntegerResult minimize_integer_scan(std::int64_t lo, std::int64_t hi,
                                     const IntegerObjective& objective) {
   IntegerResult result;
@@ -21,6 +33,7 @@ IntegerResult minimize_integer_scan(std::int64_t lo, std::int64_t hi,
       result.value = *value;
     }
   }
+  result.complete = true;  // exhaustive by construction
   return result;
 }
 
@@ -30,7 +43,17 @@ IntegerResult branch_and_bound_minimize(std::int64_t lo, std::int64_t hi,
                                         const BranchAndBoundOptions& options) {
   IntegerResult result;
   result.value = std::numeric_limits<double>::infinity();
-  if (lo > hi) return result;
+  if (lo > hi) {
+    result.complete = true;
+    return result;
+  }
+  if (options.incumbent_value.has_value()) {
+    RIPPLE_REQUIRE(options.incumbent_argmin.has_value(),
+                   "incumbent value requires an incumbent argmin");
+    result.feasible = true;
+    result.argmin = *options.incumbent_argmin;
+    result.value = *options.incumbent_value;
+  }
 
   struct Node {
     double bound;
@@ -41,21 +64,29 @@ IntegerResult branch_and_bound_minimize(std::int64_t lo, std::int64_t hi,
   std::priority_queue<Node, std::vector<Node>, std::greater<Node>> frontier;
   frontier.push({bound(lo, hi), lo, hi});
 
+  // Prune only intervals that provably cannot improve the lexicographic
+  // incumbent: bound strictly above the value, or equal value with every
+  // index at or above the incumbent argmin.
+  auto prunable = [&](double interval_bound, std::int64_t interval_lo) {
+    if (!result.feasible) return false;
+    if (interval_bound > result.value) return true;
+    return interval_bound == result.value && interval_lo >= result.argmin;
+  };
+
   std::uint64_t nodes = 0;
   while (!frontier.empty() && nodes < options.max_nodes) {
     const Node node = frontier.top();
     frontier.pop();
     ++nodes;
 
-    // Prune: even the relaxation cannot beat the incumbent.
-    if (result.feasible && node.bound >= result.value) continue;
+    if (prunable(node.bound, node.lo)) continue;
 
     const std::int64_t width = node.hi - node.lo + 1;
     if (width <= options.leaf_width) {
       for (std::int64_t m = node.lo; m <= node.hi; ++m) {
         ++result.evaluations;
         const std::optional<double> value = objective(m);
-        if (value.has_value() && *value < result.value) {
+        if (value.has_value() && improves(*value, m, result)) {
           result.feasible = true;
           result.argmin = m;
           result.value = *value;
@@ -67,13 +98,14 @@ IntegerResult branch_and_bound_minimize(std::int64_t lo, std::int64_t hi,
     const std::int64_t mid = node.lo + width / 2;
     const double left_bound = bound(node.lo, mid - 1);
     const double right_bound = bound(mid, node.hi);
-    if (!result.feasible || left_bound < result.value) {
+    if (!prunable(left_bound, node.lo)) {
       frontier.push({left_bound, node.lo, mid - 1});
     }
-    if (!result.feasible || right_bound < result.value) {
+    if (!prunable(right_bound, mid)) {
       frontier.push({right_bound, mid, node.hi});
     }
   }
+  result.complete = frontier.empty();
   return result;
 }
 

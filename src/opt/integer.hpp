@@ -7,6 +7,11 @@
 //   * BranchAndBound1D — interval branch-and-bound with a caller-supplied
 //     relaxation bound; the BONMIN-style algorithmic substrate, validated
 //     against the scan in tests.
+//
+// Both drivers share the scan's tie-break semantics: among all feasible
+// minimizers the lowest index wins, i.e. the result is the lexicographic
+// minimum of (value, argmin). This makes branch-and-bound a drop-in,
+// bit-identical replacement for the scan whenever it runs to completion.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +32,12 @@ struct IntegerResult {
   std::int64_t argmin = 0;
   double value = 0.0;
   std::uint64_t evaluations = 0;
+  /// True when the driver proved (value, argmin) is the exact lexicographic
+  /// minimum over [lo, hi]: the scan always completes; branch-and-bound
+  /// completes only if the frontier drained before `max_nodes` was hit.
+  /// When false the incumbent may be suboptimal and callers must not claim
+  /// optimality.
+  bool complete = false;
 };
 
 /// Exhaustive scan of [lo, hi].
@@ -37,6 +48,13 @@ struct BranchAndBoundOptions {
   /// Intervals at or below this width are enumerated exhaustively.
   std::int64_t leaf_width = 64;
   std::uint64_t max_nodes = 1u << 20;
+  /// Optional warm incumbent: a feasible point whose value is already known
+  /// (e.g. from a ringed neighborhood scan around a warm-start hint). It
+  /// primes pruning but never biases the answer: the driver still returns
+  /// the lexicographic minimum over the whole range, so an equal-valued
+  /// lower index elsewhere in [lo, hi] still wins.
+  std::optional<std::int64_t> incumbent_argmin;
+  std::optional<double> incumbent_value;
 };
 
 /// Best-first interval branch-and-bound over [lo, hi].

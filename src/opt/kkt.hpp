@@ -27,6 +27,18 @@ struct KktReport {
            stationarity_residual <= tolerance &&
            min_multiplier >= -tolerance;
   }
+
+  /// Like satisfied() but with one tolerance per residual: primal
+  /// feasibility, stationarity, and multiplier sign live on different
+  /// scales (constraint slacks are in cycles, gradients in 1/cycles), so a
+  /// certificate-grade check — e.g. accepting a warm-start candidate as the
+  /// exact optimum — needs them decoupled.
+  bool certified(double primal_tolerance, double stationarity_tolerance,
+                 double multiplier_tolerance) const {
+    return primal_infeasibility <= primal_tolerance &&
+           stationarity_residual <= stationarity_tolerance &&
+           min_multiplier >= -multiplier_tolerance;
+  }
 };
 
 /// Evaluate KKT conditions at `x`. `active_tolerance` is the slack threshold

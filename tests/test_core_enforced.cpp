@@ -209,6 +209,88 @@ TEST(Solve, SingleNodePipeline) {
   EXPECT_NEAR(solved.value().predicted_active_fraction, 0.5, 1e-4);
 }
 
+TEST(WarmSolve, BitIdenticalToColdAcrossTheGrid) {
+  // Warm hints nominate an active set; the certified canonical solve is the
+  // same deterministic function of (tau0, D, active set) either way, so warm
+  // results must equal cold ones exactly — including the chain-active
+  // small-tau0 cells where the hint actually changes the code path taken.
+  const auto pipeline = blast_pipeline();
+  const EnforcedWaitsStrategy strategy(pipeline, paper_config());
+  WarmStart warm;
+  for (double tau0 : {2.9, 3.0, 3.5, 5.0, 10.0, 30.0, 100.0}) {
+    for (double deadline : {2.4e4, 3e4, 5e4, 1e5, 2e5, 3.5e5}) {
+      auto cold = strategy.solve(tau0, deadline);
+      auto warmed = strategy.solve(tau0, deadline, &warm);
+      ASSERT_EQ(cold.ok(), warmed.ok()) << tau0 << " " << deadline;
+      if (cold.ok()) {
+        const auto& cx = cold.value().firing_intervals;
+        const auto& wx = warmed.value().firing_intervals;
+        ASSERT_EQ(cx.size(), wx.size());
+        for (std::size_t i = 0; i < cx.size(); ++i) {
+          EXPECT_EQ(cx[i], wx[i]) << "node " << i << " tau0=" << tau0
+                                  << " D=" << deadline;
+        }
+        EXPECT_EQ(cold.value().predicted_active_fraction,
+                  warmed.value().predicted_active_fraction);
+        warm.firing_intervals = warmed.value().firing_intervals;
+      }
+    }
+  }
+}
+
+TEST(WarmSolve, GarbageHintIsRejectedNotTrusted) {
+  const auto pipeline = blast_pipeline();
+  const EnforcedWaitsStrategy strategy(pipeline, paper_config());
+  auto cold = strategy.solve(20.0, 1.5e5);
+  ASSERT_TRUE(cold.ok());
+
+  // A hint whose nominated active set is nonsense for this cell: the
+  // certificate gate must reject it and the result must match cold exactly.
+  WarmStart garbage;
+  garbage.firing_intervals = {1e9, 1e-9, 1e9, 1e-9};
+  auto warmed = strategy.solve(20.0, 1.5e5, &garbage);
+  ASSERT_TRUE(warmed.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cold.value().firing_intervals[i],
+              warmed.value().firing_intervals[i]);
+  }
+
+  // A hint from an infeasible neighbor (wrong dimension) is ignored.
+  WarmStart wrong_size;
+  wrong_size.firing_intervals = {1.0, 2.0};
+  auto sized = strategy.solve(20.0, 1.5e5, &wrong_size);
+  ASSERT_TRUE(sized.ok());
+  EXPECT_EQ(cold.value().predicted_active_fraction,
+            sized.value().predicted_active_fraction);
+}
+
+TEST(WarmSolve, InfeasibleCellsFailIdenticallyWarmOrCold) {
+  const EnforcedWaitsStrategy strategy(blast_pipeline(), paper_config());
+  WarmStart warm;
+  warm.firing_intervals = {400.0, 380.0, 290.0, 2800.0};  // plausible hint
+  for (auto [tau0, deadline] : {std::pair{1.0, 3.5e5}, std::pair{50.0, 2e4}}) {
+    auto cold = strategy.solve(tau0, deadline);
+    auto warmed = strategy.solve(tau0, deadline, &warm);
+    ASSERT_FALSE(cold.ok());
+    ASSERT_FALSE(warmed.ok());
+    EXPECT_EQ(cold.error().code, warmed.error().code);
+    EXPECT_EQ(cold.error().message, warmed.error().message);
+  }
+}
+
+TEST(InteriorStart, EmptyWhenNoInteriorPointExists) {
+  // At zero deadline slack the feasible region has empty interior; the
+  // Phase-I search must report that by returning an empty vector (the
+  // degenerate-deadline branch in solve() handles the point itself).
+  const auto pipeline = blast_pipeline();
+  const auto config = paper_config();
+  const EnforcedWaitsStrategy strategy(pipeline, config);
+  const Cycles budget = sdf::minimal_deadline_budget(pipeline, config.b);
+  EXPECT_TRUE(strategy.interior_start(50.0, budget).empty());
+  // And with slack, the start must be strictly interior.
+  EXPECT_FALSE(strategy.interior_start(50.0, budget + 100.0).empty());
+}
+
 /// Property sweep: every feasible solve satisfies all constraints and beats
 /// the trivial zero-wait schedule.
 struct GridPoint {

@@ -63,11 +63,56 @@ TEST(Feasibility, SmallBlockStabilityIsWorseThanAsymptotic) {
 }
 
 TEST(MaxBlockSize, ScalesWithDeadline) {
+  // Cap formula: M <= D / (b*tau0 + S*c) with c the per-input service floor.
+  const auto pipeline = blast_pipeline();
+  const MonolithicStrategy strategy(pipeline, {});
+  const double c = pipeline.mean_service_per_input();
+  EXPECT_EQ(strategy.max_block_size(10.0, 2e4),
+            static_cast<std::int64_t>(2e4 / (10.0 + c)));
+  EXPECT_EQ(strategy.max_block_size(10.0, 3.5e5),
+            static_cast<std::int64_t>(3.5e5 / (10.0 + c)));
+  const MonolithicStrategy doubled(pipeline, {2.0, 1.0});
+  EXPECT_EQ(doubled.max_block_size(10.0, 2e4),
+            static_cast<std::int64_t>(2e4 / (20.0 + c)));
+  const MonolithicStrategy scaled(pipeline, {1.0, 2.0});
+  EXPECT_EQ(scaled.max_block_size(10.0, 2e4),
+            static_cast<std::int64_t>(2e4 / (10.0 + 2.0 * c)));
+}
+
+TEST(MaxBlockSize, TightenedCapNeverCutsAFeasibleBlock) {
+  // The cap only drops deadline-infeasible blocks: above it,
+  // is_block_feasible must be false; the argmin over the loose cap
+  // D/(b*tau0) therefore equals the argmin over the tight cap. Checked
+  // across the paper grid corners used by Figures 3/4.
   const MonolithicStrategy strategy(blast_pipeline(), {});
-  EXPECT_EQ(strategy.max_block_size(10.0, 2e4), 2000);
-  EXPECT_EQ(strategy.max_block_size(10.0, 3.5e5), 35000);
-  const MonolithicStrategy doubled(blast_pipeline(), {2.0, 1.0});
-  EXPECT_EQ(doubled.max_block_size(10.0, 2e4), 1000);
+  for (double tau0 : {10.0, 25.0, 50.0, 100.0}) {
+    for (double deadline : {2e4, 1e5, 2.3e5, 3.5e5}) {
+      const std::int64_t tight = strategy.max_block_size(tau0, deadline);
+      const std::int64_t loose = static_cast<std::int64_t>(deadline / tau0);
+      ASSERT_LE(tight, loose);
+      for (std::int64_t m = tight + 1; m <= loose; ++m) {
+        ASSERT_FALSE(strategy.is_block_feasible(m, tau0, deadline))
+            << "block " << m << " feasible above the tightened cap at tau0="
+            << tau0 << " D=" << deadline;
+      }
+      double best = 2.0;
+      std::int64_t best_m = 0;
+      for (std::int64_t m = 1; m <= loose; ++m) {
+        if (!strategy.is_block_feasible(m, tau0, deadline)) continue;
+        const double value = strategy.active_fraction(m, tau0);
+        if (value < best) {
+          best = value;
+          best_m = m;
+        }
+      }
+      auto solved = strategy.solve(tau0, deadline);
+      ASSERT_EQ(solved.ok(), best_m != 0) << tau0 << " " << deadline;
+      if (solved.ok()) {
+        EXPECT_EQ(solved.value().block_size, best_m);
+        EXPECT_DOUBLE_EQ(solved.value().predicted_active_fraction, best);
+      }
+    }
+  }
 }
 
 TEST(Solve, InfeasibleWhenDeadlineAdmitsNoBlock) {

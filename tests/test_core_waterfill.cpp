@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "blast/canonical.hpp"
@@ -116,6 +117,70 @@ TEST(Waterfill, SingleNodeSlackBudget) {
   ASSERT_TRUE(solved.ok());
   EXPECT_NEAR(solved.value().firing_intervals[0], 80.0, 1e-9);
   EXPECT_DOUBLE_EQ(solved.value().lambda, 0.0);
+}
+
+TEST(WaterfillChained, AllInactiveReducesToPlainWaterfillBitExactly) {
+  // With an empty active set every block is a singleton with ratio 1.0, and
+  // multiplying/dividing by 1.0 is exact in IEEE arithmetic — so the chained
+  // solver must reproduce the plain one bit for bit, not merely closely.
+  const auto pipeline = blast_pipeline();
+  const auto b = blast::paper_calibrated_b();
+  for (double tau0 : {30.0, 100.0}) {
+    for (double deadline : {5e4, 3.5e5}) {
+      auto plain = waterfill_solve(pipeline, b, tau0, deadline);
+      auto chained = waterfill_solve_chained(
+          pipeline, b, tau0, deadline, std::vector<std::uint8_t>(4, 0));
+      ASSERT_EQ(plain.ok(), chained.ok());
+      if (!plain.ok()) continue;
+      EXPECT_EQ(plain.value().lambda, chained.value().lambda);
+      EXPECT_EQ(plain.value().active_fraction, chained.value().active_fraction);
+      for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(plain.value().firing_intervals[i],
+                  chained.value().firing_intervals[i]);
+      }
+    }
+  }
+}
+
+TEST(WaterfillChained, ActiveSetReproducesTheFullSolverExactly) {
+  // In the chain-active region, solving the chained system on the active set
+  // detected from the full solver's optimum is exactly the canonical polish
+  // that solve() itself performs — the intervals must agree bit for bit.
+  const auto pipeline = blast_pipeline();
+  const auto b = blast::paper_calibrated_b();
+  const EnforcedWaitsStrategy strategy(pipeline, EnforcedWaitsConfig{b});
+  auto full = strategy.solve(5.0, 3.5e5);
+  ASSERT_TRUE(full.ok());
+  const auto active = strategy.detect_active_chain(full.value().firing_intervals);
+  ASSERT_TRUE(std::any_of(active.begin(), active.end(),
+                          [](std::uint8_t a) { return a != 0; }));
+  auto chained = waterfill_solve_chained(pipeline, b, 5.0, 3.5e5, active);
+  ASSERT_TRUE(chained.ok());
+  EXPECT_TRUE(chained.value().chain_feasible);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(full.value().firing_intervals[i],
+              chained.value().firing_intervals[i]);
+  }
+}
+
+TEST(WaterfillChained, LambdaZeroWithMergedBlock) {
+  // Two unit-gain nodes chained into one block whose representative clamps
+  // at the rate cap with budget to spare: the degenerate lambda = 0 branch,
+  // exercised through the block machinery rather than a singleton.
+  auto spec = sdf::PipelineBuilder("pair")
+                  .simd_width(4)
+                  .add_node("a", 10.0, dist::make_deterministic(1))
+                  .add_node("b", 10.0, dist::make_deterministic(1))
+                  .build();
+  ASSERT_TRUE(spec.ok());
+  const auto pipeline = std::move(spec).take();
+  auto solved = waterfill_solve_chained(pipeline, {1.0, 1.0}, 5.0, 1000.0,
+                                        {0, 1});
+  ASSERT_TRUE(solved.ok());
+  EXPECT_DOUBLE_EQ(solved.value().lambda, 0.0);
+  // Rate cap v * tau0 = 20 binds the merged block: x_0 = x_1 = 20.
+  EXPECT_NEAR(solved.value().firing_intervals[0], 20.0, 1e-9);
+  EXPECT_NEAR(solved.value().firing_intervals[1], 20.0, 1e-9);
 }
 
 /// Property: across random pipelines, whenever the water-filled point is

@@ -118,6 +118,91 @@ TEST(BranchAndBound, SmallRangeEnumerated) {
   EXPECT_EQ(result.argmin, 5);
 }
 
+TEST(IntegerScan, AlwaysComplete) {
+  auto feasible = minimize_integer_scan(
+      0, 10, [](std::int64_t m) { return std::optional<double>(double(m)); });
+  EXPECT_TRUE(feasible.complete);
+  auto infeasible = minimize_integer_scan(
+      0, 10, [](std::int64_t) -> std::optional<double> { return std::nullopt; });
+  EXPECT_TRUE(infeasible.complete);
+  auto empty = minimize_integer_scan(
+      5, 4, [](std::int64_t) { return std::optional<double>(0.0); });
+  EXPECT_TRUE(empty.complete);
+}
+
+TEST(BranchAndBound, ReportsIncompleteOnNodeBudgetExhaustion) {
+  // All-infeasible range with a useless bound: nothing prunes, so draining
+  // [1, 2^20] at leaf width 64 needs ~2^15 nodes; a budget of 100 cannot
+  // finish and the result must say so instead of silently claiming the
+  // (absent) incumbent is optimal.
+  BranchAndBoundOptions options;
+  options.max_nodes = 100;
+  auto result = branch_and_bound_minimize(
+      1, 1 << 20,
+      [](std::int64_t) -> std::optional<double> { return std::nullopt; },
+      [](std::int64_t, std::int64_t) { return 0.0; }, options);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_FALSE(result.complete);
+
+  // Same search with an adequate budget completes.
+  auto full = branch_and_bound_minimize(
+      1, 1 << 20,
+      [](std::int64_t) -> std::optional<double> { return std::nullopt; },
+      [](std::int64_t, std::int64_t) { return 0.0; });
+  EXPECT_FALSE(full.feasible);
+  EXPECT_TRUE(full.complete);
+}
+
+TEST(BranchAndBound, WarmIncumbentPrunesWithoutChangingTheAnswer) {
+  // Strictly decreasing objective; the exact optimum (at hi) supplied as the
+  // incumbent lets the relaxation prune every interval unseen.
+  auto objective = [](std::int64_t m) -> std::optional<double> {
+    return 1000.0 / static_cast<double>(m);
+  };
+  auto bound = [](std::int64_t, std::int64_t hi) {
+    return 1000.0 / static_cast<double>(hi);
+  };
+  BranchAndBoundOptions options;
+  options.incumbent_argmin = 1 << 20;
+  options.incumbent_value = 1000.0 / static_cast<double>(1 << 20);
+  auto primed = branch_and_bound_minimize(1, 1 << 20, objective, bound, options);
+  EXPECT_TRUE(primed.feasible);
+  EXPECT_TRUE(primed.complete);
+  EXPECT_EQ(primed.argmin, 1 << 20);
+  // Only the right spine down to the incumbent's own leaf survives pruning
+  // (equal-bound intervals left of the incumbent must be checked for a
+  // lower-index tie).
+  EXPECT_LE(primed.evaluations, 64u);
+}
+
+TEST(BranchAndBound, TiesResolveToLowestIndexLikeTheScan) {
+  // Flat objective: every point ties. The lexicographic (value, argmin)
+  // rule must recover the scan's answer (lowest index) even when a warm
+  // incumbent sits at a high index.
+  auto objective = [](std::int64_t) { return std::optional<double>(1.0); };
+  auto bound = [](std::int64_t, std::int64_t) { return 1.0; };
+  auto cold = branch_and_bound_minimize(0, 1000, objective, bound);
+  EXPECT_TRUE(cold.complete);
+  EXPECT_EQ(cold.argmin, 0);
+
+  BranchAndBoundOptions options;
+  options.incumbent_argmin = 900;
+  options.incumbent_value = 1.0;
+  auto primed = branch_and_bound_minimize(0, 1000, objective, bound, options);
+  EXPECT_TRUE(primed.complete);
+  EXPECT_EQ(primed.argmin, 0);
+}
+
+TEST(BranchAndBound, IncumbentValueWithoutArgminRejected) {
+  BranchAndBoundOptions options;
+  options.incumbent_value = 1.0;
+  EXPECT_THROW(
+      (void)branch_and_bound_minimize(
+          0, 10, [](std::int64_t) { return std::optional<double>(1.0); },
+          [](std::int64_t, std::int64_t) { return 0.0; }, options),
+      std::logic_error);
+}
+
 class BnbVsScan : public ::testing::TestWithParam<std::int64_t> {};
 
 TEST_P(BnbVsScan, AgreeOnSawtoothObjectives) {
