@@ -8,13 +8,17 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <tuple>
 
 #include "blast/canonical.hpp"
 #include "core/enforced_waits.hpp"
 #include "core/monolithic.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_export.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
 #include "util/string_utils.hpp"
@@ -29,9 +33,66 @@ inline void add_common_options(util::CliParser& cli) {
   cli.add_string("csv", "", "also write results to this CSV file");
   cli.add_string("json", "", "also write results to this JSON file");
   cli.add_int("seed", 2021, "base RNG seed (2021 = the paper's year)");
+  cli.add_string("trace-out", "",
+                 "write a Chrome trace_event timeline to this JSON file "
+                 "(needs a build with -DRIPPLE_OBS=ON)");
+  cli.add_string("metrics-out", "",
+                 "write the observability metrics registry to this JSON file "
+                 "(needs a build with -DRIPPLE_OBS=ON)");
+}
+
+namespace detail {
+/// Paths captured at parse time so the atexit exporter can reach them.
+inline std::string& trace_out_path() {
+  static std::string path;
+  return path;
+}
+inline std::string& metrics_out_path() {
+  static std::string path;
+  return path;
+}
+
+inline void export_observability_at_exit() {
+  for (const auto& [option, path, exporter] :
+       {std::tuple{"trace-out", &trace_out_path(),
+                   &obs::export_chrome_trace_file},
+        std::tuple{"metrics-out", &metrics_out_path(),
+                   &obs::export_metrics_file}}) {
+    if (path->empty()) continue;
+    if (auto written = exporter(*path); !written.ok()) {
+      std::cerr << "cannot write " << option << ": "
+                << written.error().message << std::endl;
+    } else {
+      std::cout << option << ": wrote " << *path << "\n";
+    }
+  }
+}
+}  // namespace detail
+
+/// Turn observability recording on when --trace-out/--metrics-out was given,
+/// and export the artifacts at process exit (harness mains have many return
+/// paths; atexit covers them all, after worker pools have joined). Warns —
+/// but still runs — when the build lacks the instrumentation.
+inline void enable_observability_if_requested(const util::CliParser& cli) {
+  const std::string& trace_path = cli.get_string("trace-out");
+  const std::string& metrics_path = cli.get_string("metrics-out");
+  if (trace_path.empty() && metrics_path.empty()) return;
+  detail::trace_out_path() = trace_path;
+  detail::metrics_out_path() = metrics_path;
+  // Touch the observability singletons before registering the exporter so
+  // they are constructed first and therefore destroyed after it runs.
+  obs::TraceSession::global();
+  obs::Registry::global();
+  obs::set_enabled(true);
+  std::atexit(&detail::export_observability_at_exit);
+  if (!obs::instrumentation_compiled()) {
+    std::cerr << "warning: --trace-out/--metrics-out requested but this "
+                 "build has RIPPLE_OBS=OFF; outputs will be empty\n";
+  }
 }
 
 /// Parse argv; print usage and exit(0) on --help; exit(2) on bad flags.
+/// Also arms observability recording when its output flags are present.
 inline void parse_or_exit(util::CliParser& cli, int argc, const char** argv,
                           const std::string& description) {
   auto parsed = cli.parse(argc, argv);
@@ -44,6 +105,7 @@ inline void parse_or_exit(util::CliParser& cli, int argc, const char** argv,
     std::cout << cli.usage(description) << std::endl;
     std::exit(0);
   }
+  enable_observability_if_requested(cli);
 }
 
 inline void print_banner(const std::string& title) {

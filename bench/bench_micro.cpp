@@ -13,6 +13,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/event_sources.hpp"
 #include "core/waterfill.hpp"
+#include "obs/obs.hpp"
 #include "queueing/bulk_queue.hpp"
 #include "sched/quantum_sim.hpp"
 #include "sim/greedy_sim.hpp"
@@ -109,6 +110,40 @@ void BM_EnforcedSimulation(benchmark::State& state) {
   report_event_rate(state, total_events);
 }
 BENCHMARK(BM_EnforcedSimulation)->Arg(10000)->Arg(50000);
+
+#if RIPPLE_OBS
+void BM_EnforcedSimulationObsEnabled(benchmark::State& state) {
+  // Same workload as BM_EnforcedSimulation but with observability recording
+  // switched on, to price the enabled path (spans + counters into the ring).
+  // The disabled-path overhead gate compares BM_EnforcedSimulation between
+  // RIPPLE_OBS=OFF and =ON builds instead (scripts/run_bench_obs.sh).
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  const auto solved = strategy.solve(20.0, 1.85e5);
+  const ItemCount inputs = static_cast<ItemCount>(state.range(0));
+  obs::set_enabled(true);
+  std::uint64_t seed = 0;
+  std::uint64_t total_events = 0;
+  for (auto _ : state) {
+    arrivals::FixedRateArrivals arrival_process(20.0);
+    sim::EnforcedSimConfig config;
+    config.input_count = inputs;
+    config.deadline = 1.85e5;
+    config.seed = ++seed;
+    const auto metrics = sim::simulate_enforced_waits(
+        pipeline, solved.value().firing_intervals, arrival_process, config);
+    benchmark::DoNotOptimize(metrics.sink_outputs);
+    total_events += metrics.events_processed;
+  }
+  obs::set_enabled(false);
+  obs::TraceSession::global().clear();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inputs));
+  report_event_rate(state, total_events);
+}
+BENCHMARK(BM_EnforcedSimulationObsEnabled)->Arg(10000);
+#endif  // RIPPLE_OBS
 
 void BM_MonolithicSimulation(benchmark::State& state) {
   const auto pipeline = blast::canonical_blast_pipeline();

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Observability overhead gate: prove that compiling the RIPPLE_OBS
+# instrumentation in — with recording left OFF — costs less than 2% of
+# enforced-simulator throughput. Writes BENCH_obs.json at the repo root
+# (alongside BENCH_sim.json) and exits nonzero when the gate fails.
+#
+# Method: build the benchmark twice (RIPPLE_OBS=OFF and =ON, both Release),
+# then run BM_EnforcedSimulation/10000 alternating OFF/ON for several
+# repetitions and compare the *medians* of events_per_second. Interleaving
+# matters: VM clocks drift by tens of percent over minutes, so back-to-back
+# whole-suite runs would measure the machine, not the code.
+#
+# Usage: scripts/run_bench_obs.sh [reps] [min-time]
+#   reps      interleaved repetitions per build (default 7)
+#   min-time  seconds per benchmark invocation (default 0.2)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+REPS="${1:-7}"
+MIN_TIME="${2:-0.2}"
+BUILD_OFF="${REPO_ROOT}/build-obs-off"
+BUILD_ON="${REPO_ROOT}/build-obs-on"
+BENCH_ARGS=(--benchmark_filter='BM_EnforcedSimulation/10000$'
+            --benchmark_min_time="${MIN_TIME}"
+            --benchmark_format=json)
+
+for dir_flag in "${BUILD_OFF}:OFF" "${BUILD_ON}:ON"; do
+  dir="${dir_flag%%:*}"
+  flag="${dir_flag##*:}"
+  if [[ ! -f "${dir}/CMakeCache.txt" ]]; then
+    cmake -B "${dir}" -S "${REPO_ROOT}" -DCMAKE_BUILD_TYPE=Release \
+      -DRIPPLE_OBS="${flag}"
+  fi
+  cmake --build "${dir}" --target bench_micro -j"$(nproc)"
+done
+
+OFF_RUNS="$(mktemp)"
+ON_RUNS="$(mktemp)"
+trap 'rm -f "${OFF_RUNS}" "${ON_RUNS}"' EXIT
+
+for ((rep = 0; rep < REPS; ++rep)); do
+  echo "rep $((rep + 1))/${REPS}: RIPPLE_OBS=OFF then =ON" >&2
+  "${BUILD_OFF}/bench/bench_micro" "${BENCH_ARGS[@]}" >> "${OFF_RUNS}"
+  "${BUILD_ON}/bench/bench_micro" "${BENCH_ARGS[@]}" >> "${ON_RUNS}"
+done
+
+status=0
+python3 - "${OFF_RUNS}" "${ON_RUNS}" "${REPO_ROOT}/BENCH_obs.json" <<'EOF' || status=$?
+import json
+import statistics
+import sys
+
+def rates(path):
+    # Each run appended one complete JSON document; split on the closing
+    # brace at column 0 that google-benchmark emits.
+    text = open(path).read()
+    values = []
+    for chunk in text.split("\n}\n"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if not chunk.endswith("}"):
+            chunk += "\n}"
+        doc = json.loads(chunk)
+        for bench in doc.get("benchmarks", []):
+            values.append(bench["events_per_second"])
+    return values
+
+off = rates(sys.argv[1])
+on = rates(sys.argv[2])
+off_median = statistics.median(off)
+on_median = statistics.median(on)
+slowdown = (off_median - on_median) / off_median
+report = {
+    "schema": "ripple.bench_obs.v1",
+    "benchmark": "BM_EnforcedSimulation/10000",
+    "metric": "events_per_second",
+    "repetitions": len(off),
+    "obs_off_median": off_median,
+    "obs_on_median": on_median,
+    "obs_off_runs": off,
+    "obs_on_runs": on,
+    "disabled_overhead_fraction": slowdown,
+    "gate_threshold": 0.02,
+    "gate_passed": slowdown < 0.02,
+}
+with open(sys.argv[3], "w") as out:
+    json.dump(report, out, indent=2)
+    out.write("\n")
+print(f"RIPPLE_OBS=OFF median: {off_median:.0f} events/s")
+print(f"RIPPLE_OBS=ON  median: {on_median:.0f} events/s (recording disabled)")
+print(f"disabled-path overhead: {slowdown * 100:+.2f}% (gate: < 2%)")
+sys.exit(0 if report["gate_passed"] else 1)
+EOF
+echo "Wrote ${REPO_ROOT}/BENCH_obs.json"
+exit "${status}"

@@ -7,6 +7,10 @@
 #include "util/csv.hpp"
 #include "util/string_utils.hpp"
 
+#if RIPPLE_OBS
+#include "obs/obs.hpp"
+#endif
+
 namespace ripple::core {
 
 SweepGrid SweepGrid::linear(Cycles tau0_lo, Cycles tau0_hi,
@@ -79,6 +83,27 @@ SweepSurface run_sweep(const sdf::PipelineSpec& pipeline,
   const std::size_t t_count = grid.tau0_values.size();
   std::vector<SweepCell> cells(grid.cell_count());
 
+#if RIPPLE_OBS
+  // Handles resolved once per sweep; workers only touch atomics. The gauge
+  // tracks thread-pool occupancy (tiles currently being solved).
+  struct ObsHandles {
+    obs::Counter* cells_solved = nullptr;
+    obs::Counter* warm_hinted = nullptr;
+    obs::Counter* cold = nullptr;
+    obs::LatencyHistogram* cell_solve_us = nullptr;
+    obs::Gauge* active_workers = nullptr;
+  };
+  ObsHandles obs_handles;
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    obs_handles.cells_solved = registry.counter("sweep.cells_solved");
+    obs_handles.warm_hinted = registry.counter("sweep.warm_hinted_solves");
+    obs_handles.cold = registry.counter("sweep.cold_solves");
+    obs_handles.cell_solve_us = registry.histogram("sweep.cell_solve_us");
+    obs_handles.active_workers = registry.gauge("sweep.active_workers");
+  }
+#endif
+
   // Solve one cell, optionally warm-started, and refresh the carried hint
   // with this cell's solution when feasible. A stale hint (left over from
   // the last feasible cell before an infeasible stretch) is harmless: the
@@ -87,6 +112,22 @@ SweepSurface run_sweep(const sdf::PipelineSpec& pipeline,
     SweepCell cell;
     cell.tau0 = grid.tau0_values[ti];
     cell.deadline = grid.deadline_values[di];
+
+#if RIPPLE_OBS
+    obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+    double solve_begin_us = 0.0;
+    if (trace.active()) {
+      solve_begin_us = obs::TraceSession::global().host_now_us();
+      trace.begin(obs::Domain::kHost, trace.track(), "cell_solve",
+                  solve_begin_us);
+    }
+    if (obs_handles.cells_solved != nullptr) {
+      const bool hinted = warm != nullptr && (warm->has_enforced_hint() ||
+                                              warm->has_monolithic_hint());
+      obs_handles.cells_solved->increment();
+      (hinted ? obs_handles.warm_hinted : obs_handles.cold)->increment();
+    }
+#endif
 
     if (auto solved = enforced.solve(cell.tau0, cell.deadline, warm);
         solved.ok()) {
@@ -104,6 +145,16 @@ SweepSurface run_sweep(const sdf::PipelineSpec& pipeline,
       if (warm != nullptr) warm->block_size = solved.value().block_size;
     }
     cells[ti * d_count + di] = cell;
+
+#if RIPPLE_OBS
+    if (trace.active()) {
+      const double solve_end_us = obs::TraceSession::global().host_now_us();
+      trace.end(obs::Domain::kHost, trace.track(), "cell_solve", solve_end_us);
+      if (obs_handles.cell_solve_us != nullptr) {
+        obs_handles.cell_solve_us->record(solve_end_us - solve_begin_us);
+      }
+    }
+#endif
   };
 
   // One work item per tile of consecutive tau0 rows, walked in snake order
@@ -112,6 +163,19 @@ SweepSurface run_sweep(const sdf::PipelineSpec& pipeline,
   const std::size_t tile_rows = std::max<std::size_t>(1, options.tile_rows);
   const std::size_t tile_count = (t_count + tile_rows - 1) / tile_rows;
   auto solve_tile = [&](std::size_t tile) {
+#if RIPPLE_OBS
+    obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+    if (trace.active()) {
+      auto& session = obs::TraceSession::global();
+      session.set_track_name(obs::Domain::kHost, trace.track(),
+                             "sweep worker " + std::to_string(trace.track()));
+      trace.begin(obs::Domain::kHost, trace.track(), "tile",
+                  session.host_now_us());
+    }
+    if (obs_handles.active_workers != nullptr) {
+      obs_handles.active_workers->add(1.0);
+    }
+#endif
     const std::size_t t_begin = tile * tile_rows;
     const std::size_t t_end = std::min(t_begin + tile_rows, t_count);
     WarmStart carry;
@@ -123,6 +187,15 @@ SweepSurface run_sweep(const sdf::PipelineSpec& pipeline,
         solve_cell(ti, di, warm);
       }
     }
+#if RIPPLE_OBS
+    if (obs_handles.active_workers != nullptr) {
+      obs_handles.active_workers->add(-1.0);
+    }
+    if (trace.active()) {
+      trace.end(obs::Domain::kHost, trace.track(), "tile",
+                obs::TraceSession::global().host_now_us());
+    }
+#endif
   };
 
   if (options.pool != nullptr) {

@@ -5,6 +5,11 @@
 // a strategy is infeasible are recorded as such and, for difference plots,
 // charged an active fraction of 1.0 (an infeasible strategy cannot yield any
 // processor time because it cannot even keep up).
+//
+// On RIPPLE_OBS builds with recording enabled, the sweep emits host-domain
+// "cell_solve" and per-worker "tile" trace spans and feeds the `sweep.*`
+// metrics — cells solved, warm-hinted vs cold solve counts, per-cell solve
+// latency, and thread-pool occupancy (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdint>

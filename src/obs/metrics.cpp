@@ -1,0 +1,230 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace ripple::obs {
+
+void Gauge::add(double delta) noexcept {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+/// Relaxed CAS update toward an extreme (Compare = std::less for minima).
+template <typename Compare>
+void update_extreme(std::atomic<double>& slot, double value, Compare better) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (better(value, current) &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_index(double value) noexcept {
+  if (!(value >= 1.0)) return 0;  // also catches negatives and NaN
+  const int octave =
+      std::min(static_cast<int>(kOctaves) - 1, std::ilogb(value));
+  // value / 2^octave is in [1, 2) (except at the clamped top octave).
+  const double scaled = std::ldexp(value, -octave);
+  const auto sub = std::min(
+      kSubBuckets - 1,
+      static_cast<std::size_t>((scaled - 1.0) * static_cast<double>(kSubBuckets)));
+  return 1 + static_cast<std::size_t>(octave) * kSubBuckets + sub;
+}
+
+double LatencyHistogram::bucket_lower(std::size_t i) noexcept {
+  if (i == 0) return 0.0;
+  const std::size_t octave = (i - 1) / kSubBuckets;
+  const std::size_t sub = (i - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets,
+                    static_cast<int>(octave));
+}
+
+double LatencyHistogram::bucket_upper(std::size_t i) noexcept {
+  // The last bucket's nominal upper bound is 2^kOctaves; overflow samples
+  // clamp into it, and quantile() clamps reported values to the exact max.
+  return i + 1 < kBucketCount ? bucket_lower(i + 1)
+                              : std::ldexp(1.0, static_cast<int>(kOctaves));
+}
+
+void LatencyHistogram::record(double value) noexcept {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t previous =
+      count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+  if (previous == 0) {
+    // First sample initializes both extremes; racing first samples fall
+    // through to the CAS updates below, so no sample is ever lost.
+    double expected = 0.0;
+    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+    expected = 0.0;
+    max_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+  }
+  update_extreme(min_, value, std::less<double>());
+  update_extreme(max_, value, std::greater<double>());
+}
+
+double LatencyHistogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double LatencyHistogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += bucket_count(i);
+    if (cumulative >= target) return std::min(bucket_upper(i), max());
+  }
+  return max();
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Entry& Registry::entry_for(std::string_view name, Kind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<LatencyHistogram>();
+        break;
+    }
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' already registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  return entry_for(name, Kind::kCounter).counter.get();
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  return entry_for(name, Kind::kGauge).gauge.get();
+}
+
+LatencyHistogram* Registry::histogram(std::string_view name) {
+  return entry_for(name, Kind::kHistogram).histogram.get();
+}
+
+void Registry::write_json(util::JsonWriter& writer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer.begin_object();
+  writer.member("schema", "ripple.metrics.v1");
+
+  writer.key("counters").begin_array();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kCounter) continue;
+    writer.begin_object();
+    writer.member("name", name);
+    writer.member("value", entry.counter->value());
+    writer.end_object();
+  }
+  writer.end_array();
+
+  writer.key("gauges").begin_array();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kGauge) continue;
+    writer.begin_object();
+    writer.member("name", name);
+    writer.member("value", entry.gauge->value());
+    writer.end_object();
+  }
+  writer.end_array();
+
+  writer.key("histograms").begin_array();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kHistogram) continue;
+    const LatencyHistogram& h = *entry.histogram;
+    writer.begin_object();
+    writer.member("name", name);
+    writer.member("count", h.count());
+    writer.member("sum", h.sum());
+    writer.member("mean", h.mean());
+    writer.member("min", h.min());
+    writer.member("max", h.max());
+    writer.member("p50", h.quantile(0.50));
+    writer.member("p95", h.quantile(0.95));
+    writer.member("p99", h.quantile(0.99));
+    writer.key("buckets").begin_array();
+    for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      const std::uint64_t bucket = h.bucket_count(i);
+      if (bucket == 0) continue;  // sparse dump: only occupied buckets
+      writer.begin_object();
+      writer.member("lo", LatencyHistogram::bucket_lower(i));
+      writer.member("hi", LatencyHistogram::bucket_upper(i));
+      writer.member("count", bucket);
+      writer.end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+  }
+  writer.end_array();
+
+  writer.end_object();
+}
+
+void Registry::write_json(std::ostream& out) const {
+  util::JsonWriter writer(out);
+  write_json(writer);
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter: entry.counter->reset(); break;
+      case Kind::kGauge: entry.gauge->reset(); break;
+      case Kind::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace ripple::obs

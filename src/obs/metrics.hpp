@@ -1,0 +1,151 @@
+// Process-wide metrics registry: counters, gauges, and log-scale latency
+// histograms with a self-describing JSON dump.
+//
+// Instruments register a metric once by name (mutex-guarded, cold path) and
+// keep the returned pointer; all hot-path updates are lock-free atomics, so
+// metrics can be fed concurrently from sweep workers and trial threads. The
+// registry itself is always compiled — only the call sites in the simulator,
+// sweep, and runtime layers are gated behind the RIPPLE_OBS build flag (see
+// obs/obs.hpp and docs/OBSERVABILITY.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace ripple::util {
+class JsonWriter;
+}
+
+namespace ripple::obs {
+
+/// Monotonic event count (firings, solves, cache hits, ...).
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level that can move both ways (active workers, queue depth).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept;  // CAS loop; atomic<double> has no fetch_add
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket log-scale histogram for non-negative durations/latencies.
+///
+/// Bucket layout (exact, relied on by tests and the JSON schema):
+///   bucket 0                 = [0, 1)
+///   bucket 1 + 8*e + s       = [2^e * (1 + s/8), 2^e * (1 + (s+1)/8))
+/// for octave e in [0, 40) and sub-bucket s in [0, 8) — 8 sub-buckets per
+/// power of two bounds the relative bucket width at 12.5%, and 40 octaves
+/// cover [1, 2^40) ~ 10^12, enough for cycle counts and microseconds alike.
+/// Values >= 2^40 clamp into the last bucket; negative/NaN values clamp into
+/// bucket 0.
+///
+/// All updates are relaxed atomics; quantiles are computed on read from the
+/// bucket counts (upper-bound convention, clamped to the exact observed max).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kSubBuckets = 8;
+  static constexpr std::size_t kOctaves = 40;
+  static constexpr std::size_t kBucketCount = 1 + kSubBuckets * kOctaves;
+
+  void record(double value) noexcept;
+
+  /// Index of the bucket `value` lands in (the layout documented above).
+  static std::size_t bucket_index(double value) noexcept;
+  /// Inclusive lower / exclusive upper bound of bucket `i`.
+  static double bucket_lower(std::size_t i) noexcept;
+  static double bucket_upper(std::size_t i) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept;
+  /// Exact extremes of the recorded samples (not bucket bounds).
+  double min() const noexcept;
+  double max() const noexcept;
+
+  /// Value v such that at least ceil(q * count) samples are <= v: the upper
+  /// bound of the first bucket whose cumulative count reaches that rank,
+  /// clamped to the exact observed max. Deterministic given the same samples.
+  double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBucketCount]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Named metric store. `global()` is the process-wide instance every
+/// instrumentation point and exporter uses; independent instances exist only
+/// in tests.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Get-or-create by name. Pointers stay valid for the registry's lifetime;
+  /// requesting an existing name with a different kind throws
+  /// std::logic_error. Names are dotted paths ("sweep.cells_solved").
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  LatencyHistogram* histogram(std::string_view name);
+
+  /// Self-describing dump (schema "ripple.metrics.v1"): every registered
+  /// metric with its kind, value(s), and for histograms the non-empty
+  /// buckets with exact bounds plus p50/p95/p99. Metrics are emitted in
+  /// name order, so the dump is deterministic.
+  void write_json(util::JsonWriter& writer) const;
+  void write_json(std::ostream& out) const;
+
+  /// Zero every metric (counts and histogram buckets); registrations and
+  /// handed-out pointers stay valid. Used between golden-test runs.
+  void reset_values();
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  Entry& entry_for(std::string_view name, Kind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace ripple::obs

@@ -1,0 +1,33 @@
+// Umbrella header for instrumentation call sites.
+//
+// Observability has two gates (see docs/OBSERVABILITY.md for the matrix):
+//   * compile time — the RIPPLE_OBS preprocessor flag (CMake option of the
+//     same name) decides whether instrumentation statements exist at all.
+//     The obs library itself (registry, rings, exporters) is always built
+//     and tested; only the call sites in the sim/core/runtime hot paths
+//     vanish in an OFF build.
+//   * run time — obs::set_enabled(true) arms recording. Instrumented
+//     functions snapshot the flag once (TraceWriter::for_current_thread or
+//     a local bool), so the compiled-in-but-disabled path costs a single
+//     branch on a cached value per instrumentation point.
+//
+// Instrumented hot paths wrap their observability statements in
+// `#if RIPPLE_OBS` blocks; this header is safe to include unconditionally.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ripple::obs {
+
+/// Runtime master switch; false by default. Reading is one relaxed atomic
+/// load of a bool.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// True when the hot-path call sites were compiled in (build configured
+/// with -DRIPPLE_OBS=ON). The CLI uses this to warn when --trace-out is
+/// requested from an uninstrumented build.
+bool instrumentation_compiled() noexcept;
+
+}  // namespace ripple::obs

@@ -1,0 +1,190 @@
+#include "obs/trace_export.hpp"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace ripple::obs {
+
+namespace {
+
+constexpr std::int64_t kHostPid = 1;
+constexpr std::int64_t kSimPidBase = 100;
+
+std::int64_t pid_of(const TraceEvent& event) {
+  return event.domain == Domain::kHost
+             ? kHostPid
+             : kSimPidBase + static_cast<std::int64_t>(event.ring);
+}
+
+const char* phase_of(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kBegin: return "B";
+    case TraceKind::kEnd: return "E";
+    case TraceKind::kCounter: return "C";
+    case TraceKind::kInstant: return "i";
+  }
+  return "i";
+}
+
+void write_metadata(util::JsonWriter& writer, std::int64_t pid,
+                    std::int64_t tid, const char* what,
+                    const std::string& name) {
+  writer.begin_object();
+  writer.member("name", what);
+  writer.member("ph", "M");
+  writer.member("pid", pid);
+  if (tid >= 0) writer.member("tid", tid);
+  writer.key("args").begin_object();
+  writer.member("name", name);
+  writer.end_object();
+  writer.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const TraceSession& session) {
+  util::JsonWriter writer(out);
+  writer.begin_object();
+  writer.member("schema", "ripple.trace.v1");
+  writer.member("displayTimeUnit", "ms");
+
+  writer.key("otherData").begin_object();
+  writer.member("dropped_events", session.dropped());
+  writer.member("sim_clock", "virtual cycles rendered as us");
+  writer.member("host_clock", "wall-clock us since session epoch");
+  writer.end_object();
+
+  writer.key("traceEvents").begin_array();
+
+  // Metadata first: process names for every pid present, then thread names
+  // from the session's (domain, track) labels. Both are emitted from sorted
+  // containers so the document is deterministic.
+  std::set<std::int64_t> pids;
+  std::set<std::pair<std::int64_t, std::int64_t>> lanes;
+  for (const TraceEvent& event : events) {
+    const std::int64_t pid = pid_of(event);
+    pids.insert(pid);
+    lanes.insert({pid, static_cast<std::int64_t>(event.track)});
+  }
+  for (const std::int64_t pid : pids) {
+    const std::string name =
+        pid == kHostPid
+            ? std::string("host (wall-clock us)")
+            : "sim ring " + std::to_string(pid - kSimPidBase) +
+                  " (virtual cycles)";
+    write_metadata(writer, pid, -1, "process_name", name);
+  }
+  const auto track_names = session.track_names();
+  for (const auto& [pid, tid] : lanes) {
+    const auto domain = pid == kHostPid ? Domain::kHost : Domain::kSim;
+    const auto it = track_names.find({static_cast<std::uint8_t>(domain),
+                                      static_cast<std::uint32_t>(tid)});
+    const std::string name = it != track_names.end()
+                                 ? it->second
+                                 : "track " + std::to_string(tid);
+    write_metadata(writer, pid, tid, "thread_name", name);
+  }
+
+  for (const TraceEvent& event : events) {
+    writer.begin_object();
+    writer.member("name", event.name == nullptr ? "?" : event.name);
+    writer.member("ph", phase_of(event.kind));
+    writer.member("pid", pid_of(event));
+    writer.member("tid", static_cast<std::int64_t>(event.track));
+    writer.member("ts", event.ts);
+    if (event.kind == TraceKind::kInstant) {
+      writer.member("s", "t");  // thread-scoped instant
+    }
+    if (event.kind == TraceKind::kInstant ||
+        event.kind == TraceKind::kCounter) {
+      writer.key("args").begin_object();
+      writer.member("value", event.value);
+      writer.end_object();
+    }
+    writer.end_object();
+  }
+
+  writer.end_array();
+  writer.end_object();
+}
+
+util::Result<bool> export_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Result<bool>::failure("io_error", "cannot open " + path);
+  }
+  auto& session = TraceSession::global();
+  write_chrome_trace(out, session.drain(), session);
+  out << "\n";
+  if (!out.good()) {
+    return util::Result<bool>::failure("io_error", "write failed: " + path);
+  }
+  return true;
+}
+
+util::Result<bool> export_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Result<bool>::failure("io_error", "cannot open " + path);
+  }
+  Registry::global().write_json(out);
+  out << "\n";
+  if (!out.good()) {
+    return util::Result<bool>::failure("io_error", "write failed: " + path);
+  }
+  return true;
+}
+
+util::Result<bool> validate_span_nesting(
+    const std::vector<TraceEvent>& events) {
+  using R = util::Result<bool>;
+  // Lane key: (domain, ring, track). Each lane keeps its open-span stack.
+  std::map<std::tuple<std::uint8_t, std::uint16_t, std::uint32_t>,
+           std::vector<const char*>>
+      stacks;
+  for (const TraceEvent& event : events) {
+    if (event.kind != TraceKind::kBegin && event.kind != TraceKind::kEnd) {
+      continue;
+    }
+    auto& stack = stacks[{static_cast<std::uint8_t>(event.domain), event.ring,
+                          event.track}];
+    if (event.kind == TraceKind::kBegin) {
+      stack.push_back(event.name);
+    } else {
+      if (stack.empty()) {
+        return R::failure("bad_nesting",
+                          std::string("end without begin: ") +
+                              (event.name == nullptr ? "?" : event.name));
+      }
+      const char* open = stack.back();
+      if (std::string_view(open == nullptr ? "" : open) !=
+          std::string_view(event.name == nullptr ? "" : event.name)) {
+        return R::failure("bad_nesting",
+                          std::string("mismatched end: expected ") +
+                              (open == nullptr ? "?" : open) + ", got " +
+                              (event.name == nullptr ? "?" : event.name));
+      }
+      stack.pop_back();
+    }
+  }
+  for (const auto& [lane, stack] : stacks) {
+    if (!stack.empty()) {
+      return R::failure("bad_nesting",
+                        std::string("unclosed span: ") +
+                            (stack.back() == nullptr ? "?" : stack.back()));
+    }
+  }
+  return true;
+}
+
+}  // namespace ripple::obs

@@ -1,0 +1,51 @@
+// Exporters for the observability layer.
+//
+// Two artifacts, both self-describing JSON written with util::JsonWriter:
+//   * a metrics dump of the global Registry (schema "ripple.metrics.v1",
+//     see Registry::write_json), and
+//   * a Chrome trace_event timeline (the "JSON Array Format" variant with
+//     an object wrapper) loadable in chrome://tracing and Perfetto.
+//
+// Timeline mapping (documented in docs/OBSERVABILITY.md):
+//   * kSim events:  pid = 100 + ring ordinal (one Perfetto process per
+//     producer thread, so concurrent trials get separate timelines),
+//     tid = TraceEvent::track (the pipeline node index), ts = virtual
+//     cycles rendered as microseconds.
+//   * kHost events: pid = 1, tid = TraceEvent::track (the worker ordinal),
+//     ts = wall-clock microseconds since the session epoch.
+//   * kBegin/kEnd -> ph "B"/"E", kInstant -> ph "i" (thread scope, payload
+//     in args.value), kCounter -> ph "C" (args.value).
+// Output is byte-deterministic given the same event sequence; golden tests
+// pin it (tests/test_obs_export.cpp).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/result.hpp"
+
+namespace ripple::obs {
+
+/// Write `events` (as returned by TraceSession::drain) as a Chrome
+/// trace_event document. Track-name metadata and the dropped-event count are
+/// taken from `session`.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const TraceSession& session);
+
+/// Drain the global session and write it to `path`. Failure code "io_error".
+util::Result<bool> export_chrome_trace_file(const std::string& path);
+
+/// Dump the global metrics registry to `path`. Failure code "io_error".
+util::Result<bool> export_metrics_file(const std::string& path);
+
+/// Strict begin/end pairing check over a drained event sequence: within
+/// every (domain, ring, track) lane, each kEnd must close a same-named
+/// kBegin and no span may remain open. Failure code "bad_nesting" names the
+/// first offending event. Used by the exporter golden test and meaningful
+/// only when no events were dropped.
+util::Result<bool> validate_span_nesting(const std::vector<TraceEvent>& events);
+
+}  // namespace ripple::obs

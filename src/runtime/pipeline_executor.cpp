@@ -6,6 +6,10 @@
 #include "sim/event_queue.hpp"
 #include "util/assert.hpp"
 
+#if RIPPLE_OBS
+#include "obs/obs.hpp"
+#endif
+
 namespace ripple::runtime {
 
 namespace {
@@ -86,6 +90,18 @@ util::Result<ExecutionMetrics> PipelineExecutor::run(
     events.push(0.0, kPriorityFireStart, {EventPayload::Kind::kFireStart, i});
   }
 
+#if RIPPLE_OBS
+  // Per-stage service spans on the sim timeline, mirroring enforced_sim.
+  obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+  if (trace.active()) {
+    for (NodeIndex i = 0; i < n; ++i) {
+      obs::TraceSession::global().set_track_name(
+          obs::Domain::kSim, static_cast<std::uint32_t>(i),
+          pipeline_.node(i).name);
+    }
+  }
+#endif
+
   std::vector<Item> stage_outputs;  // reused scratch for stage calls
   std::uint64_t processed = 0;
   while (!events.empty() && processed < config.max_events) {
@@ -119,6 +135,20 @@ util::Result<ExecutionMetrics> PipelineExecutor::run(
         auto& queue = queues[i];
         const std::uint32_t consumed =
             static_cast<std::uint32_t>(std::min<std::uint64_t>(queue.size(), v));
+#if RIPPLE_OBS
+        if (trace.active()) {
+          trace.counter(obs::Domain::kSim, static_cast<std::uint32_t>(i),
+                        "queue_depth", now,
+                        static_cast<double>(queue.size()));
+          if (consumed > 0) {
+            trace.begin(obs::Domain::kSim, static_cast<std::uint32_t>(i),
+                        "service", now);
+          } else if (config.charge_empty_firings) {
+            trace.instant(obs::Domain::kSim, static_cast<std::uint32_t>(i),
+                          "empty_firing", now, pipeline_.service_time(i));
+          }
+        }
+#endif
 
         if (consumed > 0 || config.charge_empty_firings) {
           ++node.firings;
@@ -166,6 +196,13 @@ util::Result<ExecutionMetrics> PipelineExecutor::run(
                 !root_missed[item.root]) {
               root_missed[item.root] = true;
               ++metrics.base.inputs_missed;
+#if RIPPLE_OBS
+              if (trace.active()) {
+                trace.instant(obs::Domain::kSim,
+                              static_cast<std::uint32_t>(i), "deadline_miss",
+                              now, config.deadline - latency);
+              }
+#endif
             }
             metrics.base.makespan = std::max(metrics.base.makespan, now);
             if (metrics.results.size() < config.max_collected_results) {
@@ -181,6 +218,12 @@ util::Result<ExecutionMetrics> PipelineExecutor::run(
                                       next_queue.size());
         }
         bundle.clear();
+#if RIPPLE_OBS
+        if (trace.active()) {
+          trace.end(obs::Domain::kSim, static_cast<std::uint32_t>(i),
+                    "service", now);
+        }
+#endif
         break;
       }
     }

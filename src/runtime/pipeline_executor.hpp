@@ -12,6 +12,11 @@
 // Use it to check that a schedule optimized against *measured* gain models
 // still holds up on the real data path (see tests/test_runtime.cpp, which
 // drives the mini-BLAST stages through it).
+//
+// On RIPPLE_OBS builds with recording enabled, each consuming firing emits a
+// "service" trace span and a "queue_depth" counter sample on the stage's
+// track, with "empty_firing" and "deadline_miss" instants mirroring the
+// stochastic simulator's timeline (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <any>

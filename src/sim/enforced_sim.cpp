@@ -7,6 +7,10 @@
 #include "util/assert.hpp"
 #include "util/ring_buffer.hpp"
 
+#if RIPPLE_OBS
+#include "obs/obs.hpp"
+#endif
+
 namespace ripple::sim {
 
 namespace {
@@ -121,6 +125,20 @@ TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
     events.schedule(kFireStartBase + i, offset, kPriorityFireStart);
   }
 
+#if RIPPLE_OBS
+  // One branch on a cached pointer per record when tracing is on; a single
+  // inactive-writer check when it is off. Tracks are node indices on the sim
+  // timeline; labels come from the pipeline spec.
+  obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+  if (trace.active()) {
+    for (NodeIndex i = 0; i < n; ++i) {
+      obs::TraceSession::global().set_track_name(
+          obs::Domain::kSim, static_cast<std::uint32_t>(i),
+          pipeline.node(i).name);
+    }
+  }
+#endif
+
   std::uint64_t processed_events = 0;
   while (!events.empty() && processed_events < config.max_events) {
     const IndexedScheduler::Next event = events.pop();
@@ -141,6 +159,13 @@ TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
             if (!root_missed[root]) {
               root_missed[root] = true;
               ++metrics.inputs_missed;
+#if RIPPLE_OBS
+              if (trace.active()) {
+                // Negative slack = how late the item exited.
+                trace.instant(obs::Domain::kSim, static_cast<std::uint32_t>(i),
+                              "deadline_miss", now, config.deadline - latency);
+              }
+#endif
             }
           }
           metrics.makespan = std::max(metrics.makespan, now);
@@ -151,6 +176,12 @@ TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
         for (const RootId root : bundle) next_queue.push_back(root);
       }
       bundle.clear();
+#if RIPPLE_OBS
+      if (trace.active()) {
+        trace.end(obs::Domain::kSim, static_cast<std::uint32_t>(i), "fire",
+                  now);
+      }
+#endif
     } else if (event.source >= kFireStartBase) {
       // ---------------------------------------------------------- FireStart
       const NodeIndex i = static_cast<NodeIndex>(event.source - kFireStartBase);
@@ -163,6 +194,21 @@ TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
           std::max<std::uint64_t>(node.max_queue_length, queue.size());
       const std::uint32_t consumed =
           static_cast<std::uint32_t>(std::min<std::uint64_t>(queue.size(), v));
+#if RIPPLE_OBS
+      if (trace.active()) {
+        trace.counter(obs::Domain::kSim, static_cast<std::uint32_t>(i),
+                      "queue_depth", now, static_cast<double>(queue.size()));
+        if (consumed > 0) {
+          // A FireEnd is guaranteed for every consuming firing, so the span
+          // always closes; empty charged firings are instants instead.
+          trace.begin(obs::Domain::kSim, static_cast<std::uint32_t>(i), "fire",
+                      now);
+        } else if (config.charge_empty_firings) {
+          trace.instant(obs::Domain::kSim, static_cast<std::uint32_t>(i),
+                        "empty_firing", now, service_time[i]);
+        }
+      }
+#endif
 
       if (consumed > 0 || config.charge_empty_firings) {
         ++node.firings;

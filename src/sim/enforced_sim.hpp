@@ -8,6 +8,12 @@
 // are charged as active time by default (the paper's accounting); setting
 // `charge_empty_firings = false` treats them as vacations instead (the
 // alternative the paper mentions parenthetically).
+//
+// On RIPPLE_OBS builds with recording enabled, each trial emits a trace
+// timeline (docs/OBSERVABILITY.md): a "fire" span per consuming firing and a
+// "queue_depth" counter sample on the firing node's track, an
+// "empty_firing" instant per vacuous firing, and a "deadline_miss" instant
+// (value = remaining slack, negative) per missed root input.
 #pragma once
 
 #include <cstdint>
@@ -23,8 +29,10 @@ namespace ripple::sim {
 struct EnforcedSimConfig {
   ItemCount input_count = 50000;  ///< the paper's stream length
   Cycles deadline = 0.0;          ///< D, for per-input miss accounting
+  /// Count firings on an empty queue as active time (the paper's default
+  /// accounting) rather than as vacations.
   bool charge_empty_firings = true;
-  std::uint64_t seed = 0;
+  std::uint64_t seed = 0;  ///< gain-sampling RNG stream
   std::uint64_t max_events = 500'000'000;  ///< runaway guard
 
   /// Optional per-node first-firing times (phase offsets). Empty = all fire

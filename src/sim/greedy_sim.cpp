@@ -6,6 +6,10 @@
 #include "util/assert.hpp"
 #include "util/ring_buffer.hpp"
 
+#if RIPPLE_OBS
+#include "obs/obs.hpp"
+#endif
+
 namespace ripple::sim {
 
 namespace {
@@ -64,6 +68,17 @@ TrialMetrics simulate_greedy_throughput(const sdf::PipelineSpec& pipeline,
     }
   };
 
+#if RIPPLE_OBS
+  obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+  if (trace.active()) {
+    for (NodeIndex i = 0; i < n; ++i) {
+      obs::TraceSession::global().set_track_name(
+          obs::Domain::kSim, static_cast<std::uint32_t>(i),
+          pipeline.node(i).name);
+    }
+  }
+#endif
+
   std::uint64_t firings = 0;
   while (firings < config.max_firings) {
     drain_arrivals_until(now);
@@ -107,6 +122,14 @@ TrialMetrics simulate_greedy_throughput(const sdf::PipelineSpec& pipeline,
     node.items_consumed += consumed;
     const Cycles duration = service_time[best] * exclusive_scale;
     node.active_time += duration;
+#if RIPPLE_OBS
+    if (trace.active()) {
+      trace.counter(obs::Domain::kSim, static_cast<std::uint32_t>(best),
+                    "queue_depth", now, static_cast<double>(queue.size()));
+      trace.begin(obs::Domain::kSim, static_cast<std::uint32_t>(best), "fire",
+                  now);
+    }
+#endif
     now += duration;
 
     const bool is_sink = (best + 1 == n);
@@ -120,6 +143,13 @@ TrialMetrics simulate_greedy_throughput(const sdf::PipelineSpec& pipeline,
             latency > config.deadline * (1.0 + 1e-12) && !root_missed[root]) {
           root_missed[root] = true;
           ++metrics.inputs_missed;
+#if RIPPLE_OBS
+          if (trace.active()) {
+            trace.instant(obs::Domain::kSim,
+                          static_cast<std::uint32_t>(best), "deadline_miss",
+                          now, config.deadline - latency);
+          }
+#endif
         }
         metrics.makespan = std::max(metrics.makespan, now);
       }
@@ -141,6 +171,12 @@ TrialMetrics simulate_greedy_throughput(const sdf::PipelineSpec& pipeline,
       metrics.nodes[best + 1].max_queue_length = std::max<std::uint64_t>(
           metrics.nodes[best + 1].max_queue_length, next_queue.size());
     }
+#if RIPPLE_OBS
+    if (trace.active()) {
+      trace.end(obs::Domain::kSim, static_cast<std::uint32_t>(best), "fire",
+                now);
+    }
+#endif
   }
   RIPPLE_REQUIRE(firings < config.max_firings,
                  "firing budget exhausted (arrival rate beyond capacity?)");

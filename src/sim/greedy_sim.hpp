@@ -13,6 +13,11 @@
 // only while work exists, but per-item latency is uncontrolled — items can
 // sit in queues for as long as the greedy policy keeps harvesting fuller
 // vectors elsewhere, and nothing bounds the time to drain a burst.
+//
+// On RIPPLE_OBS builds with recording enabled, each firing emits a "fire"
+// trace span and a "queue_depth" counter sample on the chosen node's track,
+// plus a "deadline_miss" instant per late sink output; firings are globally
+// exclusive, so spans never overlap (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdint>

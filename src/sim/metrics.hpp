@@ -12,13 +12,16 @@ namespace ripple::sim {
 
 /// Per-node counters.
 struct NodeMetrics {
-  std::uint64_t firings = 0;
-  std::uint64_t empty_firings = 0;
-  std::uint64_t items_consumed = 0;
-  std::uint64_t items_produced = 0;
-  Cycles active_time = 0.0;
-  std::uint64_t max_queue_length = 0;
+  std::uint64_t firings = 0;         ///< firings that consumed >= 1 item
+  std::uint64_t empty_firings = 0;   ///< firings on an empty queue (paper §4)
+  std::uint64_t items_consumed = 0;  ///< inputs taken across all firings
+  std::uint64_t items_produced = 0;  ///< outputs emitted toward the next node
+  Cycles active_time = 0.0;          ///< total service time charged
+  std::uint64_t max_queue_length = 0;  ///< peak input-queue depth observed
 
+  /// Mean SIMD occupancy: items consumed per firing relative to the vector
+  /// width (the paper's per-node utilization measure). Zero when the node
+  /// never fired.
   double mean_occupancy(std::uint32_t vector_width) const {
     if (firings == 0) return 0.0;
     return static_cast<double>(items_consumed) /

@@ -7,6 +7,10 @@
 #include "dist/rng.hpp"
 #include "util/assert.hpp"
 
+#if RIPPLE_OBS
+#include "obs/obs.hpp"
+#endif
+
 namespace ripple::sim {
 
 TrialMetrics simulate_monolithic(const sdf::PipelineSpec& pipeline,
@@ -36,6 +40,17 @@ TrialMetrics simulate_monolithic(const sdf::PipelineSpec& pipeline,
   // stages; index parallel to block_arrivals.
   std::vector<std::uint64_t> descendant_counts;
 
+#if RIPPLE_OBS
+  // Blocks run back-to-back on one server, so a single dedicated track
+  // (away from the per-node ids) holds non-overlapping "block" spans.
+  constexpr std::uint32_t kBlockTrack = 1000;
+  obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+  if (trace.active()) {
+    obs::TraceSession::global().set_track_name(obs::Domain::kSim, kBlockTrack,
+                                               "monolithic blocks");
+  }
+#endif
+
   auto process_block = [&](Cycles block_ready) {
     const std::size_t m = block_arrivals.size();
     if (m == 0) return;
@@ -43,6 +58,13 @@ TrialMetrics simulate_monolithic(const sdf::PipelineSpec& pipeline,
 
     const Cycles start = std::max(block_ready, server_free);
     Cycles service = 0.0;
+#if RIPPLE_OBS
+    if (trace.active()) {
+      trace.begin(obs::Domain::kSim, kBlockTrack, "block", start);
+      trace.counter(obs::Domain::kSim, kBlockTrack, "block_items", start,
+                    static_cast<double>(m));
+    }
+#endif
 
     descendant_counts.assign(m, 1);
     std::uint64_t stage_items = m;
@@ -87,10 +109,21 @@ TrialMetrics simulate_monolithic(const sdf::PipelineSpec& pipeline,
       }
       if (config.deadline > 0.0 && latency > config.deadline * (1.0 + 1e-12)) {
         ++metrics.inputs_missed;
+#if RIPPLE_OBS
+        if (trace.active()) {
+          trace.instant(obs::Domain::kSim, kBlockTrack, "deadline_miss",
+                        finish, config.deadline - latency);
+        }
+#endif
       } else {
         ++metrics.inputs_on_time;
       }
     }
+#if RIPPLE_OBS
+    if (trace.active()) {
+      trace.end(obs::Domain::kSim, kBlockTrack, "block", finish);
+    }
+#endif
     block_arrivals.clear();
   };
 

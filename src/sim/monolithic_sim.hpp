@@ -6,6 +6,11 @@
 // data dependent: stage i of a block with n_i actual items costs
 // ceil(n_i / v) * t_i. Blocks queue FCFS for the pipeline; every output of a
 // block exits when its block finishes the final stage.
+//
+// On RIPPLE_OBS builds with recording enabled, each processed block emits a
+// "block" trace span (with a "block_items" counter sample) on a dedicated
+// track, plus a "deadline_miss" instant per missed input — blocks execute
+// sequentially, so the spans never overlap (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdint>
@@ -18,10 +23,10 @@
 namespace ripple::sim {
 
 struct MonolithicSimConfig {
-  std::int64_t block_size = 1;    ///< M
-  ItemCount input_count = 50000;
-  Cycles deadline = 0.0;
-  std::uint64_t seed = 0;
+  std::int64_t block_size = 1;    ///< M, inputs accumulated per block
+  ItemCount input_count = 50000;  ///< the paper's stream length
+  Cycles deadline = 0.0;          ///< D, for per-input miss accounting
+  std::uint64_t seed = 0;         ///< gain-sampling RNG stream
   /// Process a final short block when the stream ends mid-accumulation.
   bool flush_final_partial_block = true;
 };

@@ -4,14 +4,44 @@
 
 #include "util/assert.hpp"
 
+#if RIPPLE_OBS
+#include "obs/obs.hpp"
+#endif
+
 namespace ripple::sim {
 
 TrialSummary run_trials(const TrialFn& trial_fn, std::uint64_t trial_count,
                         util::ThreadPool* pool, std::size_t grain) {
   RIPPLE_REQUIRE(static_cast<bool>(trial_fn), "trial function required");
 
+#if RIPPLE_OBS
+  // Metric handles are resolved once per run, never per trial; the per-trial
+  // cost when enabled is two counter bumps plus a host-domain span.
+  obs::Counter* trials_completed = nullptr;
+  obs::LatencyHistogram* trial_wall_us = nullptr;
+  if (obs::enabled()) {
+    auto& registry = obs::Registry::global();
+    trials_completed = registry.counter("trials.completed");
+    trial_wall_us = registry.histogram("trials.trial_wall_us");
+  }
+#endif
+
   std::vector<TrialMetrics> results(trial_count);
   auto body = [&](std::size_t index) {
+#if RIPPLE_OBS
+    obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+    if (trace.active()) {
+      auto& session = obs::TraceSession::global();
+      const double begin_us = session.host_now_us();
+      trace.begin(obs::Domain::kHost, trace.track(), "trial", begin_us);
+      results[index] = trial_fn(index);
+      const double end_us = session.host_now_us();
+      trace.end(obs::Domain::kHost, trace.track(), "trial", end_us);
+      if (trial_wall_us != nullptr) trial_wall_us->record(end_us - begin_us);
+      if (trials_completed != nullptr) trials_completed->increment();
+      return;
+    }
+#endif
     results[index] = trial_fn(index);
   };
   if (pool != nullptr) {

@@ -2,6 +2,11 @@
 // across a thread pool) and aggregate the statistics the paper reports —
 // the fraction of miss-free trials, mean miss fraction, and mean measured
 // active fraction.
+//
+// On RIPPLE_OBS builds with recording enabled, every trial body is wrapped
+// in a host-domain "trial" span on the executing worker's track, and the
+// driver feeds the `trials.completed` counter and `trials.trial_wall_us`
+// histogram in the global metrics registry (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,210 @@
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arrivals/arrival_process.hpp"
+#include "blast/canonical.hpp"
+#include "core/enforced_waits.hpp"
+#include "obs/obs.hpp"
+#include "sim/enforced_sim.hpp"
+#include "util/jsonv.hpp"
+
+namespace ripple::obs {
+namespace {
+
+TraceEvent make_event(const char* name, double ts, TraceKind kind,
+                      Domain domain, std::uint32_t track, double value = 0.0) {
+  TraceEvent event;
+  event.name = name;
+  event.ts = ts;
+  event.value = value;
+  event.track = track;
+  event.domain = domain;
+  event.kind = kind;
+  return event;
+}
+
+/// A tiny two-domain sequence exercising every phase type.
+std::vector<TraceEvent> sample_events() {
+  return {
+      make_event("fire", 1.0, TraceKind::kBegin, Domain::kSim, 0),
+      make_event("queue_depth", 1.0, TraceKind::kCounter, Domain::kSim, 0, 3.0),
+      make_event("deadline_miss", 2.5, TraceKind::kInstant, Domain::kSim, 0,
+                 -10.0),
+      make_event("fire", 4.0, TraceKind::kEnd, Domain::kSim, 0),
+      make_event("trial", 0.0, TraceKind::kBegin, Domain::kHost, 1),
+      make_event("trial", 9.0, TraceKind::kEnd, Domain::kHost, 1),
+  };
+}
+
+// The exact bytes the exporter must produce for sample_events(): the schema
+// header, process/thread metadata from sorted sets, then the events in input
+// order. Any change to the document format must update this golden (and
+// docs/OBSERVABILITY.md).
+constexpr const char* kGolden =
+    "{\"schema\":\"ripple.trace.v1\",\"displayTimeUnit\":\"ms\","
+    "\"otherData\":{\"dropped_events\":0,"
+    "\"sim_clock\":\"virtual cycles rendered as us\","
+    "\"host_clock\":\"wall-clock us since session epoch\"},"
+    "\"traceEvents\":["
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+    "\"args\":{\"name\":\"host (wall-clock us)\"}},"
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":100,"
+    "\"args\":{\"name\":\"sim ring 0 (virtual cycles)\"}},"
+    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+    "\"args\":{\"name\":\"worker 1\"}},"
+    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":100,\"tid\":0,"
+    "\"args\":{\"name\":\"seed_filter\"}},"
+    "{\"name\":\"fire\",\"ph\":\"B\",\"pid\":100,\"tid\":0,\"ts\":1},"
+    "{\"name\":\"queue_depth\",\"ph\":\"C\",\"pid\":100,\"tid\":0,\"ts\":1,"
+    "\"args\":{\"value\":3}},"
+    "{\"name\":\"deadline_miss\",\"ph\":\"i\",\"pid\":100,\"tid\":0,"
+    "\"ts\":2.5,\"s\":\"t\",\"args\":{\"value\":-10}},"
+    "{\"name\":\"fire\",\"ph\":\"E\",\"pid\":100,\"tid\":0,\"ts\":4},"
+    "{\"name\":\"trial\",\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":0},"
+    "{\"name\":\"trial\",\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":9}"
+    "]}";
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceSession::global().clear();
+    set_enabled(false);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    TraceSession::global().clear();
+  }
+};
+
+TEST_F(ExportTest, GoldenDocumentIsByteExact) {
+  auto& session = TraceSession::global();
+  session.set_track_name(Domain::kSim, 0, "seed_filter");
+  session.set_track_name(Domain::kHost, 1, "worker 1");
+  std::ostringstream out;
+  write_chrome_trace(out, sample_events(), session);
+  EXPECT_EQ(out.str(), kGolden);
+}
+
+TEST_F(ExportTest, DocumentIsDeterministicAndParses) {
+  auto& session = TraceSession::global();
+  session.set_track_name(Domain::kSim, 0, "seed_filter");
+  std::ostringstream first;
+  write_chrome_trace(first, sample_events(), session);
+  std::ostringstream second;
+  write_chrome_trace(second, sample_events(), session);
+  EXPECT_EQ(first.str(), second.str());
+
+  auto document = util::parse_json(first.str());
+  ASSERT_TRUE(document.ok()) << document.error().message;
+  const util::JsonValue* events = document.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // 2 process_name + 2 thread_name metadata rows precede the 6 events
+  // (track 1 falls back to a generated "track 1" label).
+  EXPECT_EQ(events->as_array().size(), 10u);
+}
+
+TEST_F(ExportTest, ValidatorAcceptsWellNestedSpans) {
+  auto nested = sample_events();
+  auto verdict = validate_span_nesting(nested);
+  EXPECT_TRUE(verdict.ok()) << verdict.error().message;
+}
+
+TEST_F(ExportTest, ValidatorRejectsMismatchedAndUnclosedSpans) {
+  // End without a begin.
+  std::vector<TraceEvent> orphan_end = {
+      make_event("fire", 1.0, TraceKind::kEnd, Domain::kSim, 0)};
+  EXPECT_EQ(validate_span_nesting(orphan_end).error().code, "bad_nesting");
+
+  // End name does not match the innermost open span.
+  std::vector<TraceEvent> mismatched = {
+      make_event("fire", 1.0, TraceKind::kBegin, Domain::kSim, 0),
+      make_event("service", 2.0, TraceKind::kEnd, Domain::kSim, 0)};
+  EXPECT_EQ(validate_span_nesting(mismatched).error().code, "bad_nesting");
+
+  // Begin that never closes.
+  std::vector<TraceEvent> unclosed = {
+      make_event("fire", 1.0, TraceKind::kBegin, Domain::kSim, 0)};
+  EXPECT_EQ(validate_span_nesting(unclosed).error().code, "bad_nesting");
+
+  // Same names on different tracks are independent lanes, not a mismatch.
+  std::vector<TraceEvent> lanes = {
+      make_event("fire", 1.0, TraceKind::kBegin, Domain::kSim, 0),
+      make_event("fire", 2.0, TraceKind::kBegin, Domain::kSim, 1),
+      make_event("fire", 3.0, TraceKind::kEnd, Domain::kSim, 0),
+      make_event("fire", 4.0, TraceKind::kEnd, Domain::kSim, 1)};
+  EXPECT_TRUE(validate_span_nesting(lanes).ok());
+}
+
+// ------------------------------------------------- end-to-end (paper cell)
+//
+// Runs the enforced-waits simulator for one cell of the paper grid
+// (tau0 = 20, D = 1.85e5) with tracing on and checks the drained timeline:
+// spans nest, the document is byte-deterministic across identical runs, and
+// the deadline-miss instants agree with the simulator's own miss count.
+
+#if RIPPLE_OBS
+
+std::string traced_paper_cell_run(std::uint64_t* misses_out) {
+  auto& session = TraceSession::global();
+  session.clear();
+  set_enabled(true);
+
+  const auto pipeline = blast::canonical_blast_pipeline();
+  const core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  auto solved = strategy.solve(20.0, 1.85e5);
+  EXPECT_TRUE(solved.ok());
+
+  arrivals::FixedRateArrivals arrival_process(20.0);
+  sim::EnforcedSimConfig config;
+  config.input_count = 2000;
+  config.deadline = 1.85e5;
+  config.seed = 2021;
+  const auto metrics = sim::simulate_enforced_waits(
+      pipeline, solved.value().firing_intervals, arrival_process, config);
+  if (misses_out != nullptr) *misses_out = metrics.inputs_missed;
+
+  set_enabled(false);
+  const auto events = session.drain();
+  EXPECT_GT(events.size(), 0u);
+  auto verdict = validate_span_nesting(events);
+  EXPECT_TRUE(verdict.ok()) << verdict.error().message;
+
+  std::uint64_t miss_instants = 0;
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceKind::kInstant &&
+        std::string_view(event.name) == "deadline_miss") {
+      ++miss_instants;
+    }
+  }
+  EXPECT_EQ(miss_instants, metrics.inputs_missed);
+
+  std::ostringstream out;
+  write_chrome_trace(out, events, session);
+  return out.str();
+}
+
+TEST_F(ExportTest, PaperCellTraceIsDeterministicAndWellNested) {
+  std::uint64_t misses = 0;
+  const std::string first = traced_paper_cell_run(&misses);
+  const std::string second = traced_paper_cell_run(nullptr);
+  EXPECT_EQ(first, second);
+}
+
+#else
+
+TEST_F(ExportTest, PaperCellTraceIsDeterministicAndWellNested) {
+  GTEST_SKIP() << "simulator instrumentation requires -DRIPPLE_OBS=ON";
+}
+
+#endif  // RIPPLE_OBS
+
+}  // namespace
+}  // namespace ripple::obs

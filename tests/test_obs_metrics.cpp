@@ -1,0 +1,199 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/jsonv.hpp"
+
+namespace ripple::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.increment();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Gauge, MovesBothWays) {
+  Gauge gauge;
+  gauge.set(3.0);
+  gauge.add(2.5);
+  gauge.add(-4.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.0);
+}
+
+TEST(Gauge, ConcurrentAddsAreLossless) {
+  Gauge gauge;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < 10000; ++i) gauge.add(1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), 40000.0);
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(LatencyHistogram, BucketZeroIsSubUnitAndClampsBadInput) {
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.999), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(-5.0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(std::nan("")), 0u);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_upper(0), 1.0);
+}
+
+TEST(LatencyHistogram, BucketLayoutMatchesDocumentedFormula) {
+  // bucket 1 + 8e + s = [2^e (1 + s/8), 2^e (1 + (s+1)/8)).
+  for (std::size_t e = 0; e < 6; ++e) {
+    for (std::size_t s = 0; s < LatencyHistogram::kSubBuckets; ++s) {
+      const std::size_t index = 1 + LatencyHistogram::kSubBuckets * e + s;
+      const double lo = std::ldexp(1.0 + static_cast<double>(s) / 8.0,
+                                   static_cast<int>(e));
+      const double hi = std::ldexp(1.0 + static_cast<double>(s + 1) / 8.0,
+                                   static_cast<int>(e));
+      EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_lower(index), lo);
+      EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_upper(index), hi);
+      // Both edges and an interior point land in the right bucket.
+      EXPECT_EQ(LatencyHistogram::bucket_index(lo), index);
+      EXPECT_EQ(LatencyHistogram::bucket_index((lo + hi) / 2.0), index);
+      EXPECT_EQ(LatencyHistogram::bucket_index(std::nextafter(hi, 0.0)), index);
+      EXPECT_NE(LatencyHistogram::bucket_index(hi), index);
+    }
+  }
+}
+
+TEST(LatencyHistogram, BucketsTileTheRangeWithoutGaps) {
+  for (std::size_t i = 0; i + 1 < LatencyHistogram::kBucketCount; ++i) {
+    EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_upper(i),
+                     LatencyHistogram::bucket_lower(i + 1));
+  }
+  // The top edge is finite (2^40) so the JSON dump never emits null.
+  const double top =
+      LatencyHistogram::bucket_upper(LatencyHistogram::kBucketCount - 1);
+  EXPECT_DOUBLE_EQ(top, std::ldexp(1.0, 40));
+  EXPECT_EQ(LatencyHistogram::bucket_index(1e18),
+            LatencyHistogram::kBucketCount - 1);
+}
+
+TEST(LatencyHistogram, SumMeanMinMaxAreExact) {
+  LatencyHistogram histogram;
+  histogram.record(10.0);
+  histogram.record(20.0);
+  histogram.record(100.0);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 130.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 130.0 / 3.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 100.0);
+}
+
+TEST(LatencyHistogram, QuantileFollowsDocumentedContract) {
+  // 100 samples at exact values 1..100; quantile(q) must return the upper
+  // bound of the bucket holding the rank-ceil(q*100) sample, clamped to the
+  // exact max.
+  LatencyHistogram histogram;
+  for (int i = 1; i <= 100; ++i) histogram.record(static_cast<double>(i));
+
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const auto rank =
+        static_cast<std::uint64_t>(std::ceil(q * 100.0));
+    // Recompute the expected value straight from the documented layout.
+    std::uint64_t cumulative = 0;
+    double expected = 0.0;
+    for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      cumulative += histogram.bucket_count(i);
+      if (cumulative >= rank) {
+        expected = std::min(LatencyHistogram::bucket_upper(i),
+                            histogram.max());
+        break;
+      }
+    }
+    EXPECT_DOUBLE_EQ(histogram.quantile(q), expected) << "q = " << q;
+  }
+  // The extreme quantile clamps to the exact observed maximum.
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 100.0);
+  // Single-sample histograms report that sample for every quantile.
+  LatencyHistogram single;
+  single.record(42.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.99), 42.0);
+}
+
+TEST(LatencyHistogram, ResetClearsEverything) {
+  LatencyHistogram histogram;
+  histogram.record(5.0);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+  EXPECT_EQ(histogram.bucket_count(LatencyHistogram::bucket_index(5.0)), 0u);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(Registry, GetOrCreateReturnsStableIdentity) {
+  Registry registry;
+  Counter* counter = registry.counter("a.counter");
+  EXPECT_EQ(registry.counter("a.counter"), counter);
+  counter->increment();
+  EXPECT_EQ(registry.counter("a.counter")->value(), 1u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry registry;
+  registry.counter("metric");
+  EXPECT_THROW(registry.gauge("metric"), std::logic_error);
+  EXPECT_THROW(registry.histogram("metric"), std::logic_error);
+}
+
+TEST(Registry, JsonDumpIsDeterministicAndParses) {
+  Registry registry;
+  registry.counter("z.last")->add(7);
+  registry.gauge("m.level")->set(2.5);
+  registry.histogram("a.lat")->record(100.0);
+  registry.counter("b.first")->add(1);
+
+  std::ostringstream first;
+  registry.write_json(first);
+  std::ostringstream second;
+  registry.write_json(second);
+  EXPECT_EQ(first.str(), second.str());  // byte-identical on re-dump
+
+  auto document = util::parse_json(first.str());
+  ASSERT_TRUE(document.ok()) << document.error().message;
+  EXPECT_EQ(document.value().string_or("schema", ""), "ripple.metrics.v1");
+  const auto& counters = document.value().find("counters")->as_array();
+  ASSERT_EQ(counters.size(), 2u);
+  // Name order, not registration order.
+  EXPECT_EQ(counters[0].string_or("name", ""), "b.first");
+  EXPECT_EQ(counters[1].string_or("name", ""), "z.last");
+  const auto& histograms = document.value().find("histograms")->as_array();
+  ASSERT_EQ(histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(histograms[0].number_or("max", 0.0), 100.0);
+}
+
+TEST(Registry, ResetValuesKeepsRegistrations) {
+  Registry registry;
+  Counter* counter = registry.counter("c");
+  LatencyHistogram* histogram = registry.histogram("h");
+  counter->add(5);
+  histogram->record(3.0);
+  registry.reset_values();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(histogram->count(), 0u);
+  EXPECT_EQ(registry.counter("c"), counter);  // same object, still registered
+}
+
+}  // namespace
+}  // namespace ripple::obs

@@ -1,0 +1,174 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace ripple::obs {
+namespace {
+
+TraceEvent make_event(const char* name, double ts,
+                      TraceKind kind = TraceKind::kInstant) {
+  TraceEvent event;
+  event.name = name;
+  event.ts = ts;
+  event.kind = kind;
+  return event;
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(1, 0).capacity(), 16u);   // minimum
+  EXPECT_EQ(TraceRing(16, 0).capacity(), 16u);
+  EXPECT_EQ(TraceRing(17, 0).capacity(), 32u);
+  EXPECT_EQ(TraceRing(1000, 0).capacity(), 1024u);
+}
+
+TEST(TraceRing, RetainsEventsInOrderBelowCapacity) {
+  TraceRing ring(16, 3);
+  for (int i = 0; i < 10; ++i) {
+    ring.record(make_event("e", static_cast<double>(i)));
+  }
+  std::vector<TraceEvent> drained;
+  ring.drain_into(drained);
+  ASSERT_EQ(drained.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(drained[i].ts, static_cast<double>(i));
+    EXPECT_EQ(drained[i].ring, 3u);  // ordinal stamped on record
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, WraparoundKeepsNewestAndCountsDropped) {
+  TraceRing ring(16, 0);
+  for (int i = 0; i < 40; ++i) {
+    ring.record(make_event("e", static_cast<double>(i)));
+  }
+  std::vector<TraceEvent> drained;
+  ring.drain_into(drained);
+  // Oldest 24 overwritten; the retained window is [24, 40), oldest first.
+  ASSERT_EQ(drained.size(), 16u);
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_DOUBLE_EQ(drained[i].ts, static_cast<double>(24 + i));
+  }
+  EXPECT_EQ(ring.recorded(), 40u);
+  EXPECT_EQ(ring.dropped(), 24u);
+}
+
+// ------------------------------------------------------------------ session
+
+/// Each test leaves the global session and runtime switch as it found them.
+class TraceSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceSession::global().clear();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    TraceSession::global().clear();
+  }
+};
+
+TEST_F(TraceSessionTest, WriterIsInactiveWhenDisabled) {
+  set_enabled(false);
+  TraceWriter writer = TraceWriter::for_current_thread();
+  EXPECT_FALSE(writer.active());
+  EXPECT_EQ(writer.track(), 0u);
+  EXPECT_TRUE(TraceSession::global().drain().empty());
+}
+
+TEST_F(TraceSessionTest, WriterRecordsIntoThreadRing) {
+  TraceWriter writer = TraceWriter::for_current_thread();
+  ASSERT_TRUE(writer.active());
+  writer.begin(Domain::kSim, 2, "span", 1.0);
+  writer.counter(Domain::kSim, 2, "depth", 1.5, 7.0);
+  writer.instant(Domain::kHost, 0, "mark", 2.0, -3.0);
+  writer.end(Domain::kSim, 2, "span", 4.0);
+
+  const auto events = TraceSession::global().drain();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, TraceKind::kBegin);
+  EXPECT_EQ(events[1].kind, TraceKind::kCounter);
+  EXPECT_DOUBLE_EQ(events[1].value, 7.0);
+  EXPECT_EQ(events[2].domain, Domain::kHost);
+  EXPECT_DOUBLE_EQ(events[2].value, -3.0);
+  EXPECT_EQ(events[3].kind, TraceKind::kEnd);
+  EXPECT_EQ(events[3].track, 2u);
+}
+
+TEST_F(TraceSessionTest, RingsGetDistinctOrdinalsPerThread) {
+  TraceWriter main_writer = TraceWriter::for_current_thread();
+  ASSERT_TRUE(main_writer.active());
+  std::uint32_t worker_track = 0;
+  std::thread worker([&worker_track] {
+    TraceWriter writer = TraceWriter::for_current_thread();
+    ASSERT_TRUE(writer.active());
+    worker_track = writer.track();
+    writer.instant(Domain::kHost, writer.track(), "worker_mark", 1.0, 0.0);
+  });
+  worker.join();
+  EXPECT_NE(worker_track, main_writer.track());
+
+  const auto events = TraceSession::global().drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ring, worker_track);
+}
+
+TEST_F(TraceSessionTest, ClearInvalidatesCachedRings) {
+  TraceWriter writer = TraceWriter::for_current_thread();
+  writer.instant(Domain::kSim, 0, "before", 1.0, 0.0);
+  TraceSession::global().clear();
+  EXPECT_TRUE(TraceSession::global().drain().empty());
+
+  // The thread-local cache must re-register instead of writing into the
+  // freed ring.
+  TraceWriter fresh = TraceWriter::for_current_thread();
+  ASSERT_TRUE(fresh.active());
+  fresh.instant(Domain::kSim, 0, "after", 2.0, 0.0);
+  const auto events = TraceSession::global().drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "after");
+}
+
+TEST_F(TraceSessionTest, SetRingCapacityAppliesToNewRings) {
+  TraceSession::global().set_ring_capacity(16);
+  TraceWriter writer = TraceWriter::for_current_thread();
+  for (int i = 0; i < 64; ++i) {
+    writer.instant(Domain::kSim, 0, "e", static_cast<double>(i), 0.0);
+  }
+  EXPECT_EQ(TraceSession::global().drain().size(), 16u);
+  EXPECT_EQ(TraceSession::global().dropped(), 48u);
+  TraceSession::global().set_ring_capacity(1 << 16);  // restore default
+}
+
+TEST_F(TraceSessionTest, TrackNamesRoundTrip) {
+  auto& session = TraceSession::global();
+  session.set_track_name(Domain::kSim, 1, "seed_filter");
+  session.set_track_name(Domain::kHost, 0, "sweep worker 0");
+  const auto names = session.track_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names.at({0, 1}), "seed_filter");
+  EXPECT_EQ(names.at({1, 0}), "sweep worker 0");
+}
+
+TEST_F(TraceSessionTest, HostClockIsMonotonic) {
+  auto& session = TraceSession::global();
+  const double first = session.host_now_us();
+  const double second = session.host_now_us();
+  EXPECT_GE(second, first);
+  EXPECT_GE(first, 0.0);
+}
+
+TEST(ObsSwitch, InstrumentationFlagMatchesBuild) {
+#if RIPPLE_OBS
+  EXPECT_TRUE(instrumentation_compiled());
+#else
+  EXPECT_FALSE(instrumentation_compiled());
+#endif
+}
+
+}  // namespace
+}  // namespace ripple::obs

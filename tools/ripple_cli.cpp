@@ -19,6 +19,8 @@
 #include <sstream>
 
 #include "arrivals/arrival_process.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_export.hpp"
 #include "blast/canonical.hpp"
 #include "core/report.hpp"
 #include "core/robustness.hpp"
@@ -85,6 +87,43 @@ core::EnforcedWaitsConfig enforced_config(const sdf::PipelineSpec& pipeline,
 }
 
 std::string fmt(double v, int p = 4) { return util::format_double(v, p); }
+
+/// Arm observability recording when --trace-out/--metrics-out was given.
+void enable_observability(const util::CliParser& cli) {
+  if (cli.get_string("trace-out").empty() &&
+      cli.get_string("metrics-out").empty()) {
+    return;
+  }
+  obs::set_enabled(true);
+  if (!obs::instrumentation_compiled()) {
+    std::cerr << "warning: --trace-out/--metrics-out requested but this "
+                 "build has RIPPLE_OBS=OFF; outputs will be empty\n";
+  }
+}
+
+/// Write the requested observability artifacts after the command has run.
+int export_observability(const util::CliParser& cli, int code) {
+  const std::string& trace_path = cli.get_string("trace-out");
+  if (!trace_path.empty()) {
+    if (auto written = obs::export_chrome_trace_file(trace_path);
+        !written.ok()) {
+      std::cerr << "cannot write trace: " << written.error().message << "\n";
+      return 2;
+    }
+    std::cout << "wrote trace " << trace_path << "\n";
+  }
+  const std::string& metrics_path = cli.get_string("metrics-out");
+  if (!metrics_path.empty()) {
+    if (auto written = obs::export_metrics_file(metrics_path);
+        !written.ok()) {
+      std::cerr << "cannot write metrics: " << written.error().message
+                << "\n";
+      return 2;
+    }
+    std::cout << "wrote metrics " << metrics_path << "\n";
+  }
+  return code;
+}
 
 // ---------------------------------------------------------------- commands
 
@@ -370,6 +409,10 @@ int main(int argc, const char** argv) {
   cli.add_string("model", "batch", "predict-b: poisson|batch");
   cli.add_double("headroom", 0.9, "predict-b: solve at (h*tau0, h*D)");
   cli.add_double("epsilon", 1e-4, "predict-b: queue-quantile tail level");
+  cli.add_string("trace-out", "",
+                 "write a Chrome trace_event timeline here (RIPPLE_OBS builds)");
+  cli.add_string("metrics-out", "",
+                 "write the metrics registry as JSON here (RIPPLE_OBS builds)");
 
   auto parsed = cli.parse(argc - 1, argv + 1);
   if (!parsed.ok()) {
@@ -391,14 +434,23 @@ int main(int argc, const char** argv) {
     return 2;
   }
 
+  enable_observability(cli);
+
   try {
-    if (command == "describe") return cmd_describe(pipeline.value(), cli);
-    if (command == "solve") return cmd_solve(pipeline.value(), cli);
-    if (command == "sweep") return cmd_sweep(pipeline.value(), cli);
-    if (command == "simulate") return cmd_simulate(pipeline.value(), cli);
-    if (command == "predict-b") return cmd_predict_b(pipeline.value(), cli);
-    if (command == "sensitivity") return cmd_sensitivity(pipeline.value(), cli);
-    if (command == "tradeoff") return cmd_tradeoff(pipeline.value(), cli);
+    if (command == "describe")
+      return export_observability(cli, cmd_describe(pipeline.value(), cli));
+    if (command == "solve")
+      return export_observability(cli, cmd_solve(pipeline.value(), cli));
+    if (command == "sweep")
+      return export_observability(cli, cmd_sweep(pipeline.value(), cli));
+    if (command == "simulate")
+      return export_observability(cli, cmd_simulate(pipeline.value(), cli));
+    if (command == "predict-b")
+      return export_observability(cli, cmd_predict_b(pipeline.value(), cli));
+    if (command == "sensitivity")
+      return export_observability(cli, cmd_sensitivity(pipeline.value(), cli));
+    if (command == "tradeoff")
+      return export_observability(cli, cmd_tradeoff(pipeline.value(), cli));
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 2;

@@ -1,0 +1,189 @@
+// trace_inspect — offline checker and summarizer for RIPPLE trace files.
+//
+//   trace_inspect <trace.json> [--top N]
+//
+// Reads a Chrome trace_event document produced by --trace-out (schema
+// "ripple.trace.v1", see docs/OBSERVABILITY.md), re-validates begin/end span
+// nesting per (pid, tid) lane, and prints a per-name summary table: span
+// counts, total/mean/max duration, plus instant and counter tallies. Exits
+// nonzero on malformed input or broken nesting, so it doubles as a CI check
+// on generated traces.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/jsonv.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ripple;
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total = 0.0;
+  double max = 0.0;
+};
+
+struct InstantStats {
+  std::uint64_t count = 0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+};
+
+struct OpenSpan {
+  std::string name;
+  double ts = 0.0;
+};
+
+std::string fmt(double v, int p = 1) { return util::format_double(v, p); }
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  util::CliParser cli;
+  cli.add_int("top", 20, "show at most this many rows per section");
+  auto parsed = cli.parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error().message << "\n";
+    return 2;
+  }
+  if (cli.help_requested() || cli.positional().empty()) {
+    std::cout << cli.usage("trace_inspect <trace.json>") << std::endl;
+    return cli.help_requested() ? 0 : 2;
+  }
+
+  const std::string& path = cli.positional()[0];
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto document = util::parse_json(text.str());
+  if (!document.ok()) {
+    std::cerr << "malformed JSON (" << document.error().code
+              << "): " << document.error().message << "\n";
+    return 1;
+  }
+
+  const util::JsonValue* events = document.value().find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::cerr << "not a trace document: missing traceEvents array\n";
+    return 1;
+  }
+
+  // Lane = one Perfetto timeline row. Nesting is checked per lane with the
+  // same rule the exporter's validate_span_nesting enforces pre-export.
+  std::map<std::pair<double, double>, std::vector<OpenSpan>> lanes;
+  std::map<std::string, SpanStats> spans;
+  std::map<std::string, InstantStats> instants;
+  std::map<std::string, std::uint64_t> counters;
+  std::uint64_t total_events = 0;
+  std::uint64_t nesting_errors = 0;
+
+  for (const util::JsonValue& event : events->as_array()) {
+    const std::string ph = event.string_or("ph", "");
+    if (ph == "M") continue;  // metadata carries no timing
+    ++total_events;
+    const std::string name = event.string_or("name", "?");
+    const double ts = event.number_or("ts", 0.0);
+    auto& lane = lanes[{event.number_or("pid", 0.0),
+                        event.number_or("tid", 0.0)}];
+    if (ph == "B") {
+      lane.push_back({name, ts});
+    } else if (ph == "E") {
+      if (lane.empty() || lane.back().name != name) {
+        std::cerr << "nesting error: end '" << name << "' at ts " << fmt(ts)
+                  << (lane.empty()
+                          ? " with no open span"
+                          : " while '" + lane.back().name + "' is open")
+                  << "\n";
+        ++nesting_errors;
+        if (!lane.empty()) lane.pop_back();
+        continue;
+      }
+      SpanStats& stats = spans[name];
+      const double duration = ts - lane.back().ts;
+      ++stats.count;
+      stats.total += duration;
+      stats.max = std::max(stats.max, duration);
+      lane.pop_back();
+    } else if (ph == "i") {
+      const util::JsonValue* args = event.find("args");
+      const double value =
+          args == nullptr ? 0.0 : args->number_or("value", 0.0);
+      InstantStats& stats = instants[name];
+      if (stats.count == 0) {
+        stats.min_value = stats.max_value = value;
+      } else {
+        stats.min_value = std::min(stats.min_value, value);
+        stats.max_value = std::max(stats.max_value, value);
+      }
+      ++stats.count;
+    } else if (ph == "C") {
+      ++counters[name];
+    }
+  }
+  for (const auto& [lane_key, open] : lanes) {
+    for (const OpenSpan& span : open) {
+      std::cerr << "nesting error: span '" << span.name << "' on lane ("
+                << fmt(lane_key.first, 0) << ", " << fmt(lane_key.second, 0)
+                << ") never closed\n";
+      ++nesting_errors;
+    }
+  }
+
+  std::cout << path << ": " << util::with_commas(total_events)
+            << " events across " << lanes.size() << " lanes\n\n";
+  const auto top =
+      static_cast<std::size_t>(std::max<long long>(1, cli.get_int("top")));
+
+  if (!spans.empty()) {
+    util::TextTable table({"span", "count", "total", "mean", "max"});
+    std::size_t shown = 0;
+    for (const auto& [name, stats] : spans) {
+      if (shown++ >= top) break;
+      table.add_row({name, util::with_commas(stats.count), fmt(stats.total),
+                     fmt(stats.total / static_cast<double>(stats.count)),
+                     fmt(stats.max)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  if (!instants.empty()) {
+    util::TextTable table({"instant", "count", "min value", "max value"});
+    std::size_t shown = 0;
+    for (const auto& [name, stats] : instants) {
+      if (shown++ >= top) break;
+      table.add_row({name, util::with_commas(stats.count),
+                     fmt(stats.min_value), fmt(stats.max_value)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  if (!counters.empty()) {
+    util::TextTable table({"counter", "samples"});
+    std::size_t shown = 0;
+    for (const auto& [name, count] : counters) {
+      if (shown++ >= top) break;
+      table.add_row({name, util::with_commas(count)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  if (nesting_errors > 0) {
+    std::cerr << nesting_errors << " nesting error(s)\n";
+    return 1;
+  }
+  std::cout << "span nesting: OK\n";
+  return 0;
+}
