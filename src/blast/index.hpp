@@ -36,6 +36,13 @@ class KmerIndex {
   /// Total number of indexed k-mer occurrences.
   std::size_t total_occurrences() const noexcept { return positions_.size(); }
 
+  /// Raw CSR arrays for vectorized probing (blast/simd_kernels.cpp): gathers
+  /// on offsets_data()[code] / [code + 1] replace per-code positions() calls.
+  const std::uint32_t* offsets_data() const noexcept { return offsets_.data(); }
+  const std::uint32_t* positions_data() const noexcept {
+    return positions_.data();
+  }
+
   /// Number of distinct k-mer codes present.
   std::size_t distinct_kmers() const;
 

@@ -1,0 +1,737 @@
+#include "blast/simd_kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "device/dispatch.hpp"
+#include "util/assert.hpp"
+
+#if RIPPLE_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace ripple::blast::simd {
+
+namespace {
+
+using runtime::BatchEmitter;
+using runtime::field_from_i32;
+using runtime::field_to_i32;
+
+// ---------------------------------------------------------------------------
+// Scalar bodies: always compiled, the only bodies on RIPPLE_SIMD=OFF builds.
+// These reuse the per-item BlastStages logic so any fix there is inherited.
+// ---------------------------------------------------------------------------
+
+void encode_kmers_scalar(const Sequence& subject, std::size_t k,
+                         const std::uint32_t* pos, std::size_t n,
+                         std::uint32_t* codes) {
+  for (std::size_t i = 0; i < n; ++i) {
+    codes[i] = encode_kmer(subject, pos[i], k);
+  }
+}
+
+void seed_filter_scalar(const BlastStages& stages, const std::uint32_t* pos,
+                        std::size_t n, BatchEmitter& out) {
+  const KmerIndex& index = stages.index();
+  const std::uint32_t* offsets = index.offsets_data();
+  const std::size_t k = stages.config().k;
+  const Sequence& subject = stages.pair().subject;
+  for (std::size_t lane = 0; lane < n; ++lane) {
+    const KmerCode code = encode_kmer(subject, pos[lane], k);
+    if (offsets[code + 1] > offsets[code]) out.emit(lane, pos[lane]);
+  }
+}
+
+void ungapped_extend_scalar(const BlastStages& stages, const std::uint32_t* sp,
+                            const std::uint32_t* qp, std::size_t n,
+                            BatchEmitter& out) {
+  StageCost cost;
+  for (std::size_t lane = 0; lane < n; ++lane) {
+    const auto hit = stages.ungapped_extend(HitItem{sp[lane], qp[lane]}, cost);
+    if (hit.has_value()) {
+      out.emit(lane, hit->subject_pos, hit->query_pos,
+               field_from_i32(hit->ungapped_score));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 bodies. Guarded at compile time by RIPPLE_SIMD_X86 and at run time by
+// active_simd_level(); arithmetic is integer-for-integer identical to the
+// scalar bodies.
+// ---------------------------------------------------------------------------
+#if RIPPLE_SIMD_X86
+
+/// Pack one gathered 32-bit word (4 consecutive bases, little-endian, so the
+/// lowest-addressed base sits in the low byte) into 8 code bits with the
+/// first base most significant — the bit order encode_kmer() produces.
+__attribute__((target("avx2"))) inline __m256i pack_word_to_code_bits(
+    __m256i w) {
+  const __m256i b0 = _mm256_slli_epi32(_mm256_and_si256(w, _mm256_set1_epi32(3)), 6);
+  const __m256i b1 = _mm256_and_si256(_mm256_srli_epi32(w, 4),
+                                      _mm256_set1_epi32(3 << 4));
+  const __m256i b2 = _mm256_and_si256(_mm256_srli_epi32(w, 14),
+                                      _mm256_set1_epi32(3 << 2));
+  const __m256i b3 = _mm256_and_si256(_mm256_srli_epi32(w, 24),
+                                      _mm256_set1_epi32(3));
+  return _mm256_or_si256(_mm256_or_si256(b0, b1), _mm256_or_si256(b2, b3));
+}
+
+/// Codes of 8 windows starting at the byte offsets in `idx`. Requires
+/// k % 4 == 0: the gathers then read exactly the k window bytes, never past
+/// them.
+__attribute__((target("avx2"))) inline __m256i encode8(const Base* subject,
+                                                       __m256i idx,
+                                                       std::size_t k) {
+  __m256i code = _mm256_setzero_si256();
+  for (std::size_t word = 0; word * 4 < k; ++word) {
+    const __m256i addr = _mm256_add_epi32(
+        idx, _mm256_set1_epi32(static_cast<int>(4 * word)));
+    const __m256i w = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(subject), addr, 1);
+    code = _mm256_or_si256(_mm256_slli_epi32(code, 8),
+                           pack_word_to_code_bits(w));
+  }
+  return code;
+}
+
+__attribute__((target("avx2"))) void encode_kmers_avx2(
+    const Sequence& subject, std::size_t k, const std::uint32_t* pos,
+    std::size_t n, std::uint32_t* codes) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pos + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(codes + i),
+                        encode8(subject.data(), idx, k));
+  }
+  for (; i < n; ++i) codes[i] = encode_kmer(subject, pos[i], k);
+}
+
+__attribute__((target("avx2"))) void seed_filter_avx2(const BlastStages& stages,
+                                                      const std::uint32_t* pos,
+                                                      std::size_t n,
+                                                      BatchEmitter& out) {
+  const std::uint32_t* offsets = stages.index().offsets_data();
+  const Base* subject = stages.pair().subject.data();
+  const std::size_t k = stages.config().k;
+  std::size_t lane = 0;
+  for (; lane + 8 <= n; lane += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pos + lane));
+    const __m256i code = encode8(subject, idx, k);
+    // CSR probe: a code is present iff its offsets run is non-empty.
+    const __m256i off0 = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(offsets), code, 4);
+    const __m256i off1 = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(offsets),
+        _mm256_add_epi32(code, _mm256_set1_epi32(1)), 4);
+    const __m256i hit = _mm256_cmpgt_epi32(off1, off0);
+    int mask = _mm256_movemask_ps(_mm256_castsi256_ps(hit));
+    while (mask != 0) {
+      const int bit = __builtin_ctz(static_cast<unsigned>(mask));
+      out.emit(lane + static_cast<std::size_t>(bit),
+               pos[lane + static_cast<std::size_t>(bit)]);
+      mask &= mask - 1;
+    }
+  }
+  for (; lane < n; ++lane) {
+    const KmerCode code = encode_kmer(stages.pair().subject, pos[lane], k);
+    if (offsets[code + 1] > offsets[code]) out.emit(lane, pos[lane]);
+  }
+}
+
+/// BlastStages::extend_direction resumed from mid-walk state: identical
+/// recurrence, but score/best start from the values a partially-run vector
+/// walk accumulated. Used to finish worklist tails narrower than a vector.
+inline int extend_scalar_from(const Base* subject, int subject_size,
+                              const Base* query, int query_size, int s, int q,
+                              int score, int best, int direction, int match,
+                              int mismatch, int xdrop) {
+  while (s >= 0 && q >= 0 && s < subject_size && q < query_size) {
+    score += (subject[s] == query[q]) ? match : mismatch;
+    best = std::max(best, score);
+    if (best - score > xdrop) break;
+    s += direction;
+    q += direction;
+  }
+  return best;
+}
+
+/// Run 8 in-flight ungapped walks for up to `blocks` four-step gather blocks.
+/// One masked 32-bit word gather per sequence covers the next four bases of
+/// each lane's walk (forward words start at the position, backward words end
+/// there; addresses clamp to the sequence so active lanes never read past
+/// it), and the four inner steps shift their byte out per lane — a lane
+/// still active at a step provably sits inside its block word. The query
+/// tracks the subject at constant per-lane offset `d = q - s`, so bounds
+/// collapse to a single per-lane limit on s (`bound`: first out-of-range s
+/// for the walk's direction, precomputed by the caller) and the query byte
+/// shift is the subject shift plus a block constant. Updates s/score/best in
+/// place and returns the still-active mask.
+__attribute__((target("avx2"))) inline __m256i extend8_chunk(
+    const Base* subject, const Base* query, __m256i s_last_word,
+    __m256i q_last_word, __m256i bound, __m256i d, int direction,
+    __m256i match_v, __m256i mismatch_v, __m256i xdrop_v, __m256i& s,
+    __m256i& score, __m256i& best, __m256i active, int blocks) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i three = _mm256_set1_epi32(3);
+  const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+  const __m256i step = _mm256_set1_epi32(direction);
+
+  for (int block = 0; block < blocks; ++block) {
+    const __m256i q_pos = _mm256_add_epi32(s, d);
+    const __m256i s_addr =
+        direction > 0 ? _mm256_min_epi32(s, s_last_word)
+                      : _mm256_max_epi32(_mm256_sub_epi32(s, three), zero);
+    const __m256i q_addr =
+        direction > 0 ? _mm256_min_epi32(q_pos, q_last_word)
+                      : _mm256_max_epi32(_mm256_sub_epi32(q_pos, three), zero);
+    const __m256i sword = _mm256_mask_i32gather_epi32(
+        zero, reinterpret_cast<const int*>(subject), s_addr, active, 1);
+    const __m256i qword = _mm256_mask_i32gather_epi32(
+        zero, reinterpret_cast<const int*>(query), q_addr, active, 1);
+    // q_shift = s_shift + 8 * (s_addr + d - q_addr), constant per block.
+    const __m256i q_shift_delta = _mm256_slli_epi32(
+        _mm256_sub_epi32(_mm256_add_epi32(s_addr, d), q_addr), 3);
+    for (int t = 0; t < 4; ++t) {
+      // Per-lane byte extraction at the lane's CURRENT position (retired
+      // lanes compute garbage, masked out of delta; their shift may even be
+      // negative, which srlv maps to zero).
+      const __m256i s_shift =
+          _mm256_slli_epi32(_mm256_sub_epi32(s, s_addr), 3);
+      const __m256i sb =
+          _mm256_and_si256(_mm256_srlv_epi32(sword, s_shift), byte_mask);
+      const __m256i qb = _mm256_and_si256(
+          _mm256_srlv_epi32(qword, _mm256_add_epi32(s_shift, q_shift_delta)),
+          byte_mask);
+      const __m256i eq = _mm256_cmpeq_epi32(sb, qb);
+      // delta = match/mismatch on active lanes, 0 (no-op) on retired ones.
+      const __m256i delta = _mm256_and_si256(
+          _mm256_blendv_epi8(mismatch_v, match_v, eq), active);
+      score = _mm256_add_epi32(score, delta);
+      best = _mm256_max_epi32(best, score);
+      const __m256i dropped =
+          _mm256_cmpgt_epi32(_mm256_sub_epi32(best, score), xdrop_v);
+      active = _mm256_andnot_si256(dropped, active);
+      s = _mm256_add_epi32(s, _mm256_and_si256(step, active));
+      const __m256i in_range = direction > 0 ? _mm256_cmpgt_epi32(bound, s)
+                                             : _mm256_cmpgt_epi32(s, bound);
+      active = _mm256_and_si256(active, in_range);
+      if (_mm256_movemask_ps(_mm256_castsi256_ps(active)) == 0) return active;
+    }
+  }
+  return active;
+}
+
+/// In-flight ungapped walks awaiting more vector chunks: SoA state of the
+/// compacted worklist.
+struct WalkList {
+  std::vector<std::int32_t> index;  ///< originating hit index
+  std::vector<std::int32_t> s;      ///< current subject position
+  std::vector<std::int32_t> d;      ///< query minus subject position
+  std::vector<std::int32_t> score;
+  std::vector<std::int32_t> best;
+
+  void reserve(std::size_t n) {
+    index.reserve(n);
+    s.reserve(n);
+    d.reserve(n);
+    score.reserve(n);
+    best.reserve(n);
+  }
+  void clear() {
+    index.clear();
+    s.clear();
+    d.clear();
+    score.clear();
+    best.clear();
+  }
+  void push(std::int32_t idx, std::int32_t s_pos, std::int32_t delta,
+            std::int32_t sc, std::int32_t bst) {
+    index.push_back(idx);
+    s.push_back(s_pos);
+    d.push_back(delta);
+    score.push_back(sc);
+    best.push_back(bst);
+  }
+  std::size_t size() const { return index.size(); }
+};
+
+/// One extension direction for all hits, worklist-style: walks run in capped
+/// vector chunks, retired lanes drop out, and survivors are re-packed into
+/// dense groups for the next round — so a handful of long walks (e.g.
+/// through a planted homology) end up sharing vectors with each other
+/// instead of pinning seven retired lanes each. Regrouping cannot change
+/// results: each lane's recurrence touches only its own state. Remainders
+/// narrower than a vector resume scalar from the accumulated state.
+__attribute__((target("avx2"))) void extend_avx2_direction(
+    const BlastStages& stages, const std::uint32_t* sp, const std::uint32_t* qp,
+    std::size_t n, int start_offset, int direction, std::int32_t* out_best) {
+  const BlastStages::Config& config = stages.config();
+  const Base* subject = stages.pair().subject.data();
+  const Base* query = stages.pair().query.data();
+  const int subject_size = static_cast<int>(stages.pair().subject.size());
+  const int query_size = static_cast<int>(stages.pair().query.size());
+  const __m256i s_last_word = _mm256_set1_epi32(subject_size - 4);
+  const __m256i q_last_word = _mm256_set1_epi32(query_size - 4);
+  const __m256i match_v = _mm256_set1_epi32(config.match_score);
+  const __m256i mismatch_v = _mm256_set1_epi32(config.mismatch_penalty);
+  const __m256i xdrop_v = _mm256_set1_epi32(config.xdrop);
+  const __m256i subject_size_v = _mm256_set1_epi32(subject_size);
+  const __m256i query_size_v = _mm256_set1_epi32(query_size);
+  const __m256i zero = _mm256_setzero_si256();
+  constexpr int kChunkBlocks = 8;  // 32 steps between re-packs
+
+  thread_local WalkList live;
+  thread_local WalkList next;
+  live.clear();
+  live.reserve(n);
+  next.clear();
+  next.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const int s0 = static_cast<int>(sp[i]) + start_offset;
+    const int q0 = static_cast<int>(qp[i]) + start_offset;
+    out_best[i] = 0;
+    if (s0 >= 0 && q0 >= 0 && s0 < subject_size && q0 < query_size) {
+      live.push(static_cast<std::int32_t>(i), s0, q0 - s0, 0, 0);
+    }
+  }
+
+  alignas(32) std::int32_t s_a[8];
+  alignas(32) std::int32_t score_a[8];
+  alignas(32) std::int32_t best_a[8];
+  while (live.size() >= 8) {
+    next.clear();
+    std::size_t g = 0;
+    for (; g + 8 <= live.size(); g += 8) {
+      __m256i s = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(live.s.data() + g));
+      const __m256i d = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(live.d.data() + g));
+      __m256i score = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(live.score.data() + g));
+      __m256i best = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(live.best.data() + g));
+      // First out-of-range s for this walk: forward stops when either
+      // sequence ends, backward when either hits -1.
+      const __m256i bound =
+          direction > 0
+              ? _mm256_min_epi32(subject_size_v,
+                                 _mm256_sub_epi32(query_size_v, d))
+              : _mm256_sub_epi32(_mm256_max_epi32(zero, _mm256_sub_epi32(
+                                                            zero, d)),
+                                 _mm256_set1_epi32(1));
+      const __m256i all = _mm256_set1_epi32(-1);
+      const __m256i active = extend8_chunk(
+          subject, query, s_last_word, q_last_word, bound, d, direction,
+          match_v, mismatch_v, xdrop_v, s, score, best, all, kChunkBlocks);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(s_a), s);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(score_a), score);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(best_a), best);
+      const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(active));
+      for (int r = 0; r < 8; ++r) {
+        const std::int32_t idx = live.index[g + static_cast<std::size_t>(r)];
+        if (mask & (1 << r)) {
+          next.push(idx, s_a[r], live.d[g + static_cast<std::size_t>(r)],
+                    score_a[r], best_a[r]);
+        } else {
+          out_best[idx] = best_a[r];
+        }
+      }
+    }
+    for (; g < live.size(); ++g) {
+      const int s0 = live.s[g];
+      out_best[live.index[g]] = extend_scalar_from(
+          subject, subject_size, query, query_size, s0, s0 + live.d[g],
+          live.score[g], live.best[g], direction, config.match_score,
+          config.mismatch_penalty, config.xdrop);
+    }
+    std::swap(live, next);
+  }
+  for (std::size_t g = 0; g < live.size(); ++g) {
+    const int s0 = live.s[g];
+    out_best[live.index[g]] = extend_scalar_from(
+        subject, subject_size, query, query_size, s0, s0 + live.d[g],
+        live.score[g], live.best[g], direction, config.match_score,
+        config.mismatch_penalty, config.xdrop);
+  }
+}
+
+__attribute__((target("avx2"))) void ungapped_extend_avx2(
+    const BlastStages& stages, const std::uint32_t* sp, const std::uint32_t* qp,
+    std::size_t n, BatchEmitter& out) {
+  const BlastStages::Config& config = stages.config();
+  const int k = static_cast<int>(config.k);
+  const int seed_score = k * config.match_score;
+
+  thread_local std::vector<std::int32_t> right_best;
+  thread_local std::vector<std::int32_t> left_best;
+  right_best.resize(n);
+  left_best.resize(n);
+  extend_avx2_direction(stages, sp, qp, n, k, +1, right_best.data());
+  extend_avx2_direction(stages, sp, qp, n, -1, -1, left_best.data());
+
+  for (std::size_t lane = 0; lane < n; ++lane) {
+    const int total = seed_score + right_best[lane] + left_best[lane];
+    if (total >= config.ungapped_threshold) {
+      out.emit(lane, sp[lane], qp[lane], field_from_i32(total));
+    }
+  }
+}
+
+/// 8-lane banded gapped DP: each lane runs its own alignment's recurrence.
+/// Rows are stored band-relative — (W + 1) SoA slots of 8 lanes each, where
+/// W = 2 * band_radius + 1 and slot t of row i holds logical column
+/// j = j_lo(i) + t — so the rolling-row reads of the scalar code become a
+/// one-slot-shifted walk over the previous row: the band advances by
+/// dlo = j_lo(i) - j_lo(i-1) ∈ {0, 1} columns per row, uniformly across
+/// lanes except while some lanes are still clamped at column 0, so
+/// previous-row access is a plain vector load on the (overwhelmingly common)
+/// uniform rows and an index gather otherwise. Sentinels materialize as
+/// masked kMinScore stores, the j == 0 gap-ladder boundary as a masked
+/// i*gap store, and slot W is kMinScore forever — exactly the cells the
+/// scalar rolling rows expose, so every read sees the identical value and
+/// the integer recurrence is bit-identical. Query bases come one gathered
+/// word per four columns (same amortization as extend8); the subject base is
+/// one gather per row.
+__attribute__((target("avx2"))) void gapped_extend_avx2(
+    const BlastStages& stages, const std::uint32_t* sp, const std::uint32_t* qp,
+    const std::uint32_t* score, std::size_t n, BatchEmitter& out) {
+  const BlastStages::Config& config = stages.config();
+  const Base* subject = stages.pair().subject.data();
+  const Base* query = stages.pair().query.data();
+  const int subject_size = static_cast<int>(stages.pair().subject.size());
+  const int query_size = static_cast<int>(stages.pair().query.size());
+  const std::int64_t w = static_cast<std::int64_t>(config.gapped_window);
+  const int band = static_cast<int>(config.band_radius);
+  const int width = 2 * band + 1;
+  constexpr int kMinScore = -(1 << 28);
+
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i band_v = _mm256_set1_epi32(band);
+  const __m256i gap_v = _mm256_set1_epi32(config.gap_penalty);
+  const __m256i match_v = _mm256_set1_epi32(config.match_score);
+  const __m256i mismatch_v = _mm256_set1_epi32(config.mismatch_penalty);
+  const __m256i kmin_v = _mm256_set1_epi32(kMinScore);
+  const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+  const __m256i lane_id = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i s_last_word = _mm256_set1_epi32(subject_size - 4);
+  const __m256i q_last_word = _mm256_set1_epi32(query_size - 4);
+
+  thread_local std::vector<std::int32_t> band_rows;
+  band_rows.resize(static_cast<std::size_t>(width + 1) * 8 * 2);
+  std::int32_t* previous = band_rows.data();
+  std::int32_t* current = band_rows.data() + (width + 1) * 8;
+
+  alignas(32) std::int32_t s_begin_a[8];
+  alignas(32) std::int32_t q_begin_a[8];
+  alignas(32) std::int32_t ds_a[8];
+  alignas(32) std::int32_t cols_a[8];
+  alignas(32) std::int32_t rows_limit_a[8];
+  alignas(32) std::int32_t best_a[8];
+
+  std::size_t lane0 = 0;
+  for (; lane0 + 8 <= n; lane0 += 8) {
+    int max_rows = 0;
+    for (int r = 0; r < 8; ++r) {
+      const std::int64_t hsp = sp[lane0 + static_cast<std::size_t>(r)];
+      const std::int64_t hqp = qp[lane0 + static_cast<std::size_t>(r)];
+      const int s_begin = static_cast<int>(std::max<std::int64_t>(0, hsp - w));
+      const int s_end = static_cast<int>(
+          std::min<std::int64_t>(subject_size, hsp + w));
+      const int q_begin = static_cast<int>(std::max<std::int64_t>(0, hqp - w));
+      const int q_end = static_cast<int>(
+          std::min<std::int64_t>(query_size, hqp + w));
+      const int rows = s_end - s_begin;
+      const int cols = q_end - q_begin;
+      const int ds = static_cast<int>((hqp - q_begin) - (hsp - s_begin));
+      s_begin_a[r] = s_begin;
+      q_begin_a[r] = q_begin;
+      ds_a[r] = ds;
+      cols_a[r] = cols;
+      // Rows the scalar loop actually processes before its early break:
+      // none if the first row's band tops out below column 0, and no row
+      // whose band starts past the last column.
+      const int limit =
+          (1 + ds + band < 0) ? 0 : std::min(rows, cols - ds + band);
+      rows_limit_a[r] = std::max(limit, 0);
+      max_rows = std::max(max_rows, rows_limit_a[r]);
+      // Row 0 in band coordinates: the gap ladder j*gap up to band+ds (and
+      // cols), kMinScore beyond, j == 0 pinned to 0. Slot `width` stays
+      // kMinScore in both buffers for good: it is the above-band sentinel
+      // the scalar code writes at current[j_hi + 1] on unclamped rows.
+      const int j_lo0 = std::max(ds - band, 0);
+      for (int t = 0; t <= width; ++t) {
+        const int j = j_lo0 + t;
+        int value = kMinScore;
+        if (j == 0) {
+          value = 0;
+        } else if (j <= ds + band && j <= cols) {
+          value = j * config.gap_penalty;
+        }
+        previous[t * 8 + r] = value;
+        current[t * 8 + r] = kMinScore;
+      }
+    }
+
+    const __m256i ds_v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(ds_a));
+    const __m256i cols_v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(cols_a));
+    const __m256i rows_limit_v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(rows_limit_a));
+    const __m256i s_begin_v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(s_begin_a));
+    const __m256i q_begin_v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(q_begin_a));
+    __m256i best = zero;
+    __m256i j_lo_prev = _mm256_max_epi32(_mm256_sub_epi32(ds_v, band_v), zero);
+
+    for (int i = 1; i <= max_rows; ++i) {
+      const __m256i row_active =
+          _mm256_cmpgt_epi32(rows_limit_v, _mm256_set1_epi32(i - 1));
+      const __m256i center = _mm256_add_epi32(_mm256_set1_epi32(i), ds_v);
+      const __m256i j_lo =
+          _mm256_max_epi32(_mm256_sub_epi32(center, band_v), zero);
+      const __m256i j_hi =
+          _mm256_min_epi32(_mm256_add_epi32(center, band_v), cols_v);
+      const __m256i dlo = _mm256_sub_epi32(j_lo, j_lo_prev);
+      j_lo_prev = j_lo;
+      const int active_mask = _mm256_movemask_ps(_mm256_castsi256_ps(row_active));
+      const int shifted_mask = _mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(dlo, one))) & active_mask;
+      const bool uniform = shifted_mask == 0 || shifted_mask == active_mask;
+      const int shift_common = shifted_mask != 0 ? 1 : 0;
+
+      // The row's subject base, byte-extracted from one clamped word gather.
+      const __m256i s_idx =
+          _mm256_add_epi32(s_begin_v, _mm256_set1_epi32(i - 1));
+      const __m256i s_addr =
+          _mm256_max_epi32(_mm256_min_epi32(s_idx, s_last_word), zero);
+      const __m256i s_word = _mm256_mask_i32gather_epi32(
+          zero, reinterpret_cast<const int*>(subject), s_addr, row_active, 1);
+      const __m256i sb = _mm256_and_si256(
+          _mm256_srlv_epi32(s_word,
+                            _mm256_slli_epi32(_mm256_sub_epi32(s_idx, s_addr),
+                                              3)),
+          byte_mask);
+      const __m256i row_gap = _mm256_set1_epi32(i * config.gap_penalty);
+
+      // First j at-or-past the band's top, with retired rows gated shut
+      // (gate 0 rejects every j). Folds the row_active test out of the
+      // per-column loop; best accumulates through `stored` directly since
+      // boundary values (i*gap <= 0 <= best) and kMinScore can never win.
+      const __m256i band_gate = _mm256_blendv_epi8(
+          zero, _mm256_add_epi32(j_hi, one), row_active);
+
+      // t = 0, peeled: the only column that can be the j == 0 gap ladder or
+      // fall below j = 1. prev[j-1] here is band slot dlo - 1 of the
+      // previous row — slot 0 for shifted lanes; unshifted lanes only reach
+      // t = 0 with j == 0, which never reads it, so slot 0 serves every
+      // lane.
+      const __m256i prev_jm1_seed = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(previous));
+      __m256i prev_j;
+      if (uniform) {
+        prev_j = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+            previous + shift_common * 8));
+      } else {
+        const __m256i slot =
+            _mm256_add_epi32(_mm256_slli_epi32(dlo, 3), lane_id);
+        prev_j = _mm256_i32gather_epi32(previous, slot, 4);
+      }
+      const __m256i q_idx0 =
+          _mm256_sub_epi32(_mm256_add_epi32(q_begin_v, j_lo), one);
+      __m256i q_addr =
+          _mm256_max_epi32(_mm256_min_epi32(q_idx0, q_last_word), zero);
+      __m256i q_word = _mm256_mask_i32gather_epi32(
+          zero, reinterpret_cast<const int*>(query), q_addr, row_active, 1);
+      __m256i q_shift =
+          _mm256_slli_epi32(_mm256_sub_epi32(q_idx0, q_addr), 3);
+      __m256i left;
+      {
+        const __m256i qb = _mm256_and_si256(
+            _mm256_srlv_epi32(q_word, q_shift), byte_mask);
+        const __m256i eq = _mm256_cmpeq_epi32(sb, qb);
+        const __m256i diag = _mm256_add_epi32(
+            prev_jm1_seed, _mm256_blendv_epi8(mismatch_v, match_v, eq));
+        const __m256i up = _mm256_add_epi32(prev_j, gap_v);
+        const __m256i from_left = _mm256_add_epi32(kmin_v, gap_v);
+        const __m256i cell =
+            _mm256_max_epi32(_mm256_max_epi32(diag, up), from_left);
+        const __m256i is_dp =
+            _mm256_and_si256(_mm256_cmpgt_epi32(j_lo, zero),
+                             _mm256_cmpgt_epi32(band_gate, j_lo));
+        const __m256i is_boundary =
+            _mm256_and_si256(row_active, _mm256_cmpeq_epi32(j_lo, zero));
+        __m256i stored = _mm256_blendv_epi8(kmin_v, cell, is_dp);
+        stored = _mm256_blendv_epi8(stored, row_gap, is_boundary);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(current), stored);
+        best = _mm256_max_epi32(best, stored);
+        left = stored;
+      }
+      __m256i prev_jm1 = prev_j;
+      __m256i j_v = _mm256_add_epi32(j_lo, one);
+      const __m256i eight = _mm256_set1_epi32(8);
+      for (int t = 1; t < width; ++t) {
+        if ((t & 3) == 0) {
+          // One word gather of query bases covers this and the next three
+          // columns (consecutive j → consecutive bytes).
+          const __m256i q_idx =
+              _mm256_sub_epi32(_mm256_add_epi32(q_begin_v, j_v), one);
+          q_addr = _mm256_max_epi32(_mm256_min_epi32(q_idx, q_last_word),
+                                    zero);
+          q_word = _mm256_mask_i32gather_epi32(
+              zero, reinterpret_cast<const int*>(query), q_addr, row_active,
+              1);
+          q_shift = _mm256_slli_epi32(_mm256_sub_epi32(q_idx, q_addr), 3);
+        } else {
+          q_shift = _mm256_add_epi32(q_shift, eight);
+        }
+        const __m256i qb = _mm256_and_si256(
+            _mm256_srlv_epi32(q_word, q_shift), byte_mask);
+
+        if (uniform) {
+          prev_j = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+              previous + (t + shift_common) * 8));
+        } else {
+          const __m256i slot = _mm256_add_epi32(
+              _mm256_slli_epi32(_mm256_add_epi32(_mm256_set1_epi32(t), dlo),
+                                3),
+              lane_id);
+          prev_j = _mm256_i32gather_epi32(previous, slot, 4);
+        }
+
+        const __m256i eq = _mm256_cmpeq_epi32(sb, qb);
+        const __m256i diag = _mm256_add_epi32(
+            prev_jm1, _mm256_blendv_epi8(mismatch_v, match_v, eq));
+        const __m256i up = _mm256_add_epi32(prev_j, gap_v);
+        const __m256i from_left = _mm256_add_epi32(left, gap_v);
+        const __m256i cell =
+            _mm256_max_epi32(_mm256_max_epi32(diag, up), from_left);
+
+        // j >= 1 holds for every t >= 1, so the band gate is the whole test.
+        const __m256i stored = _mm256_blendv_epi8(
+            kmin_v, cell, _mm256_cmpgt_epi32(band_gate, j_v));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(current + t * 8),
+                            stored);
+        best = _mm256_max_epi32(best, stored);
+        prev_jm1 = prev_j;
+        left = stored;
+        j_v = _mm256_add_epi32(j_v, one);
+      }
+      std::swap(previous, current);
+    }
+
+    _mm256_store_si256(reinterpret_cast<__m256i*>(best_a), best);
+    for (int r = 0; r < 8; ++r) {
+      const std::size_t lane = lane0 + static_cast<std::size_t>(r);
+      const int result =
+          std::max(best_a[r], field_to_i32(score[lane]));
+      out.emit(lane, sp[lane], qp[lane], field_from_i32(result));
+    }
+  }
+  if (lane0 < n) {
+    StageCost cost;
+    for (; lane0 < n; ++lane0) {
+      const Alignment alignment = stages.gapped_extend(
+          ExtendedHit{sp[lane0], qp[lane0], field_to_i32(score[lane0])}, cost);
+      out.emit(lane0, alignment.subject_pos, alignment.query_pos,
+               field_from_i32(alignment.score));
+    }
+  }
+}
+
+#endif  // RIPPLE_SIMD_X86
+
+/// The AVX2 paths need k % 4 == 0 (word-exact k-mer gathers) and at least
+/// one full word in each sequence (clamped extension gathers).
+bool avx2_eligible(const BlastStages& stages) {
+  return device::active_simd_level() == device::SimdLevel::kAvx2 &&
+         stages.config().k % 4 == 0 && stages.pair().subject.size() >= 4 &&
+         stages.pair().query.size() >= 4;
+}
+
+}  // namespace
+
+void encode_kmers_batch(const Sequence& subject, std::size_t k,
+                        const std::uint32_t* pos, std::size_t n,
+                        std::uint32_t* codes) {
+#if RIPPLE_SIMD_X86
+  if (device::active_simd_level() == device::SimdLevel::kAvx2 && k % 4 == 0 &&
+      subject.size() >= 4) {
+    encode_kmers_avx2(subject, k, pos, n, codes);
+    return;
+  }
+#endif
+  encode_kmers_scalar(subject, k, pos, n, codes);
+}
+
+void seed_filter_batch(const BlastStages& stages, const std::uint32_t* pos,
+                       std::size_t n, runtime::BatchEmitter& out) {
+#if RIPPLE_SIMD_X86
+  if (avx2_eligible(stages)) {
+    seed_filter_avx2(stages, pos, n, out);
+    return;
+  }
+#endif
+  seed_filter_scalar(stages, pos, n, out);
+}
+
+void expand_seed_batch(const BlastStages& stages, const std::uint32_t* pos,
+                       std::size_t n, runtime::BatchEmitter& out) {
+  // Codes vector-wide; the CSR run walk is irregular (variable count per
+  // code) and stays scalar.
+  thread_local std::vector<std::uint32_t> codes;
+  codes.resize(n);
+  encode_kmers_batch(stages.pair().subject, stages.config().k, pos, n,
+                     codes.data());
+  const KmerIndex& index = stages.index();
+  const std::uint32_t* offsets = index.offsets_data();
+  const std::uint32_t* positions = index.positions_data();
+  const std::uint32_t u = stages.config().max_hits_per_seed;
+  for (std::size_t lane = 0; lane < n; ++lane) {
+    const std::uint32_t begin = offsets[codes[lane]];
+    const std::uint32_t count = offsets[codes[lane] + 1] - begin;
+    const std::uint32_t emitted = std::min(count, u);
+    for (std::uint32_t i = 0; i < emitted; ++i) {
+      out.emit(lane, pos[lane], positions[begin + i]);
+    }
+  }
+}
+
+void ungapped_extend_batch(const BlastStages& stages, const std::uint32_t* sp,
+                           const std::uint32_t* qp, std::size_t n,
+                           runtime::BatchEmitter& out) {
+#if RIPPLE_SIMD_X86
+  if (avx2_eligible(stages)) {
+    ungapped_extend_avx2(stages, sp, qp, n, out);
+    return;
+  }
+#endif
+  ungapped_extend_scalar(stages, sp, qp, n, out);
+}
+
+void gapped_extend_batch(const BlastStages& stages, const std::uint32_t* sp,
+                         const std::uint32_t* qp, const std::uint32_t* score,
+                         std::size_t n, runtime::BatchEmitter& out) {
+#if RIPPLE_SIMD_X86
+  if (avx2_eligible(stages)) {
+    gapped_extend_avx2(stages, sp, qp, score, n, out);
+    return;
+  }
+#endif
+  StageCost cost;
+  for (std::size_t lane = 0; lane < n; ++lane) {
+    const Alignment alignment = stages.gapped_extend(
+        ExtendedHit{sp[lane], qp[lane], field_to_i32(score[lane])}, cost);
+    out.emit(lane, alignment.subject_pos, alignment.query_pos,
+             field_from_i32(alignment.score));
+  }
+}
+
+}  // namespace ripple::blast::simd

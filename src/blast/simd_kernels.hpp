@@ -1,0 +1,66 @@
+// Vector-wide kernels for the BLAST stages: one call processes a whole lane
+// batch (runtime/lane_batch.hpp) instead of one item.
+//
+// Each kernel dispatches at runtime through device::active_simd_level():
+// an AVX2 body (compiled only when RIPPLE_SIMD_X86, executed only when the
+// host CPU reports AVX2) and a portable scalar loop that is always present.
+// Both paths use identical integer arithmetic, so their outputs — survivor
+// sets, scores, and emission order — are bit-identical; tests/
+// test_blast_simd.cpp holds them to that.
+//
+// The AVX2 bodies lean on three techniques:
+//   * k-mer encoding by 32-bit word gathers: for k % 4 == 0 the code of the
+//     window at `pos` is assembled from k/4 gathered words, 4 bases per
+//     word, instead of k byte loads (seed filter + expansion).
+//   * CSR probing by gathers on the index's offsets array: a seed matches
+//     iff offsets[code + 1] > offsets[code], eight codes per compare.
+//   * active-mask X-drop walks: eight (subject, query) extensions advance in
+//     lock step, lanes retiring as their score drops xdrop below their best;
+//     out-of-range byte reads are avoided by clamping gather addresses to
+//     the last full word and variable-shifting the target byte out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "blast/stages.hpp"
+#include "runtime/lane_batch.hpp"
+
+namespace ripple::blast::simd {
+
+/// Stage 0, vector-wide: emit (pass through) each subject position whose
+/// k-mer occurs in the query index. One output column (subject_pos).
+void seed_filter_batch(const BlastStages& stages, const std::uint32_t* pos,
+                       std::size_t n, runtime::BatchEmitter& out);
+
+/// K-mer codes of the subject windows at `pos[0..n)`, vectorized when
+/// k % 4 == 0. Helper for the expansion stage and tests.
+void encode_kmers_batch(const Sequence& subject, std::size_t k,
+                        const std::uint32_t* pos, std::size_t n,
+                        std::uint32_t* codes);
+
+/// Stage 1, vector-wide: for each subject position, emit up to
+/// config().max_hits_per_seed (subject_pos, query_pos) pairs from the index.
+/// Two output columns. Codes are computed vector-wide; the irregular CSR
+/// walk stays scalar per lane.
+void expand_seed_batch(const BlastStages& stages, const std::uint32_t* pos,
+                       std::size_t n, runtime::BatchEmitter& out);
+
+/// Stage 2, vector-wide: X-drop ungapped extension of (subject_pos,
+/// query_pos) hits; emit (subject_pos, query_pos, score) for hits reaching
+/// config().ungapped_threshold, score bit-cast via field_from_i32. Three
+/// output columns.
+void ungapped_extend_batch(const BlastStages& stages, const std::uint32_t* sp,
+                           const std::uint32_t* qp, std::size_t n,
+                           runtime::BatchEmitter& out);
+
+/// Stage 3 (sink), vector-wide: banded gapped alignment of each extended
+/// hit; emits (subject_pos, query_pos, score). The within-row dependence is
+/// not vectorized; instead the AVX2 path runs 8 independent alignments
+/// lane-parallel over band-relative SoA rows, bit-identical to the scalar
+/// rolling-row DP.
+void gapped_extend_batch(const BlastStages& stages, const std::uint32_t* sp,
+                         const std::uint32_t* qp, const std::uint32_t* score,
+                         std::size_t n, runtime::BatchEmitter& out);
+
+}  // namespace ripple::blast::simd

@@ -113,10 +113,17 @@ Alignment BlastStages::gapped_extend(const ExtendedHit& hit,
       (static_cast<std::int64_t>(hit.subject_pos) - s_begin);
 
   constexpr int kMinScore = -(1 << 28);
-  // Two rolling rows of width cols+1 (DP over full width, band enforced by
-  // sentinel values outside it).
-  std::vector<int> previous(static_cast<std::size_t>(cols + 1), kMinScore);
-  std::vector<int> current(static_cast<std::size_t>(cols + 1), kMinScore);
+  // Two rolling rows of width cols+1: DP over full width, band enforced by
+  // sentinel values outside it. The band advances one column per row, so
+  // after the initial fill each row only needs two sentinel writes — one
+  // below its band (the stale left neighbor from two rows ago) and one just
+  // above it (the cell the next row reads as its upper "gap from above"
+  // neighbor) — instead of refilling the whole row. Rows are thread-local
+  // scratch, so per-alignment calls touch the allocator only on growth.
+  thread_local std::vector<int> previous;
+  thread_local std::vector<int> current;
+  previous.assign(static_cast<std::size_t>(cols + 1), kMinScore);
+  current.assign(static_cast<std::size_t>(cols + 1), kMinScore);
   previous[0] = 0;
   int best = 0;
   for (std::int64_t j = 1; j <= cols; ++j) {
@@ -126,12 +133,15 @@ Alignment BlastStages::gapped_extend(const ExtendedHit& hit,
   }
 
   for (std::int64_t i = 1; i <= rows; ++i) {
-    std::fill(current.begin(), current.end(), kMinScore);
     const std::int64_t center = i + diag_shift;
     const std::int64_t j_lo = std::max<std::int64_t>(center - band, 0);
     const std::int64_t j_hi = std::min<std::int64_t>(center + band, cols);
     if (j_lo > cols || j_hi < 0) break;
-    if (j_lo == 0) current[0] = static_cast<int>(i) * config_.gap_penalty;
+    if (j_lo == 0) {
+      current[0] = static_cast<int>(i) * config_.gap_penalty;
+    } else {
+      current[static_cast<std::size_t>(j_lo - 1)] = kMinScore;
+    }
     for (std::int64_t j = std::max<std::int64_t>(j_lo, 1); j <= j_hi; ++j) {
       ++cost.ops;
       const bool match =
@@ -146,6 +156,7 @@ Alignment BlastStages::gapped_extend(const ExtendedHit& hit,
       current[static_cast<std::size_t>(j)] = cell;
       best = std::max(best, cell);
     }
+    if (j_hi + 1 <= cols) current[static_cast<std::size_t>(j_hi + 1)] = kMinScore;
     std::swap(previous, current);
   }
 

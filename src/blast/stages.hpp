@@ -63,6 +63,8 @@ class BlastStages {
 
   const Config& config() const noexcept { return config_; }
   const KmerIndex& index() const noexcept { return index_; }
+  /// The subject/query pair the stages read (for the vectorized kernels).
+  const SequencePair& pair() const noexcept { return pair_; }
 
   /// Number of valid subject windows (inputs to stage 0).
   std::size_t input_count() const noexcept;

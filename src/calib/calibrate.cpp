@@ -48,7 +48,7 @@ EnforcedProbeEvaluation evaluate_enforced_probe(
   eval.outcome.feasible = true;
   const std::vector<Cycles> intervals = solved.value().firing_intervals;
 
-  auto trial_fn = [&, intervals](std::uint64_t trial) {
+  auto trial_body = [&, intervals](std::uint64_t trial, sim::TrialMetrics& out) {
     arrivals::FixedRateArrivals arrival_process(probe.tau0);
     sim::EnforcedSimConfig config;
     config.input_count = options.inputs_per_trial;
@@ -57,11 +57,11 @@ EnforcedProbeEvaluation evaluate_enforced_probe(
         {options.base_seed, 0xE4F0ACEDULL, round,
          static_cast<std::uint64_t>(probe.tau0 * 1e6),
          static_cast<std::uint64_t>(probe.deadline), trial});
-    return sim::simulate_enforced_waits(pipeline, intervals, arrival_process,
-                                        config);
+    sim::simulate_enforced_waits_into(pipeline, intervals, arrival_process,
+                                      config, out);
   };
-  const sim::TrialSummary summary =
-      sim::run_trials(trial_fn, options.trials, options.pool, options.trial_grain);
+  const sim::TrialSummary summary = sim::run_trials_into(
+      trial_body, options.trials, options.pool, options.trial_grain);
 
   eval.outcome.miss_free_fraction = summary.miss_free_fraction();
   eval.outcome.mean_miss_fraction = summary.miss_fraction.mean();
@@ -186,7 +186,8 @@ MonolithicCalibrationResult calibrate_monolithic(
         outcome.feasible = true;
         any_feasible = true;
         const std::int64_t block = solved.value().block_size;
-        auto trial_fn = [&, block](std::uint64_t trial) {
+        auto trial_body = [&, block](std::uint64_t trial,
+                                     sim::TrialMetrics& out) {
           arrivals::FixedRateArrivals arrival_process(probe.tau0);
           sim::MonolithicSimConfig config;
           config.block_size = block;
@@ -197,10 +198,10 @@ MonolithicCalibrationResult calibrate_monolithic(
                static_cast<std::uint64_t>(round),
                static_cast<std::uint64_t>(probe.tau0 * 1e6),
                static_cast<std::uint64_t>(probe.deadline), trial});
-          return sim::simulate_monolithic(pipeline, arrival_process, config);
+          sim::simulate_monolithic_into(pipeline, arrival_process, config, out);
         };
-        const sim::TrialSummary summary =
-            sim::run_trials(trial_fn, options.trials, options.pool, options.trial_grain);
+        const sim::TrialSummary summary = sim::run_trials_into(
+            trial_body, options.trials, options.pool, options.trial_grain);
         outcome.miss_free_fraction = summary.miss_free_fraction();
         outcome.mean_miss_fraction = summary.miss_fraction.mean();
         outcome.mean_active_fraction = summary.active_fraction.mean();

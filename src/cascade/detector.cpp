@@ -3,9 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cascade/simd_kernels.hpp"
 #include "util/assert.hpp"
 
 namespace ripple::cascade {
+
+namespace {
+
+/// Split window-origin pairs into the u32 coordinate columns the vectorized
+/// kernels consume.
+void split_origins(
+    const std::vector<std::pair<std::size_t, std::size_t>>& origins,
+    std::vector<std::uint32_t>& xs, std::vector<std::uint32_t>& ys) {
+  xs.resize(origins.size());
+  ys.resize(origins.size());
+  for (std::size_t i = 0; i < origins.size(); ++i) {
+    xs[i] = static_cast<std::uint32_t>(origins[i].first);
+    ys[i] = static_cast<std::uint32_t>(origins[i].second);
+  }
+}
+
+}  // namespace
 
 bool CascadeStage::evaluate(const IntegralImage& integral, std::size_t wx,
                             std::size_t wy, std::uint64_t& ops) const {
@@ -71,8 +89,18 @@ util::Result<Detector> Detector::train(const Scene& scene,
   Detector detector;
   detector.window_ = config.window;
 
-  std::uint64_t scratch_ops = 0;
+  // Calibration is batch-wide: responses and votes run through the
+  // vectorized Haar kernels (scalar or AVX2 per runtime dispatch, identical
+  // results either way).
+  std::vector<std::uint32_t> sample_x;
+  std::vector<std::uint32_t> sample_y;
+  std::vector<std::uint32_t> object_x;
+  std::vector<std::uint32_t> object_y;
+  split_origins(scene.object_origins, object_x, object_y);
+  std::vector<std::int64_t> responses;
+
   for (std::size_t s = 0; s < config.stage_sizes.size(); ++s) {
+    split_origins(sample, sample_x, sample_y);
     CascadeStage stage;
     stage.stumps.reserve(config.stage_sizes[s]);
     for (std::size_t f = 0; f < config.stage_sizes[s]; ++f) {
@@ -80,12 +108,10 @@ util::Result<Detector> Detector::train(const Scene& scene,
       stump.feature = random_feature(config.window, rng);
       // Stump threshold: the median background response, so each stump votes
       // on roughly half the background.
-      std::vector<std::int64_t> responses;
-      responses.reserve(sample.size());
-      for (const auto& [wx, wy] : sample) {
-        responses.push_back(
-            stump.feature.evaluate(integral, wx, wy, scratch_ops));
-      }
+      responses.resize(sample.size());
+      simd::haar_response_batch(stump.feature, integral, sample_x.data(),
+                                sample_y.data(), sample.size(),
+                                responses.data());
       std::nth_element(responses.begin(),
                        responses.begin() + responses.size() / 2,
                        responses.end());
@@ -93,11 +119,13 @@ util::Result<Detector> Detector::train(const Scene& scene,
       // Orient the stump toward the planted objects: pick the polarity under
       // which more object windows vote (the median threshold keeps the
       // background rate near 1/2 either way).
+      responses.resize(scene.object_origins.size());
+      simd::haar_response_batch(stump.feature, integral, object_x.data(),
+                                object_y.data(), scene.object_origins.size(),
+                                responses.data());
       std::size_t object_votes_high = 0;
-      for (const auto& [ox, oy] : scene.object_origins) {
-        object_votes_high +=
-            stump.feature.evaluate(integral, ox, oy, scratch_ops) >
-            stump.threshold;
+      for (const std::int64_t response : responses) {
+        object_votes_high += response > stump.threshold;
       }
       stump.invert = 2 * object_votes_high < scene.object_origins.size();
       stage.stumps.push_back(std::move(stump));
@@ -106,12 +134,8 @@ util::Result<Detector> Detector::train(const Scene& scene,
     // Stage vote threshold: smallest count whose background pass rate is at
     // or below the target.
     std::vector<std::uint32_t> votes(sample.size(), 0);
-    for (std::size_t i = 0; i < sample.size(); ++i) {
-      for (const Stump& stump : stage.stumps) {
-        votes[i] += stump.vote(stump.feature.evaluate(
-            integral, sample[i].first, sample[i].second, scratch_ops));
-      }
-    }
+    simd::stage_votes_batch(stage, integral, sample_x.data(), sample_y.data(),
+                            sample.size(), votes.data());
     const double target = config.stage_pass_rates[s];
     std::uint32_t chosen = 0;
     bool found = false;

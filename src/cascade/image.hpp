@@ -54,6 +54,11 @@ class IntegralImage {
   std::int64_t rect_sum(std::size_t x0, std::size_t y0, std::size_t x1,
                         std::size_t y1) const;
 
+  /// Raw summed-area table for vectorized corner gathers
+  /// (cascade/simd_kernels.cpp): row-major (width+1) x (height+1), entry
+  /// (x, y) at index y * (width() + 1) + x.
+  const std::int64_t* table_data() const noexcept { return table_.data(); }
+
  private:
   std::size_t width_;
   std::size_t height_;

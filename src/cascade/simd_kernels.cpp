@@ -1,0 +1,142 @@
+#include "cascade/simd_kernels.hpp"
+
+#include <vector>
+
+#include "device/dispatch.hpp"
+
+#if RIPPLE_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace ripple::cascade::simd {
+
+namespace {
+
+void haar_response_scalar(const HaarFeature& feature,
+                          const IntegralImage& integral,
+                          const std::uint32_t* wx, const std::uint32_t* wy,
+                          std::size_t n, std::int64_t* responses) {
+  std::uint64_t ops = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    responses[i] = feature.evaluate(integral, wx[i], wy[i], ops);
+  }
+}
+
+#if RIPPLE_SIMD_X86
+
+/// Four table cells at (x, y) per lane, as 64-bit gathers. Corner indices
+/// are built in 32-bit lanes (table entries number far below 2^31).
+__attribute__((target("avx2"))) inline __m256i cell4(const std::int64_t* table,
+                                                     __m128i pitch, __m128i x,
+                                                     __m128i y) {
+  const __m128i idx = _mm_add_epi32(_mm_mullo_epi32(y, pitch), x);
+  return _mm256_i32gather_epi64(reinterpret_cast<const long long*>(table), idx,
+                                8);
+}
+
+/// Four summed-area-table rectangle sums via sixteen corner gathers.
+__attribute__((target("avx2"))) inline __m256i rect_sum4(
+    const std::int64_t* table, __m128i pitch, __m128i x0, __m128i y0,
+    __m128i x1, __m128i y1) {
+  return _mm256_add_epi64(
+      _mm256_sub_epi64(
+          _mm256_sub_epi64(cell4(table, pitch, x1, y1),
+                           cell4(table, pitch, x0, y1)),
+          cell4(table, pitch, x1, y0)),
+      cell4(table, pitch, x0, y0));
+}
+
+__attribute__((target("avx2"))) void haar_response_avx2(
+    const HaarFeature& feature, const IntegralImage& integral,
+    const std::uint32_t* wx, const std::uint32_t* wy, std::size_t n,
+    std::int64_t* responses) {
+  const std::int64_t* table = integral.table_data();
+  const __m128i pitch =
+      _mm_set1_epi32(static_cast<int>(integral.width() + 1));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i x0 = _mm_add_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(wx + i)),
+        _mm_set1_epi32(feature.x));
+    const __m128i y0 = _mm_add_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(wy + i)),
+        _mm_set1_epi32(feature.y));
+    const __m128i x1 = _mm_add_epi32(x0, _mm_set1_epi32(feature.width));
+    const __m128i y1 = _mm_add_epi32(y0, _mm_set1_epi32(feature.height));
+    __m256i r;
+    switch (feature.kind) {
+      case HaarFeature::Kind::kTwoRectHorizontal: {
+        const __m128i xm =
+            _mm_add_epi32(x0, _mm_set1_epi32(feature.width / 2));
+        r = _mm256_sub_epi64(rect_sum4(table, pitch, x0, y0, xm, y1),
+                             rect_sum4(table, pitch, xm, y0, x1, y1));
+        break;
+      }
+      case HaarFeature::Kind::kTwoRectVertical: {
+        const __m128i ym =
+            _mm_add_epi32(y0, _mm_set1_epi32(feature.height / 2));
+        r = _mm256_sub_epi64(rect_sum4(table, pitch, x0, y0, x1, ym),
+                             rect_sum4(table, pitch, x0, ym, x1, y1));
+        break;
+      }
+      case HaarFeature::Kind::kThreeRectHorizontal: {
+        const int third = feature.width / 3;
+        const __m128i xa = _mm_add_epi32(x0, _mm_set1_epi32(third));
+        const __m128i xb = _mm_add_epi32(x0, _mm_set1_epi32(2 * third));
+        r = _mm256_add_epi64(
+            _mm256_sub_epi64(rect_sum4(table, pitch, x0, y0, xa, y1),
+                             rect_sum4(table, pitch, xa, y0, xb, y1)),
+            rect_sum4(table, pitch, xb, y0, x1, y1));
+        break;
+      }
+      case HaarFeature::Kind::kFourRectChecker: {
+        const __m128i xm =
+            _mm_add_epi32(x0, _mm_set1_epi32(feature.width / 2));
+        const __m128i ym =
+            _mm_add_epi32(y0, _mm_set1_epi32(feature.height / 2));
+        r = _mm256_sub_epi64(
+            _mm256_add_epi64(rect_sum4(table, pitch, x0, y0, xm, ym),
+                             rect_sum4(table, pitch, xm, ym, x1, y1)),
+            _mm256_add_epi64(rect_sum4(table, pitch, xm, y0, x1, ym),
+                             rect_sum4(table, pitch, x0, ym, xm, y1)));
+        break;
+      }
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(responses + i), r);
+  }
+  if (i < n) haar_response_scalar(feature, integral, wx + i, wy + i, n - i,
+                                  responses + i);
+}
+
+#endif  // RIPPLE_SIMD_X86
+
+}  // namespace
+
+void haar_response_batch(const HaarFeature& feature,
+                         const IntegralImage& integral,
+                         const std::uint32_t* wx, const std::uint32_t* wy,
+                         std::size_t n, std::int64_t* responses) {
+#if RIPPLE_SIMD_X86
+  if (device::active_simd_level() == device::SimdLevel::kAvx2) {
+    haar_response_avx2(feature, integral, wx, wy, n, responses);
+    return;
+  }
+#endif
+  haar_response_scalar(feature, integral, wx, wy, n, responses);
+}
+
+void stage_votes_batch(const CascadeStage& stage, const IntegralImage& integral,
+                       const std::uint32_t* wx, const std::uint32_t* wy,
+                       std::size_t n, std::uint32_t* votes) {
+  for (std::size_t i = 0; i < n; ++i) votes[i] = 0;
+  thread_local std::vector<std::int64_t> responses;
+  responses.resize(n);
+  for (const Stump& stump : stage.stumps) {
+    haar_response_batch(stump.feature, integral, wx, wy, n, responses.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      votes[i] += stump.vote(responses[i]) ? 1u : 0u;
+    }
+  }
+}
+
+}  // namespace ripple::cascade::simd

@@ -1,0 +1,36 @@
+// Vector-wide Haar evaluation: one call scores a whole batch of detection
+// windows against a feature or a cascade stage.
+//
+// The summed-area table makes a rectangle sum four corner lookups; the AVX2
+// path turns those into _mm256_i32gather_epi64 gathers, four windows per
+// vector, with the corner indices computed in 32-bit lanes (the table is at
+// most a few million entries, so indices fit comfortably). The scalar path
+// loops over HaarFeature::evaluate. Both produce identical int64 responses
+// and identical votes; tests/test_cascade_simd.cpp pins the two dispatch
+// levels against each other, and Detector::train calibrates through these
+// kernels so training cost scales with the batch width too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cascade/detector.hpp"
+#include "cascade/features.hpp"
+#include "cascade/image.hpp"
+
+namespace ripple::cascade::simd {
+
+/// Responses of `feature` at the `n` window origins (wx[i], wy[i]).
+void haar_response_batch(const HaarFeature& feature,
+                         const IntegralImage& integral,
+                         const std::uint32_t* wx, const std::uint32_t* wy,
+                         std::size_t n, std::int64_t* responses);
+
+/// Per-window vote counts over all of `stage`'s stumps (the loop inside
+/// CascadeStage::evaluate, batch-wide): votes[i] is how many stumps voted
+/// for window i.
+void stage_votes_batch(const CascadeStage& stage, const IntegralImage& integral,
+                       const std::uint32_t* wx, const std::uint32_t* wy,
+                       std::size_t n, std::uint32_t* votes);
+
+}  // namespace ripple::cascade::simd

@@ -1,0 +1,49 @@
+#include "device/dispatch.hpp"
+
+namespace ripple::device {
+
+namespace {
+
+std::optional<SimdLevel>& override_slot() noexcept {
+  static std::optional<SimdLevel> value;
+  return value;
+}
+
+SimdLevel probe_cpu() noexcept {
+#if RIPPLE_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+const char* to_string(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel detected_simd_level() noexcept {
+  static const SimdLevel detected = probe_cpu();
+  return detected;
+}
+
+SimdLevel active_simd_level() noexcept {
+  const SimdLevel ceiling = detected_simd_level();
+  const std::optional<SimdLevel>& pinned = override_slot();
+  if (pinned.has_value()) {
+    return *pinned < ceiling ? *pinned : ceiling;
+  }
+  return ceiling;
+}
+
+void set_simd_override(std::optional<SimdLevel> level) noexcept {
+  override_slot() = level;
+}
+
+}  // namespace ripple::device

@@ -1,0 +1,52 @@
+// Runtime SIMD dispatch: which instruction set the vector-wide kernels use.
+//
+// The repo's SIMD kernels (blast/simd_kernels, cascade/simd_kernels) are
+// compiled in two flavors: a portable scalar loop, always built, and an AVX2
+// path guarded twice — at compile time by the RIPPLE_SIMD CMake option (so
+// non-x86 or forced-scalar builds contain no AVX2 code at all) and at run
+// time by CPUID detection (so an AVX2-less host never executes it). Kernels
+// consult active_simd_level() per batch; tests and benchmarks can pin the
+// level with set_simd_override() to compare paths on the same host.
+//
+// RIPPLE_SIMD=OFF builds compile exactly the scalar fallback, which the CI
+// forced-scalar job keeps green (see .github/workflows/ci.yml).
+#pragma once
+
+#include <optional>
+
+// Compile gate for the x86 SIMD paths: the RIPPLE_SIMD option must be ON and
+// the target must be x86-64 (the kernels use AVX2 intrinsics via function
+// target attributes, so no special per-file compiler flags are needed).
+#if RIPPLE_SIMD && (defined(__x86_64__) || defined(_M_X64))
+#define RIPPLE_SIMD_X86 1
+#else
+#define RIPPLE_SIMD_X86 0
+#endif
+
+namespace ripple::device {
+
+enum class SimdLevel {
+  kScalar,  ///< portable fallback loops
+  kAvx2,    ///< 8-lane i32 / 4-lane i64 gathers and compares
+};
+
+const char* to_string(SimdLevel level) noexcept;
+
+/// True when this binary contains the AVX2 kernel bodies.
+constexpr bool simd_compiled() noexcept { return RIPPLE_SIMD_X86 != 0; }
+
+/// Best level the host CPU supports (cached CPUID probe); kScalar on
+/// non-x86 builds.
+SimdLevel detected_simd_level() noexcept;
+
+/// Level kernels should use right now: the detected level clamped by the
+/// compile gate, unless an override is pinned.
+SimdLevel active_simd_level() noexcept;
+
+/// Pin (or release, with nullopt) the dispatch level. Overrides above the
+/// compiled/detected capability are clamped down, so forcing kAvx2 on a
+/// scalar-only build still yields kScalar. Not thread-safe against kernels
+/// running concurrently; intended for test and benchmark setup.
+void set_simd_override(std::optional<SimdLevel> level) noexcept;
+
+}  // namespace ripple::device

@@ -61,6 +61,11 @@ void Histogram::add(double x) noexcept {
   ++total_;
 }
 
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
 double Histogram::bin_lower(std::size_t i) const {
   RIPPLE_REQUIRE(i < counts_.size(), "bin index out of range");
   return lo_ + width_ * static_cast<double>(i);

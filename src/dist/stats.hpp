@@ -37,6 +37,12 @@ class Histogram {
 
   void add(double x) noexcept;
 
+  /// Zero every bin, keeping the range and bin storage (for reuse across
+  /// trials without reallocating).
+  void reset() noexcept;
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
   std::size_t bin_count() const noexcept { return counts_.size(); }
   std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
   std::uint64_t total() const noexcept { return total_; }

@@ -1,17 +1,25 @@
-// Virtual-time execution of REAL stage computations under enforced waits.
+// Vector-wide virtual-time execution of REAL stage computations under
+// enforced waits.
 //
 // sim/enforced_sim.hpp validates schedules against *sampled* gain models;
 // this executor goes one step further and carries actual data items through
-// user-provided stage functions (the MERCATOR-style host-runtime view):
+// user-provided stage computations (the MERCATOR-style host-runtime view):
 // gains, queue growth and deadline misses emerge from the computation itself
 // rather than from a fitted distribution. Time is still virtual — node i's
 // firings occupy its configured x_i = t_i + w_i cycles — so runs are exactly
 // reproducible and independent of host speed, but every output at the sink
 // is a genuine computed result.
 //
-// Use it to check that a schedule optimized against *measured* gain models
-// still holds up on the real data path (see tests/test_runtime.cpp, which
-// drives the mini-BLAST stages through it).
+// The engine is vector-wide end to end: lanes wait in SoA ring queues
+// (runtime/soa_queue.hpp), each firing hands its stage one dense batch of up
+// to v lanes (runtime/lane_batch.hpp), and stages with SIMD kernels (see
+// blast/simd_kernels.hpp, cascade/simd_kernels.hpp) process the whole batch
+// with AVX2 when src/device/dispatch.hpp reports support. Per-item StageFn
+// callers keep working through an adapter that wraps each scalar function in
+// a batch loop over std::any lanes; results and metrics are bit-identical to
+// the seed per-item engine, which survives as ReferenceExecutor (the golden
+// oracle and benchmark baseline — see tests/test_runtime_batch.cpp and
+// bench/bench_runtime.cpp).
 //
 // On RIPPLE_OBS builds with recording enabled, each consuming firing emits a
 // "service" trace span and a "queue_depth" counter sample on the stage's
@@ -19,11 +27,11 @@
 // stochastic simulator's timeline (docs/OBSERVABILITY.md).
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "runtime/lane_batch.hpp"
 #include "sdf/pipeline.hpp"
 #include "sim/metrics.hpp"
 #include "util/result.hpp"
@@ -31,13 +39,16 @@
 
 namespace ripple::runtime {
 
-/// A data item flowing between stages. Each stage knows the concrete type it
-/// expects (std::any_cast inside the stage function).
-using Item = std::any;
-
-/// One pipeline stage: consume `input`, append zero or more outputs.
-/// For the final (sink) stage, appended outputs are the pipeline's results.
+/// One per-item pipeline stage (classic interface): consume `input`, append
+/// zero or more outputs. For the final (sink) stage, appended outputs are
+/// the pipeline's results. Runs through the batch adapter.
 using StageFn = std::function<void(Item&& input, std::vector<Item>& outputs)>;
+
+/// Wrap a per-item stage as a vector-wide BatchStage: the adapter walks the
+/// batch lane by lane, finalizing each lane's outputs before touching the
+/// next, so a stage that throws mid-batch leaves every earlier lane's
+/// outputs intact and no partial lane behind.
+BatchStage adapt_stage(StageFn stage);
 
 struct ExecutorConfig {
   std::vector<Cycles> firing_intervals;  ///< x_i per node
@@ -54,22 +65,59 @@ struct ExecutionMetrics {
   std::vector<Item> results;   ///< first max_collected_results sink outputs
 };
 
+/// Typed pipeline inputs: up to kMaxLaneFields u32 columns per item, fed to
+/// a typed stage-0 (see LaneView). Arrival order defines root ids.
+class BatchInputs {
+ public:
+  void push(std::uint32_t f0, std::uint32_t f1 = 0, std::uint32_t f2 = 0) {
+    cols_[0].push_back(f0);
+    cols_[1].push_back(f1);
+    cols_[2].push_back(f2);
+  }
+  std::size_t size() const noexcept { return cols_[0].size(); }
+  const std::uint32_t* column(std::size_t f) const { return cols_[f].data(); }
+
+ private:
+  std::array<std::vector<std::uint32_t>, kMaxLaneFields> cols_;
+};
+
 class PipelineExecutor {
  public:
-  /// One StageFn per pipeline node; the spec supplies per-node service times
-  /// and the SIMD width. Throws std::logic_error on arity mismatch.
+  /// Classic interface: one StageFn per pipeline node, each adapted to the
+  /// vector engine. Throws std::logic_error on arity mismatch.
   PipelineExecutor(sdf::PipelineSpec spec, std::vector<StageFn> stages);
+
+  /// Vector-wide interface: one BatchStage per node. Adjacent stages must
+  /// agree on representation (stage i's output_fields feed stage i+1's
+  /// input_fields; item-carrying stages only neighbor item-carrying ones).
+  /// Throws std::logic_error on arity or representation mismatch.
+  PipelineExecutor(sdf::PipelineSpec spec, std::vector<BatchStage> stages);
 
   const sdf::PipelineSpec& pipeline() const noexcept { return pipeline_; }
 
-  /// Run the given inputs through the pipeline in virtual time.
-  /// Failure codes: "bad_config" (malformed intervals), "event_budget".
+  /// Run type-erased inputs through the pipeline in virtual time. Requires
+  /// an item-carrying stage 0 (i.e. the StageFn constructor, or batch
+  /// stages built with adapt_stage).
+  /// Failure codes: "bad_config" (malformed intervals, non-positive input
+  /// gap, no inputs), "event_budget", "stage_exception" (a stage threw; all
+  /// items fully emitted before the throw were delivered to the successor
+  /// queue, and the executor remains reusable).
   util::Result<ExecutionMetrics> run(std::vector<Item> inputs,
                                      const ExecutorConfig& config) const;
 
+  /// Run typed SoA inputs through the pipeline in virtual time. Requires a
+  /// typed stage 0 whose input_fields columns are read from `inputs`.
+  /// Failure codes as for run().
+  util::Result<ExecutionMetrics> run_batch(const BatchInputs& inputs,
+                                           const ExecutorConfig& config) const;
+
  private:
+  util::Result<ExecutionMetrics> execute(const BatchInputs* typed_inputs,
+                                         std::vector<Item>* item_inputs,
+                                         const ExecutorConfig& config) const;
+
   sdf::PipelineSpec pipeline_;
-  std::vector<StageFn> stages_;
+  std::vector<BatchStage> stages_;
 };
 
 }  // namespace ripple::runtime

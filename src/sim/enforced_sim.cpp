@@ -51,10 +51,11 @@ std::vector<Cycles> aligned_phase_offsets(const sdf::PipelineSpec& pipeline) {
 // event order — including all same-timestamp tie-breaks — is bit-for-bit
 // identical to the heap-based implementation (pinned by
 // tests/test_sim_golden.cpp).
-TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
-                                     const std::vector<Cycles>& firing_intervals,
-                                     arrivals::ArrivalProcess& arrival_process,
-                                     const EnforcedSimConfig& config) {
+void simulate_enforced_waits_into(const sdf::PipelineSpec& pipeline,
+                                  const std::vector<Cycles>& firing_intervals,
+                                  arrivals::ArrivalProcess& arrival_process,
+                                  const EnforcedSimConfig& config,
+                                  TrialMetrics& metrics) {
   const std::size_t n = pipeline.size();
   RIPPLE_REQUIRE(firing_intervals.size() == n, "one firing interval per node");
   for (NodeIndex i = 0; i < n; ++i) {
@@ -67,8 +68,7 @@ TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
   dist::Xoshiro256 rng(config.seed);
   const std::uint32_t v = pipeline.simd_width();
 
-  TrialMetrics metrics;
-  metrics.nodes.resize(n);
+  metrics.reset(n);
   metrics.vector_width = v;
   metrics.sharing_actors = n;  // each node is active or waiting all run long
   metrics.arm_latency_histogram(config.deadline);
@@ -300,6 +300,15 @@ TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
   if (metrics.makespan <= 0.0 && !root_arrival.empty()) {
     metrics.makespan = root_arrival.back();
   }
+}
+
+TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
+                                     const std::vector<Cycles>& firing_intervals,
+                                     arrivals::ArrivalProcess& arrival_process,
+                                     const EnforcedSimConfig& config) {
+  TrialMetrics metrics;
+  simulate_enforced_waits_into(pipeline, firing_intervals, arrival_process,
+                               config, metrics);
   return metrics;
 }
 

@@ -56,4 +56,14 @@ TrialMetrics simulate_enforced_waits(const sdf::PipelineSpec& pipeline,
                                      arrivals::ArrivalProcess& arrival_process,
                                      const EnforcedSimConfig& config);
 
+/// Buffer-reusing variant: writes the trial into `out`, which is reset (node
+/// counters, histogram bins) but keeps its allocations — so a trial loop that
+/// passes the same TrialMetrics touches the allocator only on the first
+/// trial. Produces results identical to simulate_enforced_waits.
+void simulate_enforced_waits_into(const sdf::PipelineSpec& pipeline,
+                                  const std::vector<Cycles>& firing_intervals,
+                                  arrivals::ArrivalProcess& arrival_process,
+                                  const EnforcedSimConfig& config,
+                                  TrialMetrics& out);
+
 }  // namespace ripple::sim

@@ -13,9 +13,10 @@
 
 namespace ripple::sim {
 
-TrialMetrics simulate_monolithic(const sdf::PipelineSpec& pipeline,
-                                 arrivals::ArrivalProcess& arrival_process,
-                                 const MonolithicSimConfig& config) {
+void simulate_monolithic_into(const sdf::PipelineSpec& pipeline,
+                              arrivals::ArrivalProcess& arrival_process,
+                              const MonolithicSimConfig& config,
+                              TrialMetrics& metrics) {
   RIPPLE_REQUIRE(config.block_size >= 1, "block size must be at least 1");
   RIPPLE_REQUIRE(config.input_count > 0, "need at least one input");
 
@@ -23,8 +24,7 @@ TrialMetrics simulate_monolithic(const sdf::PipelineSpec& pipeline,
   const std::uint32_t v = pipeline.simd_width();
   dist::Xoshiro256 rng(config.seed);
 
-  TrialMetrics metrics;
-  metrics.nodes.resize(n);
+  metrics.reset(n);
   metrics.vector_width = v;
   metrics.sharing_actors = 1;  // the monolithic pipeline runs as one unit
   metrics.arm_latency_histogram(config.deadline);
@@ -147,6 +147,13 @@ TrialMetrics simulate_monolithic(const sdf::PipelineSpec& pipeline,
   }
 
   if (metrics.makespan <= 0.0) metrics.makespan = clock;
+}
+
+TrialMetrics simulate_monolithic(const sdf::PipelineSpec& pipeline,
+                                 arrivals::ArrivalProcess& arrival_process,
+                                 const MonolithicSimConfig& config) {
+  TrialMetrics metrics;
+  simulate_monolithic_into(pipeline, arrival_process, config, metrics);
   return metrics;
 }
 

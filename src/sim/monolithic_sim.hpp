@@ -35,4 +35,12 @@ TrialMetrics simulate_monolithic(const sdf::PipelineSpec& pipeline,
                                  arrivals::ArrivalProcess& arrival_process,
                                  const MonolithicSimConfig& config);
 
+/// Buffer-reusing variant: writes the trial into `out`, which is reset (node
+/// counters, histogram bins) but keeps its allocations. Produces results
+/// identical to simulate_monolithic.
+void simulate_monolithic_into(const sdf::PipelineSpec& pipeline,
+                              arrivals::ArrivalProcess& arrival_process,
+                              const MonolithicSimConfig& config,
+                              TrialMetrics& out);
+
 }  // namespace ripple::sim

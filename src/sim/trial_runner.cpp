@@ -9,10 +9,47 @@
 #endif
 
 namespace ripple::sim {
+namespace {
 
-TrialSummary run_trials(const TrialFn& trial_fn, std::uint64_t trial_count,
-                        util::ThreadPool* pool, std::size_t grain) {
-  RIPPLE_REQUIRE(static_cast<bool>(trial_fn), "trial function required");
+/// Everything the aggregation loop reads from one trial, captured while the
+/// trial's scratch TrialMetrics is still live. Small (one short vector) so
+/// keeping trial_count of these is cheap where trial_count full TrialMetrics
+/// (node vectors + 256-bin histograms) would not be.
+struct TrialDigest {
+  bool miss_free = false;
+  double active_fraction = 0.0;
+  double miss_fraction = 0.0;
+  std::uint64_t latency_count = 0;
+  double latency_mean = 0.0;
+  double latency_max = 0.0;
+  bool has_histogram = false;
+  double latency_p99 = 0.0;
+  double occupancy = 0.0;
+  std::vector<std::uint64_t> max_queue_lengths;
+};
+
+void capture_digest(const TrialMetrics& trial, TrialDigest& digest) {
+  digest.miss_free = trial.miss_free();
+  digest.active_fraction = trial.active_fraction();
+  digest.miss_fraction = trial.miss_fraction();
+  digest.latency_count = trial.output_latency.count();
+  digest.latency_mean = trial.output_latency.mean();
+  digest.latency_max = trial.output_latency.max();
+  digest.has_histogram = trial.latency_histogram.has_value();
+  digest.latency_p99 =
+      digest.has_histogram ? trial.latency_quantile(0.99) : 0.0;
+  digest.occupancy = trial.overall_occupancy();
+  digest.max_queue_lengths.resize(trial.nodes.size());
+  for (std::size_t i = 0; i < trial.nodes.size(); ++i) {
+    digest.max_queue_lengths[i] = trial.nodes[i].max_queue_length;
+  }
+}
+
+}  // namespace
+
+TrialSummary run_trials_into(const TrialBodyFn& body, std::uint64_t trial_count,
+                             util::ThreadPool* pool, std::size_t grain) {
+  RIPPLE_REQUIRE(static_cast<bool>(body), "trial body required");
 
 #if RIPPLE_OBS
   // Metric handles are resolved once per run, never per trial; the per-trial
@@ -26,15 +63,24 @@ TrialSummary run_trials(const TrialFn& trial_fn, std::uint64_t trial_count,
   }
 #endif
 
-  std::vector<TrialMetrics> results(trial_count);
-  auto body = [&](std::size_t index) {
+  std::vector<TrialDigest> digests(trial_count);
+  auto run_one = [&](std::size_t index) {
+    // One scratch TrialMetrics per worker thread, reused across every trial
+    // the worker claims: the body resets counters and histogram bins in
+    // place, so node vectors and histogram storage are allocated once per
+    // worker rather than once per trial.
+    thread_local TrialMetrics scratch;
+    body(index, scratch);
+    capture_digest(scratch, digests[index]);
+  };
+  auto wrapped = [&](std::size_t index) {
 #if RIPPLE_OBS
     obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
     if (trace.active()) {
       auto& session = obs::TraceSession::global();
       const double begin_us = session.host_now_us();
       trace.begin(obs::Domain::kHost, trace.track(), "trial", begin_us);
-      results[index] = trial_fn(index);
+      run_one(index);
       const double end_us = session.host_now_us();
       trace.end(obs::Domain::kHost, trace.track(), "trial", end_us);
       if (trial_wall_us != nullptr) trial_wall_us->record(end_us - begin_us);
@@ -42,38 +88,50 @@ TrialSummary run_trials(const TrialFn& trial_fn, std::uint64_t trial_count,
       return;
     }
 #endif
-    results[index] = trial_fn(index);
+    run_one(index);
   };
   if (pool != nullptr) {
-    pool->parallel_for(trial_count, body, grain);
+    pool->parallel_for(trial_count, wrapped, grain);
   } else {
-    for (std::uint64_t i = 0; i < trial_count; ++i) body(i);
+    for (std::uint64_t i = 0; i < trial_count; ++i) wrapped(i);
   }
 
-  // Aggregation is serial and deterministic (trial order, not thread order).
+  // Aggregation is serial and deterministic (trial order, not thread order),
+  // replicating the exact conditionals of the historical full-TrialMetrics
+  // loop so summaries are bit-identical for any pool/grain.
   TrialSummary summary;
   summary.trials = trial_count;
-  for (const TrialMetrics& trial : results) {
-    if (trial.miss_free()) ++summary.miss_free_trials;
-    summary.active_fraction.add(trial.active_fraction());
-    summary.miss_fraction.add(trial.miss_fraction());
-    if (trial.output_latency.count() > 0) {
-      summary.latency_mean.add(trial.output_latency.mean());
-      summary.latency_max.add(trial.output_latency.max());
-      if (trial.latency_histogram.has_value()) {
-        summary.latency_p99.add(trial.latency_quantile(0.99));
+  for (const TrialDigest& trial : digests) {
+    if (trial.miss_free) ++summary.miss_free_trials;
+    summary.active_fraction.add(trial.active_fraction);
+    summary.miss_fraction.add(trial.miss_fraction);
+    if (trial.latency_count > 0) {
+      summary.latency_mean.add(trial.latency_mean);
+      summary.latency_max.add(trial.latency_max);
+      if (trial.has_histogram) {
+        summary.latency_p99.add(trial.latency_p99);
       }
     }
-    summary.occupancy.add(trial.overall_occupancy());
-    if (summary.max_queue_lengths.size() < trial.nodes.size()) {
-      summary.max_queue_lengths.resize(trial.nodes.size(), 0);
+    summary.occupancy.add(trial.occupancy);
+    if (summary.max_queue_lengths.size() < trial.max_queue_lengths.size()) {
+      summary.max_queue_lengths.resize(trial.max_queue_lengths.size(), 0);
     }
-    for (std::size_t i = 0; i < trial.nodes.size(); ++i) {
+    for (std::size_t i = 0; i < trial.max_queue_lengths.size(); ++i) {
       summary.max_queue_lengths[i] =
-          std::max(summary.max_queue_lengths[i], trial.nodes[i].max_queue_length);
+          std::max(summary.max_queue_lengths[i], trial.max_queue_lengths[i]);
     }
   }
   return summary;
+}
+
+TrialSummary run_trials(const TrialFn& trial_fn, std::uint64_t trial_count,
+                        util::ThreadPool* pool, std::size_t grain) {
+  RIPPLE_REQUIRE(static_cast<bool>(trial_fn), "trial function required");
+  return run_trials_into(
+      [&trial_fn](std::uint64_t index, TrialMetrics& out) {
+        out = trial_fn(index);
+      },
+      trial_count, pool, grain);
 }
 
 }  // namespace ripple::sim

@@ -23,6 +23,14 @@ namespace ripple::sim {
 /// distinct indices (derive the trial seed from the index).
 using TrialFn = std::function<TrialMetrics(std::uint64_t trial_index)>;
 
+/// In-place trial body: run the trial for `trial_index` into `out`. The
+/// driver hands each worker a thread-local scratch TrialMetrics that is
+/// reused across every trial that worker claims, so the body must fully
+/// overwrite it (the simulate_*_into entry points do — they reset counters
+/// and histogram bins while keeping allocations).
+using TrialBodyFn =
+    std::function<void(std::uint64_t trial_index, TrialMetrics& out)>;
+
 struct TrialSummary {
   std::uint64_t trials = 0;
   std::uint64_t miss_free_trials = 0;
@@ -58,5 +66,15 @@ struct TrialSummary {
 /// seed from its own index and aggregation happens serially in index order.
 TrialSummary run_trials(const TrialFn& trial_fn, std::uint64_t trial_count,
                         util::ThreadPool* pool = nullptr, std::size_t grain = 1);
+
+/// Buffer-reusing driver: each worker thread runs its claimed trials into one
+/// thread-local scratch TrialMetrics (node vectors and histogram bins are
+/// allocated once per worker, not once per trial) and only a small per-trial
+/// digest is kept. Aggregation replicates run_trials exactly — serial, in
+/// index order, with the same conditionals — so the TrialSummary is
+/// bit-identical to the value-returning API for any pool/grain.
+TrialSummary run_trials_into(const TrialBodyFn& body, std::uint64_t trial_count,
+                             util::ThreadPool* pool = nullptr,
+                             std::size_t grain = 1);
 
 }  // namespace ripple::sim

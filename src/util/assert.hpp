@@ -3,8 +3,13 @@
 // RIPPLE_REQUIRE is always on (construction/validation paths only — never in
 // per-event simulator hot loops). Violations indicate a bug in the caller and
 // throw std::logic_error so tests can assert on them.
+//
+// RIPPLE_ASSERT is the hot-loop variant: a standard assert() that vanishes
+// in NDEBUG builds, for per-item invariants the release path cannot afford
+// to branch on.
 #pragma once
 
+#include <cassert>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -27,3 +32,5 @@ namespace ripple::util {
       ::ripple::util::requirement_failed(#expr, __FILE__, __LINE__, (msg)); \
     }                                                                   \
   } while (false)
+
+#define RIPPLE_ASSERT(expr, msg) assert((expr) && (msg))

@@ -40,7 +40,8 @@ TEST(Executor, ArityMismatchThrows) {
                   .simd_width(4)
                   .add_node("a", 1.0, dist::make_deterministic(1))
                   .build();
-  EXPECT_THROW(PipelineExecutor(std::move(spec).take(), {}), std::logic_error);
+  EXPECT_THROW(PipelineExecutor(std::move(spec).take(), std::vector<StageFn>{}),
+               std::logic_error);
 }
 
 TEST(Executor, ConfigValidation) {

@@ -138,6 +138,118 @@ TEST(TrialRunner, ChunkGrainNeverChangesResults) {
   }
 }
 
+/// The buffer-reusing in-place API must be a pure optimization: for the same
+/// trial bodies it produces a TrialSummary bitwise identical to the
+/// value-returning API, serial or pooled, at any grain — the golden
+/// "no change in metrics" guarantee for the scratch-reuse path.
+TEST(TrialRunner, InPlaceApiMatchesValueApiBitwise) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  auto solved = strategy.solve(20.0, 1.85e5);
+  ASSERT_TRUE(solved.ok());
+  const auto intervals = solved.value().firing_intervals;
+
+  const auto configure = [&](std::uint64_t trial) {
+    EnforcedSimConfig config;
+    config.input_count = 1500;
+    config.deadline = 1.85e5;  // arms the histogram, exercising its reuse
+    config.seed = dist::derive_seed({4242, trial});
+    return config;
+  };
+  auto trial_fn = [&](std::uint64_t trial) {
+    arrivals::FixedRateArrivals arrival_process(20.0);
+    return simulate_enforced_waits(pipeline, intervals, arrival_process,
+                                   configure(trial));
+  };
+  auto trial_body = [&](std::uint64_t trial, TrialMetrics& out) {
+    arrivals::FixedRateArrivals arrival_process(20.0);
+    simulate_enforced_waits_into(pipeline, intervals, arrival_process,
+                                 configure(trial), out);
+  };
+
+  const TrialSummary value = run_trials(trial_fn, 9);
+  util::ThreadPool pool(4);
+  for (const std::size_t grain :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{16}}) {
+    SCOPED_TRACE("grain " + std::to_string(grain));
+    // grain 0 marks the serial (no pool) run.
+    const TrialSummary in_place =
+        grain == 0 ? run_trials_into(trial_body, 9)
+                   : run_trials_into(trial_body, 9, &pool, grain);
+    EXPECT_EQ(value.trials, in_place.trials);
+    EXPECT_EQ(value.miss_free_trials, in_place.miss_free_trials);
+    EXPECT_EQ(value.max_queue_lengths, in_place.max_queue_lengths);
+    EXPECT_EQ(value.active_fraction.mean(), in_place.active_fraction.mean());
+    EXPECT_EQ(value.active_fraction.variance(),
+              in_place.active_fraction.variance());
+    EXPECT_EQ(value.miss_fraction.mean(), in_place.miss_fraction.mean());
+    EXPECT_EQ(value.latency_mean.mean(), in_place.latency_mean.mean());
+    EXPECT_EQ(value.latency_max.max(), in_place.latency_max.max());
+    EXPECT_EQ(value.latency_p99.count(), in_place.latency_p99.count());
+    EXPECT_EQ(value.latency_p99.mean(), in_place.latency_p99.mean());
+    EXPECT_EQ(value.occupancy.mean(), in_place.occupancy.mean());
+  }
+}
+
+/// A dirty scratch from a previous (different-shaped) trial must not leak
+/// into the next: the _into simulators reset counters, node vectors and
+/// histogram bins in place.
+TEST(TrialRunner, ScratchReuseLeavesNoResidue) {
+  const auto pipeline = blast::canonical_blast_pipeline();
+  core::EnforcedWaitsStrategy strategy(
+      pipeline, core::EnforcedWaitsConfig{blast::paper_calibrated_b()});
+  auto solved = strategy.solve(20.0, 1.85e5);
+  ASSERT_TRUE(solved.ok());
+  const auto intervals = solved.value().firing_intervals;
+
+  arrivals::FixedRateArrivals arrivals_a(20.0);
+  EnforcedSimConfig config;
+  config.input_count = 1200;
+  config.deadline = 1.85e5;
+  config.seed = dist::derive_seed({7, 0});
+  const TrialMetrics fresh =
+      simulate_enforced_waits(pipeline, intervals, arrivals_a, config);
+
+  // Pre-soil the scratch with a different trial (different seed => different
+  // counters and histogram contents), then rerun the reference trial into it.
+  TrialMetrics scratch;
+  arrivals::FixedRateArrivals arrivals_b(20.0);
+  EnforcedSimConfig other = config;
+  other.seed = dist::derive_seed({7, 1});
+  simulate_enforced_waits_into(pipeline, intervals, arrivals_b, other, scratch);
+  arrivals::FixedRateArrivals arrivals_c(20.0);
+  simulate_enforced_waits_into(pipeline, intervals, arrivals_c, config,
+                               scratch);
+
+  EXPECT_EQ(fresh.inputs_arrived, scratch.inputs_arrived);
+  EXPECT_EQ(fresh.inputs_missed, scratch.inputs_missed);
+  EXPECT_EQ(fresh.inputs_on_time, scratch.inputs_on_time);
+  EXPECT_EQ(fresh.sink_outputs, scratch.sink_outputs);
+  EXPECT_EQ(fresh.events_processed, scratch.events_processed);
+  EXPECT_EQ(fresh.makespan, scratch.makespan);
+  EXPECT_EQ(fresh.output_latency.count(), scratch.output_latency.count());
+  EXPECT_EQ(fresh.output_latency.mean(), scratch.output_latency.mean());
+  EXPECT_EQ(fresh.output_latency.max(), scratch.output_latency.max());
+  ASSERT_EQ(fresh.nodes.size(), scratch.nodes.size());
+  for (std::size_t i = 0; i < fresh.nodes.size(); ++i) {
+    EXPECT_EQ(fresh.nodes[i].firings, scratch.nodes[i].firings) << i;
+    EXPECT_EQ(fresh.nodes[i].items_consumed, scratch.nodes[i].items_consumed)
+        << i;
+    EXPECT_EQ(fresh.nodes[i].max_queue_length,
+              scratch.nodes[i].max_queue_length)
+        << i;
+  }
+  ASSERT_TRUE(fresh.latency_histogram.has_value());
+  ASSERT_TRUE(scratch.latency_histogram.has_value());
+  EXPECT_EQ(fresh.latency_histogram->total(),
+            scratch.latency_histogram->total());
+  for (std::size_t b = 0; b < fresh.latency_histogram->bin_count(); ++b) {
+    ASSERT_EQ(fresh.latency_histogram->bin(b), scratch.latency_histogram->bin(b))
+        << "bin " << b;
+  }
+}
+
 TEST(TrialRunner, LatencyP99Aggregated) {
   const auto pipeline = blast::canonical_blast_pipeline();
   core::EnforcedWaitsStrategy strategy(
