@@ -1,0 +1,191 @@
+// Google-benchmark suite for the online control loop (src/control +
+// src/service): warm- vs cold-started re-plan latency, the steady-state cost
+// of a control tick, and the closed-loop overhead of running the replay
+// drain cycle (estimator feed + tick + chunk execution) against executing
+// the same chunks under a static plan. scripts/run_bench_service.sh runs
+// this suite and writes BENCH_service.json at the repo root; the acceptance
+// bar is steady-state overhead under 2%.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arrivals/arrival_process.hpp"
+#include "control/controller.hpp"
+#include "core/enforced_waits.hpp"
+#include "core/warm_start.hpp"
+#include "dist/gain.hpp"
+#include "runtime/pipeline_executor.hpp"
+#include "sdf/pipeline.hpp"
+#include "service/service.hpp"
+#include "sim/enforced_sim.hpp"
+
+namespace {
+
+using namespace ripple;
+
+/// A deeper pipeline than the unit tests use, so the solver's active-set
+/// iteration cost is representative: six nodes, mixed gains.
+sdf::PipelineSpec make_solver_spec() {
+  auto spec = sdf::PipelineBuilder("svc_bench_deep")
+                  .simd_width(16)
+                  .add_node("seed", 40.0, dist::make_deterministic(3))
+                  .add_node("expand", 55.0, dist::make_bernoulli(0.6))
+                  .add_node("extend", 90.0, dist::make_deterministic(2))
+                  .add_node("score", 35.0, dist::make_bernoulli(0.4))
+                  .add_node("rank", 25.0, dist::make_deterministic(1))
+                  .add_node("emit", 20.0, nullptr)
+                  .build()
+                  .value();
+  return spec;
+}
+
+/// The control-loop pipeline shared with the service tests (floor tau0 = 5).
+sdf::PipelineSpec make_loop_spec() {
+  auto spec = sdf::PipelineBuilder("svc_bench_loop")
+                  .simd_width(4)
+                  .add_node("expand", 8.0, dist::make_deterministic(2))
+                  .add_node("filter", 6.0, dist::make_deterministic(1))
+                  .add_node("sink", 10.0, nullptr)
+                  .build()
+                  .value();
+  return spec;
+}
+
+constexpr Cycles kDeadline = 40000.0;
+constexpr Cycles kLoopDeadline = 600.0;
+constexpr std::size_t kChunk = 256;
+
+/// Re-plan latency, cold: every solve starts from scratch. The targets
+/// alternate +/-5% around a base operating point, the drift that actually
+/// triggers re-plans in the hysteresis loop.
+void BM_ReplanColdSolve(benchmark::State& state) {
+  const sdf::PipelineSpec spec = make_solver_spec();
+  const core::EnforcedWaitsStrategy strategy(
+      spec, core::EnforcedWaitsConfig::optimistic(spec));
+  const Cycles base = 2.0 * strategy.min_feasible_tau0(kDeadline);
+  std::size_t flip = 0;
+  for (auto _ : state) {
+    const Cycles target = base * (flip++ % 2 == 0 ? 1.05 : 0.95);
+    auto solved = strategy.solve(target, kDeadline);
+    benchmark::DoNotOptimize(solved);
+  }
+}
+BENCHMARK(BM_ReplanColdSolve);
+
+/// Re-plan latency, warm: each solve is seeded with the previous solution,
+/// exactly what Replanner::solve_and_publish does between drifting targets.
+void BM_ReplanWarmSolve(benchmark::State& state) {
+  const sdf::PipelineSpec spec = make_solver_spec();
+  const core::EnforcedWaitsStrategy strategy(
+      spec, core::EnforcedWaitsConfig::optimistic(spec));
+  const Cycles base = 2.0 * strategy.min_feasible_tau0(kDeadline);
+  auto previous = strategy.solve(base, kDeadline).value();
+  std::size_t flip = 0;
+  for (auto _ : state) {
+    const Cycles target = base * (flip++ % 2 == 0 ? 1.05 : 0.95);
+    const core::WarmStart warm =
+        core::WarmStart::from_intervals(previous.firing_intervals);
+    auto solved = strategy.solve(target, kDeadline, &warm);
+    benchmark::DoNotOptimize(solved);
+    previous = std::move(solved.value());
+  }
+}
+BENCHMARK(BM_ReplanWarmSolve);
+
+/// The hysteresis fast path: one observed gap plus a tick that keeps the
+/// plan. This is the per-control-interval cost the service pays in steady
+/// state on top of executing the batch.
+void BM_ControllerTickSteady(benchmark::State& state) {
+  const sdf::PipelineSpec spec = make_loop_spec();
+  control::Controller controller(
+      spec, core::EnforcedWaitsConfig::optimistic(spec), kLoopDeadline, 20.0);
+  for (int i = 0; i < 2000; ++i) controller.observe_gap(20.0);
+  for (auto _ : state) {
+    controller.observe_gap(20.0);
+    auto decision = controller.tick();
+    benchmark::DoNotOptimize(decision);
+  }
+}
+BENCHMARK(BM_ControllerTickSteady);
+
+/// The per-arrival cost the closed loop adds on the ingest side: one EWMA
+/// update plus a quantile-window push. Together with the tick, this is the
+/// entire steady-state control overhead per chunk (kChunk gaps + one tick),
+/// which scripts/run_bench_service.sh relates to the static-plan chunk time.
+void BM_ObserveGapSteady(benchmark::State& state) {
+  const sdf::PipelineSpec spec = make_loop_spec();
+  control::Controller controller(
+      spec, core::EnforcedWaitsConfig::optimistic(spec), kLoopDeadline, 20.0);
+  for (int i = 0; i < 2000; ++i) controller.observe_gap(20.0);
+  for (auto _ : state) {
+    controller.observe_gap(20.0);
+  }
+  benchmark::DoNotOptimize(controller);
+}
+BENCHMARK(BM_ObserveGapSteady);
+
+/// One batch through the service's executor path (the batch the worker runs
+/// per drain), shared by the closed-loop and static-plan chunk benchmarks.
+void run_executor_chunk(runtime::PipelineExecutor& executor,
+                        const std::vector<Cycles>& intervals, Cycles first_gap,
+                        benchmark::State& state) {
+  runtime::ExecutorConfig config;
+  config.firing_intervals = intervals;
+  config.deadline = kLoopDeadline;
+  config.max_collected_results = 0;
+  config.input_gaps.assign(kChunk, 20.0);
+  config.input_gaps.front() = first_gap;
+  std::vector<runtime::Item> inputs;
+  inputs.reserve(kChunk);
+  for (std::uint64_t i = 0; i < kChunk; ++i) inputs.emplace_back(i);
+  auto result = executor.run(std::move(inputs), config);
+  if (!result.ok()) state.SkipWithError("executor chunk failed");
+  benchmark::DoNotOptimize(result);
+}
+
+/// One steady-state drain cycle of the closed loop: feed a chunk of offered
+/// gaps to the estimator, tick the controller (kept plan), and execute the
+/// chunk through the service's executor under the current plan — the same
+/// per-batch work PipelineService::drain_pending does.
+void BM_ClosedLoopChunkSteady(benchmark::State& state) {
+  const sdf::PipelineSpec spec = make_loop_spec();
+  control::Controller controller(
+      spec, core::EnforcedWaitsConfig::optimistic(spec), kLoopDeadline, 20.0);
+  for (int i = 0; i < 2000; ++i) controller.observe_gap(20.0);
+  runtime::PipelineExecutor executor(spec, service::synthetic_stages(spec));
+
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kChunk; ++i) controller.observe_gap(20.0);
+    auto decision = controller.tick();
+    benchmark::DoNotOptimize(decision);
+    const control::PlanPtr plan = controller.plan();
+    run_executor_chunk(executor, plan->schedule.firing_intervals,
+                       plan->planned_tau0, state);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChunk));
+}
+BENCHMARK(BM_ClosedLoopChunkSteady);
+
+/// The same chunk executed under a fixed offline plan with no control loop:
+/// the baseline the closed loop's steady-state overhead is measured against.
+void BM_StaticPlanChunk(benchmark::State& state) {
+  const sdf::PipelineSpec spec = make_loop_spec();
+  const core::EnforcedWaitsStrategy strategy(
+      spec, core::EnforcedWaitsConfig::optimistic(spec));
+  const auto schedule = strategy.solve(20.0, kLoopDeadline).value();
+  runtime::PipelineExecutor executor(spec, service::synthetic_stages(spec));
+
+  for (auto _ : state) {
+    run_executor_chunk(executor, schedule.firing_intervals, 20.0, state);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChunk));
+}
+BENCHMARK(BM_StaticPlanChunk);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+#include "arrivals/nonstationary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/string_utils.hpp"
+
+namespace ripple::arrivals {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+Cycles exponential(dist::Xoshiro256& rng, Cycles mean) {
+  const double u = std::max(rng.uniform01(), 1e-300);
+  return -mean * std::log(u);
+}
+}  // namespace
+
+// ------------------------------------------------------ PiecewiseConstantRate
+
+PiecewiseConstantRate::PiecewiseConstantRate(std::vector<Cycles> knots,
+                                             std::vector<double> rates)
+    : knots_(std::move(knots)), rates_(std::move(rates)) {
+  RIPPLE_REQUIRE(!knots_.empty() && knots_.size() == rates_.size(),
+                 "one rate per knot required");
+  RIPPLE_REQUIRE(knots_.front() == 0.0, "first knot must be t = 0");
+  for (std::size_t k = 1; k < knots_.size(); ++k) {
+    RIPPLE_REQUIRE(knots_[k] > knots_[k - 1], "knots must strictly increase");
+  }
+  for (double r : rates_) RIPPLE_REQUIRE(r > 0.0, "rates must be positive");
+  max_rate_ = *std::max_element(rates_.begin(), rates_.end());
+}
+
+double PiecewiseConstantRate::rate_at(Cycles t) const {
+  // First knot whose start exceeds t; the segment before it owns t.
+  const auto it = std::upper_bound(knots_.begin(), knots_.end(), t);
+  const std::size_t segment =
+      static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+          0, std::distance(knots_.begin(), it) - 1));
+  return rates_[segment];
+}
+
+std::string PiecewiseConstantRate::name() const {
+  return "step(segments=" + std::to_string(rates_.size()) + ")";
+}
+
+// ------------------------------------------------------------ LinearRampRate
+
+LinearRampRate::LinearRampRate(double rate0, double rate1,
+                               Cycles ramp_duration)
+    : rate0_(rate0), rate1_(rate1), ramp_duration_(ramp_duration) {
+  RIPPLE_REQUIRE(rate0 > 0.0 && rate1 > 0.0, "rates must be positive");
+  RIPPLE_REQUIRE(ramp_duration > 0.0, "ramp duration must be positive");
+}
+
+double LinearRampRate::rate_at(Cycles t) const {
+  if (t <= 0.0) return rate0_;
+  if (t >= ramp_duration_) return rate1_;
+  return rate0_ + (rate1_ - rate0_) * (t / ramp_duration_);
+}
+
+double LinearRampRate::max_rate() const { return std::max(rate0_, rate1_); }
+
+std::string LinearRampRate::name() const {
+  return "ramp(" + util::format_double(rate0_, 6) + "->" +
+         util::format_double(rate1_, 6) + ")";
+}
+
+// ------------------------------------------------------------ SinusoidalRate
+
+SinusoidalRate::SinusoidalRate(double base, double amplitude, Cycles period,
+                               double phase)
+    : base_(base), amplitude_(amplitude), period_(period), phase_(phase) {
+  RIPPLE_REQUIRE(base > 0.0, "base rate must be positive");
+  RIPPLE_REQUIRE(amplitude >= 0.0 && amplitude < base,
+                 "amplitude must be in [0, base) so the rate stays positive");
+  RIPPLE_REQUIRE(period > 0.0, "period must be positive");
+}
+
+double SinusoidalRate::rate_at(Cycles t) const {
+  return base_ + amplitude_ * std::sin(kTwoPi * t / period_ + phase_);
+}
+
+std::string SinusoidalRate::name() const {
+  return "sine(base=" + util::format_double(base_, 6) +
+         ", amp=" + util::format_double(amplitude_, 6) + ")";
+}
+
+// ------------------------------------------------------ VariableRateArrivals
+
+VariableRateArrivals::VariableRateArrivals(RateFnPtr rate)
+    : rate_(std::move(rate)) {
+  RIPPLE_REQUIRE(rate_ != nullptr, "rate function required");
+}
+
+Cycles VariableRateArrivals::next_interarrival(dist::Xoshiro256&) {
+  const Cycles gap = 1.0 / rate_->rate_at(now_);
+  now_ += gap;
+  return gap;
+}
+
+Cycles VariableRateArrivals::mean_interarrival() const {
+  return 1.0 / rate_->rate_at(now_);
+}
+
+std::string VariableRateArrivals::name() const {
+  return "variable[" + rate_->name() + "]";
+}
+
+// ---------------------------------------------------------- ThinningArrivals
+
+ThinningArrivals::ThinningArrivals(RateFnPtr rate) : rate_(std::move(rate)) {
+  RIPPLE_REQUIRE(rate_ != nullptr, "rate function required");
+  RIPPLE_REQUIRE(rate_->max_rate() > 0.0, "thinning envelope must be positive");
+}
+
+Cycles ThinningArrivals::next_interarrival(dist::Xoshiro256& rng) {
+  const double envelope = rate_->max_rate();
+  const Cycles start = now_;
+  // Candidate points at the envelope rate; accept with rho(t)/envelope. The
+  // acceptance test uses the candidate's own timestamp, which makes the
+  // construction exact (Lewis & Shedler 1979).
+  while (true) {
+    now_ += exponential(rng, 1.0 / envelope);
+    const double accept = rate_->rate_at(now_) / envelope;
+    if (rng.uniform01() < accept) return now_ - start;
+  }
+}
+
+Cycles ThinningArrivals::mean_interarrival() const {
+  return 1.0 / rate_->rate_at(now_);
+}
+
+std::string ThinningArrivals::name() const {
+  return "thinning[" + rate_->name() + "]";
+}
+
+// ------------------------------------------------------------------ factories
+
+ArrivalFactory variable_rate_factory(RateFnPtr rate) {
+  return [rate] { return std::make_unique<VariableRateArrivals>(rate); };
+}
+ArrivalFactory thinning_factory(RateFnPtr rate) {
+  return [rate] { return std::make_unique<ThinningArrivals>(rate); };
+}
+
+}  // namespace ripple::arrivals

@@ -1,0 +1,133 @@
+// Non-homogeneous (time-varying-rate) arrival processes.
+//
+// The controller layer (src/control) adapts schedules to drifting arrival
+// rates; validating it needs input streams whose true rate rho(t) is known
+// exactly. A RateFunction describes rho(t); two processes drive items from
+// it:
+//
+//   * VariableRateArrivals — deterministic: each gap is exactly 1/rho(t) at
+//     the moment the previous item arrived. The empirical rate tracks rho(t)
+//     with no sampling noise, which gives the controller convergence tests a
+//     noise-free oracle.
+//   * ThinningArrivals — a non-homogeneous Poisson process via Lewis-Shedler
+//     thinning: candidate arrivals are drawn at the envelope rate max_rate()
+//     and accepted with probability rho(t)/max_rate(). Exact for any bounded
+//     rho(t), and deterministic given the RNG seed.
+//
+// Both processes track their own absolute clock (the ArrivalProcess
+// interface deals only in gaps), so construct a fresh instance per trial.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arrivals/arrival_process.hpp"
+#include "util/types.hpp"
+
+namespace ripple::arrivals {
+
+/// Instantaneous arrival rate rho(t) in items per cycle, bounded and
+/// strictly positive.
+class RateFunction {
+ public:
+  virtual ~RateFunction() = default;
+  /// rho(t) > 0 for t >= 0.
+  virtual double rate_at(Cycles t) const = 0;
+  /// A finite upper bound on rho(t) over t >= 0 (the thinning envelope).
+  virtual double max_rate() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using RateFnPtr = std::shared_ptr<const RateFunction>;
+
+/// Piecewise-constant rate: rho(t) = rates[k] for t in [knots[k], knots[k+1])
+/// with knots[0] == 0 and an implicit final segment extending to infinity.
+/// The controller's rate-step traces are built from this.
+class PiecewiseConstantRate final : public RateFunction {
+ public:
+  /// `knots` are the segment start times (first must be 0, strictly
+  /// increasing); `rates` are the per-segment rates (> 0), same length.
+  PiecewiseConstantRate(std::vector<Cycles> knots, std::vector<double> rates);
+  double rate_at(Cycles t) const override;
+  double max_rate() const override { return max_rate_; }
+  std::string name() const override;
+
+ private:
+  std::vector<Cycles> knots_;
+  std::vector<double> rates_;
+  double max_rate_ = 0.0;
+};
+
+/// Linear ramp: rho(t) interpolates rate0 -> rate1 over [0, ramp_duration],
+/// then holds rate1. The controller's rate-ramp traces are built from this.
+class LinearRampRate final : public RateFunction {
+ public:
+  LinearRampRate(double rate0, double rate1, Cycles ramp_duration);
+  double rate_at(Cycles t) const override;
+  double max_rate() const override;
+  std::string name() const override;
+
+ private:
+  double rate0_;
+  double rate1_;
+  Cycles ramp_duration_;
+};
+
+/// Sinusoidal rate: rho(t) = base + amplitude * sin(2*pi*t/period + phase),
+/// with amplitude < base so the rate stays positive.
+class SinusoidalRate final : public RateFunction {
+ public:
+  SinusoidalRate(double base, double amplitude, Cycles period,
+                 double phase = 0.0);
+  double rate_at(Cycles t) const override;
+  double max_rate() const override { return base_ + amplitude_; }
+  std::string name() const override;
+
+ private:
+  double base_;
+  double amplitude_;
+  Cycles period_;
+  double phase_;
+};
+
+/// Deterministic non-stationary arrivals: the gap after an item arriving at
+/// time t is exactly 1/rho(t). Never consumes RNG.
+class VariableRateArrivals final : public ArrivalProcess {
+ public:
+  explicit VariableRateArrivals(RateFnPtr rate);
+  Cycles next_interarrival(dist::Xoshiro256& rng) override;
+  /// Long-run mean gap is rate-path dependent; reports 1/rho(now) so hot
+  /// loops treating it as a hint stay sane. fixed_interarrival() stays 0 (the
+  /// gap varies), so simulators take the generic per-arrival path.
+  Cycles mean_interarrival() const override;
+  std::string name() const override;
+
+  Cycles now() const noexcept { return now_; }
+
+ private:
+  RateFnPtr rate_;
+  Cycles now_ = 0.0;
+};
+
+/// Non-homogeneous Poisson arrivals via Lewis-Shedler thinning against the
+/// max_rate() envelope. Deterministic given the RNG stream.
+class ThinningArrivals final : public ArrivalProcess {
+ public:
+  explicit ThinningArrivals(RateFnPtr rate);
+  Cycles next_interarrival(dist::Xoshiro256& rng) override;
+  /// Mean gap at the envelope's *current* rate (rate-path dependent overall);
+  /// reported as 1/rho(now).
+  Cycles mean_interarrival() const override;
+  std::string name() const override;
+
+  Cycles now() const noexcept { return now_; }
+
+ private:
+  RateFnPtr rate_;
+  Cycles now_ = 0.0;
+};
+
+ArrivalFactory variable_rate_factory(RateFnPtr rate);
+ArrivalFactory thinning_factory(RateFnPtr rate);
+
+}  // namespace ripple::arrivals

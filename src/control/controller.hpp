@@ -1,0 +1,103 @@
+// The closed-loop controller: rate estimation -> re-planning -> admission.
+//
+// One Controller sits between the service's ingest side and its executor:
+//
+//              gaps                     tick()
+//   producers ------> RateEstimator ----------> Replanner ---> PlanStore
+//                          |                        |             |
+//                          | tau0_hat               | shedding    | load()
+//                          v                        v             v
+//                    admitted_sessions()      (admission cut)   worker
+//
+// The worker thread owns the write side: it feeds observed inter-arrival
+// gaps and per-batch worst latencies, and calls tick() once per ingest
+// batch. Readers (producer threads checking admission, tests) only touch
+// the PlanStore snapshot and the published admission watermark — the
+// estimator itself is single-writer and never shared.
+//
+// Admission: sessions are assumed symmetric (each contributes offered_rate /
+// open_sessions). When the re-planner flags shedding, the controller admits
+// the largest k with k * offered_rate / open <= feasible_rate — newest
+// sessions (highest admission sequence) are cut first, deterministically.
+#pragma once
+
+#include <cstdint>
+
+#include "control/plan_store.hpp"
+#include "control/rate_estimator.hpp"
+#include "control/replanner.hpp"
+#include "util/types.hpp"
+
+namespace ripple::control {
+
+struct ControllerConfig {
+  RateEstimatorConfig estimator;
+  ReplannerConfig replanner;
+  /// Force a re-plan (bypassing drift hysteresis) when a batch's worst
+  /// observed latency exceeds this fraction of the deadline — the rate
+  /// estimate lags reality exactly when queues are building, and eroding
+  /// slack is the earliest symptom. <= 0 disables the trigger.
+  double slack_trigger = 0.9;
+};
+
+struct ControlDecision {
+  ReplanOutcome outcome = ReplanOutcome::kKept;
+  bool shedding = false;
+  bool slack_forced = false;  ///< this tick was forced by the slack trigger
+  Cycles tau0_estimate = 0.0;
+  Cycles target_tau0 = 0.0;
+  PlanPtr plan;
+};
+
+struct ControllerStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t replans = 0;
+  std::uint64_t solve_failures = 0;
+  std::uint64_t shed_ticks = 0;     ///< ticks spent in shedding state
+  std::uint64_t slack_forced = 0;   ///< replans forced by the slack trigger
+};
+
+class Controller {
+ public:
+  /// Throws std::logic_error when the deadline admits no feasible rate.
+  Controller(sdf::PipelineSpec pipeline, core::EnforcedWaitsConfig config,
+             Cycles deadline, Cycles initial_tau0,
+             ControllerConfig controller = {});
+
+  // --- worker-thread (single-writer) side ---------------------------------
+
+  /// Observe one inter-arrival gap of the *offered* stream (shed arrivals
+  /// included — admission must track the load it is rejecting).
+  void observe_gap(Cycles gap) { estimator_.observe_gap(gap); }
+
+  /// Observe a completed batch's worst end-to-end latency.
+  void observe_worst_latency(Cycles latency);
+
+  /// One control interval: decide whether to re-plan / shed at the current
+  /// estimate. Call between ingest batches.
+  ControlDecision tick();
+
+  // --- any-thread side ----------------------------------------------------
+
+  PlanPtr plan() const noexcept { return replanner_.plan(); }
+  std::uint64_t epoch() const noexcept { return replanner_.epoch(); }
+
+  /// How many of `open_sessions` are admitted at the current estimate;
+  /// sessions beyond the returned count (newest first) are shed. Equals
+  /// open_sessions whenever the estimated rate is feasible.
+  std::size_t admitted_sessions(std::size_t open_sessions) const;
+
+  const RateEstimator& estimator() const noexcept { return estimator_; }
+  const Replanner& replanner() const noexcept { return replanner_; }
+  Cycles deadline() const noexcept { return replanner_.deadline(); }
+  ControllerStats stats() const noexcept { return stats_; }
+
+ private:
+  ControllerConfig config_;
+  RateEstimator estimator_;
+  Replanner replanner_;
+  Cycles worst_latency_ = 0.0;  ///< since the last tick
+  ControllerStats stats_;
+};
+
+}  // namespace ripple::control

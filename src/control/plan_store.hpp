@@ -1,0 +1,85 @@
+// Hot-swap storage for the live wait schedule.
+//
+// The service worker executes batches against whatever plan is current when
+// the batch starts; the controller publishes a new plan without stopping the
+// world. The store is an epoch-stamped RCU-style pointer swap over a
+// shared_ptr<const ActivePlan>:
+//
+//   * readers load() the pointer once per batch and keep the shared_ptr for
+//     the batch's lifetime — an in-flight batch finishes under the schedule
+//     it started with, even if the controller swaps mid-batch;
+//   * the writer publish()es a fully built plan; the swap is one pointer
+//     copy under a mutex, and the superseded plan is reclaimed by the last
+//     reader that still holds it (shared_ptr refcount — no reader ever
+//     observes a torn or freed plan).
+//
+// The swap is guarded by a plain mutex rather than
+// std::atomic<std::shared_ptr>: the critical section is a single pointer
+// copy, readers take it once per batch (never per item), and libstdc++'s
+// lock-bit _Sp_atomic protocol is invisible to ThreadSanitizer, which would
+// flag every publish/load pair as a race in the TSan CI leg.
+//
+// Epochs increase monotonically, so tests and metrics can tell "same plan"
+// from "re-solved to an identical schedule".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/enforced_waits.hpp"
+#include "util/types.hpp"
+
+namespace ripple::control {
+
+/// One published wait schedule plus the operating point it was solved for.
+struct ActivePlan {
+  std::uint64_t epoch = 0;       ///< publish sequence number (1-based)
+  Cycles planned_tau0 = 0.0;     ///< the inter-arrival time it was solved at
+  Cycles deadline = 0.0;         ///< D it was solved against
+  bool shedding = false;         ///< published while admission was cutting load
+  core::EnforcedWaitsSchedule schedule;
+};
+
+using PlanPtr = std::shared_ptr<const ActivePlan>;
+
+class PlanStore {
+ public:
+  /// Current plan; never null once the first plan is published. Safe from
+  /// any thread; the critical section is one shared_ptr copy.
+  PlanPtr load() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return plan_;
+  }
+
+  /// Swap in a new plan, stamping the next epoch. Single-writer (the
+  /// controller); readers see either the old or the new plan, never a mix.
+  PlanPtr publish(core::EnforcedWaitsSchedule schedule, Cycles planned_tau0,
+                  Cycles deadline, bool shedding) {
+    auto plan = std::make_shared<ActivePlan>();
+    plan->epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+    plan->planned_tau0 = planned_tau0;
+    plan->deadline = deadline;
+    plan->shedding = shedding;
+    plan->schedule = std::move(schedule);
+    PlanPtr published = std::move(plan);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      plan_ = published;
+    }
+    return published;
+  }
+
+  /// Epoch of the most recently published plan (0 = nothing published yet).
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  PlanPtr plan_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace ripple::control

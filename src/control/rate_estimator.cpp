@@ -1,0 +1,45 @@
+#include "control/rate_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ripple::control {
+
+RateEstimator::RateEstimator(Cycles prior_tau0, RateEstimatorConfig config)
+    : config_(config) {
+  RIPPLE_REQUIRE(prior_tau0 > 0.0, "prior tau0 must be positive");
+  RIPPLE_REQUIRE(config_.alpha > 0.0 && config_.alpha <= 1.0,
+                 "EWMA alpha must be in (0, 1]");
+  RIPPLE_REQUIRE(config_.window > 0, "quantile window must be non-empty");
+  window_.reserve(config_.window);
+  reset(prior_tau0);
+}
+
+Cycles RateEstimator::gap_quantile(double q) const {
+  RIPPLE_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const std::size_t n = window_.size();
+  if (n == 0) return prior_;
+  scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) scratch_[i] = window_[i];
+  // Rank r = ceil(q * n) observations <= result (matching the histogram
+  // quantile convention in obs/metrics.hpp), clamped to [1, n].
+  const auto rank = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(n))));
+  const std::size_t index = std::min(rank, n) - 1;
+  std::nth_element(scratch_.begin(),
+                   scratch_.begin() + static_cast<std::ptrdiff_t>(index),
+                   scratch_.end());
+  return scratch_[index];
+}
+
+void RateEstimator::reset(Cycles prior_tau0) {
+  RIPPLE_REQUIRE(prior_tau0 > 0.0, "prior tau0 must be positive");
+  prior_ = prior_tau0;
+  ewma_ = prior_tau0;
+  samples_ = 0;
+  window_.clear();
+}
+
+}  // namespace ripple::control

@@ -1,0 +1,79 @@
+// Online arrival-rate estimation from observed inter-arrival gaps.
+//
+// The service worker feeds every observed gap into one estimator; the
+// re-planner reads two views of it:
+//
+//   * an EWMA of the gaps — the smoothed inter-arrival estimate tau0_hat the
+//     re-planner solves against. One multiply-add per arrival, O(1) state.
+//   * windowed order statistics — quantiles over the last `window` gaps,
+//     which expose burstiness that the mean hides (a p10 gap far below the
+//     EWMA flags rate spikes the admission controller may need to act on).
+//
+// Everything is deterministic: the same gap sequence produces bit-identical
+// estimates, which is what lets the closed-loop convergence tests compare
+// the controller against an offline oracle. The estimator is single-writer
+// (the service worker); readers go through the controller, which publishes
+// snapshots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ring_buffer.hpp"
+#include "util/types.hpp"
+
+namespace ripple::control {
+
+struct RateEstimatorConfig {
+  /// EWMA weight per observed gap: tau <- (1-alpha)*tau + alpha*gap.
+  double alpha = 0.05;
+  /// Gap window for quantiles (rounded up to a power of two by the ring).
+  std::size_t window = 256;
+  /// Below this many observations the estimate stays pinned to the prior —
+  /// a cold EWMA over two or three gaps is noise, not signal.
+  std::size_t min_samples = 16;
+};
+
+class RateEstimator {
+ public:
+  /// `prior_tau0` seeds the EWMA and is reported until min_samples gaps have
+  /// been observed.
+  RateEstimator(Cycles prior_tau0, RateEstimatorConfig config);
+
+  /// Observe one inter-arrival gap (> 0; non-positive gaps are clamped to a
+  /// tiny epsilon so simultaneous arrivals cannot poison the estimate).
+  /// Inline: the service worker calls this once per offered arrival, and the
+  /// call itself must stay negligible next to executing the item.
+  void observe_gap(Cycles gap) {
+    if (!(gap > 0.0)) gap = 1e-9;  // simultaneous arrivals
+    ewma_ = (1.0 - config_.alpha) * ewma_ + config_.alpha * gap;
+    if (window_.size() == config_.window) window_.discard_front(1);
+    window_.push_back(gap);
+    ++samples_;
+  }
+
+  /// Smoothed inter-arrival estimate tau0_hat (the prior until warm).
+  Cycles tau0() const noexcept { return warm() ? ewma_ : prior_; }
+  /// Estimated arrival rate rho0_hat = 1 / tau0_hat.
+  double rate() const noexcept { return 1.0 / tau0(); }
+
+  /// q-quantile (q in [0, 1]) of the windowed gaps: the value v such that at
+  /// least ceil(q * n) of the retained gaps are <= v. Returns the prior
+  /// while the window is empty. Deterministic given the same gap sequence.
+  Cycles gap_quantile(double q) const;
+
+  std::uint64_t samples() const noexcept { return samples_; }
+  bool warm() const noexcept { return samples_ >= config_.min_samples; }
+
+  void reset(Cycles prior_tau0);
+
+ private:
+  RateEstimatorConfig config_;
+  Cycles prior_ = 0.0;
+  Cycles ewma_ = 0.0;
+  std::uint64_t samples_ = 0;
+  util::RingBuffer<Cycles> window_;
+  mutable std::vector<Cycles> scratch_;  ///< quantile sort buffer, reused
+};
+
+}  // namespace ripple::control

@@ -1,0 +1,112 @@
+// Hysteresis-gated online re-planning of the enforced-waits schedule.
+//
+// The re-planner owns the EnforcedWaitsStrategy and the PlanStore. Each
+// control tick it is handed the current inter-arrival estimate tau0_hat and
+// decides:
+//
+//   1. Target operating point: solve at headroom * tau0_hat (headroom <= 1
+//      plans for a slightly higher rate than estimated, absorbing estimator
+//      lag). If that target is below the strategy's feasibility floor
+//      min_feasible_tau0(D), the offered rate cannot be served — the target
+//      is clamped just above the floor and the decision is flagged
+//      `shedding`, telling the admission controller to cut sessions until
+//      the admitted rate fits under the plan.
+//   2. Hysteresis: re-solve only when the target drifts more than
+//      drift_threshold (relative) from the operating point of the published
+//      plan, a cooldown of consider() calls has elapsed, the feasibility
+//      state flipped, or the caller forces it (observed-slack trigger).
+//      Everything else keeps the published plan — steady state costs two
+//      compares, no solver work.
+//   3. Warm start: each re-solve is seeded with the published plan's firing
+//      intervals via core::WarmStart, the same mechanism run_sweep uses
+//      between grid-adjacent cells; solve latency drops accordingly (see
+//      bench/bench_service.cpp) and results are bit-identical to cold
+//      solves.
+//
+// Solved plans are published through the PlanStore's atomic swap; in-flight
+// batches keep executing under the plan they loaded.
+#pragma once
+
+#include <cstdint>
+
+#include "control/plan_store.hpp"
+#include "core/enforced_waits.hpp"
+#include "util/types.hpp"
+
+namespace ripple::control {
+
+struct ReplannerConfig {
+  /// Relative |target - planned| / planned drift that triggers a re-solve.
+  double drift_threshold = 0.05;
+  /// Solve at headroom * tau0_hat, headroom in (0, 1].
+  double headroom = 1.0;
+  /// consider() calls that must elapse between re-solves (feasibility flips
+  /// and forced calls bypass the cooldown).
+  std::uint64_t cooldown_ticks = 1;
+  /// Relative margin above min_feasible_tau0 when clamped to the floor in
+  /// shed mode (solving exactly on the boundary is numerically hostile).
+  double boundary_margin = 1e-6;
+};
+
+enum class ReplanOutcome : std::uint8_t {
+  kKept,         ///< hysteresis held; published plan unchanged
+  kReplanned,    ///< new plan solved and published
+  kSolveFailed,  ///< solver rejected the target; published plan unchanged
+};
+
+struct ReplanDecision {
+  ReplanOutcome outcome = ReplanOutcome::kKept;
+  /// True when the offered rate exceeds the feasibility floor: the plan
+  /// serves the maximum feasible rate and admission must shed the excess.
+  bool shedding = false;
+  /// The tau0 the decision targeted (after headroom and floor clamping).
+  Cycles target_tau0 = 0.0;
+  /// The plan in force after the decision.
+  PlanPtr plan;
+};
+
+class Replanner {
+ public:
+  /// Solves and publishes the initial plan at initial_tau0 (clamped to the
+  /// feasibility floor like any other target). Throws std::logic_error when
+  /// the deadline is below the minimal budget — no rate is ever feasible,
+  /// which is a configuration error, not a load condition.
+  Replanner(sdf::PipelineSpec pipeline, core::EnforcedWaitsConfig config,
+            Cycles deadline, Cycles initial_tau0, ReplannerConfig replan);
+
+  /// One control tick at estimate tau0_hat. `force` bypasses drift
+  /// hysteresis and cooldown (slack trigger).
+  ReplanDecision consider(Cycles tau0_hat, bool force = false);
+
+  const core::EnforcedWaitsStrategy& strategy() const noexcept {
+    return strategy_;
+  }
+  Cycles deadline() const noexcept { return deadline_; }
+  /// Feasibility floor min_feasible_tau0(deadline), cached.
+  Cycles floor_tau0() const noexcept { return floor_tau0_; }
+
+  /// Thread-safe plan access (the store's atomic load).
+  PlanPtr plan() const noexcept { return store_.load(); }
+  std::uint64_t epoch() const noexcept { return store_.epoch(); }
+
+  std::uint64_t replans() const noexcept { return replans_; }
+  std::uint64_t solve_failures() const noexcept { return solve_failures_; }
+
+ private:
+  /// Clamp headroom * tau0_hat to the feasibility floor; sets `shedding`.
+  Cycles clamp_target(Cycles tau0_hat, bool& shedding) const;
+  /// Solve at target (warm-started from the published plan) and publish.
+  ReplanOutcome solve_and_publish(Cycles target, bool shedding);
+
+  core::EnforcedWaitsStrategy strategy_;
+  Cycles deadline_;
+  ReplannerConfig config_;
+  Cycles floor_tau0_ = 0.0;
+  PlanStore store_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t last_replan_tick_ = 0;
+  std::uint64_t replans_ = 0;
+  std::uint64_t solve_failures_ = 0;
+};
+
+}  // namespace ripple::control

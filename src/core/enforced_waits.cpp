@@ -50,6 +50,14 @@ Cycles EnforcedWaitsStrategy::min_feasible_deadline(Cycles tau0) const {
   return minimal_budget_;
 }
 
+Cycles EnforcedWaitsStrategy::min_feasible_tau0(Cycles deadline) const {
+  // Feasibility is exactly two compares (see is_feasible): the deadline
+  // bound does not involve tau0, and the rate bound is the sharp threshold
+  // L_0 <= v * tau0 — so the frontier is closed-form, no search needed.
+  if (minimal_budget_ > deadline) return kUnboundedCycles;
+  return minimal_intervals_[0] / static_cast<double>(pipeline_.simd_width());
+}
+
 double EnforcedWaitsStrategy::active_fraction(
     const std::vector<Cycles>& firing_intervals) const {
   RIPPLE_REQUIRE(firing_intervals.size() == pipeline_.size(),

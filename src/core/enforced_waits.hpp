@@ -66,6 +66,13 @@ class EnforcedWaitsStrategy {
   /// (infinite when the rate constraint alone is violated).
   Cycles min_feasible_deadline(Cycles tau0) const;
 
+  /// Smallest inter-arrival time tau0 (= highest sustainable rate) for which
+  /// a feasible schedule exists at this deadline; infinite when the deadline
+  /// is below the minimal budget, so no rate is ever feasible. The admission
+  /// controller sheds load down to 1/min_feasible_tau0 when the offered rate
+  /// exceeds it.
+  Cycles min_feasible_tau0(Cycles deadline) const;
+
   /// Solve Figure 1. Failure code "infeasible" carries the violated
   /// constraint in its message.
   ///

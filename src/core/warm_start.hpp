@@ -34,6 +34,15 @@ struct WarmStart {
 
   bool has_enforced_hint() const noexcept { return !firing_intervals.empty(); }
   bool has_monolithic_hint() const noexcept { return block_size > 0; }
+
+  /// Hint built from a previously solved schedule's firing intervals — the
+  /// online re-planner seeds each solve with the plan it is replacing, the
+  /// same way run_sweep seeds a cell with its grid neighbor.
+  static WarmStart from_intervals(std::vector<Cycles> intervals) {
+    WarmStart warm;
+    warm.firing_intervals = std::move(intervals);
+    return warm;
+  }
 };
 
 }  // namespace ripple::core

@@ -1,0 +1,65 @@
+// Well-known observability names: the catalog of every span, instant,
+// counter-track, and registry-metric name the instrumented subsystems emit.
+//
+// Trace-event names must be string literals (obs/trace.hpp stores the
+// pointer), so each subsystem already uses fixed names; this header is the
+// single list of them. tools/trace_inspect validates traces against the
+// catalog (--strict turns an unknown name into an error), which catches
+// typos in new instrumentation and stale validators alike: adding an
+// instrumentation point means adding its name here, or strict validation of
+// its traces fails in CI.
+//
+// Header-only on purpose — trace_inspect links only ripple_util.
+#pragma once
+
+#include <string_view>
+
+namespace ripple::obs::names {
+
+// Span names ("B"/"E" pairs).
+inline constexpr std::string_view kSpanNames[] = {
+    "fire",           // enforced/greedy sim: one consuming firing (sim domain)
+    "block",          // monolithic sim: one block run (sim domain)
+    "service",        // runtime executor: one consuming firing (sim domain)
+    "trial",          // trial_runner: one simulated trial (host domain)
+    "cell_solve",     // sweep: one (tau0, D) cell solve (host domain)
+    "tile",           // sweep: one traversal tile (host domain)
+    "service.batch",  // service worker: one ingest batch execution (host)
+    "control.replan", // controller: one enforced-waits re-solve (host)
+};
+
+// Instant names ("i").
+inline constexpr std::string_view kInstantNames[] = {
+    "empty_firing",   // sim/runtime: a vacuous firing (value = service time)
+    "deadline_miss",  // sim/runtime: a late root input (value = slack, < 0)
+    "control.shed",   // service worker: this tick is shedding (admission cut)
+};
+
+// Counter-track names ("C").
+inline constexpr std::string_view kCounterNames[] = {
+    "queue_depth",          // sim/runtime: node input-queue depth at firing
+    "block_items",          // monolithic sim: items per block
+    "service.queue_depth",  // service: pending ingest items at batch start
+    "control.tau0_est",     // controller: EWMA inter-arrival estimate
+};
+
+inline bool is_known_span(std::string_view name) {
+  for (std::string_view known : kSpanNames) {
+    if (name == known) return true;
+  }
+  return false;
+}
+inline bool is_known_instant(std::string_view name) {
+  for (std::string_view known : kInstantNames) {
+    if (name == known) return true;
+  }
+  return false;
+}
+inline bool is_known_counter(std::string_view name) {
+  for (std::string_view known : kCounterNames) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
+}  // namespace ripple::obs::names

@@ -121,13 +121,23 @@ util::Result<ExecutionMetrics> PipelineExecutor::execute(
                             std::to_string(i));
     }
   }
-  if (!(config.input_gap > 0.0)) {
-    return R::failure("bad_config", "input gap must be positive");
-  }
   const std::size_t input_count =
       typed_inputs != nullptr ? typed_inputs->size() : item_inputs->size();
   if (input_count == 0) {
     return R::failure("bad_config", "need at least one input");
+  }
+  const bool per_input_gaps = !config.input_gaps.empty();
+  if (per_input_gaps) {
+    if (config.input_gaps.size() != input_count) {
+      return R::failure("bad_config", "one arrival gap per input required");
+    }
+    for (Cycles gap : config.input_gaps) {
+      if (!(gap > 0.0)) {
+        return R::failure("bad_config", "arrival gaps must be positive");
+      }
+    }
+  } else if (!(config.input_gap > 0.0)) {
+    return R::failure("bad_config", "input gap must be positive");
   }
 
   const std::uint32_t v = pipeline_.simd_width();
@@ -157,7 +167,8 @@ util::Result<ExecutionMetrics> PipelineExecutor::execute(
   std::size_t next_input = 0;
   // Arrival k's timestamp accumulates gap by gap (never k * gap) so the
   // doubles match the seed engine's event-chained arrival times bit for bit.
-  Cycles next_arrival = config.input_gap;
+  Cycles next_arrival =
+      per_input_gaps ? config.input_gaps[0] : config.input_gap;
   bool arrivals_done = false;
 
   // Lazily materialize every arrival with time <= now into queue 0. Safe to
@@ -185,7 +196,8 @@ util::Result<ExecutionMetrics> PipelineExecutor::execute(
       if (next_input == input_count) {
         arrivals_done = true;
       } else {
-        next_arrival += config.input_gap;
+        next_arrival +=
+            per_input_gaps ? config.input_gaps[next_input] : config.input_gap;
       }
     }
     metrics.base.nodes[0].max_queue_length = std::max<std::uint64_t>(
@@ -366,8 +378,12 @@ util::Result<ExecutionMetrics> PipelineExecutor::execute(
   metrics.base.inputs_on_time =
       metrics.base.inputs_arrived - metrics.base.inputs_missed;
   if (metrics.base.makespan <= 0.0 && metrics.base.inputs_arrived > 0) {
+    // No sink output ever left (everything filtered): fall back to the last
+    // arrival's timestamp, which next_arrival holds once arrivals are done.
     metrics.base.makespan =
-        config.input_gap * static_cast<double>(metrics.base.inputs_arrived);
+        per_input_gaps
+            ? next_arrival
+            : config.input_gap * static_cast<double>(metrics.base.inputs_arrived);
   }
   return metrics;
 }

@@ -53,6 +53,13 @@ BatchStage adapt_stage(StageFn stage);
 struct ExecutorConfig {
   std::vector<Cycles> firing_intervals;  ///< x_i per node
   Cycles input_gap = 1.0;                ///< virtual cycles between inputs
+  /// Optional irregular arrival schedule: gap k is the time from arrival
+  /// k-1 to arrival k (the first gap is measured from t = 0). When
+  /// non-empty it must have one positive gap per input, and `input_gap` is
+  /// ignored. A constant vector filled with `input_gap` reproduces the
+  /// fixed-gap run bit for bit — the service layer uses this to replay the
+  /// actual spacing of live ingest batches.
+  std::vector<Cycles> input_gaps;
   Cycles deadline = 0.0;                 ///< 0 = no miss accounting
   bool charge_empty_firings = true;
   /// Keep up to this many sink results in ExecutionMetrics::results.

@@ -1,0 +1,389 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+
+#if RIPPLE_OBS
+#include "obs/obs.hpp"
+#endif
+
+namespace ripple::service {
+
+namespace {
+
+control::Controller make_controller(const sdf::PipelineSpec& pipeline,
+                                    const ServiceConfig& config) {
+  core::EnforcedWaitsConfig waits;
+  if (config.b.empty()) {
+    waits = core::EnforcedWaitsConfig::optimistic(pipeline);
+  } else {
+    waits.b = config.b;
+  }
+  return control::Controller(pipeline, std::move(waits), config.deadline,
+                             config.initial_tau0, config.controller);
+}
+
+}  // namespace
+
+PipelineService::PipelineService(sdf::PipelineSpec pipeline,
+                                 std::vector<runtime::StageFn> stages,
+                                 ServiceConfig config)
+    : pipeline_(pipeline),
+      executor_(pipeline, std::move(stages)),
+      config_(std::move(config)),
+      controller_(make_controller(pipeline, config_)),
+      epoch_time_(std::chrono::steady_clock::now()) {
+  RIPPLE_REQUIRE(config_.session_capacity > 0,
+                 "session capacity must be positive");
+  RIPPLE_REQUIRE(config_.batch_size > 0, "batch size must be positive");
+  RIPPLE_REQUIRE(config_.cycles_per_us > 0.0,
+                 "cycles_per_us must be positive");
+  // Until the first control tick, admit every session the initial plan can
+  // take. A shedding initial plan starts with the gate closed to new
+  // sessions; the first tick opens it to the admitted count.
+  admitted_watermark_.store(
+      controller_.plan()->shedding ? 0 : UINT64_MAX, std::memory_order_relaxed);
+  drain_scratch_.reserve(config_.batch_size);
+}
+
+PipelineService::~PipelineService() { stop(); }
+
+Cycles PipelineService::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_time_;
+  const double us =
+      std::chrono::duration<double, std::micro>(elapsed).count();
+  return us * config_.cycles_per_us;
+}
+
+SessionId PipelineService::open_session() {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const SessionId id = ++next_session_seq_;
+  auto session = std::make_shared<Session>();
+  session->open_seq = id;
+  session->queue.reserve(std::min<std::size_t>(config_.session_capacity, 64));
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+bool PipelineService::close_session(SessionId id) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second->open) return false;
+  it->second->open = false;
+  return true;
+}
+
+SubmitOutcome PipelineService::submit(SessionId id,
+                                      std::vector<runtime::Item> items) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end() || !it->second->open) {
+      throw std::logic_error("submit on unknown or closed session");
+    }
+    session = it->second;
+  }
+
+  SubmitOutcome outcome;
+  submitted_.fetch_add(items.size(), std::memory_order_relaxed);
+
+  if (session->open_seq > admitted_watermark_.load(std::memory_order_relaxed)) {
+    outcome.shed = items.size();
+    shed_.fetch_add(items.size(), std::memory_order_relaxed);
+    {
+      // The items are rejected but their arrival times still inform the rate
+      // estimator (capped so a runaway producer cannot grow this unbounded).
+      std::lock_guard<std::mutex> lock(shed_mutex_);
+      const Cycles arrival = now();
+      for (std::size_t k = 0;
+           k < items.size() && shed_arrivals_.size() < 65536; ++k) {
+        shed_arrivals_.push_back(arrival);
+      }
+    }
+    shed_since_drain_.fetch_add(items.size(), std::memory_order_relaxed);
+    worker_cv_.notify_one();
+#if RIPPLE_OBS
+    if (obs::enabled()) {
+      obs::Registry::global().counter("service.shed")->add(items.size());
+    }
+#endif
+    return outcome;
+  }
+
+  const Cycles arrival = now();
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    for (auto& item : items) {
+      if (session->queue.size() >= config_.session_capacity) {
+        ++outcome.rejected_backpressure;
+        continue;
+      }
+      Pending pending;
+      pending.item = std::move(item);
+      pending.arrival = arrival;
+      pending.seq = submit_seq_.fetch_add(1, std::memory_order_relaxed);
+      session->queue.push_back(std::move(pending));
+      ++outcome.accepted;
+    }
+  }
+  accepted_.fetch_add(outcome.accepted, std::memory_order_relaxed);
+  rejected_backpressure_.fetch_add(outcome.rejected_backpressure,
+                                   std::memory_order_relaxed);
+  if (outcome.accepted > 0) {
+    pending_count_.fetch_add(outcome.accepted, std::memory_order_relaxed);
+    worker_cv_.notify_one();
+  }
+  return outcome;
+}
+
+void PipelineService::start() {
+  std::lock_guard<std::mutex> lock(worker_mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void PipelineService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(worker_mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  worker_cv_.notify_one();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(worker_mutex_);
+  running_ = false;
+}
+
+void PipelineService::worker_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(worker_mutex_);
+      worker_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+        return stop_requested_ ||
+               pending_count_.load(std::memory_order_relaxed) > 0 ||
+               shed_since_drain_.load(std::memory_order_relaxed) > 0;
+      });
+      if (stop_requested_ &&
+          pending_count_.load(std::memory_order_relaxed) == 0) {
+        return;
+      }
+    }
+    drain_pending();
+  }
+}
+
+std::size_t PipelineService::drain_once() {
+  {
+    std::lock_guard<std::mutex> lock(worker_mutex_);
+    RIPPLE_REQUIRE(!running_, "drain_once() while the worker is running");
+  }
+  return drain_pending();
+}
+
+std::size_t PipelineService::drain_pending() {
+  // Snapshot the sessions, then drain each queue under its own mutex only.
+  std::vector<std::shared_ptr<Session>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    snapshot.reserve(sessions_.size());
+    for (auto& [id, session] : sessions_) snapshot.push_back(session);
+  }
+
+  drain_scratch_.clear();
+  for (auto& session : snapshot) {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    while (!session->queue.empty()) {
+      drain_scratch_.push_back(session->queue.pop_front());
+    }
+  }
+  std::vector<Cycles> shed_times;
+  {
+    std::lock_guard<std::mutex> lock(shed_mutex_);
+    shed_times.swap(shed_arrivals_);
+  }
+  shed_since_drain_.store(0, std::memory_order_relaxed);
+  if (drain_scratch_.empty() && shed_times.empty()) return 0;
+  pending_count_.fetch_sub(drain_scratch_.size(), std::memory_order_relaxed);
+
+  std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+            [](const Pending& a, const Pending& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.seq < b.seq;
+            });
+
+#if RIPPLE_OBS
+  {
+    obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+    if (trace.active()) {
+      trace.counter(obs::Domain::kHost, trace.track(), "service.queue_depth",
+                    obs::TraceSession::global().host_now_us(),
+                    static_cast<double>(drain_scratch_.size()));
+    }
+  }
+#endif
+
+  // Feed the controller the *offered* stream's inter-arrival gaps: admitted
+  // arrivals merged with the timestamps of shed submissions. Estimating from
+  // admitted arrivals alone would hide exactly the overload that triggered
+  // shedding — and a fully shed service would never see the load drop.
+  std::vector<Cycles> arrivals;
+  arrivals.reserve(drain_scratch_.size() + shed_times.size());
+  for (const Pending& pending : drain_scratch_) {
+    arrivals.push_back(pending.arrival);
+  }
+  arrivals.insert(arrivals.end(), shed_times.begin(), shed_times.end());
+  std::sort(arrivals.begin(), arrivals.end());
+  for (const Cycles arrival : arrivals) {
+    controller_.observe_gap(std::max(arrival - last_arrival_, Cycles(1e-9)));
+    last_arrival_ = arrival;
+  }
+
+  const control::ControlDecision decision = controller_.tick();
+#if RIPPLE_OBS
+  if (decision.shedding) {
+    obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+    if (trace.active()) {
+      trace.instant(obs::Domain::kHost, trace.track(), "control.shed",
+                    obs::TraceSession::global().host_now_us());
+    }
+  }
+#endif
+  refresh_watermark();
+
+  const std::size_t total = drain_scratch_.size();
+  std::size_t offset = 0;
+  std::vector<Pending> batch;
+  while (offset < total) {
+    const std::size_t n = std::min(config_.batch_size, total - offset);
+    batch.assign(std::make_move_iterator(drain_scratch_.begin() + offset),
+                 std::make_move_iterator(drain_scratch_.begin() + offset + n));
+    execute_batch(batch);
+    offset += n;
+  }
+  drain_scratch_.clear();
+  return total;
+}
+
+void PipelineService::execute_batch(std::vector<Pending>& batch) {
+  const control::PlanPtr plan = controller_.plan();
+
+  runtime::ExecutorConfig config;
+  config.firing_intervals = plan->schedule.firing_intervals;
+  config.deadline = config_.deadline;
+  config.max_collected_results = 0;
+  config.input_gaps.reserve(batch.size());
+  Cycles previous = batch.front().arrival;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Cycles gap =
+        i == 0 ? plan->planned_tau0 : batch[i].arrival - previous;
+    config.input_gaps.push_back(std::max(gap, Cycles(1e-9)));
+    previous = batch[i].arrival;
+  }
+
+  std::vector<runtime::Item> inputs;
+  inputs.reserve(batch.size());
+  for (Pending& pending : batch) inputs.push_back(std::move(pending.item));
+
+#if RIPPLE_OBS
+  obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+  if (trace.active()) {
+    trace.begin(obs::Domain::kHost, trace.track(), "service.batch",
+                obs::TraceSession::global().host_now_us());
+  }
+#endif
+  auto result = executor_.run(std::move(inputs), config);
+#if RIPPLE_OBS
+  if (trace.active()) {
+    trace.end(obs::Domain::kHost, trace.track(), "service.batch",
+              obs::TraceSession::global().host_now_us());
+  }
+#endif
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  executed_items_.fetch_add(batch.size(), std::memory_order_relaxed);
+  if (!result.ok()) return;  // stage threw or event budget: items are spent
+  const sim::TrialMetrics& metrics = result.value().base;
+  sink_outputs_.fetch_add(metrics.sink_outputs, std::memory_order_relaxed);
+  deadline_misses_.fetch_add(metrics.inputs_missed, std::memory_order_relaxed);
+  if (metrics.sink_outputs > 0) {
+    controller_.observe_worst_latency(metrics.output_latency.max());
+  }
+}
+
+void PipelineService::refresh_watermark() {
+  std::vector<std::uint64_t> open_seqs;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    open_seqs.reserve(sessions_.size());
+    for (auto& [id, session] : sessions_) {
+      if (session->open) open_seqs.push_back(session->open_seq);
+    }
+  }
+  const std::size_t admitted = controller_.admitted_sessions(open_seqs.size());
+  std::uint64_t watermark;
+  if (admitted >= open_seqs.size()) {
+    watermark = UINT64_MAX;  // not shedding: new sessions admitted on arrival
+  } else if (admitted == 0) {
+    watermark = 0;
+  } else {
+    // open_seqs is sorted (map iteration order == admission order): keep the
+    // oldest `admitted` sessions, shed everything newer.
+    watermark = open_seqs[admitted - 1];
+  }
+  admitted_watermark_.store(watermark, std::memory_order_relaxed);
+}
+
+ServiceStats PipelineService::stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.rejected_backpressure =
+      rejected_backpressure_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.executed_items = executed_items_.load(std::memory_order_relaxed);
+  stats.sink_outputs = sink_outputs_.load(std::memory_order_relaxed);
+  stats.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (auto& [id, session] : sessions_) {
+      if (session->open) ++stats.open_sessions;
+    }
+  }
+  stats.plan_epoch = controller_.epoch();
+  return stats;
+}
+
+std::vector<runtime::StageFn> synthetic_stages(const sdf::PipelineSpec& spec) {
+  std::vector<runtime::StageFn> stages;
+  stages.reserve(spec.size());
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    if (i + 1 == spec.size()) {
+      stages.push_back([](runtime::Item&& input,
+                          std::vector<runtime::Item>& outputs) {
+        outputs.push_back(std::move(input));
+      });
+      continue;
+    }
+    const double gain = spec.mean_gain(i);
+    auto accumulator = std::make_shared<double>(0.0);
+    stages.push_back([gain, accumulator](runtime::Item&& input,
+                                         std::vector<runtime::Item>& outputs) {
+      *accumulator += gain;
+      const auto emit = static_cast<std::size_t>(std::floor(*accumulator));
+      *accumulator -= static_cast<double>(emit);
+      for (std::size_t k = 0; k < emit; ++k) outputs.push_back(input);
+    });
+  }
+  return stages;
+}
+
+}  // namespace ripple::service

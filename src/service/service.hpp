@@ -1,0 +1,199 @@
+// Live pipeline service: concurrent producer sessions feeding the batch
+// executor through bounded ingest queues, with the control loop adapting the
+// wait schedule as the offered rate drifts.
+//
+// Thread model (everything TSan-checked by the soak test + CI job):
+//
+//   * Producer threads call open_session / submit / close_session. submit
+//     stamps each item with a virtual-cycle arrival time, applies admission
+//     control (a lock-free watermark read: sessions opened after the
+//     watermark are being shed) and backpressure (per-session bounded
+//     queue), and enqueues under that session's mutex only.
+//   * One worker thread drains every session's queue, merges items into
+//     arrival order, feeds the observed inter-arrival gaps to the
+//     controller, ticks it (possibly re-solving and hot-swapping the plan),
+//     refreshes the admission watermark, and executes the batch through the
+//     vector-wide PipelineExecutor under the plan loaded at batch start —
+//     a plan swap mid-batch never affects a batch already running.
+//   * Counters are relaxed atomics; the plan pointer is a PlanStore
+//     snapshot (one shared_ptr copy under a short mutex). No lock is ever
+//     held across the executor.
+//
+// Shedding policy: the controller assumes symmetric sessions and admits the
+// oldest k of S open sessions such that k/S of the offered rate fits under
+// the feasibility floor (see control/controller.hpp). Rejected-by-shedding
+// submissions are counted (`shed`), never silently dropped, and mirror to
+// the `service.shed` metric on instrumented builds.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "runtime/pipeline_executor.hpp"
+#include "sdf/pipeline.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/types.hpp"
+
+namespace ripple::service {
+
+using SessionId = std::uint64_t;
+
+struct ServiceConfig {
+  Cycles deadline = 0.0;       ///< end-to-end deadline D (> 0 required)
+  Cycles initial_tau0 = 0.0;   ///< prior inter-arrival estimate (> 0)
+  /// Worst-case queue multipliers; empty selects
+  /// EnforcedWaitsConfig::optimistic.
+  std::vector<double> b;
+  control::ControllerConfig controller;
+  std::size_t session_capacity = 4096;  ///< bounded ingest items per session
+  std::size_t batch_size = 256;         ///< max items per executor run
+  /// Virtual cycles per wall-clock microsecond (the live arrival clock).
+  double cycles_per_us = 1000.0;
+};
+
+struct SubmitOutcome {
+  std::size_t accepted = 0;
+  std::size_t rejected_backpressure = 0;
+  std::size_t shed = 0;
+};
+
+/// Consistent-enough snapshot of the service counters (each counter is a
+/// relaxed atomic; the set is not read under one lock).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_backpressure = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t executed_items = 0;
+  std::uint64_t sink_outputs = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t open_sessions = 0;
+  std::uint64_t plan_epoch = 0;
+};
+
+class PipelineService {
+ public:
+  /// Stages run through the executor's per-item adapter. Throws on malformed
+  /// config (non-positive deadline/tau0, arity mismatch, infeasible
+  /// deadline).
+  PipelineService(sdf::PipelineSpec pipeline,
+                  std::vector<runtime::StageFn> stages, ServiceConfig config);
+  ~PipelineService();
+
+  PipelineService(const PipelineService&) = delete;
+  PipelineService& operator=(const PipelineService&) = delete;
+
+  // --- session side (any thread) ------------------------------------------
+
+  SessionId open_session();
+  /// Unknown or already-closed ids are ignored (returns false). Pending
+  /// items of a closed session still execute.
+  bool close_session(SessionId id);
+
+  /// Submit items on a session. Shed sessions reject everything (counted);
+  /// admitted sessions accept up to the queue's free capacity and reject the
+  /// rest as backpressure. Throws std::logic_error on an unknown session.
+  SubmitOutcome submit(SessionId id, std::vector<runtime::Item> items);
+
+  // --- lifecycle ----------------------------------------------------------
+
+  /// Start the worker thread. No-op when already running.
+  void start();
+  /// Drain every pending item, then join the worker. Idempotent.
+  void stop();
+
+  /// Synchronously drain pending items on the caller's thread — the
+  /// single-threaded path for deterministic tests and the CLI replay of
+  /// recorded submissions. Only valid while the worker is not running.
+  /// Returns the number of items executed.
+  std::size_t drain_once();
+
+  // --- introspection ------------------------------------------------------
+
+  ServiceStats stats() const;
+  control::PlanPtr current_plan() const { return controller_.plan(); }
+  /// The controller is written by the worker; read it only when the worker
+  /// is stopped (tests) — the plan()/epoch() accessors are the exception
+  /// and are always safe.
+  const control::Controller& controller() const { return controller_; }
+  const sdf::PipelineSpec& pipeline() const { return pipeline_; }
+
+ private:
+  struct Pending {
+    runtime::Item item;
+    Cycles arrival = 0.0;
+    std::uint64_t seq = 0;  ///< global submit order, breaks arrival ties
+  };
+  struct Session {
+    std::uint64_t open_seq = 0;  ///< admission order (1-based)
+    bool open = true;
+    std::mutex mutex;
+    util::RingBuffer<Pending> queue;
+  };
+
+  Cycles now() const;
+  void worker_loop();
+  /// Drain + execute everything currently pending (worker or drain_once).
+  std::size_t drain_pending();
+  void execute_batch(std::vector<Pending>& batch);
+  void refresh_watermark();
+
+  sdf::PipelineSpec pipeline_;
+  runtime::PipelineExecutor executor_;
+  ServiceConfig config_;
+  control::Controller controller_;
+
+  mutable std::mutex sessions_mutex_;
+  std::map<SessionId, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_seq_ = 0;
+
+  /// Sessions with open_seq <= watermark are admitted (read lock-free on the
+  /// submit path; refreshed by the worker after each control tick).
+  std::atomic<std::uint64_t> admitted_watermark_;
+  std::atomic<std::uint64_t> submit_seq_{0};
+  std::atomic<std::uint64_t> pending_count_{0};
+
+  /// Arrival timestamps of shed submissions, drained by the worker for rate
+  /// estimation only. The estimator must keep seeing the *offered* stream
+  /// while admission rejects it — otherwise a fully shed service would never
+  /// observe the load dropping and the watermark would stay closed forever.
+  std::mutex shed_mutex_;
+  std::vector<Cycles> shed_arrivals_;
+  std::atomic<std::uint64_t> shed_since_drain_{0};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_backpressure_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> executed_items_{0};
+  std::atomic<std::uint64_t> sink_outputs_{0};
+  std::atomic<std::uint64_t> deadline_misses_{0};
+
+  std::chrono::steady_clock::time_point epoch_time_;
+  Cycles last_arrival_ = 0.0;  ///< worker-only: previous observed arrival
+
+  std::mutex worker_mutex_;
+  std::condition_variable worker_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread worker_;
+
+  std::vector<Pending> drain_scratch_;  ///< worker-only batch buffer
+};
+
+/// Deterministic per-item stages whose emission counts track each node's
+/// mean gain via an error-feedback accumulator (stage i emits floor(acc)
+/// items after acc += g_i). Gives any PipelineSpec a runnable stage set for
+/// the service demos, soak tests, and benches; the terminal stage passes
+/// items through to the sink.
+std::vector<runtime::StageFn> synthetic_stages(const sdf::PipelineSpec& spec);
+
+}  // namespace ripple::service

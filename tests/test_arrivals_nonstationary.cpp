@@ -1,0 +1,170 @@
+// Non-homogeneous arrival processes: rate-function shapes, the deterministic
+// variable-rate stream (exact gaps, no RNG consumption), and Lewis-Shedler
+// thinning (determinism, empirical rate tracking the profile).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "arrivals/nonstationary.hpp"
+#include "dist/rng.hpp"
+
+namespace ripple::arrivals {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rate functions
+// ---------------------------------------------------------------------------
+
+TEST(PiecewiseConstantRateTest, SegmentsAndFinalExtension) {
+  PiecewiseConstantRate rate({0.0, 100.0, 250.0}, {0.5, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(rate.rate_at(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(rate.rate_at(99.9), 0.5);
+  EXPECT_DOUBLE_EQ(rate.rate_at(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(rate.rate_at(249.9), 2.0);
+  EXPECT_DOUBLE_EQ(rate.rate_at(250.0), 1.0);
+  EXPECT_DOUBLE_EQ(rate.rate_at(1e9), 1.0);
+  EXPECT_DOUBLE_EQ(rate.max_rate(), 2.0);
+}
+
+TEST(PiecewiseConstantRateTest, RejectsMalformedKnots) {
+  EXPECT_THROW(PiecewiseConstantRate({1.0}, {0.5}), std::logic_error);
+  EXPECT_THROW(PiecewiseConstantRate({0.0, 5.0, 5.0}, {1.0, 2.0, 3.0}),
+               std::logic_error);
+  EXPECT_THROW(PiecewiseConstantRate({0.0}, {0.0}), std::logic_error);
+  EXPECT_THROW(PiecewiseConstantRate({0.0, 1.0}, {1.0}), std::logic_error);
+}
+
+TEST(LinearRampRateTest, InterpolatesThenHolds) {
+  LinearRampRate rate(1.0, 3.0, 200.0);
+  EXPECT_DOUBLE_EQ(rate.rate_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(rate.rate_at(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(rate.rate_at(200.0), 3.0);
+  EXPECT_DOUBLE_EQ(rate.rate_at(5000.0), 3.0);
+  EXPECT_DOUBLE_EQ(rate.max_rate(), 3.0);
+
+  LinearRampRate down(3.0, 1.0, 200.0);
+  EXPECT_DOUBLE_EQ(down.rate_at(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(down.max_rate(), 3.0);
+}
+
+TEST(SinusoidalRateTest, BoundsAndPeriodicity) {
+  SinusoidalRate rate(2.0, 1.0, 100.0);
+  EXPECT_DOUBLE_EQ(rate.rate_at(0.0), 2.0);
+  EXPECT_NEAR(rate.rate_at(25.0), 3.0, 1e-12);   // quarter period: peak
+  EXPECT_NEAR(rate.rate_at(75.0), 1.0, 1e-12);   // three quarters: trough
+  EXPECT_NEAR(rate.rate_at(100.0), 2.0, 1e-9);   // full period
+  EXPECT_DOUBLE_EQ(rate.max_rate(), 3.0);
+  EXPECT_THROW(SinusoidalRate(1.0, 1.5, 100.0), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic variable-rate stream
+// ---------------------------------------------------------------------------
+
+TEST(VariableRateArrivalsTest, GapIsExactInverseRateAtPreviousArrival) {
+  auto rate = std::make_shared<PiecewiseConstantRate>(
+      std::vector<Cycles>{0.0, 100.0}, std::vector<double>{0.1, 0.5});
+  VariableRateArrivals process(rate);
+  dist::Xoshiro256 rng(7);
+
+  // First segment: gap = 1/0.1 = 10 until the clock crosses t = 100.
+  Cycles t = 0.0;
+  while (t < 100.0) {
+    const Cycles gap = process.next_interarrival(rng);
+    EXPECT_DOUBLE_EQ(gap, 1.0 / rate->rate_at(t));
+    t += gap;
+  }
+  // Second segment: gap = 1/0.5 = 2 exactly.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(process.next_interarrival(rng), 2.0);
+  }
+}
+
+TEST(VariableRateArrivalsTest, NeverConsumesRng) {
+  auto rate = std::make_shared<LinearRampRate>(0.1, 0.4, 1000.0);
+  VariableRateArrivals process(rate);
+  dist::Xoshiro256 rng(42);
+  dist::Xoshiro256 untouched(42);
+  for (int i = 0; i < 100; ++i) process.next_interarrival(rng);
+  // The RNG stream must be bit-identical to one never handed out.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(rng(), untouched());
+  }
+}
+
+TEST(VariableRateArrivalsTest, FixedInterarrivalStaysZero) {
+  auto rate = std::make_shared<PiecewiseConstantRate>(
+      std::vector<Cycles>{0.0}, std::vector<double>{0.25});
+  VariableRateArrivals process(rate);
+  // The gap varies with rho(t) in general, so the hoisting hint must stay
+  // disabled even for a constant profile.
+  EXPECT_DOUBLE_EQ(process.fixed_interarrival(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Thinned Poisson stream
+// ---------------------------------------------------------------------------
+
+TEST(ThinningArrivalsTest, DeterministicGivenSeed) {
+  auto rate = std::make_shared<SinusoidalRate>(0.2, 0.1, 500.0);
+  ThinningArrivals a(rate);
+  ThinningArrivals b(rate);
+  dist::Xoshiro256 rng_a(99);
+  dist::Xoshiro256 rng_b(99);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_interarrival(rng_a), b.next_interarrival(rng_b));
+  }
+}
+
+TEST(ThinningArrivalsTest, EmpiricalRateMatchesConstantProfile) {
+  // With a constant profile thinning reduces to a plain Poisson process.
+  auto rate = std::make_shared<PiecewiseConstantRate>(
+      std::vector<Cycles>{0.0}, std::vector<double>{0.05});
+  ThinningArrivals process(rate);
+  dist::Xoshiro256 rng(2024);
+  const int n = 20000;
+  Cycles total = 0.0;
+  for (int i = 0; i < n; ++i) total += process.next_interarrival(rng);
+  const double empirical_rate = n / total;
+  EXPECT_NEAR(empirical_rate, 0.05, 0.05 * 0.05);  // within 5%
+}
+
+TEST(ThinningArrivalsTest, TracksRateStep) {
+  auto rate = std::make_shared<PiecewiseConstantRate>(
+      std::vector<Cycles>{0.0, 50000.0}, std::vector<double>{0.02, 0.2});
+  ThinningArrivals process(rate);
+  dist::Xoshiro256 rng(11);
+  // Run well past the step, then measure the post-step empirical rate.
+  while (process.now() < 100000.0) process.next_interarrival(rng);
+  const Cycles start = process.now();
+  int count = 0;
+  while (process.now() < start + 50000.0) {
+    process.next_interarrival(rng);
+    ++count;
+  }
+  const double empirical = count / (process.now() - start);
+  EXPECT_NEAR(empirical, 0.2, 0.2 * 0.1);  // within 10%
+}
+
+TEST(FactoriesTest, ProduceIndependentProcesses) {
+  auto rate = std::make_shared<PiecewiseConstantRate>(
+      std::vector<Cycles>{0.0, 10.0}, std::vector<double>{1.0, 0.5});
+  ArrivalFactory factory = variable_rate_factory(rate);
+  ArrivalPtr first = factory();
+  dist::Xoshiro256 rng(1);
+  for (int i = 0; i < 30; ++i) first->next_interarrival(rng);
+  // A second instance starts from t = 0 again (fresh clock per trial).
+  ArrivalPtr second = factory();
+  EXPECT_DOUBLE_EQ(second->next_interarrival(rng), 1.0);
+
+  ArrivalFactory thinned = thinning_factory(rate);
+  dist::Xoshiro256 rng_a(5);
+  dist::Xoshiro256 rng_b(5);
+  EXPECT_DOUBLE_EQ(thinned()->next_interarrival(rng_a),
+                   thinned()->next_interarrival(rng_b));
+}
+
+}  // namespace
+}  // namespace ripple::arrivals

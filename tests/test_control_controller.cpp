@@ -1,0 +1,135 @@
+// Controller: the estimate -> re-plan -> admission loop. Covers steady-state
+// hysteresis, drift-triggered re-planning, proportional admission cuts under
+// overload, and the observed-slack force trigger.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "control/controller.hpp"
+#include "dist/gain.hpp"
+#include "sdf/pipeline.hpp"
+
+namespace ripple::control {
+namespace {
+
+// Same pipeline as test_control_replanner: L = {20, 10, 10}, b = {2, 1, 1},
+// minimal budget 60, feasibility floor tau0 = 5 at any deadline >= 60.
+sdf::PipelineSpec make_spec() {
+  auto spec = sdf::PipelineBuilder("ctl")
+                  .simd_width(4)
+                  .add_node("expand", 8.0, dist::make_deterministic(2))
+                  .add_node("filter", 6.0, dist::make_deterministic(1))
+                  .add_node("sink", 10.0, nullptr)
+                  .build();
+  EXPECT_TRUE(spec.ok());
+  return spec.value();
+}
+
+Controller make_controller(ControllerConfig config = {}) {
+  return Controller(make_spec(), core::EnforcedWaitsConfig::optimistic(make_spec()),
+                    600.0, 20.0, config);
+}
+
+TEST(ControllerTest, PublishesInitialPlanOnConstruction) {
+  Controller controller = make_controller();
+  const PlanPtr plan = controller.plan();
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->epoch, 1u);
+  EXPECT_DOUBLE_EQ(plan->planned_tau0, 20.0);
+  EXPECT_FALSE(plan->shedding);
+  EXPECT_EQ(controller.stats().ticks, 0u);
+  // Feasible estimate: everyone is admitted.
+  EXPECT_EQ(controller.admitted_sessions(4), 4u);
+  EXPECT_EQ(controller.admitted_sessions(0), 0u);
+}
+
+TEST(ControllerTest, SteadyStateTicksKeepThePlan) {
+  Controller controller = make_controller();
+  for (int i = 0; i < 2000; ++i) controller.observe_gap(20.0);
+  for (int i = 0; i < 10; ++i) {
+    const ControlDecision decision = controller.tick();
+    EXPECT_EQ(decision.outcome, ReplanOutcome::kKept);
+    EXPECT_FALSE(decision.shedding);
+    EXPECT_EQ(decision.plan->epoch, 1u);
+  }
+  const ControllerStats stats = controller.stats();
+  EXPECT_EQ(stats.ticks, 10u);
+  EXPECT_EQ(stats.replans, 0u);
+  EXPECT_EQ(stats.shed_ticks, 0u);
+}
+
+TEST(ControllerTest, DriftedEstimateReplans) {
+  Controller controller = make_controller();
+  // The offered rate halves: gaps double from the 20.0 prior to 40.0.
+  for (int i = 0; i < 4000; ++i) controller.observe_gap(40.0);
+  const ControlDecision decision = controller.tick();
+  EXPECT_EQ(decision.outcome, ReplanOutcome::kReplanned);
+  EXPECT_NEAR(decision.tau0_estimate, 40.0, 1e-6);
+  EXPECT_EQ(decision.plan->epoch, 2u);
+  EXPECT_NEAR(decision.plan->planned_tau0, 40.0, 1e-6);
+  EXPECT_EQ(controller.stats().replans, 1u);
+}
+
+TEST(ControllerTest, OverloadShedsProportionally) {
+  Controller controller = make_controller();
+  // Offered gaps of 2.0 against a floor of 5.0: only 2/5 of the offered
+  // stream fits. With symmetric sessions that is floor(S * 0.4).
+  for (int i = 0; i < 4000; ++i) controller.observe_gap(2.0);
+  const ControlDecision decision = controller.tick();
+  EXPECT_EQ(decision.outcome, ReplanOutcome::kReplanned);
+  EXPECT_TRUE(decision.shedding);
+  EXPECT_TRUE(decision.plan->shedding);
+  EXPECT_EQ(controller.admitted_sessions(10), 4u);
+  EXPECT_EQ(controller.admitted_sessions(4), 1u);
+  EXPECT_EQ(controller.admitted_sessions(1), 0u);
+  EXPECT_EQ(controller.stats().shed_ticks, 1u);
+
+  // Load returns to feasible: the next tick flips back and admits everyone.
+  for (int i = 0; i < 8000; ++i) controller.observe_gap(20.0);
+  const ControlDecision recovered = controller.tick();
+  EXPECT_EQ(recovered.outcome, ReplanOutcome::kReplanned);
+  EXPECT_FALSE(recovered.shedding);
+  EXPECT_EQ(controller.admitted_sessions(10), 10u);
+}
+
+TEST(ControllerTest, SlackTriggerForcesReplanPastHysteresis) {
+  ControllerConfig config;
+  config.replanner.cooldown_ticks = 100;  // hysteresis would block everything
+  Controller controller = make_controller(config);
+  for (int i = 0; i < 2000; ++i) controller.observe_gap(20.0);
+
+  // No drift, no slack pressure: kept.
+  EXPECT_EQ(controller.tick().outcome, ReplanOutcome::kKept);
+
+  // A batch grazes the deadline (> 0.9 * 600): the next tick is forced.
+  controller.observe_worst_latency(580.0);
+  const ControlDecision forced = controller.tick();
+  EXPECT_TRUE(forced.slack_forced);
+  EXPECT_EQ(forced.outcome, ReplanOutcome::kReplanned);
+  EXPECT_EQ(controller.stats().slack_forced, 1u);
+
+  // The latency observation is consumed by the tick, not sticky.
+  const ControlDecision after = controller.tick();
+  EXPECT_FALSE(after.slack_forced);
+  EXPECT_EQ(after.outcome, ReplanOutcome::kKept);
+}
+
+TEST(ControllerTest, SlackTriggerCanBeDisabled) {
+  ControllerConfig config;
+  config.slack_trigger = 0.0;
+  Controller controller = make_controller(config);
+  controller.observe_worst_latency(599.0);
+  const ControlDecision decision = controller.tick();
+  EXPECT_FALSE(decision.slack_forced);
+  EXPECT_EQ(decision.outcome, ReplanOutcome::kKept);
+}
+
+TEST(ControllerTest, ImpossibleDeadlinePropagates) {
+  EXPECT_THROW(Controller(make_spec(),
+                          core::EnforcedWaitsConfig::optimistic(make_spec()),
+                          50.0, 20.0, {}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace ripple::control

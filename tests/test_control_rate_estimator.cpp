@@ -1,0 +1,110 @@
+// RateEstimator: prior pinning, EWMA convergence, windowed quantiles, and
+// determinism — the properties the closed-loop convergence tests lean on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "control/rate_estimator.hpp"
+
+namespace ripple::control {
+namespace {
+
+TEST(RateEstimatorTest, ReportsPriorUntilWarm) {
+  RateEstimatorConfig config;
+  config.min_samples = 8;
+  RateEstimator estimator(40.0, config);
+  EXPECT_DOUBLE_EQ(estimator.tau0(), 40.0);
+  EXPECT_FALSE(estimator.warm());
+  for (int i = 0; i < 7; ++i) {
+    estimator.observe_gap(10.0);
+    EXPECT_DOUBLE_EQ(estimator.tau0(), 40.0) << "still cold at sample " << i;
+  }
+  estimator.observe_gap(10.0);
+  EXPECT_TRUE(estimator.warm());
+  EXPECT_LT(estimator.tau0(), 40.0);  // EWMA has been pulling toward 10
+}
+
+TEST(RateEstimatorTest, ConvergesToConstantGap) {
+  RateEstimator estimator(100.0, {});
+  for (int i = 0; i < 4000; ++i) estimator.observe_gap(25.0);
+  EXPECT_NEAR(estimator.tau0(), 25.0, 1e-9);
+  EXPECT_NEAR(estimator.rate(), 1.0 / 25.0, 1e-12);
+}
+
+TEST(RateEstimatorTest, TracksStepChange) {
+  RateEstimatorConfig config;
+  config.alpha = 0.05;
+  RateEstimator estimator(40.0, config);
+  for (int i = 0; i < 2000; ++i) estimator.observe_gap(40.0);
+  EXPECT_NEAR(estimator.tau0(), 40.0, 1e-9);
+  for (int i = 0; i < 2000; ++i) estimator.observe_gap(20.0);
+  EXPECT_NEAR(estimator.tau0(), 20.0, 1e-9);
+}
+
+TEST(RateEstimatorTest, ClampsNonPositiveGaps) {
+  RateEstimator estimator(10.0, {});
+  estimator.observe_gap(0.0);
+  estimator.observe_gap(-5.0);
+  EXPECT_EQ(estimator.samples(), 2u);
+  // Simultaneous arrivals must not poison the estimate into zero/negative.
+  for (int i = 0; i < 100; ++i) estimator.observe_gap(10.0);
+  EXPECT_GT(estimator.tau0(), 0.0);
+}
+
+TEST(RateEstimatorTest, QuantilesOverWindow) {
+  RateEstimatorConfig config;
+  config.window = 16;
+  config.min_samples = 1;
+  RateEstimator estimator(50.0, config);
+  // Empty window: quantile falls back to the prior.
+  EXPECT_DOUBLE_EQ(estimator.gap_quantile(0.5), 50.0);
+
+  for (int i = 1; i <= 16; ++i) estimator.observe_gap(static_cast<Cycles>(i));
+  // Rank convention: value v with at least ceil(q * n) gaps <= v.
+  EXPECT_DOUBLE_EQ(estimator.gap_quantile(0.5), 8.0);
+  EXPECT_DOUBLE_EQ(estimator.gap_quantile(1.0), 16.0);
+  EXPECT_DOUBLE_EQ(estimator.gap_quantile(0.0625), 1.0);
+
+  // Window slides: 16 more gaps of 100 evict everything older.
+  for (int i = 0; i < 16; ++i) estimator.observe_gap(100.0);
+  EXPECT_DOUBLE_EQ(estimator.gap_quantile(0.1), 100.0);
+}
+
+TEST(RateEstimatorTest, DeterministicAcrossInstances) {
+  RateEstimator a(30.0, {});
+  RateEstimator b(30.0, {});
+  const Cycles gaps[] = {10.0, 80.0, 25.0, 3.0, 44.0, 17.5};
+  for (int round = 0; round < 500; ++round) {
+    for (const Cycles gap : gaps) {
+      a.observe_gap(gap);
+      b.observe_gap(gap);
+    }
+    ASSERT_DOUBLE_EQ(a.tau0(), b.tau0());
+    ASSERT_DOUBLE_EQ(a.gap_quantile(0.9), b.gap_quantile(0.9));
+  }
+}
+
+TEST(RateEstimatorTest, ResetRestoresPrior) {
+  RateEstimator estimator(60.0, {});
+  for (int i = 0; i < 200; ++i) estimator.observe_gap(5.0);
+  EXPECT_NE(estimator.tau0(), 60.0);
+  estimator.reset(75.0);
+  EXPECT_DOUBLE_EQ(estimator.tau0(), 75.0);
+  EXPECT_EQ(estimator.samples(), 0u);
+  EXPECT_FALSE(estimator.warm());
+  EXPECT_DOUBLE_EQ(estimator.gap_quantile(0.5), 75.0);
+}
+
+TEST(RateEstimatorTest, RejectsBadConfig) {
+  EXPECT_THROW(RateEstimator(0.0, {}), std::logic_error);
+  RateEstimatorConfig bad_alpha;
+  bad_alpha.alpha = 0.0;
+  EXPECT_THROW(RateEstimator(10.0, bad_alpha), std::logic_error);
+  RateEstimatorConfig bad_window;
+  bad_window.window = 0;
+  EXPECT_THROW(RateEstimator(10.0, bad_window), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ripple::control

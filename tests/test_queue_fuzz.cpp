@@ -1,0 +1,218 @@
+// Adversarial wraparound fuzz for the two ring structures the runtime leans
+// on: util::RingBuffer and runtime::SoaQueue. Irregular push/pop batch sizes
+// driven near capacity force head wraps, growth mid-stream, and the
+// gather-front wrap-fixing copy; every element is checked against a plain
+// std::deque oracle.
+#include <gtest/gtest.h>
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dist/rng.hpp"
+#include "runtime/lane_batch.hpp"
+#include "runtime/soa_queue.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace ripple {
+namespace {
+
+// ---------------------------------------------------------------------------
+// util::RingBuffer vs deque oracle
+// ---------------------------------------------------------------------------
+
+TEST(RingBufferFuzzTest, IrregularBatchesMatchDequeOracle) {
+  dist::Xoshiro256 rng(0xF00D);
+  util::RingBuffer<std::uint64_t> ring;
+  std::deque<std::uint64_t> oracle;
+  std::uint64_t next_value = 0;
+
+  for (int round = 0; round < 20000; ++round) {
+    // Skew pushes early, pops late, so occupancy sweeps up then down and the
+    // head crosses the wrap point at many different capacities.
+    const bool push_biased = round < 10000;
+    const auto action = rng() % 100;
+    if ((push_biased && action < 70) || (!push_biased && action < 30)) {
+      const std::size_t n = 1 + rng() % 17;
+      for (std::size_t i = 0; i < n; ++i) {
+        ring.push_back(next_value);
+        oracle.push_back(next_value);
+        ++next_value;
+      }
+    } else if (!oracle.empty()) {
+      const std::size_t n = 1 + rng() % std::min<std::size_t>(
+                                    oracle.size(), 13);
+      if (action % 2 == 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(ring.pop_front(), oracle.front());
+          oracle.pop_front();
+        }
+      } else {
+        // Batch-consumer path: random-access then discard in one step.
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(ring[i], oracle[i]);
+        }
+        ring.discard_front(n);
+        oracle.erase(oracle.begin(),
+                     oracle.begin() + static_cast<std::ptrdiff_t>(n));
+      }
+    }
+    ASSERT_EQ(ring.size(), oracle.size());
+    if (!oracle.empty()) {
+      ASSERT_EQ(ring.front(), oracle.front());
+      ASSERT_EQ(ring[oracle.size() - 1], oracle.back());
+    }
+  }
+}
+
+TEST(RingBufferFuzzTest, NearCapacityOscillation) {
+  // Hold occupancy within one element of a power-of-two capacity while the
+  // head advances: every push lands exactly on the wrap seam.
+  util::RingBuffer<std::uint32_t> ring(64);
+  std::deque<std::uint32_t> oracle;
+  std::uint32_t next_value = 0;
+  for (std::uint32_t i = 0; i < 63; ++i) {
+    ring.push_back(next_value);
+    oracle.push_back(next_value);
+    ++next_value;
+  }
+  const std::size_t capacity_before = ring.capacity();
+  for (int step = 0; step < 4096; ++step) {
+    ring.push_back(next_value);
+    oracle.push_back(next_value);
+    ++next_value;
+    ASSERT_EQ(ring.pop_front(), oracle.front());
+    oracle.pop_front();
+    ASSERT_EQ(ring.size(), oracle.size());
+    ASSERT_EQ(ring[62], oracle[62]);
+  }
+  EXPECT_EQ(ring.capacity(), capacity_before);  // never grew
+}
+
+// ---------------------------------------------------------------------------
+// runtime::SoaQueue vs oracle (typed and item representations)
+// ---------------------------------------------------------------------------
+
+struct TypedLane {
+  std::uint32_t f0, f1;
+  runtime::RootId root;
+};
+
+TEST(SoaQueueFuzzTest, TypedWraparoundMatchesOracle) {
+  dist::Xoshiro256 rng(0xBEEF);
+  runtime::SoaQueue queue;
+  queue.configure(/*field_count=*/2, /*carries_items=*/false);
+  std::deque<TypedLane> oracle;
+  runtime::SoaQueue::GatherScratch scratch;
+  std::uint32_t next_value = 0;
+
+  for (int round = 0; round < 8000; ++round) {
+    const auto action = rng() % 100;
+    if (action < 55) {
+      const std::size_t n = 1 + rng() % 9;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t fields[2] = {next_value, next_value * 7 + 1};
+        queue.push_fields(fields, runtime::RootId{next_value});
+        oracle.push_back({fields[0], fields[1], runtime::RootId{next_value}});
+        ++next_value;
+      }
+    } else if (!oracle.empty()) {
+      // Firing-style consume: gather up to v front lanes, verify the dense
+      // window (wrapped or not), then discard.
+      const std::size_t v =
+          1 + rng() % std::min<std::size_t>(oracle.size(), 8);
+      const auto window = queue.gather_front(v, scratch);
+      for (std::size_t k = 0; k < v; ++k) {
+        ASSERT_EQ(window.field[0][k], oracle[k].f0);
+        ASSERT_EQ(window.field[1][k], oracle[k].f1);
+        ASSERT_EQ(window.roots[k], oracle[k].root);
+      }
+      queue.discard_front(v);
+      oracle.erase(oracle.begin(), oracle.begin() + static_cast<std::ptrdiff_t>(v));
+    }
+    ASSERT_EQ(queue.size(), oracle.size());
+  }
+}
+
+TEST(SoaQueueFuzzTest, AppendFromEmitterAcrossWrapSeam) {
+  dist::Xoshiro256 rng(0xCAFE);
+  runtime::SoaQueue queue;
+  queue.configure(1, false);
+  std::deque<TypedLane> oracle;
+  runtime::SoaQueue::GatherScratch scratch;
+  runtime::BatchEmitter emitter;
+  std::uint32_t next_value = 0;
+
+  for (int round = 0; round < 6000; ++round) {
+    // A firing consumes up to 4 lanes and emits 0-3 outputs per lane via the
+    // emitter (the compaction path), exercising append()'s wrap-split copy.
+    const std::size_t lanes = 1 + rng() % 4;
+    std::vector<runtime::RootId> roots;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      roots.push_back(runtime::RootId{next_value + 1000000});
+    }
+    emitter.reset(lanes, 1, false);
+    std::vector<TypedLane> emitted;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::uint32_t outputs = rng() % 4;
+      for (std::uint32_t c = 0; c < outputs; ++c) {
+        emitter.emit(lane, next_value);
+        emitted.push_back({next_value, 0, roots[lane]});
+        ++next_value;
+      }
+    }
+    queue.append(emitter, roots.data());
+    for (const TypedLane& lane : emitted) oracle.push_back(lane);
+
+    // Drain roughly as fast as we fill, keeping occupancy near the seam.
+    if (!oracle.empty() && round % 2 == 1) {
+      const std::size_t v =
+          1 + rng() % std::min<std::size_t>(oracle.size(), 5);
+      const auto window = queue.gather_front(v, scratch);
+      for (std::size_t k = 0; k < v; ++k) {
+        ASSERT_EQ(window.field[0][k], oracle[k].f0);
+        ASSERT_EQ(window.roots[k], oracle[k].root);
+      }
+      queue.discard_front(v);
+      oracle.erase(oracle.begin(), oracle.begin() + static_cast<std::ptrdiff_t>(v));
+    }
+    ASSERT_EQ(queue.size(), oracle.size());
+  }
+}
+
+TEST(SoaQueueFuzzTest, ItemQueueWraparound) {
+  dist::Xoshiro256 rng(0xD1CE);
+  runtime::SoaQueue queue;
+  queue.configure(0, /*carries_items=*/true);
+  std::deque<std::pair<std::uint64_t, runtime::RootId>> oracle;
+  std::uint64_t next_value = 0;
+
+  for (int round = 0; round < 8000; ++round) {
+    const auto action = rng() % 100;
+    if (action < 55) {
+      const std::size_t n = 1 + rng() % 7;
+      for (std::size_t i = 0; i < n; ++i) {
+        queue.push_item(runtime::Item{next_value},
+                        runtime::RootId{static_cast<std::uint32_t>(next_value)});
+        oracle.emplace_back(next_value,
+                            runtime::RootId{static_cast<std::uint32_t>(next_value)});
+        ++next_value;
+      }
+    } else if (!oracle.empty()) {
+      const std::size_t v =
+          1 + rng() % std::min<std::size_t>(oracle.size(), 6);
+      for (std::size_t k = 0; k < v; ++k) {
+        ASSERT_EQ(std::any_cast<std::uint64_t>(queue.item_at(k)),
+                  oracle[k].first);
+        ASSERT_EQ(queue.root_at(k), oracle[k].second);
+      }
+      queue.discard_front(v);
+      oracle.erase(oracle.begin(), oracle.begin() + static_cast<std::ptrdiff_t>(v));
+    }
+    ASSERT_EQ(queue.size(), oracle.size());
+  }
+}
+
+}  // namespace
+}  // namespace ripple

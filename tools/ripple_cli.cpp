@@ -10,15 +10,24 @@
 //   ripple_cli predict-b  <pipeline.json|blast> --tau0 T --deadline D
 //                         [--model poisson|batch] [--headroom H]
 //   ripple_cli sensitivity <pipeline.json|blast> --tau0 T --deadline D [--b ...]
+//   ripple_cli replay     <pipeline.json|blast> --tau0 T --tau1 T' --deadline D
+//                         [--profile step|ramp|sine|fixed] [--stochastic]
+//   ripple_cli serve      <pipeline.json|blast> --tau0 T --deadline D
+//                         [--producers N] [--duration-ms MS]
 //
 // The literal pipeline name "blast" loads the paper's canonical Table 1
 // pipeline; anything else is read as a JSON file in the schema documented in
 // src/sdf/pipeline_io.hpp (emit one with `describe --json FILE`).
+#include <any>
+#include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "arrivals/arrival_process.hpp"
+#include "arrivals/nonstationary.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace_export.hpp"
 #include "blast/canonical.hpp"
@@ -30,6 +39,8 @@
 #include "queueing/predict.hpp"
 #include "sdf/analysis.hpp"
 #include "sdf/pipeline_io.hpp"
+#include "service/replay.hpp"
+#include "service/service.hpp"
 #include "sim/enforced_sim.hpp"
 #include "sim/trial_runner.hpp"
 #include "util/cli.hpp"
@@ -52,6 +63,8 @@ int usage(int code) {
          "  predict-b    queueing-theoretic worst-case multipliers\n"
          "  sensitivity  deadline pricing and bottleneck analysis\n"
          "  tradeoff     deadline vs active-fraction Pareto curve + knee\n"
+         "  replay       closed-loop control replay over a rate profile\n"
+         "  serve        live service demo: producer threads + online control\n"
          "run `ripple_cli <command> --help` for command options\n";
   return code;
 }
@@ -382,6 +395,160 @@ int cmd_tradeoff(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
   return 0;
 }
 
+arrivals::RateFnPtr make_rate_profile(const std::string& profile, double tau0,
+                                      double tau1, Cycles switch_t) {
+  const double r0 = 1.0 / tau0;
+  const double r1 = 1.0 / tau1;
+  if (profile == "fixed") {
+    return std::make_shared<arrivals::PiecewiseConstantRate>(
+        std::vector<Cycles>{0.0}, std::vector<double>{r0});
+  }
+  if (profile == "step") {
+    return std::make_shared<arrivals::PiecewiseConstantRate>(
+        std::vector<Cycles>{0.0, switch_t}, std::vector<double>{r0, r1});
+  }
+  if (profile == "ramp") {
+    return std::make_shared<arrivals::LinearRampRate>(r0, r1, switch_t);
+  }
+  if (profile == "sine") {
+    return std::make_shared<arrivals::SinusoidalRate>(
+        0.5 * (r0 + r1), 0.5 * std::abs(r1 - r0), switch_t);
+  }
+  throw std::logic_error("--profile must be step|ramp|sine|fixed");
+}
+
+int cmd_replay(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
+  const double tau0 = cli.get_double("tau0");
+  const double tau1 = cli.get_double("tau1");
+  const auto rate = make_rate_profile(cli.get_string("profile"), tau0, tau1,
+                                      cli.get_double("switch-t"));
+
+  service::ReplayConfig config;
+  config.deadline = cli.get_double("deadline");
+  config.initial_tau0 = tau0;
+  config.b = parse_b(cli.get_string("b"), pipeline.size());
+  config.controller.estimator.alpha = cli.get_double("alpha");
+  config.controller.replanner.drift_threshold = cli.get_double("drift");
+  config.controller.replanner.headroom = cli.get_double("headroom");
+  config.controller.replanner.cooldown_ticks =
+      static_cast<std::uint64_t>(cli.get_int("cooldown"));
+  config.chunk_items = static_cast<std::size_t>(cli.get_int("chunk-items"));
+  config.chunks = static_cast<std::size_t>(cli.get_int("chunks"));
+  config.sessions = static_cast<std::size_t>(cli.get_int("sessions"));
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  arrivals::ArrivalPtr offered;
+  if (cli.get_flag("stochastic")) {
+    offered = std::make_unique<arrivals::ThinningArrivals>(rate);
+  } else {
+    offered = std::make_unique<arrivals::VariableRateArrivals>(rate);
+  }
+
+  const auto report = service::replay_trace(pipeline, *offered, config);
+
+  util::TextTable table({"chunk", "true gap", "tau0_est", "planned", "epoch",
+                         "admit", "shed", "misses", "AF"});
+  const std::size_t stride = std::max<std::size_t>(1, report.chunks.size() / 16);
+  for (std::size_t i = 0; i < report.chunks.size(); ++i) {
+    if (i % stride != 0 && i + 1 != report.chunks.size()) continue;
+    const auto& chunk = report.chunks[i];
+    table.add_row({std::to_string(i), fmt(chunk.mean_gap_offered, 2),
+                   fmt(chunk.tau0_estimate, 2), fmt(chunk.planned_tau0, 2),
+                   std::to_string(chunk.plan_epoch),
+                   std::to_string(chunk.admitted_sessions),
+                   std::to_string(chunk.shed),
+                   std::to_string(chunk.deadline_misses),
+                   fmt(chunk.active_fraction, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\noffered " << util::with_commas(report.total_offered)
+            << ", admitted " << util::with_commas(report.total_admitted)
+            << ", shed " << util::with_commas(report.total_shed)
+            << ", misses " << util::with_commas(report.total_misses) << "\n"
+            << "replans: " << report.controller.replans << " ("
+            << report.controller.slack_forced << " slack-forced, "
+            << report.controller.solve_failures << " solve failures) over "
+            << report.controller.ticks << " ticks\n"
+            << "final plan: epoch " << report.final_plan->epoch
+            << ", planned tau0 " << fmt(report.final_plan->planned_tau0, 3)
+            << (report.final_plan->shedding ? " (shedding)" : "") << "\n";
+
+  // Offline oracle: solve directly at the final chunk's true rate.
+  const auto config_b = enforced_config(pipeline, cli.get_string("b"));
+  const core::EnforcedWaitsStrategy oracle(pipeline, config_b);
+  const Cycles oracle_tau0 = cli.get_double("headroom") *
+                             report.chunks.back().mean_gap_offered;
+  if (auto solved = oracle.solve(oracle_tau0, config.deadline); solved.ok()) {
+    double max_rel = 0.0;
+    for (std::size_t i = 0; i < pipeline.size(); ++i) {
+      const double rel =
+          std::abs(report.final_plan->schedule.firing_intervals[i] -
+                   solved.value().firing_intervals[i]) /
+          solved.value().firing_intervals[i];
+      max_rel = std::max(max_rel, rel);
+    }
+    std::cout << "oracle (tau0 " << fmt(oracle_tau0, 3)
+              << "): max relative interval gap " << fmt(max_rel, 6) << "\n";
+  }
+  return 0;
+}
+
+int cmd_serve(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
+  service::ServiceConfig config;
+  config.deadline = cli.get_double("deadline");
+  config.initial_tau0 = cli.get_double("tau0");
+  config.b = parse_b(cli.get_string("b"), pipeline.size());
+  config.controller.replanner.headroom = cli.get_double("headroom");
+
+  service::PipelineService svc(pipeline, service::synthetic_stages(pipeline),
+                               config);
+  svc.start();
+
+  const auto producers = static_cast<std::size_t>(cli.get_int("producers"));
+  const auto duration =
+      std::chrono::milliseconds(cli.get_int("duration-ms"));
+  const auto batch = static_cast<std::size_t>(cli.get_int("submit-batch"));
+  const auto gap = std::chrono::microseconds(cli.get_int("submit-gap-us"));
+
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      const service::SessionId session = svc.open_session();
+      const auto until = std::chrono::steady_clock::now() + duration;
+      std::uint64_t counter = p << 32;
+      while (std::chrono::steady_clock::now() < until) {
+        std::vector<runtime::Item> items;
+        items.reserve(batch);
+        for (std::size_t k = 0; k < batch; ++k) {
+          items.emplace_back(std::any(counter++));
+        }
+        svc.submit(session, std::move(items));
+        std::this_thread::sleep_for(gap);
+      }
+      svc.close_session(session);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  svc.stop();
+
+  const service::ServiceStats stats = svc.stats();
+  const control::ControllerStats loop = svc.controller().stats();
+  std::cout << "submitted " << util::with_commas(stats.submitted)
+            << ", accepted " << util::with_commas(stats.accepted)
+            << ", backpressure "
+            << util::with_commas(stats.rejected_backpressure) << ", shed "
+            << util::with_commas(stats.shed) << "\n"
+            << "batches " << util::with_commas(stats.batches) << ", executed "
+            << util::with_commas(stats.executed_items) << ", sink outputs "
+            << util::with_commas(stats.sink_outputs) << ", misses "
+            << util::with_commas(stats.deadline_misses) << "\n"
+            << "control: " << loop.replans << " replans over " << loop.ticks
+            << " ticks, plan epoch " << stats.plan_epoch << ", tau0_est "
+            << fmt(svc.controller().estimator().tau0(), 2) << "\n";
+  return stats.executed_items == stats.accepted ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, const char** argv) {
@@ -407,8 +574,26 @@ int main(int argc, const char** argv) {
   cli.add_double("d-hi", 3.5e5, "sweep: deadline range end");
   cli.add_int("d-points", 8, "sweep: deadline grid points");
   cli.add_string("model", "batch", "predict-b: poisson|batch");
-  cli.add_double("headroom", 0.9, "predict-b: solve at (h*tau0, h*D)");
+  cli.add_double("headroom", 0.9,
+                 "predict-b: solve at (h*tau0, h*D); replay/serve: re-plan "
+                 "at h*tau0_est");
   cli.add_double("epsilon", 1e-4, "predict-b: queue-quantile tail level");
+  cli.add_double("tau1", 10.0, "replay: post-step/ramp inter-arrival time");
+  cli.add_string("profile", "step", "replay: step|ramp|sine|fixed");
+  cli.add_double("switch-t", 5e5,
+                 "replay: step time / ramp duration / sine period (cycles)");
+  cli.add_flag("stochastic", false,
+               "replay: thinned Poisson arrivals instead of deterministic");
+  cli.add_int("chunk-items", 256, "replay: arrivals per control interval");
+  cli.add_int("chunks", 64, "replay: control intervals");
+  cli.add_int("sessions", 4, "replay: symmetric producer sessions");
+  cli.add_double("alpha", 0.05, "replay: rate-estimator EWMA weight");
+  cli.add_double("drift", 0.05, "replay: re-plan drift threshold");
+  cli.add_int("cooldown", 1, "replay: ticks between re-solves");
+  cli.add_int("producers", 2, "serve: producer threads");
+  cli.add_int("duration-ms", 200, "serve: wall-clock run time");
+  cli.add_int("submit-batch", 8, "serve: items per submission");
+  cli.add_int("submit-gap-us", 500, "serve: producer sleep between submissions");
   cli.add_string("trace-out", "",
                  "write a Chrome trace_event timeline here (RIPPLE_OBS builds)");
   cli.add_string("metrics-out", "",
@@ -451,6 +636,10 @@ int main(int argc, const char** argv) {
       return export_observability(cli, cmd_sensitivity(pipeline.value(), cli));
     if (command == "tradeoff")
       return export_observability(cli, cmd_tradeoff(pipeline.value(), cli));
+    if (command == "replay")
+      return export_observability(cli, cmd_replay(pipeline.value(), cli));
+    if (command == "serve")
+      return export_observability(cli, cmd_serve(pipeline.value(), cli));
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 2;

@@ -1,21 +1,26 @@
 // trace_inspect — offline checker and summarizer for RIPPLE trace files.
 //
-//   trace_inspect <trace.json> [--top N]
+//   trace_inspect <trace.json> [--top N] [--strict]
 //
 // Reads a Chrome trace_event document produced by --trace-out (schema
 // "ripple.trace.v1", see docs/OBSERVABILITY.md), re-validates begin/end span
 // nesting per (pid, tid) lane, and prints a per-name summary table: span
-// counts, total/mean/max duration, plus instant and counter tallies. Exits
-// nonzero on malformed input or broken nesting, so it doubles as a CI check
-// on generated traces.
+// counts, total/mean/max duration, plus instant and counter tallies. With
+// --strict, any span/instant/counter name outside the catalog in
+// src/obs/names.hpp is an error — a typo in new instrumentation (or a name
+// added without updating the catalog) fails the CI trace check instead of
+// sailing through. Exits nonzero on malformed input, broken nesting, or
+// (strict) unknown names.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/names.hpp"
 #include "util/cli.hpp"
 #include "util/jsonv.hpp"
 #include "util/string_utils.hpp"
@@ -49,6 +54,8 @@ std::string fmt(double v, int p = 1) { return util::format_double(v, p); }
 int main(int argc, const char** argv) {
   util::CliParser cli;
   cli.add_int("top", 20, "show at most this many rows per section");
+  cli.add_flag("strict", false,
+               "fail on event names missing from the obs/names.hpp catalog");
   auto parsed = cli.parse(argc, argv);
   if (!parsed.ok()) {
     std::cerr << parsed.error().message << "\n";
@@ -88,6 +95,7 @@ int main(int argc, const char** argv) {
   std::map<std::string, std::uint64_t> counters;
   std::uint64_t total_events = 0;
   std::uint64_t nesting_errors = 0;
+  std::set<std::string> unknown_names;
 
   for (const util::JsonValue& event : events->as_array()) {
     const std::string ph = event.string_or("ph", "");
@@ -97,6 +105,13 @@ int main(int argc, const char** argv) {
     const double ts = event.number_or("ts", 0.0);
     auto& lane = lanes[{event.number_or("pid", 0.0),
                         event.number_or("tid", 0.0)}];
+    if (ph == "B" || ph == "E") {
+      if (!obs::names::is_known_span(name)) unknown_names.insert(name);
+    } else if (ph == "i") {
+      if (!obs::names::is_known_instant(name)) unknown_names.insert(name);
+    } else if (ph == "C") {
+      if (!obs::names::is_known_counter(name)) unknown_names.insert(name);
+    }
     if (ph == "B") {
       lane.push_back({name, ts});
     } else if (ph == "E") {
@@ -180,10 +195,18 @@ int main(int argc, const char** argv) {
     std::cout << "\n";
   }
 
+  if (!unknown_names.empty()) {
+    std::ostream& out = cli.get_flag("strict") ? std::cerr : std::cout;
+    out << (cli.get_flag("strict") ? "unknown names (not in obs/names.hpp):"
+                                   : "names outside the obs/names.hpp catalog:");
+    for (const std::string& name : unknown_names) out << " '" << name << "'";
+    out << "\n";
+  }
   if (nesting_errors > 0) {
     std::cerr << nesting_errors << " nesting error(s)\n";
     return 1;
   }
+  if (cli.get_flag("strict") && !unknown_names.empty()) return 1;
   std::cout << "span nesting: OK\n";
   return 0;
 }
