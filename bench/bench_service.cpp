@@ -7,8 +7,10 @@
 // bar is steady-state overhead under 2%.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "arrivals/arrival_process.hpp"
@@ -20,6 +22,7 @@
 #include "sdf/pipeline.hpp"
 #include "service/service.hpp"
 #include "sim/enforced_sim.hpp"
+#include "util/mpsc_queue.hpp"
 
 namespace {
 
@@ -185,6 +188,206 @@ void BM_StaticPlanChunk(benchmark::State& state) {
                           static_cast<std::int64_t>(kChunk));
 }
 BENCHMARK(BM_StaticPlanChunk);
+
+// ---------------------------------------------------------------------------
+// Sharded ingest: the drain-side data-structure swap and the shard sweep.
+//
+// The pre-PR service kept one mutex-guarded pending vector per session and
+// every drain scanned ALL open sessions to collect the batch — O(open
+// sessions) per drain even when almost every session is idle, which is the
+// realistic shape (many long-lived sessions, few active per interval). The
+// sharded service replaced that with one bounded MPSC ring per shard, so a
+// drain costs O(items popped). BM_IngestLegacyScanMerge reimplements the old
+// collect phase faithfully (lock each session, steal its pending vector,
+// merge, sort); BM_IngestMpscDrain runs the same offered load through the
+// new rings at 1/2/4/8 shards. scripts/run_bench_service.sh publishes the
+// ratio as the drain-throughput scaling curve in BENCH_service.json.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kIngestSessions = 16384;  // mostly idle, like production
+constexpr std::size_t kActiveSessions = 64;     // submit per drain interval
+constexpr std::size_t kItemsPerActive = 8;      // 512 items per drain
+
+struct BenchPending {
+  std::uint64_t value = 0;
+  Cycles arrival = 0.0;
+  std::uint64_t seq = 0;
+};
+
+/// The old per-session ingest state: mutex + growable pending vector.
+struct LegacySession {
+  std::mutex mutex;
+  std::vector<BenchPending> pending;
+};
+
+void BM_IngestLegacyScanMerge(benchmark::State& state) {
+  std::vector<std::unique_ptr<LegacySession>> sessions;
+  sessions.reserve(kIngestSessions);
+  for (std::size_t i = 0; i < kIngestSessions; ++i) {
+    sessions.push_back(std::make_unique<LegacySession>());
+  }
+  std::vector<BenchPending> batch;
+  batch.reserve(kActiveSessions * kItemsPerActive);
+  std::uint64_t seq = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Refill: a few active sessions spread across the table, everyone else
+    // idle — exactly the case the scan pays for.
+    for (std::size_t a = 0; a < kActiveSessions; ++a) {
+      LegacySession& session =
+          *sessions[(a * (kIngestSessions / kActiveSessions)) %
+                    kIngestSessions];
+      for (std::size_t k = 0; k < kItemsPerActive; ++k) {
+        session.pending.push_back(
+            {seq, static_cast<Cycles>(seq % 97), seq});
+        ++seq;
+      }
+    }
+    state.ResumeTiming();
+
+    // The old drain's collect phase: scan every session under its lock.
+    batch.clear();
+    for (auto& session : sessions) {
+      std::lock_guard<std::mutex> lock(session->mutex);
+      if (session->pending.empty()) continue;
+      for (BenchPending& pending : session->pending) {
+        batch.push_back(pending);
+      }
+      session->pending.clear();
+    }
+    std::sort(batch.begin(), batch.end(),
+              [](const BenchPending& a, const BenchPending& b) {
+                if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                return a.seq < b.seq;
+              });
+    benchmark::DoNotOptimize(batch.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kActiveSessions * kItemsPerActive));
+}
+BENCHMARK(BM_IngestLegacyScanMerge);
+
+void BM_IngestMpscDrain(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<util::MpscQueue<BenchPending>>> queues;
+  for (std::size_t s = 0; s < shards; ++s) {
+    queues.push_back(
+        std::make_unique<util::MpscQueue<BenchPending>>(65536));
+  }
+  std::vector<BenchPending> batch;
+  batch.reserve(kActiveSessions * kItemsPerActive);
+  std::uint64_t seq = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t a = 0; a < kActiveSessions; ++a) {
+      util::MpscQueue<BenchPending>& queue = *queues[a % shards];
+      for (std::size_t k = 0; k < kItemsPerActive; ++k) {
+        queue.try_push({seq, static_cast<Cycles>(seq % 97), seq});
+        ++seq;
+      }
+    }
+    state.ResumeTiming();
+
+    // The new drain's collect phase: pop what is there, no session scan.
+    for (auto& queue : queues) {
+      batch.clear();
+      queue->drain(batch);
+      std::sort(batch.begin(), batch.end(),
+                [](const BenchPending& a, const BenchPending& b) {
+                  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                  return a.seq < b.seq;
+                });
+      benchmark::DoNotOptimize(batch.data());
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kActiveSessions * kItemsPerActive));
+}
+BENCHMARK(BM_IngestMpscDrain)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// End-to-end service drain at each shard count: open sessions, submit one
+/// interval's load, drain_once (pop + sort + tick + execute). Complements
+/// the ingest-only pair above with the full-path numbers the scaling curve
+/// reports alongside.
+void BM_ServiceDrainSharded(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const sdf::PipelineSpec spec = make_loop_spec();
+  service::ServiceConfig config;
+  config.deadline = kLoopDeadline;
+  config.initial_tau0 = 20.0;
+  config.shards = shards;
+  config.session_capacity = 4096;
+  service::PipelineService service(
+      spec, service::synthetic_stage_factory(spec), config);
+
+  std::vector<service::SessionId> sessions;
+  for (std::size_t i = 0; i < kActiveSessions; ++i) {
+    sessions.push_back(service.open_session());
+  }
+
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (const service::SessionId id : sessions) {
+      std::vector<runtime::Item> items;
+      items.reserve(kItemsPerActive);
+      for (std::size_t k = 0; k < kItemsPerActive; ++k) {
+        items.emplace_back(counter++);
+      }
+      service.submit(id, std::move(items));
+    }
+    state.ResumeTiming();
+    const std::size_t executed = service.drain_once();
+    benchmark::DoNotOptimize(executed);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kActiveSessions * kItemsPerActive));
+}
+BENCHMARK(BM_ServiceDrainSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// The submit fast path with coalesced wakeups: per-item cost of the
+/// admission check + backpressure reservation + MPSC push. The worker is
+/// deliberately not running — this isolates the producer-side cost the
+/// coalescing optimization targets (no syscall per submit once the shard is
+/// already signalled).
+void BM_SubmitSteady(benchmark::State& state) {
+  const sdf::PipelineSpec spec = make_loop_spec();
+  service::ServiceConfig config;
+  config.deadline = kLoopDeadline;
+  config.initial_tau0 = 20.0;
+  config.session_capacity = 1u << 20;
+  config.shard_queue_capacity = 1u << 20;
+  service::PipelineService service(
+      spec, service::synthetic_stage_factory(spec), config);
+  const service::SessionId id = service.open_session();
+
+  constexpr std::size_t kBatch = 8;
+  std::uint64_t counter = 0;
+  std::size_t in_queue = 0;
+  for (auto _ : state) {
+    if (in_queue + kBatch > (1u << 20)) {
+      state.PauseTiming();
+      service.drain_once();
+      in_queue = 0;
+      state.ResumeTiming();
+    }
+    std::vector<runtime::Item> items;
+    items.reserve(kBatch);
+    for (std::size_t k = 0; k < kBatch; ++k) items.emplace_back(counter++);
+    const service::SubmitOutcome outcome =
+        service.submit(id, std::move(items));
+    benchmark::DoNotOptimize(outcome);
+    in_queue += outcome.accepted;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_SubmitSteady);
 
 }  // namespace
 

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Run the online-control-loop benchmarks and write BENCH_service.json at the
 # repo root: warm- vs cold-started re-plan latency, the steady-state
-# controller tick, and the closed-loop drain cycle against the static-plan
-# baseline. Prints the warm-start speedup and the closed-loop steady-state
-# overhead (the acceptance bar is < 2%).
+# controller tick, the closed-loop drain cycle against the static-plan
+# baseline, and the sharded-ingest drain sweep (legacy per-session scan-merge
+# vs the MPSC ring at 1/2/4/8 shards). Prints the warm-start speedup, the
+# closed-loop steady-state overhead (bar: < 2%), and the drain-throughput
+# scaling curve (bar: >= 4x over the legacy single-worker drain at 8 shards).
 #
 # Usage: scripts/run_bench_service.sh [build-dir] [min-time]
 #   build-dir  defaults to ./build-bench (configured Release if missing —
@@ -63,6 +65,42 @@ if tick and gap and static:
 if loop and static:
     print(f"  (subtractive cross-check: {(loop - static) / static * 100.0:.2f}%"
           f" — noisier)")
+
+# Drain-throughput scaling curve: items/sec of the ingest collect phase,
+# legacy O(open-sessions) scan-merge vs the O(items) MPSC drain per shard
+# count. The 16384-session table is mostly idle, the realistic shape the
+# old scan paid for on every drain.
+rates = {b["name"]: b.get("items_per_second") for b in doc["benchmarks"]}
+legacy = rates.get("BM_IngestLegacyScanMerge")
+if legacy:
+    print(f"\ndrain throughput (ingest collect, 16384 sessions, 512 items):")
+    print(f"  legacy scan-merge: {legacy / 1e6:.2f} M items/s")
+    worst = None
+    for shards in (1, 2, 4, 8):
+        rate = rates.get(f"BM_IngestMpscDrain/{shards}")
+        if not rate:
+            continue
+        speedup = rate / legacy
+        worst = speedup if worst is None else min(worst, speedup)
+        print(f"  mpsc {shards} shard(s):   {rate / 1e6:.2f} M items/s "
+              f"({speedup:.1f}x vs legacy)")
+    eight = rates.get("BM_IngestMpscDrain/8")
+    if eight:
+        ratio = eight / legacy
+        bar = "PASS" if ratio >= 4.0 else "FAIL"
+        print(f"  8-shard drain vs legacy single-worker: {ratio:.1f}x "
+              f"(bar: >= 4x) [{bar}]")
+
+svc = {s: rates.get(f"BM_ServiceDrainSharded/{s}") for s in (1, 2, 4, 8)}
+if any(svc.values()):
+    print("end-to-end service drain_once (pop + sort + tick + execute):")
+    for shards, rate in svc.items():
+        if rate:
+            print(f"  {shards} shard(s): {rate / 1e6:.2f} M items/s")
+
+submit = rates.get("BM_SubmitSteady")
+if submit:
+    print(f"submit fast path (coalesced wakeups): {submit / 1e6:.2f} M items/s")
 PY
 
 echo "Wrote ${REPO_ROOT}/BENCH_service.json"

@@ -1,0 +1,94 @@
+#include "control/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ripple::control {
+
+AdmissionLedger::AdmissionLedger(std::size_t shards) : shard_count_(shards) {
+  RIPPLE_REQUIRE(shards > 0, "AdmissionLedger needs at least one shard");
+  slots_ = std::make_unique<Slot[]>(shards);
+}
+
+void AdmissionLedger::publish(std::size_t shard, const ShardLoad& load) {
+  RIPPLE_REQUIRE(shard < shard_count_, "publish: shard out of range");
+  Slot& slot = slots_[shard];
+  slot.open.store(load.open_sessions, std::memory_order_relaxed);
+  slot.offered.store(load.offered_rate, std::memory_order_relaxed);
+  slot.feasible.store(load.feasible_rate, std::memory_order_relaxed);
+  slot.depth.store(load.queue_depth, std::memory_order_relaxed);
+  slot.latency.store(load.worst_latency, std::memory_order_relaxed);
+  slot.deadline.store(load.deadline, std::memory_order_relaxed);
+}
+
+std::size_t AdmissionLedger::apportion(std::size_t shard,
+                                       std::size_t local_admitted) const {
+  RIPPLE_REQUIRE(shard < shard_count_, "apportion: shard out of range");
+  // One shard: the local controller IS the global view. Returning the local
+  // count untouched is the determinism contract the shards=1 golden tests
+  // rely on.
+  if (shard_count_ == 1) return local_admitted;
+
+  double offered = 0.0;
+  double feasible = 0.0;
+  std::size_t depth_sum = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    offered += slots_[s].offered.load(std::memory_order_relaxed);
+    feasible += slots_[s].feasible.load(std::memory_order_relaxed);
+    depth_sum += slots_[s].depth.load(std::memory_order_relaxed);
+  }
+  if (offered <= feasible || offered <= 0.0) return local_admitted;
+
+  // Global overload: cap at this shard's proportional share of the
+  // aggregate feasible rate.
+  const Slot& slot = slots_[shard];
+  const double fraction = feasible / offered;
+  const auto open =
+      static_cast<double>(slot.open.load(std::memory_order_relaxed));
+  auto admitted = std::min(
+      local_admitted, static_cast<std::size_t>(std::floor(open * fraction)));
+
+  // Pressure relief: the hot shard gives up one extra session when its
+  // ingest queue or its observed latency says it is the one falling behind.
+  const double mean_depth =
+      static_cast<double>(depth_sum) / static_cast<double>(shard_count_);
+  const auto depth =
+      static_cast<double>(slot.depth.load(std::memory_order_relaxed));
+  const double latency = slot.latency.load(std::memory_order_relaxed);
+  const double deadline = slot.deadline.load(std::memory_order_relaxed);
+  const bool queue_hot = mean_depth > 0.0 && depth > 2.0 * mean_depth;
+  const bool latency_hot = deadline > 0.0 && latency > deadline;
+  if ((queue_hot || latency_hot) && admitted > 0) --admitted;
+  return admitted;
+}
+
+AdmissionLedger::Totals AdmissionLedger::totals() const {
+  Totals totals;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    totals.open_sessions += slots_[s].open.load(std::memory_order_relaxed);
+    totals.offered_rate += slots_[s].offered.load(std::memory_order_relaxed);
+    totals.feasible_rate += slots_[s].feasible.load(std::memory_order_relaxed);
+    totals.queue_depth += slots_[s].depth.load(std::memory_order_relaxed);
+    totals.worst_latency =
+        std::max(totals.worst_latency,
+                 slots_[s].latency.load(std::memory_order_relaxed));
+  }
+  return totals;
+}
+
+ShardLoad AdmissionLedger::load(std::size_t shard) const {
+  RIPPLE_REQUIRE(shard < shard_count_, "load: shard out of range");
+  const Slot& slot = slots_[shard];
+  ShardLoad load;
+  load.open_sessions = slot.open.load(std::memory_order_relaxed);
+  load.offered_rate = slot.offered.load(std::memory_order_relaxed);
+  load.feasible_rate = slot.feasible.load(std::memory_order_relaxed);
+  load.queue_depth = slot.depth.load(std::memory_order_relaxed);
+  load.worst_latency = slot.latency.load(std::memory_order_relaxed);
+  load.deadline = slot.deadline.load(std::memory_order_relaxed);
+  return load;
+}
+
+}  // namespace ripple::control

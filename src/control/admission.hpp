@@ -1,0 +1,97 @@
+// Global admission tier for the sharded service.
+//
+// Each shard runs the full closed loop locally — its own RateEstimator,
+// Replanner, PlanStore epoch, and admission count over the sessions hashed
+// to it. That is correct in isolation (each shard owns one executor, so one
+// shard's feasible rate is the executor's feasible rate), but it cannot see
+// *aggregate* pressure: hash imbalance or a correlated load swing can leave
+// one shard drowning while the others coast, and each local controller only
+// knows its own substream. The AdmissionLedger is the thin global layer on
+// top: every shard publishes a small load summary after its control tick
+// (open sessions, offered/feasible rate, ingest queue depth, worst batch
+// latency), and apportion() clamps the shard's locally computed
+// admitted-session count against the aggregate picture:
+//
+//   * aggregate-feasibility clamp — when the summed offered rate across all
+//     shards exceeds the summed feasible rate, every shard's admitted count
+//     is capped at floor(open_s * F/R) (F = aggregate feasible, R =
+//     aggregate offered), so a shard whose local estimate lags a global
+//     swing still sheds its proportional share;
+//   * pressure relief — while globally overloaded, a shard whose ingest
+//     queue depth is more than twice the per-shard mean, or whose last
+//     batch's worst latency blew through its deadline, gives up one more
+//     session than the proportional cut. Queue depth and latency are the
+//     two signals that lead the rate estimate exactly when a shard is the
+//     hot one.
+//
+// Determinism contract: with one shard the ledger is the identity —
+// apportion() returns the local count untouched, bit-identical to the
+// unsharded service (the aggregate equals the local view, and re-deriving
+// it through reciprocals would perturb the floating-point path the golden
+// replay tests pin down).
+//
+// Thread model: publish() writes the caller shard's slot (relaxed atomics,
+// single writer per slot); apportion()/totals() read every slot relaxed —
+// the same consistent-enough snapshot discipline as ServiceStats.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/types.hpp"
+
+namespace ripple::control {
+
+/// One shard's load summary, published after each control tick.
+struct ShardLoad {
+  std::size_t open_sessions = 0;
+  double offered_rate = 0.0;   ///< 1 / (headroom * tau0_hat), this shard
+  double feasible_rate = 0.0;  ///< 1 / floor_tau0 of this shard's executor
+  std::size_t queue_depth = 0; ///< pending ingest items at the last drain
+  Cycles worst_latency = 0.0;  ///< worst end-to-end latency, last interval
+  Cycles deadline = 0.0;       ///< the deadline that latency is judged by
+};
+
+class AdmissionLedger {
+ public:
+  explicit AdmissionLedger(std::size_t shards);
+
+  std::size_t shards() const noexcept { return shard_count_; }
+
+  /// Publish `shard`'s current load (that shard's worker only).
+  void publish(std::size_t shard, const ShardLoad& load);
+
+  /// Clamp `local_admitted` (the shard controller's own admitted-session
+  /// count) against the aggregate load. Identity when shards() == 1.
+  std::size_t apportion(std::size_t shard, std::size_t local_admitted) const;
+
+  /// Aggregate snapshot across shards (for stats/CLI introspection).
+  struct Totals {
+    std::size_t open_sessions = 0;
+    double offered_rate = 0.0;
+    double feasible_rate = 0.0;
+    std::size_t queue_depth = 0;
+    Cycles worst_latency = 0.0;  ///< max across shards
+  };
+  Totals totals() const;
+
+  /// Last published load of one shard (read side; relaxed snapshot).
+  ShardLoad load(std::size_t shard) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> open{0};
+    std::atomic<double> offered{0.0};
+    std::atomic<double> feasible{0.0};
+    std::atomic<std::size_t> depth{0};
+    std::atomic<double> latency{0.0};
+    std::atomic<double> deadline{0.0};
+  };
+
+  std::size_t shard_count_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace ripple::control

@@ -87,6 +87,14 @@ class Controller {
   /// open_sessions whenever the estimated rate is feasible.
   std::size_t admitted_sessions(std::size_t open_sessions) const;
 
+  /// The operating point admission is judged at: headroom * tau0_hat. Safe
+  /// from any thread only in the estimator's quiescent windows; the service
+  /// publishes it to the AdmissionLedger from the worker instead of letting
+  /// readers touch the estimator.
+  Cycles admission_target_tau0() const noexcept {
+    return config_.replanner.headroom * estimator_.tau0();
+  }
+
   const RateEstimator& estimator() const noexcept { return estimator_; }
   const Replanner& replanner() const noexcept { return replanner_; }
   Cycles deadline() const noexcept { return replanner_.deadline(); }

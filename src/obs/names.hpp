@@ -37,10 +37,18 @@ inline constexpr std::string_view kInstantNames[] = {
 
 // Counter-track names ("C").
 inline constexpr std::string_view kCounterNames[] = {
-    "queue_depth",          // sim/runtime: node input-queue depth at firing
-    "block_items",          // monolithic sim: items per block
-    "service.queue_depth",  // service: pending ingest items at batch start
-    "control.tau0_est",     // controller: EWMA inter-arrival estimate
+    "queue_depth",        // sim/runtime: node input-queue depth at firing
+    "block_items",        // monolithic sim: items per block
+    "control.tau0_est",   // controller: EWMA inter-arrival estimate
+};
+
+// Counter *families*: prefixes under which every name is considered known.
+// The sharded service emits one counter track per shard worker; the events
+// carry a fixed per-event name but the family groups them in the catalog:
+//   service.shard.queue_depth  — items popped from the shard ring this drain
+//   service.shard.admitted     — sessions admitted after the global apportion
+inline constexpr std::string_view kCounterFamilies[] = {
+    "service.shard.",
 };
 
 inline bool is_known_span(std::string_view name) {
@@ -58,6 +66,12 @@ inline bool is_known_instant(std::string_view name) {
 inline bool is_known_counter(std::string_view name) {
   for (std::string_view known : kCounterNames) {
     if (name == known) return true;
+  }
+  for (std::string_view family : kCounterFamilies) {
+    if (name.size() > family.size() &&
+        name.substr(0, family.size()) == family) {
+      return true;
+    }
   }
   return false;
 }

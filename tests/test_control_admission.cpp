@@ -1,0 +1,110 @@
+// AdmissionLedger: the global admission tier that clamps each shard's local
+// admitted-session count against the aggregate load picture. Covers the
+// single-shard identity contract (the determinism guarantee the shards=1
+// golden tests rely on), the aggregate-feasibility clamp, and the pressure
+// relief for queue-hot and latency-hot shards.
+#include <gtest/gtest.h>
+
+#include "control/admission.hpp"
+
+namespace ripple::control {
+namespace {
+
+ShardLoad make_load(std::size_t open, double offered, double feasible,
+                    std::size_t depth = 0, double latency = 0.0,
+                    double deadline = 1000.0) {
+  ShardLoad load;
+  load.open_sessions = open;
+  load.offered_rate = offered;
+  load.feasible_rate = feasible;
+  load.queue_depth = depth;
+  load.worst_latency = latency;
+  load.deadline = deadline;
+  return load;
+}
+
+TEST(AdmissionLedgerTest, SingleShardIsIdentity) {
+  AdmissionLedger ledger(1);
+  // Publish a grossly overloaded picture: with one shard the local
+  // controller already saw everything, so apportion must not touch the
+  // local decision (bit-identical shards=1 contract).
+  ledger.publish(0, make_load(10, /*offered=*/100.0, /*feasible=*/1.0,
+                              /*depth=*/5000, /*latency=*/1e9));
+  EXPECT_EQ(ledger.apportion(0, 7), 7u);
+  EXPECT_EQ(ledger.apportion(0, 0), 0u);
+  EXPECT_EQ(ledger.apportion(0, 10), 10u);
+}
+
+TEST(AdmissionLedgerTest, NoClampWhenAggregateFeasible) {
+  AdmissionLedger ledger(2);
+  ledger.publish(0, make_load(4, 1.0, 2.0));
+  ledger.publish(1, make_load(4, 1.5, 2.0));
+  // Aggregate offered 2.5 <= feasible 4.0: local decisions pass through.
+  EXPECT_EQ(ledger.apportion(0, 4), 4u);
+  EXPECT_EQ(ledger.apportion(1, 3), 3u);
+}
+
+TEST(AdmissionLedgerTest, AggregateOverloadCapsProportionally) {
+  AdmissionLedger ledger(2);
+  // Aggregate offered 4.0 > feasible 2.0: fraction = 0.5, so a shard with 8
+  // open sessions is capped at floor(8 * 0.5) = 4 even when its own (lagging)
+  // controller would still admit all 8.
+  ledger.publish(0, make_load(8, 2.0, 1.0));
+  ledger.publish(1, make_load(8, 2.0, 1.0));
+  EXPECT_EQ(ledger.apportion(0, 8), 4u);
+  // The clamp only ever lowers: a stricter local decision wins.
+  EXPECT_EQ(ledger.apportion(1, 2), 2u);
+}
+
+TEST(AdmissionLedgerTest, QueueHotShardGivesUpOneMore) {
+  // Four shards (with two, one shard's depth can never exceed twice the
+  // mean — 2x mean IS the total): globally overloaded at fraction 0.5, and
+  // shard 0's ingest depth (90) is over twice the per-shard mean (30), so
+  // it sheds one extra session beyond the proportional cut.
+  AdmissionLedger ledger(4);
+  ledger.publish(0, make_load(8, 2.0, 1.0, /*depth=*/90));
+  ledger.publish(1, make_load(8, 2.0, 1.0, /*depth=*/10));
+  ledger.publish(2, make_load(8, 2.0, 1.0, /*depth=*/10));
+  ledger.publish(3, make_load(8, 2.0, 1.0, /*depth=*/10));
+  EXPECT_EQ(ledger.apportion(0, 8), 3u);  // 4 proportional - 1 relief
+  EXPECT_EQ(ledger.apportion(1, 8), 4u);  // cool shard keeps its share
+}
+
+TEST(AdmissionLedgerTest, LatencyHotShardGivesUpOneMore) {
+  AdmissionLedger ledger(2);
+  ledger.publish(0, make_load(8, 2.0, 1.0, 0, /*latency=*/1500.0,
+                              /*deadline=*/1000.0));
+  ledger.publish(1, make_load(8, 2.0, 1.0, 0, /*latency=*/100.0,
+                              /*deadline=*/1000.0));
+  EXPECT_EQ(ledger.apportion(0, 8), 3u);
+  EXPECT_EQ(ledger.apportion(1, 8), 4u);
+}
+
+TEST(AdmissionLedgerTest, ReliefNeverUnderflowsZero) {
+  AdmissionLedger ledger(2);
+  ledger.publish(0, make_load(1, 10.0, 0.1, /*depth=*/1000));
+  ledger.publish(1, make_load(1, 10.0, 0.1, /*depth=*/0));
+  // floor(1 * 0.01) = 0 admitted; pressure relief must not wrap.
+  EXPECT_EQ(ledger.apportion(0, 1), 0u);
+}
+
+TEST(AdmissionLedgerTest, TotalsAggregateAcrossShards) {
+  AdmissionLedger ledger(3);
+  ledger.publish(0, make_load(2, 1.0, 2.0, 10, 50.0));
+  ledger.publish(1, make_load(3, 1.5, 2.0, 20, 250.0));
+  ledger.publish(2, make_load(5, 0.5, 2.0, 30, 150.0));
+  const AdmissionLedger::Totals totals = ledger.totals();
+  EXPECT_EQ(totals.open_sessions, 10u);
+  EXPECT_DOUBLE_EQ(totals.offered_rate, 3.0);
+  EXPECT_DOUBLE_EQ(totals.feasible_rate, 6.0);
+  EXPECT_EQ(totals.queue_depth, 60u);
+  EXPECT_DOUBLE_EQ(totals.worst_latency, 250.0);  // max, not sum
+
+  const ShardLoad load = ledger.load(1);
+  EXPECT_EQ(load.open_sessions, 3u);
+  EXPECT_DOUBLE_EQ(load.offered_rate, 1.5);
+  EXPECT_EQ(load.queue_depth, 20u);
+}
+
+}  // namespace
+}  // namespace ripple::control

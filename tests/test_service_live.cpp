@@ -237,6 +237,134 @@ TEST(ServiceLiveTest, MultiThreadedSoak) {
   EXPECT_GE(service.controller().stats().ticks, 1u);
 }
 
+TEST(ServiceShardedTest, SessionsSpreadAcrossShardsAndConserveItems) {
+  const sdf::PipelineSpec spec = make_spec();
+  ServiceConfig config = base_config();
+  config.shards = 4;
+  PipelineService service(spec, synthetic_stage_factory(spec), config);
+  ASSERT_EQ(service.shards(), 4u);
+
+  // Open enough sessions that the splitmix64 placement hits every shard.
+  std::vector<SessionId> sessions;
+  for (int i = 0; i < 32; ++i) sessions.push_back(service.open_session());
+  bool hit[4] = {};
+  for (const SessionId id : sessions) hit[service.shard_of(id)] = true;
+  EXPECT_TRUE(hit[0] && hit[1] && hit[2] && hit[3]);
+
+  std::size_t accepted = 0;
+  for (const SessionId id : sessions) {
+    accepted += service.submit(id, make_items(8)).accepted;
+  }
+  EXPECT_EQ(service.drain_once(), accepted);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 32u * 8u);
+  EXPECT_EQ(stats.executed_items, stats.accepted);
+  EXPECT_EQ(stats.sink_outputs, 2 * stats.executed_items);
+  EXPECT_EQ(stats.open_sessions, 32u);
+
+  // Per-shard counters partition the global ones.
+  std::size_t shard_items = 0;
+  std::size_t shard_sessions = 0;
+  for (std::size_t s = 0; s < service.shards(); ++s) {
+    const ShardStats shard = service.shard_stats(s);
+    EXPECT_EQ(shard.shard, s);
+    EXPECT_GE(shard.plan_epoch, 1u);
+    shard_items += shard.executed_items;
+    shard_sessions += shard.open_sessions;
+  }
+  EXPECT_EQ(shard_items, stats.executed_items);
+  EXPECT_EQ(shard_sessions, 32u);
+}
+
+TEST(ServiceShardedTest, ShardOfIsStableAndInRange) {
+  const sdf::PipelineSpec spec = make_spec();
+  ServiceConfig config = base_config();
+  config.shards = 4;
+  PipelineService service(spec, synthetic_stage_factory(spec), config);
+  for (SessionId id = 1; id <= 1000; ++id) {
+    const std::size_t shard = service.shard_of(id);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(service.shard_of(id), shard);  // placement is pure
+  }
+}
+
+// Multi-shard version of the TSan soak: four shard workers, concurrent
+// producers spread across shards by session hash, session churn, and a
+// reader polling global and per-shard stats. Item conservation must hold
+// globally across all shard queues.
+TEST(ServiceShardedTest, MultiShardSoakConservesItems) {
+  const sdf::PipelineSpec spec = make_spec();
+  ServiceConfig config = base_config();
+  config.shards = 4;
+  PipelineService service(spec, synthetic_stage_factory(spec), config);
+  service.start();
+
+  constexpr int kProducers = 4;
+  constexpr int kRounds = 40;
+  constexpr std::size_t kBatch = 8;
+
+  std::atomic<bool> stop_reader{false};
+  std::thread reader([&] {
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      const ServiceStats stats = service.stats();
+      ASSERT_LE(stats.accepted, stats.submitted);
+      for (std::size_t s = 0; s < service.shards(); ++s) {
+        const control::PlanPtr plan = service.plan(s);
+        ASSERT_NE(plan, nullptr);
+        ASSERT_GE(plan->epoch, 1u);
+        (void)service.shard_stats(s);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  std::thread churn([&] {
+    for (int i = 0; i < 50; ++i) {
+      const SessionId id = service.open_session();
+      service.submit(id, make_items(2));
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      service.close_session(id);
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      // Two sessions per producer raises the odds every shard sees load.
+      const SessionId a = service.open_session();
+      const SessionId b = service.open_session();
+      for (int round = 0; round < kRounds; ++round) {
+        service.submit(round % 2 == 0 ? a : b, make_items(kBatch));
+        if (round % 4 == p % 4) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+      service.close_session(a);
+      service.close_session(b);
+    });
+  }
+
+  for (std::thread& producer : producers) producer.join();
+  churn.join();
+  service.stop();
+  stop_reader.store(true);
+  reader.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, stats.accepted + stats.rejected_backpressure +
+                                 stats.shed);
+  EXPECT_EQ(stats.executed_items, stats.accepted);
+  EXPECT_EQ(stats.sink_outputs, 2 * stats.executed_items);
+  EXPECT_EQ(stats.open_sessions, 0u);
+
+  std::size_t shard_items = 0;
+  for (std::size_t s = 0; s < service.shards(); ++s) {
+    shard_items += service.shard_stats(s).executed_items;
+  }
+  EXPECT_EQ(shard_items, stats.executed_items);
+}
+
 TEST(ServiceLiveTest, RejectsMalformedConfig) {
   const sdf::PipelineSpec spec = make_spec();
   ServiceConfig no_deadline = base_config();
@@ -255,7 +383,16 @@ TEST(ServiceLiveTest, RejectsMalformedConfig) {
                std::logic_error);
 
   // Stage arity must match the pipeline.
-  EXPECT_THROW(PipelineService(spec, {}, base_config()), std::logic_error);
+  EXPECT_THROW(PipelineService(spec, std::vector<runtime::StageFn>{},
+                               base_config()),
+               std::logic_error);
+
+  // Multi-shard construction needs a factory: stateful stages cannot be
+  // shared across shard workers.
+  ServiceConfig sharded = base_config();
+  sharded.shards = 2;
+  EXPECT_THROW(PipelineService(spec, synthetic_stages(spec), sharded),
+               std::logic_error);
 }
 
 }  // namespace

@@ -500,8 +500,11 @@ int cmd_serve(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
   config.initial_tau0 = cli.get_double("tau0");
   config.b = parse_b(cli.get_string("b"), pipeline.size());
   config.controller.replanner.headroom = cli.get_double("headroom");
+  config.shards = static_cast<std::size_t>(std::max(1LL, (long long)cli.get_int("shards")));
+  config.pin_workers = cli.get_flag("pin");
 
-  service::PipelineService svc(pipeline, service::synthetic_stages(pipeline),
+  service::PipelineService svc(pipeline,
+                               service::synthetic_stage_factory(pipeline),
                                config);
   svc.start();
 
@@ -546,6 +549,22 @@ int cmd_serve(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
             << "control: " << loop.replans << " replans over " << loop.ticks
             << " ticks, plan epoch " << stats.plan_epoch << ", tau0_est "
             << fmt(svc.controller().estimator().tau0(), 2) << "\n";
+  if (svc.shards() > 1) {
+    util::TextTable table({"shard", "sessions", "batches", "executed",
+                           "epoch", "depth", "watermark"});
+    for (std::size_t s = 0; s < svc.shards(); ++s) {
+      const service::ShardStats shard = svc.shard_stats(s);
+      table.add_row({std::to_string(s), std::to_string(shard.open_sessions),
+                     util::with_commas(shard.batches),
+                     util::with_commas(shard.executed_items),
+                     std::to_string(shard.plan_epoch),
+                     std::to_string(shard.queue_depth),
+                     shard.admitted_watermark == UINT64_MAX
+                         ? std::string("open")
+                         : std::to_string(shard.admitted_watermark)});
+    }
+    table.print(std::cout);
+  }
   return stats.executed_items == stats.accepted ? 0 : 1;
 }
 
@@ -591,6 +610,8 @@ int main(int argc, const char** argv) {
   cli.add_double("drift", 0.05, "replay: re-plan drift threshold");
   cli.add_int("cooldown", 1, "replay: ticks between re-solves");
   cli.add_int("producers", 2, "serve: producer threads");
+  cli.add_int("shards", 1, "serve: shard workers (sessions hash to a shard)");
+  cli.add_flag("pin", false, "serve: pin each shard worker to a core");
   cli.add_int("duration-ms", 200, "serve: wall-clock run time");
   cli.add_int("submit-batch", 8, "serve: items per submission");
   cli.add_int("submit-gap-us", 500, "serve: producer sleep between submissions");

@@ -91,6 +91,11 @@ int main(int argc, const char** argv) {
   // same rule the exporter's validate_span_nesting enforces pre-export.
   std::map<std::pair<double, double>, std::vector<OpenSpan>> lanes;
   std::map<std::string, SpanStats> spans;
+  // Per-lane span stats keyed by the lane's metadata label — this is how the
+  // sharded service's one-track-per-worker "service.batch" spans stay
+  // attributable to their shard ("service.shard0", "service.shard1", ...).
+  std::map<std::pair<std::string, std::string>, SpanStats> lane_spans;
+  std::map<std::pair<double, double>, std::string> lane_labels;
   std::map<std::string, InstantStats> instants;
   std::map<std::string, std::uint64_t> counters;
   std::uint64_t total_events = 0;
@@ -99,12 +104,24 @@ int main(int argc, const char** argv) {
 
   for (const util::JsonValue& event : events->as_array()) {
     const std::string ph = event.string_or("ph", "");
-    if (ph == "M") continue;  // metadata carries no timing
+    if (ph == "M") {  // metadata carries no timing, only lane labels
+      if (event.string_or("name", "") == "thread_name") {
+        const util::JsonValue* args = event.find("args");
+        const std::string label =
+            args == nullptr ? "" : args->string_or("name", "");
+        if (!label.empty()) {
+          lane_labels[{event.number_or("pid", 0.0),
+                       event.number_or("tid", 0.0)}] = label;
+        }
+      }
+      continue;
+    }
     ++total_events;
     const std::string name = event.string_or("name", "?");
     const double ts = event.number_or("ts", 0.0);
-    auto& lane = lanes[{event.number_or("pid", 0.0),
-                        event.number_or("tid", 0.0)}];
+    const std::pair<double, double> lane_key = {event.number_or("pid", 0.0),
+                                                event.number_or("tid", 0.0)};
+    auto& lane = lanes[lane_key];
     if (ph == "B" || ph == "E") {
       if (!obs::names::is_known_span(name)) unknown_names.insert(name);
     } else if (ph == "i") {
@@ -130,6 +147,13 @@ int main(int argc, const char** argv) {
       ++stats.count;
       stats.total += duration;
       stats.max = std::max(stats.max, duration);
+      auto label_it = lane_labels.find(lane_key);
+      if (label_it != lane_labels.end()) {
+        SpanStats& per_lane = lane_spans[{label_it->second, name}];
+        ++per_lane.count;
+        per_lane.total += duration;
+        per_lane.max = std::max(per_lane.max, duration);
+      }
       lane.pop_back();
     } else if (ph == "i") {
       const util::JsonValue* args = event.find("args");
@@ -167,6 +191,19 @@ int main(int argc, const char** argv) {
     for (const auto& [name, stats] : spans) {
       if (shown++ >= top) break;
       table.add_row({name, util::with_commas(stats.count), fmt(stats.total),
+                     fmt(stats.total / static_cast<double>(stats.count)),
+                     fmt(stats.max)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  if (!lane_spans.empty()) {
+    util::TextTable table({"lane", "span", "count", "total", "mean", "max"});
+    std::size_t shown = 0;
+    for (const auto& [key, stats] : lane_spans) {
+      if (shown++ >= top) break;
+      table.add_row({key.first, key.second, util::with_commas(stats.count),
+                     fmt(stats.total),
                      fmt(stats.total / static_cast<double>(stats.count)),
                      fmt(stats.max)});
     }
