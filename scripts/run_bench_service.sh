@@ -4,8 +4,10 @@
 # controller tick, the closed-loop drain cycle against the static-plan
 # baseline, and the sharded-ingest drain sweep (legacy per-session scan-merge
 # vs the MPSC ring at 1/2/4/8 shards). Prints the warm-start speedup, the
-# closed-loop steady-state overhead (bar: < 2%), and the drain-throughput
-# scaling curve (bar: >= 4x over the legacy single-worker drain at 8 shards).
+# closed-loop steady-state overhead (bar: < 2%), the drain-throughput
+# scaling curve (bar: >= 4x over the legacy single-worker drain at 8 shards),
+# and the loopback TCP ingest throughput through src/net's epoll front door
+# (bar: >= 1M items/s with the controller live).
 #
 # Usage: scripts/run_bench_service.sh [build-dir] [min-time]
 #   build-dir  defaults to ./build-bench (configured Release if missing —
@@ -101,6 +103,12 @@ if any(svc.values()):
 submit = rates.get("BM_SubmitSteady")
 if submit:
     print(f"submit fast path (coalesced wakeups): {submit / 1e6:.2f} M items/s")
+
+loopback = rates.get("BM_LoopbackIngest")
+if loopback:
+    bar = "PASS" if loopback >= 1e6 else "FAIL"
+    print(f"loopback TCP ingest (epoll front door, controller live): "
+          f"{loopback / 1e6:.2f} M items/s (bar: >= 1M items/s) [{bar}]")
 PY
 
 echo "Wrote ${REPO_ROOT}/BENCH_service.json"

@@ -59,6 +59,22 @@ ControlDecision Controller::tick() {
   return decision;
 }
 
+ControllerCheckpoint Controller::checkpoint() const {
+  ControllerCheckpoint state;
+  state.estimator = estimator_.checkpoint();
+  state.replanner = replanner_.checkpoint();
+  state.worst_latency = worst_latency_;
+  state.stats = stats_;
+  return state;
+}
+
+void Controller::restore(const ControllerCheckpoint& state) {
+  estimator_.restore(state.estimator);
+  replanner_.restore(state.replanner);
+  worst_latency_ = state.worst_latency;
+  stats_ = state.stats;
+}
+
 std::size_t Controller::admitted_sessions(std::size_t open_sessions) const {
   if (open_sessions == 0) return 0;
   const Cycles target =

@@ -57,6 +57,17 @@ struct ControllerStats {
   std::uint64_t slack_forced = 0;   ///< replans forced by the slack trigger
 };
 
+/// The controller's entire mutable state: restoring it and replaying the
+/// same observe_gap / observe_worst_latency / tick sequence reproduces the
+/// uninterrupted run's plans bit for bit. This is the unit the arrival
+/// journal (net/journal) snapshots and the kill-and-recover path restores.
+struct ControllerCheckpoint {
+  RateEstimatorCheckpoint estimator;
+  ReplannerCheckpoint replanner;
+  Cycles worst_latency = 0.0;  ///< pending worst latency since the last tick
+  ControllerStats stats;
+};
+
 class Controller {
  public:
   /// Throws std::logic_error when the deadline admits no feasible rate.
@@ -99,6 +110,14 @@ class Controller {
   const Replanner& replanner() const noexcept { return replanner_; }
   Cycles deadline() const noexcept { return replanner_.deadline(); }
   ControllerStats stats() const noexcept { return stats_; }
+
+  /// Snapshot the full controller state (worker thread, or quiescent).
+  ControllerCheckpoint checkpoint() const;
+  /// Rebuild from a checkpoint (worker thread, or before start). The
+  /// controller must have been constructed with the same pipeline, deadline,
+  /// and config as the one that produced the checkpoint — the checkpoint
+  /// carries state, not configuration.
+  void restore(const ControllerCheckpoint& state);
 
  private:
   ControllerConfig config_;

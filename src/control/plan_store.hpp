@@ -76,6 +76,16 @@ class PlanStore {
     return epoch_.load(std::memory_order_relaxed);
   }
 
+  /// Recovery path (net/journal): install a reconstructed plan and resume
+  /// the epoch sequence from it, so plans published after a crash-recovery
+  /// carry the same epochs an uninterrupted run would have stamped.
+  /// Single-writer, like publish.
+  void restore(PlanPtr plan) {
+    epoch_.store(plan->epoch, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = std::move(plan);
+  }
+
  private:
   mutable std::mutex mutex_;
   PlanPtr plan_;

@@ -12,14 +12,22 @@
 // Everything is deterministic: the same gap sequence produces bit-identical
 // estimates, which is what lets the closed-loop convergence tests compare
 // the controller against an offline oracle. The estimator is single-writer
-// (the service worker); readers go through the controller, which publishes
-// snapshots.
+// (the service worker). gap_quantile() is additionally safe to call from a
+// concurrent stats reader: the window is a circular array of atomic slots
+// (relaxed stores on the write side — a plain store on x86) published by a
+// release bump of the sample count, and the quantile copies the slots into a
+// local buffer before selecting. A racing reader may see a slot mid-rotation
+// — it reads either the old or the new gap, both real observations — so the
+// concurrent quantile is sane-but-approximate; quiescent reads (the tests,
+// the worker itself) are exact and bit-identical to the single-threaded
+// history. The EWMA/tau0 view stays worker-only, as before.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
-#include "util/ring_buffer.hpp"
 #include "util/types.hpp"
 
 namespace ripple::control {
@@ -27,11 +35,22 @@ namespace ripple::control {
 struct RateEstimatorConfig {
   /// EWMA weight per observed gap: tau <- (1-alpha)*tau + alpha*gap.
   double alpha = 0.05;
-  /// Gap window for quantiles (rounded up to a power of two by the ring).
+  /// Gap window for quantiles: exactly this many most-recent gaps are
+  /// retained (any positive size; no power-of-two rounding).
   std::size_t window = 256;
   /// Below this many observations the estimate stays pinned to the prior —
   /// a cold EWMA over two or three gaps is noise, not signal.
   std::size_t min_samples = 16;
+};
+
+/// Everything needed to rebuild an estimator bit-identically: the prior, the
+/// EWMA, the total observation count, and the retained window in logical
+/// (oldest-to-newest) order. Serialized into journal snapshots (net/journal).
+struct RateEstimatorCheckpoint {
+  Cycles prior = 0.0;
+  Cycles ewma = 0.0;
+  std::uint64_t samples = 0;
+  std::vector<Cycles> window;
 };
 
 class RateEstimator {
@@ -43,37 +62,55 @@ class RateEstimator {
   /// Observe one inter-arrival gap (> 0; non-positive gaps are clamped to a
   /// tiny epsilon so simultaneous arrivals cannot poison the estimate).
   /// Inline: the service worker calls this once per offered arrival, and the
-  /// call itself must stay negligible next to executing the item.
+  /// call itself must stay negligible next to executing the item. The slot
+  /// store is relaxed and the count bump is a release — both plain stores on
+  /// x86, so this costs the same as the old ring push.
   void observe_gap(Cycles gap) {
     if (!(gap > 0.0)) gap = 1e-9;  // simultaneous arrivals
     ewma_ = (1.0 - config_.alpha) * ewma_ + config_.alpha * gap;
-    if (window_.size() == config_.window) window_.discard_front(1);
-    window_.push_back(gap);
-    ++samples_;
+    window_[write_idx_].store(gap, std::memory_order_relaxed);
+    if (++write_idx_ == config_.window) write_idx_ = 0;
+    samples_.store(samples_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
   }
 
   /// Smoothed inter-arrival estimate tau0_hat (the prior until warm).
+  /// Worker-only, like observe_gap.
   Cycles tau0() const noexcept { return warm() ? ewma_ : prior_; }
-  /// Estimated arrival rate rho0_hat = 1 / tau0_hat.
+  /// Estimated arrival rate rho0_hat = 1 / tau0_hat. Worker-only.
   double rate() const noexcept { return 1.0 / tau0(); }
 
   /// q-quantile (q in [0, 1]) of the windowed gaps: the value v such that at
   /// least ceil(q * n) of the retained gaps are <= v. Returns the prior
-  /// while the window is empty. Deterministic given the same gap sequence.
+  /// while the window is empty. Deterministic given the same gap sequence
+  /// when quiescent; safe (approximate) against a concurrent observe_gap —
+  /// the snapshot is taken into a buffer local to the call.
   Cycles gap_quantile(double q) const;
 
-  std::uint64_t samples() const noexcept { return samples_; }
-  bool warm() const noexcept { return samples_ >= config_.min_samples; }
+  std::uint64_t samples() const noexcept {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  bool warm() const noexcept { return samples() >= config_.min_samples; }
 
   void reset(Cycles prior_tau0);
+
+  /// Snapshot the full estimator state (worker thread, or quiescent).
+  RateEstimatorCheckpoint checkpoint() const;
+  /// Rebuild from a checkpoint: the restored estimator is bit-identical to
+  /// one that observed the checkpointed history directly (same future
+  /// estimates, quantiles, and warm() transitions).
+  void restore(const RateEstimatorCheckpoint& state);
 
  private:
   RateEstimatorConfig config_;
   Cycles prior_ = 0.0;
   Cycles ewma_ = 0.0;
-  std::uint64_t samples_ = 0;
-  util::RingBuffer<Cycles> window_;
-  mutable std::vector<Cycles> scratch_;  ///< quantile sort buffer, reused
+  std::size_t write_idx_ = 0;  ///< next slot to overwrite (worker-only)
+  std::atomic<std::uint64_t> samples_{0};
+  /// Circular gap window. Slots are atomic so a stats reader polling
+  /// gap_quantile never races the worker's overwrites (each slot value is a
+  /// whole observation, never torn).
+  std::unique_ptr<std::atomic<Cycles>[]> window_;
 };
 
 }  // namespace ripple::control

@@ -87,6 +87,45 @@ ReplanOutcome Replanner::solve_and_publish(Cycles target, bool shedding) {
   return ReplanOutcome::kReplanned;
 }
 
+ReplannerCheckpoint Replanner::checkpoint() const {
+  ReplannerCheckpoint state;
+  state.ticks = ticks_;
+  state.last_replan_tick = last_replan_tick_;
+  state.replans = replans_;
+  state.solve_failures = solve_failures_;
+  const PlanPtr plan = store_.load();
+  state.plan_epoch = plan->epoch;
+  state.planned_tau0 = plan->planned_tau0;
+  state.plan_deadline = plan->deadline;
+  state.shedding = plan->shedding;
+  state.waits = plan->schedule.waits;
+  state.firing_intervals = plan->schedule.firing_intervals;
+  state.predicted_active_fraction = plan->schedule.predicted_active_fraction;
+  state.deadline_budget_used = plan->schedule.deadline_budget_used;
+  return state;
+}
+
+void Replanner::restore(const ReplannerCheckpoint& state) {
+  RIPPLE_REQUIRE(state.plan_epoch > 0, "checkpoint carries no published plan");
+  RIPPLE_REQUIRE(state.firing_intervals.size() ==
+                     strategy_.pipeline().size(),
+                 "checkpoint plan arity does not match this pipeline");
+  ticks_ = state.ticks;
+  last_replan_tick_ = state.last_replan_tick;
+  replans_ = state.replans;
+  solve_failures_ = state.solve_failures;
+  auto plan = std::make_shared<ActivePlan>();
+  plan->epoch = state.plan_epoch;
+  plan->planned_tau0 = state.planned_tau0;
+  plan->deadline = state.plan_deadline;
+  plan->shedding = state.shedding;
+  plan->schedule.waits = state.waits;
+  plan->schedule.firing_intervals = state.firing_intervals;
+  plan->schedule.predicted_active_fraction = state.predicted_active_fraction;
+  plan->schedule.deadline_budget_used = state.deadline_budget_used;
+  store_.restore(std::move(plan));
+}
+
 ReplanDecision Replanner::consider(Cycles tau0_hat, bool force) {
   ++ticks_;
   ReplanDecision decision;

@@ -65,6 +65,26 @@ struct ReplanDecision {
   PlanPtr plan;
 };
 
+/// The re-planner's full decision state plus the published plan, for journal
+/// snapshots (net/journal). The plan's KKT certificate is *not* captured —
+/// nothing downstream of publish reads it (warm starts use the firing
+/// intervals, hysteresis uses planned_tau0/shedding), so a restored plan has
+/// a default certificate until the next re-solve replaces it.
+struct ReplannerCheckpoint {
+  std::uint64_t ticks = 0;
+  std::uint64_t last_replan_tick = 0;
+  std::uint64_t replans = 0;
+  std::uint64_t solve_failures = 0;
+  std::uint64_t plan_epoch = 0;
+  Cycles planned_tau0 = 0.0;
+  Cycles plan_deadline = 0.0;
+  bool shedding = false;
+  std::vector<Cycles> waits;
+  std::vector<Cycles> firing_intervals;
+  double predicted_active_fraction = 1.0;
+  Cycles deadline_budget_used = 0.0;
+};
+
 class Replanner {
  public:
   /// Solves and publishes the initial plan at initial_tau0 (clamped to the
@@ -91,6 +111,12 @@ class Replanner {
 
   std::uint64_t replans() const noexcept { return replans_; }
   std::uint64_t solve_failures() const noexcept { return solve_failures_; }
+
+  /// Snapshot the decision state + published plan (worker thread).
+  ReplannerCheckpoint checkpoint() const;
+  /// Rebuild from a checkpoint: hysteresis counters and the published plan
+  /// (epoch included) continue exactly where the checkpointed run left off.
+  void restore(const ReplannerCheckpoint& state);
 
  private:
   /// Clamp headroom * tau0_hat to the feasibility floor; sets `shedding`.

@@ -1,0 +1,186 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace ripple::net {
+
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& crc_table() {
+  static const Crc32Table table;
+  return table;
+}
+
+bool known_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::kOpenSession) &&
+         type <= static_cast<std::uint8_t>(FrameType::kShed);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
+  const Crc32Table& table = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table.entries[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  put_u32(out, static_cast<std::uint32_t>(value));
+  put_u32(out, static_cast<std::uint32_t>(value >> 32));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::uint32_t get_u32(const std::uint8_t* data) {
+  return static_cast<std::uint32_t>(data[0]) |
+         static_cast<std::uint32_t>(data[1]) << 8 |
+         static_cast<std::uint32_t>(data[2]) << 16 |
+         static_cast<std::uint32_t>(data[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* data) {
+  return static_cast<std::uint64_t>(get_u32(data)) |
+         static_cast<std::uint64_t>(get_u32(data + 4)) << 32;
+}
+
+double get_f64(const std::uint8_t* data) {
+  const std::uint64_t bits = get_u64(data);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t len,
+                          std::size_t max_payload) {
+  DecodeResult result;
+  if (len < kFrameHeaderSize) {
+    result.status = DecodeStatus::kNeedMore;
+    return result;
+  }
+  if (get_u32(data) != kFrameMagic) {
+    result.status = DecodeStatus::kBadMagic;
+    return result;
+  }
+  if (data[4] != kFrameVersion) {
+    result.status = DecodeStatus::kBadVersion;
+    return result;
+  }
+  const std::uint8_t type = data[5];
+  if (!known_type(type)) {
+    result.status = DecodeStatus::kBadType;
+    return result;
+  }
+  if (data[6] != 0 || data[7] != 0) {
+    result.status = DecodeStatus::kBadFlags;
+    return result;
+  }
+  const std::uint32_t payload_len = get_u32(data + 8);
+  if (payload_len > max_payload) {
+    result.status = DecodeStatus::kBadLength;
+    return result;
+  }
+  if (len - kFrameHeaderSize < payload_len) {
+    result.status = DecodeStatus::kNeedMore;
+    return result;
+  }
+  const std::uint8_t* payload = data + kFrameHeaderSize;
+  if (crc32(payload, payload_len) != get_u32(data + 12)) {
+    result.status = DecodeStatus::kBadCrc;
+    return result;
+  }
+  result.status = DecodeStatus::kOk;
+  result.frame.type = static_cast<FrameType>(type);
+  result.frame.session = get_u64(data + 16);
+  result.frame.payload = payload;
+  result.frame.payload_len = payload_len;
+  result.consumed = kFrameHeaderSize + payload_len;
+  return result;
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint64_t session, const std::uint8_t* payload,
+                  std::size_t payload_len) {
+  out.reserve(out.size() + kFrameHeaderSize + payload_len);
+  put_u32(out, kFrameMagic);
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(0);
+  out.push_back(0);
+  put_u32(out, static_cast<std::uint32_t>(payload_len));
+  put_u32(out, crc32(payload, payload_len));
+  put_u64(out, session);
+  out.insert(out.end(), payload, payload + payload_len);
+}
+
+void append_control_frame(std::vector<std::uint8_t>& out, FrameType type,
+                          std::uint64_t session) {
+  append_frame(out, type, session, nullptr, 0);
+}
+
+void append_u64_frame(std::vector<std::uint8_t>& out, FrameType type,
+                      std::uint64_t session, std::uint64_t value) {
+  std::uint8_t payload[8];
+  for (int i = 0; i < 8; ++i) {
+    payload[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  append_frame(out, type, session, payload, sizeof(payload));
+}
+
+void append_item_batch(std::vector<std::uint8_t>& out, std::uint64_t session,
+                       const std::uint64_t* items, std::size_t count) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(4 + 8 * count);
+  put_u32(payload, static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) put_u64(payload, items[i]);
+  append_frame(out, FrameType::kItemBatch, session, payload.data(),
+               payload.size());
+}
+
+std::uint64_t ItemBatchView::item(std::uint32_t index) const {
+  return get_u64(items + std::size_t{8} * index);
+}
+
+bool parse_item_batch(const FrameView& frame, ItemBatchView& out) {
+  if (frame.type != FrameType::kItemBatch) return false;
+  if (frame.payload_len < 4) return false;
+  const std::uint32_t count = get_u32(frame.payload);
+  if (frame.payload_len != 4 + std::uint64_t{8} * count) return false;
+  out.items = frame.payload + 4;
+  out.count = count;
+  return true;
+}
+
+bool parse_u64_payload(const FrameView& frame, std::uint64_t& out) {
+  if (frame.payload_len != 8) return false;
+  out = get_u64(frame.payload);
+  return true;
+}
+
+}  // namespace ripple::net

@@ -1,0 +1,135 @@
+// ripple.frame.v1 — the versioned binary frame format of the ingest front
+// door (net/server.hpp) and, reusing the same CRC framing, of the arrival
+// journal (net/journal.hpp).
+//
+// Every frame is a fixed 24-byte little-endian header followed by an opaque
+// payload the header describes:
+//
+//   offset  size  field
+//        0     4  magic        0x46504952 — the bytes "RIPF" on the wire
+//        4     1  version      1
+//        5     1  type         FrameType
+//        6     2  flags        0 (reserved; non-zero rejected)
+//        8     4  payload_len  bytes following the header (bounded)
+//       12     4  payload_crc  CRC-32 (IEEE, reflected) of the payload
+//       16     8  session      wire session id (connection-scoped, client-
+//                              chosen; 0 for frames with no session)
+//
+// Frame types and payloads:
+//
+//   kOpenSession   client -> server   empty. Client picks the wire id.
+//   kSessionOpened server -> client   u64: server-side session id (ack).
+//   kCloseSession  client -> server   empty.
+//   kItemBatch     client -> server   u32 count + count x u64 item payloads.
+//   kBackpressure  server -> client   u64: items rejected by backpressure
+//                                     from the batch just submitted.
+//   kShed          server -> client   u64: items rejected because the
+//                                     session is currently shed by admission.
+//
+// Decoding is zero-copy: decode_frame() validates the header + CRC against
+// the caller's buffer and returns a FrameView pointing into it; the item
+// batch accessor reads u64s straight out of the payload bytes. The decoder
+// never reads past `len` and never allocates — malformed input yields a
+// DecodeStatus, not UB (pinned by the fuzz test in tests/test_net_frame.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ripple::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x46504952;  // "RIPF" on wire
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 24;
+/// Default payload bound: a frame larger than this is a protocol error, not
+/// a bigger allocation (1 MiB ~ 128k items per batch).
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 20;
+
+enum class FrameType : std::uint8_t {
+  kOpenSession = 1,
+  kSessionOpened = 2,
+  kCloseSession = 3,
+  kItemBatch = 4,
+  kBackpressure = 5,
+  kShed = 6,
+};
+
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kNeedMore,     ///< buffer ends mid-header or mid-payload: read more bytes
+  kBadMagic,     ///< not a ripple.frame stream (desync or garbage)
+  kBadVersion,   ///< version skew: only v1 is understood
+  kBadType,      ///< type outside the catalog
+  kBadFlags,     ///< reserved flags set
+  kBadLength,    ///< payload_len exceeds the configured bound
+  kBadCrc,       ///< payload corrupt in transit
+};
+
+/// A decoded frame, pointing into the caller's buffer (valid only while the
+/// buffer is).
+struct FrameView {
+  FrameType type = FrameType::kOpenSession;
+  std::uint64_t session = 0;
+  const std::uint8_t* payload = nullptr;
+  std::uint32_t payload_len = 0;
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  FrameView frame;           ///< valid iff status == kOk
+  std::size_t consumed = 0;  ///< bytes to advance past (0 unless kOk)
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) — the checksum of
+/// both the wire frames and the journal records.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+
+/// Decode one frame from the front of [data, data+len). Never reads past
+/// len. kNeedMore means the buffer holds a valid prefix; every other
+/// non-kOk status means the stream is unrecoverable at this position (the
+/// server closes the connection rather than resynchronizing).
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t len,
+                          std::size_t max_payload = kMaxFramePayload);
+
+/// Append one encoded frame (header + payload copy) to `out`.
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::uint64_t session, const std::uint8_t* payload,
+                  std::size_t payload_len);
+
+/// Append a payload-less frame (open/close session).
+void append_control_frame(std::vector<std::uint8_t>& out, FrameType type,
+                          std::uint64_t session);
+
+/// Append a frame whose payload is a single u64 (session-opened ack,
+/// backpressure and shed notifications).
+void append_u64_frame(std::vector<std::uint8_t>& out, FrameType type,
+                      std::uint64_t session, std::uint64_t value);
+
+/// Append a kItemBatch frame: u32 count + count x u64.
+void append_item_batch(std::vector<std::uint8_t>& out, std::uint64_t session,
+                       const std::uint64_t* items, std::size_t count);
+
+/// Zero-copy view over a kItemBatch payload.
+struct ItemBatchView {
+  const std::uint8_t* items = nullptr;  ///< count x u64, little-endian
+  std::uint32_t count = 0;
+  std::uint64_t item(std::uint32_t index) const;
+};
+
+/// Validate and view a kItemBatch payload (count consistent with the
+/// payload length). Returns false on structural mismatch.
+bool parse_item_batch(const FrameView& frame, ItemBatchView& out);
+
+/// Extract the u64 payload of an ack/notification frame.
+bool parse_u64_payload(const FrameView& frame, std::uint64_t& out);
+
+// Little-endian scalar helpers, shared with the journal's record codec.
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value);
+void put_f64(std::vector<std::uint8_t>& out, double value);
+std::uint32_t get_u32(const std::uint8_t* data);
+std::uint64_t get_u64(const std::uint8_t* data);
+double get_f64(const std::uint8_t* data);
+
+}  // namespace ripple::net

@@ -1,0 +1,497 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <any>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+
+#if RIPPLE_OBS
+#include "obs/obs.hpp"
+#endif
+
+namespace ripple::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  RIPPLE_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                 "fcntl(O_NONBLOCK) failed");
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("net: bad IPv4 address: " + host);
+  }
+  return addr;
+}
+
+#if RIPPLE_OBS
+void emit_instant(const char* name) {
+  obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+  if (trace.active()) {
+    trace.instant(obs::Domain::kHost, trace.track(), name,
+                  obs::TraceSession::global().host_now_us(), 0.0);
+  }
+}
+#endif
+
+}  // namespace
+
+IngestServer::IngestServer(service::PipelineService& service,
+                           ServerConfig config)
+    : service_(service), config_(std::move(config)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("net: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(config_.bind_address, config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("net: bind failed: ") +
+                             std::strerror(err));
+  }
+  if (::listen(listen_fd_, config_.listen_backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("net: listen failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    throw std::runtime_error("net: epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+IngestServer::~IngestServer() {
+  stop();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void IngestServer::start() {
+  if (running_) return;
+  stop_requested_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { loop(); });
+  running_ = true;
+}
+
+void IngestServer::stop() {
+  if (!running_) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  thread_.join();
+  running_ = false;
+  // Close every surviving connection (and its sessions) on the caller's
+  // thread — the loop has exited, so the maps are no longer shared.
+  while (!connections_.empty()) close_connection(connections_.begin()->first);
+}
+
+ServerStats IngestServer::stats() const {
+  ServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_closed =
+      connections_closed_.load(std::memory_order_relaxed);
+  stats.frames_in = frames_in_.load(std::memory_order_relaxed);
+  stats.items_in = items_in_.load(std::memory_order_relaxed);
+  stats.items_rejected = items_rejected_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void IngestServer::loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll set gone; nothing sane to do but exit
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) continue;  // stop flag re-checked by the loop
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this wake
+      Connection& conn = *it->second;
+      bool alive = true;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) alive = false;
+      if (alive && (events[i].events & EPOLLIN)) alive = read_ready(conn);
+      if (alive && (events[i].events & EPOLLOUT)) alive = write_ready(conn);
+      if (!alive) close_connection(fd);
+    }
+  }
+}
+
+void IngestServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for the next wake
+    set_nonblocking(fd);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    connections_.emplace(fd, std::move(conn));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+#if RIPPLE_OBS
+    if (obs::enabled()) emit_instant("net.conn.open");
+#endif
+  }
+}
+
+bool IngestServer::read_ready(Connection& conn) {
+  // Drain the socket first, then decode: an orderly EOF (half-close) must
+  // still process every frame that arrived with it before the connection
+  // goes down, or a send-and-shutdown client loses its tail. The read loop
+  // stops (without disconnecting) once max_buffered_bytes are pending — a
+  // fast streamer on a big loopback socket buffer is legitimate load, and
+  // pacing here is what turns the cap into flow control: level-triggered
+  // epoll re-delivers EPOLLIN for whatever stayed in the kernel queue.
+  bool eof = false;
+  char chunk[64 * 1024];
+  while (conn.in.size() - conn.in_consumed < config_.max_buffered_bytes) {
+    const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.in.insert(conn.in.end(), chunk, chunk + n);
+  }
+  // Decode every complete frame in the buffer.
+  while (true) {
+    const DecodeResult result =
+        decode_frame(conn.in.data() + conn.in_consumed,
+                     conn.in.size() - conn.in_consumed,
+                     config_.max_frame_payload);
+    if (result.status == DecodeStatus::kNeedMore) break;
+    if (result.status != DecodeStatus::kOk) {
+      protocol_error(conn);
+      return false;
+    }
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    if (!handle_frame(conn, result.frame)) {
+      protocol_error(conn);
+      return false;
+    }
+    conn.in_consumed += result.consumed;
+  }
+  if (conn.in_consumed == conn.in.size()) {
+    conn.in.clear();
+    conn.in_consumed = 0;
+  } else if (conn.in_consumed > (std::size_t{1} << 16)) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(
+                                        conn.in_consumed));
+    conn.in_consumed = 0;
+  }
+  // Undecodable residue at the cap means a frame the decoder can never
+  // complete within max_buffered_bytes — unreachable while max_frame_payload
+  // fits under the cap (decode_frame rejects bigger claims as kBadLength),
+  // kept as a defensive bound against misconfiguration.
+  if (conn.in.size() - conn.in_consumed >= config_.max_buffered_bytes) {
+    protocol_error(conn);
+    return false;
+  }
+  return !eof;
+}
+
+bool IngestServer::handle_frame(Connection& conn, const FrameView& frame) {
+  switch (frame.type) {
+    case FrameType::kOpenSession: {
+      if (frame.payload_len != 0) return false;
+      if (conn.sessions.count(frame.session)) return false;  // duplicate wire id
+      const service::SessionId id = service_.open_session();
+      conn.sessions.emplace(frame.session, id);
+      std::vector<std::uint8_t> ack;
+      append_u64_frame(ack, FrameType::kSessionOpened, frame.session, id);
+      return queue_output(conn, std::move(ack));
+    }
+    case FrameType::kCloseSession: {
+      if (frame.payload_len != 0) return false;
+      auto it = conn.sessions.find(frame.session);
+      if (it == conn.sessions.end()) return false;
+      service_.close_session(it->second);
+      conn.sessions.erase(it);
+      return true;
+    }
+    case FrameType::kItemBatch: {
+      ItemBatchView batch;
+      if (!parse_item_batch(frame, batch)) return false;
+      auto it = conn.sessions.find(frame.session);
+      if (it == conn.sessions.end()) return false;
+      std::vector<runtime::Item> items;
+      items.reserve(batch.count);
+      for (std::uint32_t i = 0; i < batch.count; ++i) {
+        items.emplace_back(std::in_place_type<std::uint64_t>, batch.item(i));
+      }
+      const service::SubmitOutcome outcome =
+          service_.submit(it->second, std::move(items));
+      items_in_.fetch_add(outcome.accepted, std::memory_order_relaxed);
+      if (outcome.rejected_backpressure > 0 || outcome.shed > 0) {
+        items_rejected_.fetch_add(outcome.rejected_backpressure + outcome.shed,
+                                  std::memory_order_relaxed);
+        std::vector<std::uint8_t> reply;
+        if (outcome.rejected_backpressure > 0) {
+          append_u64_frame(reply, FrameType::kBackpressure, frame.session,
+                           outcome.rejected_backpressure);
+        }
+        if (outcome.shed > 0) {
+          append_u64_frame(reply, FrameType::kShed, frame.session,
+                           outcome.shed);
+        }
+        return queue_output(conn, std::move(reply));
+      }
+      return true;
+    }
+    case FrameType::kSessionOpened:
+    case FrameType::kBackpressure:
+    case FrameType::kShed:
+      return false;  // server->client types are invalid from a client
+  }
+  return false;
+}
+
+bool IngestServer::queue_output(Connection& conn,
+                                std::vector<std::uint8_t> bytes) {
+  if (conn.out.empty()) {
+    conn.out = std::move(bytes);
+    conn.out_sent = 0;
+  } else {
+    conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+  }
+  // Optimistic immediate flush; leftovers arm EPOLLOUT.
+  write_ready(conn);
+  update_interest(conn);
+  // A client that stops reading its notifications cannot pin server memory:
+  // past the backlog bound the connection goes down instead of the buffer up.
+  return conn.out.size() - conn.out_sent <= config_.max_buffered_bytes;
+}
+
+bool IngestServer::write_ready(Connection& conn) {
+  while (conn.out_sent < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_sent,
+                             conn.out.size() - conn.out_sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.out_sent += static_cast<std::size_t>(n);
+  }
+  if (conn.out_sent == conn.out.size()) {
+    conn.out.clear();
+    conn.out_sent = 0;
+  }
+  update_interest(conn);
+  return true;
+}
+
+void IngestServer::update_interest(Connection& conn) {
+  const bool want_write = conn.out_sent < conn.out.size();
+  if (want_write == conn.want_write) return;
+  conn.want_write = want_write;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void IngestServer::close_connection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  for (const auto& [wire_id, session_id] : it->second->sessions) {
+    service_.close_session(session_id);
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+#if RIPPLE_OBS
+  if (obs::enabled()) emit_instant("net.conn.close");
+#endif
+}
+
+void IngestServer::protocol_error(Connection& conn) {
+  (void)conn;
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+#if RIPPLE_OBS
+  if (obs::enabled()) {
+    emit_instant("net.protocol_error");
+    obs::Registry::global().counter("net.protocol_errors")->increment();
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// IngestClient
+// ---------------------------------------------------------------------------
+
+IngestClient::IngestClient(const std::string& host, std::uint16_t port,
+                           std::size_t max_frame_payload)
+    : max_frame_payload_(max_frame_payload) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("net: client socket() failed");
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(std::string("net: connect failed: ") +
+                             std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+IngestClient::~IngestClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void IngestClient::send_all(const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("net: client send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::uint64_t IngestClient::open_session(std::uint64_t wire_id) {
+  scratch_.clear();
+  append_control_frame(scratch_, FrameType::kOpenSession, wire_id);
+  send_all(scratch_.data(), scratch_.size());
+  saw_open_ack_ = false;
+  while (!saw_open_ack_) {
+    if (!pump(/*blocking=*/true)) {
+      throw std::runtime_error("net: server closed before session ack");
+    }
+  }
+  return last_ack_payload_;
+}
+
+void IngestClient::send_items(std::uint64_t wire_id,
+                              const std::uint64_t* items, std::size_t count) {
+  scratch_.clear();
+  append_item_batch(scratch_, wire_id, items, count);
+  send_all(scratch_.data(), scratch_.size());
+}
+
+void IngestClient::close_session(std::uint64_t wire_id) {
+  scratch_.clear();
+  append_control_frame(scratch_, FrameType::kCloseSession, wire_id);
+  send_all(scratch_.data(), scratch_.size());
+}
+
+void IngestClient::poll_notifications() { pump(/*blocking=*/false); }
+
+void IngestClient::finish() {
+  ::shutdown(fd_, SHUT_WR);
+  while (pump(/*blocking=*/true)) {
+  }
+}
+
+bool IngestClient::pump(bool blocking) {
+  while (true) {
+    // Drain whatever is already decodable.
+    bool decoded = false;
+    while (true) {
+      const DecodeResult result =
+          decode_frame(in_.data() + in_consumed_, in_.size() - in_consumed_,
+                       max_frame_payload_);
+      if (result.status == DecodeStatus::kNeedMore) break;
+      if (result.status != DecodeStatus::kOk || !handle_frame(result.frame)) {
+        throw std::runtime_error("net: client received malformed frame");
+      }
+      in_consumed_ += result.consumed;
+      decoded = true;
+    }
+    if (in_consumed_ == in_.size()) {
+      in_.clear();
+      in_consumed_ = 0;
+    }
+    if (decoded) return true;  // made progress; caller re-checks its state
+    char chunk[16 * 1024];
+    const int flags = blocking ? 0 : MSG_DONTWAIT;
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), flags);
+    if (n == 0) return false;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (!blocking && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      throw std::runtime_error("net: client recv failed");
+    }
+    in_.insert(in_.end(), chunk, chunk + n);
+  }
+}
+
+bool IngestClient::handle_frame(const FrameView& frame) {
+  std::uint64_t value = 0;
+  switch (frame.type) {
+    case FrameType::kSessionOpened:
+      if (!parse_u64_payload(frame, value)) return false;
+      saw_open_ack_ = true;
+      last_ack_payload_ = value;
+      return true;
+    case FrameType::kBackpressure:
+      if (!parse_u64_payload(frame, value)) return false;
+      backpressure_ += value;
+      return true;
+    case FrameType::kShed:
+      if (!parse_u64_payload(frame, value)) return false;
+      shed_ += value;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ripple::net

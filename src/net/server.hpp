@@ -1,0 +1,187 @@
+// Network ingest front door: a single-threaded non-blocking epoll loop that
+// accepts TCP connections speaking ripple.frame.v1 (net/frame.hpp) and feeds
+// their item batches straight into PipelineService::submit — i.e. into the
+// per-shard lock-free MPSC ingest rings — with the service's backpressure
+// and shedding decisions surfaced back to each client as frames.
+//
+// Protocol, per connection:
+//
+//   client                         server
+//   ------                        -------
+//   kOpenSession (wire id W)  ->   service.open_session() => S
+//                             <-   kSessionOpened (session=W, payload=S)
+//   kItemBatch  (session=W)   ->   service.submit(S, items)
+//                             <-   kBackpressure (payload = rejected count),
+//                                  only when submit rejected items
+//                             <-   kShed (payload = shed count), only when
+//                                  admission is currently shedding W
+//   kCloseSession (W)         ->   service.close_session(S)
+//
+// Wire session ids are connection-scoped and client-chosen; the server keeps
+// the W -> S map per connection and closes every still-open session when the
+// connection drops, so a vanished client cannot pin admission state.
+//
+// Any malformed frame — bad magic, unknown version or type, reserved flags,
+// oversized payload, CRC mismatch, or a server->client type arriving from a
+// client — is a protocol error: the connection is closed immediately (no
+// resynchronization; the stream is byte-framed, so after one bad header
+// nothing downstream can be trusted). Errors are counted and visible as the
+// net.protocol_error trace instant.
+//
+// Threading: one server thread owns the epoll set, every connection buffer,
+// and the session maps; it is a *producer* from the service's point of view
+// and only calls the any-thread session API. stop() wakes the loop via an
+// eventfd and joins. The loop never blocks on a socket: reads drain until
+// EAGAIN, writes buffer and flush under EPOLLOUT.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "service/service.hpp"
+
+namespace ripple::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  std::size_t max_frame_payload = std::size_t{1} << 20;
+  /// Per-connection buffer cap, both directions. Inbound it paces reading —
+  /// the reader stops pulling from the kernel queue at this bound and lets
+  /// level-triggered epoll re-deliver once frames have been decoded (TCP
+  /// flow control then paces the sender; a fast client is load, not an
+  /// error). Outbound it is a disconnect bound: a client that stops reading
+  /// its notifications is closed rather than pinning server memory.
+  std::size_t max_buffered_bytes = std::size_t{8} << 20;
+  int listen_backlog = 64;
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t items_in = 0;      ///< items accepted by the service
+  std::uint64_t items_rejected = 0;  ///< backpressure + shed, surfaced as frames
+  std::uint64_t protocol_errors = 0;
+};
+
+class IngestServer {
+ public:
+  /// Binds and listens immediately (so port() is valid before start());
+  /// throws std::runtime_error when the socket cannot be bound. The service
+  /// must outlive the server.
+  IngestServer(service::PipelineService& service, ServerConfig config);
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// Spawn the epoll loop thread. No-op when already running.
+  void start();
+  /// Wake the loop, close every connection (closing their sessions), join.
+  /// Idempotent.
+  void stop();
+
+  /// The bound port (resolves port 0 to the kernel's choice).
+  std::uint16_t port() const noexcept { return port_; }
+  ServerStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::vector<std::uint8_t> in;    ///< unparsed inbound bytes
+    std::size_t in_consumed = 0;     ///< decoded prefix of `in`
+    std::vector<std::uint8_t> out;   ///< unsent outbound bytes
+    std::size_t out_sent = 0;
+    bool want_write = false;         ///< EPOLLOUT currently armed
+    std::map<std::uint64_t, service::SessionId> sessions;  ///< wire -> service
+  };
+
+  void loop();
+  void accept_ready();
+  /// Returns false when the connection must be closed.
+  bool read_ready(Connection& conn);
+  bool write_ready(Connection& conn);
+  bool handle_frame(Connection& conn, const FrameView& frame);
+  /// Returns false when the out backlog exceeded max_buffered_bytes.
+  bool queue_output(Connection& conn, std::vector<std::uint8_t> bytes);
+  void update_interest(Connection& conn);
+  void close_connection(int fd);
+  void protocol_error(Connection& conn);
+
+  service::PipelineService& service_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  bool running_ = false;
+  std::atomic<bool> stop_requested_{false};
+
+  std::map<int, std::unique_ptr<Connection>> connections_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_closed_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> items_in_{0};
+  std::atomic<std::uint64_t> items_rejected_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+/// Blocking loopback client for tests, the bench, and the CLI's producer
+/// threads: connects, opens wire sessions, streams item batches, and tallies
+/// the server's backpressure/shed notification frames. Single-threaded use
+/// only.
+class IngestClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  IngestClient(const std::string& host, std::uint16_t port,
+               std::size_t max_frame_payload = std::size_t{1} << 20);
+  ~IngestClient();
+
+  IngestClient(const IngestClient&) = delete;
+  IngestClient& operator=(const IngestClient&) = delete;
+
+  /// Open a wire session and block until the server acks it. Returns the
+  /// server-side session id from the ack.
+  std::uint64_t open_session(std::uint64_t wire_id);
+  /// Send one item batch (blocking write — a slow server paces the caller
+  /// through TCP flow control, which is the loopback bench's rate limiter).
+  void send_items(std::uint64_t wire_id, const std::uint64_t* items,
+                  std::size_t count);
+  void close_session(std::uint64_t wire_id);
+  /// Drain any notification frames the server has sent without blocking.
+  void poll_notifications();
+  /// Shut down the write side and consume frames until the server closes —
+  /// after this, every notification for every sent batch has been tallied.
+  void finish();
+
+  std::uint64_t backpressure_items() const noexcept { return backpressure_; }
+  std::uint64_t shed_items() const noexcept { return shed_; }
+
+ private:
+  void send_all(const std::uint8_t* data, std::size_t len);
+  /// Read until at least one frame is decodable (or the peer closes when
+  /// `until_eof`); dispatches notification tallies. Returns false on EOF.
+  bool pump(bool blocking);
+  bool handle_frame(const FrameView& frame);
+
+  int fd_ = -1;
+  std::size_t max_frame_payload_;
+  std::vector<std::uint8_t> in_;
+  std::size_t in_consumed_ = 0;
+  std::vector<std::uint8_t> scratch_;
+  std::uint64_t backpressure_ = 0;
+  std::uint64_t shed_ = 0;
+  bool saw_open_ack_ = false;
+  std::uint64_t last_ack_payload_ = 0;
+};
+
+}  // namespace ripple::net

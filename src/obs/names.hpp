@@ -26,6 +26,8 @@ inline constexpr std::string_view kSpanNames[] = {
     "tile",           // sweep: one traversal tile (host domain)
     "service.batch",  // service worker: one ingest batch execution (host)
     "control.replan", // controller: one enforced-waits re-solve (host)
+    "journal.commit", // arrival journal: one group-commit write (host)
+    "journal.snapshot", // arrival journal: one controller snapshot (host)
 };
 
 // Instant names ("i").
@@ -33,6 +35,9 @@ inline constexpr std::string_view kInstantNames[] = {
     "empty_firing",   // sim/runtime: a vacuous firing (value = service time)
     "deadline_miss",  // sim/runtime: a late root input (value = slack, < 0)
     "control.shed",   // service worker: this tick is shedding (admission cut)
+    "net.conn.open",  // ingest server: accepted a client connection
+    "net.conn.close", // ingest server: closed a client connection
+    "net.protocol_error",  // ingest server: malformed frame, connection dropped
 };
 
 // Counter-track names ("C").

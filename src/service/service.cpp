@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <any>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
@@ -121,6 +122,7 @@ SessionId PipelineService::open_session() {
     shard.sessions.emplace(id, std::move(session));
   }
   shard.open_count.fetch_add(1, std::memory_order_relaxed);
+  if (ingest_observer_ != nullptr) ingest_observer_->on_session_open(id);
   return id;
 }
 
@@ -133,6 +135,7 @@ bool PipelineService::close_session(SessionId id) {
     it->second->open = false;
   }
   shard.open_count.fetch_sub(1, std::memory_order_relaxed);
+  if (ingest_observer_ != nullptr) ingest_observer_->on_session_close(id);
   return true;
 }
 
@@ -287,6 +290,17 @@ void PipelineService::worker_loop(Shard& shard) {
   }
 }
 
+void PipelineService::set_ingest_observer(IngestObserver* observer) {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  RIPPLE_REQUIRE(!running_,
+                 "set_ingest_observer while the workers are running");
+  RIPPLE_REQUIRE(observer == nullptr || shards_.size() == 1,
+                 "the ingest observer requires shards == 1 — drain records "
+                 "carry no shard identity, so multi-shard journals would not "
+                 "replay deterministically");
+  ingest_observer_ = observer;
+}
+
 std::size_t PipelineService::drain_once() {
   {
     std::lock_guard<std::mutex> lock(lifecycle_mutex_);
@@ -342,6 +356,28 @@ std::size_t PipelineService::drain_shard(Shard& shard) {
     }
   }
 #endif
+
+  // Journal the drain before any controller mutation: the observer sees the
+  // admitted batch in executed order plus the raw shed timestamps, and the
+  // controller state at this call is exactly "all prior records applied" —
+  // the snapshot boundary the recovery path relies on.
+  if (ingest_observer_ != nullptr) {
+    shard.observer_scratch.clear();
+    shard.observer_scratch.reserve(shard.drain_scratch.size());
+    for (const Pending& pending : shard.drain_scratch) {
+      ArrivalRecord record;
+      record.session = pending.session->open_seq;
+      record.seq = pending.seq;
+      record.arrival = pending.arrival;
+      if (const auto* value =
+              std::any_cast<std::uint64_t>(&pending.item)) {
+        record.payload = *value;
+        record.has_payload = true;
+      }
+      shard.observer_scratch.push_back(record);
+    }
+    ingest_observer_->on_drain(shard.observer_scratch, shed_times);
+  }
 
   // Feed the controller the *offered* stream's inter-arrival gaps: admitted
   // arrivals merged with the timestamps of shed submissions. Estimating from
@@ -449,6 +485,9 @@ void PipelineService::execute_batch(Shard& shard,
     shard.controller.observe_worst_latency(worst);
     shard.worst_latency_interval =
         std::max(shard.worst_latency_interval, worst);
+    if (ingest_observer_ != nullptr) {
+      ingest_observer_->on_batch_latency(worst);
+    }
   }
 }
 

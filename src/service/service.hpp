@@ -78,6 +78,41 @@ using SessionId = std::uint64_t;
 using StageFactory =
     std::function<std::vector<runtime::StageFn>(std::size_t shard)>;
 
+/// One admitted arrival as the shard worker drains it, in executed order.
+struct ArrivalRecord {
+  std::uint64_t session = 0;  ///< owning session's id (== its open_seq)
+  std::uint64_t seq = 0;      ///< global submit sequence (drain tie-break)
+  Cycles arrival = 0.0;       ///< virtual-cycle arrival stamp
+  std::uint64_t payload = 0;  ///< the item payload when it is a uint64
+  bool has_payload = false;   ///< false for non-uint64 item types
+};
+
+/// Hook onto the admitted ingest stream — the attachment point for the
+/// arrival journal (net/journal.hpp). Calls mirror exactly the sequence of
+/// controller mutations the drain loop performs, which is what makes a
+/// journal replay bit-identical:
+///
+///   on_drain(admitted, shed)  — once per non-empty drain, *before* the
+///       worker feeds the merged gap stream to the controller and ticks it.
+///       `admitted` is the drained batch in executed (arrival, seq) order;
+///       `shed` is the raw shed-arrival timestamps swapped out this drain.
+///   on_batch_latency(worst)   — after each executed batch that produced
+///       sink outputs, in execution order (these feed the *next* tick).
+///   on_session_open/close     — admission bookkeeping (any thread).
+///
+/// Threading: on_drain/on_batch_latency come from the shard worker (or the
+/// drain_once caller); on_session_open/close from whatever thread opens or
+/// closes the session. The observer synchronizes internally.
+class IngestObserver {
+ public:
+  virtual ~IngestObserver() = default;
+  virtual void on_session_open(SessionId id) = 0;
+  virtual void on_session_close(SessionId id) = 0;
+  virtual void on_drain(const std::vector<ArrivalRecord>& admitted,
+                        const std::vector<Cycles>& shed_arrivals) = 0;
+  virtual void on_batch_latency(Cycles worst) = 0;
+};
+
 struct ServiceConfig {
   Cycles deadline = 0.0;       ///< end-to-end deadline D (> 0 required)
   Cycles initial_tau0 = 0.0;   ///< prior inter-arrival estimate (> 0)
@@ -165,6 +200,13 @@ class PipelineService {
   /// admitted sessions accept up to the session's free in-flight capacity
   /// (and the shard ring's free space) and reject the rest as backpressure.
   /// Throws std::logic_error on an unknown session.
+  ///
+  /// Teardown semantics (pinned by ServiceLiveTest.SubmitDuringAndAfterStop):
+  /// submit never fails just because the workers are stopping or stopped.
+  /// Items accepted while stop() runs are either executed by the worker's
+  /// final drain or stay queued; items accepted after stop() stay queued and
+  /// execute on the next start() or drain_once(). Accepted-item conservation
+  /// (executed + still-queued == accepted) holds across the race.
   SubmitOutcome submit(SessionId id, std::vector<runtime::Item> items);
 
   // --- lifecycle ----------------------------------------------------------
@@ -181,6 +223,13 @@ class PipelineService {
   /// running. Returns the number of items executed.
   std::size_t drain_once();
 
+  /// Attach an ingest observer (the arrival journal). Non-owning; the
+  /// observer must outlive the service or be detached (nullptr) first.
+  /// Requires shards == 1 — the journal's drain records carry no shard
+  /// identity, so interleaved multi-shard drains would not replay
+  /// deterministically — and must not be changed while workers run.
+  void set_ingest_observer(IngestObserver* observer);
+
   // --- introspection ------------------------------------------------------
 
   ServiceStats stats() const;
@@ -196,8 +245,9 @@ class PipelineService {
   control::PlanPtr plan(std::size_t shard) const;
   /// Shard 0's controller, for the unsharded tests/CLI. The controller is
   /// written by its shard worker; read it only when the workers are stopped
-  /// (tests) — the plan()/epoch() accessors are the exception and are
-  /// always safe.
+  /// (tests) — the plan()/epoch() accessors and the estimator's
+  /// gap_quantile() (atomic-slot window) are the exceptions and are always
+  /// safe against a running worker.
   const control::Controller& controller() const { return controller(0); }
   const control::Controller& controller(std::size_t shard) const;
   const sdf::PipelineSpec& pipeline() const { return pipeline_; }
@@ -255,6 +305,7 @@ class PipelineService {
 
     std::vector<Pending> drain_scratch;  ///< worker-only batch buffer
     std::vector<Pending> batch_scratch;  ///< worker-only executor slice
+    std::vector<ArrivalRecord> observer_scratch;  ///< worker-only, journal
   };
 
   Cycles now() const;
@@ -272,6 +323,7 @@ class PipelineService {
   ServiceConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   control::AdmissionLedger ledger_;
+  IngestObserver* ingest_observer_ = nullptr;
 
   std::atomic<std::uint64_t> next_session_seq_{0};
   std::atomic<std::uint64_t> submit_seq_{0};

@@ -34,8 +34,12 @@ namespace ripple::util {
 template <typename T>
 class MpscQueue {
  public:
-  /// Capacity is rounded up to a power of two (minimum 8).
+  /// Capacity is rounded up to a power of two (minimum 8, maximum 2^32 —
+  /// a ring bigger than that is a configuration error, and the unchecked
+  /// doubling loop would overflow to zero and spin forever past 2^63).
   explicit MpscQueue(std::size_t capacity) {
+    RIPPLE_REQUIRE(capacity <= kMaxCapacity,
+                   "MpscQueue capacity exceeds the 2^32 ring bound");
     std::size_t rounded = kMinCapacity;
     while (rounded < capacity) rounded *= 2;
     cells_ = std::make_unique<Cell[]>(rounded);
@@ -50,7 +54,11 @@ class MpscQueue {
 
   std::size_t capacity() const noexcept { return mask_ + 1; }
 
-  /// Racy-but-monotone occupancy estimate (any thread): exact when quiescent.
+  /// Racy occupancy estimate (any thread): exact when quiescent. Both loads
+  /// are relaxed and unordered, so a reader racing the consumer can observe
+  /// head ahead of tail; that underflow is clamped to zero rather than
+  /// wrapping — the estimate may jitter downward transiently, it is *not*
+  /// monotone between concurrent reads.
   std::size_t approx_size() const noexcept {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     const std::size_t head = head_.load(std::memory_order_relaxed);
@@ -113,6 +121,7 @@ class MpscQueue {
 
  private:
   static constexpr std::size_t kMinCapacity = 8;
+  static constexpr std::size_t kMaxCapacity = std::size_t{1} << 32;
 
   struct Cell {
     std::atomic<std::size_t> stamp{0};

@@ -96,6 +96,89 @@ TEST(RateEstimatorTest, ResetRestoresPrior) {
   EXPECT_DOUBLE_EQ(estimator.gap_quantile(0.5), 75.0);
 }
 
+TEST(RateEstimatorTest, CheckpointRestoreContinuesBitIdentically) {
+  RateEstimatorConfig config;
+  config.window = 13;  // non-power-of-two: exercises the modular rotation
+  config.min_samples = 5;
+  RateEstimator live(42.0, config);
+  // Enough gaps to wrap the window more than twice, so the checkpoint must
+  // capture mid-rotation state, not just a fresh prefix.
+  for (int i = 1; i <= 31; ++i) {
+    live.observe_gap(static_cast<Cycles>(3 + (i * 7) % 11));
+  }
+
+  const RateEstimatorCheckpoint state = live.checkpoint();
+  EXPECT_EQ(state.samples, 31u);
+  EXPECT_EQ(state.window.size(), 13u);
+
+  RateEstimator restored(999.0, config);  // different prior: must be replaced
+  restored.restore(state);
+  EXPECT_DOUBLE_EQ(restored.tau0(), live.tau0());
+  EXPECT_EQ(restored.samples(), live.samples());
+  EXPECT_EQ(restored.warm(), live.warm());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    ASSERT_DOUBLE_EQ(restored.gap_quantile(q), live.gap_quantile(q)) << q;
+  }
+
+  // The futures diverge from identical state: feeding both the same tail
+  // keeps them bit-identical (same EWMA, same slot rotation).
+  const Cycles tail[] = {2.5, 80.0, 14.0, 1.0, 33.0};
+  for (int round = 0; round < 40; ++round) {
+    for (const Cycles gap : tail) {
+      live.observe_gap(gap);
+      restored.observe_gap(gap);
+      ASSERT_DOUBLE_EQ(restored.tau0(), live.tau0());
+      ASSERT_DOUBLE_EQ(restored.gap_quantile(0.75), live.gap_quantile(0.75));
+    }
+  }
+}
+
+TEST(RateEstimatorTest, CheckpointRestoreBeforeWindowFills) {
+  RateEstimatorConfig config;
+  config.window = 16;
+  config.min_samples = 8;
+  RateEstimator live(50.0, config);
+  for (int i = 0; i < 5; ++i) live.observe_gap(10.0 + i);
+
+  const RateEstimatorCheckpoint state = live.checkpoint();
+  EXPECT_EQ(state.window.size(), 5u);  // only the observed prefix is retained
+
+  RateEstimator restored(50.0, config);
+  restored.restore(state);
+  EXPECT_FALSE(restored.warm());  // still cold, exactly like the original
+  EXPECT_DOUBLE_EQ(restored.tau0(), 50.0);
+  EXPECT_DOUBLE_EQ(restored.gap_quantile(0.5), live.gap_quantile(0.5));
+  // Warmup completes at the same observation count as the live estimator.
+  for (int i = 0; i < 3; ++i) {
+    live.observe_gap(12.0);
+    restored.observe_gap(12.0);
+  }
+  EXPECT_TRUE(restored.warm());
+  EXPECT_DOUBLE_EQ(restored.tau0(), live.tau0());
+}
+
+TEST(RateEstimatorTest, RestoreRejectsInconsistentCheckpoints) {
+  RateEstimatorConfig config;
+  config.window = 8;
+  RateEstimator estimator(10.0, config);
+
+  RateEstimatorCheckpoint bad_prior;
+  bad_prior.prior = 0.0;
+  EXPECT_THROW(estimator.restore(bad_prior), std::logic_error);
+
+  RateEstimatorCheckpoint oversized;
+  oversized.prior = 10.0;
+  oversized.samples = 20;
+  oversized.window.assign(9, 1.0);  // larger than the configured window
+  EXPECT_THROW(estimator.restore(oversized), std::logic_error);
+
+  RateEstimatorCheckpoint mismatched;
+  mismatched.prior = 10.0;
+  mismatched.samples = 3;
+  mismatched.window.assign(5, 1.0);  // claims 3 samples but carries 5 gaps
+  EXPECT_THROW(estimator.restore(mismatched), std::logic_error);
+}
+
 TEST(RateEstimatorTest, RejectsBadConfig) {
   EXPECT_THROW(RateEstimator(0.0, {}), std::logic_error);
   RateEstimatorConfig bad_alpha;

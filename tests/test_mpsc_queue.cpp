@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -25,6 +26,20 @@ TEST(MpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
   EXPECT_EQ(util::MpscQueue<int>(8).capacity(), 8u);
   EXPECT_EQ(util::MpscQueue<int>(9).capacity(), 16u);
   EXPECT_EQ(util::MpscQueue<int>(1000).capacity(), 1024u);
+}
+
+TEST(MpscQueueTest, RejectsCapacityBeyondTheRingBound) {
+  // Regression: the power-of-two rounding loop used to be unchecked, so a
+  // capacity above 2^63 overflowed `rounded` to zero and spun forever. The
+  // constructor now rejects anything past the 2^32 ring bound up front.
+  const std::size_t bound = std::size_t{1} << 32;
+  EXPECT_THROW(util::MpscQueue<int>(bound + 1), std::logic_error);
+  EXPECT_THROW(util::MpscQueue<int>(std::size_t{1} << 33), std::logic_error);
+  // The old infinite-spin input, now an immediate error.
+  EXPECT_THROW(util::MpscQueue<int>(~std::size_t{0}), std::logic_error);
+  // In-bounds capacities still round up as documented.
+  EXPECT_EQ(util::MpscQueue<int>(0).capacity(), 8u);
+  EXPECT_EQ(util::MpscQueue<int>(7).capacity(), 8u);
 }
 
 TEST(MpscQueueTest, FullRingRejectsWithoutDropping) {

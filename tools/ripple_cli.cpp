@@ -14,6 +14,9 @@
 //                         [--profile step|ramp|sine|fixed] [--stochastic]
 //   ripple_cli serve      <pipeline.json|blast> --tau0 T --deadline D
 //                         [--producers N] [--duration-ms MS]
+//                         [--listen PORT] [--journal-dir DIR]
+//   ripple_cli recover    <pipeline.json|blast> --journal-dir DIR
+//                         --tau0 T --deadline D [control flags as recorded]
 //
 // The literal pipeline name "blast" loads the paper's canonical Table 1
 // pipeline; anything else is read as a JSON file in the schema documented in
@@ -36,6 +39,8 @@
 #include "core/sweep.hpp"
 #include "core/tradeoff.hpp"
 #include "dist/rng.hpp"
+#include "net/journal.hpp"
+#include "net/server.hpp"
 #include "queueing/predict.hpp"
 #include "sdf/analysis.hpp"
 #include "sdf/pipeline_io.hpp"
@@ -65,6 +70,7 @@ int usage(int code) {
          "  tradeoff     deadline vs active-fraction Pareto curve + knee\n"
          "  replay       closed-loop control replay over a rate profile\n"
          "  serve        live service demo: producer threads + online control\n"
+         "  recover      rebuild the controller from a serve --journal-dir\n"
          "run `ripple_cli <command> --help` for command options\n";
   return code;
 }
@@ -100,6 +106,32 @@ core::EnforcedWaitsConfig enforced_config(const sdf::PipelineSpec& pipeline,
 }
 
 std::string fmt(double v, int p = 4) { return util::format_double(v, p); }
+
+/// Count flags (--trials, --shards, --producers, ...) must be positive.
+/// A non-positive count is reported as the user error it is — never
+/// silently clamped (a `--shards -4` that quietly ran one shard used to
+/// hide real mistakes).
+std::size_t positive_count(const util::CliParser& cli,
+                           const std::string& name) {
+  const long long value = cli.get_int(name);
+  if (value <= 0) {
+    throw std::logic_error("--" + name + " must be a positive count (got " +
+                           std::to_string(value) + ")");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Flags where zero is meaningful (--cooldown 0, --submit-gap-us 0, seeds)
+/// but negatives are still nonsense.
+std::uint64_t non_negative_count(const util::CliParser& cli,
+                                 const std::string& name) {
+  const long long value = cli.get_int(name);
+  if (value < 0) {
+    throw std::logic_error("--" + name + " must be non-negative (got " +
+                           std::to_string(value) + ")");
+  }
+  return static_cast<std::uint64_t>(value);
+}
 
 /// Arm observability recording when --trace-out/--metrics-out was given.
 void enable_observability(const util::CliParser& cli) {
@@ -230,9 +262,8 @@ int cmd_solve(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
 int cmd_sweep(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
   const auto grid = core::SweepGrid::linear(
       cli.get_double("tau0-lo"), cli.get_double("tau0-hi"),
-      static_cast<std::size_t>(cli.get_int("tau0-points")),
-      cli.get_double("d-lo"), cli.get_double("d-hi"),
-      static_cast<std::size_t>(cli.get_int("d-points")));
+      positive_count(cli, "tau0-points"), cli.get_double("d-lo"),
+      cli.get_double("d-hi"), positive_count(cli, "d-points"));
   util::ThreadPool pool;
   const auto surface = core::run_sweep(
       pipeline, enforced_config(pipeline, cli.get_string("b")),
@@ -270,9 +301,9 @@ int cmd_simulate(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
     return 1;
   }
   const auto intervals = solved.value().firing_intervals;
-  const auto trials = static_cast<std::uint64_t>(cli.get_int("trials"));
-  const auto inputs = static_cast<ItemCount>(cli.get_int("inputs"));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto trials = static_cast<std::uint64_t>(positive_count(cli, "trials"));
+  const auto inputs = static_cast<ItemCount>(positive_count(cli, "inputs"));
+  const std::uint64_t seed = non_negative_count(cli, "seed");
 
   util::ThreadPool pool;
   const auto summary = sim::run_trials(
@@ -364,7 +395,7 @@ int cmd_sensitivity(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
 int cmd_tradeoff(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
   const double tau0 = cli.get_double("tau0");
   core::TradeoffConfig config;
-  config.samples = static_cast<std::size_t>(cli.get_int("tau0-points")) * 4;
+  config.samples = positive_count(cli, "tau0-points") * 4;
   auto curve = core::trace_tradeoff(
       pipeline, enforced_config(pipeline, cli.get_string("b")),
       {cli.get_double("block-b"), cli.get_double("S")}, tau0, config);
@@ -431,11 +462,11 @@ int cmd_replay(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
   config.controller.replanner.drift_threshold = cli.get_double("drift");
   config.controller.replanner.headroom = cli.get_double("headroom");
   config.controller.replanner.cooldown_ticks =
-      static_cast<std::uint64_t>(cli.get_int("cooldown"));
-  config.chunk_items = static_cast<std::size_t>(cli.get_int("chunk-items"));
-  config.chunks = static_cast<std::size_t>(cli.get_int("chunks"));
-  config.sessions = static_cast<std::size_t>(cli.get_int("sessions"));
-  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+      non_negative_count(cli, "cooldown");
+  config.chunk_items = positive_count(cli, "chunk-items");
+  config.chunks = positive_count(cli, "chunks");
+  config.sessions = positive_count(cli, "sessions");
+  config.seed = non_negative_count(cli, "seed");
 
   arrivals::ArrivalPtr offered;
   if (cli.get_flag("stochastic")) {
@@ -494,46 +525,111 @@ int cmd_replay(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
   return 0;
 }
 
+/// The controller configuration `serve` runs under — and therefore the one
+/// `recover` must rebuild with. Shared so the journal fingerprint derived
+/// from it is identical on both sides.
+control::ControllerConfig serve_controller_config(const util::CliParser& cli) {
+  control::ControllerConfig controller;
+  controller.estimator.alpha = cli.get_double("alpha");
+  controller.replanner.headroom = cli.get_double("headroom");
+  controller.replanner.drift_threshold = cli.get_double("drift");
+  controller.replanner.cooldown_ticks = non_negative_count(cli, "cooldown");
+  return controller;
+}
+
 int cmd_serve(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
   service::ServiceConfig config;
   config.deadline = cli.get_double("deadline");
   config.initial_tau0 = cli.get_double("tau0");
   config.b = parse_b(cli.get_string("b"), pipeline.size());
-  config.controller.replanner.headroom = cli.get_double("headroom");
-  config.shards = static_cast<std::size_t>(std::max(1LL, (long long)cli.get_int("shards")));
+  config.controller = serve_controller_config(cli);
+  config.shards = positive_count(cli, "shards");
   config.pin_workers = cli.get_flag("pin");
+
+  const long long listen = cli.get_int("listen");
+  if (listen > 65535) throw std::logic_error("--listen must be a port");
+  const std::string journal_dir = cli.get_string("journal-dir");
+  if (!journal_dir.empty() && config.shards != 1) {
+    throw std::logic_error(
+        "--journal-dir requires --shards 1 (drain records carry no shard "
+        "identity, so a multi-shard journal would not replay "
+        "deterministically)");
+  }
 
   service::PipelineService svc(pipeline,
                                service::synthetic_stage_factory(pipeline),
                                config);
+
+  std::unique_ptr<net::ArrivalJournal> journal;
+  if (!journal_dir.empty()) {
+    net::JournalConfig jconfig;
+    jconfig.dir = journal_dir;
+    jconfig.fingerprint = net::ControlFingerprint::from(
+        config.deadline, config.initial_tau0, config.controller);
+    journal = std::make_unique<net::ArrivalJournal>(jconfig, &svc.controller());
+    svc.set_ingest_observer(journal.get());
+  }
   svc.start();
 
-  const auto producers = static_cast<std::size_t>(cli.get_int("producers"));
-  const auto duration =
-      std::chrono::milliseconds(cli.get_int("duration-ms"));
-  const auto batch = static_cast<std::size_t>(cli.get_int("submit-batch"));
-  const auto gap = std::chrono::microseconds(cli.get_int("submit-gap-us"));
+  std::unique_ptr<net::IngestServer> server;
+  if (listen >= 0) {
+    net::ServerConfig sconfig;
+    sconfig.port = static_cast<std::uint16_t>(listen);
+    server = std::make_unique<net::IngestServer>(svc, sconfig);
+    server->start();
+    std::cout << "listening on " << sconfig.bind_address << ":"
+              << server->port() << "\n";
+  }
+
+  const std::size_t producers = positive_count(cli, "producers");
+  const auto duration = std::chrono::milliseconds(
+      static_cast<long long>(positive_count(cli, "duration-ms")));
+  const std::size_t batch = positive_count(cli, "submit-batch");
+  const auto gap = std::chrono::microseconds(
+      static_cast<long long>(non_negative_count(cli, "submit-gap-us")));
 
   std::vector<std::thread> threads;
   for (std::size_t p = 0; p < producers; ++p) {
     threads.emplace_back([&, p] {
-      const service::SessionId session = svc.open_session();
       const auto until = std::chrono::steady_clock::now() + duration;
       std::uint64_t counter = p << 32;
-      while (std::chrono::steady_clock::now() < until) {
-        std::vector<runtime::Item> items;
-        items.reserve(batch);
-        for (std::size_t k = 0; k < batch; ++k) {
-          items.emplace_back(std::any(counter++));
+      if (server) {
+        // Producers exercise the wire path: each is a loopback TCP client
+        // streaming kItemBatch frames at the server.
+        net::IngestClient client("127.0.0.1", server->port());
+        const std::uint64_t wire_id = p + 1;
+        client.open_session(wire_id);
+        std::vector<std::uint64_t> items(batch);
+        while (std::chrono::steady_clock::now() < until) {
+          for (std::size_t k = 0; k < batch; ++k) items[k] = counter++;
+          client.send_items(wire_id, items.data(), items.size());
+          client.poll_notifications();
+          if (gap.count() > 0) std::this_thread::sleep_for(gap);
         }
-        svc.submit(session, std::move(items));
-        std::this_thread::sleep_for(gap);
+        client.close_session(wire_id);
+        client.finish();
+      } else {
+        const service::SessionId session = svc.open_session();
+        while (std::chrono::steady_clock::now() < until) {
+          std::vector<runtime::Item> items;
+          items.reserve(batch);
+          for (std::size_t k = 0; k < batch; ++k) {
+            items.emplace_back(std::any(counter++));
+          }
+          svc.submit(session, std::move(items));
+          if (gap.count() > 0) std::this_thread::sleep_for(gap);
+        }
+        svc.close_session(session);
       }
-      svc.close_session(session);
     });
   }
   for (std::thread& thread : threads) thread.join();
+  if (server) server->stop();
   svc.stop();
+  if (journal) {
+    svc.set_ingest_observer(nullptr);
+    journal->flush();
+  }
 
   const service::ServiceStats stats = svc.stats();
   const control::ControllerStats loop = svc.controller().stats();
@@ -565,7 +661,69 @@ int cmd_serve(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
     }
     table.print(std::cout);
   }
+  if (server) {
+    const net::ServerStats sstats = server->stats();
+    std::cout << "net: " << sstats.connections_accepted << " connections, "
+              << util::with_commas(sstats.frames_in) << " frames, "
+              << util::with_commas(sstats.items_in) << " items in, "
+              << util::with_commas(sstats.items_rejected) << " rejected, "
+              << sstats.protocol_errors << " protocol errors\n";
+  }
+  if (journal) {
+    const net::JournalStats jstats = journal->stats();
+    std::cout << "journal: " << util::with_commas(jstats.records)
+              << " records (" << util::with_commas(jstats.arrivals)
+              << " arrivals over " << util::with_commas(jstats.drains)
+              << " drains), " << jstats.commits << " commits, "
+              << util::with_commas(jstats.bytes) << " bytes, "
+              << jstats.snapshots << " snapshots\n";
+  }
   return stats.executed_items == stats.accepted ? 0 : 1;
+}
+
+int cmd_recover(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
+  const std::string journal_dir = cli.get_string("journal-dir");
+  if (journal_dir.empty()) {
+    throw std::logic_error("recover requires --journal-dir");
+  }
+  const double deadline = cli.get_double("deadline");
+  const double tau0 = cli.get_double("tau0");
+  const control::ControllerConfig controller_config =
+      serve_controller_config(cli);
+
+  // Rebuild the controller exactly as the journaled serve run built its
+  // shard-0 controller; the snapshot fingerprint rejects any mismatch.
+  control::Controller controller(
+      pipeline, enforced_config(pipeline, cli.get_string("b")), deadline,
+      tau0, controller_config);
+  const net::ControlFingerprint fingerprint =
+      net::ControlFingerprint::from(deadline, tau0, controller_config);
+  const net::RecoveryReport report =
+      net::recover_journal(journal_dir, fingerprint, controller);
+
+  std::cout << "recovered from " << journal_dir << ": "
+            << (report.snapshot_loaded
+                    ? "snapshot (" +
+                          util::with_commas(report.records_in_snapshot) +
+                          " records) + "
+                    : std::string())
+            << util::with_commas(report.records_replayed)
+            << " replayed records (" << util::with_commas(report.drains_replayed)
+            << " drains, " << util::with_commas(report.arrivals_replayed)
+            << " arrivals)";
+  if (report.torn_bytes > 0) {
+    std::cout << ", torn tail " << report.torn_bytes << " bytes discarded";
+  }
+  std::cout << "\nopen sessions: " << report.open_sessions.size()
+            << ", last arrival " << fmt(report.last_arrival, 2) << "\n";
+  const control::ControllerStats stats = controller.stats();
+  const control::PlanPtr plan = controller.plan();
+  std::cout << "controller: " << stats.ticks << " ticks, " << stats.replans
+            << " replans, tau0_est " << fmt(controller.estimator().tau0(), 2)
+            << "\nplan: epoch " << plan->epoch << ", planned tau0 "
+            << fmt(plan->planned_tau0, 3)
+            << (plan->shedding ? " (shedding)" : "") << "\n";
+  return 0;
 }
 
 }  // namespace
@@ -615,6 +773,12 @@ int main(int argc, const char** argv) {
   cli.add_int("duration-ms", 200, "serve: wall-clock run time");
   cli.add_int("submit-batch", 8, "serve: items per submission");
   cli.add_int("submit-gap-us", 500, "serve: producer sleep between submissions");
+  cli.add_int("listen", -1,
+              "serve: accept ripple.frame.v1 ingest on this TCP port "
+              "(0 picks an ephemeral port; producers become loopback clients)");
+  cli.add_string("journal-dir", "",
+                 "serve: journal every admitted arrival here for recovery; "
+                 "recover: the directory to rebuild from");
   cli.add_string("trace-out", "",
                  "write a Chrome trace_event timeline here (RIPPLE_OBS builds)");
   cli.add_string("metrics-out", "",
@@ -661,6 +825,8 @@ int main(int argc, const char** argv) {
       return export_observability(cli, cmd_replay(pipeline.value(), cli));
     if (command == "serve")
       return export_observability(cli, cmd_serve(pipeline.value(), cli));
+    if (command == "recover")
+      return export_observability(cli, cmd_recover(pipeline.value(), cli));
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 2;
