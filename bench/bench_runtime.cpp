@@ -1,12 +1,16 @@
 // Google-benchmark suite for the vector-wide pipeline executor
 // (runtime/pipeline_executor.hpp): end-to-end mini-BLAST runs comparing the
 // seed per-item engine (ReferenceExecutor), the adapter path, and the typed
-// batch path at both dispatch levels, plus kernel microbenchmarks for the
-// vectorized BLAST and cascade stage bodies. scripts/run_bench_runtime.sh
-// runs this suite and writes BENCH_runtime.json at the repo root.
+// batch path, plus per-ISA kernel microbenchmarks for the vectorized BLAST
+// and cascade stage bodies: each micro emits one row per SimdLevel (scalar,
+// neon, avx2, avx512), skipping levels this binary/host cannot run.
+// scripts/run_bench_runtime.sh runs this suite, writes BENCH_runtime.json at
+// the repo root, and prints the per-ISA speedup table.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "blast/batch_stages.hpp"
@@ -146,8 +150,9 @@ void BM_MiniBlastEndToEnd_BatchScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_MiniBlastEndToEnd_BatchScalar)->Unit(benchmark::kMillisecond);
 
-/// Typed batch path at the host's best dispatch level (AVX2 where the build
-/// and CPU allow; identical to BatchScalar on forced-scalar builds).
+/// Typed batch path at the host's best dispatch level (AVX-512 or AVX2 where
+/// the build and CPU allow; identical to BatchScalar on forced-scalar
+/// builds). The label records which level the registry resolved.
 void BM_MiniBlastEndToEnd_BatchSimd(benchmark::State& state) {
   const BlastWorkload& w = BlastWorkload::instance();
   const runtime::PipelineExecutor engine(w.spec,
@@ -163,12 +168,26 @@ BENCHMARK(BM_MiniBlastEndToEnd_BatchSimd)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // Stage-kernel micros: one call = one dense batch, no executor around it.
-// Arg(0) pins scalar, Arg(1) runs the host's active level.
+// DenseRange(0, 3) pins one row per ISA: 0 scalar, 1 neon, 2 avx2, 3 avx512.
 // ---------------------------------------------------------------------------
 
-SimdLevel level_for(benchmark::State& state) {
-  return state.range(0) == 0 ? SimdLevel::kScalar
-                             : device::active_simd_level();
+/// Pins dispatch to the exact SimdLevel named by Arg (0..3) and labels the
+/// row with it. Returns false after flagging the run skipped when this
+/// binary/host cannot execute that level: the registry's min-clamp would
+/// otherwise silently re-measure a lower ISA under the wrong row name.
+/// scripts/run_bench_runtime.sh drops skipped rows from the summary, so a
+/// host missing an ISA simply shows '-' for that column.
+bool pin_exact_level(benchmark::State& state,
+                     std::optional<ScopedSimdLevel>& pin) {
+  const auto want = static_cast<SimdLevel>(state.range(0));
+  if (!device::level_supported(want)) {
+    state.SkipWithError(
+        (device::to_string(want) + std::string(" not supported here")).c_str());
+    return false;
+  }
+  pin.emplace(want);
+  state.SetLabel(device::to_string(want));
+  return true;
 }
 
 /// Pure executor machinery: the same spec, schedule, and 12000 inputs, but
@@ -222,8 +241,8 @@ BENCHMARK(BM_ExecutorMachinery_Reference)->Unit(benchmark::kMillisecond);
 
 void BM_SeedFilterKernel(benchmark::State& state) {
   const BlastWorkload& w = BlastWorkload::instance();
-  const ScopedSimdLevel pin(level_for(state));
-  state.SetLabel(device::to_string(device::active_simd_level()));
+  std::optional<ScopedSimdLevel> pin;
+  if (!pin_exact_level(state, pin)) return;
   std::vector<std::uint32_t> pos(w.windows);
   for (std::size_t i = 0; i < pos.size(); ++i) {
     pos[i] = static_cast<std::uint32_t>(i % w.stages.input_count());
@@ -236,7 +255,7 @@ void BM_SeedFilterKernel(benchmark::State& state) {
   }
   report_window_rate(state, pos.size());
 }
-BENCHMARK(BM_SeedFilterKernel)->Arg(0)->Arg(1);
+BENCHMARK(BM_SeedFilterKernel)->DenseRange(0, 3);
 
 /// Upstream products shared by the extension micros: seed-filter survivors
 /// and their expanded (subject, query) hit pairs for the bench workload.
@@ -280,8 +299,8 @@ void BM_ExpandSeedKernel(benchmark::State& state) {
   const std::vector<std::uint32_t> survivors(
       seeds.column(0), seeds.column(0) + seeds.total());
 
-  const ScopedSimdLevel pin(level_for(state));
-  state.SetLabel(device::to_string(device::active_simd_level()));
+  std::optional<ScopedSimdLevel> pin;
+  if (!pin_exact_level(state, pin)) return;
   runtime::BatchEmitter out;
   for (auto _ : state) {
     out.reset(survivors.size(), 2, false);
@@ -291,15 +310,15 @@ void BM_ExpandSeedKernel(benchmark::State& state) {
   }
   report_window_rate(state, survivors.size());
 }
-BENCHMARK(BM_ExpandSeedKernel)->Arg(0)->Arg(1);
+BENCHMARK(BM_ExpandSeedKernel)->DenseRange(0, 3);
 
 void BM_UngappedExtendKernel(benchmark::State& state) {
   const BlastWorkload& w = BlastWorkload::instance();
   const std::vector<std::uint32_t>& sp = ExtensionInputs::instance().sp;
   const std::vector<std::uint32_t>& qp = ExtensionInputs::instance().qp;
 
-  const ScopedSimdLevel pin(level_for(state));
-  state.SetLabel(device::to_string(device::active_simd_level()));
+  std::optional<ScopedSimdLevel> pin;
+  if (!pin_exact_level(state, pin)) return;
   runtime::BatchEmitter out;
   for (auto _ : state) {
     out.reset(sp.size(), 3, false);
@@ -309,7 +328,7 @@ void BM_UngappedExtendKernel(benchmark::State& state) {
   }
   report_window_rate(state, sp.size());
 }
-BENCHMARK(BM_UngappedExtendKernel)->Arg(0)->Arg(1);
+BENCHMARK(BM_UngappedExtendKernel)->DenseRange(0, 3);
 
 /// Sink stage: banded gapped alignment of the ungapped survivors — the
 /// dominant kernel of the end-to-end time budget. The AVX2 path runs 8
@@ -328,8 +347,8 @@ void BM_GappedExtendKernel(benchmark::State& state) {
   const std::vector<std::uint32_t> score(extended.column(2),
                                          extended.column(2) + extended.total());
 
-  const ScopedSimdLevel pin(level_for(state));
-  state.SetLabel(device::to_string(device::active_simd_level()));
+  std::optional<ScopedSimdLevel> pin;
+  if (!pin_exact_level(state, pin)) return;
   runtime::BatchEmitter out;
   for (auto _ : state) {
     out.reset(sp.size(), 3, false);
@@ -339,7 +358,7 @@ void BM_GappedExtendKernel(benchmark::State& state) {
   }
   report_window_rate(state, sp.size());
 }
-BENCHMARK(BM_GappedExtendKernel)->Arg(0)->Arg(1);
+BENCHMARK(BM_GappedExtendKernel)->DenseRange(0, 3);
 
 void BM_HaarResponseKernel(benchmark::State& state) {
   static const cascade::Scene scene = [] {
@@ -362,8 +381,8 @@ void BM_HaarResponseKernel(benchmark::State& state) {
   const cascade::HaarFeature feature = cascade::random_feature(24, rng);
   std::vector<std::int64_t> responses(n);
 
-  const ScopedSimdLevel pin(level_for(state));
-  state.SetLabel(device::to_string(device::active_simd_level()));
+  std::optional<ScopedSimdLevel> pin;
+  if (!pin_exact_level(state, pin)) return;
   for (auto _ : state) {
     cascade::simd::haar_response_batch(feature, integral, wx.data(), wy.data(),
                                        n, responses.data());
@@ -371,7 +390,7 @@ void BM_HaarResponseKernel(benchmark::State& state) {
   }
   report_window_rate(state, n);
 }
-BENCHMARK(BM_HaarResponseKernel)->Arg(0)->Arg(1);
+BENCHMARK(BM_HaarResponseKernel)->DenseRange(0, 3);
 
 }  // namespace
 

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# QEMU-or-skip NEON smoke: cross-compile scripts/neon_smoke.cpp for AArch64
+# and run it under qemu-user, proving the NEON intrinsic wrappers in
+# device/lanes4.hpp lane-exact against the scalar model. The x86 CI legs
+# already golden-test the lanes4 kernel *bodies* through the portable
+# backend; this is the only place the ARM backend itself executes.
+#
+# Exits 0 with a "skipped" note when the cross toolchain or qemu is absent —
+# the smoke is additive coverage, not a gate on hosts that cannot run it.
+# On a native AArch64 host the harness runs directly, no qemu needed.
+#
+# Usage: scripts/neon_smoke.sh
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+OUT="$(mktemp -t neon_smoke.XXXXXX)"
+trap 'rm -f "${OUT}"' EXIT
+
+if [[ "$(uname -m)" == "aarch64" ]]; then
+  c++ -std=c++20 -O2 -I "${REPO_ROOT}/src" \
+    "${REPO_ROOT}/scripts/neon_smoke.cpp" -o "${OUT}"
+  "${OUT}"
+  exit 0
+fi
+
+CROSS=""
+for candidate in aarch64-linux-gnu-g++ aarch64-linux-gnu-g++-12; do
+  if command -v "${candidate}" >/dev/null 2>&1; then
+    CROSS="${candidate}"
+    break
+  fi
+done
+if [[ -z "${CROSS}" ]]; then
+  echo "neon_smoke: skipped (no aarch64 cross compiler on this host)"
+  exit 0
+fi
+if ! command -v qemu-aarch64 >/dev/null 2>&1; then
+  echo "neon_smoke: skipped (no qemu-aarch64 on this host)"
+  exit 0
+fi
+
+# -static so qemu-user needs no AArch64 sysroot at run time.
+"${CROSS}" -std=c++20 -O2 -static -I "${REPO_ROOT}/src" \
+  "${REPO_ROOT}/scripts/neon_smoke.cpp" -o "${OUT}"
+qemu-aarch64 "${OUT}"

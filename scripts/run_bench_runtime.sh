@@ -2,9 +2,11 @@
 # Run the vector-wide executor benchmarks and write BENCH_runtime.json at the
 # repo root: end-to-end mini-BLAST through the per-item reference engine, the
 # adapter path, the batched-scalar path, and the SIMD path, plus stage-kernel
-# micros (seed filter, ungapped extension, Haar responses) at both dispatch
-# levels. Prints the end-to-end speedup of the SIMD batch path over the
-# per-item reference.
+# micros with one row per ISA (scalar, neon, avx2, avx512). Rows for ISAs
+# this host/build cannot run are recorded as skipped in the JSON and shown as
+# '-' in the summary table, so results from different machines stay
+# comparable. Prints the end-to-end speedup of the SIMD batch path over the
+# per-item reference and the per-kernel speedups versus scalar.
 #
 # Usage: scripts/run_bench_runtime.sh [build-dir] [min-time]
 #   build-dir  defaults to ./build-bench (configured Release if missing —
@@ -47,6 +49,32 @@ if reference and simd:
 if reference and scalar:
     print(f"end-to-end mini-BLAST: reference / batch+scalar = "
           f"{reference / scalar:.2f}x")
+
+# Per-ISA kernel micros: rows are BM_<Kernel>/<level-arg> with the resolved
+# ISA in the label; skipped rows (ISA unavailable here) carry error_occurred.
+kernels = {}
+for b in doc["benchmarks"]:
+    name = b["name"]
+    if "Kernel/" not in name or b.get("error_occurred"):
+        continue
+    kernels.setdefault(name.split("/")[0], {})[b.get("label", "?")] = \
+        b["real_time"]
+if kernels:
+    print("per-ISA kernel micros (speedup vs scalar; '-' = unavailable "
+          "on this host/build):")
+best = (0.0, None)
+for base, t in sorted(kernels.items()):
+    cells = []
+    for isa in ("neon", "avx2", "avx512"):
+        if "scalar" in t and isa in t:
+            cells.append(f"{isa}={t['scalar'] / t[isa]:6.2f}x")
+        else:
+            cells.append(f"{isa}=     -")
+    print(f"  {base:24s} {'  '.join(cells)}")
+    if "avx2" in t and "avx512" in t:
+        best = max(best, (t["avx2"] / t["avx512"], base))
+if best[1] is not None:
+    print(f"best avx512-over-avx2 kernel: {best[1]} at {best[0]:.2f}x")
 PY
 
 echo "Wrote ${REPO_ROOT}/BENCH_runtime.json"

@@ -1,9 +1,17 @@
+// Scalar baselines, AVX2 bodies, registry wiring, and the public batch
+// wrappers for the BLAST kernels. The AVX-512 bodies live in
+// simd_kernels_avx512.cpp and the lanes4/NEON ports in
+// simd_kernels_lanes4.cpp; all of them register here, through
+// register_kernels(), under the names in docs/KERNELS.md.
 #include "blast/simd_kernels.hpp"
 
 #include <algorithm>
 #include <vector>
 
+#include "blast/simd_kernels_detail.hpp"
 #include "device/dispatch.hpp"
+#include "device/kernel_registry.hpp"
+#include "dist/rng.hpp"
 #include "util/assert.hpp"
 
 #if RIPPLE_SIMD_X86
@@ -12,11 +20,11 @@
 
 namespace ripple::blast::simd {
 
-namespace {
-
 using runtime::BatchEmitter;
 using runtime::field_from_i32;
 using runtime::field_to_i32;
+
+namespace detail {
 
 // ---------------------------------------------------------------------------
 // Scalar bodies: always compiled, the only bodies on RIPPLE_SIMD=OFF builds.
@@ -56,12 +64,28 @@ void ungapped_extend_scalar(const BlastStages& stages, const std::uint32_t* sp,
   }
 }
 
+void gapped_extend_scalar(const BlastStages& stages, const std::uint32_t* sp,
+                          const std::uint32_t* qp, const std::uint32_t* score,
+                          std::size_t n, BatchEmitter& out) {
+  StageCost cost;
+  for (std::size_t lane = 0; lane < n; ++lane) {
+    const Alignment alignment = stages.gapped_extend(
+        ExtendedHit{sp[lane], qp[lane], field_to_i32(score[lane])}, cost);
+    out.emit(lane, alignment.subject_pos, alignment.query_pos,
+             field_from_i32(alignment.score));
+  }
+}
+
+}  // namespace detail
+
 // ---------------------------------------------------------------------------
 // AVX2 bodies. Guarded at compile time by RIPPLE_SIMD_X86 and at run time by
-// active_simd_level(); arithmetic is integer-for-integer identical to the
+// registry resolution; arithmetic is integer-for-integer identical to the
 // scalar bodies.
 // ---------------------------------------------------------------------------
 #if RIPPLE_SIMD_X86
+
+namespace {
 
 /// Pack one gathered 32-bit word (4 consecutive bases, little-endian, so the
 /// lowest-addressed base sits in the low byte) into 8 code bits with the
@@ -94,69 +118,6 @@ __attribute__((target("avx2"))) inline __m256i encode8(const Base* subject,
                            pack_word_to_code_bits(w));
   }
   return code;
-}
-
-__attribute__((target("avx2"))) void encode_kmers_avx2(
-    const Sequence& subject, std::size_t k, const std::uint32_t* pos,
-    std::size_t n, std::uint32_t* codes) {
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m256i idx =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pos + i));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(codes + i),
-                        encode8(subject.data(), idx, k));
-  }
-  for (; i < n; ++i) codes[i] = encode_kmer(subject, pos[i], k);
-}
-
-__attribute__((target("avx2"))) void seed_filter_avx2(const BlastStages& stages,
-                                                      const std::uint32_t* pos,
-                                                      std::size_t n,
-                                                      BatchEmitter& out) {
-  const std::uint32_t* offsets = stages.index().offsets_data();
-  const Base* subject = stages.pair().subject.data();
-  const std::size_t k = stages.config().k;
-  std::size_t lane = 0;
-  for (; lane + 8 <= n; lane += 8) {
-    const __m256i idx =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pos + lane));
-    const __m256i code = encode8(subject, idx, k);
-    // CSR probe: a code is present iff its offsets run is non-empty.
-    const __m256i off0 = _mm256_i32gather_epi32(
-        reinterpret_cast<const int*>(offsets), code, 4);
-    const __m256i off1 = _mm256_i32gather_epi32(
-        reinterpret_cast<const int*>(offsets),
-        _mm256_add_epi32(code, _mm256_set1_epi32(1)), 4);
-    const __m256i hit = _mm256_cmpgt_epi32(off1, off0);
-    int mask = _mm256_movemask_ps(_mm256_castsi256_ps(hit));
-    while (mask != 0) {
-      const int bit = __builtin_ctz(static_cast<unsigned>(mask));
-      out.emit(lane + static_cast<std::size_t>(bit),
-               pos[lane + static_cast<std::size_t>(bit)]);
-      mask &= mask - 1;
-    }
-  }
-  for (; lane < n; ++lane) {
-    const KmerCode code = encode_kmer(stages.pair().subject, pos[lane], k);
-    if (offsets[code + 1] > offsets[code]) out.emit(lane, pos[lane]);
-  }
-}
-
-/// BlastStages::extend_direction resumed from mid-walk state: identical
-/// recurrence, but score/best start from the values a partially-run vector
-/// walk accumulated. Used to finish worklist tails narrower than a vector.
-inline int extend_scalar_from(const Base* subject, int subject_size,
-                              const Base* query, int query_size, int s, int q,
-                              int score, int best, int direction, int match,
-                              int mismatch, int xdrop) {
-  while (s >= 0 && q >= 0 && s < subject_size && q < query_size) {
-    score += (subject[s] == query[q]) ? match : mismatch;
-    best = std::max(best, score);
-    if (best - score > xdrop) break;
-    s += direction;
-    q += direction;
-  }
-  return best;
 }
 
 /// Run 8 in-flight ungapped walks for up to `blocks` four-step gather blocks.
@@ -344,7 +305,7 @@ __attribute__((target("avx2"))) void extend_avx2_direction(
     }
     for (; g < live.size(); ++g) {
       const int s0 = live.s[g];
-      out_best[live.index[g]] = extend_scalar_from(
+      out_best[live.index[g]] = detail::extend_scalar_from(
           subject, subject_size, query, query_size, s0, s0 + live.d[g],
           live.score[g], live.best[g], direction, config.match_score,
           config.mismatch_penalty, config.xdrop);
@@ -353,10 +314,60 @@ __attribute__((target("avx2"))) void extend_avx2_direction(
   }
   for (std::size_t g = 0; g < live.size(); ++g) {
     const int s0 = live.s[g];
-    out_best[live.index[g]] = extend_scalar_from(
+    out_best[live.index[g]] = detail::extend_scalar_from(
         subject, subject_size, query, query_size, s0, s0 + live.d[g],
         live.score[g], live.best[g], direction, config.match_score,
         config.mismatch_penalty, config.xdrop);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+__attribute__((target("avx2"))) void encode_kmers_avx2(
+    const Sequence& subject, std::size_t k, const std::uint32_t* pos,
+    std::size_t n, std::uint32_t* codes) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pos + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(codes + i),
+                        encode8(subject.data(), idx, k));
+  }
+  for (; i < n; ++i) codes[i] = encode_kmer(subject, pos[i], k);
+}
+
+__attribute__((target("avx2"))) void seed_filter_avx2(const BlastStages& stages,
+                                                      const std::uint32_t* pos,
+                                                      std::size_t n,
+                                                      BatchEmitter& out) {
+  const std::uint32_t* offsets = stages.index().offsets_data();
+  const Base* subject = stages.pair().subject.data();
+  const std::size_t k = stages.config().k;
+  std::size_t lane = 0;
+  for (; lane + 8 <= n; lane += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pos + lane));
+    const __m256i code = encode8(subject, idx, k);
+    // CSR probe: a code is present iff its offsets run is non-empty.
+    const __m256i off0 = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(offsets), code, 4);
+    const __m256i off1 = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(offsets),
+        _mm256_add_epi32(code, _mm256_set1_epi32(1)), 4);
+    const __m256i hit = _mm256_cmpgt_epi32(off1, off0);
+    int mask = _mm256_movemask_ps(_mm256_castsi256_ps(hit));
+    while (mask != 0) {
+      const int bit = __builtin_ctz(static_cast<unsigned>(mask));
+      out.emit(lane + static_cast<std::size_t>(bit),
+               pos[lane + static_cast<std::size_t>(bit)]);
+      mask &= mask - 1;
+    }
+  }
+  for (; lane < n; ++lane) {
+    const KmerCode code = encode_kmer(stages.pair().subject, pos[lane], k);
+    if (offsets[code + 1] > offsets[code]) out.emit(lane, pos[lane]);
   }
 }
 
@@ -408,7 +419,7 @@ __attribute__((target("avx2"))) void gapped_extend_avx2(
   const std::int64_t w = static_cast<std::int64_t>(config.gapped_window);
   const int band = static_cast<int>(config.band_radius);
   const int width = 2 * band + 1;
-  constexpr int kMinScore = -(1 << 28);
+  constexpr int kMinScore = detail::kGappedMinScore;
 
   const __m256i zero = _mm256_setzero_si256();
   const __m256i one = _mm256_set1_epi32(1);
@@ -646,40 +657,205 @@ __attribute__((target("avx2"))) void gapped_extend_avx2(
   }
 }
 
+}  // namespace detail
+
 #endif  // RIPPLE_SIMD_X86
 
-/// The AVX2 paths need k % 4 == 0 (word-exact k-mer gathers) and at least
-/// one full word in each sequence (clamped extension gathers).
-bool avx2_eligible(const BlastStages& stages) {
-  return device::active_simd_level() == device::SimdLevel::kAvx2 &&
-         stages.config().k % 4 == 0 && stages.pair().subject.size() >= 4 &&
-         stages.pair().query.size() >= 4;
+// ---------------------------------------------------------------------------
+// Registry wiring: kernel registration and the deterministic autotune
+// microbenches (fixed-seed committed fixtures — see docs/KERNELS.md).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Fixed-seed inputs the autotune microbenches replay: a small sequence pair
+/// with planted homologies, plus the exact survivor sets each downstream
+/// kernel would see. Built once, lazily; ~4k windows keeps a full autotune
+/// pass in the low milliseconds.
+struct MicrobenchFixture {
+  SequencePair pair;
+  BlastStages stages;
+  std::vector<std::uint32_t> positions;
+  std::vector<std::uint32_t> hit_sp, hit_qp;
+  std::vector<std::uint32_t> ext_sp, ext_qp, ext_score;
+  BatchEmitter emitter;
+
+  static MicrobenchFixture& instance() {
+    static MicrobenchFixture fixture;
+    return fixture;
+  }
+
+ private:
+  static SequencePair make_pair() {
+    dist::Xoshiro256 rng(0x5eed0301u);
+    SequencePairConfig config;
+    config.subject_length = 1 << 12;
+    config.query_length = 1 << 10;
+    config.homology_count = 4;
+    config.homology_length = 128;
+    return make_sequence_pair(config, rng);
+  }
+
+  static BlastStages::Config make_config() {
+    BlastStages::Config config;
+    config.k = 8;  // word-aligned so every ISA variant is exercisable
+    return config;
+  }
+
+  MicrobenchFixture() : pair(make_pair()), stages(pair, make_config()) {
+    positions.resize(stages.input_count());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      positions[i] = static_cast<std::uint32_t>(i);
+    }
+    StageCost cost;
+    for (const std::uint32_t pos : positions) {
+      for (const HitItem& hit : stages.expand_seed(pos, cost)) {
+        hit_sp.push_back(hit.subject_pos);
+        hit_qp.push_back(hit.query_pos);
+      }
+    }
+    for (std::size_t i = 0; i < hit_sp.size(); ++i) {
+      const auto ext =
+          stages.ungapped_extend(HitItem{hit_sp[i], hit_qp[i]}, cost);
+      if (ext.has_value()) {
+        ext_sp.push_back(ext->subject_pos);
+        ext_qp.push_back(ext->query_pos);
+        ext_score.push_back(field_from_i32(ext->ungapped_score));
+      }
+    }
+  }
+};
+
+std::uint64_t microbench_encode_kmers(device::AnyKernelFn fn) {
+  MicrobenchFixture& f = MicrobenchFixture::instance();
+  thread_local std::vector<std::uint32_t> codes;
+  codes.resize(f.positions.size());
+  reinterpret_cast<EncodeKmersFn>(fn)(f.pair.subject, f.stages.config().k,
+                                      f.positions.data(), f.positions.size(),
+                                      codes.data());
+  return f.positions.size();
+}
+
+std::uint64_t microbench_seed_probe(device::AnyKernelFn fn) {
+  MicrobenchFixture& f = MicrobenchFixture::instance();
+  f.emitter.reset(f.positions.size(), 1, false);
+  reinterpret_cast<SeedFilterFn>(fn)(f.stages, f.positions.data(),
+                                     f.positions.size(), f.emitter);
+  return f.positions.size();
+}
+
+std::uint64_t microbench_xdrop_extend(device::AnyKernelFn fn) {
+  MicrobenchFixture& f = MicrobenchFixture::instance();
+  f.emitter.reset(f.hit_sp.size(), 3, false);
+  reinterpret_cast<UngappedExtendFn>(fn)(f.stages, f.hit_sp.data(),
+                                         f.hit_qp.data(), f.hit_sp.size(),
+                                         f.emitter);
+  return f.hit_sp.size();
+}
+
+std::uint64_t microbench_banded_dp(device::AnyKernelFn fn) {
+  MicrobenchFixture& f = MicrobenchFixture::instance();
+  f.emitter.reset(f.ext_sp.size(), 3, false);
+  reinterpret_cast<GappedExtendFn>(fn)(f.stages, f.ext_sp.data(),
+                                       f.ext_qp.data(), f.ext_score.data(),
+                                       f.ext_sp.size(), f.emitter);
+  return f.ext_sp.size();
+}
+
+template <typename Fn>
+device::AnyKernelFn erase(Fn* fn) {
+  return reinterpret_cast<device::AnyKernelFn>(fn);
+}
+
+void register_all() {
+  device::KernelRegistry& reg = device::KernelRegistry::instance();
+  using device::SimdLevel;
+
+  reg.register_variant("blast.encode_kmers", "blast", SimdLevel::kScalar, 1,
+                       erase(&detail::encode_kmers_scalar));
+  reg.register_variant("blast.seed_probe", "blast", SimdLevel::kScalar, 1,
+                       erase(&detail::seed_filter_scalar));
+  reg.register_variant("blast.xdrop_extend", "blast", SimdLevel::kScalar, 1,
+                       erase(&detail::ungapped_extend_scalar));
+  reg.register_variant("blast.banded_dp", "blast", SimdLevel::kScalar, 1,
+                       erase(&detail::gapped_extend_scalar));
+
+#if RIPPLE_SIMD_X86
+  reg.register_variant("blast.encode_kmers", "blast", SimdLevel::kAvx2, 8,
+                       erase(&detail::encode_kmers_avx2));
+  reg.register_variant("blast.seed_probe", "blast", SimdLevel::kAvx2, 8,
+                       erase(&detail::seed_filter_avx2));
+  reg.register_variant("blast.xdrop_extend", "blast", SimdLevel::kAvx2, 8,
+                       erase(&detail::ungapped_extend_avx2));
+  reg.register_variant("blast.banded_dp", "blast", SimdLevel::kAvx2, 8,
+                       erase(&detail::gapped_extend_avx2));
+#endif
+
+#if RIPPLE_SIMD_X86_AVX512
+  reg.register_variant("blast.encode_kmers", "blast", SimdLevel::kAvx512, 16,
+                       erase(&detail::encode_kmers_avx512));
+  reg.register_variant("blast.seed_probe", "blast", SimdLevel::kAvx512, 16,
+                       erase(&detail::seed_filter_avx512));
+  reg.register_variant("blast.xdrop_extend", "blast", SimdLevel::kAvx512, 16,
+                       erase(&detail::ungapped_extend_avx512));
+  reg.register_variant("blast.banded_dp", "blast", SimdLevel::kAvx512, 16,
+                       erase(&detail::gapped_extend_avx512));
+#endif
+
+#if RIPPLE_SIMD_NEON_ARM
+  reg.register_variant("blast.xdrop_extend", "blast", SimdLevel::kNeon, 4,
+                       erase(&detail::ungapped_extend_lanes4));
+  reg.register_variant("blast.banded_dp", "blast", SimdLevel::kNeon, 4,
+                       erase(&detail::gapped_extend_lanes4));
+#endif
+
+  reg.set_microbench("blast.encode_kmers", &microbench_encode_kmers);
+  reg.set_microbench("blast.seed_probe", &microbench_seed_probe);
+  reg.set_microbench("blast.xdrop_extend", &microbench_xdrop_extend);
+  reg.set_microbench("blast.banded_dp", &microbench_banded_dp);
 }
 
 }  // namespace
 
+void register_kernels() {
+  static const bool once = [] {
+    register_all();
+    return true;
+  }();
+  (void)once;
+}
+
+// ---------------------------------------------------------------------------
+// Public batch wrappers: resolve through a cached handle (one generation
+// check per call), apply the word-gather shape gates only when the resolved
+// variant needs them, and fall back to the scalar baseline otherwise.
+// ---------------------------------------------------------------------------
+
 void encode_kmers_batch(const Sequence& subject, std::size_t k,
                         const std::uint32_t* pos, std::size_t n,
                         std::uint32_t* codes) {
-#if RIPPLE_SIMD_X86
-  if (device::active_simd_level() == device::SimdLevel::kAvx2 && k % 4 == 0 &&
-      subject.size() >= 4) {
-    encode_kmers_avx2(subject, k, pos, n, codes);
+  register_kernels();
+  thread_local device::KernelHandle<EncodeKmersFn> handle(
+      "blast.encode_kmers");
+  const device::KernelVariant& variant = handle.variant();
+  if (needs_word_gates(variant.level) &&
+      (k % 4 != 0 || subject.size() < 4)) {
+    detail::encode_kmers_scalar(subject, k, pos, n, codes);
     return;
   }
-#endif
-  encode_kmers_scalar(subject, k, pos, n, codes);
+  reinterpret_cast<EncodeKmersFn>(variant.fn)(subject, k, pos, n, codes);
 }
 
 void seed_filter_batch(const BlastStages& stages, const std::uint32_t* pos,
                        std::size_t n, runtime::BatchEmitter& out) {
-#if RIPPLE_SIMD_X86
-  if (avx2_eligible(stages)) {
-    seed_filter_avx2(stages, pos, n, out);
+  register_kernels();
+  thread_local device::KernelHandle<SeedFilterFn> handle("blast.seed_probe");
+  const device::KernelVariant& variant = handle.variant();
+  if (needs_word_gates(variant.level) && !word_kmer_eligible(stages)) {
+    detail::seed_filter_scalar(stages, pos, n, out);
     return;
   }
-#endif
-  seed_filter_scalar(stages, pos, n, out);
+  reinterpret_cast<SeedFilterFn>(variant.fn)(stages, pos, n, out);
 }
 
 void expand_seed_batch(const BlastStages& stages, const std::uint32_t* pos,
@@ -707,31 +883,28 @@ void expand_seed_batch(const BlastStages& stages, const std::uint32_t* pos,
 void ungapped_extend_batch(const BlastStages& stages, const std::uint32_t* sp,
                            const std::uint32_t* qp, std::size_t n,
                            runtime::BatchEmitter& out) {
-#if RIPPLE_SIMD_X86
-  if (avx2_eligible(stages)) {
-    ungapped_extend_avx2(stages, sp, qp, n, out);
+  register_kernels();
+  thread_local device::KernelHandle<UngappedExtendFn> handle(
+      "blast.xdrop_extend");
+  const device::KernelVariant& variant = handle.variant();
+  if (needs_word_gates(variant.level) && !word_extend_eligible(stages)) {
+    detail::ungapped_extend_scalar(stages, sp, qp, n, out);
     return;
   }
-#endif
-  ungapped_extend_scalar(stages, sp, qp, n, out);
+  reinterpret_cast<UngappedExtendFn>(variant.fn)(stages, sp, qp, n, out);
 }
 
 void gapped_extend_batch(const BlastStages& stages, const std::uint32_t* sp,
                          const std::uint32_t* qp, const std::uint32_t* score,
                          std::size_t n, runtime::BatchEmitter& out) {
-#if RIPPLE_SIMD_X86
-  if (avx2_eligible(stages)) {
-    gapped_extend_avx2(stages, sp, qp, score, n, out);
+  register_kernels();
+  thread_local device::KernelHandle<GappedExtendFn> handle("blast.banded_dp");
+  const device::KernelVariant& variant = handle.variant();
+  if (needs_word_gates(variant.level) && !word_extend_eligible(stages)) {
+    detail::gapped_extend_scalar(stages, sp, qp, score, n, out);
     return;
   }
-#endif
-  StageCost cost;
-  for (std::size_t lane = 0; lane < n; ++lane) {
-    const Alignment alignment = stages.gapped_extend(
-        ExtendedHit{sp[lane], qp[lane], field_to_i32(score[lane])}, cost);
-    out.emit(lane, alignment.subject_pos, alignment.query_pos,
-             field_from_i32(alignment.score));
-  }
+  reinterpret_cast<GappedExtendFn>(variant.fn)(stages, sp, qp, score, n, out);
 }
 
 }  // namespace ripple::blast::simd

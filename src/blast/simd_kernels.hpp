@@ -1,23 +1,26 @@
 // Vector-wide kernels for the BLAST stages: one call processes a whole lane
 // batch (runtime/lane_batch.hpp) instead of one item.
 //
-// Each kernel dispatches at runtime through device::active_simd_level():
-// an AVX2 body (compiled only when RIPPLE_SIMD_X86, executed only when the
-// host CPU reports AVX2) and a portable scalar loop that is always present.
-// Both paths use identical integer arithmetic, so their outputs — survivor
-// sets, scores, and emission order — are bit-identical; tests/
+// Each kernel dispatches per function through the device::KernelRegistry
+// (see docs/KERNELS.md): a portable scalar baseline is always present, and
+// AVX2 (8-lane), AVX-512 (16-lane), and NEON (4-lane, AArch64) variants
+// register when compiled in, each executed only when the host CPU supports
+// it. Every variant uses identical integer arithmetic, so their outputs —
+// survivor sets, scores, and emission order — are bit-identical; tests/
 // test_blast_simd.cpp holds them to that.
 //
-// The AVX2 bodies lean on three techniques:
+// The x86 bodies lean on three techniques:
 //   * k-mer encoding by 32-bit word gathers: for k % 4 == 0 the code of the
 //     window at `pos` is assembled from k/4 gathered words, 4 bases per
 //     word, instead of k byte loads (seed filter + expansion).
 //   * CSR probing by gathers on the index's offsets array: a seed matches
-//     iff offsets[code + 1] > offsets[code], eight codes per compare.
-//   * active-mask X-drop walks: eight (subject, query) extensions advance in
-//     lock step, lanes retiring as their score drops xdrop below their best;
-//     out-of-range byte reads are avoided by clamping gather addresses to
-//     the last full word and variable-shifting the target byte out.
+//     iff offsets[code + 1] > offsets[code], a vector of codes per compare.
+//   * active-mask X-drop walks: one vector of (subject, query) extensions
+//     advances in lock step, lanes retiring as their score drops xdrop below
+//     their best; out-of-range byte reads are avoided by clamping gather
+//     addresses to the last full word and variable-shifting the byte out.
+// The NEON ports (via device/lanes4.hpp) replace the gather tricks with
+// masked per-lane byte loads, so they carry no word-alignment shape gates.
 #pragma once
 
 #include <cstddef>
@@ -27,6 +30,12 @@
 #include "runtime/lane_batch.hpp"
 
 namespace ripple::blast::simd {
+
+/// Register the BLAST kernels and their variants with the process-wide
+/// device::KernelRegistry (idempotent). The batch wrappers below call it
+/// lazily; tooling that wants to autotune or dump the catalog before any
+/// batch runs calls it explicitly.
+void register_kernels();
 
 /// Stage 0, vector-wide: emit (pass through) each subject position whose
 /// k-mer occurs in the query index. One output column (subject_pos).

@@ -1,0 +1,537 @@
+// AVX-512 variants of the BLAST kernels: the AVX2 bodies re-expressed at 16
+// i32 lanes with mask registers. Same techniques (word-gather k-mer codes,
+// CSR probe gathers, clamped-word X-drop walks, band-relative SoA DP rows),
+// same integer arithmetic — predication moves from blendv/andnot vectors to
+// __mmask16, which is the only structural difference. Bit-identical to the
+// scalar baselines under tests/test_blast_simd.cpp.
+//
+// Bodies are compiled via function target attributes (no per-file flags) and
+// registered by blast/simd_kernels.cpp only when RIPPLE_SIMD_X86_AVX512; the
+// registry never resolves them on hosts missing the feature set.
+#include <algorithm>
+#include <vector>
+
+#include "blast/simd_kernels_detail.hpp"
+
+#if RIPPLE_SIMD_X86_AVX512
+
+#include <immintrin.h>
+
+#define RIPPLE_AVX512_TARGET "avx2,avx512f,avx512bw,avx512dq,avx512vl"
+
+namespace ripple::blast::simd {
+
+using runtime::BatchEmitter;
+using runtime::field_from_i32;
+using runtime::field_to_i32;
+
+namespace {
+
+/// Pack one gathered 32-bit word (4 consecutive bases, little-endian) into 8
+/// code bits with the first base most significant — the bit order
+/// encode_kmer() produces (16-lane twin of the AVX2 pack).
+__attribute__((target(RIPPLE_AVX512_TARGET))) inline __m512i
+pack_word_to_code_bits16(__m512i w) {
+  const __m512i b0 =
+      _mm512_slli_epi32(_mm512_and_si512(w, _mm512_set1_epi32(3)), 6);
+  const __m512i b1 =
+      _mm512_and_si512(_mm512_srli_epi32(w, 4), _mm512_set1_epi32(3 << 4));
+  const __m512i b2 =
+      _mm512_and_si512(_mm512_srli_epi32(w, 14), _mm512_set1_epi32(3 << 2));
+  const __m512i b3 =
+      _mm512_and_si512(_mm512_srli_epi32(w, 24), _mm512_set1_epi32(3));
+  return _mm512_or_si512(_mm512_or_si512(b0, b1), _mm512_or_si512(b2, b3));
+}
+
+/// Codes of 16 windows starting at the byte offsets in `idx`; requires
+/// k % 4 == 0 (gathers read exactly the window bytes).
+__attribute__((target(RIPPLE_AVX512_TARGET))) inline __m512i encode16(
+    const Base* subject, __m512i idx, std::size_t k) {
+  __m512i code = _mm512_setzero_si512();
+  for (std::size_t word = 0; word * 4 < k; ++word) {
+    const __m512i addr =
+        _mm512_add_epi32(idx, _mm512_set1_epi32(static_cast<int>(4 * word)));
+    const __m512i w = _mm512_i32gather_epi32(addr, subject, 1);
+    code = _mm512_or_si512(_mm512_slli_epi32(code, 8),
+                           pack_word_to_code_bits16(w));
+  }
+  return code;
+}
+
+/// 16-lane twin of extend8_chunk: run the in-flight walks for up to `blocks`
+/// four-step gather blocks, predicated on a lane mask instead of a -1/0
+/// vector. Updates s/score/best in place, returns the still-active mask.
+__attribute__((target(RIPPLE_AVX512_TARGET))) inline __mmask16 extend16_chunk(
+    const Base* subject, const Base* query, __m512i s_last_word,
+    __m512i q_last_word, __m512i bound, __m512i d, int direction,
+    __m512i match_v, __m512i mismatch_v, __m512i xdrop_v, __m512i& s,
+    __m512i& score, __m512i& best, __mmask16 active, int blocks) {
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i three = _mm512_set1_epi32(3);
+  const __m512i byte_mask = _mm512_set1_epi32(0xFF);
+  const __m512i step = _mm512_set1_epi32(direction);
+
+  for (int block = 0; block < blocks; ++block) {
+    const __m512i q_pos = _mm512_add_epi32(s, d);
+    const __m512i s_addr =
+        direction > 0 ? _mm512_min_epi32(s, s_last_word)
+                      : _mm512_max_epi32(_mm512_sub_epi32(s, three), zero);
+    const __m512i q_addr =
+        direction > 0 ? _mm512_min_epi32(q_pos, q_last_word)
+                      : _mm512_max_epi32(_mm512_sub_epi32(q_pos, three), zero);
+    const __m512i sword =
+        _mm512_mask_i32gather_epi32(zero, active, s_addr, subject, 1);
+    const __m512i qword =
+        _mm512_mask_i32gather_epi32(zero, active, q_addr, query, 1);
+    // q_shift = s_shift + 8 * (s_addr + d - q_addr), constant per block.
+    const __m512i q_shift_delta = _mm512_slli_epi32(
+        _mm512_sub_epi32(_mm512_add_epi32(s_addr, d), q_addr), 3);
+    for (int t = 0; t < 4; ++t) {
+      // Retired lanes compute garbage bytes; their delta is zeroed by the
+      // maskz move (negative shifts map to zero under srlv, as on AVX2).
+      const __m512i s_shift = _mm512_slli_epi32(_mm512_sub_epi32(s, s_addr), 3);
+      const __m512i sb =
+          _mm512_and_si512(_mm512_srlv_epi32(sword, s_shift), byte_mask);
+      const __m512i qb = _mm512_and_si512(
+          _mm512_srlv_epi32(qword, _mm512_add_epi32(s_shift, q_shift_delta)),
+          byte_mask);
+      const __mmask16 eq = _mm512_cmpeq_epi32_mask(sb, qb);
+      const __m512i delta = _mm512_maskz_mov_epi32(
+          active, _mm512_mask_blend_epi32(eq, mismatch_v, match_v));
+      score = _mm512_add_epi32(score, delta);
+      best = _mm512_max_epi32(best, score);
+      const __mmask16 dropped =
+          _mm512_cmpgt_epi32_mask(_mm512_sub_epi32(best, score), xdrop_v);
+      active = active & static_cast<__mmask16>(~dropped);
+      s = _mm512_mask_add_epi32(s, active, s, step);
+      const __mmask16 in_range = direction > 0
+                                     ? _mm512_cmpgt_epi32_mask(bound, s)
+                                     : _mm512_cmpgt_epi32_mask(s, bound);
+      active = active & in_range;
+      if (active == 0) return active;
+    }
+  }
+  return active;
+}
+
+/// SoA worklist of in-flight walks (same layout as the AVX2 TU's).
+struct WalkList16 {
+  std::vector<std::int32_t> index;
+  std::vector<std::int32_t> s;
+  std::vector<std::int32_t> d;
+  std::vector<std::int32_t> score;
+  std::vector<std::int32_t> best;
+
+  void reserve(std::size_t n) {
+    index.reserve(n);
+    s.reserve(n);
+    d.reserve(n);
+    score.reserve(n);
+    best.reserve(n);
+  }
+  void clear() {
+    index.clear();
+    s.clear();
+    d.clear();
+    score.clear();
+    best.clear();
+  }
+  void push(std::int32_t idx, std::int32_t s_pos, std::int32_t delta,
+            std::int32_t sc, std::int32_t bst) {
+    index.push_back(idx);
+    s.push_back(s_pos);
+    d.push_back(delta);
+    score.push_back(sc);
+    best.push_back(bst);
+  }
+  std::size_t size() const { return index.size(); }
+};
+
+/// One extension direction, worklist-style at 16 lanes (see the AVX2 twin
+/// for the compaction argument; regrouping cannot change per-lane results).
+__attribute__((target(RIPPLE_AVX512_TARGET))) void extend_avx512_direction(
+    const BlastStages& stages, const std::uint32_t* sp, const std::uint32_t* qp,
+    std::size_t n, int start_offset, int direction, std::int32_t* out_best) {
+  const BlastStages::Config& config = stages.config();
+  const Base* subject = stages.pair().subject.data();
+  const Base* query = stages.pair().query.data();
+  const int subject_size = static_cast<int>(stages.pair().subject.size());
+  const int query_size = static_cast<int>(stages.pair().query.size());
+  const __m512i s_last_word = _mm512_set1_epi32(subject_size - 4);
+  const __m512i q_last_word = _mm512_set1_epi32(query_size - 4);
+  const __m512i match_v = _mm512_set1_epi32(config.match_score);
+  const __m512i mismatch_v = _mm512_set1_epi32(config.mismatch_penalty);
+  const __m512i xdrop_v = _mm512_set1_epi32(config.xdrop);
+  const __m512i subject_size_v = _mm512_set1_epi32(subject_size);
+  const __m512i query_size_v = _mm512_set1_epi32(query_size);
+  const __m512i zero = _mm512_setzero_si512();
+  constexpr int kChunkBlocks = 8;  // 32 steps between re-packs
+
+  thread_local WalkList16 live;
+  thread_local WalkList16 next;
+  live.clear();
+  live.reserve(n);
+  next.clear();
+  next.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const int s0 = static_cast<int>(sp[i]) + start_offset;
+    const int q0 = static_cast<int>(qp[i]) + start_offset;
+    out_best[i] = 0;
+    if (s0 >= 0 && q0 >= 0 && s0 < subject_size && q0 < query_size) {
+      live.push(static_cast<std::int32_t>(i), s0, q0 - s0, 0, 0);
+    }
+  }
+
+  alignas(64) std::int32_t s_a[16];
+  alignas(64) std::int32_t score_a[16];
+  alignas(64) std::int32_t best_a[16];
+  while (live.size() >= 16) {
+    next.clear();
+    std::size_t g = 0;
+    for (; g + 16 <= live.size(); g += 16) {
+      __m512i s = _mm512_loadu_si512(live.s.data() + g);
+      const __m512i d = _mm512_loadu_si512(live.d.data() + g);
+      __m512i score = _mm512_loadu_si512(live.score.data() + g);
+      __m512i best = _mm512_loadu_si512(live.best.data() + g);
+      // First out-of-range s: forward stops when either sequence ends,
+      // backward when either hits -1.
+      const __m512i bound =
+          direction > 0
+              ? _mm512_min_epi32(subject_size_v,
+                                 _mm512_sub_epi32(query_size_v, d))
+              : _mm512_sub_epi32(
+                    _mm512_max_epi32(zero, _mm512_sub_epi32(zero, d)),
+                    _mm512_set1_epi32(1));
+      const __mmask16 active = extend16_chunk(
+          subject, query, s_last_word, q_last_word, bound, d, direction,
+          match_v, mismatch_v, xdrop_v, s, score, best, 0xFFFF, kChunkBlocks);
+      _mm512_store_si512(s_a, s);
+      _mm512_store_si512(score_a, score);
+      _mm512_store_si512(best_a, best);
+      for (int r = 0; r < 16; ++r) {
+        const std::int32_t idx = live.index[g + static_cast<std::size_t>(r)];
+        if (active & (1u << r)) {
+          next.push(idx, s_a[r], live.d[g + static_cast<std::size_t>(r)],
+                    score_a[r], best_a[r]);
+        } else {
+          out_best[idx] = best_a[r];
+        }
+      }
+    }
+    for (; g < live.size(); ++g) {
+      const int s0 = live.s[g];
+      out_best[live.index[g]] = detail::extend_scalar_from(
+          subject, subject_size, query, query_size, s0, s0 + live.d[g],
+          live.score[g], live.best[g], direction, config.match_score,
+          config.mismatch_penalty, config.xdrop);
+    }
+    std::swap(live, next);
+  }
+  for (std::size_t g = 0; g < live.size(); ++g) {
+    const int s0 = live.s[g];
+    out_best[live.index[g]] = detail::extend_scalar_from(
+        subject, subject_size, query, query_size, s0, s0 + live.d[g],
+        live.score[g], live.best[g], direction, config.match_score,
+        config.mismatch_penalty, config.xdrop);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+__attribute__((target(RIPPLE_AVX512_TARGET))) void encode_kmers_avx512(
+    const Sequence& subject, std::size_t k, const std::uint32_t* pos,
+    std::size_t n, std::uint32_t* codes) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i idx = _mm512_loadu_si512(pos + i);
+    _mm512_storeu_si512(codes + i, encode16(subject.data(), idx, k));
+  }
+  for (; i < n; ++i) codes[i] = encode_kmer(subject, pos[i], k);
+}
+
+__attribute__((target(RIPPLE_AVX512_TARGET))) void seed_filter_avx512(
+    const BlastStages& stages, const std::uint32_t* pos, std::size_t n,
+    BatchEmitter& out) {
+  const std::uint32_t* offsets = stages.index().offsets_data();
+  const Base* subject = stages.pair().subject.data();
+  const std::size_t k = stages.config().k;
+  std::size_t lane = 0;
+  for (; lane + 16 <= n; lane += 16) {
+    const __m512i idx = _mm512_loadu_si512(pos + lane);
+    const __m512i code = encode16(subject, idx, k);
+    // CSR probe: a code is present iff its offsets run is non-empty.
+    const __m512i off0 = _mm512_i32gather_epi32(code, offsets, 4);
+    const __m512i off1 = _mm512_i32gather_epi32(
+        _mm512_add_epi32(code, _mm512_set1_epi32(1)), offsets, 4);
+    unsigned mask = _mm512_cmpgt_epi32_mask(off1, off0);
+    while (mask != 0) {
+      const int bit = __builtin_ctz(mask);
+      out.emit(lane + static_cast<std::size_t>(bit),
+               pos[lane + static_cast<std::size_t>(bit)]);
+      mask &= mask - 1;
+    }
+  }
+  for (; lane < n; ++lane) {
+    const KmerCode code = encode_kmer(stages.pair().subject, pos[lane], k);
+    if (offsets[code + 1] > offsets[code]) out.emit(lane, pos[lane]);
+  }
+}
+
+__attribute__((target(RIPPLE_AVX512_TARGET))) void ungapped_extend_avx512(
+    const BlastStages& stages, const std::uint32_t* sp, const std::uint32_t* qp,
+    std::size_t n, BatchEmitter& out) {
+  const BlastStages::Config& config = stages.config();
+  const int k = static_cast<int>(config.k);
+  const int seed_score = k * config.match_score;
+
+  thread_local std::vector<std::int32_t> right_best;
+  thread_local std::vector<std::int32_t> left_best;
+  right_best.resize(n);
+  left_best.resize(n);
+  extend_avx512_direction(stages, sp, qp, n, k, +1, right_best.data());
+  extend_avx512_direction(stages, sp, qp, n, -1, -1, left_best.data());
+
+  for (std::size_t lane = 0; lane < n; ++lane) {
+    const int total = seed_score + right_best[lane] + left_best[lane];
+    if (total >= config.ungapped_threshold) {
+      out.emit(lane, sp[lane], qp[lane], field_from_i32(total));
+    }
+  }
+}
+
+/// 16-lane banded gapped DP — the AVX2 band-relative SoA scheme (see that
+/// body's comment for the full derivation) with lane stride 16 and mask-
+/// register predication. The recurrence, sentinels, and boundary stores are
+/// identical cell for cell.
+__attribute__((target(RIPPLE_AVX512_TARGET))) void gapped_extend_avx512(
+    const BlastStages& stages, const std::uint32_t* sp, const std::uint32_t* qp,
+    const std::uint32_t* score, std::size_t n, BatchEmitter& out) {
+  const BlastStages::Config& config = stages.config();
+  const Base* subject = stages.pair().subject.data();
+  const Base* query = stages.pair().query.data();
+  const int subject_size = static_cast<int>(stages.pair().subject.size());
+  const int query_size = static_cast<int>(stages.pair().query.size());
+  const std::int64_t w = static_cast<std::int64_t>(config.gapped_window);
+  const int band = static_cast<int>(config.band_radius);
+  const int width = 2 * band + 1;
+  constexpr int kMinScore = kGappedMinScore;
+
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i band_v = _mm512_set1_epi32(band);
+  const __m512i gap_v = _mm512_set1_epi32(config.gap_penalty);
+  const __m512i match_v = _mm512_set1_epi32(config.match_score);
+  const __m512i mismatch_v = _mm512_set1_epi32(config.mismatch_penalty);
+  const __m512i kmin_v = _mm512_set1_epi32(kMinScore);
+  const __m512i byte_mask = _mm512_set1_epi32(0xFF);
+  const __m512i lane_id = _mm512_set_epi32(15, 14, 13, 12, 11, 10, 9, 8, 7, 6,
+                                           5, 4, 3, 2, 1, 0);
+  const __m512i s_last_word = _mm512_set1_epi32(subject_size - 4);
+  const __m512i q_last_word = _mm512_set1_epi32(query_size - 4);
+
+  thread_local std::vector<std::int32_t> band_rows;
+  band_rows.resize(static_cast<std::size_t>(width + 1) * 16 * 2);
+  std::int32_t* previous = band_rows.data();
+  std::int32_t* current = band_rows.data() + (width + 1) * 16;
+
+  alignas(64) std::int32_t s_begin_a[16];
+  alignas(64) std::int32_t q_begin_a[16];
+  alignas(64) std::int32_t ds_a[16];
+  alignas(64) std::int32_t cols_a[16];
+  alignas(64) std::int32_t rows_limit_a[16];
+  alignas(64) std::int32_t best_a[16];
+
+  std::size_t lane0 = 0;
+  for (; lane0 + 16 <= n; lane0 += 16) {
+    int max_rows = 0;
+    for (int r = 0; r < 16; ++r) {
+      const std::int64_t hsp = sp[lane0 + static_cast<std::size_t>(r)];
+      const std::int64_t hqp = qp[lane0 + static_cast<std::size_t>(r)];
+      const int s_begin = static_cast<int>(std::max<std::int64_t>(0, hsp - w));
+      const int s_end =
+          static_cast<int>(std::min<std::int64_t>(subject_size, hsp + w));
+      const int q_begin = static_cast<int>(std::max<std::int64_t>(0, hqp - w));
+      const int q_end =
+          static_cast<int>(std::min<std::int64_t>(query_size, hqp + w));
+      const int rows = s_end - s_begin;
+      const int cols = q_end - q_begin;
+      const int ds = static_cast<int>((hqp - q_begin) - (hsp - s_begin));
+      s_begin_a[r] = s_begin;
+      q_begin_a[r] = q_begin;
+      ds_a[r] = ds;
+      cols_a[r] = cols;
+      // Rows the scalar loop actually processes before its early break.
+      const int limit =
+          (1 + ds + band < 0) ? 0 : std::min(rows, cols - ds + band);
+      rows_limit_a[r] = std::max(limit, 0);
+      max_rows = std::max(max_rows, rows_limit_a[r]);
+      // Row 0 in band coordinates (gap ladder / kMinScore sentinels); slot
+      // `width` stays kMinScore in both buffers for good.
+      const int j_lo0 = std::max(ds - band, 0);
+      for (int t = 0; t <= width; ++t) {
+        const int j = j_lo0 + t;
+        int value = kMinScore;
+        if (j == 0) {
+          value = 0;
+        } else if (j <= ds + band && j <= cols) {
+          value = j * config.gap_penalty;
+        }
+        previous[t * 16 + r] = value;
+        current[t * 16 + r] = kMinScore;
+      }
+    }
+
+    const __m512i ds_v = _mm512_load_si512(ds_a);
+    const __m512i cols_v = _mm512_load_si512(cols_a);
+    const __m512i rows_limit_v = _mm512_load_si512(rows_limit_a);
+    const __m512i s_begin_v = _mm512_load_si512(s_begin_a);
+    const __m512i q_begin_v = _mm512_load_si512(q_begin_a);
+    __m512i best = zero;
+    __m512i j_lo_prev = _mm512_max_epi32(_mm512_sub_epi32(ds_v, band_v), zero);
+
+    for (int i = 1; i <= max_rows; ++i) {
+      const __mmask16 row_active =
+          _mm512_cmpgt_epi32_mask(rows_limit_v, _mm512_set1_epi32(i - 1));
+      const __m512i center = _mm512_add_epi32(_mm512_set1_epi32(i), ds_v);
+      const __m512i j_lo =
+          _mm512_max_epi32(_mm512_sub_epi32(center, band_v), zero);
+      const __m512i j_hi =
+          _mm512_min_epi32(_mm512_add_epi32(center, band_v), cols_v);
+      const __m512i dlo = _mm512_sub_epi32(j_lo, j_lo_prev);
+      j_lo_prev = j_lo;
+      const unsigned active_mask = row_active;
+      const unsigned shifted_mask =
+          _mm512_cmpeq_epi32_mask(dlo, one) & active_mask;
+      const bool uniform = shifted_mask == 0 || shifted_mask == active_mask;
+      const int shift_common = shifted_mask != 0 ? 1 : 0;
+
+      // The row's subject base, byte-extracted from one clamped word gather.
+      const __m512i s_idx =
+          _mm512_add_epi32(s_begin_v, _mm512_set1_epi32(i - 1));
+      const __m512i s_addr =
+          _mm512_max_epi32(_mm512_min_epi32(s_idx, s_last_word), zero);
+      const __m512i s_word =
+          _mm512_mask_i32gather_epi32(zero, row_active, s_addr, subject, 1);
+      const __m512i sb = _mm512_and_si512(
+          _mm512_srlv_epi32(
+              s_word, _mm512_slli_epi32(_mm512_sub_epi32(s_idx, s_addr), 3)),
+          byte_mask);
+      const __m512i row_gap = _mm512_set1_epi32(i * config.gap_penalty);
+
+      // Gate 0 on retired rows rejects every j (see the AVX2 comment).
+      const __m512i band_gate =
+          _mm512_maskz_mov_epi32(row_active, _mm512_add_epi32(j_hi, one));
+
+      // t = 0, peeled (j == 0 gap ladder / below-band column).
+      const __m512i prev_jm1_seed = _mm512_loadu_si512(previous);
+      __m512i prev_j;
+      if (uniform) {
+        prev_j = _mm512_loadu_si512(previous + shift_common * 16);
+      } else {
+        const __m512i slot =
+            _mm512_add_epi32(_mm512_slli_epi32(dlo, 4), lane_id);
+        prev_j = _mm512_i32gather_epi32(slot, previous, 4);
+      }
+      const __m512i q_idx0 =
+          _mm512_sub_epi32(_mm512_add_epi32(q_begin_v, j_lo), one);
+      __m512i q_addr =
+          _mm512_max_epi32(_mm512_min_epi32(q_idx0, q_last_word), zero);
+      __m512i q_word =
+          _mm512_mask_i32gather_epi32(zero, row_active, q_addr, query, 1);
+      __m512i q_shift = _mm512_slli_epi32(_mm512_sub_epi32(q_idx0, q_addr), 3);
+      __m512i left;
+      {
+        const __m512i qb =
+            _mm512_and_si512(_mm512_srlv_epi32(q_word, q_shift), byte_mask);
+        const __mmask16 eq = _mm512_cmpeq_epi32_mask(sb, qb);
+        const __m512i diag = _mm512_add_epi32(
+            prev_jm1_seed, _mm512_mask_blend_epi32(eq, mismatch_v, match_v));
+        const __m512i up = _mm512_add_epi32(prev_j, gap_v);
+        const __m512i from_left = _mm512_add_epi32(kmin_v, gap_v);
+        const __m512i cell =
+            _mm512_max_epi32(_mm512_max_epi32(diag, up), from_left);
+        const __mmask16 is_dp = _mm512_cmpgt_epi32_mask(j_lo, zero) &
+                                _mm512_cmpgt_epi32_mask(band_gate, j_lo);
+        const __mmask16 is_boundary =
+            row_active & _mm512_cmpeq_epi32_mask(j_lo, zero);
+        __m512i stored = _mm512_mask_blend_epi32(is_dp, kmin_v, cell);
+        stored = _mm512_mask_blend_epi32(is_boundary, stored, row_gap);
+        _mm512_storeu_si512(current, stored);
+        best = _mm512_max_epi32(best, stored);
+        left = stored;
+      }
+      __m512i prev_jm1 = prev_j;
+      __m512i j_v = _mm512_add_epi32(j_lo, one);
+      const __m512i eight = _mm512_set1_epi32(8);
+      for (int t = 1; t < width; ++t) {
+        if ((t & 3) == 0) {
+          // One word gather of query bases covers this and the next three
+          // columns (consecutive j → consecutive bytes).
+          const __m512i q_idx =
+              _mm512_sub_epi32(_mm512_add_epi32(q_begin_v, j_v), one);
+          q_addr = _mm512_max_epi32(_mm512_min_epi32(q_idx, q_last_word), zero);
+          q_word =
+              _mm512_mask_i32gather_epi32(zero, row_active, q_addr, query, 1);
+          q_shift = _mm512_slli_epi32(_mm512_sub_epi32(q_idx, q_addr), 3);
+        } else {
+          q_shift = _mm512_add_epi32(q_shift, eight);
+        }
+        const __m512i qb =
+            _mm512_and_si512(_mm512_srlv_epi32(q_word, q_shift), byte_mask);
+
+        if (uniform) {
+          prev_j = _mm512_loadu_si512(previous + (t + shift_common) * 16);
+        } else {
+          const __m512i slot = _mm512_add_epi32(
+              _mm512_slli_epi32(_mm512_add_epi32(_mm512_set1_epi32(t), dlo),
+                                4),
+              lane_id);
+          prev_j = _mm512_i32gather_epi32(slot, previous, 4);
+        }
+
+        const __mmask16 eq = _mm512_cmpeq_epi32_mask(sb, qb);
+        const __m512i diag = _mm512_add_epi32(
+            prev_jm1, _mm512_mask_blend_epi32(eq, mismatch_v, match_v));
+        const __m512i up = _mm512_add_epi32(prev_j, gap_v);
+        const __m512i from_left = _mm512_add_epi32(left, gap_v);
+        const __m512i cell =
+            _mm512_max_epi32(_mm512_max_epi32(diag, up), from_left);
+
+        // j >= 1 holds for every t >= 1, so the band gate is the whole test.
+        const __m512i stored = _mm512_mask_blend_epi32(
+            _mm512_cmpgt_epi32_mask(band_gate, j_v), kmin_v, cell);
+        _mm512_storeu_si512(current + t * 16, stored);
+        best = _mm512_max_epi32(best, stored);
+        prev_jm1 = prev_j;
+        left = stored;
+        j_v = _mm512_add_epi32(j_v, one);
+      }
+      std::swap(previous, current);
+    }
+
+    _mm512_store_si512(best_a, best);
+    for (int r = 0; r < 16; ++r) {
+      const std::size_t lane = lane0 + static_cast<std::size_t>(r);
+      const int result = std::max(best_a[r], field_to_i32(score[lane]));
+      out.emit(lane, sp[lane], qp[lane], field_from_i32(result));
+    }
+  }
+  if (lane0 < n) {
+    StageCost cost;
+    for (; lane0 < n; ++lane0) {
+      const Alignment alignment = stages.gapped_extend(
+          ExtendedHit{sp[lane0], qp[lane0], field_to_i32(score[lane0])}, cost);
+      out.emit(lane0, alignment.subject_pos, alignment.query_pos,
+               field_from_i32(alignment.score));
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace ripple::blast::simd
+
+#endif  // RIPPLE_SIMD_X86_AVX512

@@ -1,0 +1,133 @@
+// Internal surface of the BLAST kernel variants: the concrete per-ISA bodies
+// that simd_kernels.cpp registers with the device::KernelRegistry, plus the
+// shared signatures and helpers. Tests include this to drive a specific body
+// directly (e.g. the lanes4/NEON port through its portable backend on x86);
+// everything else should go through the public wrappers in simd_kernels.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "blast/stages.hpp"
+#include "device/dispatch.hpp"
+#include "runtime/lane_batch.hpp"
+
+namespace ripple::blast::simd {
+
+// Concrete signatures shared by every variant of a kernel; the registry
+// stores them type-erased and the wrappers cast back through these.
+using EncodeKmersFn = void (*)(const Sequence& subject, std::size_t k,
+                               const std::uint32_t* pos, std::size_t n,
+                               std::uint32_t* codes);
+using SeedFilterFn = void (*)(const BlastStages& stages,
+                              const std::uint32_t* pos, std::size_t n,
+                              runtime::BatchEmitter& out);
+using UngappedExtendFn = void (*)(const BlastStages& stages,
+                                  const std::uint32_t* sp,
+                                  const std::uint32_t* qp, std::size_t n,
+                                  runtime::BatchEmitter& out);
+using GappedExtendFn = void (*)(const BlastStages& stages,
+                                const std::uint32_t* sp,
+                                const std::uint32_t* qp,
+                                const std::uint32_t* score, std::size_t n,
+                                runtime::BatchEmitter& out);
+
+namespace detail {
+
+/// Gapped DP sentinel shared by every vector variant: low enough that no
+/// in-band score can reach it, high enough that adding a gap penalty cannot
+/// underflow int32.
+inline constexpr int kGappedMinScore = -(1 << 28);
+
+// Scalar baselines: always compiled, the only bodies on RIPPLE_SIMD=OFF
+// builds. These reuse the per-item BlastStages logic so any fix there is
+// inherited.
+void encode_kmers_scalar(const Sequence& subject, std::size_t k,
+                         const std::uint32_t* pos, std::size_t n,
+                         std::uint32_t* codes);
+void seed_filter_scalar(const BlastStages& stages, const std::uint32_t* pos,
+                        std::size_t n, runtime::BatchEmitter& out);
+void ungapped_extend_scalar(const BlastStages& stages, const std::uint32_t* sp,
+                            const std::uint32_t* qp, std::size_t n,
+                            runtime::BatchEmitter& out);
+void gapped_extend_scalar(const BlastStages& stages, const std::uint32_t* sp,
+                          const std::uint32_t* qp, const std::uint32_t* score,
+                          std::size_t n, runtime::BatchEmitter& out);
+
+/// BlastStages::extend_direction resumed from mid-walk state: identical
+/// recurrence, but score/best start from the values a partially-run vector
+/// walk accumulated. Used by every vector variant to finish worklist tails
+/// narrower than a vector.
+inline int extend_scalar_from(const Base* subject, int subject_size,
+                              const Base* query, int query_size, int s, int q,
+                              int score, int best, int direction, int match,
+                              int mismatch, int xdrop) {
+  while (s >= 0 && q >= 0 && s < subject_size && q < query_size) {
+    score += (subject[s] == query[q]) ? match : mismatch;
+    best = std::max(best, score);
+    if (best - score > xdrop) break;
+    s += direction;
+    q += direction;
+  }
+  return best;
+}
+
+#if RIPPLE_SIMD_X86
+void encode_kmers_avx2(const Sequence& subject, std::size_t k,
+                       const std::uint32_t* pos, std::size_t n,
+                       std::uint32_t* codes);
+void seed_filter_avx2(const BlastStages& stages, const std::uint32_t* pos,
+                      std::size_t n, runtime::BatchEmitter& out);
+void ungapped_extend_avx2(const BlastStages& stages, const std::uint32_t* sp,
+                          const std::uint32_t* qp, std::size_t n,
+                          runtime::BatchEmitter& out);
+void gapped_extend_avx2(const BlastStages& stages, const std::uint32_t* sp,
+                        const std::uint32_t* qp, const std::uint32_t* score,
+                        std::size_t n, runtime::BatchEmitter& out);
+#endif
+
+#if RIPPLE_SIMD_X86_AVX512
+void encode_kmers_avx512(const Sequence& subject, std::size_t k,
+                         const std::uint32_t* pos, std::size_t n,
+                         std::uint32_t* codes);
+void seed_filter_avx512(const BlastStages& stages, const std::uint32_t* pos,
+                        std::size_t n, runtime::BatchEmitter& out);
+void ungapped_extend_avx512(const BlastStages& stages, const std::uint32_t* sp,
+                            const std::uint32_t* qp, std::size_t n,
+                            runtime::BatchEmitter& out);
+void gapped_extend_avx512(const BlastStages& stages, const std::uint32_t* sp,
+                          const std::uint32_t* qp, const std::uint32_t* score,
+                          std::size_t n, runtime::BatchEmitter& out);
+#endif
+
+// The lanes4 (NEON) ports of the two hottest kernels are always compiled:
+// on AArch64 they lower to NEON intrinsics and register as kNeon variants;
+// elsewhere they run the portable 4-lane backend so their arithmetic is
+// golden-tested on every host (see device/lanes4.hpp).
+void ungapped_extend_lanes4(const BlastStages& stages, const std::uint32_t* sp,
+                            const std::uint32_t* qp, std::size_t n,
+                            runtime::BatchEmitter& out);
+void gapped_extend_lanes4(const BlastStages& stages, const std::uint32_t* sp,
+                          const std::uint32_t* qp, const std::uint32_t* score,
+                          std::size_t n, runtime::BatchEmitter& out);
+
+}  // namespace detail
+
+/// Shape gates for the word-gather x86 variants: the k-mer kernels need
+/// k % 4 == 0 (word-exact gathers) and every kernel needs at least one full
+/// word in each sequence (clamped extension gathers). The lanes4 variants
+/// read per lane and need no gate.
+inline bool word_kmer_eligible(const BlastStages& stages) {
+  return stages.config().k % 4 == 0 && stages.pair().subject.size() >= 4 &&
+         stages.pair().query.size() >= 4;
+}
+inline bool word_extend_eligible(const BlastStages& stages) {
+  return stages.pair().subject.size() >= 4 && stages.pair().query.size() >= 4;
+}
+inline bool needs_word_gates(device::SimdLevel level) {
+  return level == device::SimdLevel::kAvx2 ||
+         level == device::SimdLevel::kAvx512;
+}
+
+}  // namespace ripple::blast::simd

@@ -1,0 +1,410 @@
+// Four-lane ports of the two hottest BLAST kernels (X-drop ungapped
+// extension and banded gapped DP), written against device/lanes4.hpp: NEON
+// intrinsics on AArch64, the portable backend elsewhere. Same lane-parallel
+// structure as the AVX2/AVX-512 bodies, but memory access is per-lane masked
+// byte loads instead of clamped word gathers — NEON has no gather — so these
+// carry no word-alignment shape gates. Bit-identical to the scalar baselines
+// on every backend (tests/test_blast_simd.cpp drives the portable backend
+// directly on x86).
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "blast/simd_kernels_detail.hpp"
+#include "device/lanes4.hpp"
+
+namespace ripple::blast::simd {
+
+using device::I32x4;
+using runtime::BatchEmitter;
+using runtime::field_from_i32;
+using runtime::field_to_i32;
+
+namespace {
+
+/// Four-lane twin of the x86 extend chunks: advance the in-flight walks for
+/// up to `steps` steps. Active lanes always hold in-range (s, s + d), so the
+/// masked byte loads never clamp. Returns the still-active mask.
+inline I32x4 extend4_chunk(const Base* subject, const Base* query, I32x4 bound,
+                           I32x4 d, int direction, I32x4 match_v,
+                           I32x4 mismatch_v, I32x4 xdrop_v, I32x4& s,
+                           I32x4& score, I32x4& best, I32x4 active,
+                           int steps) {
+  const I32x4 step_v = device::x4_dup(direction);
+  for (int t = 0; t < steps; ++t) {
+    const I32x4 q_pos = device::x4_add(s, d);
+    const I32x4 sb = device::x4_bytes_at(subject, s, active);
+    const I32x4 qb = device::x4_bytes_at(query, q_pos, active);
+    const I32x4 eq = device::x4_cmpeq(sb, qb);
+    const I32x4 delta = device::x4_and(
+        device::x4_blend(eq, mismatch_v, match_v), active);
+    score = device::x4_add(score, delta);
+    best = device::x4_max(best, score);
+    const I32x4 dropped =
+        device::x4_cmpgt(device::x4_sub(best, score), xdrop_v);
+    active = device::x4_andnot(active, dropped);
+    s = device::x4_add(s, device::x4_and(step_v, active));
+    const I32x4 in_range = direction > 0 ? device::x4_cmpgt(bound, s)
+                                         : device::x4_cmpgt(s, bound);
+    active = device::x4_and(active, in_range);
+    if (!device::x4_any(active)) return active;
+  }
+  return active;
+}
+
+/// SoA worklist of in-flight walks (four-lane edition of the x86 ones).
+struct WalkList4 {
+  std::vector<std::int32_t> index;
+  std::vector<std::int32_t> s;
+  std::vector<std::int32_t> d;
+  std::vector<std::int32_t> score;
+  std::vector<std::int32_t> best;
+
+  void reserve(std::size_t n) {
+    index.reserve(n);
+    s.reserve(n);
+    d.reserve(n);
+    score.reserve(n);
+    best.reserve(n);
+  }
+  void clear() {
+    index.clear();
+    s.clear();
+    d.clear();
+    score.clear();
+    best.clear();
+  }
+  void push(std::int32_t idx, std::int32_t s_pos, std::int32_t delta,
+            std::int32_t sc, std::int32_t bst) {
+    index.push_back(idx);
+    s.push_back(s_pos);
+    d.push_back(delta);
+    score.push_back(sc);
+    best.push_back(bst);
+  }
+  std::size_t size() const { return index.size(); }
+};
+
+void extend_lanes4_direction(const BlastStages& stages, const std::uint32_t* sp,
+                             const std::uint32_t* qp, std::size_t n,
+                             int start_offset, int direction,
+                             std::int32_t* out_best) {
+  const BlastStages::Config& config = stages.config();
+  const Base* subject = stages.pair().subject.data();
+  const Base* query = stages.pair().query.data();
+  const int subject_size = static_cast<int>(stages.pair().subject.size());
+  const int query_size = static_cast<int>(stages.pair().query.size());
+  const I32x4 match_v = device::x4_dup(config.match_score);
+  const I32x4 mismatch_v = device::x4_dup(config.mismatch_penalty);
+  const I32x4 xdrop_v = device::x4_dup(config.xdrop);
+  const I32x4 subject_size_v = device::x4_dup(subject_size);
+  const I32x4 query_size_v = device::x4_dup(query_size);
+  const I32x4 zero = device::x4_dup(0);
+  constexpr int kChunkSteps = 32;  // steps between worklist re-packs
+
+  thread_local WalkList4 live;
+  thread_local WalkList4 next;
+  live.clear();
+  live.reserve(n);
+  next.clear();
+  next.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const int s0 = static_cast<int>(sp[i]) + start_offset;
+    const int q0 = static_cast<int>(qp[i]) + start_offset;
+    out_best[i] = 0;
+    if (s0 >= 0 && q0 >= 0 && s0 < subject_size && q0 < query_size) {
+      live.push(static_cast<std::int32_t>(i), s0, q0 - s0, 0, 0);
+    }
+  }
+
+  std::int32_t s_a[4];
+  std::int32_t score_a[4];
+  std::int32_t best_a[4];
+  while (live.size() >= 4) {
+    next.clear();
+    std::size_t g = 0;
+    for (; g + 4 <= live.size(); g += 4) {
+      I32x4 s = device::x4_load(live.s.data() + g);
+      const I32x4 d = device::x4_load(live.d.data() + g);
+      I32x4 score = device::x4_load(live.score.data() + g);
+      I32x4 best = device::x4_load(live.best.data() + g);
+      // First out-of-range s: forward stops when either sequence ends,
+      // backward when either hits -1.
+      const I32x4 bound =
+          direction > 0
+              ? device::x4_min(subject_size_v,
+                               device::x4_sub(query_size_v, d))
+              : device::x4_sub(device::x4_max(zero, device::x4_sub(zero, d)),
+                               device::x4_dup(1));
+      const I32x4 active = extend4_chunk(
+          subject, query, bound, d, direction, match_v, mismatch_v, xdrop_v, s,
+          score, best, device::x4_dup(-1), kChunkSteps);
+      device::x4_store(s_a, s);
+      device::x4_store(score_a, score);
+      device::x4_store(best_a, best);
+      const int live_bits = device::x4_mask_bits(active);
+      for (int r = 0; r < 4; ++r) {
+        const std::int32_t idx = live.index[g + static_cast<std::size_t>(r)];
+        if (live_bits & (1 << r)) {
+          next.push(idx, s_a[r], live.d[g + static_cast<std::size_t>(r)],
+                    score_a[r], best_a[r]);
+        } else {
+          out_best[idx] = best_a[r];
+        }
+      }
+    }
+    for (; g < live.size(); ++g) {
+      const int s0 = live.s[g];
+      out_best[live.index[g]] = detail::extend_scalar_from(
+          subject, subject_size, query, query_size, s0, s0 + live.d[g],
+          live.score[g], live.best[g], direction, config.match_score,
+          config.mismatch_penalty, config.xdrop);
+    }
+    std::swap(live, next);
+  }
+  for (std::size_t g = 0; g < live.size(); ++g) {
+    const int s0 = live.s[g];
+    out_best[live.index[g]] = detail::extend_scalar_from(
+        subject, subject_size, query, query_size, s0, s0 + live.d[g],
+        live.score[g], live.best[g], direction, config.match_score,
+        config.mismatch_penalty, config.xdrop);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void ungapped_extend_lanes4(const BlastStages& stages, const std::uint32_t* sp,
+                            const std::uint32_t* qp, std::size_t n,
+                            BatchEmitter& out) {
+  const BlastStages::Config& config = stages.config();
+  const int k = static_cast<int>(config.k);
+  const int seed_score = k * config.match_score;
+
+  thread_local std::vector<std::int32_t> right_best;
+  thread_local std::vector<std::int32_t> left_best;
+  right_best.resize(n);
+  left_best.resize(n);
+  extend_lanes4_direction(stages, sp, qp, n, k, +1, right_best.data());
+  extend_lanes4_direction(stages, sp, qp, n, -1, -1, left_best.data());
+
+  for (std::size_t lane = 0; lane < n; ++lane) {
+    const int total = seed_score + right_best[lane] + left_best[lane];
+    if (total >= config.ungapped_threshold) {
+      out.emit(lane, sp[lane], qp[lane], field_from_i32(total));
+    }
+  }
+}
+
+/// Four-lane banded gapped DP — the x86 band-relative SoA scheme (see the
+/// AVX2 body's comment for the derivation) at lane stride 4, with clamped
+/// per-lane byte loads for the query row: a clamped read only happens in
+/// lanes whose cell is rejected by the band gate or boundary logic anyway.
+void gapped_extend_lanes4(const BlastStages& stages, const std::uint32_t* sp,
+                          const std::uint32_t* qp, const std::uint32_t* score,
+                          std::size_t n, BatchEmitter& out) {
+  const BlastStages::Config& config = stages.config();
+  const Base* subject = stages.pair().subject.data();
+  const Base* query = stages.pair().query.data();
+  const int subject_size = static_cast<int>(stages.pair().subject.size());
+  const int query_size = static_cast<int>(stages.pair().query.size());
+  const std::int64_t w = static_cast<std::int64_t>(config.gapped_window);
+  const int band = static_cast<int>(config.band_radius);
+  const int width = 2 * band + 1;
+  constexpr int kMinScore = kGappedMinScore;
+
+  const I32x4 zero = device::x4_dup(0);
+  const I32x4 one = device::x4_dup(1);
+  const I32x4 band_v = device::x4_dup(band);
+  const I32x4 gap_v = device::x4_dup(config.gap_penalty);
+  const I32x4 match_v = device::x4_dup(config.match_score);
+  const I32x4 mismatch_v = device::x4_dup(config.mismatch_penalty);
+  const I32x4 kmin_v = device::x4_dup(kMinScore);
+  const I32x4 lane_id = {{0, 1, 2, 3}};
+
+  thread_local std::vector<std::int32_t> band_rows;
+  band_rows.resize(static_cast<std::size_t>(width + 1) * 4 * 2);
+  std::int32_t* previous = band_rows.data();
+  std::int32_t* current = band_rows.data() + (width + 1) * 4;
+
+  std::int32_t ds_a[4];
+  std::int32_t cols_a[4];
+  std::int32_t rows_limit_a[4];
+  std::int32_t s_begin_a[4];
+  std::int32_t q_begin_a[4];
+  std::int32_t best_a[4];
+
+  std::size_t lane0 = 0;
+  for (; lane0 + 4 <= n; lane0 += 4) {
+    int max_rows = 0;
+    for (int r = 0; r < 4; ++r) {
+      const std::int64_t hsp = sp[lane0 + static_cast<std::size_t>(r)];
+      const std::int64_t hqp = qp[lane0 + static_cast<std::size_t>(r)];
+      const int s_begin = static_cast<int>(std::max<std::int64_t>(0, hsp - w));
+      const int s_end =
+          static_cast<int>(std::min<std::int64_t>(subject_size, hsp + w));
+      const int q_begin = static_cast<int>(std::max<std::int64_t>(0, hqp - w));
+      const int q_end =
+          static_cast<int>(std::min<std::int64_t>(query_size, hqp + w));
+      const int rows = s_end - s_begin;
+      const int cols = q_end - q_begin;
+      const int ds = static_cast<int>((hqp - q_begin) - (hsp - s_begin));
+      s_begin_a[r] = s_begin;
+      q_begin_a[r] = q_begin;
+      ds_a[r] = ds;
+      cols_a[r] = cols;
+      // Rows the scalar loop actually processes before its early break.
+      const int limit =
+          (1 + ds + band < 0) ? 0 : std::min(rows, cols - ds + band);
+      rows_limit_a[r] = std::max(limit, 0);
+      max_rows = std::max(max_rows, rows_limit_a[r]);
+      // Row 0 in band coordinates (gap ladder / kMinScore sentinels); slot
+      // `width` stays kMinScore in both buffers for good.
+      const int j_lo0 = std::max(ds - band, 0);
+      for (int t = 0; t <= width; ++t) {
+        const int j = j_lo0 + t;
+        int value = kMinScore;
+        if (j == 0) {
+          value = 0;
+        } else if (j <= ds + band && j <= cols) {
+          value = j * config.gap_penalty;
+        }
+        previous[t * 4 + r] = value;
+        current[t * 4 + r] = kMinScore;
+      }
+    }
+
+    const I32x4 ds_v = device::x4_load(ds_a);
+    const I32x4 cols_v = device::x4_load(cols_a);
+    const I32x4 rows_limit_v = device::x4_load(rows_limit_a);
+    const I32x4 s_begin_v = device::x4_load(s_begin_a);
+    const I32x4 q_begin_v = device::x4_load(q_begin_a);
+    I32x4 best = zero;
+    I32x4 j_lo_prev = device::x4_max(device::x4_sub(ds_v, band_v), zero);
+
+    for (int i = 1; i <= max_rows; ++i) {
+      const I32x4 row_active =
+          device::x4_cmpgt(rows_limit_v, device::x4_dup(i - 1));
+      const I32x4 center = device::x4_add(device::x4_dup(i), ds_v);
+      const I32x4 j_lo =
+          device::x4_max(device::x4_sub(center, band_v), zero);
+      const I32x4 j_hi =
+          device::x4_min(device::x4_add(center, band_v), cols_v);
+      const I32x4 dlo = device::x4_sub(j_lo, j_lo_prev);
+      j_lo_prev = j_lo;
+      const int active_mask = device::x4_mask_bits(row_active);
+      const int shifted_mask = device::x4_mask_bits(
+          device::x4_and(device::x4_cmpeq(dlo, one), row_active));
+      const bool uniform = shifted_mask == 0 || shifted_mask == active_mask;
+      const int shift_common = shifted_mask != 0 ? 1 : 0;
+
+      // The row's subject base: i <= rows_limit keeps s_idx in range for
+      // every active lane, so no clamp is needed.
+      const I32x4 s_idx =
+          device::x4_add(s_begin_v, device::x4_dup(i - 1));
+      const I32x4 sb = device::x4_bytes_at(subject, s_idx, row_active);
+      const I32x4 row_gap = device::x4_dup(i * config.gap_penalty);
+
+      // Gate 0 on retired rows rejects every j (see the AVX2 comment).
+      const I32x4 band_gate =
+          device::x4_and(device::x4_add(j_hi, one), row_active);
+
+      // t = 0, peeled (j == 0 gap ladder / below-band column). q_idx can be
+      // q_begin - 1 == -1 when j_lo == 0; that lane's cell is overwritten by
+      // the boundary store, so the clamped read is harmless.
+      const I32x4 prev_jm1_seed = device::x4_load(previous);
+      I32x4 prev_j;
+      if (uniform) {
+        prev_j = device::x4_load(previous + shift_common * 4);
+      } else {
+        const I32x4 d2 = device::x4_add(dlo, dlo);
+        const I32x4 slot = device::x4_add(device::x4_add(d2, d2), lane_id);
+        prev_j = device::x4_gather_i32(previous, slot);
+      }
+      const I32x4 q_idx0 =
+          device::x4_sub(device::x4_add(q_begin_v, j_lo), one);
+      I32x4 left;
+      {
+        const I32x4 qb = device::x4_bytes_clamped(query, q_idx0,
+                                                  query_size - 1, row_active);
+        const I32x4 eq = device::x4_cmpeq(sb, qb);
+        const I32x4 diag = device::x4_add(
+            prev_jm1_seed, device::x4_blend(eq, mismatch_v, match_v));
+        const I32x4 up = device::x4_add(prev_j, gap_v);
+        const I32x4 from_left = device::x4_add(kmin_v, gap_v);
+        const I32x4 cell =
+            device::x4_max(device::x4_max(diag, up), from_left);
+        const I32x4 is_dp =
+            device::x4_and(device::x4_cmpgt(j_lo, zero),
+                           device::x4_cmpgt(band_gate, j_lo));
+        const I32x4 is_boundary =
+            device::x4_and(row_active, device::x4_cmpeq(j_lo, zero));
+        I32x4 stored = device::x4_blend(is_dp, kmin_v, cell);
+        stored = device::x4_blend(is_boundary, stored, row_gap);
+        device::x4_store(current, stored);
+        best = device::x4_max(best, stored);
+        left = stored;
+      }
+      I32x4 prev_jm1 = prev_j;
+      I32x4 j_v = device::x4_add(j_lo, one);
+      for (int t = 1; t < width; ++t) {
+        // Query byte for column j; j > j_hi lanes read clamped garbage that
+        // the band gate rejects.
+        const I32x4 q_idx =
+            device::x4_sub(device::x4_add(q_begin_v, j_v), one);
+        const I32x4 qb = device::x4_bytes_clamped(query, q_idx, query_size - 1,
+                                                  row_active);
+
+        if (uniform) {
+          prev_j = device::x4_load(previous + (t + shift_common) * 4);
+        } else {
+          const I32x4 td = device::x4_add(device::x4_dup(t), dlo);
+          const I32x4 td2 = device::x4_add(td, td);
+          const I32x4 slot =
+              device::x4_add(device::x4_add(td2, td2), lane_id);
+          prev_j = device::x4_gather_i32(previous, slot);
+        }
+
+        const I32x4 eq = device::x4_cmpeq(sb, qb);
+        const I32x4 diag = device::x4_add(
+            prev_jm1, device::x4_blend(eq, mismatch_v, match_v));
+        const I32x4 up = device::x4_add(prev_j, gap_v);
+        const I32x4 from_left = device::x4_add(left, gap_v);
+        const I32x4 cell =
+            device::x4_max(device::x4_max(diag, up), from_left);
+
+        // j >= 1 holds for every t >= 1, so the band gate is the whole test.
+        const I32x4 stored = device::x4_blend(
+            device::x4_cmpgt(band_gate, j_v), kmin_v, cell);
+        device::x4_store(current + t * 4, stored);
+        best = device::x4_max(best, stored);
+        prev_jm1 = prev_j;
+        left = stored;
+        j_v = device::x4_add(j_v, one);
+      }
+      std::swap(previous, current);
+    }
+
+    device::x4_store(best_a, best);
+    for (int r = 0; r < 4; ++r) {
+      const std::size_t lane = lane0 + static_cast<std::size_t>(r);
+      const int result = std::max(best_a[r], field_to_i32(score[lane]));
+      out.emit(lane, sp[lane], qp[lane], field_from_i32(result));
+    }
+  }
+  if (lane0 < n) {
+    StageCost cost;
+    for (; lane0 < n; ++lane0) {
+      const Alignment alignment = stages.gapped_extend(
+          ExtendedHit{sp[lane0], qp[lane0], field_to_i32(score[lane0])}, cost);
+      out.emit(lane0, alignment.subject_pos, alignment.query_pos,
+               field_from_i32(alignment.score));
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace ripple::blast::simd

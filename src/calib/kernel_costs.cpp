@@ -1,0 +1,49 @@
+#include "calib/kernel_costs.hpp"
+
+#include "util/assert.hpp"
+
+namespace ripple::calib {
+
+std::optional<double> resolved_ns_per_item(const device::AutotuneReport& report,
+                                           const std::string& kernel,
+                                           device::SimdLevel level) {
+  for (int slot = static_cast<int>(level); slot >= 0; --slot) {
+    const std::optional<double> ns =
+        report.ns_per_item(kernel, static_cast<device::SimdLevel>(slot));
+    if (ns.has_value()) return ns;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> stage_scales(const device::AutotuneReport& report,
+                                 const StageKernels& kernels,
+                                 device::SimdLevel measured,
+                                 device::SimdLevel target) {
+  std::vector<double> scales(kernels.size(), 1.0);
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    if (kernels[i].empty()) continue;
+    const std::optional<double> was =
+        resolved_ns_per_item(report, kernels[i], measured);
+    const std::optional<double> will =
+        resolved_ns_per_item(report, kernels[i], target);
+    if (was.has_value() && will.has_value() && *was > 0.0) {
+      scales[i] = *will / *was;
+    }
+  }
+  return scales;
+}
+
+util::Result<sdf::PipelineSpec> reprice_pipeline(
+    const sdf::PipelineSpec& spec, const std::vector<double>& scales) {
+  RIPPLE_REQUIRE(scales.size() == spec.size(),
+                 "one scale per pipeline stage required");
+  sdf::PipelineBuilder builder(spec.name());
+  builder.simd_width(spec.simd_width());
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const sdf::NodeSpec& node = spec.node(i);
+    builder.add_node(node.name, node.service_time * scales[i], node.gain);
+  }
+  return builder.build();
+}
+
+}  // namespace ripple::calib

@@ -1,0 +1,53 @@
+// Per-ISA kernel costs feeding the planner (closing the dispatch loop).
+//
+// The measured t_i in a PipelineSpec reflect whichever kernel variants the
+// device::KernelRegistry resolved on the measuring host. When the resolved
+// ISA changes — a different machine, a --simd-level pin, an autotune
+// decision — the true stage costs shift by the per-variant throughput
+// ratios, and a plan optimized for the old t_i can pick the wrong knee.
+// This module turns a registry AutotuneReport (deterministic microbench
+// costs per kernel per ISA) into per-stage scale factors and reprices a
+// pipeline spec in place, so calibration and re-planning always see service
+// times consistent with the kernels that will actually run. See
+// docs/KERNELS.md for the registry side and tests/test_calib.cpp for the
+// plan-shift demonstration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/kernel_registry.hpp"
+#include "sdf/pipeline.hpp"
+#include "util/result.hpp"
+
+namespace ripple::calib {
+
+/// Stage index -> registry kernel name pricing that stage. An empty name
+/// means the stage has no vector kernel (its t_i is ISA-independent).
+using StageKernels = std::vector<std::string>;
+
+/// Microbench cost of `kernel` when resolution is capped at `level`: the
+/// measurement at the highest level <= `level` that the report holds —
+/// mirroring the registry's fall-down resolution. Empty when the kernel (or
+/// any variant at or below `level`) is absent from the report.
+std::optional<double> resolved_ns_per_item(const device::AutotuneReport& report,
+                                           const std::string& kernel,
+                                           device::SimdLevel level);
+
+/// Per-stage service-time scale factors for retargeting a pipeline whose
+/// t_i were measured with kernels resolved at `measured` to a host/pin that
+/// resolves at `target`: scale = ns(kernel @ target) / ns(kernel @
+/// measured). Stages with an empty kernel name, or kernels the report does
+/// not cover, keep scale 1.0.
+std::vector<double> stage_scales(const device::AutotuneReport& report,
+                                 const StageKernels& kernels,
+                                 device::SimdLevel measured,
+                                 device::SimdLevel target);
+
+/// Rebuild `spec` with each node's service time multiplied by scales[i]
+/// (names, gains, and SIMD width unchanged). scales.size() must equal
+/// spec.size(); forwards the builder's validation failures.
+util::Result<sdf::PipelineSpec> reprice_pipeline(
+    const sdf::PipelineSpec& spec, const std::vector<double>& scales);
+
+}  // namespace ripple::calib

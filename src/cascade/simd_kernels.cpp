@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "device/dispatch.hpp"
+#include "device/kernel_registry.hpp"
+#include "dist/rng.hpp"
 
 #if RIPPLE_SIMD_X86
 #include <immintrin.h>
@@ -11,6 +13,14 @@
 namespace ripple::cascade::simd {
 
 namespace {
+
+/// Concrete signature every haar_response variant shares; the registry
+/// stores it type-erased.
+using HaarResponseFn = void (*)(const HaarFeature& feature,
+                                const IntegralImage& integral,
+                                const std::uint32_t* wx,
+                                const std::uint32_t* wy, std::size_t n,
+                                std::int64_t* responses);
 
 void haar_response_scalar(const HaarFeature& feature,
                           const IntegralImage& integral,
@@ -110,19 +120,180 @@ __attribute__((target("avx2"))) void haar_response_avx2(
 
 #endif  // RIPPLE_SIMD_X86
 
+#if RIPPLE_SIMD_X86_AVX512
+
+#define RIPPLE_AVX512_TARGET "avx2,avx512f,avx512bw,avx512dq,avx512vl"
+
+/// Eight table cells per call: corner indices in 8 x i32, values as a
+/// 512-bit vector of 8 x i64 (the AVX-512 i32gather_epi64 takes a half-width
+/// index vector, and its operand order is (vindex, base, scale)).
+__attribute__((target(RIPPLE_AVX512_TARGET))) inline __m512i cell8(
+    const std::int64_t* table, __m256i pitch, __m256i x, __m256i y) {
+  const __m256i idx = _mm256_add_epi32(_mm256_mullo_epi32(y, pitch), x);
+  return _mm512_i32gather_epi64(idx, table, 8);
+}
+
+/// Eight rectangle sums via thirty-two corner gathers.
+__attribute__((target(RIPPLE_AVX512_TARGET))) inline __m512i rect_sum8(
+    const std::int64_t* table, __m256i pitch, __m256i x0, __m256i y0,
+    __m256i x1, __m256i y1) {
+  return _mm512_add_epi64(
+      _mm512_sub_epi64(
+          _mm512_sub_epi64(cell8(table, pitch, x1, y1),
+                           cell8(table, pitch, x0, y1)),
+          cell8(table, pitch, x1, y0)),
+      cell8(table, pitch, x0, y0));
+}
+
+__attribute__((target(RIPPLE_AVX512_TARGET))) void haar_response_avx512(
+    const HaarFeature& feature, const IntegralImage& integral,
+    const std::uint32_t* wx, const std::uint32_t* wy, std::size_t n,
+    std::int64_t* responses) {
+  const std::int64_t* table = integral.table_data();
+  const __m256i pitch =
+      _mm256_set1_epi32(static_cast<int>(integral.width() + 1));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x0 = _mm256_add_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wx + i)),
+        _mm256_set1_epi32(feature.x));
+    const __m256i y0 = _mm256_add_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wy + i)),
+        _mm256_set1_epi32(feature.y));
+    const __m256i x1 = _mm256_add_epi32(x0, _mm256_set1_epi32(feature.width));
+    const __m256i y1 = _mm256_add_epi32(y0, _mm256_set1_epi32(feature.height));
+    __m512i r;
+    switch (feature.kind) {
+      case HaarFeature::Kind::kTwoRectHorizontal: {
+        const __m256i xm =
+            _mm256_add_epi32(x0, _mm256_set1_epi32(feature.width / 2));
+        r = _mm512_sub_epi64(rect_sum8(table, pitch, x0, y0, xm, y1),
+                             rect_sum8(table, pitch, xm, y0, x1, y1));
+        break;
+      }
+      case HaarFeature::Kind::kTwoRectVertical: {
+        const __m256i ym =
+            _mm256_add_epi32(y0, _mm256_set1_epi32(feature.height / 2));
+        r = _mm512_sub_epi64(rect_sum8(table, pitch, x0, y0, x1, ym),
+                             rect_sum8(table, pitch, x0, ym, x1, y1));
+        break;
+      }
+      case HaarFeature::Kind::kThreeRectHorizontal: {
+        const int third = feature.width / 3;
+        const __m256i xa = _mm256_add_epi32(x0, _mm256_set1_epi32(third));
+        const __m256i xb = _mm256_add_epi32(x0, _mm256_set1_epi32(2 * third));
+        r = _mm512_add_epi64(
+            _mm512_sub_epi64(rect_sum8(table, pitch, x0, y0, xa, y1),
+                             rect_sum8(table, pitch, xa, y0, xb, y1)),
+            rect_sum8(table, pitch, xb, y0, x1, y1));
+        break;
+      }
+      case HaarFeature::Kind::kFourRectChecker: {
+        const __m256i xm =
+            _mm256_add_epi32(x0, _mm256_set1_epi32(feature.width / 2));
+        const __m256i ym =
+            _mm256_add_epi32(y0, _mm256_set1_epi32(feature.height / 2));
+        r = _mm512_sub_epi64(
+            _mm512_add_epi64(rect_sum8(table, pitch, x0, y0, xm, ym),
+                             rect_sum8(table, pitch, xm, ym, x1, y1)),
+            _mm512_add_epi64(rect_sum8(table, pitch, xm, y0, x1, ym),
+                             rect_sum8(table, pitch, x0, ym, xm, y1)));
+        break;
+      }
+    }
+    _mm512_storeu_si512(responses + i, r);
+  }
+  if (i < n) haar_response_scalar(feature, integral, wx + i, wy + i, n - i,
+                                  responses + i);
+}
+
+#endif  // RIPPLE_SIMD_X86_AVX512
+
+/// Deterministic committed workload for the gated startup autotune: one
+/// noise scene, one four-rect feature (the most gather-heavy kind), a fixed
+/// grid of window origins.
+struct MicrobenchFixture {
+  static const MicrobenchFixture& instance() {
+    static const MicrobenchFixture fixture;
+    return fixture;
+  }
+
+  IntegralImage integral;
+  HaarFeature feature;
+  std::vector<std::uint32_t> wx;
+  std::vector<std::uint32_t> wy;
+  mutable std::vector<std::int64_t> responses;
+
+ private:
+  MicrobenchFixture()
+      : integral([] {
+          dist::Xoshiro256 rng(0x5eedca5cu);
+          return IntegralImage(noise_image(512, 512, rng));
+        }()) {
+    feature.kind = HaarFeature::Kind::kFourRectChecker;
+    feature.x = 2;
+    feature.y = 2;
+    feature.width = 12;
+    feature.height = 12;
+    const std::uint32_t limit = 512 - 24;
+    for (std::uint32_t y = 0; y < limit; y += 11) {
+      for (std::uint32_t x = 0; x < limit; x += 13) {
+        wx.push_back(x);
+        wy.push_back(y);
+      }
+    }
+    responses.resize(wx.size());
+  }
+};
+
+std::uint64_t microbench_haar(device::AnyKernelFn variant) {
+  const MicrobenchFixture& f = MicrobenchFixture::instance();
+  reinterpret_cast<HaarResponseFn>(variant)(f.feature, f.integral, f.wx.data(),
+                                            f.wy.data(), f.wx.size(),
+                                            f.responses.data());
+  return f.wx.size();
+}
+
+void register_all() {
+  device::KernelRegistry& reg = device::KernelRegistry::instance();
+  reg.register_variant("cascade.haar_response", "cascade",
+                       device::SimdLevel::kScalar, 1,
+                       reinterpret_cast<device::AnyKernelFn>(
+                           static_cast<HaarResponseFn>(&haar_response_scalar)));
+#if RIPPLE_SIMD_X86
+  reg.register_variant("cascade.haar_response", "cascade",
+                       device::SimdLevel::kAvx2, 4,
+                       reinterpret_cast<device::AnyKernelFn>(
+                           static_cast<HaarResponseFn>(&haar_response_avx2)));
+#endif
+#if RIPPLE_SIMD_X86_AVX512
+  reg.register_variant("cascade.haar_response", "cascade",
+                       device::SimdLevel::kAvx512, 8,
+                       reinterpret_cast<device::AnyKernelFn>(
+                           static_cast<HaarResponseFn>(&haar_response_avx512)));
+#endif
+  reg.set_microbench("cascade.haar_response", &microbench_haar);
+}
+
 }  // namespace
+
+void register_kernels() {
+  static const bool done = [] {
+    register_all();
+    return true;
+  }();
+  (void)done;
+}
 
 void haar_response_batch(const HaarFeature& feature,
                          const IntegralImage& integral,
                          const std::uint32_t* wx, const std::uint32_t* wy,
                          std::size_t n, std::int64_t* responses) {
-#if RIPPLE_SIMD_X86
-  if (device::active_simd_level() == device::SimdLevel::kAvx2) {
-    haar_response_avx2(feature, integral, wx, wy, n, responses);
-    return;
-  }
-#endif
-  haar_response_scalar(feature, integral, wx, wy, n, responses);
+  register_kernels();
+  thread_local device::KernelHandle<HaarResponseFn> handle(
+      "cascade.haar_response");
+  reinterpret_cast<HaarResponseFn>(handle.variant().fn)(feature, integral, wx,
+                                                        wy, n, responses);
 }
 
 void stage_votes_batch(const CascadeStage& stage, const IntegralImage& integral,

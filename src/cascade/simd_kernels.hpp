@@ -1,14 +1,17 @@
 // Vector-wide Haar evaluation: one call scores a whole batch of detection
 // windows against a feature or a cascade stage.
 //
-// The summed-area table makes a rectangle sum four corner lookups; the AVX2
-// path turns those into _mm256_i32gather_epi64 gathers, four windows per
-// vector, with the corner indices computed in 32-bit lanes (the table is at
-// most a few million entries, so indices fit comfortably). The scalar path
-// loops over HaarFeature::evaluate. Both produce identical int64 responses
-// and identical votes; tests/test_cascade_simd.cpp pins the two dispatch
-// levels against each other, and Detector::train calibrates through these
-// kernels so training cost scales with the batch width too.
+// The summed-area table makes a rectangle sum four corner lookups; the
+// vector paths turn those into i32gather_epi64 gathers — four windows per
+// AVX2 vector, eight per AVX-512 vector — with the corner indices computed
+// in 32-bit lanes (the table is at most a few million entries, so indices
+// fit comfortably). The scalar path loops over HaarFeature::evaluate. The
+// variants register with the device::KernelRegistry under
+// "cascade.haar_response" (see docs/KERNELS.md) and produce identical int64
+// responses and identical votes; tests/test_cascade_simd.cpp pins every
+// compiled-and-supported level against scalar, and Detector::train
+// calibrates through these kernels so training cost scales with the batch
+// width too.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +22,10 @@
 #include "cascade/image.hpp"
 
 namespace ripple::cascade::simd {
+
+/// Register the cascade kernels and their variants with the process-wide
+/// device::KernelRegistry (idempotent). Called lazily by the batch wrappers.
+void register_kernels();
 
 /// Responses of `feature` at the `n` window origins (wx[i], wy[i]).
 void haar_response_batch(const HaarFeature& feature,

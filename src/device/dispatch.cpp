@@ -1,18 +1,62 @@
 #include "device/dispatch.hpp"
 
+#include <atomic>
+#include <cstdlib>
+
 namespace ripple::device {
 
 namespace {
 
-std::optional<SimdLevel>& override_slot() noexcept {
-  static std::optional<SimdLevel> value;
+std::atomic<std::uint64_t>& generation_slot() noexcept {
+  static std::atomic<std::uint64_t> value{1};
   return value;
 }
 
-SimdLevel probe_cpu() noexcept {
+std::optional<SimdLevel> env_override() noexcept {
+  const char* name = std::getenv("RIPPLE_SIMD_LEVEL");
+  if (name == nullptr) return std::nullopt;
+  return parse_simd_level(name);
+}
+
+std::optional<SimdLevel>& override_slot() noexcept {
+  static std::optional<SimdLevel> value = env_override();
+  return value;
+}
+
+bool probe_level(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kNeon:
+      // NEON is architecturally baseline on AArch64; compiling the bodies
+      // implies the host can run them.
+      return RIPPLE_SIMD_NEON_ARM != 0;
+    case SimdLevel::kAvx2:
 #if RIPPLE_SIMD_X86
-  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
 #endif
+    case SimdLevel::kAvx512:
+#if RIPPLE_SIMD_X86_AVX512
+      // The AVX-512 kernels are compiled with target
+      // "avx512f,avx512bw,avx512dq,avx512vl"; require the full set.
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdLevel probe_best() noexcept {
+  for (int i = kSimdLevelCount - 1; i > 0; --i) {
+    const SimdLevel level = static_cast<SimdLevel>(i);
+    if (level_compiled(level) && probe_level(level)) return level;
+  }
   return SimdLevel::kScalar;
 }
 
@@ -22,14 +66,34 @@ const char* to_string(SimdLevel level) noexcept {
   switch (level) {
     case SimdLevel::kScalar:
       return "scalar";
+    case SimdLevel::kNeon:
+      return "neon";
     case SimdLevel::kAvx2:
       return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
 
+std::optional<SimdLevel> parse_simd_level(std::string_view name) noexcept {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "neon") return SimdLevel::kNeon;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  return std::nullopt;
+}
+
+bool level_supported(SimdLevel level) noexcept {
+  static const bool supported[kSimdLevelCount] = {
+      true, level_compiled(SimdLevel::kNeon) && probe_level(SimdLevel::kNeon),
+      level_compiled(SimdLevel::kAvx2) && probe_level(SimdLevel::kAvx2),
+      level_compiled(SimdLevel::kAvx512) && probe_level(SimdLevel::kAvx512)};
+  return supported[static_cast<int>(level)];
+}
+
 SimdLevel detected_simd_level() noexcept {
-  static const SimdLevel detected = probe_cpu();
+  static const SimdLevel detected = probe_best();
   return detected;
 }
 
@@ -44,6 +108,15 @@ SimdLevel active_simd_level() noexcept {
 
 void set_simd_override(std::optional<SimdLevel> level) noexcept {
   override_slot() = level;
+  bump_dispatch_generation();
+}
+
+std::uint64_t dispatch_generation() noexcept {
+  return generation_slot().load(std::memory_order_acquire);
+}
+
+void bump_dispatch_generation() noexcept {
+  generation_slot().fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace ripple::device

@@ -1,52 +1,129 @@
-// Runtime SIMD dispatch: which instruction set the vector-wide kernels use.
+// Runtime SIMD dispatch: which instruction sets the vector-wide kernels may
+// use, and the process-wide level cap that callers and tests can pin.
 //
 // The repo's SIMD kernels (blast/simd_kernels, cascade/simd_kernels) are
-// compiled in two flavors: a portable scalar loop, always built, and an AVX2
-// path guarded twice — at compile time by the RIPPLE_SIMD CMake option (so
-// non-x86 or forced-scalar builds contain no AVX2 code at all) and at run
-// time by CPUID detection (so an AVX2-less host never executes it). Kernels
-// consult active_simd_level() per batch; tests and benchmarks can pin the
-// level with set_simd_override() to compare paths on the same host.
+// compiled as a per-ISA matrix: a portable scalar loop is always built, and
+// each vector ISA (NEON, AVX2, AVX-512) is guarded twice — at compile time
+// by the RIPPLE_SIMD / RIPPLE_SIMD_<ISA> CMake options (so forced-scalar or
+// wrong-architecture builds contain none of that ISA's code) and at run time
+// by CPU feature detection (so a host lacking the ISA never executes it).
+// Which *variant* of a kernel runs is decided per kernel by the function-
+// level registry in device/kernel_registry.hpp; this header supplies the
+// level lattice, the feature probes, and the global level cap
+// (active_simd_level()) that clamps every kernel's resolution. Tests and
+// benchmarks pin the cap with set_simd_override() to compare paths on the
+// same host.
 //
 // RIPPLE_SIMD=OFF builds compile exactly the scalar fallback, which the CI
-// forced-scalar job keeps green (see .github/workflows/ci.yml).
+// dispatch-matrix job keeps green (see .github/workflows/ci.yml).
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <string_view>
 
-// Compile gate for the x86 SIMD paths: the RIPPLE_SIMD option must be ON and
-// the target must be x86-64 (the kernels use AVX2 intrinsics via function
-// target attributes, so no special per-file compiler flags are needed).
-#if RIPPLE_SIMD && (defined(__x86_64__) || defined(_M_X64))
+// Per-ISA compile gates. RIPPLE_SIMD is the master switch; the per-ISA
+// RIPPLE_SIMD_AVX2 / RIPPLE_SIMD_AVX512 / RIPPLE_SIMD_NEON sub-options
+// default ON when undefined (CMake defines them =0 when disabled) so plain
+// `-DRIPPLE_SIMD=1` compiles keep every ISA the target architecture can
+// express. The kernels use intrinsics via function target attributes, so no
+// special per-file compiler flags are needed on x86; NEON bodies compile
+// only on AArch64, where NEON is baseline.
+#ifndef RIPPLE_SIMD_AVX2
+#define RIPPLE_SIMD_AVX2 1
+#endif
+#ifndef RIPPLE_SIMD_AVX512
+#define RIPPLE_SIMD_AVX512 1
+#endif
+#ifndef RIPPLE_SIMD_NEON
+#define RIPPLE_SIMD_NEON 1
+#endif
+
+#if RIPPLE_SIMD && RIPPLE_SIMD_AVX2 && (defined(__x86_64__) || defined(_M_X64))
 #define RIPPLE_SIMD_X86 1
 #else
 #define RIPPLE_SIMD_X86 0
 #endif
 
+#if RIPPLE_SIMD && RIPPLE_SIMD_AVX512 && \
+    (defined(__x86_64__) || defined(_M_X64))
+#define RIPPLE_SIMD_X86_AVX512 1
+#else
+#define RIPPLE_SIMD_X86_AVX512 0
+#endif
+
+#if RIPPLE_SIMD && RIPPLE_SIMD_NEON && defined(__aarch64__)
+#define RIPPLE_SIMD_NEON_ARM 1
+#else
+#define RIPPLE_SIMD_NEON_ARM 0
+#endif
+
 namespace ripple::device {
 
+/// Dispatch levels, ordered by preference: overrides clamp by min() against
+/// this order, and resolution picks the highest available level. NEON sits
+/// between scalar and AVX2 — it is never co-resident with the x86 levels on
+/// one host, and 4 lanes ranks below 8.
 enum class SimdLevel {
-  kScalar,  ///< portable fallback loops
-  kAvx2,    ///< 8-lane i32 / 4-lane i64 gathers and compares
+  kScalar = 0,  ///< portable fallback loops
+  kNeon = 1,    ///< 4-lane i32 NEON (AArch64)
+  kAvx2 = 2,    ///< 8-lane i32 / 4-lane i64 gathers and compares
+  kAvx512 = 3,  ///< 16-lane i32 / 8-lane i64, mask registers
 };
+
+inline constexpr int kSimdLevelCount = 4;
 
 const char* to_string(SimdLevel level) noexcept;
 
-/// True when this binary contains the AVX2 kernel bodies.
-constexpr bool simd_compiled() noexcept { return RIPPLE_SIMD_X86 != 0; }
+/// Parse "scalar" / "neon" / "avx2" / "avx512"; nullopt on anything else.
+std::optional<SimdLevel> parse_simd_level(std::string_view name) noexcept;
 
-/// Best level the host CPU supports (cached CPUID probe); kScalar on
-/// non-x86 builds.
+/// True when this binary contains the bodies for `level` (kScalar: always).
+constexpr bool level_compiled(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kNeon:
+      return RIPPLE_SIMD_NEON_ARM != 0;
+    case SimdLevel::kAvx2:
+      return RIPPLE_SIMD_X86 != 0;
+    case SimdLevel::kAvx512:
+      return RIPPLE_SIMD_X86_AVX512 != 0;
+  }
+  return false;
+}
+
+/// True when this binary contains any vector kernel bodies.
+constexpr bool simd_compiled() noexcept {
+  return RIPPLE_SIMD_X86 != 0 || RIPPLE_SIMD_X86_AVX512 != 0 ||
+         RIPPLE_SIMD_NEON_ARM != 0;
+}
+
+/// True when `level` is both compiled in and reported by the host CPU
+/// (cached feature probe). kScalar is always supported.
+bool level_supported(SimdLevel level) noexcept;
+
+/// Best level that is compiled in and supported by the host CPU.
 SimdLevel detected_simd_level() noexcept;
 
-/// Level kernels should use right now: the detected level clamped by the
-/// compile gate, unless an override is pinned.
+/// The process-wide level cap: the detected level, clamped down by the
+/// pinned override when one is set. Kernel resolution never selects a
+/// variant above this.
 SimdLevel active_simd_level() noexcept;
 
-/// Pin (or release, with nullopt) the dispatch level. Overrides above the
-/// compiled/detected capability are clamped down, so forcing kAvx2 on a
-/// scalar-only build still yields kScalar. Not thread-safe against kernels
-/// running concurrently; intended for test and benchmark setup.
+/// Pin (or release, with nullopt) the global dispatch cap. Overrides above
+/// the compiled/detected capability are clamped down, so forcing kAvx512 on
+/// an AVX2 host still yields kAvx2. The environment variable
+/// RIPPLE_SIMD_LEVEL ("scalar"/"neon"/"avx2"/"avx512") seeds the override at
+/// first use. Not thread-safe against kernels running concurrently; intended
+/// for test, benchmark, and startup configuration.
 void set_simd_override(std::optional<SimdLevel> level) noexcept;
+
+/// Monotonic counter bumped by every dispatch-affecting change: global
+/// override, kernel registration, per-kernel override, autotune. Cached
+/// kernel handles (device/kernel_registry.hpp) re-resolve when it moves, so
+/// steady-state dispatch costs one relaxed atomic load per batch.
+std::uint64_t dispatch_generation() noexcept;
+void bump_dispatch_generation() noexcept;
 
 }  // namespace ripple::device

@@ -1,0 +1,246 @@
+#include "device/kernel_registry.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/stopwatch.hpp"
+
+#if RIPPLE_OBS
+#include "obs/metrics.hpp"
+#endif
+
+namespace ripple::device {
+
+namespace {
+
+#if RIPPLE_OBS
+void note_resolution(const std::string& kernel, SimdLevel level) {
+  obs::Registry::global().counter("device.dispatch.resolves")->increment();
+  obs::Registry::global()
+      .gauge("device.dispatch.variant." + kernel)
+      ->set(static_cast<double>(static_cast<int>(level)));
+}
+#endif
+
+}  // namespace
+
+std::optional<double> AutotuneReport::ns_per_item(
+    std::string_view kernel, SimdLevel level) const noexcept {
+  for (const AutotuneKernelReport& report : kernels) {
+    if (report.kernel != kernel) continue;
+    for (const AutotuneMeasurement& m : report.measured) {
+      if (m.level == level) return m.ns_per_item;
+    }
+  }
+  return std::nullopt;
+}
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+void KernelRegistry::register_variant(std::string_view kernel,
+                                      std::string_view subsystem,
+                                      SimdLevel level, std::uint32_t lanes,
+                                      AnyKernelFn fn) {
+  RIPPLE_REQUIRE(fn != nullptr, "kernel variant fn must be non-null");
+  RIPPLE_REQUIRE(lanes >= 1, "kernel variant lanes must be >= 1");
+  RIPPLE_REQUIRE(level != SimdLevel::kScalar || lanes == 1,
+                 "scalar baseline is single-lane by definition");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = kernels_.try_emplace(std::string(kernel));
+  Entry& entry = it->second;
+  if (inserted) entry.subsystem = std::string(subsystem);
+  const int slot = static_cast<int>(level);
+  RIPPLE_REQUIRE(entry.fn[slot] == nullptr,
+                 "duplicate kernel variant registration: " +
+                     std::string(kernel) + " @ " + to_string(level));
+  entry.fn[slot] = fn;
+  entry.lanes[slot] = lanes;
+  bump_dispatch_generation();
+}
+
+void KernelRegistry::set_microbench(std::string_view kernel, MicrobenchFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = kernels_.find(kernel);
+  RIPPLE_REQUIRE(it != kernels_.end(),
+                 "set_microbench on unknown kernel: " + std::string(kernel));
+  it->second.microbench = fn;
+}
+
+bool KernelRegistry::has_kernel(std::string_view kernel) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return kernels_.find(kernel) != kernels_.end();
+}
+
+KernelVariant KernelRegistry::resolve_locked(const std::string& name,
+                                             const Entry& entry,
+                                             SimdLevel cap) const {
+  // Every kernel must carry a scalar baseline — the bit-identity reference
+  // and the guaranteed landing spot for unsupported-ISA fallback — even when
+  // a vector variant would resolve on this host.
+  RIPPLE_REQUIRE(entry.fn[0] != nullptr,
+                 "kernel has no scalar baseline: " + name);
+  if (entry.override_level.has_value() && *entry.override_level < cap) {
+    cap = *entry.override_level;
+  }
+  // The autotuned winner takes precedence when it survives the cap and the
+  // host; otherwise the highest eligible level wins.
+  if (entry.autotuned.has_value()) {
+    const int slot = static_cast<int>(*entry.autotuned);
+    if (*entry.autotuned <= cap && entry.fn[slot] != nullptr &&
+        level_supported(*entry.autotuned)) {
+      return KernelVariant{*entry.autotuned, entry.lanes[slot],
+                           entry.fn[slot]};
+    }
+  }
+  for (int slot = static_cast<int>(cap); slot > 0; --slot) {
+    const SimdLevel level = static_cast<SimdLevel>(slot);
+    if (entry.fn[slot] != nullptr && level_supported(level)) {
+      return KernelVariant{level, entry.lanes[slot], entry.fn[slot]};
+    }
+  }
+  return KernelVariant{SimdLevel::kScalar, 1, entry.fn[0]};
+}
+
+KernelVariant KernelRegistry::resolve(std::string_view kernel) {
+  const SimdLevel cap = active_simd_level();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = kernels_.find(kernel);
+  RIPPLE_REQUIRE(it != kernels_.end(),
+                 "resolve of unknown kernel: " + std::string(kernel));
+  const KernelVariant variant = resolve_locked(it->first, it->second, cap);
+#if RIPPLE_OBS
+  note_resolution(it->first, variant.level);
+#endif
+  return variant;
+}
+
+SimdLevel KernelRegistry::resolved_level(std::string_view kernel) {
+  return resolve(kernel).level;
+}
+
+void KernelRegistry::set_kernel_override(std::string_view kernel,
+                                         std::optional<SimdLevel> level) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = kernels_.find(kernel);
+    RIPPLE_REQUIRE(it != kernels_.end(), "set_kernel_override on unknown "
+                                         "kernel: " +
+                                             std::string(kernel));
+    it->second.override_level = level;
+  }
+  bump_dispatch_generation();
+}
+
+std::optional<SimdLevel> KernelRegistry::kernel_override(
+    std::string_view kernel) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = kernels_.find(kernel);
+  return it == kernels_.end() ? std::nullopt : it->second.override_level;
+}
+
+AutotuneReport KernelRegistry::autotune(const AutotuneOptions& options) {
+  RIPPLE_REQUIRE(options.repeats >= 1, "autotune repeats must be >= 1");
+  AutotuneReport report;
+  util::Stopwatch wall;
+  // Snapshot the kernel list, then run microbenches unlocked: they call the
+  // variant bodies, which must not deadlock against registry reads.
+  std::vector<std::pair<std::string, Entry>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, entry] : kernels_) {
+      if (entry.microbench != nullptr) snapshot.emplace_back(name, entry);
+    }
+  }
+  for (const auto& [name, entry] : snapshot) {
+    AutotuneKernelReport kernel_report;
+    kernel_report.kernel = name;
+    double best_ns = std::numeric_limits<double>::infinity();
+    for (int slot = 0; slot < kSimdLevelCount; ++slot) {
+      const SimdLevel level = static_cast<SimdLevel>(slot);
+      if (entry.fn[slot] == nullptr || !level_supported(level)) continue;
+      entry.microbench(entry.fn[slot]);  // warm caches and allocations
+      double min_seconds = std::numeric_limits<double>::infinity();
+      std::uint64_t items = 0;
+      for (int r = 0; r < options.repeats; ++r) {
+        util::Stopwatch timer;
+        items = entry.microbench(entry.fn[slot]);
+        min_seconds = std::min(min_seconds, timer.elapsed_seconds());
+      }
+      AutotuneMeasurement measurement;
+      measurement.level = level;
+      measurement.lanes = entry.lanes[slot];
+      measurement.ns_per_item =
+          items > 0 ? min_seconds * 1e9 / static_cast<double>(items) : 0.0;
+      if (measurement.ns_per_item < best_ns) {
+        best_ns = measurement.ns_per_item;
+        kernel_report.winner = level;
+      }
+      kernel_report.measured.push_back(measurement);
+    }
+    if (kernel_report.measured.empty()) continue;
+    if (options.apply) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = kernels_.find(name);
+      if (it != kernels_.end()) it->second.autotuned = kernel_report.winner;
+    }
+    report.kernels.push_back(std::move(kernel_report));
+  }
+  if (options.apply) bump_dispatch_generation();
+  report.wall_us = wall.elapsed_seconds() * 1e6;
+#if RIPPLE_OBS
+  obs::Registry::global()
+      .gauge("device.dispatch.autotune_wall_us")
+      ->set(report.wall_us);
+  obs::Registry::global()
+      .counter("device.dispatch.autotuned_kernels")
+      ->add(report.kernels.size());
+#endif
+  return report;
+}
+
+std::optional<SimdLevel> KernelRegistry::autotuned_level(
+    std::string_view kernel) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = kernels_.find(kernel);
+  return it == kernels_.end() ? std::nullopt : it->second.autotuned;
+}
+
+void KernelRegistry::clear_autotune() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, entry] : kernels_) entry.autotuned = std::nullopt;
+  }
+  bump_dispatch_generation();
+}
+
+std::vector<KernelCatalogRow> KernelRegistry::dump() const {
+  std::vector<KernelCatalogRow> rows;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : kernels_) {
+    for (int slot = 0; slot < kSimdLevelCount; ++slot) {
+      if (entry.fn[slot] == nullptr) continue;
+      KernelCatalogRow row;
+      row.kernel = name;
+      row.subsystem = entry.subsystem;
+      row.level = static_cast<SimdLevel>(slot);
+      row.lanes = entry.lanes[slot];
+      row.supported = level_supported(row.level);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::vector<std::string> KernelRegistry::kernel_names() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mutex_);
+  names.reserve(kernels_.size());
+  for (const auto& [name, entry] : kernels_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ripple::device

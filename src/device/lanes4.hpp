@@ -1,0 +1,185 @@
+// Four-lane i32 vector layer: NEON intrinsics on AArch64, a portable
+// scalar-array backend everywhere else — with identical lane semantics, so
+// the NEON kernel bodies written against it (blast/simd_kernels_lanes4.cpp)
+// compile and golden-test on x86 through the portable backend. That is the
+// whole point of the abstraction: the ARM port's arithmetic is proven
+// bit-identical to scalar on every CI host, and only the thin intrinsic
+// wrappers below are ARM-specific.
+//
+// Masks are full-width lane values (-1 true / 0 false), matching the AVX2
+// kernels' convention. Memory access helpers read per lane and honor the
+// mask — inactive lanes never touch memory — which replaces the x86 kernels'
+// clamped-word-gather-plus-shift technique (NEON has no gather).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "device/dispatch.hpp"
+
+#if RIPPLE_SIMD_NEON_ARM
+#include <arm_neon.h>
+#endif
+
+namespace ripple::device {
+
+#if RIPPLE_SIMD_NEON_ARM
+
+struct I32x4 {
+  int32x4_t v;
+};
+
+inline I32x4 x4_dup(std::int32_t x) noexcept { return {vdupq_n_s32(x)}; }
+inline I32x4 x4_load(const std::int32_t* p) noexcept { return {vld1q_s32(p)}; }
+inline void x4_store(std::int32_t* p, I32x4 a) noexcept { vst1q_s32(p, a.v); }
+inline I32x4 x4_add(I32x4 a, I32x4 b) noexcept {
+  return {vaddq_s32(a.v, b.v)};
+}
+inline I32x4 x4_sub(I32x4 a, I32x4 b) noexcept {
+  return {vsubq_s32(a.v, b.v)};
+}
+inline I32x4 x4_min(I32x4 a, I32x4 b) noexcept {
+  return {vminq_s32(a.v, b.v)};
+}
+inline I32x4 x4_max(I32x4 a, I32x4 b) noexcept {
+  return {vmaxq_s32(a.v, b.v)};
+}
+inline I32x4 x4_and(I32x4 a, I32x4 b) noexcept {
+  return {vandq_s32(a.v, b.v)};
+}
+inline I32x4 x4_or(I32x4 a, I32x4 b) noexcept { return {vorrq_s32(a.v, b.v)}; }
+/// a & ~b (the AVX2 andnot with the operands in reading order).
+inline I32x4 x4_andnot(I32x4 a, I32x4 b) noexcept {
+  return {vbicq_s32(a.v, b.v)};
+}
+inline I32x4 x4_cmpeq(I32x4 a, I32x4 b) noexcept {
+  return {vreinterpretq_s32_u32(vceqq_s32(a.v, b.v))};
+}
+inline I32x4 x4_cmpgt(I32x4 a, I32x4 b) noexcept {
+  return {vreinterpretq_s32_u32(vcgtq_s32(a.v, b.v))};
+}
+/// Per-lane select: b where the mask lane is set, a elsewhere (blendv order).
+inline I32x4 x4_blend(I32x4 mask, I32x4 a, I32x4 b) noexcept {
+  return {vbslq_s32(vreinterpretq_u32_s32(mask.v), b.v, a.v)};
+}
+/// True when any mask lane is set (lanes are -1/0, so min over lanes is -1
+/// iff at least one is set).
+inline bool x4_any(I32x4 mask) noexcept { return vminvq_s32(mask.v) != 0; }
+
+#else  // portable backend
+
+struct I32x4 {
+  std::int32_t lane[4];
+};
+
+inline I32x4 x4_dup(std::int32_t x) noexcept { return {{x, x, x, x}}; }
+inline I32x4 x4_load(const std::int32_t* p) noexcept {
+  I32x4 r;
+  std::memcpy(r.lane, p, sizeof(r.lane));
+  return r;
+}
+inline void x4_store(std::int32_t* p, I32x4 a) noexcept {
+  std::memcpy(p, a.lane, sizeof(a.lane));
+}
+inline I32x4 x4_add(I32x4 a, I32x4 b) noexcept {
+  I32x4 r;
+  for (int l = 0; l < 4; ++l) r.lane[l] = a.lane[l] + b.lane[l];
+  return r;
+}
+inline I32x4 x4_sub(I32x4 a, I32x4 b) noexcept {
+  I32x4 r;
+  for (int l = 0; l < 4; ++l) r.lane[l] = a.lane[l] - b.lane[l];
+  return r;
+}
+inline I32x4 x4_min(I32x4 a, I32x4 b) noexcept {
+  I32x4 r;
+  for (int l = 0; l < 4; ++l)
+    r.lane[l] = a.lane[l] < b.lane[l] ? a.lane[l] : b.lane[l];
+  return r;
+}
+inline I32x4 x4_max(I32x4 a, I32x4 b) noexcept {
+  I32x4 r;
+  for (int l = 0; l < 4; ++l)
+    r.lane[l] = a.lane[l] > b.lane[l] ? a.lane[l] : b.lane[l];
+  return r;
+}
+inline I32x4 x4_and(I32x4 a, I32x4 b) noexcept {
+  I32x4 r;
+  for (int l = 0; l < 4; ++l) r.lane[l] = a.lane[l] & b.lane[l];
+  return r;
+}
+inline I32x4 x4_or(I32x4 a, I32x4 b) noexcept {
+  I32x4 r;
+  for (int l = 0; l < 4; ++l) r.lane[l] = a.lane[l] | b.lane[l];
+  return r;
+}
+inline I32x4 x4_andnot(I32x4 a, I32x4 b) noexcept {
+  I32x4 r;
+  for (int l = 0; l < 4; ++l) r.lane[l] = a.lane[l] & ~b.lane[l];
+  return r;
+}
+inline I32x4 x4_cmpeq(I32x4 a, I32x4 b) noexcept {
+  I32x4 r;
+  for (int l = 0; l < 4; ++l) r.lane[l] = a.lane[l] == b.lane[l] ? -1 : 0;
+  return r;
+}
+inline I32x4 x4_cmpgt(I32x4 a, I32x4 b) noexcept {
+  I32x4 r;
+  for (int l = 0; l < 4; ++l) r.lane[l] = a.lane[l] > b.lane[l] ? -1 : 0;
+  return r;
+}
+inline I32x4 x4_blend(I32x4 mask, I32x4 a, I32x4 b) noexcept {
+  I32x4 r;
+  for (int l = 0; l < 4; ++l) r.lane[l] = mask.lane[l] ? b.lane[l] : a.lane[l];
+  return r;
+}
+inline bool x4_any(I32x4 mask) noexcept {
+  return (mask.lane[0] | mask.lane[1] | mask.lane[2] | mask.lane[3]) != 0;
+}
+
+#endif  // RIPPLE_SIMD_NEON_ARM
+
+/// Sign-bit mask of the four lanes (bit l set iff lane l is negative) — the
+/// movemask equivalent for worklist re-packing.
+inline int x4_mask_bits(I32x4 mask) noexcept {
+  std::int32_t m[4];
+  x4_store(m, mask);
+  return (m[0] < 0 ? 1 : 0) | (m[1] < 0 ? 2 : 0) | (m[2] < 0 ? 4 : 0) |
+         (m[3] < 0 ? 8 : 0);
+}
+
+/// Per-lane byte load, masked: active lanes read base[idx], inactive lanes
+/// yield 0 and never touch memory. Active lanes must hold in-range indices.
+inline I32x4 x4_bytes_at(const std::uint8_t* base, I32x4 idx,
+                         I32x4 active) noexcept {
+  std::int32_t i[4];
+  std::int32_t m[4];
+  std::int32_t out[4];
+  x4_store(i, idx);
+  x4_store(m, active);
+  for (int l = 0; l < 4; ++l) {
+    out[l] = m[l] != 0 ? static_cast<std::int32_t>(base[i[l]]) : 0;
+  }
+  return x4_load(out);
+}
+
+/// Per-lane byte load with the index clamped into [0, limit]: the read is
+/// always in range, and lanes whose logical index was clamped must have the
+/// value masked out downstream (mirrors the x86 kernels' clamped gathers).
+inline I32x4 x4_bytes_clamped(const std::uint8_t* base, I32x4 idx,
+                              std::int32_t limit, I32x4 active) noexcept {
+  return x4_bytes_at(
+      base, x4_min(x4_max(idx, x4_dup(0)), x4_dup(limit)), active);
+}
+
+/// Per-lane i32 gather: out[l] = base[idx[l]] (unconditional; indices must
+/// be in range for every lane).
+inline I32x4 x4_gather_i32(const std::int32_t* base, I32x4 idx) noexcept {
+  std::int32_t i[4];
+  std::int32_t out[4];
+  x4_store(i, idx);
+  for (int l = 0; l < 4; ++l) out[l] = base[i[l]];
+  return x4_load(out);
+}
+
+}  // namespace ripple::device

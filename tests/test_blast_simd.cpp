@@ -1,13 +1,17 @@
-// Golden tests for the vectorized BLAST kernels: the AVX2 paths must agree
-// with the scalar fallbacks output for output — same survivors, same scores,
-// same emission order. On hosts (or builds) without AVX2 both pins resolve
-// to the scalar path and the comparisons hold trivially.
+// Golden tests for the vectorized BLAST kernels: every registered variant —
+// AVX2, AVX-512, and the lanes4 (NEON-portable) bodies — must agree with the
+// scalar fallbacks output for output: same survivors, same scores, same
+// emission order. Pins above the host's capability clamp down, so on hosts
+// (or builds) without an ISA that pin resolves to the next level and the
+// comparisons hold trivially; the lanes4 bodies are driven directly through
+// their portable backend so the NEON port's arithmetic is covered on x86.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <vector>
 
 #include "blast/simd_kernels.hpp"
+#include "blast/simd_kernels_detail.hpp"
 #include "blast/stages.hpp"
 #include "device/dispatch.hpp"
 #include "dist/rng.hpp"
@@ -67,7 +71,8 @@ std::vector<std::uint32_t> run_encode(const Fixture& f, SimdLevel level) {
 TEST(BlastSimd, EncodeMatchesScalarReference) {
   const Fixture f(7);
   const auto pos = f.all_positions();
-  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
     const auto codes = run_encode(f, level);
     for (std::size_t i = 0; i < pos.size(); i += 97) {
       EXPECT_EQ(codes[i], encode_kmer(f.pair.subject, pos[i], f.config.k))
@@ -76,9 +81,11 @@ TEST(BlastSimd, EncodeMatchesScalarReference) {
   }
 }
 
-TEST(BlastSimd, EncodeAvx2BitIdenticalToScalar) {
+TEST(BlastSimd, EncodeVectorLevelsBitIdenticalToScalar) {
   const Fixture f(11);
-  EXPECT_EQ(run_encode(f, SimdLevel::kScalar), run_encode(f, SimdLevel::kAvx2));
+  const auto scalar = run_encode(f, SimdLevel::kScalar);
+  EXPECT_EQ(scalar, run_encode(f, SimdLevel::kAvx2));
+  EXPECT_EQ(scalar, run_encode(f, SimdLevel::kAvx512));
 }
 
 struct EmitterSnapshot {
@@ -121,8 +128,8 @@ TEST(BlastSimd, SeedFilterBitIdenticalAcrossLevels) {
     });
   };
   const EmitterSnapshot scalar = run(SimdLevel::kScalar);
-  const EmitterSnapshot avx2 = run(SimdLevel::kAvx2);
-  EXPECT_TRUE(scalar == avx2);
+  EXPECT_TRUE(scalar == run(SimdLevel::kAvx2));
+  EXPECT_TRUE(scalar == run(SimdLevel::kAvx512));
 
   // And the scalar batch agrees with the per-item stage.
   std::size_t survivors = 0;
@@ -180,8 +187,17 @@ TEST(BlastSimd, UngappedExtendBitIdenticalAcrossLevels) {
     });
   };
   const EmitterSnapshot scalar = run(SimdLevel::kScalar);
-  const EmitterSnapshot avx2 = run(SimdLevel::kAvx2);
-  EXPECT_TRUE(scalar == avx2);
+  EXPECT_TRUE(scalar == run(SimdLevel::kAvx2));
+  EXPECT_TRUE(scalar == run(SimdLevel::kAvx512));
+
+  // The lanes4 (NEON-portable) body, driven directly: bit-identical too.
+  {
+    runtime::BatchEmitter emitter;
+    emitter.reset(sp.size(), 3, false);
+    simd::detail::ungapped_extend_lanes4(f.stages, sp.data(), qp.data(),
+                                         sp.size(), emitter);
+    EXPECT_TRUE(scalar == EmitterSnapshot::of(emitter, 3));
+  }
 
   // Scalar batch agrees with the per-item stage, score for score.
   std::size_t out_index = 0;
@@ -227,8 +243,17 @@ TEST(BlastSimd, GappedExtendBitIdenticalAcrossLevels) {
     });
   };
   const EmitterSnapshot scalar = run(SimdLevel::kScalar);
-  const EmitterSnapshot avx2 = run(SimdLevel::kAvx2);
-  EXPECT_TRUE(scalar == avx2);
+  EXPECT_TRUE(scalar == run(SimdLevel::kAvx2));
+  EXPECT_TRUE(scalar == run(SimdLevel::kAvx512));
+
+  // The lanes4 (NEON-portable) body, driven directly: bit-identical too.
+  {
+    runtime::BatchEmitter emitter;
+    emitter.reset(sp.size(), 3, false);
+    simd::detail::gapped_extend_lanes4(f.stages, sp.data(), qp.data(),
+                                       score.data(), sp.size(), emitter);
+    EXPECT_TRUE(scalar == EmitterSnapshot::of(emitter, 3));
+  }
 
   // Scalar batch agrees with the per-item stage, score for score (covers
   // window clamping at both sequence edges via the fixture's full scan).
@@ -247,8 +272,8 @@ TEST(BlastSimd, GappedExtendBitIdenticalAcrossLevels) {
 }
 
 TEST(BlastSimd, OddKmerLengthFallsBackToScalar) {
-  // k = 7 is not word-aligned, so the AVX2 pin must still produce scalar
-  // results (the kernels reject the shape and fall back).
+  // k = 7 is not word-aligned, so the x86 word-gather pins must still
+  // produce scalar results (the wrappers reject the shape and fall back).
   dist::Xoshiro256 rng(57);
   SequencePairConfig pair_config;
   pair_config.subject_length = 4096;
@@ -265,7 +290,9 @@ TEST(BlastSimd, OddKmerLengthFallsBackToScalar) {
       simd::seed_filter_batch(stages, pos.data(), pos.size(), out);
     });
   };
-  EXPECT_TRUE(run(SimdLevel::kScalar) == run(SimdLevel::kAvx2));
+  const EmitterSnapshot scalar = run(SimdLevel::kScalar);
+  EXPECT_TRUE(scalar == run(SimdLevel::kAvx2));
+  EXPECT_TRUE(scalar == run(SimdLevel::kAvx512));
 }
 
 }  // namespace

@@ -34,10 +34,14 @@
 #include "obs/obs.hpp"
 #include "obs/trace_export.hpp"
 #include "blast/canonical.hpp"
+#include "blast/simd_kernels.hpp"
+#include "cascade/simd_kernels.hpp"
 #include "core/report.hpp"
 #include "core/robustness.hpp"
 #include "core/sweep.hpp"
 #include "core/tradeoff.hpp"
+#include "device/dispatch.hpp"
+#include "device/kernel_registry.hpp"
 #include "dist/rng.hpp"
 #include "net/journal.hpp"
 #include "net/server.hpp"
@@ -71,6 +75,8 @@ int usage(int code) {
          "  replay       closed-loop control replay over a rate profile\n"
          "  serve        live service demo: producer threads + online control\n"
          "  recover      rebuild the controller from a serve --journal-dir\n"
+         "  kernels      dump the SIMD kernel dispatch catalog (no pipeline "
+         "argument)\n"
          "run `ripple_cli <command> --help` for command options\n";
   return code;
 }
@@ -726,6 +732,61 @@ int cmd_recover(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
   return 0;
 }
 
+
+/// Register every subsystem's kernels with the process-wide registry and
+/// apply the dispatch flags: --simd-level pins the global cap (clamped by
+/// capability, like RIPPLE_SIMD_LEVEL), --simd-autotune runs the gated
+/// deterministic microbench pass so resolution prefers measured winners.
+device::AutotuneReport configure_dispatch(const util::CliParser& cli) {
+  blast::simd::register_kernels();
+  cascade::simd::register_kernels();
+  const std::string& level_text = cli.get_string("simd-level");
+  if (!level_text.empty()) {
+    const std::optional<device::SimdLevel> level =
+        device::parse_simd_level(level_text);
+    if (!level.has_value()) {
+      throw std::logic_error("--simd-level must be scalar|neon|avx2|avx512 (got " +
+                             level_text + ")");
+    }
+    device::set_simd_override(level);
+  }
+  if (cli.get_flag("simd-autotune")) {
+    return device::KernelRegistry::instance().autotune();
+  }
+  return {};
+}
+
+int cmd_kernels(const util::CliParser& cli) {
+  const device::AutotuneReport report = configure_dispatch(cli);
+  device::KernelRegistry& registry = device::KernelRegistry::instance();
+  std::cout << "active level: "
+            << device::to_string(device::active_simd_level()) << " (detected "
+            << device::to_string(device::detected_simd_level()) << ")\n";
+  util::TextTable table(
+      {"kernel", "subsystem", "level", "lanes", "supported", "resolved"});
+  for (const device::KernelCatalogRow& row : registry.dump()) {
+    const bool resolved = registry.resolved_level(row.kernel) == row.level;
+    table.add_row({row.kernel, row.subsystem, device::to_string(row.level),
+                   std::to_string(row.lanes), row.supported ? "yes" : "no",
+                   resolved ? "<-" : ""});
+  }
+  table.print(std::cout);
+  if (!report.kernels.empty()) {
+    std::cout << "\nautotune (" << fmt(report.wall_us, 1) << " us wall):\n";
+    util::TextTable tuned({"kernel", "level", "lanes", "ns/item"});
+    for (const device::AutotuneKernelReport& kernel : report.kernels) {
+      for (const device::AutotuneMeasurement& m : kernel.measured) {
+        tuned.add_row({kernel.kernel, device::to_string(m.level),
+                       std::to_string(m.lanes),
+                       fmt(m.ns_per_item, 2) +
+                           (m.level == kernel.winner ? "  <- winner" : "")});
+      }
+    }
+    tuned.print(std::cout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, const char** argv) {
@@ -783,6 +844,12 @@ int main(int argc, const char** argv) {
                  "write a Chrome trace_event timeline here (RIPPLE_OBS builds)");
   cli.add_string("metrics-out", "",
                  "write the metrics registry as JSON here (RIPPLE_OBS builds)");
+  cli.add_string("simd-level", "",
+                 "pin kernel dispatch: scalar|neon|avx2|avx512 (clamped by "
+                 "host capability; also settable via RIPPLE_SIMD_LEVEL)");
+  cli.add_flag("simd-autotune", false,
+               "run the deterministic kernel microbench pass at startup and "
+               "dispatch to measured winners");
 
   auto parsed = cli.parse(argc - 1, argv + 1);
   if (!parsed.ok()) {
@@ -792,6 +859,13 @@ int main(int argc, const char** argv) {
   if (cli.help_requested()) {
     std::cout << cli.usage("ripple_cli " + command) << std::endl;
     return 0;
+  }
+  try {
+    if (command == "kernels") return cmd_kernels(cli);
+    configure_dispatch(cli);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
   }
   if (cli.positional().empty()) {
     std::cerr << "missing pipeline source (a JSON file, or 'blast')\n";
