@@ -1,9 +1,12 @@
 // Google-benchmark suite for the vector-wide pipeline executor
 // (runtime/pipeline_executor.hpp): end-to-end mini-BLAST runs comparing the
 // seed per-item engine (ReferenceExecutor), the adapter path, and the typed
-// batch path, plus per-ISA kernel microbenchmarks for the vectorized BLAST
-// and cascade stage bodies: each micro emits one row per SimdLevel (scalar,
-// neon, avx2, avx512), skipping levels this binary/host cannot run.
+// batch path; the task-parallel engine's thread-scaling curve
+// (BM_ExecutorParallel) and the counter false-sharing micro
+// (BM_MetricsContention); plus per-ISA kernel microbenchmarks for the
+// vectorized BLAST and cascade stage bodies: each micro emits one row per
+// SimdLevel (scalar, neon, avx2, avx512), skipping levels this binary/host
+// cannot run.
 // scripts/run_bench_runtime.sh runs this suite, writes BENCH_runtime.json at
 // the repo root, and prints the per-ISA speedup table.
 #include <benchmark/benchmark.h>
@@ -165,6 +168,83 @@ void BM_MiniBlastEndToEnd_BatchSimd(benchmark::State& state) {
   report_window_rate(state, w.windows);
 }
 BENCHMARK(BM_MiniBlastEndToEnd_BatchSimd)->Unit(benchmark::kMillisecond);
+
+/// Task-parallel engine over the same typed mini-BLAST workload, one row per
+/// thread count. /1 is the sequential engine (the dispatch short-circuit), so
+/// the /N vs /1 ratio is the intra-shard scaling curve
+/// scripts/run_bench_runtime.sh prints and gates on. The engine object
+/// persists across iterations, so the pool is warm after the first run —
+/// exactly the shard-worker steady state.
+void BM_ExecutorParallel(benchmark::State& state) {
+  const BlastWorkload& w = BlastWorkload::instance();
+  const runtime::PipelineExecutor engine(w.spec,
+                                         blast::make_batch_stages(w.stages));
+  runtime::ExecutorConfig config = w.config;
+  config.exec_threads = static_cast<std::size_t>(state.range(0));
+  state.SetLabel("threads=" + std::to_string(config.exec_threads));
+  for (auto _ : state) {
+    auto result = engine.run_batch(w.batch_inputs, config);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  report_window_rate(state, w.windows);
+}
+BENCHMARK(BM_ExecutorParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Counter false sharing: why sim::NodeMetrics and AdmissionLedger::Slot are
+// alignas(64).
+// ---------------------------------------------------------------------------
+
+/// Packed layout: adjacent threads' counter blocks share cache lines, the
+/// exact layout NodeMetrics had before the alignment fix.
+struct PackedCounters {
+  std::uint64_t firings = 0;
+  std::uint64_t items = 0;
+};
+struct alignas(64) AlignedCounters {
+  std::uint64_t firings = 0;
+  std::uint64_t items = 0;
+};
+
+/// Each benchmark thread hammers its own slot of a shared contiguous array —
+/// the access pattern of per-node metrics under shard workers (and the
+/// admission ledger's per-shard slots). arg 0 = packed, arg 1 = cache-line
+/// aligned; the gap between the two rows is the cross-core line bouncing the
+/// alignas(64) on sim::NodeMetrics / AdmissionLedger::Slot removes.
+template <typename Counters>
+void hammer_counters(benchmark::State& state, Counters* slots) {
+  Counters& mine = slots[state.thread_index()];
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      mine.firings += 1;
+      mine.items += static_cast<std::uint64_t>(i);
+      benchmark::DoNotOptimize(mine);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void BM_MetricsContention(benchmark::State& state) {
+  static PackedCounters packed[16];
+  static AlignedCounters aligned[16];
+  state.SetLabel(state.range(0) == 0 ? "packed" : "alignas64");
+  if (state.range(0) == 0) {
+    hammer_counters(state, packed);
+  } else {
+    hammer_counters(state, aligned);
+  }
+}
+BENCHMARK(BM_MetricsContention)
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(4)
+    ->UseRealTime();
 
 // ---------------------------------------------------------------------------
 // Stage-kernel micros: one call = one dense batch, no executor around it.

@@ -81,7 +81,11 @@ class AdmissionLedger {
   ShardLoad load(std::size_t shard) const;
 
  private:
-  struct Slot {
+  // One cache line per shard: slots sit in one contiguous array and each is
+  // written by its own shard worker on every batch, so without the alignment
+  // two shards' publishes would false-share a line and the admission
+  // hot path would pay coherence misses (see BM_MetricsContention).
+  struct alignas(64) Slot {
     std::atomic<std::size_t> open{0};
     std::atomic<double> offered{0.0};
     std::atomic<double> feasible{0.0};

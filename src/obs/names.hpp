@@ -28,6 +28,10 @@ inline constexpr std::string_view kSpanNames[] = {
     "control.replan", // controller: one enforced-waits re-solve (host)
     "journal.commit", // arrival journal: one group-commit write (host)
     "journal.snapshot", // arrival journal: one controller snapshot (host)
+    "runtime.wave",   // parallel executor: one shadow-planner dispatch batch
+                      // (host; emitted only with trace_workers)
+    "runtime.task",   // worker pool: one stage-firing task execution (host;
+                      // on the per-worker "runtime.worker<k>" track)
 };
 
 // Instant names ("i").
@@ -45,6 +49,8 @@ inline constexpr std::string_view kCounterNames[] = {
     "queue_depth",        // sim/runtime: node input-queue depth at firing
     "block_items",        // monolithic sim: items per block
     "control.tau0_est",   // controller: EWMA inter-arrival estimate
+    "runtime.steal",      // parallel executor: cumulative cross-worker deque
+                          // steals (host; emitted only with trace_workers)
 };
 
 // Counter *families*: prefixes under which every name is considered known.

@@ -127,10 +127,21 @@ class BatchEmitter {
   // match what was written.
 
   /// Ensure room for `n` more outputs; returns each column's append cursor.
+  /// Growth is geometric: resize(total_ + n) alone would reallocate to the
+  /// exact requested size on nearly every kernel call (std::vector only
+  /// amortizes push_back, not resize), so a stage making many small raw
+  /// reservations per firing would reallocate per call. Doubling keeps the
+  /// per-firing reallocation count logarithmic, and because reset() only
+  /// clear()s, a warmed emitter allocates nothing at steady state (see
+  /// EmitterSteadyStateAllocationFree in tests/test_runtime_batch.cpp).
   std::array<std::uint32_t*, kMaxLaneFields> reserve(std::size_t n) {
     std::array<std::uint32_t*, kMaxLaneFields> cursors{};
+    const std::size_t need = total_ + n;
     for (std::size_t f = 0; f < field_count_; ++f) {
-      cols_[f].resize(total_ + n);
+      if (need > cols_[f].capacity()) {
+        cols_[f].reserve(std::max(need, 2 * cols_[f].capacity()));
+      }
+      cols_[f].resize(need);
       cursors[f] = cols_[f].data() + total_;
     }
     return cursors;

@@ -1,0 +1,730 @@
+// Task-parallel pipeline engine: wavefront-scheduled stage firings on a
+// shard-local worker pool, bit-identical to the sequential engine.
+//
+// The enforced-waits schedule fixes every node's firing cadence up front, so
+// the dependency structure of a run is known before it executes: the k-th
+// consuming firing of node i reads a *determined* slice of the item stream
+// on edge i (everything node i-1 delivered before the firing's start, minus
+// what node i's earlier firings consumed). That makes firings of different
+// nodes — and *different firings of the same node* — independent pure
+// functions of their input windows, free to execute concurrently.
+//
+// Two cooperating roles, both driven from the calling thread:
+//
+//   * The PLANNER (plan_step) runs a shadow replica of the sequential event
+//     loop ahead of real time. It tracks per-edge streams as lists of
+//     *segments* (each completed firing's emitter is one segment), computes
+//     each upcoming firing's consumed count from pure arithmetic
+//     (min(queue, v), where the queue size follows from upstream segment
+//     totals and the arrival schedule), materializes the firing's dense
+//     input window by slicing segments, and dispatches it as a StageTask to
+//     the worker pool. Where a value it needs is not determined yet — a
+//     segment total still being computed by a worker, or the live-item count
+//     during the drain tail — it stalls; stalls only cost parallelism,
+//     never correctness.
+//
+//   * The COMMITTER (the run loop) replays the sequential engine's event
+//     loop *exactly* — same event queue pushes in the same order, hence the
+//     same (time, priority, seq) total order — with per-edge counters in
+//     place of materialized queues. Every observable effect happens here, in
+//     virtual-time order, with the sequential code's arithmetic: metrics
+//     counters, latency accounting, sink-result collection, trace spans, and
+//     the drain/reschedule decisions. Stage outputs are taken from the
+//     planned firing's emitter, which the committer waits for (helping
+//     execute it when no worker picked it up — progress never depends on
+//     pool capacity).
+//
+// Determinism argument (DESIGN.md §16): the committer's control flow reads
+// only its own replayed state, never scheduling order; the planner's
+// speculation is write-free outside engine-private buffers; and a planned
+// firing is only dispatched once its input window is bit-determined. So the
+// committed sequence of states is the sequential engine's sequence, and
+// results, ExecutionMetrics, and exported sim-domain traces match bit for
+// bit for every exec_threads value.
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "runtime/executor_internal.hpp"
+#include "runtime/pipeline_executor.hpp"
+#include "runtime/stage_scheduler.hpp"
+#include "sim/event_queue.hpp"
+#include "util/assert.hpp"
+
+#if RIPPLE_OBS
+#include "obs/obs.hpp"
+#endif
+
+namespace ripple::runtime {
+
+using detail::EventPayload;
+using detail::kPriorityFireEnd;
+using detail::kPriorityFireStart;
+
+namespace {
+
+/// One planned stage firing: the unit of pool work. Owns its dense input
+/// window (sliced out of upstream segments by the planner) and its output
+/// emitter (the downstream segment). Recycled through a per-node free list.
+struct Firing final : StageTask {
+  NodeIndex node = 0;
+  Cycles start = 0.0;
+  std::uint32_t consumed = 0;
+  const BatchStage* stage = nullptr;
+
+  // Input window (exactly one representation populated, per the stage).
+  std::array<std::vector<std::uint32_t>, kMaxLaneFields> in_cols;
+  std::vector<Item> in_items;
+  std::vector<RootId> lane_roots;
+
+  BatchEmitter emitter;  ///< outputs; valid once done()
+
+  // Planner-side consumption of this segment by downstream windows.
+  std::size_t out_taken = 0;
+  std::size_t out_lane = 0;        ///< root-expansion cursor: lane
+  std::uint32_t out_lane_off = 0;  ///< outputs already taken from out_lane
+  bool folded = false;         ///< total folded into the shadow live count
+  bool end_committed = false;  ///< committer processed the fire-end
+  /// Live planner references: one while pending_ holds the firing (until its
+  /// total folds or a sink fire-end cancels it), one while it is a node's
+  /// shadow_cur_, one while an edge segment list still queues its outputs.
+  /// Recycling storage with any of these outstanding would let the same
+  /// pointer appear twice in pending_ — the fold sweep would then credit the
+  /// new incarnation's total twice and lose the old one's.
+  std::uint32_t planner_refs = 0;
+
+  void execute() noexcept override {
+    LaneView view;
+    view.lanes = consumed;
+    if (stage->carries_items) {
+      view.items = in_items.data();
+    } else {
+      for (std::size_t f = 0; f < stage->input_fields; ++f) {
+        view.field[f] = in_cols[f].data();
+      }
+    }
+    emitter.reset(consumed, stage->output_fields, stage->carries_items);
+    try {
+      stage->fn(view, emitter);
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+};
+
+class ParallelEngine {
+ public:
+  ParallelEngine(const sdf::PipelineSpec& pipeline,
+                 const std::vector<BatchStage>& stages,
+                 const BatchInputs* typed_inputs,
+                 std::vector<Item>* item_inputs, const ExecutorConfig& config,
+                 StageScheduler& scheduler)
+      : pipeline_(pipeline),
+        stages_(stages),
+        typed_inputs_(typed_inputs),
+        item_inputs_(item_inputs),
+        config_(config),
+        scheduler_(scheduler),
+        n_(pipeline.size()),
+        v_(pipeline.simd_width()),
+        input_count_(typed_inputs != nullptr ? typed_inputs->size()
+                                             : item_inputs->size()),
+        per_input_gaps_(!config.input_gaps.empty()),
+        max_inflight_(std::max<std::size_t>(
+            8, 4 * (scheduler.worker_count() + 1))) {
+    segments_.resize(n_);
+    commit_fifo_.resize(n_);
+    shadow_cur_.assign(n_, nullptr);
+    committing_.assign(n_, nullptr);
+    free_.resize(n_);
+    s_next_arrival_ =
+        per_input_gaps_ ? config.input_gaps[0] : config.input_gap;
+  }
+
+  ~ParallelEngine() { quiesce(); }
+
+  util::Result<ExecutionMetrics> run();
+
+ private:
+  struct PlanStep {
+    bool advanced = false;
+    Firing* blocked_on = nullptr;  ///< undone task the planner stalled on
+  };
+
+  void shadow_materialize(Cycles now) {
+    if (s_arrivals_done_ || s_next_arrival_ > now) return;
+    while (!s_arrivals_done_ && s_next_arrival_ <= now) {
+      ++s_arr_count_;
+      ++shadow_live_;
+      if (s_arr_count_ == input_count_) {
+        s_arrivals_done_ = true;
+      } else {
+        s_next_arrival_ += per_input_gaps_ ? config_.input_gaps[s_arr_count_]
+                                           : config_.input_gap;
+      }
+    }
+  }
+
+  /// Fold completed firings' output totals into the shadow live count.
+  void fold_pending() {
+    std::size_t kept = 0;
+    for (Firing* firing : pending_) {
+      if (firing->done()) {
+        shadow_live_ += firing->emitter.total();
+        firing->folded = true;
+        --firing->planner_refs;
+        maybe_recycle(firing);
+      } else {
+        pending_[kept++] = firing;
+      }
+    }
+    pending_.resize(kept);
+  }
+
+  /// Planner view of min(queue_i, v) at the shadow's current position.
+  /// Exact whenever it returns >= 0; -1 means stalled (sets *blocked_on).
+  int shadow_consumed(NodeIndex i, Firing** blocked_on) {
+    if (i == 0) {
+      const std::uint64_t size = s_arr_count_ - s_arr_taken_;
+      return static_cast<int>(std::min<std::uint64_t>(size, v_));
+    }
+    std::uint64_t avail = 0;
+    for (Firing* seg : segments_[i]) {
+      if (!seg->done()) {
+        *blocked_on = seg;
+        return -1;
+      }
+      avail += seg->emitter.total() - seg->out_taken;
+      if (avail >= v_) return static_cast<int>(v_);
+    }
+    return static_cast<int>(std::min<std::uint64_t>(avail, v_));
+  }
+
+  Firing* make_firing(NodeIndex i) {
+    Firing* firing;
+    if (!free_[i].empty()) {
+      firing = free_[i].back();
+      free_[i].pop_back();
+    } else {
+      storage_.push_back(std::make_unique<Firing>());
+      firing = storage_.back().get();
+    }
+    RIPPLE_ASSERT(firing->planner_refs == 0,
+                  "recycled firing still referenced by the planner");
+    firing->node = i;
+    firing->stage = &stages_[i];
+    firing->out_taken = 0;
+    firing->out_lane = 0;
+    firing->out_lane_off = 0;
+    firing->folded = false;
+    firing->end_committed = false;
+    firing->reset_state();
+    return firing;
+  }
+
+  /// Return a firing to the free list once nothing references it anymore:
+  /// its fire-end is committed, its outputs are fully consumed, and every
+  /// planner reference (pending_, shadow_cur_, edge segment lists) has been
+  /// released. The last condition is load-bearing: a firing's outputs can be
+  /// fully consumed downstream and its fire-end committed while its total
+  /// still sits unfolded in pending_ (fold_pending only runs once arrivals
+  /// drain), and recycling it then would hand the same storage out twice.
+  void maybe_recycle(Firing* firing) {
+    if (!firing->end_committed || firing->planner_refs != 0) return;
+    const bool is_sink = firing->node + 1 == n_;
+    if (!is_sink && firing->out_taken != firing->emitter.total()) return;
+    free_[firing->node].push_back(firing);
+  }
+
+  /// Slice `consumed` lanes out of the edge stream into the firing's dense
+  /// window. Callable only after shadow_consumed() returned this count, so
+  /// every touched segment is done.
+  void build_window(Firing& firing) {
+    const std::uint32_t consumed = firing.consumed;
+    const BatchStage& stage = *firing.stage;
+    firing.lane_roots.resize(consumed);
+    if (stage.carries_items) {
+      firing.in_items.resize(consumed);
+    } else {
+      for (std::size_t f = 0; f < stage.input_fields; ++f) {
+        firing.in_cols[f].resize(consumed);
+      }
+    }
+    if (firing.node == 0) {
+      for (std::uint32_t k = 0; k < consumed; ++k) {
+        const std::size_t idx = s_arr_taken_ + k;
+        firing.lane_roots[k] = static_cast<RootId>(idx);
+        if (typed_inputs_ != nullptr) {
+          for (std::size_t f = 0; f < stage.input_fields; ++f) {
+            firing.in_cols[f][k] = typed_inputs_->column(f)[idx];
+          }
+        } else {
+          firing.in_items[k] = std::move((*item_inputs_)[idx]);
+        }
+      }
+      s_arr_taken_ += consumed;
+      return;
+    }
+    auto& segs = segments_[firing.node];
+    std::uint32_t dest = 0;
+    while (dest < consumed) {
+      RIPPLE_ASSERT(!segs.empty(), "window slice ran out of segments");
+      Firing* src = segs.front();
+      const std::size_t src_left = src->emitter.total() - src->out_taken;
+      if (src_left == 0) {
+        segs.pop_front();
+        --src->planner_refs;
+        maybe_recycle(src);
+        continue;
+      }
+      const std::uint32_t take = static_cast<std::uint32_t>(
+          std::min<std::size_t>(consumed - dest, src_left));
+      if (stage.carries_items) {
+        Item* items = src->emitter.items();
+        for (std::uint32_t t = 0; t < take; ++t) {
+          firing.in_items[dest + t] = std::move(items[src->out_taken + t]);
+        }
+      } else {
+        for (std::size_t f = 0; f < stage.input_fields; ++f) {
+          std::memcpy(firing.in_cols[f].data() + dest,
+                      src->emitter.column(f) + src->out_taken,
+                      take * sizeof(std::uint32_t));
+        }
+      }
+      const std::uint32_t* counts = src->emitter.counts();
+      for (std::uint32_t t = 0; t < take; ++t) {
+        while (src->out_lane_off == counts[src->out_lane]) {
+          ++src->out_lane;
+          src->out_lane_off = 0;
+        }
+        firing.lane_roots[dest + t] = src->lane_roots[src->out_lane];
+        ++src->out_lane_off;
+      }
+      src->out_taken += take;
+      dest += take;
+      if (src->out_taken == src->emitter.total()) {
+        segs.pop_front();
+        --src->planner_refs;
+        maybe_recycle(src);
+      }
+    }
+  }
+
+  /// Advance the shadow replay by one event (or resolve a stalled
+  /// reschedule decision). `force` ignores the in-flight cap — used when the
+  /// committer needs the firing for the event it is about to commit.
+  PlanStep plan_step(bool force) {
+    PlanStep step;
+    if (resched_node_ != kNoResched) {
+      // A drained-arrivals reschedule decision needs the exact live count;
+      // the shadow halts entirely until every started firing's total is
+      // folded (event-push order is seq-significant, so nothing may be
+      // processed past this point while it is undecided).
+      fold_pending();
+      if (!pending_.empty()) {
+        step.blocked_on = pending_.front();
+        return step;
+      }
+      if (shadow_live_ != 0) {
+        shadow_events_.push(resched_time_ + config_.firing_intervals[resched_node_],
+                            kPriorityFireStart,
+                            {EventPayload::Kind::kFireStart,
+                             static_cast<NodeIndex>(resched_node_)});
+      }
+      resched_node_ = kNoResched;
+      step.advanced = true;
+      return step;
+    }
+    if (shadow_events_.empty()) return step;
+    if (!force && shadow_processed_ - committed_seen_ >= kMaxLead) return step;
+    // Copy before any pop: top() references the heap's front slot.
+    const EventPayload payload = shadow_events_.top().payload;
+    const Cycles now = shadow_events_.top().time;
+    shadow_materialize(now);
+    if (payload.kind == EventPayload::Kind::kFireStart) {
+      const NodeIndex i = payload.node;
+      const int consumed = shadow_consumed(i, &step.blocked_on);
+      if (consumed < 0) return step;  // window not determined yet
+      if (consumed > 0 && !force && inflight_ >= max_inflight_) return step;
+      shadow_events_.pop();
+      ++shadow_processed_;
+      if (consumed > 0) {
+        Firing* firing = make_firing(i);
+        firing->start = now;
+        firing->consumed = static_cast<std::uint32_t>(consumed);
+        build_window(*firing);
+        shadow_live_ -= static_cast<std::uint64_t>(consumed);
+        pending_.push_back(firing);
+        commit_fifo_[i].push_back(firing);
+        shadow_cur_[i] = firing;
+        firing->planner_refs = 2;  // pending_ + shadow_cur_
+        ++inflight_;
+        ++dispatched_this_wave_;
+        scheduler_.submit(firing);
+        shadow_events_.push(now + pipeline_.service_time(i), kPriorityFireEnd,
+                            {EventPayload::Kind::kFireEnd, i});
+      }
+      if (!s_arrivals_done_) {
+        shadow_events_.push(now + config_.firing_intervals[i],
+                            kPriorityFireStart,
+                            {EventPayload::Kind::kFireStart, i});
+      } else {
+        fold_pending();
+        if (!pending_.empty()) {
+          resched_node_ = i;
+          resched_time_ = now;
+        } else if (shadow_live_ != 0) {
+          shadow_events_.push(now + config_.firing_intervals[i],
+                              kPriorityFireStart,
+                              {EventPayload::Kind::kFireStart, i});
+        }
+      }
+      step.advanced = true;
+      return step;
+    }
+    // Fire-end: deliver the in-flight firing's segment downstream (totals
+    // may still be pending — consumers stall on them lane-exactly).
+    shadow_events_.pop();
+    ++shadow_processed_;
+    const NodeIndex i = payload.node;
+    Firing* firing = shadow_cur_[i];
+    RIPPLE_ASSERT(firing != nullptr, "shadow fire-end without a firing");
+    shadow_cur_[i] = nullptr;
+    --firing->planner_refs;
+    if (i + 1 == n_) {
+      // Sink outputs leave the system: net live effect of the firing is
+      // -consumed, so an unfolded +total simply cancels out of pending_.
+      if (firing->folded) {
+        shadow_live_ -= firing->emitter.total();
+      } else {
+        pending_.erase(std::find(pending_.begin(), pending_.end(), firing));
+        --firing->planner_refs;
+      }
+      maybe_recycle(firing);
+    } else {
+      ++firing->planner_refs;  // handed from shadow_cur_ to the segment list
+      segments_[i + 1].push_back(firing);
+    }
+    step.advanced = true;
+    return step;
+  }
+
+  /// Run the planner as far ahead as it can get right now.
+  void plan_ahead() {
+    dispatched_this_wave_ = 0;
+    while (true) {
+      const PlanStep step = plan_step(/*force=*/false);
+      if (!step.advanced) break;
+    }
+#if RIPPLE_OBS
+    if (config_.trace_workers && dispatched_this_wave_ > 0) {
+      obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+      if (trace.active()) {
+        const double now_us = obs::TraceSession::global().host_now_us();
+        trace.begin(obs::Domain::kHost, trace.track(), "runtime.wave", now_us);
+        trace.end(obs::Domain::kHost, trace.track(), "runtime.wave",
+                  obs::TraceSession::global().host_now_us());
+        trace.counter(obs::Domain::kHost, trace.track(), "runtime.steal",
+                      obs::TraceSession::global().host_now_us(),
+                      static_cast<double>(scheduler_.steals()));
+      }
+    }
+#endif
+  }
+
+  /// Block-tolerant fetch of the planned firing the committer is about to
+  /// commit: force the shadow forward, waiting on whichever task it is
+  /// stalled behind.
+  Firing* take_planned(NodeIndex i) {
+    while (commit_fifo_[i].empty()) {
+      const PlanStep step = plan_step(/*force=*/true);
+      if (step.advanced) continue;
+      // Always-on: this is the cold path, and a divergence here would
+      // otherwise dereference null and corrupt instead of failing loudly.
+      RIPPLE_REQUIRE(step.blocked_on != nullptr,
+                     "parallel planner diverged from the committer");
+      scheduler_.wait(*step.blocked_on);
+    }
+    Firing* firing = commit_fifo_[i].front();
+    commit_fifo_[i].pop_front();
+    --inflight_;
+    return firing;
+  }
+
+  /// Wait out every dispatched-but-uncommitted task so engine-owned storage
+  /// can be torn down (failure paths; idempotent).
+  void quiesce() {
+    for (auto& fifo : commit_fifo_) {
+      for (Firing* firing : fifo) scheduler_.wait(*firing);
+    }
+  }
+
+  const sdf::PipelineSpec& pipeline_;
+  const std::vector<BatchStage>& stages_;
+  const BatchInputs* typed_inputs_;
+  std::vector<Item>* item_inputs_;
+  const ExecutorConfig& config_;
+  StageScheduler& scheduler_;
+
+  const std::size_t n_;
+  const std::uint32_t v_;
+  const std::size_t input_count_;
+  const bool per_input_gaps_;
+  const std::size_t max_inflight_;
+  static constexpr std::uint64_t kMaxLead = 4096;
+  static constexpr std::size_t kNoResched = static_cast<std::size_t>(-1);
+
+  // --- planner (shadow) state ---------------------------------------------
+  sim::EventQueue<EventPayload> shadow_events_;
+  std::vector<std::deque<Firing*>> segments_;     ///< edge i's delivered stream
+  std::vector<std::deque<Firing*>> commit_fifo_;  ///< dispatched, uncommitted
+  std::vector<Firing*> shadow_cur_;               ///< started, un-ended
+  std::vector<Firing*> pending_;                  ///< totals not yet folded
+  std::uint64_t shadow_live_ = 0;
+  std::size_t s_arr_count_ = 0;  ///< arrivals materialized (shadow clock)
+  std::size_t s_arr_taken_ = 0;  ///< arrivals consumed into node-0 windows
+  Cycles s_next_arrival_ = 0.0;
+  bool s_arrivals_done_ = false;
+  std::size_t resched_node_ = kNoResched;
+  Cycles resched_time_ = 0.0;
+  std::uint64_t shadow_processed_ = 0;
+  std::uint64_t committed_seen_ = 0;
+  std::size_t inflight_ = 0;
+  std::size_t dispatched_this_wave_ = 0;
+
+  // --- storage --------------------------------------------------------------
+  std::vector<std::unique_ptr<Firing>> storage_;
+  std::vector<std::vector<Firing*>> free_;
+
+  // --- committer state ------------------------------------------------------
+  std::vector<Firing*> committing_;
+};
+
+util::Result<ExecutionMetrics> ParallelEngine::run() {
+  using R = util::Result<ExecutionMetrics>;
+
+  ExecutionMetrics metrics;
+  metrics.base.nodes.resize(n_);
+  metrics.base.vector_width = v_;
+  metrics.base.sharing_actors = n_;
+  metrics.base.arm_latency_histogram(config_.deadline);
+
+  std::vector<Cycles> root_arrival(input_count_, 0.0);
+  std::vector<bool> root_missed(input_count_, false);
+
+  std::vector<std::uint64_t> qsize(n_, 0);
+  std::uint64_t live_items = 0;
+  std::size_t next_input = 0;
+  // Arrival k's timestamp accumulates gap by gap (never k * gap) so the
+  // doubles match the seed engine's event-chained arrival times bit for bit
+  // — and the shadow replica accumulates the same way.
+  Cycles next_arrival =
+      per_input_gaps_ ? config_.input_gaps[0] : config_.input_gap;
+  bool arrivals_done = false;
+
+  const auto materialize_arrivals = [&](Cycles now) {
+    if (arrivals_done || next_arrival > now) return;
+    while (!arrivals_done && next_arrival <= now) {
+      const RootId root = static_cast<RootId>(next_input);
+      root_arrival[root] = next_arrival;
+      ++metrics.base.inputs_arrived;
+      ++qsize[0];
+      ++live_items;
+      ++next_input;
+      if (next_input == input_count_) {
+        arrivals_done = true;
+      } else {
+        next_arrival += per_input_gaps_ ? config_.input_gaps[next_input]
+                                        : config_.input_gap;
+      }
+    }
+    metrics.base.nodes[0].max_queue_length = std::max<std::uint64_t>(
+        metrics.base.nodes[0].max_queue_length, qsize[0]);
+  };
+
+  sim::EventQueue<EventPayload> events;
+  for (NodeIndex i = 0; i < n_; ++i) {
+    events.push(0.0, kPriorityFireStart, {EventPayload::Kind::kFireStart, i});
+    shadow_events_.push(0.0, kPriorityFireStart,
+                        {EventPayload::Kind::kFireStart, i});
+  }
+
+#if RIPPLE_OBS
+  // Per-stage service spans on the sim timeline, mirroring enforced_sim.
+  obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+  if (trace.active()) {
+    for (NodeIndex i = 0; i < n_; ++i) {
+      obs::TraceSession::global().set_track_name(
+          obs::Domain::kSim, static_cast<std::uint32_t>(i),
+          pipeline_.node(i).name);
+    }
+  }
+#endif
+
+  std::uint64_t processed = 0;
+  while (!events.empty() && processed < config_.max_events) {
+    plan_ahead();
+    const auto event = events.pop();
+    ++processed;
+    committed_seen_ = processed;
+    const Cycles now = event.time;
+    materialize_arrivals(now);
+
+    switch (event.payload.kind) {
+      case EventPayload::Kind::kFireStart: {
+        const NodeIndex i = event.payload.node;
+        sim::NodeMetrics& node = metrics.base.nodes[i];
+        const std::uint32_t consumed =
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(qsize[i], v_));
+#if RIPPLE_OBS
+        if (trace.active()) {
+          trace.counter(obs::Domain::kSim, static_cast<std::uint32_t>(i),
+                        "queue_depth", now, static_cast<double>(qsize[i]));
+          if (consumed > 0) {
+            trace.begin(obs::Domain::kSim, static_cast<std::uint32_t>(i),
+                        "service", now);
+          } else if (config_.charge_empty_firings) {
+            trace.instant(obs::Domain::kSim, static_cast<std::uint32_t>(i),
+                          "empty_firing", now, pipeline_.service_time(i));
+          }
+        }
+#endif
+
+        if (consumed > 0 || config_.charge_empty_firings) {
+          ++node.firings;
+          if (consumed == 0) ++node.empty_firings;
+          node.active_time += pipeline_.service_time(i);
+        }
+
+        if (consumed > 0) {
+          node.items_consumed += consumed;
+          Firing* firing = take_planned(i);
+          RIPPLE_ASSERT(firing->start == now && firing->consumed == consumed,
+                        "parallel plan diverged from the committed timeline");
+          scheduler_.wait(*firing);
+          if (firing->error) {
+            try {
+              std::rethrow_exception(firing->error);
+            } catch (const std::exception& e) {
+              return R::failure("stage_exception",
+                                "stage '" + pipeline_.node(i).name +
+                                    "' threw: " + e.what());
+            } catch (...) {
+              return R::failure("stage_exception",
+                                "stage '" + pipeline_.node(i).name +
+                                    "' threw");
+            }
+          }
+          qsize[i] -= consumed;
+          node.items_produced += firing->emitter.total();
+          live_items += firing->emitter.total();
+          live_items -= consumed;
+          events.push(now + pipeline_.service_time(i), kPriorityFireEnd,
+                      {EventPayload::Kind::kFireEnd, i});
+          committing_[i] = firing;
+        }
+
+        if (!(arrivals_done && live_items == 0)) {
+          events.push(now + config_.firing_intervals[i], kPriorityFireStart,
+                      {EventPayload::Kind::kFireStart, i});
+        }
+        break;
+      }
+
+      case EventPayload::Kind::kFireEnd: {
+        const NodeIndex i = event.payload.node;
+        Firing* firing = committing_[i];
+        committing_[i] = nullptr;
+        BatchEmitter& emitter = firing->emitter;
+        const std::vector<RootId>& lane_roots = firing->lane_roots;
+        const bool is_sink = (i + 1 == n_);
+        if (is_sink) {
+          const std::uint32_t* counts = emitter.counts();
+          std::size_t out = 0;
+          for (std::size_t lane = 0; lane < emitter.lanes(); ++lane) {
+            const RootId root = lane_roots[lane];
+            for (std::uint32_t c = 0; c < counts[lane]; ++c, ++out) {
+              ++metrics.base.sink_outputs;
+              const Cycles latency = now - root_arrival[root];
+              metrics.base.record_latency(latency);
+              if (config_.deadline > 0.0 &&
+                  latency > config_.deadline * (1.0 + 1e-12) &&
+                  !root_missed[root]) {
+                root_missed[root] = true;
+                ++metrics.base.inputs_missed;
+#if RIPPLE_OBS
+                if (trace.active()) {
+                  trace.instant(obs::Domain::kSim,
+                                static_cast<std::uint32_t>(i), "deadline_miss",
+                                now, config_.deadline - latency);
+                }
+#endif
+              }
+              metrics.base.makespan = std::max(metrics.base.makespan, now);
+              if (metrics.results.size() < config_.max_collected_results) {
+                if (emitter.carries_items()) {
+                  metrics.results.push_back(std::move(emitter.items()[out]));
+                } else {
+                  std::uint32_t fields[kMaxLaneFields] = {0, 0, 0};
+                  for (std::size_t f = 0; f < stages_[i].output_fields; ++f) {
+                    fields[f] = emitter.column(f)[out];
+                  }
+                  metrics.results.push_back(
+                      stages_[i].materialize
+                          ? stages_[i].materialize(fields)
+                          : detail::default_materialize(fields));
+                }
+              }
+            }
+          }
+          live_items -= emitter.total();
+        } else {
+          qsize[i + 1] += emitter.total();
+          metrics.base.nodes[i + 1].max_queue_length = std::max<std::uint64_t>(
+              metrics.base.nodes[i + 1].max_queue_length, qsize[i + 1]);
+        }
+#if RIPPLE_OBS
+        if (trace.active()) {
+          trace.end(obs::Domain::kSim, static_cast<std::uint32_t>(i),
+                    "service", now);
+        }
+#endif
+        firing->end_committed = true;
+        maybe_recycle(firing);
+        break;
+      }
+    }
+  }
+  if (processed >= config_.max_events) {
+    return R::failure("event_budget",
+                      "event budget exhausted (unstable schedule?)");
+  }
+
+  metrics.base.inputs_on_time =
+      metrics.base.inputs_arrived - metrics.base.inputs_missed;
+  if (metrics.base.makespan <= 0.0 && metrics.base.inputs_arrived > 0) {
+    metrics.base.makespan =
+        per_input_gaps_
+            ? next_arrival
+            : config_.input_gap *
+                  static_cast<double>(metrics.base.inputs_arrived);
+  }
+  return metrics;
+}
+
+}  // namespace
+
+util::Result<ExecutionMetrics> PipelineExecutor::execute_parallel(
+    const BatchInputs* typed_inputs, std::vector<Item>* item_inputs,
+    const ExecutorConfig& config, std::size_t threads) const {
+  StageScheduler& scheduler = acquire_scheduler(threads - 1);
+  scheduler.begin_run(config.trace_workers);
+  ParallelEngine engine(pipeline_, stages_, typed_inputs, item_inputs, config,
+                        scheduler);
+  return engine.run();
+}
+
+}  // namespace ripple::runtime

@@ -1,0 +1,174 @@
+#include "runtime/stage_scheduler.hpp"
+
+#include "util/assert.hpp"
+
+#if RIPPLE_OBS
+#include <string>
+
+#include "obs/obs.hpp"
+#endif
+
+namespace ripple::runtime {
+
+StageScheduler::StageScheduler(std::size_t workers) {
+  deques_.reserve(workers + 1);
+  steal_counts_.reserve(workers);
+  for (std::size_t i = 0; i < workers + 1; ++i) {
+    deques_.push_back(std::make_unique<util::WorkStealingDeque<StageTask*>>());
+  }
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    steal_counts_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+StageScheduler::~StageScheduler() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    work_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  park_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void StageScheduler::begin_run(bool trace_workers) {
+  // The lock acquisition orders this committer after the previous run's
+  // committer (which quiesced the pool before returning), making the plain
+  // deque-0 owner state safely transferable across threads.
+  std::lock_guard<std::mutex> lock(park_mutex_);
+  trace_workers_.store(trace_workers, std::memory_order_relaxed);
+}
+
+void StageScheduler::submit(StageTask* task) {
+  deques_[0]->push(task);
+  work_epoch_.fetch_add(1, std::memory_order_release);
+  if (parked_.load(std::memory_order_acquire) > 0) {
+    park_cv_.notify_one();
+  }
+}
+
+bool StageScheduler::claim_and_run(StageTask* task) {
+  int expected = StageTask::kReady;
+  if (!task->state_.compare_exchange_strong(expected, StageTask::kRunning,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+    return false;
+  }
+  task->execute();
+  return true;
+}
+
+void StageScheduler::finish(StageTask* task) {
+  task->state_.store(StageTask::kDone, std::memory_order_release);
+  // Empty critical section: a waiter that read kRunning and is entering
+  // done_cv_.wait() holds done_mutex_; taking it here fences the notify
+  // after the waiter's predicate check, so the wakeup cannot be lost.
+  { std::lock_guard<std::mutex> lock(done_mutex_); }
+  done_cv_.notify_all();
+}
+
+void StageScheduler::wait(StageTask& task) {
+  // Help by draining the deques rather than claiming `task` in place: every
+  // execution consumes a deque entry, so no entry can outlive its task (the
+  // engine recycles tasks as soon as they commit, and a stale entry pointing
+  // at a re-armed task would let a thief run it twice). All submissions land
+  // in deque 0, so the target task is reachable from here; once pop and
+  // steals both come up empty its entry was consumed by someone, and that
+  // runner's finish() will signal done_cv_.
+  while (!task.done()) {
+    if (!try_run_one(0)) break;
+  }
+  if (task.done()) return;
+  std::unique_lock<std::mutex> lock(done_mutex_);
+  done_cv_.wait(lock, [&task] { return task.done(); });
+}
+
+std::uint64_t StageScheduler::steals() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& count : steal_counts_) {
+    total += count->load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+bool StageScheduler::try_run_one(std::size_t self) {
+  StageTask* task = nullptr;
+  // Own deque first (newest-first for locality), then steal oldest-first
+  // from the others, starting after self so thieves spread out.
+  if (!deques_[self]->pop(task)) {
+    task = nullptr;
+    const std::size_t count = deques_.size();
+    for (std::size_t hop = 1; hop < count && task == nullptr; ++hop) {
+      StageTask* stolen = nullptr;
+      if (deques_[(self + hop) % count]->steal(stolen)) {
+        task = stolen;
+        if (self > 0) {
+          steal_counts_[self - 1]->fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  if (task == nullptr) return false;
+  if (claim_and_run(task)) finish(task);
+  // A lost claim race still counts as progress: the entry is consumed.
+  return true;
+}
+
+void StageScheduler::worker_loop(std::size_t worker) {
+  const std::size_t self = worker + 1;  // deque index (0 is the committer)
+#if RIPPLE_OBS
+  bool track_named = false;
+#endif
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const std::uint64_t epoch = work_epoch_.load(std::memory_order_acquire);
+    bool ran = false;
+#if RIPPLE_OBS
+    if (trace_workers_.load(std::memory_order_relaxed) && obs::enabled()) {
+      obs::TraceWriter trace = obs::TraceWriter::for_current_thread();
+      if (trace.active()) {
+        if (!track_named) {
+          obs::TraceSession::global().set_track_name(
+              obs::Domain::kHost, trace.track(),
+              "runtime.worker" + std::to_string(worker));
+          track_named = true;
+        }
+        const double begin_us = obs::TraceSession::global().host_now_us();
+        ran = try_run_one(self);
+        if (ran) {
+          trace.begin(obs::Domain::kHost, trace.track(), "runtime.task",
+                      begin_us);
+          trace.end(obs::Domain::kHost, trace.track(), "runtime.task",
+                    obs::TraceSession::global().host_now_us());
+          trace.counter(
+              obs::Domain::kHost, trace.track(), "runtime.steal",
+              obs::TraceSession::global().host_now_us(),
+              static_cast<double>(
+                  steal_counts_[worker]->load(std::memory_order_relaxed)));
+        }
+      } else {
+        ran = try_run_one(self);
+      }
+    } else {
+      ran = try_run_one(self);
+    }
+#else
+    ran = try_run_one(self);
+#endif
+    if (ran) continue;
+    // Nothing visible: park until the next submit (re-check the epoch under
+    // the lock so a submit between our scan and the wait is never missed).
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    parked_.fetch_add(1, std::memory_order_release);
+    park_cv_.wait(lock, [this, epoch] {
+      return stopping_.load(std::memory_order_acquire) ||
+             work_epoch_.load(std::memory_order_acquire) != epoch;
+    });
+    parked_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+}  // namespace ripple::runtime

@@ -1,0 +1,129 @@
+// Shard-local worker pool for task-parallel pipeline execution.
+//
+// The parallel engine (pipeline_executor_parallel.cpp) runs one *committer*
+// thread — the caller of PipelineExecutor::run — that replays the sequential
+// event loop and commits every result in virtual-time order, while the
+// actual stage invocations (the expensive part: BLAST kernels, cascade
+// filters, adapter stages) run as StageTasks on this pool. The scheduler is
+// deliberately dumb: it knows nothing about firings or virtual time, it just
+// executes ready tasks and lets the committer wait on (or help with)
+// specific ones.
+//
+// Structure: every participant — the committer (participant 0) plus each
+// pool worker — owns one Chase-Lev deque (util/work_deque.hpp). The
+// committer pushes ready tasks into its own deque; idle workers steal the
+// oldest task from any non-empty deque (per-worker steal counters feed the
+// `runtime.steal` observability counter). Workers never block while work is
+// visible; with nothing to steal they park on a condition variable and are
+// woken by the next submit.
+//
+// Claiming: every execution consumes a deque entry first (pop or steal),
+// then CASes the task kReady -> kRunning. The committer's wait() helps by
+// draining deques the same way rather than claiming its target in place —
+// that invariant is what lets the engine recycle task storage the moment a
+// task commits: a task being done implies its (single) deque entry was
+// already consumed, so no stale entry can ever resolve to recycled storage.
+//
+// Lifetime: one scheduler persists across runs inside a PipelineExecutor
+// (threads are expensive; service batches are small). Between runs the pool
+// is quiescent — the engine waits for every submitted task before
+// returning — so per-run state may be torn down safely. run() may be called
+// from different threads across runs: deque 0's ownership transfer is
+// synchronized by begin_run()'s mutex acquisition.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/work_deque.hpp"
+
+namespace ripple::runtime {
+
+/// One unit of pool work: a pipeline-stage firing in practice. The engine
+/// owns the storage; the scheduler only sees pointers. execute() must not
+/// throw — implementations capture errors into `error` for the committer to
+/// surface in commit order.
+class StageTask {
+ public:
+  enum State : int { kReady = 0, kRunning = 1, kDone = 2 };
+
+  virtual ~StageTask() = default;
+  virtual void execute() noexcept = 0;
+
+  bool done() const noexcept {
+    return state_.load(std::memory_order_acquire) == kDone;
+  }
+  void reset_state() noexcept {
+    error = nullptr;
+    state_.store(kReady, std::memory_order_relaxed);
+  }
+
+  /// Set when execute() captured a throw; surfaced by the committer with the
+  /// sequential engine's exact message format.
+  std::exception_ptr error;
+
+ private:
+  friend class StageScheduler;
+  std::atomic<int> state_{kReady};
+};
+
+class StageScheduler {
+ public:
+  /// Spawns `workers` pool threads (0 is valid: every task is then executed
+  /// inline by wait()'s help path, which is how exec_threads=2 degrades when
+  /// the lone worker is busy).
+  explicit StageScheduler(std::size_t workers);
+  ~StageScheduler();
+
+  StageScheduler(const StageScheduler&) = delete;
+  StageScheduler& operator=(const StageScheduler&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Establish the calling thread as this run's committer (deque-0 owner)
+  /// and arm/disarm per-worker tracing for the run. Requires quiescence.
+  void begin_run(bool trace_workers);
+  /// Committer: submit a ready task (pushes to the committer's deque and
+  /// wakes a parked worker).
+  void submit(StageTask* task);
+  /// Committer: block until `task` is done, helping drain ready tasks while
+  /// it waits (so progress never depends on pool capacity).
+  void wait(StageTask& task);
+  /// Committer: total tasks stolen across all workers (monotonic over the
+  /// scheduler's lifetime; exposed as the `runtime.steal` counter).
+  std::uint64_t steals() const noexcept;
+
+ private:
+  void worker_loop(std::size_t worker);
+  bool try_run_one(std::size_t self);
+  static bool claim_and_run(StageTask* task);
+  void finish(StageTask* task);
+
+  std::vector<std::unique_ptr<util::WorkStealingDeque<StageTask*>>> deques_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> steal_counts_;
+
+  // Parking lot: work_epoch_ advances on every submit; a worker re-checks it
+  // under park_mutex_ before sleeping so wakeups are never lost.
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::atomic<std::uint64_t> work_epoch_{0};
+  std::atomic<std::size_t> parked_{0};
+  std::atomic<bool> stopping_{false};
+
+  // Completion signal for wait(): finishers take done_mutex_ briefly after
+  // publishing kDone so a waiter that saw kRunning cannot miss the notify.
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+
+  std::atomic<bool> trace_workers_{false};
+};
+
+}  // namespace ripple::runtime

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <any>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
 
@@ -41,6 +43,9 @@ void validate_config(const ServiceConfig& config) {
   RIPPLE_REQUIRE(config.cycles_per_us > 0.0, "cycles_per_us must be positive");
   RIPPLE_REQUIRE(config.shard_queue_capacity > 0,
                  "shard queue capacity must be positive");
+  RIPPLE_REQUIRE(config.exec_threads <= 256,
+                 "exec_threads must be at most 256 (0 = hardware "
+                 "concurrency)");
 }
 
 }  // namespace
@@ -256,10 +261,21 @@ void PipelineService::stop() {
 void PipelineService::worker_loop(Shard& shard) {
 #ifdef __linux__
   if (config_.pin_workers) {
+    // With a parallel executor, give each shard a disjoint group of
+    // exec_threads cores and pin the whole worker (committer + pool threads,
+    // which inherit this affinity mask when the executor spawns them) to the
+    // group; exec_threads <= 1 degenerates to the classic one-core-per-shard
+    // pinning.
     const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned group =
+        static_cast<unsigned>(std::max<std::size_t>(
+            1, std::min<std::size_t>(config_.exec_threads, cores)));
     cpu_set_t set;
     CPU_ZERO(&set);
-    CPU_SET(static_cast<int>(shard.index % cores), &set);
+    const unsigned base = static_cast<unsigned>(shard.index) * group;
+    for (unsigned k = 0; k < group; ++k) {
+      CPU_SET(static_cast<int>((base + k) % cores), &set);
+    }
     pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
   }
 #endif
@@ -446,6 +462,7 @@ void PipelineService::execute_batch(Shard& shard,
   config.firing_intervals = plan->schedule.firing_intervals;
   config.deadline = config_.deadline;
   config.max_collected_results = 0;
+  config.exec_threads = config_.exec_threads;
   config.input_gaps.reserve(batch.size());
   Cycles previous = batch.front().arrival;
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -592,13 +609,21 @@ std::vector<runtime::StageFn> synthetic_stages(const sdf::PipelineSpec& spec) {
       });
       continue;
     }
-    const double gain = spec.mean_gain(i);
-    auto accumulator = std::make_shared<double>(0.0);
-    stages.push_back([gain, accumulator](runtime::Item&& input,
-                                         std::vector<runtime::Item>& outputs) {
-      *accumulator += gain;
-      const auto emit = static_cast<std::size_t>(std::floor(*accumulator));
-      *accumulator -= static_cast<double>(emit);
+    // Fixed-point (32.32) atomic gain accumulator. The task-parallel engine
+    // runs firings of the same stage concurrently, so a plain double here
+    // races (lost read-modify-writes would change the emitted total). A
+    // fetch_add keeps the total exact and interleaving-independent: after n
+    // calls exactly floor(n * gain) items have been emitted, and integer
+    // gains still emit the same count on every call.
+    const auto gain_fp = static_cast<std::uint64_t>(
+        spec.mean_gain(i) * 4294967296.0);
+    auto accumulator = std::make_shared<std::atomic<std::uint64_t>>(0);
+    stages.push_back([gain_fp, accumulator](runtime::Item&& input,
+                                            std::vector<runtime::Item>& outputs) {
+      const std::uint64_t prev =
+          accumulator->fetch_add(gain_fp, std::memory_order_relaxed);
+      const std::size_t emit =
+          static_cast<std::size_t>(((prev + gain_fp) >> 32) - (prev >> 32));
       for (std::size_t k = 0; k < emit; ++k) outputs.push_back(input);
     });
   }

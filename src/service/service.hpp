@@ -131,8 +131,19 @@ struct ServiceConfig {
   /// A full ring rejects as backpressure — counted, never dropped.
   std::size_t shard_queue_capacity = 65536;
   /// Pin shard worker k to core k mod hardware_concurrency (Linux only;
-  /// ignored elsewhere).
+  /// ignored elsewhere). With exec_threads > 1 each shard worker is pinned
+  /// to the first core of a disjoint exec_threads-wide core group instead,
+  /// so a shard's committer and its executor pool spread over neighboring
+  /// cores rather than stacking on one.
   bool pin_workers = false;
+  /// Execution threads per shard's batch executor
+  /// (runtime::ExecutorConfig::exec_threads): 1 (the default) runs batches
+  /// sequentially on the shard worker; N >= 2 makes the shard worker the
+  /// committer of a task-parallel run over N-1 pool threads; 0 selects
+  /// hardware_concurrency. Batch results and metrics are bit-identical
+  /// across every value, so the shards = 1 determinism contract extends to
+  /// shards x exec_threads.
+  std::size_t exec_threads = 1;
 };
 
 struct SubmitOutcome {

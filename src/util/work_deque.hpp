@@ -1,0 +1,161 @@
+// Chase-Lev work-stealing deque (single owner, many thieves).
+//
+// The owner pushes and pops at the bottom; any other thread steals from the
+// top. This is the classic lock-free structure from Chase & Lev, "Dynamic
+// Circular Work-Stealing Deque" (SPAA '05), with the C11 memory orderings
+// from Lê et al., "Correct and Efficient Work-Stealing for Weak Memory
+// Models" (PPoPP '13). The runtime's stage scheduler gives each execution
+// participant one of these; idle workers scan the others' deques and steal
+// the oldest task, so the firing backlog balances without a shared lock on
+// the hot path.
+//
+// Values are trivially copyable (the scheduler stores raw task pointers).
+// Capacity grows by doubling; retired rings are kept alive until the deque
+// is destroyed so a concurrent thief holding a stale ring pointer can still
+// read through it (its CAS on top_ will fail and discard the stale value —
+// the standard leak-on-grow trick, bounded at 2x the peak ring size).
+//
+// One deviation from the paper: every owner store to bottom_ is release
+// rather than relaxed. In the paper the payload edge from push to a thief
+// rides push's release *fence* — a thief's acquire load of bottom_ may read
+// a value stored later by pop (relaxed in the paper), which still
+// synchronizes with the fence under [atomics.fences]p2. That is correct
+// C++, but ThreadSanitizer does not model standalone fences and reports the
+// stolen task's payload as racing with the owner's pre-push writes.
+// Release-storing bottom_ gives every delivery a per-operation edge TSan
+// understands; on x86 a release store is an ordinary store, and in pop the
+// cost is dominated by the seq_cst fence that is still required for the
+// pop/steal mutual exclusion on the last element.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace ripple::util {
+
+template <typename T>
+class WorkStealingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WorkStealingDeque stores trivially copyable values "
+                "(task pointers)");
+
+ public:
+  explicit WorkStealingDeque(std::size_t capacity = 64) {
+    std::size_t cap = 8;
+    while (cap < capacity) cap *= 2;
+    rings_.push_back(std::make_unique<Ring>(cap));
+    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only: append a task at the bottom.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(ring->capacity)) {
+      ring = grow(ring, t, b);
+    }
+    ring->put(b, value);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: take the most recently pushed task. Returns false when the
+  /// deque is empty (including losing the race for the last task to a
+  /// thief).
+  bool pop(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Already empty: undo the reservation.
+      bottom_.store(b + 1, std::memory_order_release);
+      return false;
+    }
+    out = ring->get(b);
+    if (t == b) {
+      // Last element: race thieves for it through top_.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_release);
+        return false;
+      }
+      bottom_.store(b + 1, std::memory_order_release);
+    }
+    return true;
+  }
+
+  /// Any thread: steal the oldest task. Returns false when empty or when the
+  /// steal raced another thief or the owner's pop (callers retry or move on
+  /// to the next victim; spurious false is allowed).
+  bool steal(T& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    const T value = ring->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    out = value;
+    return true;
+  }
+
+  /// Approximate size (owner's view is exact between its own operations).
+  std::size_t size() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1), cells(new std::atomic<T>[cap]) {}
+    const std::size_t capacity;
+    const std::size_t mask;
+    // Cells are relaxed atomics: a thief may read a cell the owner is
+    // concurrently overwriting after wraparound; the thief's CAS on top_
+    // rejects such torn-in-time reads, but the reads themselves must be
+    // data-race-free.
+    std::unique_ptr<std::atomic<T>[]> cells;
+
+    void put(std::int64_t i, T value) {
+      cells[static_cast<std::size_t>(i) & mask].store(
+          value, std::memory_order_relaxed);
+    }
+    T get(std::int64_t i) const {
+      return cells[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+  };
+
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    auto fresh = std::make_unique<Ring>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) fresh->put(i, old->get(i));
+    Ring* raw = fresh.get();
+    rings_.push_back(std::move(fresh));  // owner-only; old rings stay alive
+    ring_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Ring*> ring_{nullptr};
+  std::vector<std::unique_ptr<Ring>> rings_;  // owner-only (retired + live)
+};
+
+}  // namespace ripple::util

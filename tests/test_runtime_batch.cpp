@@ -244,6 +244,68 @@ TEST(BatchExecutorValidation, RepresentationMismatchThrows) {
 }
 
 // ---------------------------------------------------------------------------
+// Emitter allocation behavior (raw kernel interface)
+// ---------------------------------------------------------------------------
+
+TEST(BatchEmitterAllocation, ReserveGrowsGeometrically) {
+  // Many small raw reservations within one firing: the column buffer must
+  // reallocate O(log n) times, not once per call. Distinct data() pointers
+  // bound the reallocation count.
+  BatchEmitter emitter;
+  emitter.reset(1, 1, false);
+  std::vector<const std::uint32_t*> bases;
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    auto cursors = emitter.reserve(1);
+    *cursors[0] = i;
+    emitter.commit_lane(0, 1);
+    if (bases.empty() || bases.back() != emitter.column(0)) {
+      bases.push_back(emitter.column(0));
+    }
+  }
+  emitter.finish_raw();
+  ASSERT_EQ(emitter.total(), 4096u);
+  EXPECT_LE(bases.size(), 16u) << "reserve() reallocated per call";
+  for (std::uint32_t i = 0; i < 4096; ++i) ASSERT_EQ(emitter.column(0)[i], i);
+}
+
+TEST(BatchEmitterAllocation, SteadyStateFiringsAreAllocationFree) {
+  // A warmed emitter re-armed by reset() must serve identical firings from
+  // retained capacity: the column base pointer never moves again, through
+  // both the raw reserve/commit interface and per-item emit().
+  BatchEmitter emitter;
+  const auto fire = [&emitter](std::size_t lanes, bool raw) {
+    emitter.reset(lanes, 2, false);
+    if (raw) {
+      auto cursors = emitter.reserve(3 * lanes);
+      for (std::size_t k = 0; k < 3 * lanes; ++k) {
+        cursors[0][k] = static_cast<std::uint32_t>(k);
+        cursors[1][k] = static_cast<std::uint32_t>(k + 1);
+      }
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        emitter.commit_lane(lane, 3);
+      }
+      emitter.finish_raw();
+    } else {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        for (int c = 0; c < 3; ++c) {
+          emitter.emit(lane, static_cast<std::uint32_t>(lane), 7);
+        }
+      }
+    }
+  };
+
+  fire(64, true);  // warm-up allocates
+  const std::uint32_t* warm0 = emitter.column(0);
+  const std::uint32_t* warm1 = emitter.column(1);
+  for (int rep = 0; rep < 100; ++rep) {
+    fire(64, (rep & 1) != 0);
+    EXPECT_EQ(emitter.column(0), warm0) << "rep " << rep;
+    EXPECT_EQ(emitter.column(1), warm1) << "rep " << rep;
+    ASSERT_EQ(emitter.total(), 192u);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Adapter throw-mid-batch contract
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,450 @@
+// The task-parallel pipeline engine against the sequential engine: the
+// contract is bit-identity at every exec_threads value — metrics, results,
+// and exported sim-domain traces. Covered here: golden equivalence on the
+// real mini-BLAST pipeline (typed and adapter paths), a randomized
+// determinism fuzz over irregular pipelines/arrival schedules/thread counts,
+// exception parity in commit order, scheduler reuse across runs and thread
+// counts, and the all-filtered makespan fallback. The multi-thread scheduler
+// paths also serve as the TSan soak target in CI.
+#include <gtest/gtest.h>
+
+#include <any>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "blast/batch_stages.hpp"
+#include "blast/measure.hpp"
+#include "blast/sequence.hpp"
+#include "blast/stages.hpp"
+#include "core/enforced_waits.hpp"
+#include "dist/gain.hpp"
+#include "dist/rng.hpp"
+#include "runtime/pipeline_executor.hpp"
+#include "sdf/pipeline.hpp"
+
+#if RIPPLE_OBS
+#include "obs/obs.hpp"
+#endif
+
+namespace ripple::runtime {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared comparators
+// ---------------------------------------------------------------------------
+
+void expect_metrics_identical(const ExecutionMetrics& got,
+                              const ExecutionMetrics& want) {
+  ASSERT_EQ(got.base.nodes.size(), want.base.nodes.size());
+  for (std::size_t i = 0; i < got.base.nodes.size(); ++i) {
+    const auto& g = got.base.nodes[i];
+    const auto& w = want.base.nodes[i];
+    EXPECT_EQ(g.firings, w.firings) << "node " << i;
+    EXPECT_EQ(g.empty_firings, w.empty_firings) << "node " << i;
+    EXPECT_EQ(g.items_consumed, w.items_consumed) << "node " << i;
+    EXPECT_EQ(g.items_produced, w.items_produced) << "node " << i;
+    EXPECT_EQ(g.max_queue_length, w.max_queue_length) << "node " << i;
+    EXPECT_EQ(g.active_time, w.active_time) << "node " << i;
+  }
+  EXPECT_EQ(got.base.inputs_arrived, want.base.inputs_arrived);
+  EXPECT_EQ(got.base.inputs_missed, want.base.inputs_missed);
+  EXPECT_EQ(got.base.inputs_on_time, want.base.inputs_on_time);
+  EXPECT_EQ(got.base.sink_outputs, want.base.sink_outputs);
+  EXPECT_EQ(got.base.makespan, want.base.makespan);
+  EXPECT_EQ(got.base.output_latency.count(), want.base.output_latency.count());
+  EXPECT_EQ(got.base.output_latency.mean(), want.base.output_latency.mean());
+  EXPECT_EQ(got.base.output_latency.max(), want.base.output_latency.max());
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence on the mini-BLAST pipeline
+// ---------------------------------------------------------------------------
+
+struct BlastHarness {
+  blast::SequencePair pair;
+  blast::BlastStages::Config stage_config;
+  blast::BlastStages stages;
+  sdf::PipelineSpec spec;
+  ExecutorConfig config;
+  std::size_t windows;
+
+  BlastHarness() : pair(make_pair()), stages(pair, stage_config),
+                   spec(make_spec()), windows(8000) {
+    core::EnforcedWaitsStrategy strategy(
+        spec, core::EnforcedWaitsConfig{{2.0, 4.0, 9.0, 6.0}});
+    const double tau0 = spec.mean_service_per_input() * 4.0;
+    const double deadline = 600.0 * spec.service_time(3);
+    auto schedule = strategy.solve(tau0, deadline);
+    EXPECT_TRUE(schedule.ok());
+    config.firing_intervals = schedule.value().firing_intervals;
+    config.input_gap = tau0;
+    config.deadline = deadline;
+    config.max_collected_results = 256;
+  }
+
+  static blast::SequencePair make_pair() {
+    dist::Xoshiro256 rng(404);
+    blast::SequencePairConfig pair_config;
+    pair_config.subject_length = 1 << 15;
+    pair_config.query_length = 1 << 13;
+    return blast::make_sequence_pair(pair_config, rng);
+  }
+
+  sdf::PipelineSpec make_spec() {
+    blast::MeasureConfig measure_config;
+    measure_config.window_count = 8000;
+    const auto measurement = blast::measure_pipeline(stages, measure_config);
+    auto spec_result = measurement.to_pipeline_spec(128);
+    EXPECT_TRUE(spec_result.ok());
+    return spec_result.value();
+  }
+
+  std::vector<Item> item_inputs() const {
+    std::vector<Item> inputs;
+    inputs.reserve(windows);
+    for (std::size_t w = 0; w < windows; ++w) {
+      inputs.emplace_back(
+          static_cast<std::uint32_t>(w % stages.input_count()));
+    }
+    return inputs;
+  }
+};
+
+void expect_alignments_identical(const std::vector<Item>& got,
+                                 const std::vector<Item>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const auto g = std::any_cast<blast::Alignment>(got[i]);
+    const auto w = std::any_cast<blast::Alignment>(want[i]);
+    EXPECT_EQ(g.subject_pos, w.subject_pos) << "result " << i;
+    EXPECT_EQ(g.query_pos, w.query_pos) << "result " << i;
+    EXPECT_EQ(g.score, w.score) << "result " << i;
+  }
+}
+
+TEST(ParallelExecutorGolden, BlastTypedBitIdenticalAcrossThreadCounts) {
+  const BlastHarness h;
+  const PipelineExecutor engine(h.spec, blast::make_batch_stages(h.stages));
+  const auto inputs = blast::make_batch_inputs(h.stages, h.windows);
+
+  ExecutorConfig sequential = h.config;
+  sequential.exec_threads = 1;
+  const auto golden = engine.run_batch(inputs, sequential);
+  ASSERT_TRUE(golden.ok()) << golden.error().message;
+  ASSERT_GT(golden.value().base.sink_outputs, 0u);
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8},
+                              std::size_t{0}}) {
+    ExecutorConfig parallel = h.config;
+    parallel.exec_threads = threads;
+    const auto got = engine.run_batch(inputs, parallel);
+    ASSERT_TRUE(got.ok()) << got.error().message;
+    SCOPED_TRACE("exec_threads=" + std::to_string(threads));
+    expect_metrics_identical(got.value(), golden.value());
+    expect_alignments_identical(got.value().results, golden.value().results);
+  }
+}
+
+TEST(ParallelExecutorGolden, BlastAdapterBitIdentical) {
+  const BlastHarness h;
+  const PipelineExecutor engine(h.spec, blast::make_item_stages(h.stages));
+
+  ExecutorConfig sequential = h.config;
+  sequential.exec_threads = 1;
+  const auto golden = engine.run(h.item_inputs(), sequential);
+  ASSERT_TRUE(golden.ok()) << golden.error().message;
+
+  ExecutorConfig parallel = h.config;
+  parallel.exec_threads = 4;
+  const auto got = engine.run(h.item_inputs(), parallel);
+  ASSERT_TRUE(got.ok()) << got.error().message;
+  expect_metrics_identical(got.value(), golden.value());
+  expect_alignments_identical(got.value().results, golden.value().results);
+}
+
+#if RIPPLE_OBS
+TEST(ParallelExecutorGolden, TraceExportBitIdentical) {
+  // With trace_workers off (the default), the parallel engine's exported
+  // trace must be event-for-event identical to the sequential engine's: the
+  // committer emits every sim-domain event in commit order and the workers
+  // emit nothing.
+  const BlastHarness h;
+  const PipelineExecutor engine(h.spec, blast::make_batch_stages(h.stages));
+  const auto inputs = blast::make_batch_inputs(h.stages, h.windows);
+
+  const auto traced_run = [&](std::size_t threads) {
+    ExecutorConfig config = h.config;
+    config.exec_threads = threads;
+    obs::TraceSession::global().clear();
+    obs::set_enabled(true);
+    const auto result = engine.run_batch(inputs, config);
+    obs::set_enabled(false);
+    EXPECT_TRUE(result.ok());
+    return obs::TraceSession::global().drain();
+  };
+
+  const auto want = traced_run(1);
+  const auto got = traced_run(4);
+  obs::TraceSession::global().clear();
+  ASSERT_GT(want.size(), 0u);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t e = 0; e < want.size(); ++e) {
+    EXPECT_STREQ(got[e].name, want[e].name) << "event " << e;
+    EXPECT_EQ(got[e].ts, want[e].ts) << "event " << e;
+    EXPECT_EQ(got[e].value, want[e].value) << "event " << e;
+    EXPECT_EQ(got[e].track, want[e].track) << "event " << e;
+    EXPECT_EQ(got[e].domain, want[e].domain) << "event " << e;
+    EXPECT_EQ(got[e].kind, want[e].kind) << "event " << e;
+  }
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Randomized determinism fuzz: irregular pipelines, irregular arrivals
+// ---------------------------------------------------------------------------
+
+/// A typed stage whose per-lane gain is an irregular (but deterministic)
+/// function of the lane value: 0, 1 or 2 outputs per input, so queues grow
+/// and drain unevenly and firings routinely straddle segment boundaries.
+BatchStage make_fuzz_stage(std::uint32_t salt) {
+  BatchStage stage;
+  stage.input_fields = 1;
+  stage.output_fields = 1;
+  stage.fn = [salt](const LaneView& in, BatchEmitter& out) {
+    for (std::size_t lane = 0; lane < in.lanes; ++lane) {
+      const std::uint32_t x = in.field[0][lane];
+      const std::uint32_t mixed = (x ^ salt) * 2654435761u;
+      const std::uint32_t count = (mixed >> 13) % 3;
+      for (std::uint32_t c = 0; c < count; ++c) {
+        out.emit(lane, mixed + c);
+      }
+    }
+  };
+  return stage;
+}
+
+struct FuzzCase {
+  sdf::PipelineSpec spec;
+  std::vector<BatchStage> stages;
+  ExecutorConfig config;
+  BatchInputs inputs;
+
+  explicit FuzzCase(sdf::PipelineSpec s) : spec(std::move(s)) {}
+};
+
+FuzzCase make_fuzz_case(std::uint64_t seed) {
+  dist::Xoshiro256 rng(seed);
+
+  const std::size_t nodes = 2 + rng.uniform_below(3);
+  const std::uint32_t width = 4u << rng.uniform_below(3);  // 4, 8, 16
+  sdf::PipelineBuilder builder("fuzz");
+  builder.simd_width(width);
+  std::vector<Cycles> service(nodes);
+  std::vector<BatchStage> stages;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    service[i] = 1.0 + 9.0 * rng.uniform01();
+    builder.add_node("n" + std::to_string(i), service[i],
+                     dist::make_deterministic(1));
+    stages.push_back(make_fuzz_stage(static_cast<std::uint32_t>(
+        seed * 1000 + i)));
+  }
+  FuzzCase c(builder.build().take());
+  c.stages = std::move(stages);
+
+  for (std::size_t i = 0; i < nodes; ++i) {
+    c.config.firing_intervals.push_back(service[i] * (1.0 + 1.5 * rng.uniform01()));
+  }
+  const std::size_t input_count = 200 + rng.uniform_below(400);
+  const double tau = c.spec.mean_service_per_input() * (1.0 + 3.0 * rng.uniform01());
+  if (rng.uniform_below(4) != 0) {
+    // Irregular arrival schedule: bursts (short gaps) and lulls (long gaps).
+    for (std::size_t k = 0; k < input_count; ++k) {
+      c.config.input_gaps.push_back(tau * (0.1 + 1.9 * rng.uniform01()));
+    }
+  } else {
+    c.config.input_gap = tau;
+  }
+  if (rng.uniform_below(2) != 0) {
+    c.config.deadline = tau * static_cast<double>(4 + rng.uniform_below(60));
+  }
+  c.config.charge_empty_firings = rng.uniform_below(2) != 0;
+  c.config.max_collected_results = 64 + rng.uniform_below(512);
+
+  for (std::size_t k = 0; k < input_count; ++k) {
+    c.inputs.push(static_cast<std::uint32_t>(rng.uniform_below(1u << 20)));
+  }
+  return c;
+}
+
+TEST(ParallelExecutorFuzz, RandomPipelinesBitIdenticalAcrossThreadCounts) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    FuzzCase c = make_fuzz_case(seed);
+    const PipelineExecutor engine(c.spec, c.stages);
+
+    ExecutorConfig sequential = c.config;
+    sequential.exec_threads = 1;
+    const auto golden = engine.run_batch(c.inputs, sequential);
+    ASSERT_TRUE(golden.ok()) << "seed " << seed << ": "
+                             << golden.error().message;
+
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                std::size_t{8}}) {
+      ExecutorConfig parallel = c.config;
+      parallel.exec_threads = threads;
+      const auto got = engine.run_batch(c.inputs, parallel);
+      ASSERT_TRUE(got.ok()) << "seed " << seed << ": " << got.error().message;
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " exec_threads=" + std::to_string(threads));
+      expect_metrics_identical(got.value(), golden.value());
+      ASSERT_EQ(got.value().results.size(), golden.value().results.size());
+      for (std::size_t r = 0; r < got.value().results.size(); ++r) {
+        using Tuple = std::array<std::uint32_t, kMaxLaneFields>;
+        EXPECT_EQ(std::any_cast<Tuple>(got.value().results[r]),
+                  std::any_cast<Tuple>(golden.value().results[r]))
+            << "result " << r;
+      }
+    }
+  }
+}
+
+TEST(ParallelExecutorFuzz, AllFilteredMakespanFallbackMatches) {
+  // Every input is dropped at stage 0, so no sink output ever sets the
+  // makespan and both engines must take the arrival-clock fallback — under
+  // both the fixed-gap and the per-input-gap arithmetic.
+  sdf::PipelineSpec spec = sdf::PipelineBuilder("filter")
+                               .simd_width(4)
+                               .add_node("drop", 3.0, dist::make_deterministic(1))
+                               .add_node("sink", 2.0, dist::make_deterministic(1))
+                               .build()
+                               .take();
+  std::vector<BatchStage> stages(2);
+  stages[0].fn = [](const LaneView&, BatchEmitter&) {};
+  stages[1].fn = [](const LaneView& in, BatchEmitter& out) {
+    for (std::size_t lane = 0; lane < in.lanes; ++lane) {
+      out.emit(lane, in.field[0][lane]);
+    }
+  };
+  const PipelineExecutor engine(spec, stages);
+
+  BatchInputs inputs;
+  for (std::uint32_t k = 0; k < 37; ++k) inputs.push(k);
+
+  for (const bool per_input : {false, true}) {
+    ExecutorConfig config;
+    config.firing_intervals = {5.0, 4.0};
+    config.input_gap = 2.5;
+    if (per_input) {
+      for (std::uint32_t k = 0; k < 37; ++k) {
+        config.input_gaps.push_back(1.0 + 0.25 * static_cast<double>(k % 7));
+      }
+    }
+    const auto golden = engine.run_batch(inputs, config);
+    ASSERT_TRUE(golden.ok());
+    EXPECT_EQ(golden.value().base.sink_outputs, 0u);
+    EXPECT_GT(golden.value().base.makespan, 0.0);
+
+    ExecutorConfig parallel = config;
+    parallel.exec_threads = 4;
+    const auto got = engine.run_batch(inputs, parallel);
+    ASSERT_TRUE(got.ok());
+    SCOPED_TRACE(per_input ? "per-input gaps" : "fixed gap");
+    expect_metrics_identical(got.value(), golden.value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exception parity and executor/scheduler reuse
+// ---------------------------------------------------------------------------
+
+sdf::PipelineSpec toy_spec() {
+  return sdf::PipelineBuilder("toy")
+      .simd_width(4)
+      .add_node("double", 10.0, dist::make_deterministic(1))
+      .add_node("keep", 12.0, dist::make_deterministic(1))
+      .build()
+      .take();
+}
+
+TEST(ParallelExecutorError, StageExceptionParityAndReuse) {
+  // The poison counter is atomic: under exec_threads>1 several firings may
+  // execute concurrently, but only the firing containing value 3 can throw,
+  // so the committed failure is deterministic.
+  auto make_engine = [](std::atomic<int>& armed) {
+    std::vector<StageFn> fns;
+    fns.push_back([&armed](Item&& input, std::vector<Item>& outputs) {
+      const int value = std::any_cast<int>(input);
+      if (value == 3 && armed.fetch_sub(1) > 0) {
+        throw std::runtime_error("poison item");
+      }
+      outputs.emplace_back(value * 2);
+    });
+    fns.push_back([](Item&& input, std::vector<Item>& outputs) {
+      outputs.push_back(std::move(input));
+    });
+    return PipelineExecutor(toy_spec(), std::move(fns));
+  };
+  auto toy_inputs = [] {
+    std::vector<Item> items;
+    for (int i = 1; i <= 8; ++i) items.emplace_back(i);
+    return items;
+  };
+
+  ExecutorConfig config;
+  config.firing_intervals = {40.0, 40.0};
+  config.input_gap = 5.0;
+
+  std::atomic<int> seq_armed{1};
+  const PipelineExecutor seq_engine = make_engine(seq_armed);
+  const auto seq_fail = seq_engine.run(toy_inputs(), config);
+  ASSERT_FALSE(seq_fail.ok());
+
+  std::atomic<int> par_armed{1};
+  const PipelineExecutor par_engine = make_engine(par_armed);
+  ExecutorConfig parallel = config;
+  parallel.exec_threads = 4;
+  const auto par_fail = par_engine.run(toy_inputs(), parallel);
+  ASSERT_FALSE(par_fail.ok());
+  EXPECT_EQ(par_fail.error().code, seq_fail.error().code);
+  EXPECT_EQ(par_fail.error().message, seq_fail.error().message);
+
+  // Both executors stay usable; the parallel one reuses its live scheduler.
+  const auto seq_clean = seq_engine.run(toy_inputs(), config);
+  const auto par_clean = par_engine.run(toy_inputs(), parallel);
+  ASSERT_TRUE(seq_clean.ok()) << seq_clean.error().message;
+  ASSERT_TRUE(par_clean.ok()) << par_clean.error().message;
+  expect_metrics_identical(par_clean.value(), seq_clean.value());
+  ASSERT_EQ(par_clean.value().results.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(std::any_cast<int>(par_clean.value().results[i]),
+              2 * static_cast<int>(i + 1));
+  }
+}
+
+TEST(ParallelExecutorReuse, SchedulerSurvivesThreadCountChanges) {
+  // One executor, many runs with different exec_threads: the pool is resized
+  // lazily and each run stays bit-identical to the sequential baseline.
+  FuzzCase c = make_fuzz_case(77);
+  const PipelineExecutor engine(c.spec, c.stages);
+  ExecutorConfig sequential = c.config;
+  sequential.exec_threads = 1;
+  const auto golden = engine.run_batch(c.inputs, sequential);
+  ASSERT_TRUE(golden.ok());
+
+  for (std::size_t threads : {std::size_t{4}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}, std::size_t{2}}) {
+    ExecutorConfig config = c.config;
+    config.exec_threads = threads;
+    const auto got = engine.run_batch(c.inputs, config);
+    ASSERT_TRUE(got.ok());
+    SCOPED_TRACE("exec_threads=" + std::to_string(threads));
+    expect_metrics_identical(got.value(), golden.value());
+  }
+}
+
+}  // namespace
+}  // namespace ripple::runtime

@@ -1,0 +1,168 @@
+// WorkStealingDeque unit and fuzz coverage: owner LIFO vs thief FIFO order,
+// ring wraparound and growth, a single-threaded steal-vs-pop oracle, and a
+// multi-thread delivery-exactly-once fuzz (the TSan soak target for the
+// deque itself; the scheduler-level soak lives in test_runtime_parallel).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "dist/rng.hpp"
+#include "util/work_deque.hpp"
+
+namespace ripple::util {
+namespace {
+
+TEST(WorkDeque, OwnerPopsNewestThievesStealOldest) {
+  WorkStealingDeque<int> deque;
+  for (int i = 0; i < 8; ++i) deque.push(i);
+  EXPECT_EQ(deque.size(), 8u);
+
+  int out = -1;
+  ASSERT_TRUE(deque.pop(out));
+  EXPECT_EQ(out, 7);  // owner side is LIFO
+  ASSERT_TRUE(deque.steal(out));
+  EXPECT_EQ(out, 0);  // thief side is FIFO
+  ASSERT_TRUE(deque.steal(out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(deque.pop(out));
+  EXPECT_EQ(out, 6);
+  EXPECT_EQ(deque.size(), 4u);
+}
+
+TEST(WorkDeque, EmptyAndSingleElementRaces) {
+  WorkStealingDeque<int> deque;
+  int out = -1;
+  EXPECT_FALSE(deque.pop(out));
+  EXPECT_FALSE(deque.steal(out));
+
+  deque.push(42);
+  ASSERT_TRUE(deque.pop(out));
+  EXPECT_EQ(out, 42);
+  EXPECT_FALSE(deque.pop(out));
+  EXPECT_FALSE(deque.steal(out));
+
+  deque.push(43);
+  ASSERT_TRUE(deque.steal(out));
+  EXPECT_EQ(out, 43);
+  EXPECT_FALSE(deque.steal(out));
+  EXPECT_FALSE(deque.pop(out));
+}
+
+TEST(WorkDeque, WraparoundAndGrowthKeepEveryValue) {
+  // Interleave pushes and consumption so indices travel far past the initial
+  // ring capacity (forcing wraparound) while the live size also exceeds it
+  // (forcing growth). Every pushed value must come out exactly once.
+  WorkStealingDeque<int> deque(8);
+  std::vector<int> seen(20000, 0);
+  int next = 0;
+  int out = -1;
+  dist::Xoshiro256 rng(7);
+  while (next < 20000) {
+    const std::uint64_t burst = 1 + rng.uniform_below(64);
+    for (std::uint64_t b = 0; b < burst && next < 20000; ++b) {
+      deque.push(next++);
+    }
+    // Drain roughly half of what is queued, alternating ends.
+    std::uint64_t drain = deque.size() / 2;
+    for (std::uint64_t d = 0; d < drain; ++d) {
+      const bool from_top = (d & 1) != 0;
+      if (from_top ? deque.steal(out) : deque.pop(out)) ++seen[out];
+    }
+  }
+  while (deque.pop(out)) ++seen[out];
+  for (int i = 0; i < 20000; ++i) ASSERT_EQ(seen[i], 1) << "value " << i;
+}
+
+TEST(WorkDeque, StealVsPopOracle) {
+  // Single-threaded script fuzz against a std::deque oracle: pop must agree
+  // with back(), steal with front(), size with size(). In the absence of
+  // concurrency neither operation may spuriously fail.
+  dist::Xoshiro256 rng(2024);
+  for (int rep = 0; rep < 50; ++rep) {
+    WorkStealingDeque<int> deque(8);
+    std::deque<int> oracle;
+    int next = 0;
+    for (int op = 0; op < 4000; ++op) {
+      const std::uint64_t dice = rng.uniform_below(10);
+      int out = -1;
+      if (dice < 5) {
+        deque.push(next);
+        oracle.push_back(next);
+        ++next;
+      } else if (dice < 8) {
+        const bool got = deque.pop(out);
+        ASSERT_EQ(got, !oracle.empty());
+        if (got) {
+          ASSERT_EQ(out, oracle.back());
+          oracle.pop_back();
+        }
+      } else {
+        const bool got = deque.steal(out);
+        ASSERT_EQ(got, !oracle.empty());
+        if (got) {
+          ASSERT_EQ(out, oracle.front());
+          oracle.pop_front();
+        }
+      }
+      ASSERT_EQ(deque.size(), oracle.size());
+    }
+  }
+}
+
+TEST(WorkDeque, ConcurrentStealsDeliverExactlyOnce) {
+  // One owner pushing and popping, several thieves stealing: every value is
+  // delivered to exactly one consumer. Run under TSan in CI.
+  constexpr int kValues = 200000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque<int> deque(8);
+  std::vector<std::atomic<int>> delivered(kValues);
+  for (auto& d : delivered) d.store(0, std::memory_order_relaxed);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      int out = -1;
+      while (!done.load(std::memory_order_acquire)) {
+        if (deque.steal(out)) {
+          delivered[out].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      while (deque.steal(out)) {
+        delivered[out].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  dist::Xoshiro256 rng(99);
+  int next = 0;
+  int out = -1;
+  while (next < kValues) {
+    const std::uint64_t burst = 1 + rng.uniform_below(32);
+    for (std::uint64_t b = 0; b < burst && next < kValues; ++b) {
+      deque.push(next++);
+    }
+    const std::uint64_t pops = rng.uniform_below(16);
+    for (std::uint64_t p = 0; p < pops; ++p) {
+      if (deque.pop(out)) {
+        delivered[out].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  while (deque.pop(out)) delivered[out].fetch_add(1, std::memory_order_relaxed);
+  done.store(true, std::memory_order_release);
+  for (auto& thief : thieves) thief.join();
+
+  for (int i = 0; i < kValues; ++i) {
+    ASSERT_EQ(delivered[i].load(std::memory_order_relaxed), 1)
+        << "value " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ripple::util

@@ -551,6 +551,9 @@ int cmd_serve(const sdf::PipelineSpec& pipeline, util::CliParser& cli) {
   config.controller = serve_controller_config(cli);
   config.shards = positive_count(cli, "shards");
   config.pin_workers = cli.get_flag("pin");
+  // 0 is legal (= hardware concurrency), so this is a non-negative count.
+  config.exec_threads =
+      static_cast<std::size_t>(non_negative_count(cli, "exec-threads"));
 
   const long long listen = cli.get_int("listen");
   if (listen > 65535) throw std::logic_error("--listen must be a port");
@@ -831,6 +834,10 @@ int main(int argc, const char** argv) {
   cli.add_int("producers", 2, "serve: producer threads");
   cli.add_int("shards", 1, "serve: shard workers (sessions hash to a shard)");
   cli.add_flag("pin", false, "serve: pin each shard worker to a core");
+  cli.add_int("exec-threads", 1,
+              "serve: task-parallel executor threads per shard (1 = "
+              "sequential engine, 0 = hardware concurrency; results are "
+              "bit-identical across values)");
   cli.add_int("duration-ms", 200, "serve: wall-clock run time");
   cli.add_int("submit-batch", 8, "serve: items per submission");
   cli.add_int("submit-gap-us", 500, "serve: producer sleep between submissions");
