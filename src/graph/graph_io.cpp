@@ -1,0 +1,166 @@
+#include "graph/graph_io.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "sdf/pipeline_io.hpp"
+#include "util/json.hpp"
+
+namespace ripple::graph {
+
+namespace {
+
+bool kind_from_token(const std::string& token, NodeKind& kind) {
+  if (token == "siso") {
+    kind = NodeKind::kSiso;
+  } else if (token == "tee") {
+    kind = NodeKind::kSimoTee;
+  } else if (token == "merge") {
+    kind = NodeKind::kMisoElementwise;
+  } else if (token == "synchronizer") {
+    kind = NodeKind::kMimoSynchronizer;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Result<GraphSpec> graph_from_json_value(const util::JsonValue& value) {
+  using R = util::Result<GraphSpec>;
+  if (!value.is_object()) {
+    return R::failure("bad_schema", "graph document must be an object");
+  }
+  const std::string schema = value.string_or("schema", "");
+  if (schema != kGraphSchemaV1) {
+    return R::failure("bad_schema", "schema must be '" +
+                                        std::string(kGraphSchemaV1) +
+                                        "' (got '" + schema + "')");
+  }
+  const util::JsonValue* nodes = value.find("nodes");
+  if (nodes == nullptr || !nodes->is_array()) {
+    return R::failure("bad_schema", "graph needs a nodes array");
+  }
+  const util::JsonValue* edges = value.find("edges");
+  if (edges == nullptr || !edges->is_array()) {
+    return R::failure("bad_schema", "graph needs an edges array");
+  }
+
+  GraphBuilder builder(value.string_or("name", "graph"));
+  const double width = value.number_or("simd_width", 128.0);
+  if (width < 1.0 || width != std::floor(width)) {
+    return R::failure("bad_schema", "simd_width must be a positive integer");
+  }
+  builder.simd_width(static_cast<std::uint32_t>(width));
+
+  std::unordered_map<std::string, NodeIndex> index_by_name;
+  std::size_t node_index = 0;
+  for (const util::JsonValue& node : nodes->as_array()) {
+    if (!node.is_object()) {
+      return R::failure("bad_schema", "node " + std::to_string(node_index) +
+                                          " must be an object");
+    }
+    const std::string name =
+        node.string_or("name", "node" + std::to_string(node_index));
+    const std::string kind_token = node.string_or("kind", "siso");
+    NodeKind kind = NodeKind::kSiso;
+    if (!kind_from_token(kind_token, kind)) {
+      return R::failure("bad_schema", "node '" + name + "': unknown kind '" +
+                                          kind_token + "'");
+    }
+    const double service = node.number_or("service_time", -1.0);
+    if (!(service > 0.0)) {
+      return R::failure("bad_schema",
+                        "node '" + name + "' needs service_time > 0");
+    }
+    if (!index_by_name.emplace(name, node_index).second) {
+      return R::failure("bad_schema",
+                        "duplicate node name '" + name +
+                            "' (edges reference nodes by name)");
+    }
+    builder.add_node(name, kind, service);
+    ++node_index;
+  }
+
+  std::size_t edge_index = 0;
+  for (const util::JsonValue& edge : edges->as_array()) {
+    if (!edge.is_object()) {
+      return R::failure("bad_schema", "edge " + std::to_string(edge_index) +
+                                          " must be an object");
+    }
+    const std::string from = edge.string_or("from", "");
+    const std::string to = edge.string_or("to", "");
+    const auto from_it = index_by_name.find(from);
+    const auto to_it = index_by_name.find(to);
+    if (from_it == index_by_name.end()) {
+      return R::failure("bad_schema", "edge " + std::to_string(edge_index) +
+                                          ": unknown node '" + from + "'");
+    }
+    if (to_it == index_by_name.end()) {
+      return R::failure("bad_schema", "edge " + std::to_string(edge_index) +
+                                          ": unknown node '" + to + "'");
+    }
+    const util::JsonValue* gain_value = edge.find("gain");
+    if (gain_value == nullptr || gain_value->is_null()) {
+      return R::failure("bad_schema", "edge " + from + "->" + to +
+                                          " needs a gain model");
+    }
+    auto gain = sdf::gain_from_json(*gain_value);
+    if (!gain.ok()) {
+      return R::failure(gain.error().code, "edge " + from + "->" + to + ": " +
+                                               gain.error().message);
+    }
+    builder.add_edge(from_it->second, to_it->second, gain.value());
+    ++edge_index;
+  }
+  return builder.build();
+}
+
+util::Result<GraphSpec> graph_from_json(const std::string& text) {
+  auto document = util::parse_json(text);
+  if (!document.ok()) {
+    return util::Result<GraphSpec>::failure(document.error().code,
+                                            document.error().message);
+  }
+  return graph_from_json_value(document.value());
+}
+
+void write_graph_spec_json(std::ostream& out, const GraphSpec& graph) {
+  util::JsonWriter json(out);
+  json.begin_object();
+  json.member("schema", kGraphSchemaV1);
+  json.member("name", graph.name());
+  json.member("simd_width", static_cast<std::uint64_t>(graph.simd_width()));
+  json.key("nodes").begin_array();
+  for (NodeIndex u = 0; u < graph.size(); ++u) {
+    json.begin_object();
+    json.member("name", graph.node(u).name);
+    json.member("kind", node_kind_name(graph.node(u).kind));
+    json.member("service_time", graph.service_time(u));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("edges").begin_array();
+  for (EdgeIndex e = 0; e < graph.edge_count(); ++e) {
+    const GraphEdgeSpec& edge = graph.edge(e);
+    json.begin_object();
+    json.member("from", graph.node(edge.from).name);
+    json.member("to", graph.node(edge.to).name);
+    json.key("gain");
+    sdf::gain_to_json(json, edge.gain.get());
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+}
+
+std::string graph_to_json(const GraphSpec& graph) {
+  std::ostringstream out;
+  write_graph_spec_json(out, graph);
+  return out.str();
+}
+
+}  // namespace ripple::graph

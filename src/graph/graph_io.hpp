@@ -1,0 +1,46 @@
+// GraphSpec serialization: versioned JSON round trip (satellite of the
+// sdf/pipeline_io.hpp schema, sharing its gain-model vocabulary).
+//
+//   {
+//     "schema": "ripple.graph.v1",
+//     "name": "branching_blast",
+//     "simd_width": 64,
+//     "nodes": [
+//       {"name": "seed_probe", "kind": "siso", "service_time": 300},
+//       {"name": "branch", "kind": "tee", "service_time": 80},
+//       ...
+//     ],
+//     "edges": [
+//       {"from": "seed_probe", "to": "branch",
+//        "gain": {"type": "bernoulli", "p": 0.42}},
+//       ...
+//     ]
+//   }
+//
+// Node kinds: "siso", "tee", "merge", "synchronizer" (node_kind_name's
+// vocabulary). Edges reference nodes by name, so names must be unique in a
+// document. Malformed input fails with "parse_error" / "bad_schema" and a
+// message naming the offending node or edge; structural violations surface
+// the GraphBuilder's validation codes unchanged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph_spec.hpp"
+#include "util/jsonv.hpp"
+#include "util/result.hpp"
+
+namespace ripple::graph {
+
+/// Schema tag expected in the "schema" field.
+inline constexpr const char* kGraphSchemaV1 = "ripple.graph.v1";
+
+util::Result<GraphSpec> graph_from_json(const std::string& text);
+util::Result<GraphSpec> graph_from_json_value(const util::JsonValue& value);
+
+/// Serialize into the same schema (single line + newline).
+void write_graph_spec_json(std::ostream& out, const GraphSpec& graph);
+std::string graph_to_json(const GraphSpec& graph);
+
+}  // namespace ripple::graph

@@ -1,0 +1,187 @@
+#include "graph/scenarios.hpp"
+
+#include <any>
+
+#include "util/assert.hpp"
+
+namespace ripple::graph {
+
+namespace {
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// `rounds` chained hash applications: the unit of real per-item work, kept
+/// proportional to the node's modeled service time (one round per 2
+/// virtual cycles) so host-time benchmarks mirror the virtual-time model
+/// and stage work dominates engine scheduling overhead.
+inline std::uint64_t churn(std::uint64_t x, unsigned rounds) {
+  for (unsigned r = 0; r < rounds; ++r) x = splitmix64(x);
+  return x;
+}
+
+inline unsigned rounds_for(Cycles service_time) {
+  return static_cast<unsigned>(service_time / 2.0);
+}
+
+/// seed_probe keeps a hit when its hash lands under this 16-bit threshold:
+/// 27525 / 65536 ~= 0.42, the bernoulli gain the planner and simulator see.
+constexpr std::uint64_t kSeedKeepThreshold = 27525;
+constexpr double kSeedKeepProbability = 0.42;
+
+GraphStageFn hash_stage(Cycles service_time, std::uint64_t salt) {
+  const unsigned rounds = rounds_for(service_time);
+  return [rounds, salt](std::vector<Item>&& inputs, std::vector<Item>& out) {
+    const std::uint64_t x = std::any_cast<std::uint64_t>(inputs[0]);
+    out.push_back(churn(x ^ salt, rounds));
+  };
+}
+
+GraphStageFn seed_probe_stage(Cycles service_time) {
+  const unsigned rounds = rounds_for(service_time);
+  return [rounds](std::vector<Item>&& inputs, std::vector<Item>& out) {
+    const std::uint64_t x = std::any_cast<std::uint64_t>(inputs[0]);
+    const std::uint64_t h = churn(x, rounds);
+    if ((h >> 48) < kSeedKeepThreshold) out.push_back(h);
+  };
+}
+
+GraphStageFn combine_stage(Cycles service_time) {
+  const unsigned rounds = rounds_for(service_time);
+  return [rounds](std::vector<Item>&& inputs, std::vector<Item>& out) {
+    std::uint64_t acc = 0;
+    for (std::size_t j = 0; j < inputs.size(); ++j) {
+      const std::uint64_t x = std::any_cast<std::uint64_t>(inputs[j]);
+      acc = splitmix64(acc ^ (x + j));
+    }
+    out.push_back(churn(acc, rounds));
+  };
+}
+
+dist::GainPtr det1() { return dist::make_deterministic(1); }
+
+}  // namespace
+
+GraphScenario branching_blast_scenario() {
+  GraphBuilder builder("branching_blast");
+  builder.simd_width(64);
+  builder.add_node("seed_probe", NodeKind::kSiso, 300.0);       // 0
+  builder.add_node("branch", NodeKind::kSimoTee, 80.0);         // 1
+  builder.add_node("ext_fast", NodeKind::kSiso, 400.0);         // 2
+  builder.add_node("ext_thorough", NodeKind::kSiso, 900.0);     // 3
+  builder.add_node("rescore", NodeKind::kMisoElementwise, 250.0);  // 4
+  builder.add_node("output", NodeKind::kSiso, 150.0);           // 5
+  builder.add_edge(0, 1, dist::make_bernoulli(kSeedKeepProbability));
+  builder.add_edge(1, 2, det1());
+  builder.add_edge(1, 3, det1());
+  builder.add_edge(2, 4, det1());
+  builder.add_edge(3, 4, det1());
+  builder.add_edge(4, 5, det1());
+  auto graph = builder.build();
+  RIPPLE_REQUIRE(graph.ok(), "branching_blast scenario must validate");
+
+  GraphScenario scenario{std::move(graph).take(), {}};
+  scenario.stages = {
+      seed_probe_stage(300.0),       hash_stage(80.0, 0x1111),
+      hash_stage(400.0, 0xfa57),     hash_stage(900.0, 0x7404),
+      combine_stage(250.0),          hash_stage(150.0, 0x0075),
+  };
+  return scenario;
+}
+
+std::vector<GraphScenario> duplicated_chain_baseline() {
+  const struct {
+    const char* name;
+    const char* ext_name;
+    Cycles ext_time;
+    std::uint64_t ext_salt;
+  } variants[] = {
+      {"blast_fast_chain", "ext_fast", 400.0, 0xfa57},
+      {"blast_thorough_chain", "ext_thorough", 900.0, 0x7404},
+  };
+  std::vector<GraphScenario> chains;
+  for (const auto& variant : variants) {
+    GraphBuilder builder(variant.name);
+    builder.simd_width(64);
+    builder.add_node("seed_probe", NodeKind::kSiso, 300.0);
+    builder.add_node("branch", NodeKind::kSiso, 80.0);
+    builder.add_node(variant.ext_name, NodeKind::kSiso, variant.ext_time);
+    builder.add_node("rescore", NodeKind::kSiso, 250.0);
+    builder.add_node("output", NodeKind::kSiso, 150.0);
+    builder.add_edge(0, 1, dist::make_bernoulli(kSeedKeepProbability));
+    builder.add_edge(1, 2, det1());
+    builder.add_edge(2, 3, det1());
+    builder.add_edge(3, 4, det1());
+    auto graph = builder.build();
+    RIPPLE_REQUIRE(graph.ok(), "duplicated chain baseline must validate");
+    GraphScenario scenario{std::move(graph).take(), {}};
+    scenario.stages = {
+        seed_probe_stage(300.0),
+        hash_stage(80.0, 0x1111),
+        hash_stage(variant.ext_time, variant.ext_salt),
+        // Single-input rescore (no partner stream to merge in a chain).
+        combine_stage(250.0),
+        hash_stage(150.0, 0x0075),
+    };
+    chains.push_back(std::move(scenario));
+  }
+  return chains;
+}
+
+GraphScenario telemetry_fanin_scenario() {
+  GraphBuilder builder("telemetry_fanin");
+  builder.simd_width(64);
+  builder.add_node("ingest", NodeKind::kSiso, 120.0);              // 0
+  builder.add_node("fan", NodeKind::kSimoTee, 60.0);               // 1
+  builder.add_node("parse_a", NodeKind::kSiso, 200.0);             // 2
+  builder.add_node("parse_b", NodeKind::kSiso, 260.0);             // 3
+  builder.add_node("parse_c", NodeKind::kSiso, 180.0);             // 4
+  builder.add_node("align", NodeKind::kMimoSynchronizer, 90.0);    // 5
+  builder.add_node("norm_a", NodeKind::kSiso, 70.0);               // 6
+  builder.add_node("norm_b", NodeKind::kSiso, 70.0);               // 7
+  builder.add_node("norm_c", NodeKind::kSiso, 70.0);               // 8
+  builder.add_node("fuse", NodeKind::kMisoElementwise, 310.0);     // 9
+  builder.add_node("emit", NodeKind::kSiso, 140.0);                // 10
+  builder.add_edge(0, 1, det1());
+  builder.add_edge(1, 2, det1());
+  builder.add_edge(1, 3, det1());
+  builder.add_edge(1, 4, det1());
+  builder.add_edge(2, 5, det1());
+  builder.add_edge(3, 5, det1());
+  builder.add_edge(4, 5, det1());
+  builder.add_edge(5, 6, det1());
+  builder.add_edge(5, 7, det1());
+  builder.add_edge(5, 8, det1());
+  builder.add_edge(6, 9, det1());
+  builder.add_edge(7, 9, det1());
+  builder.add_edge(8, 9, det1());
+  builder.add_edge(9, 10, det1());
+  auto graph = builder.build();
+  RIPPLE_REQUIRE(graph.ok(), "telemetry_fanin scenario must validate");
+
+  GraphScenario scenario{std::move(graph).take(), {}};
+  scenario.stages = {
+      hash_stage(120.0, 0x1237),  hash_stage(60.0, 0xfa3),
+      hash_stage(200.0, 0xaaaa),  hash_stage(260.0, 0xbbbb),
+      hash_stage(180.0, 0xcccc),  nullptr,
+      hash_stage(70.0, 0x0a),     hash_stage(70.0, 0x0b),
+      hash_stage(70.0, 0x0c),     combine_stage(310.0),
+      hash_stage(140.0, 0xe317),
+  };
+  return scenario;
+}
+
+std::vector<Item> scenario_inputs(std::size_t count, std::uint64_t seed) {
+  std::vector<Item> inputs;
+  inputs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    inputs.emplace_back(splitmix64(seed + i));
+  }
+  return inputs;
+}
+
+}  // namespace ripple::graph

@@ -1,0 +1,58 @@
+// Measured DAG scenarios: graph topologies paired with real stage
+// computations for the vector-wide GraphExecutor, plus gain models for the
+// planner and stochastic simulator.
+//
+// branching_blast_scenario() is the post-filter slice of the mini-BLAST
+// pipeline re-expressed as a DAG: a seed-probe filter tees each surviving
+// hit into a fast and a thorough extension variant, and an elementwise
+// rescore merge re-joins the two scores before output. The expensive
+// seed-probe prefix runs ONCE per input; duplicated_chain_baseline() is the
+// linear-pipeline workaround (one chain per extension variant, each
+// re-running the shared prefix) that bench/bench_graph.cpp measures the DAG
+// against.
+//
+// telemetry_fanin_scenario() exercises the remaining node kinds: a 3-way
+// tee fans raw telemetry to per-format parsers whose outputs a synchronizer
+// realigns into lockstep batches before an elementwise fuse.
+//
+// Stage computations are splitmix64 hash loops whose round counts scale
+// with the node's modeled service time, so virtual-time service costs and
+// host-time work stay proportional; the seed-probe filter keeps a hit when
+// a hash bucket clears a threshold, matching its bernoulli gain model in
+// expectation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_executor.hpp"
+#include "graph/graph_spec.hpp"
+
+namespace ripple::graph {
+
+/// A runnable scenario: the topology (with gain models) plus one stage
+/// computation per node (synchronizers: nullptr).
+struct GraphScenario {
+  GraphSpec graph;
+  std::vector<GraphStageFn> stages;
+};
+
+/// Branching mini-BLAST post-filter:
+///
+///   seed_probe --[bern 0.42]--> branch(tee) --> {ext_fast, ext_thorough}
+///                               --> rescore(merge) --> output
+GraphScenario branching_blast_scenario();
+
+/// The two duplicated linear chains the DAG replaces: {fast, thorough},
+/// each re-running the seed_probe + branch prefix.
+std::vector<GraphScenario> duplicated_chain_baseline();
+
+/// Synthetic telemetry fan-in:
+///
+///   ingest --> fan(tee x3) --> parse_{a,b,c} --> align(sync 3x3) --> fuse(merge) --> emit
+GraphScenario telemetry_fanin_scenario();
+
+/// Deterministic scenario inputs: `count` splitmix64-scrambled u64 payloads.
+std::vector<Item> scenario_inputs(std::size_t count, std::uint64_t seed = 1);
+
+}  // namespace ripple::graph

@@ -32,6 +32,10 @@ inline constexpr std::string_view kSpanNames[] = {
                       // (host; emitted only with trace_workers)
     "runtime.task",   // worker pool: one stage-firing task execution (host;
                       // on the per-worker "runtime.worker<k>" track)
+    "graph.fire",     // graph sim/executor: one SISO-node firing (sim domain)
+    "graph.tee",      // graph sim/executor: one tee-node firing (sim domain)
+    "graph.merge",    // graph sim/executor: one elementwise-merge firing
+    "graph.sync",     // graph sim/executor: one synchronizer realign firing
 };
 
 // Instant names ("i").
@@ -51,6 +55,10 @@ inline constexpr std::string_view kCounterNames[] = {
     "control.tau0_est",   // controller: EWMA inter-arrival estimate
     "runtime.steal",      // parallel executor: cumulative cross-worker deque
                           // steals (host; emitted only with trace_workers)
+    "graph.queue_depth",  // graph sim/executor: per-in-edge queue depth at
+                          // firing (edge track id = node count + edge index;
+                          // the source's arrival queue reports on its node
+                          // track)
 };
 
 // Counter *families*: prefixes under which every name is considered known.

@@ -1,4 +1,6 @@
 // PipelineSpec: a linear chain of SIMD-serviced nodes (paper Section 2.1-2.2).
+// The DAG generalization (tee/merge/synchronizer nodes, per-edge gains) lives
+// in graph/graph_spec.hpp; a linear GraphSpec lowers losslessly to this type.
 #pragma once
 
 #include <cstdint>

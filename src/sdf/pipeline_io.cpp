@@ -7,8 +7,6 @@
 
 namespace ripple::sdf {
 
-namespace {
-
 util::Result<dist::GainPtr> gain_from_json(const util::JsonValue& value) {
   using R = util::Result<dist::GainPtr>;
   if (value.is_null()) return dist::GainPtr{};  // terminal node
@@ -110,8 +108,6 @@ void gain_to_json(util::JsonWriter& json, const dist::GainDistribution* gain) {
   }
   json.end_object();
 }
-
-}  // namespace
 
 util::Result<PipelineSpec> pipeline_from_json_value(const util::JsonValue& value) {
   using R = util::Result<PipelineSpec>;

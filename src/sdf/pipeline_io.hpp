@@ -30,7 +30,19 @@
 #include "util/jsonv.hpp"
 #include "util/result.hpp"
 
+namespace ripple::util {
+class JsonWriter;
+}
+
 namespace ripple::sdf {
+
+/// Parse one gain-model object ({"type": "bernoulli", ...}; JSON null maps
+/// to an empty GainPtr for terminal nodes). Shared by the pipeline schema
+/// and the graph schema (graph/graph_io.hpp).
+util::Result<dist::GainPtr> gain_from_json(const util::JsonValue& value);
+
+/// Serialize one gain model into the same vocabulary (nullptr emits null).
+void gain_to_json(util::JsonWriter& json, const dist::GainDistribution* gain);
 
 /// Parse a pipeline from a JSON document (see schema above).
 /// Error codes: "parse_error" (malformed JSON), "bad_schema" (missing or

@@ -1,0 +1,348 @@
+// Property-based node-compliance bench: every node kind is pushed through
+// randomized batch sizes, arrival spacings, and compaction patterns, and
+// checked for the invariants the DAG model promises — item conservation,
+// per-root ordering, elementwise pairing across branches, and gain
+// accounting — on BOTH the vector-wide engine and the scalar reference
+// oracle (whose agreement is itself asserted on every trial).
+#include <gtest/gtest.h>
+
+#include <any>
+#include <cstdint>
+#include <vector>
+
+#include "dist/gain.hpp"
+#include "graph/graph_executor.hpp"
+#include "graph/graph_spec.hpp"
+
+namespace ripple::graph {
+namespace {
+
+using dist::make_deterministic;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::vector<Item> make_inputs(std::size_t count, std::uint64_t seed) {
+  std::vector<Item> inputs;
+  inputs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    inputs.push_back(splitmix64(seed * 1000003ull + i));
+  }
+  return inputs;
+}
+
+/// One randomized trial shape, derived deterministically from its index.
+struct TrialShape {
+  std::size_t input_count;
+  Cycles input_gap;
+  double interval_scale;
+  std::uint64_t salt;
+};
+
+TrialShape shape_for(std::uint64_t trial) {
+  // Batch shapes straddle the SIMD width (v = 8 in these fixtures): single
+  // item, partial vector, exact vector, vector + remainder, many vectors.
+  static constexpr std::size_t kCounts[] = {1, 3, 7, 8, 11, 33};
+  static constexpr Cycles kGaps[] = {1.0, 7.0, 31.0};
+  static constexpr double kScales[] = {1.0, 1.6};
+  return TrialShape{kCounts[trial % 6], kGaps[trial % 3],
+                    kScales[trial % 2], splitmix64(trial)};
+}
+
+GraphExecutorConfig config_for(const GraphSpec& graph,
+                               const TrialShape& shape) {
+  GraphExecutorConfig config;
+  config.firing_intervals = graph.minimal_firing_intervals();
+  for (Cycles& x : config.firing_intervals) x *= shape.interval_scale;
+  config.input_gap = shape.input_gap;
+  config.max_collected_results = 1 << 20;
+  return config;
+}
+
+void expect_engines_agree(const GraphExecutor& executor,
+                          const std::vector<Item>& inputs,
+                          const GraphExecutorConfig& config,
+                          runtime::ExecutionMetrics& out) {
+  auto vector_run = executor.run(inputs, config);
+  ASSERT_TRUE(vector_run.ok()) << vector_run.error().message;
+  auto reference = executor.run_reference(inputs, config);
+  ASSERT_TRUE(reference.ok()) << reference.error().message;
+  const sim::TrialMetrics& v = vector_run.value().base;
+  const sim::TrialMetrics& r = reference.value().base;
+  ASSERT_EQ(v.nodes.size(), r.nodes.size());
+  for (std::size_t i = 0; i < v.nodes.size(); ++i) {
+    EXPECT_EQ(v.nodes[i].firings, r.nodes[i].firings) << i;
+    EXPECT_EQ(v.nodes[i].items_consumed, r.nodes[i].items_consumed) << i;
+    EXPECT_EQ(v.nodes[i].items_produced, r.nodes[i].items_produced) << i;
+    EXPECT_EQ(v.nodes[i].active_time, r.nodes[i].active_time) << i;
+    EXPECT_EQ(v.nodes[i].max_queue_length, r.nodes[i].max_queue_length) << i;
+  }
+  EXPECT_EQ(v.sink_outputs, r.sink_outputs);
+  EXPECT_EQ(v.makespan, r.makespan);
+  ASSERT_EQ(vector_run.value().results.size(),
+            reference.value().results.size());
+  for (std::size_t i = 0; i < vector_run.value().results.size(); ++i) {
+    EXPECT_EQ(std::any_cast<std::uint64_t>(vector_run.value().results[i]),
+              std::any_cast<std::uint64_t>(reference.value().results[i]))
+        << i;
+  }
+  out = std::move(vector_run).take();
+}
+
+// ---------------------------------------------------------------------------
+// SISO: a filtering/expanding transform whose exact output sequence is
+// reproduced by a scalar fold over the inputs (FIFO order end to end).
+
+/// The transform under test: h = splitmix(x ^ salt) picks 0..3 outputs, each
+/// a fresh hash — so trials exercise drop, keep, and expansion lanes.
+void xform_model(std::uint64_t x, std::uint64_t salt,
+                 std::vector<std::uint64_t>& out) {
+  const std::uint64_t h = splitmix64(x ^ salt);
+  const std::uint64_t count = h % 4;
+  for (std::uint64_t j = 0; j < count; ++j) {
+    out.push_back(splitmix64(x + j));
+  }
+}
+
+struct GraphScenarioLike {
+  GraphSpec graph;
+  std::vector<GraphStageFn> stages;
+};
+
+GraphScenarioLike siso_fixture(std::uint64_t salt) {
+  auto built = GraphBuilder("siso_compliance")
+                   .simd_width(8)
+                   .add_node("src", NodeKind::kSiso, 10.0)
+                   .add_node("xform", NodeKind::kSiso, 6.0)
+                   .add_node("snk", NodeKind::kSiso, 4.0)
+                   .add_edge(0, 1, make_deterministic(1))
+                   .add_edge(1, 2, make_deterministic(1))
+                   .build();
+  EXPECT_TRUE(built.ok()) << built.error().message;
+  GraphScenarioLike fixture{std::move(built).take(), {}};
+  fixture.stages = {
+      [](std::vector<Item>&& in, std::vector<Item>& out) {
+        out.push_back(std::any_cast<std::uint64_t>(in[0]));
+      },
+      [salt](std::vector<Item>&& in, std::vector<Item>& out) {
+        std::vector<std::uint64_t> produced;
+        xform_model(std::any_cast<std::uint64_t>(in[0]), salt, produced);
+        for (std::uint64_t value : produced) out.push_back(value);
+      },
+      [](std::vector<Item>&& in, std::vector<Item>& out) {
+        out.push_back(std::any_cast<std::uint64_t>(in[0]));
+      },
+  };
+  return fixture;
+}
+
+TEST(SisoCompliance, ConservationOrderingAndGainAcrossShapes) {
+  for (std::uint64_t trial = 0; trial < 12; ++trial) {
+    const TrialShape shape = shape_for(trial);
+    GraphScenarioLike fixture = siso_fixture(shape.salt);
+    const GraphExecutor executor(fixture.graph, fixture.stages);
+    const auto inputs = make_inputs(shape.input_count, trial);
+    const GraphExecutorConfig config = config_for(fixture.graph, shape);
+
+    runtime::ExecutionMetrics metrics;
+    expect_engines_agree(executor, inputs, config, metrics);
+
+    // Scalar fold: the exact expected sink sequence.
+    std::vector<std::uint64_t> expected;
+    for (const Item& item : inputs) {
+      xform_model(std::any_cast<std::uint64_t>(item), shape.salt, expected);
+    }
+    ASSERT_EQ(metrics.results.size(), expected.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(std::any_cast<std::uint64_t>(metrics.results[i]), expected[i])
+          << "trial " << trial << " result " << i;
+    }
+
+    // Conservation + gain accounting.
+    const auto& nodes = metrics.base.nodes;
+    EXPECT_EQ(nodes[0].items_consumed, shape.input_count);
+    EXPECT_EQ(nodes[1].items_consumed, shape.input_count);
+    EXPECT_EQ(nodes[1].items_produced, expected.size());
+    EXPECT_EQ(nodes[2].items_consumed, expected.size());
+    EXPECT_EQ(metrics.base.sink_outputs, expected.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tee + merge: variable-count tee outputs are replicated onto both branches;
+// each branch transforms differently; the merge recovers the original value
+// from one branch and cross-checks the other, so any pairing or ordering
+// slip produces a sentinel.
+
+constexpr std::uint64_t kSentinel = 0xdeadull;
+
+GraphScenarioLike tee_fixture(std::uint64_t salt) {
+  auto built = GraphBuilder("tee_compliance")
+                   .simd_width(8)
+                   .add_node("src", NodeKind::kSiso, 10.0)
+                   .add_node("tee", NodeKind::kSimoTee, 4.0)
+                   .add_node("left", NodeKind::kSiso, 6.0)
+                   .add_node("right", NodeKind::kSiso, 6.0)
+                   .add_node("merge", NodeKind::kMisoElementwise, 5.0)
+                   .add_node("snk", NodeKind::kSiso, 3.0)
+                   .add_edge(0, 1, make_deterministic(1))
+                   .add_edge(1, 2, make_deterministic(1))
+                   .add_edge(1, 3, make_deterministic(1))
+                   .add_edge(2, 4, make_deterministic(1))
+                   .add_edge(3, 4, make_deterministic(1))
+                   .add_edge(4, 5, make_deterministic(1))
+                   .build();
+  EXPECT_TRUE(built.ok()) << built.error().message;
+  GraphScenarioLike fixture{std::move(built).take(), {}};
+  fixture.stages = {
+      [](std::vector<Item>&& in, std::vector<Item>& out) {
+        out.push_back(std::any_cast<std::uint64_t>(in[0]));
+      },
+      // Tee with a compaction pattern: 0..2 outputs per input.
+      [salt](std::vector<Item>&& in, std::vector<Item>& out) {
+        const auto x = std::any_cast<std::uint64_t>(in[0]);
+        const std::uint64_t count = splitmix64(x ^ salt) % 3;
+        for (std::uint64_t j = 0; j < count; ++j) {
+          out.push_back(splitmix64(x) + j);
+        }
+      },
+      [](std::vector<Item>&& in, std::vector<Item>& out) {
+        out.push_back(std::any_cast<std::uint64_t>(in[0]) * 3);
+      },
+      [](std::vector<Item>&& in, std::vector<Item>& out) {
+        out.push_back(std::uint64_t{std::any_cast<std::uint64_t>(in[0]) ^ 0x5555u});
+      },
+      // Merge sees (left, right) in in-edge insertion order; both derive
+      // from the SAME tee output when pairing is correct.
+      [](std::vector<Item>&& in, std::vector<Item>& out) {
+        const auto left = std::any_cast<std::uint64_t>(in[0]);
+        const auto right = std::any_cast<std::uint64_t>(in[1]);
+        const std::uint64_t original = right ^ 0x5555ull;
+        out.push_back(left == original * 3 ? original : kSentinel);
+      },
+      [](std::vector<Item>&& in, std::vector<Item>& out) {
+        out.push_back(std::any_cast<std::uint64_t>(in[0]));
+      },
+  };
+  return fixture;
+}
+
+TEST(TeeMergeCompliance, ReplicationStaysPairedAcrossShapes) {
+  for (std::uint64_t trial = 0; trial < 12; ++trial) {
+    const TrialShape shape = shape_for(trial);
+    GraphScenarioLike fixture = tee_fixture(shape.salt);
+    const GraphExecutor executor(fixture.graph, fixture.stages);
+    const auto inputs = make_inputs(shape.input_count, trial + 100);
+    const GraphExecutorConfig config = config_for(fixture.graph, shape);
+
+    runtime::ExecutionMetrics metrics;
+    expect_engines_agree(executor, inputs, config, metrics);
+
+    // Pairing invariant: no merge firing ever saw mismatched branch items.
+    for (const Item& result : metrics.results) {
+      EXPECT_NE(std::any_cast<std::uint64_t>(result), kSentinel)
+          << "trial " << trial;
+    }
+
+    // Conservation: tee replicates its per-lane outputs onto both edges.
+    const auto& nodes = metrics.base.nodes;
+    EXPECT_EQ(nodes[1].items_produced % 2, 0u);
+    const std::uint64_t per_branch = nodes[1].items_produced / 2;
+    EXPECT_EQ(nodes[2].items_consumed, per_branch);
+    EXPECT_EQ(nodes[3].items_consumed, per_branch);
+    EXPECT_EQ(nodes[4].items_consumed, 2 * nodes[4].items_produced);
+    EXPECT_EQ(metrics.base.sink_outputs, per_branch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synchronizer: two rate-matched streams realigned into lockstep, then
+// merged with the same pairing check. The synchronizer must forward exactly
+// (consumed == produced, per stream, order preserved).
+
+GraphScenarioLike sync_fixture() {
+  auto built = GraphBuilder("sync_compliance")
+                   .simd_width(8)
+                   .add_node("src", NodeKind::kSiso, 10.0)
+                   .add_node("tee", NodeKind::kSimoTee, 4.0)
+                   .add_node("p", NodeKind::kSiso, 6.0)
+                   .add_node("q", NodeKind::kSiso, 7.0)
+                   .add_node("sync", NodeKind::kMimoSynchronizer, 3.0)
+                   .add_node("np", NodeKind::kSiso, 5.0)
+                   .add_node("nq", NodeKind::kSiso, 5.0)
+                   .add_node("merge", NodeKind::kMisoElementwise, 5.0)
+                   .add_node("snk", NodeKind::kSiso, 3.0)
+                   .add_edge(0, 1, make_deterministic(1))
+                   .add_edge(1, 2, make_deterministic(1))
+                   .add_edge(1, 3, make_deterministic(1))
+                   .add_edge(2, 4, make_deterministic(1))
+                   .add_edge(3, 4, make_deterministic(1))
+                   .add_edge(4, 5, make_deterministic(1))
+                   .add_edge(4, 6, make_deterministic(1))
+                   .add_edge(5, 7, make_deterministic(1))
+                   .add_edge(6, 7, make_deterministic(1))
+                   .add_edge(7, 8, make_deterministic(1))
+                   .build();
+  EXPECT_TRUE(built.ok()) << built.error().message;
+  GraphScenarioLike fixture{std::move(built).take(), {}};
+  auto pass = [](std::vector<Item>&& in, std::vector<Item>& out) {
+    out.push_back(std::any_cast<std::uint64_t>(in[0]));
+  };
+  fixture.stages = {
+      pass,
+      pass,  // tee forwards one copy per out-edge
+      [](std::vector<Item>&& in, std::vector<Item>& out) {
+        out.push_back(std::any_cast<std::uint64_t>(in[0]) * 3);
+      },
+      [](std::vector<Item>&& in, std::vector<Item>& out) {
+        out.push_back(std::uint64_t{std::any_cast<std::uint64_t>(in[0]) ^ 0x5555u});
+      },
+      nullptr,  // synchronizer: pure forwarding
+      pass,
+      pass,
+      [](std::vector<Item>&& in, std::vector<Item>& out) {
+        const auto left = std::any_cast<std::uint64_t>(in[0]);
+        const auto right = std::any_cast<std::uint64_t>(in[1]);
+        const std::uint64_t original = right ^ 0x5555ull;
+        out.push_back(left == original * 3 ? original : kSentinel);
+      },
+      pass,
+  };
+  return fixture;
+}
+
+TEST(SynchronizerCompliance, ForwardsLocksteppedStreamsAcrossShapes) {
+  for (std::uint64_t trial = 0; trial < 12; ++trial) {
+    const TrialShape shape = shape_for(trial);
+    GraphScenarioLike fixture = sync_fixture();
+    const GraphExecutor executor(fixture.graph, fixture.stages);
+    const auto inputs = make_inputs(shape.input_count, trial + 200);
+    const GraphExecutorConfig config = config_for(fixture.graph, shape);
+
+    runtime::ExecutionMetrics metrics;
+    expect_engines_agree(executor, inputs, config, metrics);
+
+    const std::uint64_t n = shape.input_count;
+    const auto& nodes = metrics.base.nodes;
+    // Synchronizer conservation: consumed == produced across both streams.
+    EXPECT_EQ(nodes[4].items_consumed, nodes[4].items_produced);
+    EXPECT_EQ(nodes[4].items_consumed, 2 * n);
+    // Stream identity preserved through the sync: every merge pair matched.
+    ASSERT_EQ(metrics.results.size(), n);
+    for (std::size_t i = 0; i < metrics.results.size(); ++i) {
+      const auto value = std::any_cast<std::uint64_t>(metrics.results[i]);
+      EXPECT_NE(value, kSentinel) << "trial " << trial << " result " << i;
+      // Per-root ordering: results come out in arrival order.
+      EXPECT_EQ(value, std::any_cast<std::uint64_t>(inputs[i]))
+          << "trial " << trial << " result " << i;
+    }
+    EXPECT_EQ(metrics.base.sink_outputs, n);
+  }
+}
+
+}  // namespace
+}  // namespace ripple::graph

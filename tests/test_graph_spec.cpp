@@ -1,0 +1,358 @@
+#include "graph/graph_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/gain.hpp"
+
+namespace ripple::graph {
+namespace {
+
+using dist::make_bernoulli;
+using dist::make_deterministic;
+
+/// The canonical branching fixture:
+///
+///   src --bern(0.5)--> tee --> {a, b} --> merge --> snk      (all det(1))
+///
+/// service times {10, 2, 5, 8, 4, 6}.
+GraphSpec diamond() {
+  auto built = GraphBuilder("diamond")
+                   .simd_width(16)
+                   .add_node("src", NodeKind::kSiso, 10.0)
+                   .add_node("tee", NodeKind::kSimoTee, 2.0)
+                   .add_node("a", NodeKind::kSiso, 5.0)
+                   .add_node("b", NodeKind::kSiso, 8.0)
+                   .add_node("merge", NodeKind::kMisoElementwise, 4.0)
+                   .add_node("snk", NodeKind::kSiso, 6.0)
+                   .add_edge(0, 1, make_bernoulli(0.5))
+                   .add_edge(1, 2, make_deterministic(1))
+                   .add_edge(1, 3, make_deterministic(1))
+                   .add_edge(2, 4, make_deterministic(1))
+                   .add_edge(3, 4, make_deterministic(1))
+                   .add_edge(4, 5, make_deterministic(1))
+                   .build();
+  EXPECT_TRUE(built.ok()) << built.error().message;
+  return std::move(built).take();
+}
+
+TEST(Linear, ChainLowersToPipelineLosslessly) {
+  auto built = GraphBuilder("chain")
+                   .simd_width(32)
+                   .add_node("n0", NodeKind::kSiso, 100.0)
+                   .add_node("n1", NodeKind::kSiso, 50.0)
+                   .add_node("n2", NodeKind::kSiso, 25.0)
+                   .add_edge(0, 1, make_bernoulli(0.5))
+                   .add_edge(1, 2, make_deterministic(2))
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.error().message;
+  const GraphSpec graph = std::move(built).take();
+
+  EXPECT_TRUE(graph.is_linear());
+  EXPECT_EQ(graph.source(), 0u);
+  EXPECT_EQ(graph.sink(), 2u);
+  ASSERT_EQ(graph.topo_order().size(), 3u);
+  EXPECT_EQ(graph.topo_order()[0], 0u);
+  EXPECT_EQ(graph.topo_order()[2], 2u);
+
+  auto lowered = graph.lower_to_pipeline();
+  ASSERT_TRUE(lowered.ok()) << lowered.error().message;
+  const sdf::PipelineSpec& pipeline = lowered.value();
+  ASSERT_EQ(pipeline.size(), 3u);
+  EXPECT_EQ(pipeline.simd_width(), 32u);
+  EXPECT_EQ(pipeline.node(0).name, "n0");
+  EXPECT_DOUBLE_EQ(pipeline.service_time(0), 100.0);
+  EXPECT_DOUBLE_EQ(pipeline.mean_gain(0), 0.5);
+  EXPECT_DOUBLE_EQ(pipeline.mean_gain(1), 2.0);
+  // Sink gain is the Deterministic(1) convention.
+  EXPECT_DOUBLE_EQ(pipeline.mean_gain(2), 1.0);
+}
+
+TEST(Linear, BranchingGraphRefusesToLower) {
+  const GraphSpec graph = diamond();
+  EXPECT_FALSE(graph.is_linear());
+  auto lowered = graph.lower_to_pipeline();
+  ASSERT_FALSE(lowered.ok());
+  EXPECT_EQ(lowered.error().code, "not_linear");
+}
+
+TEST(Diamond, TopologyAndAdjacency) {
+  const GraphSpec graph = diamond();
+  EXPECT_EQ(graph.size(), 6u);
+  EXPECT_EQ(graph.edge_count(), 6u);
+  EXPECT_EQ(graph.source(), 0u);
+  EXPECT_EQ(graph.sink(), 5u);
+  // Kahn with smallest-ready-index first: indices already topological.
+  const std::vector<NodeIndex> expected{0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(graph.topo_order(), expected);
+  // Out-/in-edge lists preserve insertion order (load-bearing for tee
+  // replication and merge tuple layout).
+  ASSERT_EQ(graph.out_edges(1).size(), 2u);
+  EXPECT_EQ(graph.edge(graph.out_edges(1)[0]).to, 2u);
+  EXPECT_EQ(graph.edge(graph.out_edges(1)[1]).to, 3u);
+  ASSERT_EQ(graph.in_edges(4).size(), 2u);
+  EXPECT_EQ(graph.edge(graph.in_edges(4)[0]).from, 2u);
+  EXPECT_EQ(graph.edge(graph.in_edges(4)[1]).from, 3u);
+}
+
+TEST(Diamond, FlowsFollowEdgeGains) {
+  const GraphSpec graph = diamond();
+  EXPECT_DOUBLE_EQ(graph.node_flow(0), 1.0);
+  EXPECT_DOUBLE_EQ(graph.node_flow(1), 0.5);
+  EXPECT_DOUBLE_EQ(graph.node_flow(2), 0.5);
+  EXPECT_DOUBLE_EQ(graph.node_flow(3), 0.5);
+  EXPECT_DOUBLE_EQ(graph.node_flow(4), 0.5);
+  EXPECT_DOUBLE_EQ(graph.node_flow(5), 0.5);
+  EXPECT_DOUBLE_EQ(graph.edge_flow(0), 0.5);  // src -> tee, bern(0.5)
+  EXPECT_DOUBLE_EQ(graph.edge_flow(1), 0.5);  // tee -> a
+}
+
+TEST(Diamond, MinimalIntervalsBackwardRecursion) {
+  const GraphSpec graph = diamond();
+  // L_snk = 6; L_merge = max(4, 6) = 6; L_a = max(5, 6) = 6;
+  // L_b = max(8, 6) = 8; L_tee = max(2, max(6, 8)) = 8;
+  // L_src = max(10, 0.5 * 8) = 10.
+  const auto minimal = graph.minimal_firing_intervals();
+  ASSERT_EQ(minimal.size(), 6u);
+  EXPECT_DOUBLE_EQ(minimal[0], 10.0);
+  EXPECT_DOUBLE_EQ(minimal[1], 8.0);
+  EXPECT_DOUBLE_EQ(minimal[2], 6.0);
+  EXPECT_DOUBLE_EQ(minimal[3], 8.0);
+  EXPECT_DOUBLE_EQ(minimal[4], 6.0);
+  EXPECT_DOUBLE_EQ(minimal[5], 6.0);
+}
+
+TEST(Diamond, PathEnumerationDeterministicOrder) {
+  const GraphSpec graph = diamond();
+  auto paths = graph.enumerate_paths();
+  ASSERT_TRUE(paths.ok()) << paths.error().message;
+  ASSERT_EQ(paths.value().size(), 2u);
+  // DFS in out-edge insertion order: the a-branch path comes first.
+  const std::vector<NodeIndex> via_a{0, 1, 2, 4, 5};
+  const std::vector<NodeIndex> via_b{0, 1, 3, 4, 5};
+  EXPECT_EQ(paths.value()[0].nodes, via_a);
+  EXPECT_EQ(paths.value()[1].nodes, via_b);
+  EXPECT_DOUBLE_EQ(paths.value()[0].total_gain, 0.5);
+  EXPECT_DOUBLE_EQ(paths.value()[1].total_gain, 0.5);
+
+  auto capped = graph.enumerate_paths(1);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.error().code, "too_many_paths");
+}
+
+TEST(Diamond, MaxPathBudgetMatchesEnumeration) {
+  const GraphSpec graph = diamond();
+  const std::vector<double> b(6, 1.0);
+  const auto x = graph.minimal_firing_intervals();
+  // Path via a: 10+8+6+6+6 = 36; via b: 10+8+8+6+6 = 38.
+  EXPECT_DOUBLE_EQ(graph.max_path_budget(b, x), 38.0);
+
+  // Cross-check the topological DP against explicit path sums.
+  auto paths = graph.enumerate_paths();
+  ASSERT_TRUE(paths.ok());
+  double best = 0.0;
+  for (const GraphPath& path : paths.value()) {
+    double sum = 0.0;
+    for (NodeIndex u : path.nodes) sum += b[u] * x[u];
+    best = std::max(best, sum);
+  }
+  EXPECT_DOUBLE_EQ(graph.max_path_budget(b, x), best);
+}
+
+/// A ladder of `layers` diamonds has 2^layers source->sink paths.
+GraphSpec diamond_ladder(std::size_t layers) {
+  GraphBuilder builder("ladder");
+  builder.simd_width(8);
+  builder.add_node("src", NodeKind::kSiso, 10.0);
+  NodeIndex prev = 0;
+  NodeIndex next = 1;
+  for (std::size_t l = 0; l < layers; ++l) {
+    const NodeIndex tee = next++;
+    const NodeIndex a = next++;
+    const NodeIndex b = next++;
+    const NodeIndex merge = next++;
+    const std::string tag = std::to_string(l);
+    builder.add_node("tee" + tag, NodeKind::kSimoTee, 2.0)
+        .add_node("a" + tag, NodeKind::kSiso, 3.0 + static_cast<double>(l))
+        .add_node("b" + tag, NodeKind::kSiso, 4.0)
+        .add_node("merge" + tag, NodeKind::kMisoElementwise, 2.0)
+        .add_edge(prev, tee, make_deterministic(1))
+        .add_edge(tee, a, make_deterministic(1))
+        .add_edge(tee, b, make_deterministic(1))
+        .add_edge(a, merge, make_deterministic(1))
+        .add_edge(b, merge, make_deterministic(1));
+    prev = merge;
+  }
+  const NodeIndex sink = next;
+  builder.add_node("snk", NodeKind::kSiso, 5.0);
+  builder.add_edge(prev, sink, make_deterministic(1));
+  auto built = builder.build();
+  EXPECT_TRUE(built.ok()) << built.error().message;
+  return std::move(built).take();
+}
+
+TEST(Paths, LadderOverflowsDefaultCapButNotALargerOne) {
+  const GraphSpec graph = diamond_ladder(7);  // 128 paths
+  auto capped = graph.enumerate_paths();      // default cap 64
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.error().code, "too_many_paths");
+
+  auto all = graph.enumerate_paths(128);
+  ASSERT_TRUE(all.ok()) << all.error().message;
+  EXPECT_EQ(all.value().size(), 128u);
+
+  // DP budget equals the max over all 128 explicit path sums.
+  const std::vector<double> b(graph.size(), 1.0);
+  const auto x = graph.minimal_firing_intervals();
+  double best = 0.0;
+  for (const GraphPath& path : all.value()) {
+    double sum = 0.0;
+    for (NodeIndex u : path.nodes) sum += x[u];
+    best = std::max(best, sum);
+  }
+  EXPECT_NEAR(graph.max_path_budget(b, x), best, 1e-9);
+}
+
+TEST(Builder, RejectsEmptyGraph) {
+  auto built = GraphBuilder("e").build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.error().code, "empty");
+}
+
+TEST(Builder, RejectsZeroWidth) {
+  auto built = GraphBuilder("w")
+                   .simd_width(0)
+                   .add_node("only", NodeKind::kSiso, 1.0)
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.error().code, "bad_width");
+}
+
+TEST(Builder, RejectsNonPositiveServiceTime) {
+  auto built = GraphBuilder("s")
+                   .add_node("bad", NodeKind::kSiso, 0.0)
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.error().code, "bad_service");
+  EXPECT_NE(built.error().message.find("bad"), std::string::npos);
+}
+
+TEST(Builder, RejectsMalformedEdges) {
+  auto range = GraphBuilder("r")
+                   .add_node("a", NodeKind::kSiso, 1.0)
+                   .add_node("b", NodeKind::kSiso, 1.0)
+                   .add_edge(0, 5, make_deterministic(1))
+                   .build();
+  ASSERT_FALSE(range.ok());
+  EXPECT_EQ(range.error().code, "bad_edge");
+
+  auto self = GraphBuilder("l")
+                  .add_node("a", NodeKind::kSiso, 1.0)
+                  .add_edge(0, 0, make_deterministic(1))
+                  .build();
+  ASSERT_FALSE(self.ok());
+  EXPECT_EQ(self.error().code, "bad_edge");
+  EXPECT_NE(self.error().message.find("self-loop"), std::string::npos);
+
+  auto dup = GraphBuilder("d")
+                 .add_node("a", NodeKind::kSiso, 1.0)
+                 .add_node("b", NodeKind::kSiso, 1.0)
+                 .add_edge(0, 1, make_deterministic(1))
+                 .add_edge(0, 1, make_deterministic(1))
+                 .build();
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, "bad_edge");
+  EXPECT_NE(dup.error().message.find("duplicate"), std::string::npos);
+
+  auto gainless = GraphBuilder("g")
+                      .add_node("a", NodeKind::kSiso, 1.0)
+                      .add_node("b", NodeKind::kSiso, 1.0)
+                      .add_edge(0, 1, nullptr)
+                      .build();
+  ASSERT_FALSE(gainless.ok());
+  EXPECT_EQ(gainless.error().code, "missing_gain");
+  EXPECT_NE(gainless.error().message.find("a->b"), std::string::npos);
+}
+
+TEST(Builder, RejectsCycles) {
+  auto built = GraphBuilder("c")
+                   .add_node("a", NodeKind::kSiso, 1.0)
+                   .add_node("b", NodeKind::kSiso, 1.0)
+                   .add_node("c", NodeKind::kSiso, 1.0)
+                   .add_edge(0, 1, make_deterministic(1))
+                   .add_edge(1, 2, make_deterministic(1))
+                   .add_edge(2, 0, make_deterministic(1))
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.error().code, "cycle");
+}
+
+TEST(Builder, RejectsMultipleSourcesOrSinks) {
+  auto sources = GraphBuilder("ms")
+                     .add_node("s1", NodeKind::kSiso, 1.0)
+                     .add_node("s2", NodeKind::kSiso, 1.0)
+                     .add_node("t", NodeKind::kMisoElementwise, 1.0)
+                     .add_edge(0, 2, make_deterministic(1))
+                     .add_edge(1, 2, make_deterministic(1))
+                     .build();
+  ASSERT_FALSE(sources.ok());
+  EXPECT_EQ(sources.error().code, "multi_source");
+  EXPECT_NE(sources.error().message.find("s1"), std::string::npos);
+
+  auto sinks = GraphBuilder("mk")
+                   .add_node("s", NodeKind::kSimoTee, 1.0)
+                   .add_node("a", NodeKind::kSiso, 1.0)
+                   .add_node("b", NodeKind::kSiso, 1.0)
+                   .add_edge(0, 1, make_deterministic(1))
+                   .add_edge(0, 2, make_deterministic(1))
+                   .build();
+  ASSERT_FALSE(sinks.ok());
+  EXPECT_EQ(sinks.error().code, "multi_sink");
+}
+
+TEST(Builder, RejectsDegreeKindMismatch) {
+  // A tee with a single out-edge is just a mislabeled SISO node.
+  auto built = GraphBuilder("deg")
+                   .add_node("s", NodeKind::kSiso, 1.0)
+                   .add_node("t", NodeKind::kSimoTee, 1.0)
+                   .add_node("k", NodeKind::kSiso, 1.0)
+                   .add_edge(0, 1, make_deterministic(1))
+                   .add_edge(1, 2, make_deterministic(1))
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.error().code, "bad_degree");
+  EXPECT_NE(built.error().message.find("tee"), std::string::npos);
+}
+
+TEST(Builder, RejectsRateMismatchedMerge) {
+  // tee -> a carries det(1) flow, tee -> b carries det(2) flow; the merge
+  // cannot consume elementwise from streams with different mean rates.
+  auto built = GraphBuilder("rm")
+                   .add_node("src", NodeKind::kSiso, 10.0)
+                   .add_node("tee", NodeKind::kSimoTee, 2.0)
+                   .add_node("a", NodeKind::kSiso, 5.0)
+                   .add_node("b", NodeKind::kSiso, 8.0)
+                   .add_node("merge", NodeKind::kMisoElementwise, 4.0)
+                   .add_node("snk", NodeKind::kSiso, 6.0)
+                   .add_edge(0, 1, make_deterministic(1))
+                   .add_edge(1, 2, make_deterministic(1))
+                   .add_edge(1, 3, make_deterministic(2))
+                   .add_edge(2, 4, make_deterministic(1))
+                   .add_edge(3, 4, make_deterministic(1))
+                   .add_edge(4, 5, make_deterministic(1))
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.error().code, "rate_mismatch");
+  EXPECT_NE(built.error().message.find("merge"), std::string::npos);
+}
+
+TEST(Kinds, NamesAreTheJsonVocabulary) {
+  EXPECT_STREQ(node_kind_name(NodeKind::kSiso), "siso");
+  EXPECT_STREQ(node_kind_name(NodeKind::kSimoTee), "tee");
+  EXPECT_STREQ(node_kind_name(NodeKind::kMisoElementwise), "merge");
+  EXPECT_STREQ(node_kind_name(NodeKind::kMimoSynchronizer), "synchronizer");
+}
+
+}  // namespace
+}  // namespace ripple::graph

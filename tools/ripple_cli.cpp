@@ -17,10 +17,17 @@
 //                         [--listen PORT] [--journal-dir DIR]
 //   ripple_cli recover    <pipeline.json|blast> --journal-dir DIR
 //                         --tau0 T --deadline D [control flags as recorded]
+//   ripple_cli graph      <graph.json|branching-blast|telemetry-fanin>
+//                         [--mode validate|plan|run] [--tau0 T --deadline D]
+//                         [--b ...] [--inputs N] [--exec-threads N]
 //
 // The literal pipeline name "blast" loads the paper's canonical Table 1
 // pipeline; anything else is read as a JSON file in the schema documented in
-// src/sdf/pipeline_io.hpp (emit one with `describe --json FILE`).
+// src/sdf/pipeline_io.hpp (emit one with `describe --json FILE`). The graph
+// command takes a ripple.graph.v1 JSON file (src/graph/graph_io.hpp) or a
+// builtin measured scenario name instead; builtin scenarios run through the
+// vector-wide DAG executor, JSON graphs through the stochastic DAG
+// simulator (arbitrary JSON carries gain models but no stage code).
 #include <any>
 #include <chrono>
 #include <cmath>
@@ -43,6 +50,11 @@
 #include "device/dispatch.hpp"
 #include "device/kernel_registry.hpp"
 #include "dist/rng.hpp"
+#include "graph/graph_executor.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/graph_plan.hpp"
+#include "graph/graph_sim.hpp"
+#include "graph/scenarios.hpp"
 #include "net/journal.hpp"
 #include "net/server.hpp"
 #include "queueing/predict.hpp"
@@ -77,6 +89,8 @@ int usage(int code) {
          "  recover      rebuild the controller from a serve --journal-dir\n"
          "  kernels      dump the SIMD kernel dispatch catalog (no pipeline "
          "argument)\n"
+         "  graph        validate/plan/run a DAG topology (ripple.graph.v1 "
+         "JSON, 'branching-blast', or 'telemetry-fanin')\n"
          "run `ripple_cli <command> --help` for command options\n";
   return code;
 }
@@ -790,6 +804,181 @@ int cmd_kernels(const util::CliParser& cli) {
   return 0;
 }
 
+/// Graph sources: a builtin measured scenario (with stage code, runnable on
+/// the DAG executor) or a ripple.graph.v1 JSON file (gain models only,
+/// runnable on the stochastic DAG simulator).
+util::Result<graph::GraphScenario> load_graph(const std::string& source) {
+  using R = util::Result<graph::GraphScenario>;
+  if (source == "branching-blast") return graph::branching_blast_scenario();
+  if (source == "telemetry-fanin") return graph::telemetry_fanin_scenario();
+  std::ifstream in(source);
+  if (!in) return R::failure("io_error", "cannot open " + source);
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto parsed = graph::graph_from_json(text.str());
+  if (!parsed.ok()) return R::failure(parsed.error().code,
+                                      parsed.error().message);
+  return graph::GraphScenario{std::move(parsed).take(), {}};
+}
+
+void print_graph_summary(const graph::GraphSpec& g) {
+  const std::vector<Cycles> minimal = g.minimal_firing_intervals();
+  std::cout << "graph '" << g.name() << "', v = " << g.simd_width()
+            << ", N = " << g.size() << ", E = " << g.edge_count()
+            << (g.is_linear() ? " (linear chain)" : "") << "\n";
+  util::TextTable nodes({"node", "kind", "t_u", "in", "out", "flow", "L_u"});
+  for (NodeIndex u = 0; u < g.size(); ++u) {
+    nodes.add_row({g.node(u).name, graph::node_kind_name(g.node(u).kind),
+                   fmt(g.service_time(u), 1),
+                   std::to_string(g.in_edges(u).size()),
+                   std::to_string(g.out_edges(u).size()),
+                   fmt(g.node_flow(u)), fmt(minimal[u], 1)});
+  }
+  nodes.print(std::cout);
+  util::TextTable edges({"edge", "mean gain", "gain model", "flow"});
+  for (graph::EdgeIndex e = 0; e < g.edge_count(); ++e) {
+    edges.add_row({g.node(g.edge(e).from).name + " -> " +
+                       g.node(g.edge(e).to).name,
+                   fmt(g.edge(e).mean_gain()),
+                   g.edge(e).gain ? g.edge(e).gain->name() : "N/A",
+                   fmt(g.edge_flow(e))});
+  }
+  edges.print(std::cout);
+  if (auto paths = g.enumerate_paths(); paths.ok()) {
+    std::cout << "source -> sink paths: " << paths.value().size() << "\n";
+  } else {
+    std::cout << "source -> sink paths: > 64 (" << paths.error().code
+              << ")\n";
+  }
+}
+
+void print_graph_metrics(const graph::GraphSpec& g,
+                         const sim::TrialMetrics& m) {
+  util::TextTable table({"node", "firings", "empty", "consumed", "produced",
+                         "occupancy", "max queue"});
+  for (NodeIndex u = 0; u < g.size(); ++u) {
+    const sim::NodeMetrics& node = m.nodes[u];
+    table.add_row({g.node(u).name, std::to_string(node.firings),
+                   std::to_string(node.empty_firings),
+                   std::to_string(node.items_consumed),
+                   std::to_string(node.items_produced),
+                   fmt(node.mean_occupancy(m.vector_width), 3),
+                   std::to_string(node.max_queue_length)});
+  }
+  table.print(std::cout);
+  std::cout << "inputs arrived = " << m.inputs_arrived
+            << ", on time = " << m.inputs_on_time
+            << ", missed = " << m.inputs_missed
+            << "\nsink outputs = " << m.sink_outputs << "\n";
+  if (m.output_latency.count() > 0) {
+    std::cout << "output latency mean/min/max = "
+              << fmt(m.output_latency.mean(), 1) << " / "
+              << fmt(m.output_latency.min(), 1) << " / "
+              << fmt(m.output_latency.max(), 1) << " cycles\n";
+  }
+  std::cout << "makespan = " << fmt(m.makespan, 1) << " cycles\n";
+}
+
+int cmd_graph(util::CliParser& cli) {
+  if (cli.positional().empty()) {
+    std::cerr << "missing graph source (a ripple.graph.v1 JSON file, "
+                 "'branching-blast', or 'telemetry-fanin')\n";
+    return usage(2);
+  }
+  auto loaded = load_graph(cli.positional()[0]);
+  if (!loaded.ok()) {
+    std::cerr << "cannot load graph (" << loaded.error().code
+              << "): " << loaded.error().message << "\n";
+    return 2;
+  }
+  const graph::GraphSpec& g = loaded.value().graph;
+  const std::string mode = cli.get_string("mode");
+  if (mode != "validate" && mode != "plan" && mode != "run") {
+    std::cerr << "--mode must be validate|plan|run (got '" << mode << "')\n";
+    return 2;
+  }
+
+  print_graph_summary(g);
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << graph::graph_to_json(g);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  if (mode == "validate") return 0;
+
+  const std::vector<double> b = parse_b(cli.get_string("b"), g.size());
+  if (!b.empty() && b.size() != g.size()) {
+    throw std::logic_error("--b must list one multiplier (>= 1) per node");
+  }
+  graph::GraphPlanner planner(
+      g, b.empty() ? graph::GraphPlanConfig::optimistic(g)
+                   : graph::GraphPlanConfig{b});
+  const double tau0 = cli.get_double("tau0");
+  const double deadline = cli.get_double("deadline");
+  auto solved = planner.solve(tau0, deadline);
+  if (!solved.ok()) {
+    std::cerr << "infeasible (" << solved.error().code
+              << "): " << solved.error().message
+              << "\nmin feasible deadline at this tau0 = "
+              << fmt(planner.min_feasible_deadline(tau0), 1) << "\n";
+    return 1;
+  }
+  const graph::GraphSchedule& schedule = solved.value();
+  std::cout << "\nplan at tau0 = " << fmt(tau0, 1) << ", D = "
+            << fmt(deadline, 1)
+            << (schedule.lowered_linear ? " (chain-solver delegation)"
+                                        : " (per-path barrier, KKT "
+                                          "certified)")
+            << "\n";
+  util::TextTable plan({"node", "t_u", "w_u", "x_u"});
+  for (NodeIndex u = 0; u < g.size(); ++u) {
+    plan.add_row({g.node(u).name, fmt(g.service_time(u), 1),
+                  fmt(schedule.waits[u], 2),
+                  fmt(schedule.firing_intervals[u], 2)});
+  }
+  plan.print(std::cout);
+  std::cout << "predicted active fraction = "
+            << fmt(schedule.predicted_active_fraction)
+            << "\ndeadline budget used = "
+            << fmt(schedule.deadline_budget_used, 1) << " of "
+            << fmt(deadline, 1) << "\n";
+  if (mode == "plan") return 0;
+
+  const auto inputs = positive_count(cli, "inputs");
+  const auto seed = non_negative_count(cli, "seed");
+  if (!loaded.value().stages.empty()) {
+    // Builtin scenario: real stage code through the vector-wide DAG engine.
+    graph::GraphExecutorConfig config;
+    config.firing_intervals = schedule.firing_intervals;
+    config.input_gap = tau0;
+    config.deadline = deadline;
+    config.exec_threads = non_negative_count(cli, "exec-threads");
+    const graph::GraphExecutor executor(g, loaded.value().stages);
+    auto run = executor.run(graph::scenario_inputs(inputs, seed), config);
+    if (!run.ok()) {
+      std::cerr << "run failed (" << run.error().code
+                << "): " << run.error().message << "\n";
+      return 1;
+    }
+    std::cout << "\nvector-wide DAG executor, " << inputs << " inputs:\n";
+    print_graph_metrics(g, run.value().base);
+    return 0;
+  }
+  // JSON graph: no stage code — stochastic simulation of the gain models.
+  arrivals::FixedRateArrivals arrival_process(tau0);
+  graph::GraphSimConfig config;
+  config.input_count = static_cast<ItemCount>(inputs);
+  config.deadline = deadline;
+  config.seed = seed;
+  config.initial_offsets = graph::aligned_graph_phase_offsets(g);
+  const sim::TrialMetrics metrics = graph::simulate_graph_enforced(
+      g, schedule.firing_intervals, arrival_process, config);
+  std::cout << "\nstochastic DAG simulation, " << inputs << " inputs:\n";
+  print_graph_metrics(g, metrics);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, const char** argv) {
@@ -815,6 +1004,7 @@ int main(int argc, const char** argv) {
   cli.add_double("d-hi", 3.5e5, "sweep: deadline range end");
   cli.add_int("d-points", 8, "sweep: deadline grid points");
   cli.add_string("model", "batch", "predict-b: poisson|batch");
+  cli.add_string("mode", "validate", "graph: validate|plan|run");
   cli.add_double("headroom", 0.9,
                  "predict-b: solve at (h*tau0, h*D); replay/serve: re-plan "
                  "at h*tau0_est");
@@ -870,6 +1060,10 @@ int main(int argc, const char** argv) {
   try {
     if (command == "kernels") return cmd_kernels(cli);
     configure_dispatch(cli);
+    if (command == "graph") {
+      enable_observability(cli);
+      return export_observability(cli, cmd_graph(cli));
+    }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 2;
